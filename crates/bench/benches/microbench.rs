@@ -1,0 +1,337 @@
+//! Criterion microbenchmarks for the core data structures and hot paths:
+//! cache policy operations, block encode/decode/seek, skiplist, bloom
+//! filter, Count-Min sketch, LSM get/scan, range-cache operations, NN
+//! inference and training steps, and workload generation.
+//!
+//! Run with `cargo bench -p adcache-bench`.
+
+use adcache_cache::{
+    BlockCache, CacheusPolicy, ChargedCache, ClockPolicy, CountMinSketch, LeCaRPolicy, LfuPolicy,
+    LruPolicy, PointLookup, Policy, RangeCache, RangeLookup, TwoQPolicy,
+};
+use adcache_core::{CachedDb, EngineConfig, Strategy};
+use adcache_lsm::{
+    Block, BlockBuilder, BloomFilter, DirectProvider, Entry, LsmTree, MemStorage, Options, SkipList,
+};
+use adcache_rl::{ActorCritic, AgentConfig, Transition};
+use adcache_workload::{render_key, Mix, WorkloadConfig, WorkloadGen};
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy");
+    let run = |p: &mut dyn Policy<u64>| {
+        for i in 0..64u64 {
+            p.on_insert(&i);
+        }
+        for i in 0..64u64 {
+            p.on_hit(&(i % 16));
+        }
+        for _ in 0..32 {
+            black_box(p.victim());
+        }
+    };
+    g.bench_function("lru_insert_hit_evict", |b| {
+        b.iter(|| {
+            let mut p = LruPolicy::new();
+            run(&mut p);
+        })
+    });
+    g.bench_function("lfu_insert_hit_evict", |b| {
+        b.iter(|| {
+            let mut p = LfuPolicy::new();
+            run(&mut p);
+        })
+    });
+    g.bench_function("lecar_insert_hit_evict", |b| {
+        b.iter(|| {
+            let mut p = LeCaRPolicy::new();
+            run(&mut p);
+        })
+    });
+    g.bench_function("cacheus_insert_hit_evict", |b| {
+        b.iter(|| {
+            let mut p = CacheusPolicy::new();
+            run(&mut p);
+        })
+    });
+    g.bench_function("clock_insert_hit_evict", |b| {
+        b.iter(|| {
+            let mut p = ClockPolicy::new();
+            run(&mut p);
+        })
+    });
+    g.bench_function("twoq_insert_hit_evict", |b| {
+        b.iter(|| {
+            let mut p = TwoQPolicy::new();
+            run(&mut p);
+        })
+    });
+    g.finish();
+}
+
+fn bench_wal_and_histogram(c: &mut Criterion) {
+    use adcache_core::Histogram;
+    use adcache_lsm::{crc32, Entry, WalWriter};
+    let mut g = c.benchmark_group("durability");
+    let path = std::env::temp_dir().join(format!("adcache-bench-wal-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut wal = WalWriter::open(&path, false).unwrap();
+    let value = Entry::Put(Bytes::from(vec![b'v'; 100]));
+    g.bench_function("wal_append_100b", |b| {
+        b.iter(|| wal.append(b"user00000000000000000001", black_box(&value)).unwrap())
+    });
+    let payload = vec![0xABu8; 4096];
+    g.bench_function("crc32_4k", |b| b.iter(|| black_box(crc32(&payload))));
+    let mut h = Histogram::new();
+    g.bench_function("histogram_record", |b| {
+        let mut i = 1u64;
+        b.iter(|| {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(i % 1_000_000 + 1));
+        })
+    });
+    g.bench_function("histogram_p99", |b| b.iter(|| black_box(h.quantile(0.99))));
+    drop(wal);
+    let _ = std::fs::remove_file(&path);
+    g.finish();
+}
+
+fn bench_block(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block");
+    let entries: Vec<(Bytes, Entry)> = (0..64)
+        .map(|i| {
+            (
+                Bytes::from(format!("user{i:020}")),
+                Entry::Put(Bytes::from(vec![b'v'; 64])),
+            )
+        })
+        .collect();
+    g.bench_function("encode_64_entries", |b| {
+        b.iter(|| {
+            let mut builder = BlockBuilder::new(16);
+            for (k, e) in &entries {
+                builder.add(k, e).unwrap();
+            }
+            black_box(builder.finish())
+        })
+    });
+    let mut builder = BlockBuilder::new(16);
+    for (k, e) in &entries {
+        builder.add(k, e).unwrap();
+    }
+    let encoded = builder.finish();
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(Block::decode(encoded.clone()).unwrap()))
+    });
+    let block = Block::decode(encoded).unwrap();
+    g.bench_function("point_get", |b| {
+        b.iter(|| black_box(block.get(b"user00000000000000000031").unwrap()))
+    });
+    g.bench_function("seek_and_scan_16", |b| {
+        b.iter(|| {
+            let it = block.iter_from(b"user00000000000000000020").unwrap();
+            black_box(it.take(16).count())
+        })
+    });
+    g.finish();
+}
+
+fn bench_skiplist_and_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("structures");
+    g.bench_function("skiplist_insert_1000", |b| {
+        b.iter(|| {
+            let mut l = SkipList::new();
+            for i in 0..1000u32 {
+                l.insert(Bytes::from(format!("{:08}", (i * 2654435761u32) % 100_000)), i);
+            }
+            black_box(l.len())
+        })
+    });
+    let mut list = SkipList::new();
+    for i in 0..10_000u32 {
+        list.insert(Bytes::from(format!("{i:08}")), i);
+    }
+    g.bench_function("skiplist_get", |b| {
+        b.iter(|| black_box(list.get(b"00005000")))
+    });
+    let keys: Vec<Vec<u8>> = (0..10_000).map(|i| format!("key{i}").into_bytes()).collect();
+    g.bench_function("bloom_build_10k", |b| {
+        b.iter(|| black_box(BloomFilter::build(&keys, 10)))
+    });
+    let bloom = BloomFilter::build(&keys, 10);
+    g.bench_function("bloom_probe", |b| {
+        b.iter(|| black_box(bloom.may_contain(b"key5000") && !bloom.may_contain(b"absent")))
+    });
+    let mut sketch = CountMinSketch::for_keys(10_000);
+    g.bench_function("cms_increment", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(sketch.increment(&i.to_le_bytes()))
+        })
+    });
+    g.finish();
+}
+
+fn prepared_tree() -> (LsmTree, Arc<MemStorage>) {
+    let storage = Arc::new(MemStorage::new());
+    let db = LsmTree::new(Options::small(), storage.clone()).unwrap();
+    for i in 0..20_000u64 {
+        db.put(render_key(i), Bytes::from(vec![b'v'; 64])).unwrap();
+    }
+    db.flush().unwrap();
+    while db.maybe_compact_once().unwrap() {}
+    (db, storage)
+}
+
+fn bench_lsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lsm");
+    g.sample_size(30);
+    let (db, _storage) = prepared_tree();
+    let p = DirectProvider;
+    g.bench_function("get_direct", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 20_000;
+            black_box(db.get(&render_key(i), &p).unwrap())
+        })
+    });
+    g.bench_function("scan16_direct", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 20_000;
+            black_box(db.scan(&render_key(i), 16, &p).unwrap())
+        })
+    });
+    let cache = BlockCache::new(8 << 20, 4);
+    g.bench_function("get_block_cached_warm", |b| {
+        let provider = cache.provider();
+        for i in 0..20_000u64 {
+            db.get(&render_key(i), &provider).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 20_000;
+            black_box(db.get(&render_key(i), &provider).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_range_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("range_cache");
+    let cache = RangeCache::new(64 << 20);
+    g.bench_function("insert_scan_64", |b| {
+        let mut start = 0u64;
+        b.iter(|| {
+            start += 64;
+            let shifted: Vec<(Bytes, Bytes)> = (start..start + 64)
+                .map(|i| (render_key(i), Bytes::from(vec![b'v'; 64])))
+                .collect();
+            cache.insert_scan(&shifted[0].0, &shifted, 64);
+        })
+    });
+    let cache = RangeCache::new(64 << 20);
+    let results: Vec<(Bytes, Bytes)> =
+        (0..64).map(|i| (render_key(i), Bytes::from(vec![b'v'; 64]))).collect();
+    cache.insert_scan(&results[0].0, &results, 64);
+    g.bench_function("range_hit_16", |b| {
+        b.iter(|| match cache.get_range(&render_key(8), 16) {
+            RangeLookup::Hit(v) => black_box(v.len()),
+            RangeLookup::Miss => panic!(),
+        })
+    });
+    g.bench_function("point_hit", |b| {
+        b.iter(|| match cache.get_point(&render_key(10)) {
+            PointLookup::Hit(v) => black_box(v.len()),
+            _ => panic!(),
+        })
+    });
+    let mut charged: ChargedCache<u64, u64> = ChargedCache::new(1 << 20, Box::new(LruPolicy::new()));
+    g.bench_function("charged_cache_insert_get", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            charged.insert(i % 10_000, i, 64);
+            black_box(charged.get(&(i % 10_000)));
+        })
+    });
+    g.finish();
+}
+
+fn bench_rl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rl");
+    g.sample_size(30);
+    // Paper-sized networks: this measures the real per-window tuning cost.
+    let mut agent = ActorCritic::new(AgentConfig::paper_default(13, 4));
+    let state = vec![0.5f32; 13];
+    g.bench_function("inference_256x256", |b| {
+        b.iter(|| black_box(agent.act_greedy(&state)))
+    });
+    let t = Transition {
+        state: state.clone(),
+        action: vec![0.5; 4],
+        reward: 0.1,
+        next_state: state.clone(),
+    };
+    g.bench_function("train_step_256x256", |b| b.iter(|| agent.update(black_box(&t))));
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    let mut gen = WorkloadGen::new(WorkloadConfig { num_keys: 1_000_000, ..Default::default() });
+    let mix = Mix::new(40.0, 20.0, 10.0, 30.0);
+    g.bench_function("next_op", |b| b.iter(|| black_box(gen.next_op(&mix))));
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+    let db = CachedDb::new(
+        Options::small(),
+        Arc::new(MemStorage::new()),
+        EngineConfig::new(Strategy::AdCache, 4 << 20),
+    )
+    .unwrap();
+    for i in 0..20_000u64 {
+        db.load(render_key(i), Bytes::from(vec![b'v'; 64])).unwrap();
+    }
+    db.db().flush().unwrap();
+    while db.db().maybe_compact_once().unwrap() {}
+    for i in 0..20_000u64 {
+        db.get(&render_key(i)).unwrap();
+    }
+    g.bench_function("adcache_get_warm", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 20_000;
+            black_box(db.get(&render_key(i)).unwrap())
+        })
+    });
+    g.bench_function("adcache_scan16_warm", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 977) % 19_000;
+            black_box(db.scan(&render_key(i), 16).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_wal_and_histogram,
+    bench_block,
+    bench_skiplist_and_bloom,
+    bench_lsm,
+    bench_range_cache,
+    bench_rl,
+    bench_workload,
+    bench_engine,
+);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Design-choice ablations beyond the paper's Figure 11(b) — the
+//! implementation decisions called out in DESIGN.md §5:
+//!
+//! 1. **Boundary hysteresis** (on/off): deferring sub-2% boundary moves
+//!    avoids eviction churn from RL exploration jitter.
+//! 2. **Adaptive learning rate** (on/off): the paper's `lr ← lr·(1−r)`
+//!    rule vs a fixed actor learning rate, across a workload shift.
+//! 3. **Partial range serving** (on/off): serving covered scan prefixes
+//!    and reading only the tail from the LSM vs all-or-nothing lookups.
+//!
+//! Regenerate with:
+//! `cargo run --release -p adcache-bench --bin ablation_design [-- --quick]`
+
+use adcache_bench::{ensure_pretrained, f4, print_table, write_csv, ExpParams};
+use adcache_core::{run_schedule, run_static, RunConfig, Strategy};
+use adcache_workload::{Mix, Phase, Schedule};
+
+fn shift_schedule(ops: u64) -> Schedule {
+    Schedule {
+        phases: vec![
+            Phase { name: "points".into(), mix: Mix::new(95.0, 2.0, 1.0, 2.0), ops },
+            Phase { name: "scans".into(), mix: Mix::new(2.0, 95.0, 1.0, 2.0), ops },
+        ],
+    }
+}
+
+fn main() {
+    let params = ExpParams::from_args();
+    let pretrained = ensure_pretrained(&params);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut csv: Vec<Vec<String>> = Vec::new();
+
+    // --- 1 & 2: hysteresis and adaptive-lr across a shift. ---
+    for (label, hysteresis, adaptive_lr) in [
+        ("baseline (hyst on, adaptive-lr on)", 0.02, true),
+        ("no hysteresis", 0.0, true),
+        ("fixed learning rate", 0.02, false),
+    ] {
+        let mut cfg: RunConfig = params.run_config(Strategy::AdCache, 0.25);
+        cfg.boundary_hysteresis = hysteresis;
+        cfg.controller.adaptive_lr = adaptive_lr;
+        cfg.pretrained_agent = Some(pretrained.clone());
+        let r = run_schedule(&cfg, &shift_schedule(params.ops)).expect("run");
+        let n = r.windows.len();
+        let steady = r.mean_hit_rate(n * 3 / 4, n); // post-shift steady state
+        rows.push(vec![label.to_string(), f4(steady), f4(r.overall_hit_rate)]);
+        csv.push(vec![label.to_string(), format!("{steady:.6}"), format!("{:.6}", r.overall_hit_rate)]);
+    }
+
+    // --- 3: partial range serving under long scans. ---
+    for (label, strategy, partial) in [
+        ("range cache, partial serving", Strategy::RangeCache, true),
+        ("range cache, all-or-nothing", Strategy::RangeCache, false),
+        ("adcache, partial serving", Strategy::AdCache, true),
+        ("adcache, all-or-nothing", Strategy::AdCache, false),
+    ] {
+        let mut cfg: RunConfig = params.run_config(strategy, 0.25);
+        cfg.serve_partial_range = partial;
+        if strategy == Strategy::AdCache {
+            cfg.pretrained_agent = Some(pretrained.clone());
+        }
+        let mix = Mix::new(20.0, 10.0, 65.0, 5.0);
+        let r = run_static(&cfg, mix, params.ops).expect("run");
+        let half = r.windows.len() / 2;
+        let steady = r.mean_hit_rate(half, r.windows.len());
+        rows.push(vec![label.to_string(), f4(steady), format!("{} sst reads", r.total_sst_reads)]);
+        csv.push(vec![label.to_string(), format!("{steady:.6}"), r.total_sst_reads.to_string()]);
+    }
+
+    // --- extension: Leaper-style post-compaction prefetching on the block
+    // cache, under a write-heavy mixed load where compaction invalidation
+    // actually bites. ---
+    for (label, depth) in [("prefetch off", 0usize), ("prefetch 4 blocks/file", 4)] {
+        let mut cfg: RunConfig = params.run_config(Strategy::RocksDbBlock, 0.25);
+        cfg.compaction_prefetch_blocks = depth;
+        let mix = Mix::new(30.0, 15.0, 0.0, 55.0);
+        let r = run_static(&cfg, mix, params.ops).expect("run");
+        let half = r.windows.len() / 2;
+        rows.push(vec![
+            label.to_string(),
+            f4(r.mean_hit_rate(half, r.windows.len())),
+            format!("{} sst reads", r.total_sst_reads),
+        ]);
+        csv.push(vec![
+            label.to_string(),
+            format!("{:.6}", r.overall_hit_rate),
+            r.total_sst_reads.to_string(),
+        ]);
+    }
+
+    // --- 4: block compression. The cache stores decoded blocks and the
+    // device model charges per block, so hit rates are untouched by
+    // design; what compression buys is the on-disk footprint. ---
+    for (label, compression) in [("compression off", false), ("compression on (lzss)", true)] {
+        let mut cfg: RunConfig = params.run_config(Strategy::RocksDbBlock, 0.25);
+        cfg.db_options.compression = compression;
+        let db = adcache_core::prepare_db(&cfg).expect("prepare");
+        let schedule = adcache_workload::Schedule {
+            phases: vec![adcache_workload::Phase {
+                name: "mix".into(),
+                mix: Mix::new(40.0, 20.0, 0.0, 40.0),
+                ops: params.ops / 2,
+            }],
+        };
+        let r = adcache_core::run_schedule_on(&cfg, &schedule, &db).expect("run");
+        let disk_bytes: u64 = db.db().level_summary().iter().map(|(_, _, b)| b).sum();
+        let half = r.windows.len() / 2;
+        rows.push(vec![
+            label.to_string(),
+            f4(r.mean_hit_rate(half, r.windows.len())),
+            format!("{} KiB on disk, write amp {:.1}x", disk_bytes >> 10, db.db().write_amplification()),
+        ]);
+        csv.push(vec![
+            label.to_string(),
+            format!("{:.6}", r.overall_hit_rate),
+            disk_bytes.to_string(),
+        ]);
+    }
+
+    print_table(
+        "Design ablations (steady-state hit rate)",
+        &["variant", "steady hit", "note"],
+        &rows,
+    );
+    write_csv("ablation_design", &["variant", "steady_hit", "note"], &csv).expect("csv");
+}

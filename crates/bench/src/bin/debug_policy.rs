@@ -1,0 +1,39 @@
+//! Developer diagnostic: pinned-decision ceilings vs the online controller
+//! trajectory for one mix. Not part of the paper's figures.
+
+use adcache_bench::{ensure_pretrained, ExpParams};
+use adcache_core::{run_static, CacheDecision, Strategy};
+use adcache_workload::Mix;
+
+fn main() {
+    let params = ExpParams::from_args();
+    let mix = Mix::new(100.0, 0.0, 0.0, 0.0);
+    let frac = 0.2;
+
+    for (label, d) in [
+        ("ratio=1.0 thr=0", CacheDecision { range_ratio: 1.0, point_threshold: 0.0, scan_a: 16, scan_b: 0.25 }),
+        ("ratio=1.0 thr=0.002", CacheDecision { range_ratio: 1.0, point_threshold: 0.002, scan_a: 16, scan_b: 0.25 }),
+        ("ratio=0.5 thr=0", CacheDecision { range_ratio: 0.5, point_threshold: 0.0, scan_a: 16, scan_b: 0.25 }),
+        ("ratio=0.0", CacheDecision { range_ratio: 0.0, point_threshold: 0.0, scan_a: 16, scan_b: 0.25 }),
+    ] {
+        let mut cfg = params.run_config(Strategy::AdCache, frac);
+        cfg.pinned_decision = Some(d);
+        let r = run_static(&cfg, mix, params.ops).unwrap();
+        let half = r.windows.len() / 2;
+        println!("pinned {label}: steady hit {:.4}", r.mean_hit_rate(half, r.windows.len()));
+    }
+
+    let pretrained = ensure_pretrained(&params);
+    let mut cfg = params.run_config(Strategy::AdCache, frac);
+    cfg.pretrained_agent = Some(pretrained);
+    let r = run_static(&cfg, mix, params.ops).unwrap();
+    println!("\nonline adcache trajectory (window: ratio thr a b | hit):");
+    for w in &r.windows {
+        if let Some(d) = w.decision {
+            println!(
+                "  {:3} {:.3} {:.4} {:3} {:.2} | {:.4}",
+                w.index, d.range_ratio, d.point_threshold, d.scan_a, d.scan_b, w.hit_rate
+            );
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Figure 11(a): training overhead — per-client wall-clock QPS as the
+//! number of client threads grows from 1 to 32, with background RL
+//! training active. The paper's claim: per-client throughput is not
+//! noticeably degraded by training, because windowed training is amortized
+//! and the system is I/O-bound.
+//!
+//! Regenerate with:
+//! `cargo run --release -p adcache-bench --bin fig11a [-- --quick|--full]`
+
+use adcache_bench::{f1, print_table, write_csv, ExpParams};
+use adcache_core::{run_multiclient, RunConfig, Strategy};
+use adcache_workload::Mix;
+
+fn main() {
+    let params = ExpParams::from_args();
+    let mix = Mix::new(40.0, 20.0, 0.0, 40.0);
+    let client_counts = [1usize, 2, 4, 8, 16, 32];
+    let ops_per_client = (params.ops / 8).max(2_000);
+    println!(
+        "Figure 11a: per-client QPS vs client count | keys={} ops/client={}",
+        params.num_keys, ops_per_client
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut csv: Vec<Vec<String>> = Vec::new();
+    for &clients in &client_counts {
+        let mut cfg: RunConfig = params.run_config(Strategy::AdCache, 0.25);
+        cfg.shards = clients.clamp(1, 16);
+        // Training ON (the overhead being measured).
+        let qps = run_multiclient(&cfg, mix, clients, ops_per_client).expect("run");
+        let mean = qps.iter().sum::<f64>() / qps.len() as f64;
+        let min = qps.iter().cloned().fold(f64::MAX, f64::min);
+        let max = qps.iter().cloned().fold(0.0f64, f64::max);
+
+        // Training OFF for the same setup (control).
+        let mut cfg_off = cfg.clone();
+        cfg_off.controller.online = false;
+        let qps_off = run_multiclient(&cfg_off, mix, clients, ops_per_client).expect("run");
+        let mean_off = qps_off.iter().sum::<f64>() / qps_off.len() as f64;
+
+        let overhead_pct = if mean_off > 0.0 { (1.0 - mean / mean_off) * 100.0 } else { 0.0 };
+        rows.push(vec![
+            clients.to_string(),
+            f1(mean),
+            f1(min),
+            f1(max),
+            f1(mean_off),
+            format!("{overhead_pct:.1}%"),
+        ]);
+        csv.push(vec![
+            clients.to_string(),
+            format!("{mean:.1}"),
+            format!("{min:.1}"),
+            format!("{max:.1}"),
+            format!("{mean_off:.1}"),
+            format!("{overhead_pct:.2}"),
+        ]);
+    }
+    print_table(
+        "Figure 11a — per-client wall-clock QPS vs clients (training on/off)",
+        &["clients", "qps/client", "min", "max", "qps (no train)", "train overhead"],
+        &rows,
+    );
+    write_csv(
+        "fig11a",
+        &["clients", "qps_per_client", "min", "max", "qps_no_training", "overhead_pct"],
+        &csv,
+    )
+    .expect("csv");
+}

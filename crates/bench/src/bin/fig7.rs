@@ -1,0 +1,56 @@
+//! Figure 7: hit rate of all six caching strategies under the four static
+//! workloads (Point Lookup, Short Scan, Balanced, Long Scan) as the cache
+//! size sweeps from a few percent to ~40% of the dataset.
+//!
+//! Regenerate with:
+//! `cargo run --release -p adcache-bench --bin fig7 [-- --quick|--full]`
+
+use adcache_bench::{ensure_pretrained, f4, print_table, write_csv, ExpParams};
+use adcache_core::{run_static, Strategy};
+use adcache_workload::static_workloads;
+
+fn main() {
+    let params = ExpParams::from_args();
+    println!(
+        "Figure 7: static workloads | keys={} value={}B ops={} skew={}",
+        params.num_keys, params.value_size, params.ops, params.skew
+    );
+    let pretrained = ensure_pretrained(&params);
+
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for (workload_name, mix) in static_workloads() {
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for strategy in Strategy::all() {
+            let mut row = vec![strategy.name().to_string()];
+            for &frac in &params.cache_fracs {
+                let mut cfg = params.run_config(strategy, frac);
+                if strategy == Strategy::AdCache {
+                    cfg.pretrained_agent = Some(pretrained.clone());
+                }
+                let r = run_static(&cfg, mix, params.ops).expect("run failed");
+                // Hit rate once warm: mean over the second half of windows.
+                let half = r.windows.len() / 2;
+                let hit = r.mean_hit_rate(half, r.windows.len());
+                row.push(f4(hit));
+                csv_rows.push(vec![
+                    workload_name.to_string(),
+                    strategy.name().to_string(),
+                    format!("{frac}"),
+                    format!("{hit:.6}"),
+                    format!("{}", r.total_sst_reads),
+                    format!("{:.1}", r.overall_qps),
+                ]);
+            }
+            rows.push(row);
+        }
+        let mut headers = vec!["strategy".to_string()];
+        headers.extend(params.cache_fracs.iter().map(|f| format!("{:.1}%", f * 100.0)));
+        print_table(&format!("Figure 7 — {workload_name} (hit rate vs cache size)"), &headers, &rows);
+    }
+    write_csv(
+        "fig7",
+        &["workload", "strategy", "cache_frac", "hit_rate", "sst_reads", "qps"],
+        &csv_rows,
+    )
+    .expect("csv");
+}

@@ -1,0 +1,151 @@
+//! Figure 8 + Table 4: throughput and hit rate of every strategy across
+//! the dynamic workload phases A→F (Table 3), and the per-phase rankings.
+//!
+//! Regenerate with:
+//! `cargo run --release -p adcache-bench --bin fig8 [-- --quick|--full]`
+
+use adcache_bench::{ensure_pretrained, f1, f4, print_table, write_csv, ExpParams};
+use adcache_core::{run_schedule, RunResult, Strategy};
+use adcache_workload::paper_dynamic_schedule;
+
+fn main() {
+    let params = ExpParams::from_args();
+    let ops_per_phase = params.ops / 3;
+    println!(
+        "Figure 8 / Table 4: dynamic phases A->F | keys={} ops/phase={} cache=25%",
+        params.num_keys, ops_per_phase
+    );
+    let pretrained = ensure_pretrained(&params);
+    let schedule = paper_dynamic_schedule(ops_per_phase);
+    // The paper gives AdCache 25% cache in the dynamic experiment.
+    let frac = 0.25;
+
+    let mut results: Vec<(Strategy, RunResult)> = Vec::new();
+    for strategy in Strategy::all() {
+        let mut cfg = params.run_config(strategy, frac);
+        if strategy == Strategy::AdCache {
+            cfg.pretrained_agent = Some(pretrained.clone());
+        }
+        let r = run_schedule(&cfg, &schedule).expect("run");
+        results.push((strategy, r));
+    }
+
+    // Per-phase means.
+    let phase_names: Vec<String> = schedule.phases.iter().map(|p| p.name.clone()).collect();
+    let windows_per_phase = (ops_per_phase / params.window) as usize;
+    let mut hit_rows: Vec<Vec<String>> = Vec::new();
+    let mut qps_rows: Vec<Vec<String>> = Vec::new();
+    let mut csv: Vec<Vec<String>> = Vec::new();
+    // phase_stats[phase][strategy] = (hit, qps)
+    let mut phase_stats: Vec<Vec<(f64, f64)>> = vec![Vec::new(); phase_names.len()];
+    for (strategy, r) in &results {
+        let mut hit_row = vec![strategy.name().to_string()];
+        let mut qps_row = vec![strategy.name().to_string()];
+        for (pi, pname) in phase_names.iter().enumerate() {
+            let from = pi * windows_per_phase;
+            let to = from + windows_per_phase;
+            // Skip the first fifth of each phase (transition windows) when
+            // averaging, like steady-state reporting.
+            let settle = from + windows_per_phase / 5;
+            let hit = r.mean_hit_rate(settle, to);
+            let qps = r.mean_qps(settle, to);
+            phase_stats[pi].push((hit, qps));
+            hit_row.push(f4(hit));
+            qps_row.push(f1(qps));
+            csv.push(vec![
+                strategy.name().into(),
+                pname.clone(),
+                format!("{hit:.6}"),
+                format!("{qps:.1}"),
+            ]);
+        }
+        hit_rows.push(hit_row);
+        qps_rows.push(qps_row);
+    }
+
+    let mut headers = vec!["strategy".to_string()];
+    headers.extend(phase_names.iter().cloned());
+    print_table("Figure 8 — hit rate per dynamic phase", &headers, &hit_rows);
+    print_table("Figure 8 — throughput (simulated QPS) per dynamic phase", &headers, &qps_rows);
+
+    // Extra: simulated per-op latency distribution over the whole dynamic
+    // run (not in the paper's figures, but the flip side of its throughput
+    // claims: saved block I/O shows up in the tail).
+    let lat_rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(s, r)| {
+            let (p50, p95, p99, max) = r.latency.summary();
+            vec![
+                s.name().to_string(),
+                format!("{:.1}", p50 as f64 / 1000.0),
+                format!("{:.1}", p95 as f64 / 1000.0),
+                format!("{:.1}", p99 as f64 / 1000.0),
+                format!("{:.1}", max as f64 / 1000.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Simulated per-op latency across the run (µs)",
+        &["strategy", "p50", "p95", "p99", "max"],
+        &lat_rows,
+    );
+
+    // Table 4: rankings (throughput/hit rate), lower is better.
+    let strategy_names: Vec<&str> = results.iter().map(|(s, _)| s.name()).collect();
+    let mut rank_rows: Vec<Vec<String>> = Vec::new();
+    let mut avg_t = vec![0.0f64; strategy_names.len()];
+    let mut avg_h = vec![0.0f64; strategy_names.len()];
+    for (pi, pname) in phase_names.iter().enumerate() {
+        let rank_of = |values: Vec<f64>| -> Vec<usize> {
+            let mut idx: Vec<usize> = (0..values.len()).collect();
+            idx.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).unwrap());
+            let mut ranks = vec![0usize; values.len()];
+            for (rank, &i) in idx.iter().enumerate() {
+                ranks[i] = rank + 1;
+            }
+            ranks
+        };
+        let t_ranks = rank_of(phase_stats[pi].iter().map(|(_, q)| *q).collect());
+        let h_ranks = rank_of(phase_stats[pi].iter().map(|(h, _)| *h).collect());
+        let mut row = vec![pname.clone()];
+        for i in 0..strategy_names.len() {
+            row.push(format!("{}/{}", t_ranks[i], h_ranks[i]));
+            avg_t[i] += t_ranks[i] as f64;
+            avg_h[i] += h_ranks[i] as f64;
+        }
+        rank_rows.push(row);
+    }
+    let mut avg_row = vec!["Average".to_string()];
+    for i in 0..strategy_names.len() {
+        avg_row.push(format!(
+            "{:.1}/{:.1}",
+            avg_t[i] / phase_names.len() as f64,
+            avg_h[i] / phase_names.len() as f64
+        ));
+    }
+    rank_rows.push(avg_row);
+    let mut rank_headers = vec!["phase".to_string()];
+    rank_headers.extend(strategy_names.iter().map(|s| s.to_string()));
+    print_table(
+        "Table 4 — rankings (throughput/hit rate), lower is better",
+        &rank_headers,
+        &rank_rows,
+    );
+
+    // Window-level series for plotting Figure 8's curves.
+    let mut series: Vec<Vec<String>> = Vec::new();
+    for (strategy, r) in &results {
+        for w in &r.windows {
+            series.push(vec![
+                strategy.name().into(),
+                w.index.to_string(),
+                w.phase.clone(),
+                format!("{:.6}", w.hit_rate),
+                format!("{:.1}", w.qps),
+            ]);
+        }
+    }
+    write_csv("fig8_series", &["strategy", "window", "phase", "hit_rate", "qps"], &series)
+        .expect("csv");
+    write_csv("fig8_table4", &["strategy", "phase", "hit_rate", "qps"], &csv).expect("csv");
+}

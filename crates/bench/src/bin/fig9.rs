@@ -1,0 +1,52 @@
+//! Figure 9: hit rate vs workload skewness (Zipfian theta 0.6–1.2) under
+//! the paper's mixed workload: 50% updates, 25% point lookups, 25% short
+//! scans.
+//!
+//! Regenerate with:
+//! `cargo run --release -p adcache-bench --bin fig9 [-- --quick|--full]`
+
+use adcache_bench::{ensure_pretrained, f4, print_table, write_csv, ExpParams};
+use adcache_core::{run_static, Strategy};
+use adcache_workload::Mix;
+
+fn main() {
+    let mut params = ExpParams::from_args();
+    let skews = [0.6, 0.8, 0.9, 1.05, 1.2];
+    let mix = Mix::new(25.0, 25.0, 0.0, 50.0);
+    println!(
+        "Figure 9: skewness sweep | keys={} ops={} cache=25% mix=25/25/50",
+        params.num_keys, params.ops
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut csv: Vec<Vec<String>> = Vec::new();
+    for strategy in Strategy::all() {
+        let mut row = vec![strategy.name().to_string()];
+        for &skew in &skews {
+            params.skew = skew;
+            // One pretrained model per skew bucket would leak tuning into
+            // the comparison; reuse the default-skew model for all points.
+            let mut cfg = params.run_config(strategy, 0.25);
+            if strategy == Strategy::AdCache {
+                let mut pre_params = params.clone();
+                pre_params.skew = 0.9;
+                cfg.pretrained_agent = Some(ensure_pretrained(&pre_params));
+            }
+            let r = run_static(&cfg, mix, params.ops).expect("run");
+            let half = r.windows.len() / 2;
+            let hit = r.mean_hit_rate(half, r.windows.len());
+            row.push(f4(hit));
+            csv.push(vec![
+                strategy.name().into(),
+                format!("{skew}"),
+                format!("{hit:.6}"),
+                format!("{}", r.total_sst_reads),
+            ]);
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["strategy".to_string()];
+    headers.extend(skews.iter().map(|s| format!("θ={s}")));
+    print_table("Figure 9 — hit rate vs Zipfian skewness", &headers, &rows);
+    write_csv("fig9", &["strategy", "skew", "hit_rate", "sst_reads"], &csv).expect("csv");
+}

@@ -1,0 +1,195 @@
+//! Admission control (paper Section 3.4).
+//!
+//! Two mechanisms guard the caches against pollution:
+//!
+//! - **Frequency-based admission for point lookups** —
+//!   [`PointAdmission`]: on a miss the key's counter in a Count-Min
+//!   Sketch is incremented and the key is admitted only when its
+//!   *normalized importance* (frequency over the global missed-key sum)
+//!   clears a threshold. The threshold is not fixed: AdCache's RL agent
+//!   retunes it every window.
+//! - **Partial admission for range scans** — [`ScanAdmission`]: a scan of
+//!   length `l ≤ a` is admitted whole; a longer scan contributes only
+//!   `a + ⌈b·(l−a)⌉` leading entries, so infrequent long scans have a
+//!   bounded cache footprint while overlapping hot scans still converge to
+//!   full residency. `a` and `b` are likewise learned online.
+
+use crate::sketch::CountMinSketch;
+
+/// Frequency-gated admission for point-lookup results.
+#[derive(Debug)]
+pub struct PointAdmission {
+    sketch: CountMinSketch,
+    threshold: f64,
+    admitted: u64,
+    rejected: u64,
+}
+
+impl PointAdmission {
+    /// Creates the filter sized for roughly `expected_keys` hot keys.
+    /// `threshold` is the initial normalized-importance cut-off.
+    pub fn new(expected_keys: usize, threshold: f64) -> Self {
+        PointAdmission {
+            sketch: CountMinSketch::for_keys(expected_keys),
+            threshold,
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Records a miss on `key` and decides whether to admit it.
+    pub fn admit(&mut self, key: &[u8]) -> bool {
+        let freq = self.sketch.increment(key);
+        let total = self.sketch.total().max(1);
+        let score = freq as f64 / total as f64;
+        let admit = score >= self.threshold;
+        if admit {
+            self.admitted += 1;
+        } else {
+            self.rejected += 1;
+        }
+        admit
+    }
+
+    /// Retunes the threshold (called by the RL controller each window).
+    pub fn set_threshold(&mut self, threshold: f64) {
+        self.threshold = threshold.max(0.0);
+    }
+
+    /// The current threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// `(admitted, rejected)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.admitted, self.rejected)
+    }
+
+    /// Read access to the underlying sketch.
+    pub fn sketch(&self) -> &CountMinSketch {
+        &self.sketch
+    }
+}
+
+/// Partial admission for scan results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanAdmission {
+    /// Scans up to this length are admitted whole.
+    pub a: usize,
+    /// Fraction of the excess `(l - a)` admitted for longer scans.
+    pub b: f64,
+}
+
+impl ScanAdmission {
+    /// Creates the policy; `b` is clamped to `[0, 1]`.
+    pub fn new(a: usize, b: f64) -> Self {
+        ScanAdmission { a, b: b.clamp(0.0, 1.0) }
+    }
+
+    /// How many leading entries of a scan of length `l` to admit.
+    pub fn admitted_len(&self, l: usize) -> usize {
+        if l <= self.a {
+            l
+        } else {
+            let extra = (self.b * (l - self.a) as f64).ceil() as usize;
+            (self.a + extra).min(l)
+        }
+    }
+
+    /// The "scan threshold" reported in the paper's Figure 10: the expected
+    /// admitted length for scans of the observed average length `l`.
+    pub fn effective_threshold(&self, avg_scan_len: f64) -> f64 {
+        if avg_scan_len <= self.a as f64 {
+            avg_scan_len
+        } else {
+            self.a as f64 + self.b * (avg_scan_len - self.a as f64)
+        }
+    }
+}
+
+impl Default for ScanAdmission {
+    /// The paper initializes `a` to the average short-scan length (16).
+    fn default() -> Self {
+        ScanAdmission { a: 16, b: 0.25 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_off_keys_are_rejected_hot_keys_admitted() {
+        let mut adm = PointAdmission::new(10_000, 0.002);
+        // Warm the sketch with noise.
+        for i in 0..2000u32 {
+            adm.admit(format!("noise-{i}").as_bytes());
+        }
+        // A key seen repeatedly crosses the normalized threshold.
+        let mut admitted_hot = false;
+        for _ in 0..6 {
+            admitted_hot = adm.admit(b"hot-key");
+        }
+        assert!(admitted_hot);
+        assert!(!adm.admit(b"fresh-one-off"));
+        let (a, r) = adm.counters();
+        assert!(a >= 1 && r >= 1);
+    }
+
+    #[test]
+    fn zero_threshold_admits_everything() {
+        let mut adm = PointAdmission::new(100, 0.0);
+        for i in 0..50u32 {
+            assert!(adm.admit(format!("k{i}").as_bytes()));
+        }
+    }
+
+    #[test]
+    fn threshold_is_tunable_at_runtime() {
+        let mut adm = PointAdmission::new(100, 1.0);
+        // The very first key is a "monopoly" (score 1.0) and passes even the
+        // strictest threshold; once a second key shares the sum, neither can
+        // reach 1.0 again.
+        assert!(adm.admit(b"warm"));
+        assert!(!adm.admit(b"x"), "threshold 1.0 rejects non-monopoly keys");
+        adm.set_threshold(0.0);
+        assert!(adm.admit(b"x"));
+        assert_eq!(adm.threshold(), 0.0);
+        adm.set_threshold(-5.0);
+        assert_eq!(adm.threshold(), 0.0, "negative thresholds clamp to zero");
+    }
+
+    #[test]
+    fn short_scans_admitted_whole() {
+        let s = ScanAdmission::new(16, 0.25);
+        assert_eq!(s.admitted_len(1), 1);
+        assert_eq!(s.admitted_len(16), 16);
+    }
+
+    #[test]
+    fn long_scans_admit_partial_prefix() {
+        let s = ScanAdmission::new(16, 0.25);
+        assert_eq!(s.admitted_len(64), 16 + 12); // 16 + ceil(0.25*48)
+        assert_eq!(s.admitted_len(17), 17); // 16 + ceil(0.25) = 17
+        let s = ScanAdmission::new(16, 0.0);
+        assert_eq!(s.admitted_len(64), 16);
+        let s = ScanAdmission::new(16, 1.0);
+        assert_eq!(s.admitted_len(64), 64);
+    }
+
+    #[test]
+    fn b_is_clamped() {
+        let s = ScanAdmission::new(8, 7.5);
+        assert_eq!(s.b, 1.0);
+        let s = ScanAdmission::new(8, -1.0);
+        assert_eq!(s.b, 0.0);
+    }
+
+    #[test]
+    fn effective_threshold_matches_formula() {
+        let s = ScanAdmission::new(16, 0.25);
+        assert!((s.effective_threshold(64.0) - 28.0).abs() < 1e-9);
+        assert!((s.effective_threshold(8.0) - 8.0).abs() < 1e-9);
+    }
+}

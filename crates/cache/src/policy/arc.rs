@@ -1,0 +1,258 @@
+//! Adaptive Replacement Cache (ARC) eviction.
+//!
+//! Megiddo & Modha's ARC splits residents into a recency list `T1` and a
+//! frequency list `T2`, with ghost lists `B1`/`B2` remembering recently
+//! evicted keys. A hit in a ghost list shifts the adaptation target `p`
+//! toward the list that would have kept the key. AC-Key (ATC '20) uses ARC
+//! to balance its cache hierarchy, which is why it appears here as a
+//! baseline component.
+//!
+//! The containers in this crate drive eviction by byte budget, so this
+//! implementation adapts `p` in *entry* units against the current resident
+//! count rather than a fixed `c`.
+
+use super::Policy;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Residency {
+    T1,
+    T2,
+}
+
+/// ARC policy state.
+pub struct ArcPolicy<K> {
+    t1: BTreeMap<u64, K>,
+    t2: BTreeMap<u64, K>,
+    b1: BTreeMap<u64, K>,
+    b2: BTreeMap<u64, K>,
+    /// Resident keys -> (list, tick); ghosts -> tick only.
+    resident: HashMap<K, (Residency, u64)>,
+    ghost1: HashMap<K, u64>,
+    ghost2: HashMap<K, u64>,
+    /// Adaptation target: preferred size of `T1`, in entries.
+    p: f64,
+    clock: u64,
+}
+
+impl<K: Clone + Eq + Hash> ArcPolicy<K> {
+    /// Creates an empty ARC policy.
+    pub fn new() -> Self {
+        ArcPolicy {
+            t1: BTreeMap::new(),
+            t2: BTreeMap::new(),
+            b1: BTreeMap::new(),
+            b2: BTreeMap::new(),
+            resident: HashMap::new(),
+            ghost1: HashMap::new(),
+            ghost2: HashMap::new(),
+            p: 0.0,
+            clock: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn cache_size(&self) -> usize {
+        self.t1.len() + self.t2.len()
+    }
+
+    fn trim_ghosts(&mut self) {
+        let limit = self.cache_size().max(8);
+        while self.b1.len() > limit {
+            if let Some((&t, _)) = self.b1.iter().next() {
+                if let Some(k) = self.b1.remove(&t) {
+                    self.ghost1.remove(&k);
+                }
+            }
+        }
+        while self.b2.len() > limit {
+            if let Some((&t, _)) = self.b2.iter().next() {
+                if let Some(k) = self.b2.remove(&t) {
+                    self.ghost2.remove(&k);
+                }
+            }
+        }
+    }
+
+    /// Current adaptation target (size preference for `T1`).
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Resident key count.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether no resident keys are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+}
+
+impl<K: Clone + Eq + Hash> Default for ArcPolicy<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Clone + Eq + Hash + Send> Policy<K> for ArcPolicy<K> {
+    fn on_insert(&mut self, key: &K) {
+        debug_assert!(!self.resident.contains_key(key));
+        let c = self.cache_size().max(1) as f64;
+        if let Some(t) = self.ghost1.remove(key) {
+            // Ghost hit in B1: recency would have kept it; grow p.
+            self.b1.remove(&t);
+            let delta = (self.b2.len().max(1) as f64 / self.b1.len().max(1) as f64).max(1.0);
+            self.p = (self.p + delta).min(c);
+            let tick = self.tick();
+            self.t2.insert(tick, key.clone());
+            self.resident.insert(key.clone(), (Residency::T2, tick));
+        } else if let Some(t) = self.ghost2.remove(key) {
+            // Ghost hit in B2: frequency would have kept it; shrink p.
+            self.b2.remove(&t);
+            let delta = (self.b1.len().max(1) as f64 / self.b2.len().max(1) as f64).max(1.0);
+            self.p = (self.p - delta).max(0.0);
+            let tick = self.tick();
+            self.t2.insert(tick, key.clone());
+            self.resident.insert(key.clone(), (Residency::T2, tick));
+        } else {
+            let tick = self.tick();
+            self.t1.insert(tick, key.clone());
+            self.resident.insert(key.clone(), (Residency::T1, tick));
+        }
+        self.trim_ghosts();
+    }
+
+    fn on_hit(&mut self, key: &K) {
+        let Some(&(list, tick)) = self.resident.get(key) else { return };
+        match list {
+            Residency::T1 => {
+                self.t1.remove(&tick);
+            }
+            Residency::T2 => {
+                self.t2.remove(&tick);
+            }
+        }
+        let tick = self.tick();
+        self.t2.insert(tick, key.clone());
+        self.resident.insert(key.clone(), (Residency::T2, tick));
+    }
+
+    fn victim(&mut self) -> Option<K> {
+        // REPLACE: evict from T1 when it exceeds the target p, else from T2.
+        let from_t1 = if self.t1.is_empty() {
+            false
+        } else if self.t2.is_empty() {
+            true
+        } else {
+            (self.t1.len() as f64) > self.p.max(1.0)
+        };
+        let (key, tick) = if from_t1 {
+            let (&t, k) = self.t1.iter().next()?;
+            let k = k.clone();
+            self.t1.remove(&t);
+            self.b1.insert(t, k.clone());
+            self.ghost1.insert(k.clone(), t);
+            (k, t)
+        } else {
+            let (&t, k) = self.t2.iter().next()?;
+            let k = k.clone();
+            self.t2.remove(&t);
+            self.b2.insert(t, k.clone());
+            self.ghost2.insert(k.clone(), t);
+            (k, t)
+        };
+        let _ = tick;
+        self.resident.remove(&key);
+        self.trim_ghosts();
+        Some(key)
+    }
+
+    fn on_external_remove(&mut self, key: &K) {
+        if let Some((list, tick)) = self.resident.remove(key) {
+            match list {
+                Residency::T1 => self.t1.remove(&tick),
+                Residency::T2 => self.t2.remove(&tick),
+            };
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "arc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_goes_to_t1_rehit_promotes() {
+        let mut p = ArcPolicy::new();
+        p.on_insert(&1u32);
+        assert_eq!(p.t1.len(), 1);
+        p.on_hit(&1);
+        assert_eq!(p.t1.len(), 0);
+        assert_eq!(p.t2.len(), 1);
+    }
+
+    #[test]
+    fn ghost_hit_in_b1_raises_p() {
+        let mut p = ArcPolicy::new();
+        for k in 0..8u32 {
+            p.on_insert(&k);
+        }
+        // Evict until something lands in B1 (all in T1 initially).
+        let v = p.victim().unwrap();
+        assert!(p.ghost1.contains_key(&v));
+        let before = p.p();
+        p.on_insert(&v);
+        assert!(p.p() > before, "B1 ghost hit must grow p");
+        // The re-inserted key is now a frequency resident.
+        assert_eq!(p.resident.get(&v).unwrap().0, Residency::T2);
+    }
+
+    #[test]
+    fn ghost_hit_in_b2_lowers_p() {
+        let mut p = ArcPolicy::new();
+        for k in 0..4u32 {
+            p.on_insert(&k);
+            p.on_hit(&k); // everything in T2
+        }
+        let v = p.victim().unwrap();
+        assert!(p.ghost2.contains_key(&v));
+        p.p = 3.0;
+        p.on_insert(&v);
+        assert!(p.p() < 3.0, "B2 ghost hit must shrink p");
+    }
+
+    #[test]
+    fn scan_resistance_keeps_frequent_keys() {
+        // Two hot keys re-hit; a long scan of cold keys must not displace
+        // them before the colds cycle out.
+        let mut p = ArcPolicy::new();
+        p.on_insert(&1000u32);
+        p.on_insert(&1001);
+        p.on_hit(&1000);
+        p.on_hit(&1001);
+        for k in 0..50u32 {
+            p.on_insert(&k);
+            // Keep resident size bounded at 6.
+            while p.len() > 6 {
+                let v = p.victim().unwrap();
+                assert!(v != 1000 && v != 1001, "hot key {v} evicted by scan");
+            }
+        }
+    }
+
+    #[test]
+    fn contract() {
+        super::super::check_policy_contract(Box::new(ArcPolicy::new()));
+    }
+}

@@ -1,0 +1,90 @@
+//! First-in-first-out eviction.
+
+use super::Policy;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// FIFO: the victim is the key inserted earliest; hits do not reorder.
+///
+/// Included as a cheap baseline and as a building block for experiments on
+/// scan-dominated workloads, where FIFO and LRU behave identically.
+pub struct FifoPolicy<K> {
+    by_arrival: BTreeMap<u64, K>,
+    arrivals: HashMap<K, u64>,
+    clock: u64,
+}
+
+impl<K: Clone + Eq + Hash> FifoPolicy<K> {
+    /// Creates an empty policy.
+    pub fn new() -> Self {
+        FifoPolicy { by_arrival: BTreeMap::new(), arrivals: HashMap::new(), clock: 0 }
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether no keys are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+}
+
+impl<K: Clone + Eq + Hash> Default for FifoPolicy<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Clone + Eq + Hash + Send> Policy<K> for FifoPolicy<K> {
+    fn on_insert(&mut self, key: &K) {
+        self.clock += 1;
+        self.by_arrival.insert(self.clock, key.clone());
+        self.arrivals.insert(key.clone(), self.clock);
+    }
+
+    fn on_hit(&mut self, _key: &K) {}
+
+    fn victim(&mut self) -> Option<K> {
+        let (&tick, key) = self.by_arrival.iter().next()?;
+        let key = key.clone();
+        self.by_arrival.remove(&tick);
+        self.arrivals.remove(&key);
+        Some(key)
+    }
+
+    fn on_external_remove(&mut self, key: &K) {
+        if let Some(tick) = self.arrivals.remove(key) {
+            self.by_arrival.remove(&tick);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_in_arrival_order_despite_hits() {
+        let mut p = FifoPolicy::new();
+        for k in [1u32, 2, 3] {
+            p.on_insert(&k);
+        }
+        p.on_hit(&1);
+        p.on_hit(&1);
+        assert_eq!(p.victim(), Some(1));
+        assert_eq!(p.victim(), Some(2));
+        assert_eq!(p.victim(), Some(3));
+        assert_eq!(p.victim(), None);
+    }
+
+    #[test]
+    fn contract() {
+        super::super::check_policy_contract(Box::new(FifoPolicy::new()));
+    }
+}

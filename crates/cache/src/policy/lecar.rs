@@ -1,0 +1,232 @@
+//! LeCaR: learning cache replacement (Vietri et al., HotStorage '18).
+//!
+//! LeCaR maintains two expert policies — LRU and LFU — over the same
+//! resident set, plus one ghost history per expert recording that expert's
+//! past eviction decisions. On a miss whose key sits in expert X's history,
+//! X is blamed: its weight decays multiplicatively by `e^(-λ·r)` where the
+//! regret discount `r = d^(steps since eviction)` fades with time. Victims
+//! are drawn from the expert sampled proportionally to the weights.
+//!
+//! The paper evaluates "Range Cache with LeCaR" as the representative naive
+//! combination of ML eviction with an LSM cache structure; this module is
+//! that expert mechanism, driven through the shared [`Policy`] trait.
+
+use super::{LfuPolicy, LruPolicy, Policy};
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+const LAMBDA: f64 = 0.45;
+const DISCOUNT: f64 = 0.005;
+
+/// LeCaR policy state.
+pub struct LeCaRPolicy<K> {
+    lru: LruPolicy<K>,
+    lfu: LfuPolicy<K>,
+    /// Ghost history of LRU's evictions: key -> eviction step.
+    hist_lru: HashMap<K, u64>,
+    hist_lru_order: VecDeque<K>,
+    /// Ghost history of LFU's evictions.
+    hist_lfu: HashMap<K, u64>,
+    hist_lfu_order: VecDeque<K>,
+    w_lru: f64,
+    w_lfu: f64,
+    step: u64,
+    resident: usize,
+    rng_state: u64,
+}
+
+impl<K: Clone + Eq + Hash> LeCaRPolicy<K> {
+    /// Creates the policy with equal initial expert weights.
+    pub fn new() -> Self {
+        Self::with_seed(0xD1CE_5EED)
+    }
+
+    /// Deterministic construction for tests and reproducible experiments.
+    pub fn with_seed(seed: u64) -> Self {
+        LeCaRPolicy {
+            lru: LruPolicy::new(),
+            lfu: LfuPolicy::new(),
+            hist_lru: HashMap::new(),
+            hist_lru_order: VecDeque::new(),
+            hist_lfu: HashMap::new(),
+            hist_lfu_order: VecDeque::new(),
+            w_lru: 0.5,
+            w_lfu: 0.5,
+            step: 0,
+            resident: 0,
+            rng_state: seed.max(1),
+        }
+    }
+
+    fn rand_unit(&mut self) -> f64 {
+        self.rng_state ^= self.rng_state << 13;
+        self.rng_state ^= self.rng_state >> 7;
+        self.rng_state ^= self.rng_state << 17;
+        (self.rng_state >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Current `(w_lru, w_lfu)` weights (always normalized).
+    pub fn weights(&self) -> (f64, f64) {
+        (self.w_lru, self.w_lfu)
+    }
+
+    fn penalize(&mut self, blame_lru: bool, evicted_at: u64) {
+        let age = self.step.saturating_sub(evicted_at) as f64;
+        // Regret fades the longer ago the mistaken eviction happened; the
+        // exponent is normalized by the resident size as in the paper.
+        let n = self.resident.max(1) as f64;
+        let regret = DISCOUNT.powf(age / n);
+        let factor = (LAMBDA * regret).exp();
+        if blame_lru {
+            self.w_lfu *= factor;
+        } else {
+            self.w_lru *= factor;
+        }
+        let total = self.w_lru + self.w_lfu;
+        self.w_lru /= total;
+        self.w_lfu /= total;
+    }
+
+    fn trim_history(&mut self) {
+        let limit = self.resident.max(8);
+        while self.hist_lru_order.len() > limit {
+            if let Some(k) = self.hist_lru_order.pop_front() {
+                self.hist_lru.remove(&k);
+            }
+        }
+        while self.hist_lfu_order.len() > limit {
+            if let Some(k) = self.hist_lfu_order.pop_front() {
+                self.hist_lfu.remove(&k);
+            }
+        }
+    }
+}
+
+impl<K: Clone + Eq + Hash> Default for LeCaRPolicy<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Clone + Eq + Hash + Send> Policy<K> for LeCaRPolicy<K> {
+    fn on_insert(&mut self, key: &K) {
+        self.step += 1;
+        // A miss on a key a specific expert evicted is that expert's regret.
+        if let Some(at) = self.hist_lru.remove(key) {
+            self.penalize(true, at);
+        } else if let Some(at) = self.hist_lfu.remove(key) {
+            self.penalize(false, at);
+        }
+        self.lru.on_insert(key);
+        self.lfu.on_insert(key);
+        self.resident += 1;
+        self.trim_history();
+    }
+
+    fn on_hit(&mut self, key: &K) {
+        self.step += 1;
+        self.lru.on_hit(key);
+        self.lfu.on_hit(key);
+    }
+
+    fn victim(&mut self) -> Option<K> {
+        if self.resident == 0 {
+            return None;
+        }
+        let use_lru = self.rand_unit() < self.w_lru;
+        // Sample the winning expert's victim; remove it from both experts.
+        let victim = if use_lru { self.lru.victim() } else { self.lfu.victim() }?;
+        if use_lru {
+            self.lfu.on_external_remove(&victim);
+            self.hist_lru.insert(victim.clone(), self.step);
+            self.hist_lru_order.push_back(victim.clone());
+        } else {
+            self.lru.on_external_remove(&victim);
+            self.hist_lfu.insert(victim.clone(), self.step);
+            self.hist_lfu_order.push_back(victim.clone());
+        }
+        self.resident -= 1;
+        self.trim_history();
+        Some(victim)
+    }
+
+    fn on_external_remove(&mut self, key: &K) {
+        self.lru.on_external_remove(key);
+        self.lfu.on_external_remove(key);
+        self.resident = self.resident.saturating_sub(1);
+    }
+
+    fn name(&self) -> &'static str {
+        "lecar"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_start_equal_and_stay_normalized() {
+        let p: LeCaRPolicy<u32> = LeCaRPolicy::new();
+        let (a, b) = p.weights();
+        assert_eq!(a, 0.5);
+        assert_eq!(b, 0.5);
+    }
+
+    #[test]
+    fn regret_shifts_weight_away_from_blamed_expert() {
+        let mut p = LeCaRPolicy::with_seed(3);
+        for k in 0..8u32 {
+            p.on_insert(&k);
+        }
+        // Force evictions and find one from the LRU history, then re-insert
+        // it: LRU is blamed, so w_lru must drop.
+        let mut lru_victim = None;
+        for _ in 0..6 {
+            let v = p.victim().unwrap();
+            if p.hist_lru.contains_key(&v) {
+                lru_victim = Some(v);
+                break;
+            }
+        }
+        if let Some(v) = lru_victim {
+            let (w_before, _) = p.weights();
+            p.on_insert(&v);
+            let (w_after, w_lfu_after) = p.weights();
+            assert!(w_after < w_before, "LRU blamed: {w_before} -> {w_after}");
+            assert!((w_after + w_lfu_after - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn victims_come_from_both_experts_over_time() {
+        let mut p = LeCaRPolicy::with_seed(42);
+        let mut lru_picks = 0;
+        let mut lfu_picks = 0;
+        for round in 0..200u32 {
+            for k in 0..8 {
+                let key = round * 100 + k;
+                p.on_insert(&key);
+                // Bias frequencies so the experts disagree.
+                if k == 0 {
+                    p.on_hit(&key);
+                    p.on_hit(&key);
+                }
+            }
+            for _ in 0..8 {
+                let v = p.victim().unwrap();
+                if p.hist_lru.contains_key(&v) {
+                    lru_picks += 1;
+                } else {
+                    lfu_picks += 1;
+                }
+            }
+        }
+        assert!(lru_picks > 0 && lfu_picks > 0, "lru={lru_picks} lfu={lfu_picks}");
+    }
+
+    #[test]
+    fn contract() {
+        super::super::check_policy_contract(Box::new(LeCaRPolicy::<u32>::new()));
+    }
+}

@@ -1,0 +1,180 @@
+//! Least-frequently-used eviction.
+
+use super::Policy;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// How frequency ties are broken when choosing among equally cold keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Evict the least-recently-used of the tied keys (classic LFU).
+    Lru,
+    /// Evict the *most*-recently-inserted of the tied keys. This is the
+    /// churn-resistant variant used by Cacheus's CR-LFU expert: under churn
+    /// (many once-accessed keys cycling), keeping the older tied keys
+    /// protects established residents from being displaced by the stream.
+    Mru,
+}
+
+/// LFU with configurable tie-breaking.
+///
+/// Keys are indexed by `(frequency, tick)`; the victim is the minimal
+/// frequency with the tie broken by recency per [`TieBreak`].
+pub struct LfuPolicy<K> {
+    by_priority: BTreeMap<(u64, u64), K>,
+    meta: HashMap<K, (u64, u64)>,
+    clock: u64,
+    tie: TieBreak,
+}
+
+impl<K: Clone + Eq + Hash> LfuPolicy<K> {
+    /// Classic LFU (LRU tie-break).
+    pub fn new() -> Self {
+        Self::with_tiebreak(TieBreak::Lru)
+    }
+
+    /// LFU with an explicit tie-break rule.
+    pub fn with_tiebreak(tie: TieBreak) -> Self {
+        LfuPolicy { by_priority: BTreeMap::new(), meta: HashMap::new(), clock: 0, tie }
+    }
+
+    fn bump(&mut self, key: &K, start_freq: u64) {
+        let freq = match self.meta.get(key).copied() {
+            Some((f, t)) => {
+                self.by_priority.remove(&(f, t));
+                f + 1
+            }
+            None => start_freq,
+        };
+        self.clock += 1;
+        let prio = (freq, self.clock);
+        self.by_priority.insert(prio, key.clone());
+        self.meta.insert(key.clone(), prio);
+    }
+
+    /// Current frequency estimate of a tracked key.
+    pub fn frequency(&self, key: &K) -> Option<u64> {
+        self.meta.get(key).map(|(f, _)| *f)
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether no keys are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+}
+
+impl<K: Clone + Eq + Hash> Default for LfuPolicy<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Clone + Eq + Hash + Send> Policy<K> for LfuPolicy<K> {
+    fn on_insert(&mut self, key: &K) {
+        self.bump(key, 1);
+    }
+
+    fn on_hit(&mut self, key: &K) {
+        self.bump(key, 1);
+    }
+
+    fn victim(&mut self) -> Option<K> {
+        let min_freq = self.by_priority.keys().next()?.0;
+        let key = match self.tie {
+            TieBreak::Lru => {
+                let (&prio, k) = self.by_priority.range((min_freq, 0)..).next()?;
+                let k = k.clone();
+                self.by_priority.remove(&prio);
+                k
+            }
+            TieBreak::Mru => {
+                let (&prio, k) = self
+                    .by_priority
+                    .range((min_freq, 0)..=(min_freq, u64::MAX))
+                    .next_back()?;
+                let k = k.clone();
+                self.by_priority.remove(&prio);
+                k
+            }
+        };
+        self.meta.remove(&key);
+        Some(key)
+    }
+
+    fn on_external_remove(&mut self, key: &K) {
+        if let Some(prio) = self.meta.remove(key) {
+            self.by_priority.remove(&prio);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.tie {
+            TieBreak::Lru => "lfu",
+            TieBreak::Mru => "cr-lfu",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_frequent() {
+        let mut p = LfuPolicy::new();
+        for k in [1u32, 2, 3] {
+            p.on_insert(&k);
+        }
+        p.on_hit(&1);
+        p.on_hit(&1);
+        p.on_hit(&2);
+        // freq: 1 -> 3, 2 -> 2, 3 -> 1
+        assert_eq!(p.victim(), Some(3));
+        assert_eq!(p.victim(), Some(2));
+        assert_eq!(p.victim(), Some(1));
+        assert_eq!(p.victim(), None);
+    }
+
+    #[test]
+    fn lru_tiebreak_prefers_oldest() {
+        let mut p = LfuPolicy::new();
+        p.on_insert(&1u32);
+        p.on_insert(&2);
+        assert_eq!(p.victim(), Some(1));
+    }
+
+    #[test]
+    fn mru_tiebreak_prefers_newest() {
+        let mut p = LfuPolicy::with_tiebreak(TieBreak::Mru);
+        p.on_insert(&1u32);
+        p.on_insert(&2);
+        assert_eq!(p.victim(), Some(2), "CR-LFU keeps the older tied key");
+    }
+
+    #[test]
+    fn frequency_tracking() {
+        let mut p = LfuPolicy::new();
+        p.on_insert(&7u32);
+        assert_eq!(p.frequency(&7), Some(1));
+        p.on_hit(&7);
+        assert_eq!(p.frequency(&7), Some(2));
+        p.on_external_remove(&7);
+        assert_eq!(p.frequency(&7), None);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn contract_lru_tiebreak() {
+        super::super::check_policy_contract(Box::new(LfuPolicy::new()));
+    }
+
+    #[test]
+    fn contract_mru_tiebreak() {
+        super::super::check_policy_contract(Box::new(LfuPolicy::with_tiebreak(TieBreak::Mru)));
+    }
+}

@@ -1,0 +1,109 @@
+//! Least-recently-used eviction.
+
+use super::Policy;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// Classic LRU: the victim is the key whose last access is oldest.
+///
+/// Implemented as a monotonic-tick recency index (`BTreeMap<tick, K>` plus
+/// `HashMap<K, tick>`): O(log n) per operation, no unsafe, deterministic.
+pub struct LruPolicy<K> {
+    by_tick: BTreeMap<u64, K>,
+    ticks: HashMap<K, u64>,
+    clock: u64,
+}
+
+impl<K: Clone + Eq + Hash> LruPolicy<K> {
+    /// Creates an empty policy.
+    pub fn new() -> Self {
+        LruPolicy { by_tick: BTreeMap::new(), ticks: HashMap::new(), clock: 0 }
+    }
+
+    fn touch(&mut self, key: &K) {
+        if let Some(old) = self.ticks.get(key).copied() {
+            self.by_tick.remove(&old);
+        }
+        self.clock += 1;
+        self.by_tick.insert(self.clock, key.clone());
+        self.ticks.insert(key.clone(), self.clock);
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// Whether no keys are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.ticks.is_empty()
+    }
+}
+
+impl<K: Clone + Eq + Hash> Default for LruPolicy<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Clone + Eq + Hash + Send> Policy<K> for LruPolicy<K> {
+    fn on_insert(&mut self, key: &K) {
+        self.touch(key);
+    }
+
+    fn on_hit(&mut self, key: &K) {
+        self.touch(key);
+    }
+
+    fn victim(&mut self) -> Option<K> {
+        let (&tick, key) = self.by_tick.iter().next()?;
+        let key = key.clone();
+        self.by_tick.remove(&tick);
+        self.ticks.remove(&key);
+        Some(key)
+    }
+
+    fn on_external_remove(&mut self, key: &K) {
+        if let Some(tick) = self.ticks.remove(key) {
+            self.by_tick.remove(&tick);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut p = LruPolicy::new();
+        for k in [1u32, 2, 3] {
+            p.on_insert(&k);
+        }
+        p.on_hit(&1); // order now: 2, 3, 1
+        assert_eq!(p.victim(), Some(2));
+        assert_eq!(p.victim(), Some(3));
+        assert_eq!(p.victim(), Some(1));
+        assert_eq!(p.victim(), None);
+    }
+
+    #[test]
+    fn external_remove_drops_tracking() {
+        let mut p = LruPolicy::new();
+        p.on_insert(&1u32);
+        p.on_insert(&2);
+        p.on_external_remove(&1);
+        assert_eq!(p.victim(), Some(2));
+        assert_eq!(p.victim(), None);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn contract() {
+        super::super::check_policy_contract(Box::new(LruPolicy::new()));
+    }
+}

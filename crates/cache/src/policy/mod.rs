@@ -1,0 +1,100 @@
+//! Eviction policies.
+//!
+//! Every cache container in this crate delegates victim selection to a
+//! [`Policy`]. The trait is deliberately small: containers own the data and
+//! the byte accounting; policies own only ordering metadata. This is what
+//! lets the paper's baselines swap the Range Cache's LRU for LeCaR or
+//! Cacheus without touching cache structure (Section 5.1).
+
+mod arc;
+mod cacheus;
+mod clock;
+mod fifo;
+mod lecar;
+mod lfu;
+mod lru;
+mod twoq;
+
+pub use arc::ArcPolicy;
+pub use cacheus::CacheusPolicy;
+pub use clock::ClockPolicy;
+pub use fifo::FifoPolicy;
+pub use lecar::LeCaRPolicy;
+pub use lfu::{LfuPolicy, TieBreak};
+pub use lru::LruPolicy;
+pub use twoq::TwoQPolicy;
+
+use std::hash::Hash;
+
+/// Victim-selection strategy for a cache holding keys of type `K`.
+///
+/// Call discipline (enforced by the containers):
+/// - `on_insert` exactly once when a key enters the cache;
+/// - `on_hit` on every access to a resident key;
+/// - `victim` only while at least one key is resident; the returned key is
+///   removed by the container (no separate notification);
+/// - `on_external_remove` when a resident key is dropped for another reason
+///   (compaction invalidation, resize, explicit delete).
+pub trait Policy<K: Clone + Eq + Hash>: Send {
+    /// A key was inserted into the cache.
+    fn on_insert(&mut self, key: &K);
+    /// A resident key was accessed.
+    fn on_hit(&mut self, key: &K);
+    /// Chooses the key to evict. Must return a currently resident key.
+    fn victim(&mut self) -> Option<K>;
+    /// A resident key was removed without going through `victim`.
+    fn on_external_remove(&mut self, key: &K);
+    /// Human-readable policy name for logs and experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Shared test-suite applied to every policy: residency bookkeeping must be
+/// consistent regardless of the eviction order the policy chooses.
+#[cfg(test)]
+pub(crate) fn check_policy_contract(mut p: Box<dyn Policy<u32>>) {
+    use std::collections::HashSet;
+    let mut resident: HashSet<u32> = HashSet::new();
+    let mut state = 7u64;
+    let mut rand = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 0..2000u64 {
+        match rand() % 10 {
+            0..=4 => {
+                let k = (rand() % 64) as u32;
+                if !resident.contains(&k) {
+                    p.on_insert(&k);
+                    resident.insert(k);
+                }
+            }
+            5..=6 => {
+                let k = (rand() % 64) as u32;
+                if resident.contains(&k) {
+                    p.on_hit(&k);
+                }
+            }
+            7..=8 => {
+                if !resident.is_empty() {
+                    let v = p.victim().unwrap_or_else(|| panic!("victim at step {i}"));
+                    assert!(resident.remove(&v), "policy evicted non-resident {v}");
+                }
+            }
+            _ => {
+                let k = (rand() % 64) as u32;
+                if resident.contains(&k) {
+                    p.on_external_remove(&k);
+                    resident.remove(&k);
+                }
+            }
+        }
+    }
+    // Drain: every resident key must eventually be offered as a victim.
+    while !resident.is_empty() {
+        let v = p.victim().expect("drain victim");
+        assert!(resident.remove(&v));
+    }
+    assert!(p.victim().is_none(), "victim on empty policy must be None");
+}

@@ -1,0 +1,224 @@
+//! 2Q eviction (Johnson & Shasha, VLDB '94).
+//!
+//! A classic database buffer policy and a useful mid-point between LRU and
+//! ARC: first-touch pages enter a small FIFO probation queue (`A1in`);
+//! pages evicted from probation are remembered in a ghost queue (`A1out`);
+//! only a re-access — either while still in probation or from the ghost —
+//! promotes a page into the main LRU (`Am`). One-pass scans therefore flow
+//! through `A1in` without displacing the hot working set in `Am`.
+
+use super::Policy;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::hash::Hash;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Where {
+    A1In,
+    Am,
+}
+
+/// 2Q policy state.
+pub struct TwoQPolicy<K> {
+    /// Probationary FIFO (first-touch keys), front = oldest.
+    a1in: VecDeque<K>,
+    /// Main LRU for re-accessed keys: tick-ordered.
+    am: BTreeMap<u64, K>,
+    am_ticks: HashMap<K, u64>,
+    /// Ghosts of probation evictions.
+    a1out: VecDeque<K>,
+    a1out_set: HashMap<K, ()>,
+    /// Residency index.
+    resident: HashMap<K, Where>,
+    clock: u64,
+    /// Target share of residents kept in probation (the paper's `Kin`
+    /// heuristic is ~25%).
+    in_share: f64,
+}
+
+impl<K: Clone + Eq + Hash> TwoQPolicy<K> {
+    /// Creates the policy with the classic 25% probation share.
+    pub fn new() -> Self {
+        Self::with_in_share(0.25)
+    }
+
+    /// Creates the policy with a custom probation share in `(0, 1)`.
+    pub fn with_in_share(in_share: f64) -> Self {
+        TwoQPolicy {
+            a1in: VecDeque::new(),
+            am: BTreeMap::new(),
+            am_ticks: HashMap::new(),
+            a1out: VecDeque::new(),
+            a1out_set: HashMap::new(),
+            resident: HashMap::new(),
+            clock: 0,
+            in_share: in_share.clamp(0.05, 0.95),
+        }
+    }
+
+    fn promote_to_am(&mut self, key: &K) {
+        self.clock += 1;
+        self.am.insert(self.clock, key.clone());
+        self.am_ticks.insert(key.clone(), self.clock);
+        self.resident.insert(key.clone(), Where::Am);
+    }
+
+    fn trim_ghosts(&mut self) {
+        let limit = self.resident.len().max(8);
+        while self.a1out.len() > limit {
+            if let Some(g) = self.a1out.pop_front() {
+                self.a1out_set.remove(&g);
+            }
+        }
+    }
+
+    /// Number of resident keys tracked.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether no keys are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+}
+
+impl<K: Clone + Eq + Hash> Default for TwoQPolicy<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Clone + Eq + Hash + Send> Policy<K> for TwoQPolicy<K> {
+    fn on_insert(&mut self, key: &K) {
+        debug_assert!(!self.resident.contains_key(key));
+        if self.a1out_set.remove(key).is_some() {
+            // Ghost hit: the key proved reuse across its probation eviction.
+            if let Some(pos) = self.a1out.iter().position(|k| k == key) {
+                self.a1out.remove(pos);
+            }
+            self.promote_to_am(key);
+        } else {
+            self.a1in.push_back(key.clone());
+            self.resident.insert(key.clone(), Where::A1In);
+        }
+    }
+
+    fn on_hit(&mut self, key: &K) {
+        match self.resident.get(key) {
+            Some(Where::A1In) => {
+                // Reuse during probation: promote.
+                if let Some(pos) = self.a1in.iter().position(|k| k == key) {
+                    self.a1in.remove(pos);
+                }
+                self.promote_to_am(key);
+            }
+            Some(Where::Am) => {
+                if let Some(old) = self.am_ticks.get(key).copied() {
+                    self.am.remove(&old);
+                }
+                self.clock += 1;
+                self.am.insert(self.clock, key.clone());
+                self.am_ticks.insert(key.clone(), self.clock);
+            }
+            None => {}
+        }
+    }
+
+    fn victim(&mut self) -> Option<K> {
+        let total = self.resident.len();
+        if total == 0 {
+            return None;
+        }
+        let in_target = ((total as f64) * self.in_share).ceil() as usize;
+        // Evict from probation when it exceeds its share (or Am is empty).
+        let from_a1in = self.a1in.len() >= in_target.max(1) || self.am.is_empty();
+        let key = if from_a1in {
+            let k = self.a1in.pop_front()?;
+            // Remember as ghost so reuse promotes on return.
+            self.a1out.push_back(k.clone());
+            self.a1out_set.insert(k.clone(), ());
+            k
+        } else {
+            let (&tick, k) = self.am.iter().next()?;
+            let k = k.clone();
+            self.am.remove(&tick);
+            self.am_ticks.remove(&k);
+            k
+        };
+        self.resident.remove(&key);
+        self.trim_ghosts();
+        Some(key)
+    }
+
+    fn on_external_remove(&mut self, key: &K) {
+        match self.resident.remove(key) {
+            Some(Where::A1In) => {
+                if let Some(pos) = self.a1in.iter().position(|k| k == key) {
+                    self.a1in.remove(pos);
+                }
+            }
+            Some(Where::Am) => {
+                if let Some(t) = self.am_ticks.remove(key) {
+                    self.am.remove(&t);
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "2q"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_is_probationary_and_fifo() {
+        let mut p = TwoQPolicy::new();
+        for k in [1u32, 2, 3, 4] {
+            p.on_insert(&k);
+        }
+        // All in A1in; probation exceeds its share -> FIFO eviction order.
+        assert_eq!(p.victim(), Some(1));
+        assert_eq!(p.victim(), Some(2));
+    }
+
+    #[test]
+    fn reuse_promotes_and_survives_scans() {
+        let mut p = TwoQPolicy::new();
+        p.on_insert(&100u32);
+        p.on_hit(&100); // promoted to Am
+        for k in 0..60u32 {
+            p.on_insert(&k);
+            while p.len() > 6 {
+                let v = p.victim().unwrap();
+                assert_ne!(v, 100, "hot key evicted by one-pass scan");
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_hit_promotes_on_reinsert() {
+        let mut p = TwoQPolicy::new();
+        for k in 0..6u32 {
+            p.on_insert(&k);
+        }
+        let v = p.victim().unwrap(); // 0 goes to ghosts
+        assert_eq!(v, 0);
+        p.on_insert(&0); // ghost hit
+        // 0 is now in Am: scans through probation must not touch it soon.
+        for k in 10..14u32 {
+            p.on_insert(&k);
+            let victim = p.victim().unwrap();
+            assert_ne!(victim, 0, "ghost-promoted key evicted immediately");
+        }
+    }
+
+    #[test]
+    fn contract() {
+        super::super::check_policy_contract(Box::new(TwoQPolicy::new()));
+    }
+}

@@ -1,0 +1,842 @@
+//! Result-based range cache (Wang et al., ICDE '24; paper Section 2.2).
+//!
+//! Caches query *results* — individual key-value pairs held in a skiplist —
+//! decoupled from the physical block layout, so entries survive compaction.
+//! Alongside the entries, the cache tracks **covered segments**: maximal key
+//! intervals `[start, end)` within which *every live key of the database*
+//! is resident. Coverage is what makes range lookups answerable from cache:
+//!
+//! - a scan `(from, n)` hits iff, walking coverage from `from`, `n` entries
+//!   are found without leaving covered territory (a partial hit still
+//!   requires the full LSM seek, so it counts as a miss — exactly the
+//!   behaviour the paper describes for Range Cache);
+//! - a point lookup inside coverage is answerable even when the key is
+//!   absent (a *negative hit*: the key provably does not exist).
+//!
+//! Coverage stays sound under mutation:
+//! - admitted scan results cover `[from, last_admitted⁺)`;
+//! - writes inside coverage upsert the entry; deletes inside coverage drop
+//!   the entry but keep the segment (covered absence);
+//! - evicting an entry `k` splits its segment into `[s, k)` and `[k⁺, e)`.
+//!
+//! For multi-client use the key space is partitioned into shards, each with
+//! its own lock (paper Section 4.4); scans that exhaust a shard's coverage
+//! at its upper boundary continue into the next shard.
+
+use crate::container::CacheStats;
+use crate::policy::{LruPolicy, Policy};
+use adcache_lsm::SkipList;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-entry bookkeeping overhead added to the byte charge.
+const ENTRY_OVERHEAD: usize = 48;
+
+/// Outcome of a point lookup against the range cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointLookup {
+    /// The key is resident; here is its value.
+    Hit(Bytes),
+    /// The key lies inside a covered segment but has no entry: it provably
+    /// does not exist in the database.
+    NegativeHit,
+    /// The cache cannot answer.
+    Miss,
+}
+
+/// Outcome of a range lookup against the range cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RangeLookup {
+    /// The full result was served from coverage.
+    Hit(Vec<(Bytes, Bytes)>),
+    /// Coverage ran out before `n` entries were collected; the caller must
+    /// fall back to a full LSM scan.
+    Miss,
+}
+
+/// Factory producing one eviction policy per shard.
+pub type RangePolicyFactory = Box<dyn Fn() -> Box<dyn Policy<Bytes>> + Send + Sync>;
+
+#[derive(Debug, Clone, Default)]
+struct CachedVal {
+    value: Bytes,
+}
+
+fn next_key(k: &[u8]) -> Bytes {
+    let mut v = Vec::with_capacity(k.len() + 1);
+    v.extend_from_slice(k);
+    v.push(0);
+    Bytes::from(v)
+}
+
+struct Shard {
+    entries: SkipList<CachedVal>,
+    /// Covered segments: start -> end (end exclusive), disjoint, sorted.
+    segments: BTreeMap<Bytes, Bytes>,
+    policy: Box<dyn Policy<Bytes>>,
+    capacity: usize,
+    used: usize,
+    max_segments: usize,
+    evictions: u64,
+    invalidations: u64,
+    inserts: u64,
+}
+
+/// Segment cap for a given byte capacity: point-heavy workloads create one
+/// segment per cached entry, so the cap must scale with how many entries
+/// the budget can hold (≈ capacity / minimum entry charge), with a floor
+/// for tiny shards. An undersized cap silently prunes live entries, which
+/// shows up as a hit-rate *drop* when the cache grows.
+fn segment_cap(capacity: usize) -> usize {
+    (capacity / 64).max(4096)
+}
+
+impl Shard {
+    fn new(capacity: usize, policy: Box<dyn Policy<Bytes>>) -> Self {
+        Shard {
+            entries: SkipList::new(),
+            segments: BTreeMap::new(),
+            policy,
+            capacity,
+            used: 0,
+            max_segments: segment_cap(capacity),
+            evictions: 0,
+            invalidations: 0,
+            inserts: 0,
+        }
+    }
+
+    fn charge_of(key: &[u8], value: &[u8]) -> usize {
+        key.len() + value.len() + ENTRY_OVERHEAD
+    }
+
+    /// The covered segment containing `key`, if any.
+    fn covering(&self, key: &[u8]) -> Option<(Bytes, Bytes)> {
+        let probe = Bytes::copy_from_slice(key);
+        let (s, e) = self
+            .segments
+            .range::<Bytes, _>((Bound::Unbounded, Bound::Included(&probe)))
+            .next_back()?;
+        (e.as_ref() > key).then(|| (s.clone(), e.clone()))
+    }
+
+    fn upsert_entry(&mut self, key: Bytes, value: Bytes) {
+        let charge = Self::charge_of(&key, &value);
+        match self.entries.get_mut(&key) {
+            Some(slot) => {
+                let old_charge = Self::charge_of(&key, &slot.value);
+                slot.value = value;
+                self.used = self.used - old_charge + charge;
+                self.policy.on_hit(&key);
+            }
+            None => {
+                self.entries.insert(key.clone(), CachedVal { value });
+                self.used += charge;
+                self.policy.on_insert(&key);
+                self.inserts += 1;
+            }
+        }
+    }
+
+    fn remove_entry(&mut self, key: &[u8], via_eviction: bool) -> bool {
+        let Some(val) = self.entries.remove(key) else { return false };
+        self.used -= Self::charge_of(key, &val.value);
+        if via_eviction {
+            self.evictions += 1;
+        } else {
+            self.policy.on_external_remove(&Bytes::copy_from_slice(key));
+            self.invalidations += 1;
+        }
+        true
+    }
+
+    /// Merges `[start, end)` into the segment set.
+    fn add_segment(&mut self, start: Bytes, end: Bytes) {
+        if start >= end {
+            return;
+        }
+        let mut new_start = start.clone();
+        let mut new_end = end.clone();
+        // Overlapping-or-touching segments all have start_key <= end; walk
+        // backwards from there while they still reach our start.
+        let mut doomed = Vec::new();
+        for (s, e) in self
+            .segments
+            .range::<Bytes, _>((Bound::Unbounded, Bound::Included(&end)))
+            .rev()
+        {
+            if e < &start {
+                break;
+            }
+            doomed.push(s.clone());
+            if s < &new_start {
+                new_start = s.clone();
+            }
+            if e > &new_end {
+                new_end = e.clone();
+            }
+        }
+        for s in doomed {
+            self.segments.remove(&s);
+        }
+        self.segments.insert(new_start, new_end);
+        self.prune_segments();
+    }
+
+    /// Splits coverage at `key` (called when `key`'s entry is evicted).
+    fn split_at(&mut self, key: &[u8]) {
+        let Some((s, e)) = self.covering(key) else { return };
+        self.segments.remove(&s);
+        if s.as_ref() < key {
+            self.segments.insert(s, Bytes::copy_from_slice(key));
+        }
+        let right_start = next_key(key);
+        if right_start < e {
+            self.segments.insert(right_start, e);
+        }
+    }
+
+    fn evict_to_capacity(&mut self) {
+        while self.used > self.capacity {
+            let Some(victim) = self.policy.victim() else { break };
+            if self.remove_entry(&victim, true) {
+                self.split_at(&victim);
+            }
+        }
+    }
+
+    /// Bounds segment-map growth: drop whole segments (and their entries)
+    /// from the cold front until under the cap.
+    fn prune_segments(&mut self) {
+        while self.segments.len() > self.max_segments {
+            let Some((s, e)) = self.segments.iter().next().map(|(a, b)| (a.clone(), b.clone()))
+            else {
+                break;
+            };
+            self.segments.remove(&s);
+            let doomed: Vec<Bytes> = self
+                .entries
+                .iter_from(&s)
+                .take_while(|(k, _)| k.as_ref() < e.as_ref())
+                .map(|(k, _)| k.clone())
+                .collect();
+            for k in doomed {
+                self.remove_entry(&k, false);
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        // Segments disjoint and sorted.
+        let mut prev_end: Option<&Bytes> = None;
+        for (s, e) in &self.segments {
+            assert!(s < e, "degenerate segment");
+            if let Some(pe) = prev_end {
+                assert!(pe <= s, "segments overlap");
+            }
+            prev_end = Some(e);
+        }
+        // Every entry lies inside a segment; byte accounting agrees.
+        let mut used = 0usize;
+        for (k, v) in self.entries.iter() {
+            assert!(self.covering(k).is_some(), "orphan entry {:?}", k);
+            used += Self::charge_of(k, &v.value);
+        }
+        assert_eq!(used, self.used, "byte accounting drifted");
+    }
+}
+
+/// A sharded, coverage-tracking result cache for point and range lookups.
+pub struct RangeCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Shard split points; shard `i` owns `[boundaries[i-1], boundaries[i])`.
+    boundaries: Vec<Bytes>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RangeCache {
+    /// A single-shard cache with LRU eviction (the configuration evaluated
+    /// as "Range Cache" in the paper).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_policy(capacity, Box::new(|| Box::new(LruPolicy::new())))
+    }
+
+    /// Single shard, custom eviction policy (e.g. LeCaR or Cacheus).
+    pub fn with_policy(capacity: usize, factory: RangePolicyFactory) -> Self {
+        Self::with_shards(capacity, Vec::new(), factory)
+    }
+
+    /// Sharded construction: `boundaries` are the ascending key-space split
+    /// points; `boundaries.len() + 1` shards are created.
+    pub fn with_shards(capacity: usize, boundaries: Vec<Bytes>, factory: RangePolicyFactory) -> Self {
+        debug_assert!(boundaries.windows(2).all(|w| w[0] < w[1]));
+        let n = boundaries.len() + 1;
+        let per_shard = capacity / n;
+        RangeCache {
+            shards: (0..n).map(|_| Mutex::new(Shard::new(per_shard, factory()))).collect(),
+            boundaries,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_idx(&self, key: &[u8]) -> usize {
+        self.boundaries.partition_point(|b| b.as_ref() <= key)
+    }
+
+    /// Upper boundary of shard `i` (`None` for the last shard).
+    fn shard_end(&self, i: usize) -> Option<&Bytes> {
+        self.boundaries.get(i)
+    }
+
+    /// Point lookup.
+    pub fn get_point(&self, key: &[u8]) -> PointLookup {
+        let mut shard = self.shards[self.shard_idx(key)].lock();
+        if let Some(val) = shard.entries.get(key) {
+            let value = val.value.clone();
+            shard.policy.on_hit(&Bytes::copy_from_slice(key));
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return PointLookup::Hit(value);
+        }
+        if shard.covering(key).is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return PointLookup::NegativeHit;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        PointLookup::Miss
+    }
+
+    /// Walks coverage from `from` collecting up to `n` entries. Returns the
+    /// collected prefix and, when coverage ran out before `n` entries, the
+    /// continuation key: the end of contiguous coverage, i.e. the exact
+    /// point an LSM scan must resume from.
+    fn walk_range(&self, from: &[u8], n: usize) -> (Vec<(Bytes, Bytes)>, Option<Bytes>) {
+        let mut out: Vec<(Bytes, Bytes)> = Vec::with_capacity(n.min(64));
+        let mut current = Bytes::copy_from_slice(from);
+        loop {
+            let idx = self.shard_idx(&current);
+            let mut shard = self.shards[idx].lock();
+            let Some((_, seg_end)) = shard.covering(&current) else {
+                return (out, Some(current));
+            };
+            let mut touched: Vec<Bytes> = Vec::new();
+            for (k, v) in shard.entries.iter_from(&current) {
+                if k >= &seg_end || out.len() >= n {
+                    break;
+                }
+                out.push((k.clone(), v.value.clone()));
+                touched.push(k.clone());
+            }
+            for k in &touched {
+                shard.policy.on_hit(k);
+            }
+            if out.len() >= n {
+                return (out, None);
+            }
+            // Coverage exhausted inside this shard: continue into the next
+            // shard when the segment reaches this shard's upper boundary,
+            // otherwise resume at the coverage end.
+            match self.shard_end(idx) {
+                Some(boundary) if seg_end >= boundary => {
+                    let boundary = boundary.clone();
+                    drop(shard);
+                    current = boundary;
+                }
+                _ => {
+                    return (out, Some(seg_end));
+                }
+            }
+        }
+    }
+
+    /// Range lookup: `n` entries from `from`, served only on full coverage.
+    pub fn get_range(&self, from: &[u8], n: usize) -> RangeLookup {
+        if n == 0 {
+            return RangeLookup::Hit(Vec::new());
+        }
+        let (out, cont) = self.walk_range(from, n);
+        if cont.is_none() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            RangeLookup::Hit(out)
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            RangeLookup::Miss
+        }
+    }
+
+    /// Partial range lookup: serves the covered prefix from cache and
+    /// returns the continuation key for the LSM tail scan. A complete
+    /// answer counts as a hit; anything partial counts as a miss (the
+    /// caller still pays the LSM seek, per the paper), but the prefix's
+    /// data blocks are saved.
+    pub fn get_range_partial(&self, from: &[u8], n: usize) -> (Vec<(Bytes, Bytes)>, Option<Bytes>) {
+        if n == 0 {
+            return (Vec::new(), None);
+        }
+        let (out, cont) = self.walk_range(from, n);
+        if cont.is_none() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        (out, cont)
+    }
+
+    /// Admits the leading `admitted_len` entries of a scan result that
+    /// started at `from` (partial admission; pass `results.len()` for full
+    /// admission). An empty result covers `[from, from⁺)` as a negative
+    /// range.
+    pub fn insert_scan(&self, from: &[u8], results: &[(Bytes, Bytes)], admitted_len: usize) {
+        let admitted = admitted_len.min(results.len());
+        if results.is_empty() {
+            let idx = self.shard_idx(from);
+            let mut shard = self.shards[idx].lock();
+            let start = Bytes::copy_from_slice(from);
+            let end = next_key(from);
+            shard.add_segment(start, end);
+            return;
+        }
+        if admitted == 0 {
+            return;
+        }
+        let cov_start = Bytes::copy_from_slice(from);
+        let cov_end = next_key(&results[admitted - 1].0);
+        // Split the admitted prefix across shards; ascending lock order.
+        let mut i = 0usize;
+        let mut seg_start = cov_start;
+        while i < admitted {
+            let idx = self.shard_idx(&results[i].0);
+            let shard_upper = self.shard_end(idx).cloned();
+            let mut shard = self.shards[idx].lock();
+            let mut last_in_shard = i;
+            while i < admitted {
+                let k = &results[i].0;
+                if let Some(ub) = &shard_upper {
+                    if k >= ub {
+                        break;
+                    }
+                }
+                shard.upsert_entry(results[i].0.clone(), results[i].1.clone());
+                last_in_shard = i;
+                i += 1;
+            }
+            let seg_end = if i >= admitted {
+                cov_end.clone()
+            } else {
+                // More entries in the next shard: cover up to the boundary.
+                shard_upper.clone().unwrap_or_else(|| next_key(&results[last_in_shard].0))
+            };
+            // Clip the segment to this shard's key space.
+            let clipped_start = seg_start.clone();
+            shard.add_segment(clipped_start, seg_end.clone());
+            shard.evict_to_capacity();
+            drop(shard);
+            seg_start = seg_end;
+        }
+    }
+
+    /// Number of leading `keys` currently resident as entries (no stats or
+    /// recency side effects). Partial admission uses this so that repeated
+    /// overlapping scans *extend* coverage instead of re-admitting the same
+    /// prefix — the paper's "overlapping scans naturally accelerate this
+    /// process".
+    pub fn resident_prefix(&self, keys: &[(Bytes, Bytes)]) -> usize {
+        let mut n = 0;
+        for (k, _) in keys {
+            let shard = self.shards[self.shard_idx(k)].lock();
+            if shard.entries.get(k).is_none() {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Admits a single point-lookup result.
+    pub fn insert_point(&self, key: Bytes, value: Bytes) {
+        let idx = self.shard_idx(&key);
+        let mut shard = self.shards[idx].lock();
+        let end = next_key(&key);
+        shard.upsert_entry(key.clone(), value);
+        shard.add_segment(key, end);
+        shard.evict_to_capacity();
+    }
+
+    /// Applies a write so covered ranges never serve stale data: upserts
+    /// inside coverage, drops the entry on delete (coverage itself remains
+    /// valid — the key is correctly absent afterwards).
+    pub fn on_write(&self, key: &[u8], value: Option<&Bytes>) {
+        let idx = self.shard_idx(key);
+        let mut shard = self.shards[idx].lock();
+        match value {
+            Some(v) => {
+                if shard.covering(key).is_some() {
+                    shard.upsert_entry(Bytes::copy_from_slice(key), v.clone());
+                    shard.evict_to_capacity();
+                }
+            }
+            None => {
+                shard.remove_entry(key, false);
+            }
+        }
+    }
+
+    /// Drops every entry and all coverage (capacity unchanged).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            let mut s = s.lock();
+            let keys: Vec<Bytes> = s.entries.iter().map(|(k, _)| k.clone()).collect();
+            for k in keys {
+                s.remove_entry(&k, false);
+            }
+            s.entries.clear();
+            s.segments.clear();
+            s.used = 0;
+        }
+    }
+
+    /// Re-targets the total byte budget (split across shards).
+    pub fn set_capacity(&self, capacity: usize) {
+        let per_shard = capacity / self.shards.len();
+        for s in &self.shards {
+            let mut s = s.lock();
+            s.capacity = per_shard;
+            s.max_segments = segment_cap(per_shard);
+            s.evict_to_capacity();
+            s.prune_segments();
+        }
+    }
+
+    /// Total byte budget.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().capacity).sum()
+    }
+
+    /// Bytes resident.
+    pub fn used(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().used).sum()
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
+    }
+
+    /// Whether no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of covered segments across shards.
+    pub fn segment_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().segments.len()).sum()
+    }
+
+    /// Query-level counters (one hit or miss per lookup, as the paper
+    /// measures) plus entry-level insert/evict/invalidation counts.
+    pub fn stats(&self) -> CacheStats {
+        let mut st = CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            ..CacheStats::default()
+        };
+        for s in &self.shards {
+            let s = s.lock();
+            st.inserts += s.inserts;
+            st.evictions += s.evictions;
+            st.invalidations += s.invalidations;
+        }
+        st
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        for s in &self.shards {
+            s.lock().check_invariants();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn kv(i: usize) -> (Bytes, Bytes) {
+        (Bytes::from(format!("key{i:04}")), Bytes::from(format!("val{i:04}")))
+    }
+
+    fn scan_result(from: usize, n: usize) -> Vec<(Bytes, Bytes)> {
+        (from..from + n).map(kv).collect()
+    }
+
+    #[test]
+    fn point_hit_negative_hit_and_miss() {
+        let c = RangeCache::new(1 << 20);
+        // Cover keys 10..20 (keys are every index, so all present).
+        c.insert_scan(&kv(10).0, &scan_result(10, 10), 10);
+        assert_eq!(c.get_point(&kv(12).0), PointLookup::Hit(kv(12).1));
+        // A key inside coverage but absent from the DB result: negative.
+        assert_eq!(c.get_point(b"key0012x"), PointLookup::NegativeHit);
+        assert_eq!(c.get_point(&kv(30).0), PointLookup::Miss);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn range_hit_requires_full_coverage() {
+        let c = RangeCache::new(1 << 20);
+        c.insert_scan(&kv(10).0, &scan_result(10, 10), 10);
+        match c.get_range(&kv(10).0, 10) {
+            RangeLookup::Hit(v) => {
+                assert_eq!(v.len(), 10);
+                assert_eq!(v[0], kv(10));
+                assert_eq!(v[9], kv(19));
+            }
+            RangeLookup::Miss => panic!("full coverage must hit"),
+        }
+        // Interior start works too.
+        match c.get_range(&kv(15).0, 5) {
+            RangeLookup::Hit(v) => assert_eq!(v.len(), 5),
+            RangeLookup::Miss => panic!(),
+        }
+        // Asking past coverage is a miss (partial hit = miss).
+        assert_eq!(c.get_range(&kv(15).0, 10), RangeLookup::Miss);
+        assert_eq!(c.get_range(&kv(50).0, 1), RangeLookup::Miss);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn overlapping_scans_merge_coverage() {
+        let c = RangeCache::new(1 << 20);
+        c.insert_scan(&kv(10).0, &scan_result(10, 10), 10);
+        c.insert_scan(&kv(18).0, &scan_result(18, 10), 10);
+        assert_eq!(c.segment_count(), 1, "overlapping coverage must merge");
+        match c.get_range(&kv(10).0, 18) {
+            RangeLookup::Hit(v) => assert_eq!(v.len(), 18),
+            RangeLookup::Miss => panic!("merged coverage must serve the union"),
+        }
+        c.check_invariants();
+    }
+
+    #[test]
+    fn partial_admission_covers_only_prefix() {
+        let c = RangeCache::new(1 << 20);
+        let results = scan_result(0, 64);
+        c.insert_scan(&results[0].0, &results, 20);
+        assert_eq!(c.len(), 20);
+        match c.get_range(&kv(0).0, 20) {
+            RangeLookup::Hit(v) => assert_eq!(v.len(), 20),
+            RangeLookup::Miss => panic!("admitted prefix must hit"),
+        }
+        assert_eq!(c.get_range(&kv(0).0, 21), RangeLookup::Miss);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn eviction_splits_coverage() {
+        let c = RangeCache::new(1 << 20);
+        c.insert_scan(&kv(0).0, &scan_result(0, 10), 10);
+        // Evict by shrinking capacity to ~5 entries' worth.
+        let per_entry = 7 + 7 + 48;
+        c.set_capacity(5 * per_entry);
+        assert!(c.len() <= 5);
+        assert!(c.segment_count() >= 1);
+        // Whatever remains must still answer correctly (hits only on
+        // still-covered keys, never stale data).
+        for i in 0..10 {
+            match c.get_point(&kv(i).0) {
+                PointLookup::Hit(v) => assert_eq!(v, kv(i).1),
+                PointLookup::NegativeHit => panic!("evicted key {i} must not be negative"),
+                PointLookup::Miss => {}
+            }
+        }
+        c.check_invariants();
+    }
+
+    #[test]
+    fn writes_inside_coverage_stay_fresh() {
+        let c = RangeCache::new(1 << 20);
+        c.insert_scan(&kv(0).0, &scan_result(0, 10), 10);
+        // Overwrite a covered key.
+        c.on_write(&kv(3).0, Some(&b("updated")));
+        assert_eq!(c.get_point(&kv(3).0), PointLookup::Hit(b("updated")));
+        // Insert a brand-new key inside coverage.
+        c.on_write(b"key0003x", Some(&b("fresh")));
+        assert_eq!(c.get_point(b"key0003x"), PointLookup::Hit(b("fresh")));
+        // The new key appears in range results.
+        match c.get_range(&kv(3).0, 3) {
+            RangeLookup::Hit(v) => {
+                assert_eq!(v[0].0, kv(3).0);
+                assert_eq!(v[1].0.as_ref(), b"key0003x");
+                assert_eq!(v[2].0, kv(4).0);
+            }
+            RangeLookup::Miss => panic!(),
+        }
+        // Delete a covered key: negative afterwards, and scans skip it.
+        c.on_write(&kv(5).0, None);
+        assert_eq!(c.get_point(&kv(5).0), PointLookup::NegativeHit);
+        match c.get_range(&kv(4).0, 3) {
+            RangeLookup::Hit(v) => {
+                let keys: Vec<&[u8]> = v.iter().map(|(k, _)| k.as_ref()).collect();
+                assert_eq!(keys, vec![&kv(4).0[..], &kv(6).0[..], &kv(7).0[..]]);
+            }
+            RangeLookup::Miss => panic!(),
+        }
+        // Writes outside coverage are ignored.
+        c.on_write(b"zzz", Some(&b("x")));
+        assert_eq!(c.get_point(b"zzz"), PointLookup::Miss);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn empty_scan_result_caches_negatively() {
+        let c = RangeCache::new(1 << 20);
+        c.insert_scan(b"nokeyhere", &[], 0);
+        assert_eq!(c.get_point(b"nokeyhere"), PointLookup::NegativeHit);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn insert_point_enables_point_hits() {
+        let c = RangeCache::new(1 << 20);
+        c.insert_point(kv(7).0, kv(7).1);
+        assert_eq!(c.get_point(&kv(7).0), PointLookup::Hit(kv(7).1));
+        assert_eq!(c.get_point(&kv(8).0), PointLookup::Miss);
+        // A degenerate single-key segment also answers 1-length scans.
+        match c.get_range(&kv(7).0, 1) {
+            RangeLookup::Hit(v) => assert_eq!(v.len(), 1),
+            RangeLookup::Miss => panic!(),
+        }
+        c.check_invariants();
+    }
+
+    #[test]
+    fn sharded_cache_serves_cross_boundary_scans() {
+        let factory: RangePolicyFactory = Box::new(|| Box::new(LruPolicy::new()));
+        let c = RangeCache::with_shards(1 << 20, vec![b("key0005"), b("key0010")], factory);
+        // Scan result spanning all three shards.
+        c.insert_scan(&kv(0).0, &scan_result(0, 15), 15);
+        assert!(c.segment_count() >= 3, "coverage split across shards");
+        match c.get_range(&kv(0).0, 15) {
+            RangeLookup::Hit(v) => {
+                assert_eq!(v.len(), 15);
+                for (i, (k, _)) in v.iter().enumerate() {
+                    assert_eq!(k, &kv(i).0);
+                }
+            }
+            RangeLookup::Miss => panic!("cross-shard coverage must serve"),
+        }
+        // Point lookups land in the right shard.
+        assert_eq!(c.get_point(&kv(7).0), PointLookup::Hit(kv(7).1));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn stats_count_queries_not_entries() {
+        let c = RangeCache::new(1 << 20);
+        c.insert_scan(&kv(0).0, &scan_result(0, 16), 16);
+        c.get_range(&kv(0).0, 16); // 1 hit even though 16 entries touched
+        c.get_range(&kv(100).0, 4); // 1 miss
+        let st = c.stats();
+        assert_eq!((st.hits, st.misses), (1, 1));
+        assert_eq!(st.inserts, 16);
+    }
+
+    #[test]
+    fn partial_lookup_returns_prefix_and_continuation() {
+        let c = RangeCache::new(1 << 20);
+        c.insert_scan(&kv(10).0, &scan_result(10, 8), 8);
+        // Fully covered request.
+        let (out, cont) = c.get_range_partial(&kv(10).0, 8);
+        assert_eq!(out.len(), 8);
+        assert!(cont.is_none());
+        // Longer request: prefix + continuation at the coverage end, which
+        // is the successor bound of the last cached key.
+        let (out, cont) = c.get_range_partial(&kv(10).0, 20);
+        assert_eq!(out.len(), 8);
+        let cont = cont.unwrap();
+        assert!(cont.as_ref() > kv(17).0.as_ref() && cont.as_ref() <= kv(18).0.as_ref());
+        // Uncovered start: empty prefix, continuation = from.
+        let (out, cont) = c.get_range_partial(&kv(50).0, 4);
+        assert!(out.is_empty());
+        assert_eq!(cont.unwrap(), kv(50).0);
+        // n = 0 short-circuits.
+        let (out, cont) = c.get_range_partial(&kv(10).0, 0);
+        assert!(out.is_empty() && cont.is_none());
+        c.check_invariants();
+    }
+
+    #[test]
+    fn partial_lookup_plus_tail_reconstructs_full_scan() {
+        // Simulate the engine's composed path: cached prefix + "LSM" tail
+        // inserted at the continuation must produce growing coverage that
+        // eventually serves the whole scan.
+        let c = RangeCache::new(1 << 20);
+        let full: Vec<(Bytes, Bytes)> = scan_result(0, 64);
+        c.insert_scan(&full[0].0, &full[..16], 16);
+        let (prefix, cont) = c.get_range_partial(&full[0].0, 64);
+        assert_eq!(prefix.len(), 16);
+        let cont = cont.unwrap();
+        // "LSM scan" of the tail = everything at/after the continuation.
+        let tail: Vec<(Bytes, Bytes)> =
+            full.iter().filter(|(k, _)| k >= &cont).cloned().collect();
+        assert_eq!(prefix.len() + tail.len(), 64, "no gap, no overlap");
+        c.insert_scan(&cont, &tail, tail.len());
+        match c.get_range(&full[0].0, 64) {
+            RangeLookup::Hit(v) => assert_eq!(v, full),
+            RangeLookup::Miss => panic!("merged coverage must serve the full scan"),
+        }
+        c.check_invariants();
+    }
+
+    #[test]
+    fn resident_prefix_counts_leading_entries() {
+        let c = RangeCache::new(1 << 20);
+        let results = scan_result(0, 10);
+        c.insert_scan(&results[0].0, &results, 4);
+        assert_eq!(c.resident_prefix(&results), 4);
+        assert_eq!(c.resident_prefix(&results[4..]), 0);
+        assert_eq!(c.resident_prefix(&[]), 0);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let c = RangeCache::new(1 << 20);
+        c.insert_scan(&kv(0).0, &scan_result(0, 32), 32);
+        assert!(!c.is_empty());
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.segment_count(), 0);
+        assert_eq!(c.used(), 0);
+        assert_eq!(c.get_point(&kv(3).0), PointLookup::Miss);
+        // Reusable afterwards.
+        c.insert_scan(&kv(0).0, &scan_result(0, 4), 4);
+        assert_eq!(c.len(), 4);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn capacity_shrink_keeps_invariants() {
+        let c = RangeCache::new(1 << 20);
+        for start in (0..500).step_by(50) {
+            c.insert_scan(&kv(start).0, &scan_result(start, 30), 30);
+        }
+        c.set_capacity(2000);
+        assert!(c.used() <= 2000);
+        c.check_invariants();
+        // Everything still answers without panicking.
+        for i in (0..500).step_by(7) {
+            let _ = c.get_point(&kv(i).0);
+            let _ = c.get_range(&kv(i).0, 5);
+        }
+        c.check_invariants();
+    }
+}

@@ -1,0 +1,200 @@
+//! Count-Min Sketch with saturation-halving decay.
+//!
+//! AdCache's point-lookup admission (paper Section 3.4) tracks miss
+//! frequencies "in a compact data structure (e.g., Count-Min Sketch)". To
+//! keep counts bounded and responsive, once a key's estimate reaches the
+//! saturation point (default 8) every counter and the global sum are halved
+//! — the TinyLFU aging mechanism — so stale or bursty keys fade while
+//! consistently hot keys stay ranked on top.
+
+/// A Count-Min Sketch over byte-string keys.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    /// `depth` rows of `width` counters each.
+    rows: Vec<Vec<u32>>,
+    width: usize,
+    /// Sum of all recorded increments (halved on decay). The denominator of
+    /// AdCache's normalized importance score.
+    total: u64,
+    /// Counter value that triggers a global halving.
+    saturation: u32,
+    /// Number of decays performed (observability).
+    decays: u64,
+}
+
+fn hash_with_seed(data: &[u8], seed: u64) -> u64 {
+    let mut h = seed ^ 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with `width` counters per row and `depth` rows.
+    pub fn new(width: usize, depth: usize, saturation: u32) -> Self {
+        assert!(width > 0 && depth > 0 && saturation > 1);
+        CountMinSketch {
+            rows: vec![vec![0u32; width]; depth],
+            width,
+            total: 0,
+            saturation,
+            decays: 0,
+        }
+    }
+
+    /// A sketch sized for roughly `keys` distinct hot keys at ~1% relative
+    /// error, with the paper's default saturation of 8.
+    pub fn for_keys(keys: usize) -> Self {
+        Self::new((keys * 4).next_power_of_two().max(1024), 4, 8)
+    }
+
+    /// Records one occurrence of `key` and returns its new estimate.
+    /// Triggers a global halving when the estimate reaches saturation.
+    pub fn increment(&mut self, key: &[u8]) -> u32 {
+        let mut est = u32::MAX;
+        for (row_no, row) in self.rows.iter_mut().enumerate() {
+            let idx = hash_with_seed(key, row_no as u64) as usize % self.width;
+            row[idx] = row[idx].saturating_add(1);
+            est = est.min(row[idx]);
+        }
+        self.total += 1;
+        if est >= self.saturation {
+            self.decay();
+            est = self.estimate(key);
+        }
+        est
+    }
+
+    /// Point estimate (upper bound) of `key`'s frequency.
+    pub fn estimate(&self, key: &[u8]) -> u32 {
+        let mut est = u32::MAX;
+        for (row_no, row) in self.rows.iter().enumerate() {
+            let idx = hash_with_seed(key, row_no as u64) as usize % self.width;
+            est = est.min(row[idx]);
+        }
+        est
+    }
+
+    /// `key`'s frequency normalized by the global sum — the paper's
+    /// "normalized importance" admission score.
+    pub fn normalized_score(&self, key: &[u8]) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.estimate(key) as f64 / self.total as f64
+    }
+
+    /// Halves every counter and the global sum.
+    pub fn decay(&mut self) {
+        for row in &mut self.rows {
+            for c in row.iter_mut() {
+                *c >>= 1;
+            }
+        }
+        self.total >>= 1;
+        self.decays += 1;
+    }
+
+    /// Sum of all increments since the last decay cascade.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of halvings performed.
+    pub fn decays(&self) -> u64 {
+        self.decays
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.len() * self.width * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_never_undercount_before_decay() {
+        let mut s = CountMinSketch::new(1024, 4, u32::MAX - 1);
+        for i in 0..200u32 {
+            let key = format!("k{i}");
+            for _ in 0..=(i % 5) {
+                s.increment(key.as_bytes());
+            }
+        }
+        for i in 0..200u32 {
+            let key = format!("k{i}");
+            assert!(s.estimate(key.as_bytes()) > (i % 5));
+        }
+    }
+
+    #[test]
+    fn hot_keys_rank_above_cold_keys() {
+        let mut s = CountMinSketch::for_keys(1000);
+        for _ in 0..6 {
+            s.increment(b"hot");
+        }
+        s.increment(b"cold");
+        assert!(s.normalized_score(b"hot") > s.normalized_score(b"cold"));
+        assert!(s.normalized_score(b"never-seen") <= s.normalized_score(b"cold"));
+    }
+
+    #[test]
+    fn saturation_triggers_halving() {
+        let mut s = CountMinSketch::new(64, 4, 8);
+        for _ in 0..7 {
+            s.increment(b"k");
+        }
+        assert_eq!(s.decays(), 0);
+        s.increment(b"k"); // reaches 8 -> decay
+        assert_eq!(s.decays(), 1);
+        assert_eq!(s.estimate(b"k"), 4);
+        assert_eq!(s.total(), 4);
+    }
+
+    #[test]
+    fn decay_preserves_relative_order() {
+        let mut s = CountMinSketch::new(4096, 4, 8);
+        for _ in 0..6 {
+            s.increment(b"hot");
+        }
+        for i in 0..50u32 {
+            s.increment(format!("cold{i}").as_bytes());
+        }
+        s.decay();
+        assert!(s.estimate(b"hot") > s.estimate(b"cold7"));
+    }
+
+    #[test]
+    fn one_off_keys_have_tiny_scores() {
+        let mut s = CountMinSketch::for_keys(10_000);
+        for _ in 0..7 {
+            s.increment(b"hot");
+        }
+        for i in 0..1000u32 {
+            s.increment(format!("one-off-{i}").as_bytes());
+        }
+        let hot = s.normalized_score(b"hot");
+        let one_off = s.normalized_score(b"one-off-5");
+        assert!(hot > 4.0 * one_off, "hot={hot} one_off={one_off}");
+    }
+
+    #[test]
+    fn memory_footprint_is_reported() {
+        let s = CountMinSketch::new(1024, 4, 8);
+        assert_eq!(s.memory_bytes(), 1024 * 4 * 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_is_rejected() {
+        CountMinSketch::new(0, 4, 8);
+    }
+}

@@ -1,0 +1,221 @@
+//! Property tests for the cache substrate.
+//!
+//! The central soundness property: whatever sequence of scans, writes,
+//! deletes, capacity changes and evictions occurs, the range cache must
+//! never return an answer that disagrees with the ground-truth database
+//! state. Misses are always allowed; wrong hits never are.
+
+use adcache_cache::{PointLookup, RangeCache, RangeLookup};
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+type Db = BTreeMap<Bytes, Bytes>;
+
+fn key(k: u16) -> Bytes {
+    Bytes::from(format!("k{k:05}"))
+}
+
+fn scan_db(db: &Db, from: &Bytes, n: usize) -> Vec<(Bytes, Bytes)> {
+    db.range(from.clone()..).take(n).map(|(a, b)| (a.clone(), b.clone())).collect()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Run a scan against the DB and admit a prefix into the cache.
+    ScanAndAdmit(u16, u8, u8),
+    /// Query the cache for a range and check against ground truth.
+    CheckRange(u16, u8),
+    /// Query the cache for a point and check against ground truth.
+    CheckPoint(u16),
+    /// Write through: mutate DB and notify the cache.
+    Write(u16, u8),
+    /// Delete through: mutate DB and notify the cache.
+    Delete(u16),
+    /// Shrink or grow the cache budget.
+    Resize(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<u16>(), 1u8..40, any::<u8>()).prop_map(|(k, n, a)| Op::ScanAndAdmit(k % 300, n, a)),
+        3 => (any::<u16>(), 1u8..40).prop_map(|(k, n)| Op::CheckRange(k % 300, n)),
+        3 => any::<u16>().prop_map(|k| Op::CheckPoint(k % 300)),
+        2 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Write(k % 300, v)),
+        1 => any::<u16>().prop_map(|k| Op::Delete(k % 300)),
+        1 => (1000u32..100_000).prop_map(Op::Resize),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn range_cache_never_serves_stale_data(
+        seed_keys in proptest::collection::btree_set(any::<u16>(), 0..200),
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+        shards in 1usize..4,
+    ) {
+        // Ground truth DB.
+        let mut db: Db = seed_keys
+            .into_iter()
+            .map(|k| (key(k % 300), Bytes::from(format!("v{k}"))))
+            .collect();
+
+        let boundaries: Vec<Bytes> = match shards {
+            1 => vec![],
+            2 => vec![key(150)],
+            _ => vec![key(100), key(200)],
+        };
+        let cache = RangeCache::with_shards(
+            50_000,
+            boundaries,
+            Box::new(|| Box::new(adcache_cache::LruPolicy::new())),
+        );
+
+        for op in ops {
+            match op {
+                Op::ScanAndAdmit(k, n, admit_frac) => {
+                    let from = key(k);
+                    let results = scan_db(&db, &from, n as usize);
+                    let admitted = (results.len() * (admit_frac as usize % 101)) / 100;
+                    cache.insert_scan(&from, &results, admitted.max(if results.is_empty() { 0 } else { 1 }));
+                }
+                Op::CheckRange(k, n) => {
+                    let from = key(k);
+                    if let RangeLookup::Hit(got) = cache.get_range(&from, n as usize) {
+                        let want = scan_db(&db, &from, n as usize);
+                        // A hit must return exactly the ground truth prefix.
+                        prop_assert_eq!(&got, &want, "range hit diverged at k={} n={}", k, n);
+                    }
+                }
+                Op::CheckPoint(k) => {
+                    let probe = key(k);
+                    match cache.get_point(&probe) {
+                        PointLookup::Hit(v) => {
+                            prop_assert_eq!(Some(&v), db.get(&probe), "stale point hit k={}", k);
+                        }
+                        PointLookup::NegativeHit => {
+                            prop_assert!(!db.contains_key(&probe), "false negative-hit k={}", k);
+                        }
+                        PointLookup::Miss => {}
+                    }
+                }
+                Op::Write(k, v) => {
+                    let val = Bytes::from(format!("w{v}"));
+                    db.insert(key(k), val.clone());
+                    cache.on_write(&key(k), Some(&val));
+                }
+                Op::Delete(k) => {
+                    db.remove(&key(k));
+                    cache.on_write(&key(k), None);
+                }
+                Op::Resize(cap) => {
+                    cache.set_capacity(cap as usize);
+                }
+            }
+        }
+
+        // Exhaustive final check over the whole key space.
+        for k in 0..300u16 {
+            let probe = key(k);
+            match cache.get_point(&probe) {
+                PointLookup::Hit(v) => prop_assert_eq!(Some(&v), db.get(&probe)),
+                PointLookup::NegativeHit => prop_assert!(!db.contains_key(&probe)),
+                PointLookup::Miss => {}
+            }
+            if let RangeLookup::Hit(got) = cache.get_range(&probe, 10) {
+                prop_assert_eq!(got, scan_db(&db, &probe, 10));
+            }
+        }
+    }
+
+    #[test]
+    fn charged_cache_capacity_invariant(
+        ops in proptest::collection::vec((any::<u16>(), 1usize..200, any::<bool>()), 1..300),
+        cap in 100usize..2000,
+    ) {
+        use adcache_cache::{ChargedCache, LfuPolicy};
+        let mut c: ChargedCache<u16, u64> = ChargedCache::new(cap, Box::new(LfuPolicy::new()));
+        for (k, charge, is_get) in ops {
+            if is_get {
+                c.get(&k);
+            } else {
+                c.insert(k, k as u64, charge);
+            }
+            prop_assert!(c.used() <= c.capacity(), "used {} > cap {}", c.used(), c.capacity());
+        }
+        let stats = c.stats();
+        prop_assert!(stats.inserts >= c.len() as u64);
+    }
+
+    #[test]
+    fn sketch_estimate_upper_bounds_truth(
+        keys in proptest::collection::vec(any::<u8>(), 1..500,)
+    ) {
+        use adcache_cache::CountMinSketch;
+        // Disable decay to test the pure CMS overcount property.
+        let mut s = CountMinSketch::new(512, 4, u32::MAX - 1);
+        let mut truth: BTreeMap<u8, u32> = BTreeMap::new();
+        for k in keys {
+            s.increment(&[k]);
+            *truth.entry(k).or_insert(0) += 1;
+        }
+        for (k, count) in truth {
+            prop_assert!(s.estimate(&[k]) >= count);
+        }
+    }
+}
+
+/// Reference-model check: `LruPolicy` must agree exactly with a simple
+/// `VecDeque`-based LRU under arbitrary access traces.
+mod lru_reference {
+    use adcache_cache::{LruPolicy, Policy};
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    struct RefLru {
+        order: VecDeque<u16>, // front = LRU
+    }
+
+    impl RefLru {
+        fn touch(&mut self, k: u16) {
+            if let Some(i) = self.order.iter().position(|&x| x == k) {
+                self.order.remove(i);
+            }
+            self.order.push_back(k);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn lru_matches_reference(ops in proptest::collection::vec((any::<u16>(), 0u8..3), 1..400)) {
+            let mut policy = LruPolicy::new();
+            let mut reference = RefLru { order: VecDeque::new() };
+            for (k, action) in ops {
+                let k = k % 32;
+                let resident = reference.order.contains(&k);
+                match action {
+                    0 if !resident => {
+                        policy.on_insert(&k);
+                        reference.touch(k);
+                    }
+                    1 if resident => {
+                        policy.on_hit(&k);
+                        reference.touch(k);
+                    }
+                    2 if resident => {
+                        let expect = reference.order.pop_front();
+                        prop_assert_eq!(policy.victim(), expect);
+                    }
+                    _ => {}
+                }
+            }
+            // Full drain agrees.
+            while let Some(expect) = reference.order.pop_front() {
+                prop_assert_eq!(policy.victim(), Some(expect));
+            }
+            prop_assert_eq!(policy.victim(), None);
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! `adcache` — an interactive shell over an AdCache-managed LSM store.
+//!
+//! ```text
+//! adcache [--dir PATH] [--cache-mb N] [--strategy NAME] [--mem]
+//! ```
+//!
+//! With `--dir`, the store is durable: SSTables live under `PATH/sst`, the
+//! WAL and manifest under `PATH/meta`, and a restart recovers everything.
+//! With `--mem` (default when no `--dir` is given) the store is an
+//! in-memory simulation with I/O counting.
+//!
+//! Commands: `put`, `get`, `del`, `scan`, `fill`, `bench`, `stats`,
+//! `tune`, `flush`, `help`, `quit`.
+
+use adcache_core::{
+    AsyncController, CachedDb, ControllerConfig, EngineConfig, Snapshot, Strategy,
+};
+use adcache_lsm::{FileStorage, MemStorage, Options};
+use adcache_workload::{render_key, Mix, WorkloadConfig, WorkloadGen};
+use bytes::Bytes;
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+struct CliConfig {
+    dir: Option<std::path::PathBuf>,
+    cache_mb: usize,
+    strategy: Strategy,
+}
+
+fn parse_strategy(name: &str) -> Result<Strategy, String> {
+    Strategy::all()
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = Strategy::all().iter().map(|s| s.name()).collect();
+            format!("unknown strategy {name}; choose one of {}", names.join(", "))
+        })
+}
+
+fn parse_args() -> Result<CliConfig, String> {
+    let mut cfg =
+        CliConfig { dir: None, cache_mb: 64, strategy: Strategy::AdCache };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dir" => {
+                i += 1;
+                cfg.dir = Some(args.get(i).ok_or("--dir needs a path")?.into());
+            }
+            "--cache-mb" => {
+                i += 1;
+                cfg.cache_mb = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--cache-mb needs a number")?;
+            }
+            "--strategy" => {
+                i += 1;
+                cfg.strategy = parse_strategy(args.get(i).ok_or("--strategy needs a name")?)?;
+            }
+            "--mem" => cfg.dir = None,
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+        i += 1;
+    }
+    Ok(cfg)
+}
+
+fn print_help() {
+    println!(
+        "adcache — interactive AdCache key-value shell\n\
+         \n\
+         flags:\n\
+         \x20 --dir PATH        durable store rooted at PATH (default: in-memory)\n\
+         \x20 --cache-mb N      total cache budget in MiB (default 64)\n\
+         \x20 --strategy NAME   rocksdb-block | kv-cache | range-cache |\n\
+         \x20                   range-lecar | range-cacheus | adcache (default)\n\
+         \n\
+         commands:\n\
+         \x20 put <key> <value>   insert or overwrite\n\
+         \x20 get <key>           point lookup\n\
+         \x20 del <key>           delete\n\
+         \x20 scan <key> <n>      n entries from key\n\
+         \x20 fill <n>            load n synthetic keys (user000...)\n\
+         \x20 bench <n> <mix>     run n ops of mix point|scan|mixed|write\n\
+         \x20 stats               cache + engine statistics\n\
+         \x20 tune                current AdCache decision parameters\n\
+         \x20 flush               flush the memtable\n\
+         \x20 help | quit"
+    );
+}
+
+fn build_db(cfg: &CliConfig) -> Result<CachedDb, Box<dyn std::error::Error>> {
+    let engine = EngineConfig::new(cfg.strategy, cfg.cache_mb << 20);
+    let db = match &cfg.dir {
+        Some(dir) => {
+            let storage = Arc::new(FileStorage::open(dir.join("sst"))?);
+            println!(
+                "durable store at {} (strategy {}, cache {} MiB)",
+                dir.display(),
+                cfg.strategy.name(),
+                cfg.cache_mb
+            );
+            CachedDb::with_durability(Options::default(), storage, dir.join("meta"), engine)?
+        }
+        None => {
+            println!(
+                "in-memory store (strategy {}, cache {} MiB)",
+                cfg.strategy.name(),
+                cfg.cache_mb
+            );
+            CachedDb::new(Options::small(), Arc::new(MemStorage::new()), engine)?
+        }
+    };
+    Ok(db)
+}
+
+fn cmd_stats(db: &CachedDb) {
+    let snap = db.snapshot();
+    println!(
+        "ops: {} gets, {} scans, {} writes",
+        snap.points, snap.scans, snap.writes
+    );
+    println!(
+        "cache: {} result hits, {} kv hits, {} misses",
+        snap.range_hits, snap.kv_hits, snap.cache_misses
+    );
+    if let Some(bc) = db.block_cache() {
+        let s = bc.stats();
+        println!(
+            "block cache: {}/{} bytes, {} blocks, {} hits / {} misses, {} invalidated",
+            bc.used(),
+            bc.capacity(),
+            bc.len(),
+            s.hits,
+            s.misses,
+            s.invalidations
+        );
+    }
+    if let Some(rc) = db.range_cache() {
+        let s = rc.stats();
+        println!(
+            "range cache: {}/{} bytes, {} entries, {} segments, {} hits / {} misses",
+            rc.used(),
+            rc.capacity(),
+            rc.len(),
+            rc.segment_count(),
+            s.hits,
+            s.misses
+        );
+    }
+    println!(
+        "engine: {} SST reads (queries), {} compactions, {} flushes, {} runs / {} levels",
+        db.db().query_block_reads(),
+        db.db().stats().compactions(),
+        db.db().stats().flushes.load(std::sync::atomic::Ordering::Relaxed),
+        db.db().num_runs(),
+        db.db().num_levels(),
+    );
+    println!("write amplification: {:.2}x", db.db().write_amplification());
+    println!(
+        "device: {} reads, {} writes, {:.1} ms simulated",
+        db.db().storage().stats().reads(),
+        db.db().storage().stats().writes(),
+        db.db().storage().stats().simulated_ns() as f64 / 1e6,
+    );
+}
+
+/// The shell's engine plus the background tuner: every `window` operations
+/// the observed window is shipped to the tuning thread and the freshest
+/// decision is applied — the online loop of the paper, driven from a REPL.
+struct Shell {
+    db: CachedDb,
+    tuner: Option<AsyncController>,
+    window: u64,
+    ops_in_window: std::cell::Cell<u64>,
+    win_start: std::cell::Cell<Snapshot>,
+}
+
+impl Shell {
+    fn new(db: CachedDb) -> Self {
+        let tuner = (db.strategy() == Strategy::AdCache).then(|| {
+            AsyncController::new(ControllerConfig { window: 1000, hidden: 64, ..Default::default() })
+        });
+        let win_start = std::cell::Cell::new(db.snapshot());
+        Shell { db, tuner, window: 1000, ops_in_window: std::cell::Cell::new(0), win_start }
+    }
+
+    fn exec(&self, op: &adcache_workload::Operation) -> adcache_lsm::Result<()> {
+        adcache_core::execute(&self.db, op)?;
+        self.tick();
+        Ok(())
+    }
+
+    fn tick(&self) {
+        let n = self.ops_in_window.get() + 1;
+        self.ops_in_window.set(n);
+        if n.is_multiple_of(self.window) {
+            if let Some(t) = &self.tuner {
+                let w = self.db.window_summary(&self.win_start.get());
+                t.submit(w);
+                self.db.apply_decision(&t.latest_decision());
+                self.win_start.set(self.db.snapshot());
+            }
+        }
+    }
+}
+
+fn cmd_bench(shell: &Shell, n: u64, mix_name: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let db = &shell.db;
+    let mix = match mix_name {
+        "point" => Mix::new(100.0, 0.0, 0.0, 0.0),
+        "scan" => Mix::new(0.0, 80.0, 20.0, 0.0),
+        "write" => Mix::new(0.0, 0.0, 0.0, 100.0),
+        "mixed" => Mix::new(40.0, 25.0, 5.0, 30.0),
+        other => return Err(format!("unknown mix {other} (point|scan|write|mixed)").into()),
+    };
+    let keys = 100_000;
+    let mut gen = WorkloadGen::new(WorkloadConfig { num_keys: keys, ..Default::default() });
+    let reads_before = db.db().query_block_reads();
+    let start = std::time::Instant::now();
+    for _ in 0..n {
+        shell.exec(&gen.next_op(&mix))?;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "{n} ops in {:.2}s ({:.0} ops/s wall), {} SST reads",
+        secs,
+        n as f64 / secs,
+        db.db().query_block_reads() - reads_before
+    );
+    Ok(())
+}
+
+fn handle(shell: &Shell, line: &str) -> Result<bool, Box<dyn std::error::Error>> {
+    let db = &shell.db;
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    match parts.as_slice() {
+        [] => {}
+        ["quit" | "exit"] => return Ok(false),
+        ["help"] => print_help(),
+        ["put", key, value] => {
+            db.put(Bytes::copy_from_slice(key.as_bytes()), Bytes::copy_from_slice(value.as_bytes()))?;
+            shell.tick();
+            println!("ok");
+        }
+        ["get", key] => {
+            let got = db.get(key.as_bytes())?;
+            shell.tick();
+            match got {
+                Some(v) => println!("{}", String::from_utf8_lossy(&v)),
+                None => println!("(not found)"),
+            }
+        }
+        ["del", key] => {
+            db.delete(Bytes::copy_from_slice(key.as_bytes()))?;
+            println!("ok");
+        }
+        ["scan", key, n] => {
+            let n: usize = n.parse()?;
+            let page = db.scan(key.as_bytes(), n)?;
+            shell.tick();
+            for (k, v) in page {
+                println!("{} = {}", String::from_utf8_lossy(&k), String::from_utf8_lossy(&v));
+            }
+        }
+        ["fill", n] => {
+            let n: u64 = n.parse()?;
+            for i in 0..n {
+                db.put(render_key(i), Bytes::from(format!("value-{i}")))?;
+            }
+            println!("loaded {n} keys (user000... series)");
+        }
+        ["bench", n, mix] => cmd_bench(shell, n.parse()?, mix)?,
+        ["stats"] => cmd_stats(db),
+        ["tune"] => {
+            if db.strategy() == Strategy::AdCache {
+                let s = db.snapshot();
+                println!(
+                    "strategy adcache; observed so far: {} gets / {} scans / {} writes",
+                    s.points, s.scans, s.writes
+                );
+                if let (Some(bc), Some(rc)) = (db.block_cache(), db.range_cache()) {
+                    let total = (bc.capacity() + rc.capacity()).max(1);
+                    println!(
+                        "boundary: {:.0}% block / {:.0}% range",
+                        bc.capacity() as f64 * 100.0 / total as f64,
+                        rc.capacity() as f64 * 100.0 / total as f64
+                    );
+                }
+                if let Some(t) = &shell.tuner {
+                    let d = t.latest_decision();
+                    println!(
+                        "latest decision: range_ratio {:.2}, point threshold {:.4}, a {}, b {:.2} ({} windows tuned)",
+                        d.range_ratio,
+                        d.point_threshold,
+                        d.scan_a,
+                        d.scan_b,
+                        t.history().len()
+                    );
+                }
+            } else {
+                println!("strategy {} has no tunable boundary", db.strategy().name());
+            }
+        }
+        ["flush"] => {
+            db.db().flush()?;
+            println!("flushed");
+        }
+        _ => println!("unrecognized command (try help)"),
+    }
+    Ok(true)
+}
+
+fn main() {
+    let cfg = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let db = match build_db(&cfg) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error opening store: {e}");
+            std::process::exit(1);
+        }
+    };
+    let shell = Shell::new(db);
+    println!("type 'help' for commands");
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("adcache> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => match handle(&shell, line.trim()) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => println!("error: {e}"),
+            },
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+    }
+    println!("bye");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcache_lsm::MemStorage;
+
+    fn mem_shell(strategy: Strategy) -> Shell {
+        let db = CachedDb::new(
+            Options::small(),
+            Arc::new(MemStorage::new()),
+            EngineConfig::new(strategy, 1 << 20),
+        )
+        .unwrap();
+        Shell::new(db)
+    }
+
+    #[test]
+    fn strategy_names_parse() {
+        for s in Strategy::all() {
+            assert_eq!(parse_strategy(s.name()).unwrap(), s);
+        }
+        let err = parse_strategy("bogus").unwrap_err();
+        assert!(err.contains("rocksdb-block"), "error lists choices: {err}");
+    }
+
+    #[test]
+    fn handle_put_get_scan_del() {
+        let shell = mem_shell(Strategy::AdCache);
+        assert!(handle(&shell, "put alpha one").unwrap());
+        assert!(handle(&shell, "put beta two").unwrap());
+        assert!(handle(&shell, "get alpha").unwrap());
+        assert!(handle(&shell, "scan alpha 2").unwrap());
+        assert!(handle(&shell, "del alpha").unwrap());
+        assert!(handle(&shell, "stats").unwrap());
+        assert!(handle(&shell, "tune").unwrap());
+        assert!(handle(&shell, "flush").unwrap());
+        assert!(handle(&shell, "").unwrap());
+        assert!(handle(&shell, "nonsense command").unwrap());
+        assert!(!handle(&shell, "quit").unwrap());
+        // Engine state reflects the commands.
+        assert!(shell.db.get(b"alpha").unwrap().is_none());
+        assert_eq!(shell.db.get(b"beta").unwrap().unwrap().as_ref(), b"two");
+    }
+
+    #[test]
+    fn handle_fill_and_bench_drive_the_tuner() {
+        let shell = mem_shell(Strategy::AdCache);
+        assert!(handle(&shell, "fill 3000").unwrap());
+        assert!(handle(&shell, "bench 2500 mixed").unwrap());
+        // At least two windows crossed -> the tuner saw summaries.
+        assert!(shell.tuner.as_ref().unwrap().history().len() >= 2);
+        // Bad mix errors but the shell keeps going.
+        assert!(handle(&shell, "bench 10 bogus").is_err());
+        assert!(handle(&shell, "get user00000000000000000001").unwrap());
+    }
+
+    #[test]
+    fn baselines_have_no_tuner() {
+        let shell = mem_shell(Strategy::RocksDbBlock);
+        assert!(shell.tuner.is_none());
+        assert!(handle(&shell, "tune").unwrap());
+    }
+}

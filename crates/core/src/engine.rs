@@ -1,0 +1,787 @@
+//! The cached database engine: LSM-tree + cache strategy wiring.
+//!
+//! [`CachedDb`] implements the paper's query-handling path (Figure 5):
+//! a query first consults the range cache, then the engine (memtable →
+//! block cache → disk); retrieved results flow back through the cache-fill
+//! path subject to admission control. Six configurations — the five
+//! baselines of Section 5.1 plus AdCache itself — share this one engine,
+//! differing only in which caches exist and how admission behaves.
+
+use crate::controller::CacheDecision;
+use crate::stats::{Counters, Snapshot, WindowSummary};
+use adcache_cache::{
+    BlockCache, CacheusPolicy, CompactionPrefetcher, KvCache, LeCaRPolicy, LruPolicy,
+    PointAdmission, PointLookup, RangeCache, ScanAdmission,
+};
+use adcache_lsm::{DirectProvider, Key, LsmTree, Options, Result, Storage, Value};
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// The cache configuration under evaluation (paper Section 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// RocksDB's default: all memory in a block cache.
+    RocksDbBlock,
+    /// A pure key-value (row) result cache; scans bypass it.
+    KvCache,
+    /// Range Cache with LRU eviction (Wang et al.).
+    RangeCache,
+    /// Range Cache with LeCaR eviction.
+    RangeCacheLeCaR,
+    /// Range Cache with Cacheus eviction.
+    RangeCacheCacheus,
+    /// AdCache: dynamic block/range partitioning + admission control.
+    AdCache,
+}
+
+impl Strategy {
+    /// Display name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::RocksDbBlock => "rocksdb-block",
+            Strategy::KvCache => "kv-cache",
+            Strategy::RangeCache => "range-cache",
+            Strategy::RangeCacheLeCaR => "range-lecar",
+            Strategy::RangeCacheCacheus => "range-cacheus",
+            Strategy::AdCache => "adcache",
+        }
+    }
+
+    /// All six evaluated strategies, in the paper's presentation order.
+    pub fn all() -> [Strategy; 6] {
+        [
+            Strategy::RocksDbBlock,
+            Strategy::KvCache,
+            Strategy::RangeCache,
+            Strategy::RangeCacheLeCaR,
+            Strategy::RangeCacheCacheus,
+            Strategy::AdCache,
+        ]
+    }
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Which cache strategy to instantiate.
+    pub strategy: Strategy,
+    /// Total cache memory budget in bytes (block + result caches share it).
+    pub total_cache_bytes: usize,
+    /// Shard count for the block cache and (via boundaries) range cache.
+    pub block_shards: usize,
+    /// Key-space split points for range-cache sharding (empty = 1 shard).
+    pub range_boundaries: Vec<Bytes>,
+    /// Expected distinct hot keys (sizes the admission sketch).
+    pub expected_keys: usize,
+    /// Minimum boundary move (fraction of total memory) that triggers a
+    /// resize; smaller moves are deferred (ablation: set 0.0 to disable).
+    pub boundary_hysteresis: f64,
+    /// Serve partially-covered scans from the range cache and read only
+    /// the tail from the LSM (ablation: false = all-or-nothing lookups).
+    pub serve_partial_range: bool,
+    /// Leaper-inspired extension: after each rewriting compaction, reload
+    /// this many leading blocks of every output file into the block cache
+    /// (0 = off, the paper's configuration).
+    pub compaction_prefetch_blocks: usize,
+}
+
+impl EngineConfig {
+    /// Single-client configuration with one shard everywhere.
+    pub fn new(strategy: Strategy, total_cache_bytes: usize) -> Self {
+        EngineConfig {
+            strategy,
+            total_cache_bytes,
+            block_shards: 1,
+            range_boundaries: Vec::new(),
+            expected_keys: 100_000,
+            boundary_hysteresis: 0.02,
+            serve_partial_range: true,
+            compaction_prefetch_blocks: 0,
+        }
+    }
+}
+
+/// An LSM-tree fronted by the configured cache strategy.
+pub struct CachedDb {
+    db: LsmTree,
+    strategy: Strategy,
+    block_cache: Option<Arc<BlockCache>>,
+    kv_cache: Option<KvCache>,
+    range_cache: Option<RangeCache>,
+    point_admission: Option<Mutex<PointAdmission>>,
+    scan_admission: RwLock<ScanAdmission>,
+    total_cache_bytes: usize,
+    /// Cached entries-per-block estimate, refreshed once per window.
+    b_estimate: RwLock<f64>,
+    /// The last applied range ratio (boundary hysteresis).
+    applied_ratio: RwLock<f64>,
+    /// Boundary moves smaller than this fraction of total memory are
+    /// deferred: resizing evicts, so micro-jitter from RL exploration must
+    /// not thrash the caches (the eviction-churn concern of Section 3.5).
+    ratio_hysteresis: f64,
+    /// Whether partially-covered scans serve their cached prefix.
+    serve_partial_range: bool,
+    /// Present when post-compaction prefetching is enabled; its read count
+    /// is excluded from the query SST-read metric.
+    prefetcher: Option<Arc<CompactionPrefetcher>>,
+    counters: Counters,
+}
+
+impl CachedDb {
+    /// Builds the engine over `storage` with the given strategy.
+    pub fn new(opts: Options, storage: Arc<dyn Storage>, cfg: EngineConfig) -> Result<Self> {
+        let db = LsmTree::new(opts, storage)?;
+        Self::from_tree(db, cfg)
+    }
+
+    /// Builds the engine over a durable tree: the WAL and manifest in
+    /// `meta_dir` make the store recoverable across restarts (see
+    /// [`LsmTree::with_durability`]).
+    pub fn with_durability(
+        opts: Options,
+        storage: Arc<dyn Storage>,
+        meta_dir: impl Into<std::path::PathBuf>,
+        cfg: EngineConfig,
+    ) -> Result<Self> {
+        let db = LsmTree::with_durability(opts, storage, meta_dir)?;
+        Self::from_tree(db, cfg)
+    }
+
+    /// Wraps an already-constructed (possibly recovered) tree with the
+    /// cache strategy.
+    pub fn from_tree(db: LsmTree, cfg: EngineConfig) -> Result<Self> {
+        let total = cfg.total_cache_bytes;
+        let mut block_cache = None;
+        let mut kv_cache = None;
+        let mut range_cache = None;
+        let mut point_admission = None;
+        match cfg.strategy {
+            Strategy::RocksDbBlock => {
+                block_cache = Some(Arc::new(BlockCache::new(total, cfg.block_shards)));
+            }
+            Strategy::KvCache => {
+                kv_cache = Some(KvCache::new(total));
+            }
+            Strategy::RangeCache => {
+                range_cache = Some(RangeCache::with_shards(
+                    total,
+                    cfg.range_boundaries.clone(),
+                    Box::new(|| Box::new(LruPolicy::new())),
+                ));
+            }
+            Strategy::RangeCacheLeCaR => {
+                range_cache = Some(RangeCache::with_shards(
+                    total,
+                    cfg.range_boundaries.clone(),
+                    Box::new(|| Box::new(LeCaRPolicy::new())),
+                ));
+            }
+            Strategy::RangeCacheCacheus => {
+                range_cache = Some(RangeCache::with_shards(
+                    total,
+                    cfg.range_boundaries.clone(),
+                    Box::new(|| Box::new(CacheusPolicy::new())),
+                ));
+            }
+            Strategy::AdCache => {
+                // Start at the default even split; the controller moves it.
+                let d = CacheDecision::default();
+                block_cache = Some(Arc::new(BlockCache::new(
+                    (total as f64 * (1.0 - d.range_ratio)) as usize,
+                    cfg.block_shards,
+                )));
+                range_cache = Some(RangeCache::with_shards(
+                    (total as f64 * d.range_ratio) as usize,
+                    cfg.range_boundaries.clone(),
+                    Box::new(|| Box::new(LruPolicy::new())),
+                ));
+                point_admission =
+                    Some(Mutex::new(PointAdmission::new(cfg.expected_keys, d.point_threshold)));
+            }
+        }
+        // Compactions must sweep stale blocks out of the block cache.
+        if let Some(bc) = &block_cache {
+            db.add_compaction_listener(bc.clone());
+        }
+        // Optional Leaper-style re-population after the sweep. Listener
+        // order matters: invalidate first, then prefetch.
+        let prefetcher = match (&block_cache, cfg.compaction_prefetch_blocks) {
+            (Some(bc), n) if n > 0 => {
+                let p = Arc::new(CompactionPrefetcher::new(
+                    bc.clone(),
+                    db.storage().clone(),
+                    n,
+                ));
+                db.add_compaction_listener(p.clone());
+                Some(p)
+            }
+            _ => None,
+        };
+        Ok(CachedDb {
+            db,
+            strategy: cfg.strategy,
+            block_cache,
+            kv_cache,
+            range_cache,
+            point_admission,
+            scan_admission: RwLock::new(ScanAdmission::default()),
+            total_cache_bytes: total,
+            b_estimate: RwLock::new(4.0),
+            applied_ratio: RwLock::new(CacheDecision::default().range_ratio),
+            ratio_hysteresis: cfg.boundary_hysteresis,
+            serve_partial_range: cfg.serve_partial_range,
+            prefetcher,
+            counters: Counters::default(),
+        })
+    }
+
+    /// The strategy in force.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The underlying LSM-tree (read-only experiment introspection).
+    pub fn db(&self) -> &LsmTree {
+        &self.db
+    }
+
+    /// The shared operation counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The block cache, when the strategy has one.
+    pub fn block_cache(&self) -> Option<&BlockCache> {
+        self.block_cache.as_deref()
+    }
+
+    /// The range cache, when the strategy has one.
+    pub fn range_cache(&self) -> Option<&RangeCache> {
+        self.range_cache.as_ref()
+    }
+
+    /// Point lookup along the paper's query-handling path.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Value>> {
+        self.counters.add_point();
+        if let Some(rc) = &self.range_cache {
+            match rc.get_point(key) {
+                PointLookup::Hit(v) => {
+                    self.counters.range_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Some(v));
+                }
+                PointLookup::NegativeHit => {
+                    self.counters.range_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(None);
+                }
+                PointLookup::Miss => {}
+            }
+        }
+        if let Some(kv) = &self.kv_cache {
+            if let Some(v) = kv.get(key) {
+                self.counters.kv_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Some(v));
+            }
+        }
+        self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let result = match &self.block_cache {
+            Some(bc) => self.db.get(key, &bc.provider())?,
+            None => self.db.get(key, &DirectProvider)?,
+        };
+        // Cache-fill path.
+        if let Some(v) = &result {
+            if let Some(rc) = &self.range_cache {
+                let admit = match &self.point_admission {
+                    Some(adm) => adm.lock().admit(key),
+                    None => true,
+                };
+                if admit {
+                    rc.insert_point(Bytes::copy_from_slice(key), v.clone());
+                }
+            }
+            if let Some(kv) = &self.kv_cache {
+                kv.insert(Bytes::copy_from_slice(key), v.clone());
+            }
+        }
+        Ok(result)
+    }
+
+    /// Range scan along the query-handling path.
+    ///
+    /// The range cache serves whatever covered prefix it holds; the tail is
+    /// read from the LSM-tree starting exactly at the coverage end (a
+    /// partial hit still pays the seek, per the paper, but the prefix's
+    /// data blocks are saved). The fill path applies partial admission to
+    /// the freshly-read tail, so repeated overlapping scans grow coverage
+    /// incrementally — "overlapping scans naturally accelerate this
+    /// process" (Section 3.4).
+    pub fn scan(&self, from: &[u8], limit: usize) -> Result<Vec<(Key, Value)>> {
+        self.counters.add_scan(limit);
+        // Range-cache prefix (or all-or-nothing under the ablation flag).
+        let (mut results, continuation) = match &self.range_cache {
+            Some(rc) if self.serve_partial_range => rc.get_range_partial(from, limit),
+            Some(rc) => match rc.get_range(from, limit) {
+                adcache_cache::RangeLookup::Hit(res) => (res, None),
+                adcache_cache::RangeLookup::Miss => {
+                    (Vec::new(), Some(Bytes::copy_from_slice(from)))
+                }
+            },
+            None => (Vec::new(), Some(Bytes::copy_from_slice(from))),
+        };
+        let Some(cont_key) = continuation else {
+            self.counters.range_hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.entries_returned.fetch_add(results.len() as u64, Ordering::Relaxed);
+            return Ok(results);
+        };
+        self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let remaining = limit - results.len();
+        let admission = *self.scan_admission.read();
+        let tail = match &self.block_cache {
+            Some(bc) => {
+                // AdCache also applies partial admission at block
+                // granularity (Section 3.4 closing note): misses beyond the
+                // budget are read but not admitted.
+                let provider = if self.strategy == Strategy::AdCache {
+                    let b = self.b_estimate.read().max(1.0);
+                    let admitted_entries = admission.admitted_len(remaining);
+                    let seek_blocks = self.db.num_runs().max(1);
+                    let budget = (admitted_entries as f64 / b).ceil() as usize + seek_blocks;
+                    bc.provider_with_budget(budget)
+                } else {
+                    bc.provider()
+                };
+                self.db.scan(&cont_key, remaining, &provider)?
+            }
+            None => self.db.scan(&cont_key, remaining, &DirectProvider)?,
+        };
+        if let Some(rc) = &self.range_cache {
+            let admitted = if self.strategy == Strategy::AdCache {
+                admission.admitted_len(tail.len())
+            } else {
+                tail.len()
+            };
+            rc.insert_scan(&cont_key, &tail, admitted);
+        }
+        results.extend(tail);
+        self.counters.entries_returned.fetch_add(results.len() as u64, Ordering::Relaxed);
+        Ok(results)
+    }
+
+    /// Write-through: the engine plus every result cache stay consistent.
+    pub fn put(&self, key: Key, value: Value) -> Result<()> {
+        self.counters.add_write();
+        self.db.put(key.clone(), value.clone())?;
+        if let Some(kv) = &self.kv_cache {
+            kv.on_write(&key, Some(&value));
+        }
+        if let Some(rc) = &self.range_cache {
+            rc.on_write(&key, Some(&value));
+        }
+        Ok(())
+    }
+
+    /// Applies a batch of puts atomically (see [`LsmTree::write_batch`]),
+    /// keeping every result cache write-through consistent.
+    pub fn write_batch(&self, batch: Vec<(Key, Value)>) -> Result<()> {
+        let entries: Vec<(Key, adcache_lsm::Entry)> = batch
+            .iter()
+            .map(|(k, v)| (k.clone(), adcache_lsm::Entry::Put(v.clone())))
+            .collect();
+        self.db.write_batch(entries)?;
+        for (key, value) in &batch {
+            self.counters.add_write();
+            if let Some(kv) = &self.kv_cache {
+                kv.on_write(key, Some(value));
+            }
+            if let Some(rc) = &self.range_cache {
+                rc.on_write(key, Some(value));
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes a key, invalidating result-cache entries.
+    pub fn delete(&self, key: Key) -> Result<()> {
+        self.counters.add_write();
+        self.db.delete(key.clone())?;
+        if let Some(kv) = &self.kv_cache {
+            kv.on_write(&key, None);
+        }
+        if let Some(rc) = &self.range_cache {
+            rc.on_write(&key, None);
+        }
+        Ok(())
+    }
+
+    /// Loads a key during the populate phase without counting it as a
+    /// measured operation and without touching the caches.
+    pub fn load(&self, key: Key, value: Value) -> Result<()> {
+        self.db.put(key, value)
+    }
+
+    /// Applies a controller decision: moves the memory boundary and retunes
+    /// the admission parameters (AdCache only; no-op otherwise).
+    pub fn apply_decision(&self, d: &CacheDecision) {
+        if self.strategy != Strategy::AdCache {
+            return;
+        }
+        // Boundary hysteresis: tiny exploratory wiggles would evict for
+        // nothing, so only real moves (or moves to the extremes) resize.
+        let hyst = self.ratio_hysteresis;
+        let mut applied = self.applied_ratio.write();
+        let snapped = if d.range_ratio < hyst {
+            0.0
+        } else if d.range_ratio > 1.0 - hyst {
+            1.0
+        } else {
+            d.range_ratio
+        };
+        if (snapped - *applied).abs() >= hyst || (snapped != *applied && (snapped == 0.0 || snapped == 1.0)) {
+            *applied = snapped;
+            let range_bytes = (self.total_cache_bytes as f64 * snapped) as usize;
+            let block_bytes = self.total_cache_bytes - range_bytes;
+            if let Some(bc) = &self.block_cache {
+                bc.set_capacity(block_bytes);
+            }
+            if let Some(rc) = &self.range_cache {
+                rc.set_capacity(range_bytes);
+            }
+        }
+        drop(applied);
+        if let Some(adm) = &self.point_admission {
+            adm.lock().set_threshold(d.point_threshold);
+        }
+        *self.scan_admission.write() = ScanAdmission::new(d.scan_a, d.scan_b);
+        self.refresh_shape();
+    }
+
+    /// Empties every cache (capacities are preserved). Used between
+    /// back-to-back controlled experiments on a shared engine so one
+    /// candidate's warm state cannot bias the next.
+    pub fn clear_caches(&self) {
+        if let Some(bc) = &self.block_cache {
+            bc.clear();
+        }
+        if let Some(rc) = &self.range_cache {
+            rc.clear();
+        }
+        if let Some(kv) = &self.kv_cache {
+            kv.clear();
+        }
+    }
+
+    /// Refreshes the cached entries-per-block estimate from the live tree.
+    pub fn refresh_shape(&self) {
+        let (entries, blocks) = self.db.entries_and_blocks();
+        if blocks > 0 {
+            *self.b_estimate.write() = entries as f64 / blocks as f64;
+        }
+    }
+
+    /// A full counter snapshot (window boundaries).
+    pub fn snapshot(&self) -> Snapshot {
+        let c = &self.counters;
+        let bstats = self.block_cache.as_ref().map(|b| b.stats()).unwrap_or_default();
+        Snapshot {
+            points: c.points.load(Ordering::Relaxed),
+            scans: c.scans.load(Ordering::Relaxed),
+            writes: c.writes.load(Ordering::Relaxed),
+            scan_len_sum: c.scan_len_sum.load(Ordering::Relaxed),
+            range_hits: c.range_hits.load(Ordering::Relaxed),
+            kv_hits: c.kv_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            query_block_reads: self.db.query_block_reads().saturating_sub(
+                self.prefetcher.as_ref().map_or(0, |p| p.blocks_prefetched()),
+            ),
+            block_cache_hits: bstats.hits,
+            block_cache_misses: bstats.misses,
+            compactions: self.db.stats().compactions(),
+            simulated_ns: self.db.storage().stats().simulated_ns(),
+        }
+    }
+
+    /// Builds the controller's observation for the window `start..now`,
+    /// filling in tree shape and cache occupancy.
+    pub fn window_summary(&self, start: &Snapshot) -> WindowSummary {
+        let end = self.snapshot();
+        let mut w = WindowSummary::from_snapshots(start, &end);
+        self.refresh_shape();
+        w.entries_per_block = *self.b_estimate.read();
+        w.levels = self.db.num_levels().max(1);
+        w.runs = self.db.num_runs();
+        w.r0_max = self.db.options().l0_stop_files;
+        w.block_occupancy = self
+            .block_cache
+            .as_ref()
+            .map(|b| {
+                let cap = b.capacity();
+                if cap == 0 {
+                    0.0
+                } else {
+                    b.used() as f64 / cap as f64
+                }
+            })
+            .unwrap_or(0.0);
+        let dataset: u64 = self.db.level_summary().iter().map(|(_, _, b)| b).sum();
+        w.cache_fraction = if dataset == 0 {
+            0.0
+        } else {
+            (self.total_cache_bytes as f64 / dataset as f64).min(2.0)
+        };
+        w.range_occupancy = self
+            .range_cache
+            .as_ref()
+            .map(|r| {
+                let cap = r.capacity();
+                if cap == 0 {
+                    0.0
+                } else {
+                    r.used() as f64 / cap as f64
+                }
+            })
+            .unwrap_or(0.0);
+        w
+    }
+
+    /// Total cache memory budget.
+    pub fn total_cache_bytes(&self) -> usize {
+        self.total_cache_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcache_lsm::MemStorage;
+    use adcache_workload::render_key;
+
+    fn build(strategy: Strategy, cache_bytes: usize) -> CachedDb {
+        let storage = Arc::new(MemStorage::new());
+        CachedDb::new(Options::small(), storage, EngineConfig::new(strategy, cache_bytes)).unwrap()
+    }
+
+    fn populate(db: &CachedDb, n: u64) {
+        for i in 0..n {
+            db.load(render_key(i), Bytes::from(format!("value-{i:04}"))).unwrap();
+        }
+        db.db().flush().unwrap();
+        while db.db().maybe_compact_once().unwrap() {}
+    }
+
+    /// Every strategy must return identical query results.
+    #[test]
+    fn all_strategies_agree_on_results() {
+        let mut engines: Vec<CachedDb> =
+            Strategy::all().iter().map(|s| build(*s, 64 << 10)).collect();
+        for e in &engines {
+            populate(e, 2000);
+        }
+        // Mixed reads/writes, repeated so caches warm up and must stay
+        // coherent with a ground-truth model.
+        let mut model: std::collections::BTreeMap<u64, String> =
+            (0..2000).map(|i| (i, format!("value-{i:04}"))).collect();
+        for round in 0..3 {
+            for i in (0..2000).step_by(7) {
+                let expected = &model[&i];
+                for e in &engines {
+                    let got = e.get(&render_key(i)).unwrap().unwrap();
+                    assert_eq!(got.as_ref(), expected.as_bytes(), "round {round} strategy {:?}", e.strategy());
+                }
+            }
+            for i in (0..2000).step_by(13) {
+                let scans: Vec<Vec<(Key, Value)>> =
+                    engines.iter().map(|e| e.scan(&render_key(i), 16).unwrap()).collect();
+                for s in &scans[1..] {
+                    assert_eq!(s, &scans[0], "scan divergence at {i}");
+                }
+            }
+            // Overwrite some keys; all caches must stay fresh.
+            for i in (0..2000).step_by(11) {
+                model.insert(i, format!("v{round}-{i}"));
+            }
+            for e in &mut engines {
+                for i in (0..2000).step_by(11) {
+                    e.put(render_key(i), Bytes::from(format!("v{round}-{i}"))).unwrap();
+                }
+            }
+            for i in (0..2000).step_by(11) {
+                for e in &engines {
+                    let got = e.get(&render_key(i)).unwrap().unwrap();
+                    assert_eq!(got.as_ref(), format!("v{round}-{i}").as_bytes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deletes_are_coherent_across_caches() {
+        for s in Strategy::all() {
+            let db = build(s, 64 << 10);
+            populate(&db, 500);
+            // Warm caches.
+            for i in 0..500 {
+                db.get(&render_key(i)).unwrap();
+            }
+            db.scan(&render_key(100), 32).unwrap();
+            for i in (0..500).step_by(3) {
+                db.delete(render_key(i)).unwrap();
+            }
+            for i in 0..500 {
+                let got = db.get(&render_key(i)).unwrap();
+                if i % 3 == 0 {
+                    assert!(got.is_none(), "{s:?}: deleted key {i} resurfaced");
+                } else {
+                    assert!(got.is_some(), "{s:?}: key {i} lost");
+                }
+            }
+            let scan = db.scan(&render_key(99), 10).unwrap();
+            for (k, _) in scan {
+                let id = adcache_workload::parse_key(&k).unwrap();
+                assert!(!id.is_multiple_of(3), "{s:?}: deleted key {id} in scan");
+            }
+        }
+    }
+
+    #[test]
+    fn block_cache_reduces_repeat_io() {
+        let db = build(Strategy::RocksDbBlock, 1 << 20);
+        populate(&db, 2000);
+        db.get(&render_key(42)).unwrap();
+        let after_first = db.db().query_block_reads();
+        assert!(after_first > 0);
+        db.get(&render_key(42)).unwrap();
+        assert_eq!(db.db().query_block_reads(), after_first, "second get must be free");
+    }
+
+    #[test]
+    fn range_cache_strategy_serves_repeat_scans_without_io() {
+        let db = build(Strategy::RangeCache, 1 << 20);
+        populate(&db, 2000);
+        db.scan(&render_key(100), 16).unwrap();
+        let reads = db.db().query_block_reads();
+        db.scan(&render_key(100), 16).unwrap();
+        assert_eq!(db.db().query_block_reads(), reads, "repeat scan must hit the range cache");
+        // And a sub-range too.
+        db.scan(&render_key(105), 8).unwrap();
+        assert_eq!(db.db().query_block_reads(), reads);
+    }
+
+    #[test]
+    fn kv_cache_serves_points_but_not_scans() {
+        let db = build(Strategy::KvCache, 1 << 20);
+        populate(&db, 1000);
+        db.get(&render_key(5)).unwrap();
+        let reads = db.db().query_block_reads();
+        db.get(&render_key(5)).unwrap();
+        assert_eq!(db.db().query_block_reads(), reads);
+        db.scan(&render_key(5), 4).unwrap();
+        let reads2 = db.db().query_block_reads();
+        db.scan(&render_key(5), 4).unwrap();
+        assert!(db.db().query_block_reads() > reads2, "scans bypass the KV cache");
+    }
+
+    #[test]
+    fn adcache_decision_moves_the_boundary() {
+        let db = build(Strategy::AdCache, 1 << 20);
+        populate(&db, 1000);
+        let d = CacheDecision { range_ratio: 0.0, point_threshold: 0.001, scan_a: 8, scan_b: 0.5 };
+        db.apply_decision(&d);
+        assert_eq!(db.range_cache().unwrap().capacity(), 0);
+        assert_eq!(db.block_cache().unwrap().capacity(), 1 << 20);
+        let d = CacheDecision { range_ratio: 1.0, ..d };
+        db.apply_decision(&d);
+        assert_eq!(db.block_cache().unwrap().capacity(), 0);
+        // Non-AdCache engines ignore decisions.
+        let block_db = build(Strategy::RocksDbBlock, 1 << 20);
+        block_db.apply_decision(&d);
+        assert_eq!(block_db.block_cache().unwrap().capacity(), 1 << 20);
+    }
+
+    #[test]
+    fn adcache_partial_admission_limits_range_cache_growth() {
+        let db = build(Strategy::AdCache, 1 << 20);
+        populate(&db, 4000);
+        db.apply_decision(&CacheDecision {
+            range_ratio: 1.0,
+            point_threshold: 0.0,
+            scan_a: 8,
+            scan_b: 0.0,
+        });
+        db.scan(&render_key(0), 64).unwrap();
+        // Only the first 8 entries of the long scan may be admitted.
+        assert!(db.range_cache().unwrap().len() <= 8, "len {}", db.range_cache().unwrap().len());
+
+        // Compare: plain RangeCache admits all 64.
+        let full = build(Strategy::RangeCache, 1 << 20);
+        populate(&full, 4000);
+        full.scan(&render_key(0), 64).unwrap();
+        assert_eq!(full.range_cache().unwrap().len(), 64);
+    }
+
+    #[test]
+    fn write_batch_keeps_caches_coherent() {
+        let db = build(Strategy::AdCache, 1 << 20);
+        populate(&db, 500);
+        // Warm the caches on a range.
+        db.scan(&render_key(100), 32).unwrap();
+        // Batch-overwrite part of that range.
+        let batch: Vec<(Key, Value)> =
+            (100..120).map(|i| (render_key(i), Bytes::from(format!("batched-{i}")))).collect();
+        db.write_batch(batch).unwrap();
+        for i in 100..120 {
+            assert_eq!(
+                db.get(&render_key(i)).unwrap().unwrap().as_ref(),
+                format!("batched-{i}").as_bytes()
+            );
+        }
+        let scan = db.scan(&render_key(110), 4).unwrap();
+        assert_eq!(scan[0].1.as_ref(), b"batched-110");
+    }
+
+    #[test]
+    fn window_summary_populates_shape() {
+        let db = build(Strategy::AdCache, 1 << 20);
+        populate(&db, 3000);
+        let start = db.snapshot();
+        for i in 0..200 {
+            db.get(&render_key(i % 300)).unwrap();
+        }
+        for i in 0..20 {
+            db.scan(&render_key(i * 10), 16).unwrap();
+        }
+        let w = db.window_summary(&start);
+        assert_eq!(w.points, 200);
+        assert_eq!(w.scans, 20);
+        assert_eq!(w.avg_scan_len, 16.0);
+        assert!(w.entries_per_block > 1.0);
+        assert!(w.levels >= 1);
+        assert!(w.runs >= 1);
+        assert_eq!(w.r0_max, 8);
+        assert!(w.io_miss > 0);
+    }
+
+    #[test]
+    fn compaction_invalidation_keeps_block_cache_coherent() {
+        let db = build(Strategy::RocksDbBlock, 4 << 20);
+        populate(&db, 2000);
+        // Warm the block cache broadly.
+        for i in 0..2000 {
+            db.get(&render_key(i)).unwrap();
+        }
+        let cached_before = db.block_cache().unwrap().len();
+        assert!(cached_before > 0);
+        // Heavy overwrites force flushes + compactions -> invalidations.
+        for round in 0..10 {
+            for i in 0..2000 {
+                db.put(render_key(i), Bytes::from(format!("r{round}-{i}"))).unwrap();
+            }
+        }
+        assert!(db.block_cache().unwrap().stats().invalidations > 0);
+        // Every read still returns the latest value.
+        for i in (0..2000).step_by(37) {
+            let got = db.get(&render_key(i)).unwrap().unwrap();
+            assert_eq!(got.as_ref(), format!("r9-{i}").as_bytes());
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The I/O-based reward model (paper Section 3.5, Table 1).
+//!
+//! Result caches have no natural "block hit rate", so AdCache estimates the
+//! block I/Os a window *would* have cost with no cache at all:
+//!
+//! ```text
+//! IO_estimate = p·(1 + FPR) + s·l/B + s·(L + r0_max/2 − 1)
+//! ```
+//!
+//! (point lookups read one block each plus bloom false positives; each scan
+//! pays `l/B` data blocks plus one seek block per sorted run, with the
+//! Level-0 run count modeled as `r0_max/2`). The estimated hit rate is then
+//! `h = 1 − IO_miss / IO_estimate`, smoothed exponentially before being
+//! turned into the relative-improvement reward `Δh_smoothed / h_smoothed`.
+
+use crate::stats::WindowSummary;
+
+/// Computes `IO_estimate` for a window.
+///
+/// `fpr` is the Bloom-filter false-positive rate (the paper argues ≈0 at 10
+/// bits/key and neglects it).
+pub fn io_estimate(
+    points: u64,
+    scans: u64,
+    avg_scan_len: f64,
+    entries_per_block: f64,
+    levels: usize,
+    r0_max: usize,
+    fpr: f64,
+) -> f64 {
+    let b = entries_per_block.max(1.0);
+    let point_io = points as f64 * (1.0 + fpr);
+    let scan_data_io = scans as f64 * (avg_scan_len / b);
+    let scan_seek_io = scans as f64 * (levels as f64 + r0_max as f64 / 2.0 - 1.0).max(1.0);
+    point_io + scan_data_io + scan_seek_io
+}
+
+/// `IO_estimate` from a [`WindowSummary`].
+pub fn io_estimate_of(w: &WindowSummary) -> f64 {
+    io_estimate(w.points, w.scans, w.avg_scan_len, w.entries_per_block, w.levels, w.r0_max, 0.0)
+}
+
+/// Estimated hit rate `1 − IO_miss / IO_estimate`, clamped to `[-1, 1]`
+/// (slightly negative values can appear when seeks touch more runs than the
+/// model assumes).
+pub fn h_estimate(w: &WindowSummary) -> f64 {
+    let est = io_estimate_of(w);
+    if est <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - w.io_miss as f64 / est).clamp(-1.0, 1.0)
+}
+
+/// Exponential smoothing of the hit-rate signal plus the relative-change
+/// reward (paper Section 3.5, "Reward Calculation").
+#[derive(Debug, Clone)]
+pub struct RewardSmoother {
+    alpha: f64,
+    h_smoothed: Option<f64>,
+}
+
+impl RewardSmoother {
+    /// `alpha` weights history; the paper's default is 0.9.
+    pub fn new(alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha));
+        RewardSmoother { alpha, h_smoothed: None }
+    }
+
+    /// Feeds one window's `h_estimate`; returns `(h_smoothed, reward)`.
+    /// The first observation initializes the smoother with reward 0.
+    pub fn update(&mut self, h_est: f64) -> (f64, f64) {
+        match self.h_smoothed {
+            None => {
+                self.h_smoothed = Some(h_est);
+                (h_est, 0.0)
+            }
+            Some(prev) => {
+                let new = self.alpha * prev + (1.0 - self.alpha) * h_est;
+                self.h_smoothed = Some(new);
+                let denom = new.abs().max(1e-3);
+                let reward = ((new - prev) / denom).clamp(-1.0, 1.0);
+                (new, reward)
+            }
+        }
+    }
+
+    /// The current smoothed hit rate.
+    pub fn smoothed(&self) -> Option<f64> {
+        self.h_smoothed
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(points: u64, scans: u64, l: f64, io_miss: u64) -> WindowSummary {
+        WindowSummary {
+            points,
+            scans,
+            avg_scan_len: l,
+            io_miss,
+            entries_per_block: 4.0,
+            levels: 3,
+            r0_max: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn io_estimate_matches_paper_formula() {
+        // p=100 points: 100 I/Os. s=10 scans of 16 keys at B=4: 40 data
+        // blocks + 10*(3 + 8/2 - 1)=60 seek blocks.
+        let est = io_estimate(100, 10, 16.0, 4.0, 3, 8, 0.0);
+        assert!((est - 200.0).abs() < 1e-9, "est {est}");
+        // FPR adds p*fpr.
+        let est = io_estimate(100, 0, 0.0, 4.0, 3, 8, 0.01);
+        assert!((est - 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn h_estimate_boundaries() {
+        // No misses at all: perfect hit rate.
+        assert!((h_estimate(&window(100, 0, 0.0, 0)) - 1.0).abs() < 1e-9);
+        // Every estimated I/O missed: zero.
+        assert!(h_estimate(&window(100, 0, 0.0, 100)).abs() < 1e-9);
+        // Half missed: 0.5.
+        assert!((h_estimate(&window(100, 0, 0.0, 50)) - 0.5).abs() < 1e-9);
+        // More misses than the estimate clamps at -1, never panics.
+        assert!(h_estimate(&window(10, 0, 0.0, 1000)) >= -1.0);
+        // Empty window is 0.
+        assert_eq!(h_estimate(&window(0, 0, 0.0, 0)), 0.0);
+    }
+
+    #[test]
+    fn smoothing_damps_fluctuations() {
+        let mut s = RewardSmoother::new(0.9);
+        let (h0, r0) = s.update(0.8);
+        assert_eq!((h0, r0), (0.8, 0.0));
+        // A transient dip barely moves the smoothed value.
+        let (h1, _) = s.update(0.2);
+        assert!((h1 - 0.74).abs() < 1e-9);
+        // With alpha=0 the signal passes through unsmoothed.
+        let mut raw = RewardSmoother::new(0.0);
+        raw.update(0.8);
+        let (h, _) = raw.update(0.2);
+        assert!((h - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reward_sign_tracks_hit_rate_trend() {
+        let mut s = RewardSmoother::new(0.5);
+        s.update(0.5);
+        let (_, improving) = s.update(0.9);
+        assert!(improving > 0.0);
+        let mut s = RewardSmoother::new(0.5);
+        s.update(0.9);
+        let (_, degrading) = s.update(0.1);
+        assert!(degrading < 0.0);
+    }
+
+    #[test]
+    fn reward_is_bounded() {
+        let mut s = RewardSmoother::new(0.0);
+        s.update(0.001);
+        let (_, r) = s.update(1.0);
+        assert!(r <= 1.0);
+        let (_, r) = s.update(-1.0);
+        assert!(r >= -1.0);
+    }
+}

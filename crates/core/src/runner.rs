@@ -1,0 +1,459 @@
+//! The experiment runner: drives workloads against a [`CachedDb`], runs the
+//! windowed controller, and records the per-window series the paper plots.
+//!
+//! Throughput is reported against *simulated time*: device time accumulated
+//! by the storage cost model plus a per-operation CPU charge. This is the
+//! substitution for the paper's NVMe testbed (DESIGN.md §2) — relative
+//! throughput between strategies is meaningful, absolute QPS is not. Wall
+//! time is recorded separately for the training-overhead experiment
+//! (Figure 11a), where real CPU interference is the quantity of interest.
+
+use crate::controller::{CacheDecision, Controller, ControllerConfig};
+use crate::engine::{CachedDb, EngineConfig, Strategy};
+use crate::histogram::Histogram;
+use crate::reward::h_estimate;
+use crate::stats::WindowSummary;
+use adcache_lsm::{MemStorage, Options, Result};
+use adcache_workload::{Mix, Operation, Schedule, WorkloadConfig, WorkloadGen};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// CPU cost model added to device time when computing simulated QPS.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuModel {
+    /// Fixed nanoseconds charged per operation.
+    pub ns_per_op: u64,
+    /// Nanoseconds charged per entry returned by scans.
+    pub ns_per_entry: u64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel { ns_per_op: 2_000, ns_per_entry: 100 }
+    }
+}
+
+/// Full experiment configuration.
+#[derive(Clone)]
+pub struct RunConfig {
+    /// Cache strategy under test.
+    pub strategy: Strategy,
+    /// Total cache budget in bytes.
+    pub total_cache_bytes: usize,
+    /// LSM-tree options.
+    pub db_options: Options,
+    /// Workload shape.
+    pub workload: WorkloadConfig,
+    /// Controller configuration (used only by [`Strategy::AdCache`]).
+    pub controller: ControllerConfig,
+    /// CPU cost model for simulated throughput.
+    pub cpu: CpuModel,
+    /// Shards for block/range caches (multi-client runs).
+    pub shards: usize,
+    /// Optional pretrained agent JSON (AdCache only).
+    pub pretrained_agent: Option<String>,
+    /// Pin AdCache's decision instead of running the controller (used by
+    /// controlled experiments and ablations).
+    pub pinned_decision: Option<CacheDecision>,
+    /// Boundary hysteresis passed to the engine (ablation knob).
+    pub boundary_hysteresis: f64,
+    /// Partial range serving passed to the engine (ablation knob).
+    pub serve_partial_range: bool,
+    /// Post-compaction prefetch depth passed to the engine (extension).
+    pub compaction_prefetch_blocks: usize,
+}
+
+impl RunConfig {
+    /// A sensible scaled-down default for the given strategy and cache size.
+    pub fn new(strategy: Strategy, total_cache_bytes: usize, workload: WorkloadConfig) -> Self {
+        RunConfig {
+            strategy,
+            total_cache_bytes,
+            db_options: Options::small(),
+            workload,
+            controller: ControllerConfig { hidden: 64, ..Default::default() },
+            cpu: CpuModel::default(),
+            shards: 1,
+            pretrained_agent: None,
+            pinned_decision: None,
+            boundary_hysteresis: 0.02,
+            serve_partial_range: true,
+            compaction_prefetch_blocks: 0,
+        }
+    }
+}
+
+/// One window's measurements.
+#[derive(Debug, Clone)]
+pub struct WindowRecord {
+    /// Window index from the start of the measured run.
+    pub index: u64,
+    /// Name of the phase the window belongs to.
+    pub phase: String,
+    /// Estimated hit rate (`1 − IO_miss / IO_estimate`).
+    pub hit_rate: f64,
+    /// SST block reads in the window.
+    pub sst_reads: u64,
+    /// Simulated QPS inside the window.
+    pub qps: f64,
+    /// The controller decision applied after this window (AdCache only).
+    pub decision: Option<CacheDecision>,
+    /// The full window observation (for pretraining and deep analysis).
+    pub summary: WindowSummary,
+}
+
+/// Aggregate results of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Strategy name.
+    pub strategy: &'static str,
+    /// Per-window series.
+    pub windows: Vec<WindowRecord>,
+    /// Total measured operations.
+    pub total_ops: u64,
+    /// Total SST block reads during measurement.
+    pub total_sst_reads: u64,
+    /// Overall estimated hit rate across the whole run.
+    pub overall_hit_rate: f64,
+    /// Overall simulated QPS.
+    pub overall_qps: f64,
+    /// Wall-clock seconds for the measured portion.
+    pub wall_secs: f64,
+    /// Distribution of per-operation simulated latencies (device time plus
+    /// the CPU charge), in nanoseconds.
+    pub latency: Histogram,
+}
+
+impl RunResult {
+    /// Mean hit rate over windows in `[from, to)` (e.g. one phase).
+    pub fn mean_hit_rate(&self, from: usize, to: usize) -> f64 {
+        let slice = &self.windows[from.min(self.windows.len())..to.min(self.windows.len())];
+        if slice.is_empty() {
+            return 0.0;
+        }
+        slice.iter().map(|w| w.hit_rate).sum::<f64>() / slice.len() as f64
+    }
+
+    /// Mean QPS over windows in `[from, to)`.
+    pub fn mean_qps(&self, from: usize, to: usize) -> f64 {
+        let slice = &self.windows[from.min(self.windows.len())..to.min(self.windows.len())];
+        if slice.is_empty() {
+            return 0.0;
+        }
+        slice.iter().map(|w| w.qps).sum::<f64>() / slice.len() as f64
+    }
+}
+
+fn simulated_window_ns(w: &WindowSummary, cpu: &CpuModel, entries_delta: u64) -> u64 {
+    w.simulated_ns + w.ops() * cpu.ns_per_op + entries_delta * cpu.ns_per_entry
+}
+
+/// Builds the engine, loads `workload.num_keys` keys, and settles
+/// compactions so measurement starts from a steady tree.
+pub fn prepare_db(cfg: &RunConfig) -> Result<CachedDb> {
+    let storage = Arc::new(MemStorage::new());
+    let mut ecfg = EngineConfig::new(cfg.strategy, cfg.total_cache_bytes);
+    ecfg.block_shards = cfg.shards;
+    ecfg.expected_keys = cfg.workload.num_keys as usize;
+    ecfg.boundary_hysteresis = cfg.boundary_hysteresis;
+    ecfg.serve_partial_range = cfg.serve_partial_range;
+    ecfg.compaction_prefetch_blocks = cfg.compaction_prefetch_blocks;
+    if cfg.shards > 1 {
+        // Evenly split the key space for range-cache sharding.
+        let per = cfg.workload.num_keys / cfg.shards as u64;
+        ecfg.range_boundaries = (1..cfg.shards as u64)
+            .map(|i| adcache_workload::render_key(i * per))
+            .collect();
+    }
+    let db = CachedDb::new(cfg.db_options.clone(), storage, ecfg)?;
+    let mut gen = WorkloadGen::new(cfg.workload.clone());
+    for op in gen.load_ops() {
+        if let Operation::Put { key, value } = op {
+            db.load(key, value)?;
+        }
+    }
+    db.db().flush()?;
+    while db.db().maybe_compact_once()? {}
+    db.refresh_shape();
+    Ok(db)
+}
+
+fn make_controller(cfg: &RunConfig) -> Controller {
+    match &cfg.pretrained_agent {
+        Some(json) => {
+            let agent = adcache_rl::ActorCritic::from_json(json)
+                .expect("invalid pretrained agent JSON");
+            Controller::with_agent(cfg.controller.clone(), agent)
+        }
+        None => Controller::new(cfg.controller.clone()),
+    }
+}
+
+/// Executes one operation against the engine.
+pub fn execute(db: &CachedDb, op: &Operation) -> Result<()> {
+    match op {
+        Operation::Get { key } => {
+            db.get(key)?;
+        }
+        Operation::Scan { from, len } => {
+            db.scan(from, *len)?;
+        }
+        Operation::Put { key, value } => {
+            db.put(key.clone(), value.clone())?;
+        }
+        Operation::Delete { key } => {
+            db.delete(key.clone())?;
+        }
+    }
+    Ok(())
+}
+
+/// Runs `schedule` against a fresh engine and returns the per-window
+/// series. Deterministic in the workload seed.
+pub fn run_schedule(cfg: &RunConfig, schedule: &Schedule) -> Result<RunResult> {
+    let db = prepare_db(cfg)?;
+    run_schedule_on(cfg, schedule, &db)
+}
+
+/// Like [`run_schedule`] but reuses an already-prepared engine (lets
+/// experiments share the load phase across runs of the same strategy).
+pub fn run_schedule_on(cfg: &RunConfig, schedule: &Schedule, db: &CachedDb) -> Result<RunResult> {
+    let mut gen = WorkloadGen::new(cfg.workload.clone());
+    let mut controller = if cfg.strategy == Strategy::AdCache && cfg.pinned_decision.is_none() {
+        Some(make_controller(cfg))
+    } else {
+        None
+    };
+    if let Some(d) = &cfg.pinned_decision {
+        db.apply_decision(d);
+    }
+
+    let window = cfg.controller.window.max(1);
+    let mut windows = Vec::new();
+    let run_start_snapshot = db.snapshot();
+    let mut win_start = run_start_snapshot;
+    let mut entries_at_win_start = 0u64;
+    let wall_start = std::time::Instant::now();
+    let mut executed = 0u64;
+    let mut latency = Histogram::new();
+    let io_stats = db.db().storage().stats();
+    let mut last_sim_ns = io_stats.simulated_ns();
+    let mut last_entries = 0u64;
+
+    let total = schedule.total_ops();
+    while executed < total {
+        let (phase, _) = schedule.phase_at(executed).expect("within schedule");
+        let op = gen.next_op(&phase.mix);
+        execute(db, &op)?;
+        // Per-op simulated latency: device time consumed by this op plus
+        // the CPU charge for the op itself and any entries it returned.
+        let sim_now = io_stats.simulated_ns();
+        let entries_now = db.counters().entries_returned.load(Ordering::Relaxed);
+        latency.record(
+            (sim_now - last_sim_ns)
+                + cfg.cpu.ns_per_op
+                + (entries_now - last_entries) * cfg.cpu.ns_per_entry,
+        );
+        last_sim_ns = sim_now;
+        last_entries = entries_now;
+        executed += 1;
+        if executed.is_multiple_of(window) {
+            let w = db.window_summary(&win_start);
+            let entries_now = db.counters().entries_returned.load(Ordering::Relaxed);
+            let sim_ns = simulated_window_ns(&w, &cfg.cpu, entries_now - entries_at_win_start);
+            let qps = if sim_ns == 0 { 0.0 } else { w.ops() as f64 * 1e9 / sim_ns as f64 };
+            let decision = controller.as_mut().map(|c| {
+                let d = c.end_of_window(&w);
+                db.apply_decision(&d);
+                d
+            });
+            windows.push(WindowRecord {
+                index: executed / window - 1,
+                phase: phase.name.clone(),
+                hit_rate: h_estimate(&w),
+                sst_reads: w.io_miss,
+                qps,
+                decision,
+                summary: w,
+            });
+            win_start = db.snapshot();
+            entries_at_win_start = entries_now;
+        }
+    }
+
+    let overall = db.window_summary(&run_start_snapshot);
+    let entries_total = db.counters().entries_returned.load(Ordering::Relaxed);
+    let sim_ns = simulated_window_ns(&overall, &cfg.cpu, entries_total);
+    Ok(RunResult {
+        strategy: cfg.strategy.name(),
+        total_ops: overall.ops(),
+        total_sst_reads: overall.io_miss,
+        overall_hit_rate: h_estimate(&overall),
+        overall_qps: if sim_ns == 0 { 0.0 } else { overall.ops() as f64 * 1e9 / sim_ns as f64 },
+        wall_secs: wall_start.elapsed().as_secs_f64(),
+        windows,
+        latency,
+    })
+}
+
+/// Convenience: run a single static mix for `ops` operations.
+pub fn run_static(cfg: &RunConfig, mix: Mix, ops: u64) -> Result<RunResult> {
+    let schedule = Schedule {
+        phases: vec![adcache_workload::Phase { name: "static".into(), mix, ops }],
+    };
+    run_schedule(cfg, &schedule)
+}
+
+/// Multi-client run (Figure 11a): `clients` threads share the engine while
+/// an [`crate::AsyncController`] trains on its own background thread —
+/// "model inference and training occur asynchronously in the background"
+/// (paper Section 3.1). The thread that crosses a window boundary only
+/// snapshots counters and enqueues the summary (cheap, non-blocking), then
+/// applies the latest available decision. Returns per-client *wall-clock*
+/// QPS, since the experiment measures real CPU interference from training.
+pub fn run_multiclient(
+    cfg: &RunConfig,
+    mix: Mix,
+    clients: usize,
+    ops_per_client: u64,
+) -> Result<Vec<f64>> {
+    let db = Arc::new(prepare_db(cfg)?);
+    let controller = if cfg.strategy == Strategy::AdCache && cfg.controller.online {
+        Some(Arc::new(crate::AsyncController::with_controller(make_controller(cfg))))
+    } else {
+        None
+    };
+    let global_ops = Arc::new(AtomicU64::new(0));
+    let win_start = Arc::new(Mutex::new(db.snapshot()));
+    let window = cfg.controller.window.max(1);
+
+    let mut handles = Vec::new();
+    for client in 0..clients {
+        let db = db.clone();
+        let controller = controller.clone();
+        let global_ops = global_ops.clone();
+        let win_start = win_start.clone();
+        let mut wcfg = cfg.workload.clone();
+        wcfg.seed = cfg.workload.seed.wrapping_add(client as u64 * 7919 + 1);
+        handles.push(std::thread::spawn(move || -> Result<f64> {
+            let mut gen = WorkloadGen::new(wcfg);
+            let start = std::time::Instant::now();
+            for _ in 0..ops_per_client {
+                let op = gen.next_op(&mix);
+                execute(&db, &op)?;
+                let n = global_ops.fetch_add(1, Ordering::Relaxed) + 1;
+                if n.is_multiple_of(window) {
+                    if let Some(ctl) = &controller {
+                        // Snapshot + enqueue only; training happens on the
+                        // tuner thread.
+                        let start_snap = { *win_start.lock() };
+                        let w = db.window_summary(&start_snap);
+                        ctl.submit(w);
+                        db.apply_decision(&ctl.latest_decision());
+                        *win_start.lock() = db.snapshot();
+                    }
+                }
+            }
+            Ok(ops_per_client as f64 / start.elapsed().as_secs_f64())
+        }));
+    }
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread panicked"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcache_workload::paper_dynamic_schedule;
+
+    fn quick_cfg(strategy: Strategy) -> RunConfig {
+        let workload = WorkloadConfig { num_keys: 3000, value_size: 64, ..Default::default() };
+        let mut cfg = RunConfig::new(strategy, 128 << 10, workload);
+        cfg.controller.window = 200;
+        cfg.controller.hidden = 16;
+        cfg
+    }
+
+    #[test]
+    fn static_run_produces_windows() {
+        let cfg = quick_cfg(Strategy::RocksDbBlock);
+        let r = run_static(&cfg, Mix::new(100.0, 0.0, 0.0, 0.0), 2000).unwrap();
+        assert_eq!(r.total_ops, 2000);
+        assert_eq!(r.windows.len(), 10);
+        assert!(r.overall_qps > 0.0);
+        assert!(r.overall_hit_rate <= 1.0);
+        assert_eq!(r.strategy, "rocksdb-block");
+        // Hit rate should climb as the cache warms.
+        assert!(
+            r.windows.last().unwrap().hit_rate >= r.windows[0].hit_rate - 0.05,
+            "warming cache should not get colder: {:?}",
+            r.windows.iter().map(|w| w.hit_rate).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn adcache_run_records_decisions() {
+        let cfg = quick_cfg(Strategy::AdCache);
+        let r = run_static(&cfg, Mix::new(50.0, 25.0, 0.0, 25.0), 2000).unwrap();
+        assert!(r.windows.iter().all(|w| w.decision.is_some()));
+        // Baselines never record decisions.
+        let cfg = quick_cfg(Strategy::RangeCache);
+        let r = run_static(&cfg, Mix::new(50.0, 25.0, 0.0, 25.0), 1000).unwrap();
+        assert!(r.windows.iter().all(|w| w.decision.is_none()));
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_results() {
+        let cfg = quick_cfg(Strategy::RangeCache);
+        let mix = Mix::new(40.0, 30.0, 10.0, 20.0);
+        let a = run_static(&cfg, mix, 1500).unwrap();
+        let b = run_static(&cfg, mix, 1500).unwrap();
+        assert_eq!(a.total_sst_reads, b.total_sst_reads);
+        let ha: Vec<f64> = a.windows.iter().map(|w| w.hit_rate).collect();
+        let hb: Vec<f64> = b.windows.iter().map(|w| w.hit_rate).collect();
+        assert_eq!(ha, hb);
+    }
+
+    #[test]
+    fn dynamic_schedule_transitions_phases() {
+        let cfg = quick_cfg(Strategy::RocksDbBlock);
+        let schedule = paper_dynamic_schedule(400);
+        let r = run_schedule(&cfg, &schedule).unwrap();
+        assert_eq!(r.total_ops, 2400);
+        let phases: Vec<&str> = r.windows.iter().map(|w| w.phase.as_str()).collect();
+        assert!(phases.contains(&"A") && phases.contains(&"F"));
+    }
+
+    #[test]
+    fn multiclient_run_completes_and_scales() {
+        let mut cfg = quick_cfg(Strategy::AdCache);
+        cfg.shards = 4;
+        let qps = run_multiclient(&cfg, Mix::new(50.0, 25.0, 0.0, 25.0), 4, 500).unwrap();
+        assert_eq!(qps.len(), 4);
+        assert!(qps.iter().all(|&q| q > 0.0));
+    }
+
+    #[test]
+    fn latency_histogram_covers_every_op() {
+        let cfg = quick_cfg(Strategy::AdCache);
+        let r = run_static(&cfg, Mix::new(60.0, 20.0, 0.0, 20.0), 2000).unwrap();
+        assert_eq!(r.latency.count(), 2000);
+        let (p50, p95, p99, max) = r.latency.summary();
+        assert!(p50 > 0 && p50 <= p95 && p95 <= p99 && p99 <= max);
+        // Cache hits make the median much cheaper than the tail.
+        assert!(max >= p50, "{p50} {max}");
+    }
+
+    #[test]
+    fn mean_helpers_slice_windows() {
+        let cfg = quick_cfg(Strategy::RocksDbBlock);
+        let r = run_static(&cfg, Mix::new(100.0, 0.0, 0.0, 0.0), 1000).unwrap();
+        let all = r.mean_hit_rate(0, r.windows.len());
+        assert!((0.0 - 1.0..=1.0).contains(&all));
+        assert_eq!(r.mean_hit_rate(100, 200), 0.0, "out of range slices are empty");
+        assert!(r.mean_qps(0, 5) > 0.0);
+    }
+}

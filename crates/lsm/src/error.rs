@@ -1,0 +1,79 @@
+//! Error types for the LSM-tree engine.
+
+use std::fmt;
+
+/// Errors surfaced by the storage engine.
+///
+/// The engine never panics on malformed input or storage failures; every
+/// fallible path returns [`Result`] so that callers (including the cache
+/// layer) can propagate or inject failures deterministically in tests.
+#[derive(Debug)]
+pub enum LsmError {
+    /// An operating-system I/O error from the file-backed storage.
+    Io(std::io::Error),
+    /// A block, index, or table footer failed to decode.
+    Corruption(String),
+    /// A table or block was requested that does not exist.
+    NotFound(String),
+    /// The engine was used in an unsupported way (e.g. out-of-order build).
+    InvalidArgument(String),
+    /// Fault injected by a test harness.
+    Injected(String),
+}
+
+impl fmt::Display for LsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LsmError::Io(e) => write!(f, "io error: {e}"),
+            LsmError::Corruption(m) => write!(f, "corruption: {m}"),
+            LsmError::NotFound(m) => write!(f, "not found: {m}"),
+            LsmError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            LsmError::Injected(m) => write!(f, "injected fault: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LsmError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LsmError {
+    fn from(e: std::io::Error) -> Self {
+        LsmError::Io(e)
+    }
+}
+
+/// Result alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, LsmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_variants() {
+        let e = LsmError::Corruption("bad block".into());
+        assert_eq!(e.to_string(), "corruption: bad block");
+        let e = LsmError::NotFound("table 3".into());
+        assert_eq!(e.to_string(), "not found: table 3");
+        let e = LsmError::InvalidArgument("x".into());
+        assert_eq!(e.to_string(), "invalid argument: x");
+        let e = LsmError::Injected("y".into());
+        assert_eq!(e.to_string(), "injected fault: y");
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let io = std::io::Error::other("disk on fire");
+        let e: LsmError = io.into();
+        assert!(e.to_string().contains("disk on fire"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+        assert!(LsmError::Corruption("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,164 @@
+//! Manifest: durable version state.
+//!
+//! Records which SSTable files are live at which level, plus the file-id
+//! allocator, so a restarted engine can rebuild its [`crate::version::Version`]
+//! (table metadata itself is re-read from each table's meta blob in
+//! storage). The manifest is rewritten atomically (temp file + rename) on
+//! every version change — it is tiny, so rewrite beats journaling here.
+//!
+//! Format (text, line-oriented, CRC-protected as a whole):
+//! ```text
+//! adcache-manifest v1
+//! next_file <id>
+//! table <level> <file_id>
+//! ...
+//! crc <crc32-of-all-previous-lines>
+//! ```
+
+use crate::error::{LsmError, Result};
+use crate::types::FileId;
+use crate::wal::crc32;
+use std::path::{Path, PathBuf};
+
+/// The durable version snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ManifestState {
+    /// Next file id to allocate.
+    pub next_file: FileId,
+    /// `(level, file_id)` for every live table, in recovery order (level
+    /// 0 entries newest-first, as they are searched).
+    pub tables: Vec<(usize, FileId)>,
+}
+
+/// Serializes `state` and writes it atomically to `path`.
+pub fn write_manifest(path: &Path, state: &ManifestState) -> Result<()> {
+    let mut body = String::from("adcache-manifest v1\n");
+    body.push_str(&format!("next_file {}\n", state.next_file));
+    for (level, id) in &state.tables {
+        body.push_str(&format!("table {level} {id}\n"));
+    }
+    let crc = crc32(body.as_bytes());
+    body.push_str(&format!("crc {crc:08x}\n"));
+
+    let tmp: PathBuf = path.with_extension("tmp");
+    std::fs::write(&tmp, body.as_bytes())?;
+    // Rename is atomic on POSIX filesystems.
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads and validates a manifest. `Ok(None)` when no manifest exists yet.
+pub fn read_manifest(path: &Path) -> Result<Option<ManifestState>> {
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let Some(crc_line_start) = content.rfind("crc ") else {
+        return Err(LsmError::Corruption("manifest missing crc line".into()));
+    };
+    let body = &content[..crc_line_start];
+    let crc_line = content[crc_line_start..].trim();
+    let want = u32::from_str_radix(crc_line.trim_start_matches("crc ").trim(), 16)
+        .map_err(|_| LsmError::Corruption("manifest bad crc line".into()))?;
+    if crc32(body.as_bytes()) != want {
+        return Err(LsmError::Corruption("manifest crc mismatch".into()));
+    }
+
+    let mut lines = body.lines();
+    match lines.next() {
+        Some("adcache-manifest v1") => {}
+        other => {
+            return Err(LsmError::Corruption(format!("manifest bad header: {other:?}")));
+        }
+    }
+    let mut state = ManifestState::default();
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("next_file") => {
+                state.next_file = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| LsmError::Corruption("manifest bad next_file".into()))?;
+            }
+            Some("table") => {
+                let level: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| LsmError::Corruption("manifest bad table level".into()))?;
+                let id: FileId = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| LsmError::Corruption("manifest bad table id".into()))?;
+                state.tables.push((level, id));
+            }
+            Some(other) => {
+                return Err(LsmError::Corruption(format!("manifest unknown directive {other}")));
+            }
+            None => {}
+        }
+    }
+    Ok(Some(state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("adcache-manifest-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = tmp("roundtrip");
+        let state = ManifestState {
+            next_file: 42,
+            tables: vec![(0, 7), (0, 5), (1, 3), (2, 1)],
+        };
+        write_manifest(&path, &state).unwrap();
+        let back = read_manifest(&path).unwrap().unwrap();
+        assert_eq!(back, state);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_is_none() {
+        let path = tmp("missing");
+        let _ = std::fs::remove_file(&path);
+        assert!(read_manifest(&path).unwrap().is_none());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let path = tmp("corrupt");
+        write_manifest(&path, &ManifestState { next_file: 9, tables: vec![(1, 2)] }).unwrap();
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content = content.replace("table 1 2", "table 1 3");
+        std::fs::write(&path, content).unwrap();
+        assert!(read_manifest(&path).is_err());
+    }
+
+    #[test]
+    fn rewrite_replaces_atomically() {
+        let path = tmp("rewrite");
+        write_manifest(&path, &ManifestState { next_file: 1, tables: vec![] }).unwrap();
+        write_manifest(&path, &ManifestState { next_file: 2, tables: vec![(0, 1)] }).unwrap();
+        let back = read_manifest(&path).unwrap().unwrap();
+        assert_eq!(back.next_file, 2);
+        assert_eq!(back.tables, vec![(0, 1)]);
+        assert!(!path.with_extension("tmp").exists(), "temp file cleaned up");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_manifest_is_rejected() {
+        let path = tmp("truncated");
+        write_manifest(&path, &ManifestState { next_file: 5, tables: vec![(0, 4)] }).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &content[..content.len() / 2]).unwrap();
+        assert!(read_manifest(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

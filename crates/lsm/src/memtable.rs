@@ -1,0 +1,139 @@
+//! The in-memory write buffer.
+//!
+//! Writes (puts and deletes) land in the memtable first; when its byte
+//! footprint crosses the configured threshold it is frozen and flushed to a
+//! Level-0 SSTable. Deletes are recorded as tombstones so they shadow older
+//! on-disk versions until compaction discards them.
+
+use crate::skiplist::SkipList;
+use crate::types::{Entry, Key, KeyEntry, Value};
+
+/// A sorted in-memory buffer of the newest writes.
+pub struct MemTable {
+    map: SkipList<Entry>,
+    bytes: usize,
+}
+
+impl MemTable {
+    /// Creates an empty memtable.
+    pub fn new() -> Self {
+        MemTable { map: SkipList::new(), bytes: 0 }
+    }
+
+    /// Inserts or overwrites `key`.
+    pub fn put(&mut self, key: Key, value: Value) {
+        self.apply(key, Entry::Put(value));
+    }
+
+    /// Records a deletion of `key`.
+    pub fn delete(&mut self, key: Key) {
+        self.apply(key, Entry::Tombstone);
+    }
+
+    fn apply(&mut self, key: Key, entry: Entry) {
+        let key_len = key.len();
+        let new_charge = entry.charge();
+        match self.map.insert(key, entry) {
+            // Replacement: the key and per-node overhead stay charged; only
+            // the value payload delta applies.
+            Some(old) => {
+                self.bytes = self.bytes.saturating_sub(old.charge()) + new_charge;
+            }
+            None => {
+                self.bytes += key_len + new_charge + 16;
+            }
+        }
+    }
+
+    /// Looks up the newest entry for `key`, if the memtable holds one.
+    /// `Some(Entry::Tombstone)` means "deleted — stop searching".
+    pub fn get(&self, key: &[u8]) -> Option<&Entry> {
+        self.map.get(key)
+    }
+
+    /// Iterates entries with keys `>= from` in ascending order.
+    pub fn iter_from<'a>(&'a self, from: &[u8]) -> impl Iterator<Item = KeyEntry> + 'a {
+        self.map.iter_from(from).map(|(k, e)| KeyEntry { key: k.clone(), entry: e.clone() })
+    }
+
+    /// Iterates every entry in ascending order (used by flush).
+    pub fn iter(&self) -> impl Iterator<Item = KeyEntry> + '_ {
+        self.map.iter().map(|(k, e)| KeyEntry { key: k.clone(), entry: e.clone() })
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn approximate_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of distinct keys buffered.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl Default for MemTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut m = MemTable::new();
+        assert!(m.is_empty());
+        m.put(b("k1"), b("v1"));
+        m.put(b("k2"), b("v2"));
+        assert_eq!(m.get(b"k1"), Some(&Entry::Put(b("v1"))));
+        assert_eq!(m.len(), 2);
+
+        m.delete(b("k1"));
+        assert_eq!(m.get(b"k1"), Some(&Entry::Tombstone));
+        assert_eq!(m.get(b"k3"), None);
+        // Tombstone replaces, does not add a key.
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_keeps_latest() {
+        let mut m = MemTable::new();
+        m.put(b("k"), b("old"));
+        m.put(b("k"), b("new"));
+        assert_eq!(m.get(b"k").unwrap().value().unwrap().as_ref(), b"new");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn bytes_grow_with_inserts() {
+        let mut m = MemTable::new();
+        let before = m.approximate_bytes();
+        m.put(b("key"), Bytes::from(vec![0u8; 1000]));
+        assert!(m.approximate_bytes() >= before + 1000);
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_seekable() {
+        let mut m = MemTable::new();
+        for k in ["d", "a", "c", "b"] {
+            m.put(b(k), b("v"));
+        }
+        let keys: Vec<_> = m.iter().map(|ke| ke.key).collect();
+        assert_eq!(keys, vec![b("a"), b("b"), b("c"), b("d")]);
+        let keys: Vec<_> = m.iter_from(b"b9").map(|ke| ke.key).collect();
+        assert_eq!(keys, vec![b("c"), b("d")]);
+    }
+}

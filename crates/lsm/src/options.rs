@@ -1,0 +1,170 @@
+//! Engine configuration.
+
+/// Tuning knobs for the LSM-tree, mirroring the paper's experimental setup
+/// (Section 5.1) at a configurable scale.
+///
+/// The defaults model the paper's RocksDB configuration proportionally:
+/// 1-leveling (leveled compaction with a tiered Level 0), size ratio 10
+/// between levels, Bloom filters at 10 bits per key, write slowdown at 4
+/// Level-0 files and stop at 8.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Target encoded size of one data block in bytes (paper: 4 KiB).
+    pub block_size: usize,
+    /// Number of keys between restart points inside a block.
+    pub block_restart_interval: usize,
+    /// Target total size of one SSTable in bytes (paper: 4 MiB).
+    pub sstable_size: usize,
+    /// Memtable flush threshold in bytes.
+    pub memtable_size: usize,
+    /// Number of Level-0 files that triggers an L0->L1 compaction.
+    pub l0_compaction_trigger: usize,
+    /// Number of Level-0 files at which writes are slowed (paper: 4).
+    pub l0_slowdown_files: usize,
+    /// Number of Level-0 files at which writes stall (paper: 8);
+    /// used as `r0_max` in the reward model.
+    pub l0_stop_files: usize,
+    /// Size ratio between adjacent levels (paper: 10).
+    pub size_ratio: usize,
+    /// Maximum bytes in Level 1; deeper levels scale by `size_ratio`.
+    pub l1_max_bytes: usize,
+    /// Bloom filter bits per key (paper: 10). Zero disables the filter.
+    pub bloom_bits_per_key: usize,
+    /// Hard cap on the number of levels.
+    pub max_levels: usize,
+    /// Compress data blocks on disk (LZSS; incompressible blocks are
+    /// stored raw automatically). The paper's evaluation runs without
+    /// compression, so this defaults to off.
+    pub compression: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            block_size: 4096,
+            block_restart_interval: 16,
+            sstable_size: 4 << 20,
+            memtable_size: 4 << 20,
+            l0_compaction_trigger: 4,
+            l0_slowdown_files: 4,
+            l0_stop_files: 8,
+            size_ratio: 10,
+            l1_max_bytes: 40 << 20,
+            bloom_bits_per_key: 10,
+            max_levels: 7,
+            compression: false,
+        }
+    }
+}
+
+impl Options {
+    /// The paper's exact Section 5.1 configuration: 4 KiB blocks, 4 MiB
+    /// SSTables, leveled compaction with size ratio 10, Bloom filters at
+    /// 10 bits/key, write slowdown at 4 Level-0 files and stop at 8. Use
+    /// with `--full`-scale experiments and real datasets.
+    pub fn paper() -> Self {
+        Options {
+            block_size: 4096,
+            block_restart_interval: 16,
+            sstable_size: 4 << 20,
+            memtable_size: 4 << 20,
+            l0_compaction_trigger: 4,
+            l0_slowdown_files: 4,
+            l0_stop_files: 8,
+            size_ratio: 10,
+            l1_max_bytes: 40 << 20,
+            bloom_bits_per_key: 10,
+            max_levels: 7,
+            compression: false,
+        }
+    }
+
+    /// A small-scale configuration for unit tests and fast simulations:
+    /// tiny blocks, tables and memtables so that compactions and multi-level
+    /// shapes appear with only thousands of keys.
+    pub fn small() -> Self {
+        Options {
+            block_size: 512,
+            block_restart_interval: 8,
+            sstable_size: 16 << 10,
+            memtable_size: 16 << 10,
+            l0_compaction_trigger: 4,
+            l0_slowdown_files: 4,
+            l0_stop_files: 8,
+            size_ratio: 10,
+            l1_max_bytes: 160 << 10,
+            bloom_bits_per_key: 10,
+            max_levels: 7,
+            compression: false,
+        }
+    }
+
+    /// Maximum allowed bytes for `level` (1-based levels; Level 0 is
+    /// file-count-triggered instead).
+    pub fn level_max_bytes(&self, level: usize) -> usize {
+        debug_assert!(level >= 1);
+        let mut size = self.l1_max_bytes;
+        for _ in 1..level {
+            size = size.saturating_mul(self.size_ratio);
+        }
+        size
+    }
+
+    /// Validates internal consistency; returns a human-readable complaint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.block_size < 64 {
+            return Err("block_size must be at least 64 bytes".into());
+        }
+        if self.block_restart_interval == 0 {
+            return Err("block_restart_interval must be positive".into());
+        }
+        if self.sstable_size < self.block_size {
+            return Err("sstable_size must be at least one block".into());
+        }
+        if self.l0_stop_files < self.l0_slowdown_files {
+            return Err("l0_stop_files must be >= l0_slowdown_files".into());
+        }
+        if self.size_ratio < 2 {
+            return Err("size_ratio must be at least 2".into());
+        }
+        if self.max_levels < 2 {
+            return Err("max_levels must be at least 2".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        Options::default().validate().unwrap();
+        Options::small().validate().unwrap();
+    }
+
+    #[test]
+    fn level_sizes_scale_by_ratio() {
+        let o = Options::default();
+        assert_eq!(o.level_max_bytes(1), o.l1_max_bytes);
+        assert_eq!(o.level_max_bytes(2), o.l1_max_bytes * 10);
+        assert_eq!(o.level_max_bytes(3), o.l1_max_bytes * 100);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let base = Options::default;
+        assert!(Options { block_size: 8, ..base() }.validate().is_err());
+        assert!(Options { block_restart_interval: 0, ..base() }.validate().is_err());
+        assert!(Options { sstable_size: 63, ..base() }.validate().is_err());
+        assert!(Options {
+            l0_stop_files: base().l0_slowdown_files - 1,
+            ..base()
+        }
+        .validate()
+        .is_err());
+        assert!(Options { size_ratio: 1, ..base() }.validate().is_err());
+        assert!(Options { max_levels: 1, ..base() }.validate().is_err());
+    }
+}

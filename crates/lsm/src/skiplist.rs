@@ -1,0 +1,374 @@
+//! An arena-based skiplist keyed by byte strings.
+//!
+//! This is the ordered-map substrate used by the memtable and by the range
+//! cache (the Range Cache paper stores cached results in a skiplist; we use
+//! the same structure). The list is deterministic: tower heights come from a
+//! seeded xorshift generator, so test failures reproduce exactly.
+//!
+//! Nodes live in a `Vec` arena and link to each other by index, which keeps
+//! the implementation free of `unsafe` while retaining O(log n) expected
+//! search. Removed nodes are recycled through a free list. The list is not
+//! internally synchronized; callers wrap it in a lock (the engine shards the
+//! range cache and guards each shard, mirroring the paper's Section 4.4).
+
+use bytes::Bytes;
+
+const MAX_HEIGHT: usize = 12;
+const NIL: u32 = u32::MAX;
+/// Probability (as a divisor) of growing a tower by one level: 1/4.
+const BRANCHING: u64 = 4;
+
+struct Node<V> {
+    key: Bytes,
+    value: V,
+    /// `next[h]` is the arena index of the successor at height `h`.
+    next: Vec<u32>,
+}
+
+/// A deterministic ordered map from [`Bytes`] keys to `V`.
+pub struct SkipList<V> {
+    arena: Vec<Node<V>>,
+    /// Indices of recycled arena slots.
+    free: Vec<u32>,
+    /// Head tower: `head[h]` is the first node at height `h`.
+    head: Vec<u32>,
+    len: usize,
+    rng_state: u64,
+}
+
+impl<V> SkipList<V> {
+    /// Creates an empty list with the default RNG seed.
+    pub fn new() -> Self {
+        Self::with_seed(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Creates an empty list whose tower heights derive from `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        SkipList {
+            arena: Vec::new(),
+            free: Vec::new(),
+            head: vec![NIL; MAX_HEIGHT],
+            len: 0,
+            rng_state: seed.max(1),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the list holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn random_height(&mut self) -> usize {
+        // xorshift64*
+        let mut h = 1;
+        loop {
+            self.rng_state ^= self.rng_state << 13;
+            self.rng_state ^= self.rng_state >> 7;
+            self.rng_state ^= self.rng_state << 17;
+            if h >= MAX_HEIGHT || !self.rng_state.is_multiple_of(BRANCHING) {
+                break;
+            }
+            h += 1;
+        }
+        h
+    }
+
+    /// For each height, the index of the last node whose key is `< key`
+    /// (or `NIL` if the head itself precedes `key` at that height).
+    fn find_predecessors(&self, key: &[u8]) -> [u32; MAX_HEIGHT] {
+        let mut preds = [NIL; MAX_HEIGHT];
+        let mut level = MAX_HEIGHT;
+        // `cur == NIL` means we are conceptually at the head.
+        let mut cur = NIL;
+        while level > 0 {
+            level -= 1;
+            loop {
+                let next = if cur == NIL {
+                    self.head[level]
+                } else {
+                    self.arena[cur as usize].next[level]
+                };
+                if next != NIL && self.arena[next as usize].key.as_ref() < key {
+                    cur = next;
+                } else {
+                    break;
+                }
+            }
+            preds[level] = cur;
+        }
+        preds
+    }
+
+    fn next_of(&self, pred: u32, level: usize) -> u32 {
+        if pred == NIL {
+            self.head[level]
+        } else {
+            self.arena[pred as usize].next[level]
+        }
+    }
+
+    fn set_next(&mut self, pred: u32, level: usize, target: u32) {
+        if pred == NIL {
+            self.head[level] = target;
+        } else {
+            self.arena[pred as usize].next[level] = target;
+        }
+    }
+
+    /// Inserts `key -> value`, returning the previous value if the key was
+    /// already present.
+    pub fn insert(&mut self, key: Bytes, value: V) -> Option<V> {
+        let preds = self.find_predecessors(key.as_ref());
+        let candidate = self.next_of(preds[0], 0);
+        if candidate != NIL && self.arena[candidate as usize].key == key {
+            let old = std::mem::replace(&mut self.arena[candidate as usize].value, value);
+            return Some(old);
+        }
+
+        let height = self.random_height();
+        let node = Node { key, value, next: vec![NIL; height] };
+        let idx = if let Some(slot) = self.free.pop() {
+            self.arena[slot as usize] = node;
+            slot
+        } else {
+            self.arena.push(node);
+            (self.arena.len() - 1) as u32
+        };
+        for (level, slot) in (0..height).map(|l| (l, idx)) {
+            let succ = self.next_of(preds[level], level);
+            self.arena[slot as usize].next[level] = succ;
+            self.set_next(preds[level], level, slot);
+        }
+        self.len += 1;
+        None
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &[u8]) -> Option<&V> {
+        let preds = self.find_predecessors(key);
+        let candidate = self.next_of(preds[0], 0);
+        if candidate != NIL && self.arena[candidate as usize].key.as_ref() == key {
+            Some(&self.arena[candidate as usize].value)
+        } else {
+            None
+        }
+    }
+
+    /// Looks up `key` mutably.
+    pub fn get_mut(&mut self, key: &[u8]) -> Option<&mut V> {
+        let preds = self.find_predecessors(key);
+        let candidate = self.next_of(preds[0], 0);
+        if candidate != NIL && self.arena[candidate as usize].key.as_ref() == key {
+            Some(&mut self.arena[candidate as usize].value)
+        } else {
+            None
+        }
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: &[u8]) -> Option<V>
+    where
+        V: Default,
+    {
+        let preds = self.find_predecessors(key);
+        let target = self.next_of(preds[0], 0);
+        if target == NIL || self.arena[target as usize].key.as_ref() != key {
+            return None;
+        }
+        let height = self.arena[target as usize].next.len();
+        for (level, &pred) in preds.iter().enumerate().take(height) {
+            debug_assert_eq!(self.next_of(pred, level), target);
+            let succ = self.arena[target as usize].next[level];
+            self.set_next(pred, level, succ);
+        }
+        self.len -= 1;
+        self.free.push(target);
+        let node = &mut self.arena[target as usize];
+        node.key = Bytes::new();
+        Some(std::mem::take(&mut node.value))
+    }
+
+    /// Iterates over all entries in ascending key order.
+    pub fn iter(&self) -> SkipIter<'_, V> {
+        SkipIter { list: self, cur: self.head[0] }
+    }
+
+    /// Iterates over entries with keys `>= from`, ascending.
+    pub fn iter_from(&self, from: &[u8]) -> SkipIter<'_, V> {
+        let preds = self.find_predecessors(from);
+        SkipIter { list: self, cur: self.next_of(preds[0], 0) }
+    }
+
+    /// First key `>= from`, with its value.
+    pub fn lower_bound(&self, from: &[u8]) -> Option<(&Bytes, &V)> {
+        self.iter_from(from).next()
+    }
+
+    /// Removes every entry and recycles the arena.
+    pub fn clear(&mut self) {
+        self.arena.clear();
+        self.free.clear();
+        self.head = vec![NIL; MAX_HEIGHT];
+        self.len = 0;
+    }
+}
+
+impl<V> Default for SkipList<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Ascending iterator over a [`SkipList`].
+pub struct SkipIter<'a, V> {
+    list: &'a SkipList<V>,
+    cur: u32,
+}
+
+impl<'a, V> Iterator for SkipIter<'a, V> {
+    type Item = (&'a Bytes, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cur == NIL {
+            return None;
+        }
+        let node = &self.list.arena[self.cur as usize];
+        self.cur = node.next[0];
+        Some((&node.key, &node.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut l = SkipList::new();
+        assert!(l.is_empty());
+        assert!(l.insert(b("b"), 2).is_none());
+        assert!(l.insert(b("a"), 1).is_none());
+        assert!(l.insert(b("c"), 3).is_none());
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.get(b"a"), Some(&1));
+        assert_eq!(l.get(b"b"), Some(&2));
+        assert_eq!(l.get(b"c"), Some(&3));
+        assert_eq!(l.get(b"d"), None);
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_old() {
+        let mut l = SkipList::new();
+        assert_eq!(l.insert(b("k"), 1), None);
+        assert_eq!(l.insert(b("k"), 2), Some(1));
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.get(b"k"), Some(&2));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut l = SkipList::new();
+        for k in ["d", "b", "e", "a", "c"] {
+            l.insert(b(k), ());
+        }
+        let keys: Vec<_> = l.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![b("a"), b("b"), b("c"), b("d"), b("e")]);
+    }
+
+    #[test]
+    fn iter_from_seeks_to_lower_bound() {
+        let mut l = SkipList::new();
+        for k in ["a", "c", "e"] {
+            l.insert(b(k), ());
+        }
+        let keys: Vec<_> = l.iter_from(b"b").map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![b("c"), b("e")]);
+        let keys: Vec<_> = l.iter_from(b"c").map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![b("c"), b("e")]);
+        assert!(l.iter_from(b"f").next().is_none());
+        assert_eq!(l.lower_bound(b"d").unwrap().0, &b("e"));
+    }
+
+    #[test]
+    fn remove_unlinks_and_recycles() {
+        let mut l: SkipList<i32> = SkipList::new();
+        for (i, k) in ["a", "b", "c", "d"].iter().enumerate() {
+            l.insert(b(k), i as i32);
+        }
+        assert_eq!(l.remove(b"b"), Some(1));
+        assert_eq!(l.remove(b"b"), None);
+        assert_eq!(l.len(), 3);
+        let keys: Vec<_> = l.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![b("a"), b("c"), b("d")]);
+        // Reinsertion reuses the freed slot and stays ordered.
+        l.insert(b("bb"), 9);
+        let keys: Vec<_> = l.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![b("a"), b("bb"), b("c"), b("d")]);
+        assert_eq!(l.get(b"bb"), Some(&9));
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut l = SkipList::new();
+        l.insert(b("k"), 10);
+        *l.get_mut(b"k").unwrap() += 5;
+        assert_eq!(l.get(b"k"), Some(&15));
+        assert!(l.get_mut(b"missing").is_none());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut l = SkipList::new();
+        for i in 0..100u32 {
+            l.insert(Bytes::copy_from_slice(&i.to_be_bytes()), i);
+        }
+        l.clear();
+        assert!(l.is_empty());
+        assert!(l.iter().next().is_none());
+        l.insert(b("x"), 1);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn large_insert_remove_matches_btreemap() {
+        use std::collections::BTreeMap;
+        let mut l = SkipList::new();
+        let mut m = BTreeMap::new();
+        let mut state = 42u64;
+        let mut rand = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..5000 {
+            let k = rand() % 500;
+            let key = Bytes::copy_from_slice(format!("{k:05}").as_bytes());
+            match rand() % 3 {
+                0 => {
+                    let v = rand();
+                    assert_eq!(l.insert(key.clone(), v), m.insert(key, v));
+                }
+                1 => {
+                    assert_eq!(l.remove(&key), m.remove(&key));
+                }
+                _ => {
+                    assert_eq!(l.get(&key), m.get(&key));
+                }
+            }
+        }
+        assert_eq!(l.len(), m.len());
+        let lk: Vec<_> = l.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let mk: Vec<_> = m.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        assert_eq!(lk, mk);
+    }
+}

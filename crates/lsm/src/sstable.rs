@@ -1,0 +1,530 @@
+//! SSTable building and reading.
+//!
+//! An SSTable is a sequence of prefix-compressed data blocks plus pinned
+//! metadata: a sparse index (first key of every block), a Bloom filter over
+//! all user keys, and key-range bounds. Metadata lives in memory for every
+//! open table — as with RocksDB's pinned index/filter blocks — so only data
+//! block fetches count as device I/O.
+//!
+//! Reads go through a [`BlockProvider`], the seam where the block cache
+//! plugs in: the default provider always decodes from storage, while the
+//! cache crate supplies one that consults the cache first and admits fills.
+
+use crate::block::{Block, BlockBuilder};
+use crate::bloom::BloomFilter;
+use crate::compress::{unwrap_block, wrap_block};
+use crate::error::{LsmError, Result};
+use crate::options::Options;
+use crate::storage::Storage;
+use crate::types::{BlockRef, Entry, FileId, Key, KeyEntry};
+use bytes::Bytes;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Pinned, immutable metadata for one SSTable.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    /// File id; doubles as the recency priority among Level-0 runs.
+    pub id: FileId,
+    /// Number of data blocks.
+    pub num_blocks: u32,
+    /// Number of entries across all blocks (tombstones included).
+    pub num_entries: u64,
+    /// Total encoded bytes of all data blocks.
+    pub total_bytes: u64,
+    /// Smallest user key in the table.
+    pub smallest: Key,
+    /// Largest user key in the table.
+    pub largest: Key,
+    /// First key of each block, for binary-searched block routing.
+    pub index: Vec<Key>,
+    /// Per-table Bloom filter over all user keys.
+    pub bloom: BloomFilter,
+}
+
+impl TableMeta {
+    /// Whether `key` falls inside this table's key range.
+    pub fn key_in_range(&self, key: &[u8]) -> bool {
+        self.smallest.as_ref() <= key && key <= self.largest.as_ref()
+    }
+
+    /// Whether the table's range overlaps `[start, end]` (inclusive bounds;
+    /// `end = None` means unbounded above).
+    pub fn overlaps(&self, start: &[u8], end: Option<&[u8]>) -> bool {
+        let below = match end {
+            Some(e) => self.smallest.as_ref() <= e,
+            None => true,
+        };
+        below && self.largest.as_ref() >= start
+    }
+
+    /// The block that could contain `key`: the rightmost block whose first
+    /// key is `<= key`. Returns `None` when `key` precedes the table.
+    pub fn block_for_key(&self, key: &[u8]) -> Option<u32> {
+        let pp = self.index.partition_point(|first| first.as_ref() <= key);
+        if pp == 0 {
+            None
+        } else {
+            Some((pp - 1) as u32)
+        }
+    }
+
+    /// Approximate pinned-memory footprint (index + bloom), in bytes.
+    pub fn pinned_bytes(&self) -> usize {
+        self.index.iter().map(|k| k.len()).sum::<usize>() + self.bloom.memory_bytes()
+    }
+
+    /// Serializes the metadata for persistence alongside the blocks.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(&self.num_blocks.to_le_bytes());
+        out.extend_from_slice(&self.num_entries.to_le_bytes());
+        out.extend_from_slice(&self.total_bytes.to_le_bytes());
+        let put_bytes = |out: &mut Vec<u8>, b: &[u8]| {
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            out.extend_from_slice(b);
+        };
+        put_bytes(&mut out, &self.smallest);
+        put_bytes(&mut out, &self.largest);
+        for k in &self.index {
+            put_bytes(&mut out, k);
+        }
+        self.bloom.encode(&mut out);
+        Bytes::from(out)
+    }
+
+    /// Deserializes metadata previously written by [`TableMeta::encode`].
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            if *pos + n > data.len() {
+                return Err(LsmError::Corruption("table meta truncated".into()));
+            }
+            let s = &data[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let id = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let num_blocks = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let num_entries = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let total_bytes = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let take_bytes = |pos: &mut usize| -> Result<Bytes> {
+            let len = u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()) as usize;
+            Ok(Bytes::copy_from_slice(take(pos, len)?))
+        };
+        let smallest = take_bytes(&mut pos)?;
+        let largest = take_bytes(&mut pos)?;
+        let mut index = Vec::with_capacity(num_blocks as usize);
+        for _ in 0..num_blocks {
+            index.push(take_bytes(&mut pos)?);
+        }
+        let (bloom, _used) = BloomFilter::decode(&data[pos..])
+            .ok_or_else(|| LsmError::Corruption("table meta bloom truncated".into()))?;
+        Ok(TableMeta { id, num_blocks, num_entries, total_bytes, smallest, largest, index, bloom })
+    }
+}
+
+/// Source of decoded data blocks; the block cache's integration point.
+pub trait BlockProvider: Send + Sync {
+    /// Returns the decoded block `(table, block_no)`, fetching from storage
+    /// on a cache miss. Implementations decide admission.
+    fn block(&self, meta: &TableMeta, block_no: u32, storage: &dyn Storage) -> Result<Arc<Block>>;
+
+    /// Notifies the provider that `files` were deleted by a compaction, so
+    /// block-granularity state tied to those files must be invalidated.
+    fn invalidate_files(&self, _files: &[FileId]) {}
+}
+
+/// Decodes a block as stored on the device: unwraps the compression frame,
+/// then parses (and checksum-verifies) the block encoding.
+pub fn decode_stored_block(stored: Bytes) -> Result<Block> {
+    let raw = unwrap_block(&stored)?;
+    Block::decode(Bytes::from(raw))
+}
+
+/// Provider that always fetches from storage: the no-block-cache baseline.
+#[derive(Debug, Default)]
+pub struct DirectProvider;
+
+impl BlockProvider for DirectProvider {
+    fn block(&self, meta: &TableMeta, block_no: u32, storage: &dyn Storage) -> Result<Arc<Block>> {
+        let stored = storage.read_block(meta.id, block_no)?;
+        Ok(Arc::new(decode_stored_block(stored)?))
+    }
+}
+
+/// Builds one SSTable, cutting blocks at the configured size.
+pub struct TableBuilder {
+    id: FileId,
+    opts: Options,
+    current: BlockBuilder,
+    blocks: Vec<Bytes>,
+    index: Vec<Key>,
+    keys: Vec<Key>,
+    smallest: Option<Key>,
+    largest: Option<Key>,
+    num_entries: u64,
+    pending_first_key: Option<Key>,
+}
+
+impl TableBuilder {
+    /// Starts a builder for file `id`.
+    pub fn new(id: FileId, opts: &Options) -> Self {
+        TableBuilder {
+            id,
+            opts: opts.clone(),
+            current: BlockBuilder::new(opts.block_restart_interval),
+            blocks: Vec::new(),
+            index: Vec::new(),
+            keys: Vec::new(),
+            smallest: None,
+            largest: None,
+            num_entries: 0,
+            pending_first_key: None,
+        }
+    }
+
+    /// Appends an entry; keys must be strictly ascending across the table.
+    pub fn add(&mut self, key: &[u8], entry: &Entry) -> Result<()> {
+        if self.current.is_empty() {
+            self.pending_first_key = Some(Bytes::copy_from_slice(key));
+        }
+        self.current.add(key, entry)?;
+        let kb = Bytes::copy_from_slice(key);
+        if self.smallest.is_none() {
+            self.smallest = Some(kb.clone());
+        }
+        self.largest = Some(kb.clone());
+        self.keys.push(kb);
+        self.num_entries += 1;
+        if self.current.size_estimate() >= self.opts.block_size {
+            self.cut_block();
+        }
+        Ok(())
+    }
+
+    fn cut_block(&mut self) {
+        if self.current.is_empty() {
+            return;
+        }
+        let builder = std::mem::replace(
+            &mut self.current,
+            BlockBuilder::new(self.opts.block_restart_interval),
+        );
+        // Frame (and optionally compress) the encoded block for storage.
+        let stored = wrap_block(&builder.finish(), self.opts.compression);
+        self.blocks.push(Bytes::from(stored));
+        self.index.push(self.pending_first_key.take().expect("non-empty block has a first key"));
+    }
+
+    /// Estimated total encoded size so far (used by compaction to cut
+    /// output tables at `sstable_size`).
+    pub fn estimated_size(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).sum::<usize>() + self.current.size_estimate()
+    }
+
+    /// Number of entries added so far.
+    pub fn num_entries(&self) -> u64 {
+        self.num_entries
+    }
+
+    /// Whether nothing has been added.
+    pub fn is_empty(&self) -> bool {
+        self.num_entries == 0
+    }
+
+    /// Seals the table, writes blocks + metadata to `storage`, and returns
+    /// the pinned metadata.
+    pub fn finish(mut self, storage: &dyn Storage) -> Result<Arc<TableMeta>> {
+        self.cut_block();
+        if self.blocks.is_empty() {
+            return Err(LsmError::InvalidArgument("cannot finish an empty table".into()));
+        }
+        let total_bytes: u64 = self.blocks.iter().map(|b| b.len() as u64).sum();
+        let bloom = BloomFilter::build(&self.keys, self.opts.bloom_bits_per_key);
+        let meta = TableMeta {
+            id: self.id,
+            num_blocks: self.blocks.len() as u32,
+            num_entries: self.num_entries,
+            total_bytes,
+            smallest: self.smallest.expect("non-empty table"),
+            largest: self.largest.expect("non-empty table"),
+            index: self.index,
+            bloom,
+        };
+        storage.write_table(self.id, self.blocks, meta.encode())?;
+        Ok(Arc::new(meta))
+    }
+}
+
+/// Point lookup inside one table.
+///
+/// Returns `Ok(None)` when the table provably does not contain the key
+/// (range/bloom/index negative) — without any device I/O — and otherwise
+/// fetches exactly one block through the provider.
+pub fn table_get(
+    meta: &TableMeta,
+    provider: &dyn BlockProvider,
+    storage: &dyn Storage,
+    key: &[u8],
+) -> Result<Option<Entry>> {
+    if !meta.key_in_range(key) || !meta.bloom.may_contain(key) {
+        return Ok(None);
+    }
+    let Some(block_no) = meta.block_for_key(key) else {
+        return Ok(None);
+    };
+    let block = provider.block(meta, block_no, storage)?;
+    block.get(key)
+}
+
+/// Streaming iterator over one table starting at `from`.
+///
+/// Blocks are fetched lazily through the provider as the cursor crosses
+/// block boundaries; creating the iterator costs at most one block fetch
+/// (the seek phase of a scan, per the paper's I/O model).
+pub struct TableIter {
+    meta: Arc<TableMeta>,
+    next_block: u32,
+    buf: VecDeque<KeyEntry>,
+}
+
+impl TableIter {
+    /// Positions a cursor at the first entry with key `>= from`.
+    pub fn seek(
+        meta: Arc<TableMeta>,
+        provider: &dyn BlockProvider,
+        storage: &dyn Storage,
+        from: &[u8],
+    ) -> Result<Self> {
+        let start_block = meta.block_for_key(from).unwrap_or(0);
+        let mut iter = TableIter { meta, next_block: start_block, buf: VecDeque::new() };
+        iter.fill(provider, storage, Some(from))?;
+        Ok(iter)
+    }
+
+    fn fill(
+        &mut self,
+        provider: &dyn BlockProvider,
+        storage: &dyn Storage,
+        from: Option<&[u8]>,
+    ) -> Result<()> {
+        while self.buf.is_empty() && self.next_block < self.meta.num_blocks {
+            let block = provider.block(&self.meta, self.next_block, storage)?;
+            self.next_block += 1;
+            match from {
+                Some(f) => {
+                    for ke in block.iter_from(f)? {
+                        self.buf.push_back(ke?);
+                    }
+                }
+                None => {
+                    for ke in block.iter() {
+                        self.buf.push_back(ke?);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Current head entry without consuming it.
+    pub fn peek(&self) -> Option<&KeyEntry> {
+        self.buf.front()
+    }
+
+    /// Consumes and returns the head entry, refilling from the next block
+    /// when the buffered one is exhausted.
+    pub fn advance(
+        &mut self,
+        provider: &dyn BlockProvider,
+        storage: &dyn Storage,
+    ) -> Result<Option<KeyEntry>> {
+        let head = self.buf.pop_front();
+        if self.buf.is_empty() {
+            self.fill(provider, storage, None)?;
+        }
+        Ok(head)
+    }
+
+    /// The table this cursor reads.
+    pub fn table_id(&self) -> FileId {
+        self.meta.id
+    }
+}
+
+/// Convenience: a [`BlockRef`] for a position in `meta`.
+pub fn block_ref(meta: &TableMeta, block_no: u32) -> BlockRef {
+    BlockRef::new(meta.id, block_no)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn build_table(n: usize, opts: &Options, storage: &dyn Storage) -> Arc<TableMeta> {
+        let mut b = TableBuilder::new(1, opts);
+        for i in 0..n {
+            let k = format!("key{i:06}");
+            let v = format!("value-{i}");
+            b.add(k.as_bytes(), &Entry::Put(Bytes::from(v))).unwrap();
+        }
+        b.finish(storage).unwrap()
+    }
+
+    #[test]
+    fn build_and_get_all_keys() {
+        let opts = Options::small();
+        let storage = MemStorage::new();
+        let meta = build_table(1000, &opts, &storage);
+        assert!(meta.num_blocks > 1, "should span multiple blocks");
+        assert_eq!(meta.num_entries, 1000);
+        assert_eq!(meta.smallest.as_ref(), b"key000000");
+        assert_eq!(meta.largest.as_ref(), b"key000999");
+
+        let p = DirectProvider;
+        for i in (0..1000).step_by(37) {
+            let k = format!("key{i:06}");
+            let got = table_get(&meta, &p, &storage, k.as_bytes()).unwrap().unwrap();
+            assert_eq!(got.value().unwrap().as_ref(), format!("value-{i}").as_bytes());
+        }
+        assert!(table_get(&meta, &p, &storage, b"missing").unwrap().is_none());
+        assert!(table_get(&meta, &p, &storage, b"key9999999").unwrap().is_none());
+    }
+
+    #[test]
+    fn bloom_and_range_skip_without_io() {
+        let opts = Options::small();
+        let storage = MemStorage::new();
+        let meta = build_table(1000, &opts, &storage);
+        let p = DirectProvider;
+        let before = storage.stats().reads();
+        // Out of range: no I/O.
+        table_get(&meta, &p, &storage, b"zzz").unwrap();
+        assert_eq!(storage.stats().reads(), before);
+        // In range but bloom-filtered (with overwhelming probability).
+        let mut skipped = 0;
+        for i in 0..100 {
+            let probe = format!("key{i:06}x");
+            let r0 = storage.stats().reads();
+            table_get(&meta, &p, &storage, probe.as_bytes()).unwrap();
+            if storage.stats().reads() == r0 {
+                skipped += 1;
+            }
+        }
+        assert!(skipped >= 95, "bloom should skip nearly all absent keys, skipped={skipped}");
+    }
+
+    #[test]
+    fn point_lookup_reads_exactly_one_block() {
+        let opts = Options::small();
+        let storage = MemStorage::new();
+        let meta = build_table(1000, &opts, &storage);
+        let p = DirectProvider;
+        let before = storage.stats().reads();
+        table_get(&meta, &p, &storage, b"key000500").unwrap().unwrap();
+        assert_eq!(storage.stats().reads(), before + 1);
+    }
+
+    #[test]
+    fn iter_scans_across_blocks() {
+        let opts = Options::small();
+        let storage = MemStorage::new();
+        let meta = build_table(500, &opts, &storage);
+        let p = DirectProvider;
+        let mut it = TableIter::seek(meta.clone(), &p, &storage, b"key000123").unwrap();
+        let mut got = Vec::new();
+        while let Some(ke) = it.advance(&p, &storage).unwrap() {
+            got.push(ke.key);
+            if got.len() == 300 {
+                break;
+            }
+        }
+        assert_eq!(got.len(), 300);
+        assert_eq!(got[0].as_ref(), b"key000123");
+        assert_eq!(got[299].as_ref(), b"key000422");
+        for w in got.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn iter_seek_before_start_and_past_end() {
+        let opts = Options::small();
+        let storage = MemStorage::new();
+        let meta = build_table(10, &opts, &storage);
+        let p = DirectProvider;
+        let mut it = TableIter::seek(meta.clone(), &p, &storage, b"a").unwrap();
+        assert_eq!(it.advance(&p, &storage).unwrap().unwrap().key.as_ref(), b"key000000");
+        let mut it = TableIter::seek(meta, &p, &storage, b"zzz").unwrap();
+        assert!(it.advance(&p, &storage).unwrap().is_none());
+    }
+
+    #[test]
+    fn meta_encode_decode_roundtrip() {
+        let opts = Options::small();
+        let storage = MemStorage::new();
+        let meta = build_table(300, &opts, &storage);
+        let blob = meta.encode();
+        let decoded = TableMeta::decode(&blob).unwrap();
+        assert_eq!(decoded.id, meta.id);
+        assert_eq!(decoded.num_blocks, meta.num_blocks);
+        assert_eq!(decoded.num_entries, meta.num_entries);
+        assert_eq!(decoded.total_bytes, meta.total_bytes);
+        assert_eq!(decoded.smallest, meta.smallest);
+        assert_eq!(decoded.largest, meta.largest);
+        assert_eq!(decoded.index, meta.index);
+        assert!(decoded.bloom.may_contain(b"key000000"));
+        // And the persisted copy in storage matches.
+        let persisted = TableMeta::decode(&storage.read_meta(meta.id).unwrap()).unwrap();
+        assert_eq!(persisted.index, meta.index);
+    }
+
+    #[test]
+    fn meta_decode_rejects_truncation() {
+        let opts = Options::small();
+        let storage = MemStorage::new();
+        let meta = build_table(50, &opts, &storage);
+        let blob = meta.encode();
+        for cut in [0, 4, 10, blob.len() / 2, blob.len() - 1] {
+            assert!(TableMeta::decode(&blob[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn overlap_checks() {
+        let opts = Options::small();
+        let storage = MemStorage::new();
+        let meta = build_table(100, &opts, &storage);
+        assert!(meta.overlaps(b"key000050", Some(b"key000060")));
+        assert!(meta.overlaps(b"a", None));
+        assert!(meta.overlaps(b"key000099", Some(b"zzz")));
+        assert!(!meta.overlaps(b"zzz", None));
+        assert!(!meta.overlaps(b"a", Some(b"b")));
+    }
+
+    #[test]
+    fn tombstones_roundtrip_through_tables() {
+        let opts = Options::small();
+        let storage = MemStorage::new();
+        let mut b = TableBuilder::new(9, &opts);
+        b.add(b"alive", &Entry::Put(Bytes::from_static(b"v"))).unwrap();
+        b.add(b"dead", &Entry::Tombstone).unwrap();
+        let meta = b.finish(&storage).unwrap();
+        let p = DirectProvider;
+        assert_eq!(
+            table_get(&meta, &p, &storage, b"dead").unwrap(),
+            Some(Entry::Tombstone)
+        );
+    }
+
+    #[test]
+    fn empty_table_finish_is_error() {
+        let opts = Options::small();
+        let storage = MemStorage::new();
+        let b = TableBuilder::new(2, &opts);
+        assert!(b.finish(&storage).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property test: for any operation sequence and any crash point (process
+//! drop without flush), a durable engine recovers to exactly the model
+//! state — every write is either in an SSTable referenced by the manifest
+//! or in the WAL.
+
+use adcache_lsm::{DirectProvider, FileStorage, LsmTree, Options};
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, u8),
+    Delete(u16),
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 300, v)),
+        2 => any::<u16>().prop_map(|k| Op::Delete(k % 300)),
+        1 => Just(Op::Flush),
+    ]
+}
+
+fn key(k: u16) -> Bytes {
+    Bytes::from(format!("key{k:05}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    #[test]
+    fn recovery_equals_model_at_any_crash_point(
+        ops in proptest::collection::vec(op_strategy(), 1..250),
+        crash_at_frac in 0.0f64..1.0,
+        case_id in any::<u64>(),
+    ) {
+        let base = std::env::temp_dir().join(format!(
+            "adcache-precov-{}-{case_id}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        let sst_dir = base.join("sst");
+        let meta_dir = base.join("meta");
+
+        let crash_at = ((ops.len() as f64) * crash_at_frac) as usize;
+        let mut model: BTreeMap<Bytes, Bytes> = BTreeMap::new();
+        let mut tiny = Options::small();
+        tiny.memtable_size = 2048;
+        tiny.sstable_size = 2048;
+
+        // First life: run until the crash point, then drop.
+        {
+            let storage = Arc::new(FileStorage::open(&sst_dir).unwrap());
+            let db = LsmTree::with_durability(tiny.clone(), storage, &meta_dir).unwrap();
+            for op in ops.iter().take(crash_at) {
+                match op {
+                    Op::Put(k, v) => {
+                        let value = Bytes::from(format!("v{k}-{v}"));
+                        model.insert(key(*k), value.clone());
+                        db.put(key(*k), value).unwrap();
+                    }
+                    Op::Delete(k) => {
+                        model.remove(&key(*k));
+                        db.delete(key(*k)).unwrap();
+                    }
+                    Op::Flush => db.flush().unwrap(),
+                }
+            }
+            // Crash: drop without flushing.
+        }
+
+        // Second life: recover and verify against the model.
+        let storage = Arc::new(FileStorage::open(&sst_dir).unwrap());
+        let db = LsmTree::with_durability(tiny, storage, &meta_dir).unwrap();
+        let p = DirectProvider;
+        for k in 0..300u16 {
+            let got = db.get(&key(k), &p).unwrap();
+            prop_assert_eq!(got.as_ref(), model.get(&key(k)), "key {} after crash at {}", k, crash_at);
+        }
+        let scan = db.scan(b"", 1024, &p).unwrap();
+        let want: Vec<(Bytes, Bytes)> =
+            model.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+        prop_assert_eq!(scan, want);
+
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+}

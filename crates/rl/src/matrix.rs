@@ -1,0 +1,173 @@
+//! Minimal row-major f32 matrix used by the neural-network layers.
+//!
+//! The networks here are tiny (two 256-wide hidden layers, batch size 1),
+//! so a dependency-free dense matrix with straightforward loops is the
+//! right tool: it keeps the crate auditable and the paper's Table 2 memory
+//! accounting exact.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wraps an existing buffer (must have `rows * cols` elements).
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        Matrix { rows, cols, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// The flat parameter buffer (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat parameter buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Matrix–vector product `self * x`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols);
+        self.data
+            .chunks_exact(self.cols)
+            .map(|row| row.iter().zip(x).map(|(w, xi)| w * xi).sum())
+            .collect()
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * y`.
+    pub fn matvec_t(&self, y: &[f32]) -> Vec<f32> {
+        assert_eq!(y.len(), self.rows);
+        let mut out = vec![0.0; self.cols];
+        for (row, &yr) in self.data.chunks_exact(self.cols).zip(y) {
+            for (o, w) in out.iter_mut().zip(row) {
+                *o += w * yr;
+            }
+        }
+        out
+    }
+
+    /// Rank-1 update `self += y ⊗ x` (outer product), the weight-gradient
+    /// accumulation of a linear layer at batch size 1.
+    pub fn add_outer(&mut self, y: &[f32], x: &[f32]) {
+        assert_eq!(y.len(), self.rows);
+        assert_eq!(x.len(), self.cols);
+        for (row, &yr) in self.data.chunks_exact_mut(self.cols).zip(y) {
+            for (w, xi) in row.iter_mut().zip(x) {
+                *w += yr * xi;
+            }
+        }
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        // [[1,2],[3,4],[5,6]] * [10, 100] = [210, 430, 650]
+        let m = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.matvec(&[10.0, 100.0]), vec![210.0, 430.0, 650.0]);
+    }
+
+    #[test]
+    fn matvec_t_matches_hand_computation() {
+        let m = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        // mᵀ * [1, 1, 1] = [9, 12]
+        assert_eq!(m.matvec_t(&[1.0, 1.0, 1.0]), vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn add_outer_accumulates() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_outer(&[1.0, 2.0], &[10.0, 20.0, 30.0]);
+        m.add_outer(&[1.0, 0.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(m.as_slice(), &[11.0, 21.0, 31.0, 20.0, 40.0, 60.0]);
+    }
+
+    #[test]
+    fn from_fn_and_accessors() {
+        let m = Matrix::from_fn(2, 2, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.get(1, 0), 10.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.len(), 4);
+        let mut m = m;
+        *m.get_mut(0, 1) = 9.0;
+        assert_eq!(m.get(0, 1), 9.0);
+        m.fill_zero();
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r + c) as f32);
+        let s = serde_json::to_string(&m).unwrap();
+        let back: Matrix = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        Matrix::zeros(2, 2).matvec(&[1.0]);
+    }
+}

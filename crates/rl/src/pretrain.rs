@@ -1,0 +1,141 @@
+//! Pretraining (paper Section 3.6).
+//!
+//! Two modes initialize the actor before deployment:
+//!
+//! - **supervised** — regress the post-sigmoid policy mean onto target
+//!   configurations obtained from controlled experiments;
+//! - **unsupervised** — replay recorded transitions through the same
+//!   actor-critic updates as online learning.
+//!
+//! Trained agents serialize to JSON so one model can be shipped across
+//! machines (the paper's portability argument).
+
+use crate::actor_critic::{ActorCritic, Transition};
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// A labeled pretraining sample: a workload/state vector and the target
+/// action configuration (each dim in `[0, 1]`).
+#[derive(Debug, Clone)]
+pub struct LabeledSample {
+    /// State featurization.
+    pub state: Vec<f32>,
+    /// Target action.
+    pub target: Vec<f32>,
+}
+
+/// Supervised pretraining: MSE regression of the policy mean onto targets.
+/// Returns the final epoch's mean squared error.
+pub fn pretrain_supervised(
+    agent: &mut ActorCritic,
+    samples: &[LabeledSample],
+    epochs: usize,
+    lr: f32,
+) -> f32 {
+    let mut last_mse = f32::MAX;
+    let (actor, adam) = agent.actor_parts();
+    for _ in 0..epochs {
+        let mut mse = 0.0;
+        for s in samples {
+            actor.zero_grad();
+            let z = actor.forward(&s.state);
+            // dL/dz = 2(mu - t) * mu(1-mu) for L = Σ (mu - t)².
+            let dz: Vec<f32> = z
+                .iter()
+                .zip(&s.target)
+                .map(|(&zi, &ti)| {
+                    let mu = sigmoid(zi);
+                    mse += (mu - ti).powi(2);
+                    2.0 * (mu - ti) * mu * (1.0 - mu)
+                })
+                .collect();
+            actor.backward(&dz);
+            actor.apply_grads(adam, lr);
+        }
+        last_mse = mse / samples.len().max(1) as f32;
+    }
+    last_mse
+}
+
+/// Unsupervised pretraining: replay transitions through the online update
+/// rule for `epochs` passes.
+pub fn pretrain_unsupervised(agent: &mut ActorCritic, transitions: &[Transition], epochs: usize) {
+    for _ in 0..epochs {
+        for t in transitions {
+            agent.update(t);
+        }
+    }
+}
+
+/// Persists an agent to `path` as JSON.
+pub fn save_agent(agent: &ActorCritic, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, agent.to_json())
+}
+
+/// Restores an agent previously saved with [`save_agent`].
+pub fn load_agent(path: &std::path::Path) -> std::io::Result<ActorCritic> {
+    let s = std::fs::read_to_string(path)?;
+    ActorCritic::from_json(&s).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor_critic::AgentConfig;
+
+    #[test]
+    fn supervised_pretraining_fits_targets() {
+        let mut cfg = AgentConfig::small(3, 2);
+        cfg.seed = 5;
+        let mut agent = ActorCritic::new(cfg);
+        // Two distinct workload states mapping to distinct configurations.
+        let samples = vec![
+            LabeledSample { state: vec![1.0, 0.0, 0.0], target: vec![0.9, 0.1] },
+            LabeledSample { state: vec![0.0, 1.0, 0.0], target: vec![0.1, 0.8] },
+        ];
+        let mse = pretrain_supervised(&mut agent, &samples, 300, 5e-3);
+        assert!(mse < 0.01, "mse {mse}");
+        let a = agent.act_greedy(&[1.0, 0.0, 0.0]);
+        assert!((a[0] - 0.9).abs() < 0.1 && (a[1] - 0.1).abs() < 0.1, "{a:?}");
+        let b = agent.act_greedy(&[0.0, 1.0, 0.0]);
+        assert!((b[0] - 0.1).abs() < 0.1 && (b[1] - 0.8).abs() < 0.1, "{b:?}");
+    }
+
+    #[test]
+    fn unsupervised_pretraining_improves_bandit_policy() {
+        let mut cfg = AgentConfig::small(1, 1);
+        cfg.exploration_std = 0.15;
+        cfg.adaptive_lr = false;
+        let mut agent = ActorCritic::new(cfg);
+        let state = vec![0.5];
+        // Offline experience: high reward near a=0.7.
+        let mut transitions = Vec::new();
+        // Interleave action values so replay order carries no trend.
+        for i in 0..200u64 {
+            let a = ((i.wrapping_mul(7)) % 20) as f32 / 20.0;
+            transitions.push(Transition {
+                state: state.clone(),
+                action: vec![a],
+                reward: 1.0 - (a - 0.7).powi(2) * 4.0,
+                next_state: state.clone(),
+            });
+        }
+        pretrain_unsupervised(&mut agent, &transitions, 25);
+        let mu = agent.act_greedy(&state)[0];
+        assert!((mu - 0.7).abs() < 0.3, "mu {mu}");
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_via_disk() {
+        let mut agent = ActorCritic::new(AgentConfig::small(2, 2));
+        let path = std::env::temp_dir().join(format!("adcache-agent-{}.json", std::process::id()));
+        save_agent(&agent, &path).unwrap();
+        let mut loaded = load_agent(&path).unwrap();
+        let s = vec![0.3, 0.7];
+        assert_eq!(loaded.act_greedy(&s), agent.act_greedy(&s));
+        std::fs::remove_file(&path).unwrap();
+        assert!(load_agent(&path).is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! # adcache-workload — workload generation for LSM-tree cache evaluation
+//!
+//! Generates the paper's evaluation workloads (EDBT 2026, Section 5):
+//!
+//! - [`zipf`] — YCSB-style (scrambled) Zipfian sampling, skew 0.6–1.2;
+//! - [`generator`] — operation mixes over a fixed key space (24-byte keys,
+//!   configurable value size), with deterministic seeding;
+//! - [`phases`] — the Table 3 dynamic schedule (phases A→F) and the four
+//!   Figure 7 static workloads;
+//! - [`trace`] — JSON-lines operation traces for exact replay across cache
+//!   strategies and for pretraining data collection.
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod phases;
+pub mod trace;
+pub mod zipf;
+
+pub use generator::{parse_key, render_key, Distribution, Mix, Operation, WorkloadConfig, WorkloadGen};
+pub use phases::{paper_dynamic_schedule, static_workloads, Phase, Schedule, TABLE3};
+pub use trace::Trace;
+pub use zipf::Zipf;

@@ -1,0 +1,121 @@
+//! Dynamic workload phases (paper Section 5.3, Table 3).
+//!
+//! The paper's dynamic evaluation runs six phases in sequence, A → F,
+//! sweeping from read/scan-dominant to write-heavy mixes. Phase
+//! definitions here are data, consumed by the experiment runner.
+
+use crate::generator::Mix;
+use serde::{Deserialize, Serialize};
+
+/// One phase of a dynamic workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Display name ("A".."F" for the paper's schedule).
+    pub name: String,
+    /// The operation mix active during the phase.
+    pub mix: Mix,
+    /// Number of operations to run in the phase.
+    pub ops: u64,
+}
+
+/// A sequence of phases executed back to back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Ordered phases.
+    pub phases: Vec<Phase>,
+}
+
+impl Schedule {
+    /// Total operation count across phases.
+    pub fn total_ops(&self) -> u64 {
+        self.phases.iter().map(|p| p.ops).sum()
+    }
+
+    /// The phase active at global operation index `op`, with the offset
+    /// into that phase. `None` past the end.
+    pub fn phase_at(&self, op: u64) -> Option<(&Phase, u64)> {
+        let mut start = 0;
+        for p in &self.phases {
+            if op < start + p.ops {
+                return Some((p, op - start));
+            }
+            start += p.ops;
+        }
+        None
+    }
+}
+
+/// The paper's Table 3 phase mixes: `(get, short scan, long scan, write)`
+/// percentages for phases A through F.
+pub const TABLE3: [(&str, Mix); 6] = [
+    ("A", Mix::new(1.0, 1.0, 97.0, 1.0)),
+    ("B", Mix::new(1.0, 49.0, 49.0, 1.0)),
+    ("C", Mix::new(49.0, 49.0, 1.0, 1.0)),
+    ("D", Mix::new(25.0, 25.0, 1.0, 49.0)),
+    ("E", Mix::new(1.0, 49.0, 1.0, 49.0)),
+    ("F", Mix::new(1.0, 12.0, 12.0, 75.0)),
+];
+
+/// Builds the paper's dynamic schedule with `ops_per_phase` operations per
+/// phase (the paper runs 50 M per phase; experiments here scale down).
+pub fn paper_dynamic_schedule(ops_per_phase: u64) -> Schedule {
+    Schedule {
+        phases: TABLE3
+            .iter()
+            .map(|(name, mix)| Phase { name: (*name).into(), mix: *mix, ops: ops_per_phase })
+            .collect(),
+    }
+}
+
+/// The four static workloads of the paper's Figure 7.
+pub fn static_workloads() -> Vec<(&'static str, Mix)> {
+    vec![
+        ("point_lookup", Mix::new(100.0, 0.0, 0.0, 0.0)),
+        ("short_scan", Mix::new(0.0, 100.0, 0.0, 0.0)),
+        ("balanced", Mix::new(33.0, 33.0, 0.0, 33.0)),
+        ("long_scan", Mix::new(0.0, 0.0, 100.0, 0.0)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_matches_paper_ratios() {
+        let s = paper_dynamic_schedule(100);
+        assert_eq!(s.phases.len(), 6);
+        assert_eq!(s.total_ops(), 600);
+        let a = &s.phases[0];
+        assert_eq!(a.name, "A");
+        assert_eq!(a.mix.long_scan, 97.0);
+        let f = &s.phases[5];
+        assert_eq!(f.mix.write, 75.0);
+        assert_eq!(f.mix.short_scan, 12.0);
+        // Every phase sums to 100%.
+        for p in &s.phases {
+            let sum = p.mix.get + p.mix.short_scan + p.mix.long_scan + p.mix.write;
+            assert!((sum - 100.0).abs() < 1e-9, "phase {} sums to {sum}", p.name);
+        }
+    }
+
+    #[test]
+    fn phase_at_resolves_offsets() {
+        let s = paper_dynamic_schedule(10);
+        assert_eq!(s.phase_at(0).unwrap().0.name, "A");
+        assert_eq!(s.phase_at(9).unwrap().0.name, "A");
+        let (p, off) = s.phase_at(10).unwrap();
+        assert_eq!(p.name, "B");
+        assert_eq!(off, 0);
+        assert_eq!(s.phase_at(59).unwrap().0.name, "F");
+        assert!(s.phase_at(60).is_none());
+    }
+
+    #[test]
+    fn static_workloads_cover_figure7() {
+        let w = static_workloads();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0].0, "point_lookup");
+        assert_eq!(w[3].1.long_scan, 100.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Operation-trace recording and replay.
+//!
+//! Traces make experiments exactly repeatable across cache strategies (every
+//! strategy sees the identical operation stream) and support the paper's
+//! pretraining pipeline, where "workload logs can be collected for
+//! pretraining" (Section 3.1). The format is JSON-lines: one serialized
+//! [`Operation`] per line.
+
+use crate::generator::Operation;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// An in-memory operation trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// The recorded operations, in execution order.
+    pub ops: Vec<Operation>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace { ops: Vec::new() }
+    }
+
+    /// Appends an operation.
+    pub fn record(&mut self, op: Operation) {
+        self.ops.push(op);
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Writes the trace as JSON-lines.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        let mut w = BufWriter::new(f);
+        for op in &self.ops {
+            let line = serde_json::to_string(op)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            writeln!(w, "{line}")?;
+        }
+        w.flush()
+    }
+
+    /// Loads a trace saved with [`Trace::save`]. Malformed lines are
+    /// reported as errors, not skipped.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let f = std::fs::File::open(path)?;
+        let reader = std::io::BufReader::new(f);
+        let mut ops = Vec::new();
+        for (no, line) in reader.lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let op: Operation = serde_json::from_str(&line).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("trace line {}: {e}", no + 1),
+                )
+            })?;
+            ops.push(op);
+        }
+        Ok(Trace { ops })
+    }
+
+    /// Iterates the operations.
+    pub fn iter(&self) -> impl Iterator<Item = &Operation> {
+        self.ops.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn sample_ops() -> Vec<Operation> {
+        vec![
+            Operation::Get { key: Bytes::from_static(b"user1") },
+            Operation::Scan { from: Bytes::from_static(b"user2"), len: 16 },
+            Operation::Put { key: Bytes::from_static(b"user3"), value: Bytes::from_static(b"v") },
+            Operation::Delete { key: Bytes::from_static(b"user4") },
+        ]
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut t = Trace::new();
+        for op in sample_ops() {
+            t.record(op);
+        }
+        let path = std::env::temp_dir().join(format!("adcache-trace-{}.jsonl", std::process::id()));
+        t.save(&path).unwrap();
+        let loaded = Trace::load(&path).unwrap();
+        assert_eq!(loaded, t);
+        assert_eq!(loaded.len(), 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_lines_error_with_line_number() {
+        let path = std::env::temp_dir().join(format!("adcache-trace-bad-{}.jsonl", std::process::id()));
+        std::fs::write(&path, "{\"Get\":{\"key\":[1]}}\nnot json\n").unwrap();
+        let err = Trace::load(&path).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_lines_are_ignored() {
+        let path = std::env::temp_dir().join(format!("adcache-trace-empty-{}.jsonl", std::process::id()));
+        std::fs::write(&path, "\n\n").unwrap();
+        let t = Trace::load(&path).unwrap();
+        assert!(t.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn serde_bytes_roundtrip_preserves_content() {
+        // Bytes serializes as an array of numbers through serde.
+        let op = Operation::Put {
+            key: Bytes::from_static(b"user00000001"),
+            value: Bytes::from(vec![0u8, 255, 128]),
+        };
+        let s = serde_json::to_string(&op).unwrap();
+        let back: Operation = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, op);
+    }
+}

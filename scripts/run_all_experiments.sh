@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure at the default (laptop) scale.
+# Output tables land in results/logs/, CSVs in results/.
+# Pass --quick or --full to forward a scale preset to every binary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARGS=("$@")
+mkdir -p results/logs
+cargo build --release -p adcache-bench
+
+for exp in table2 fig1 fig6 fig7 fig8 fig9 fig10 fig11a fig11b ablation_design; do
+    echo "=== $exp ==="
+    ./target/release/$exp "${ARGS[@]}" | tee "results/logs/$exp.log"
+done
+echo "all experiments complete; see results/ and results/logs/"

@@ -1,0 +1,17 @@
+//! Umbrella crate for the AdCache workspace.
+//!
+//! This crate re-exports the public APIs of every workspace member so that
+//! examples and cross-crate integration tests have a single import root. The
+//! actual functionality lives in the member crates:
+//!
+//! - [`lsm`] — the LSM-tree storage engine substrate,
+//! - [`cache`] — cache structures, eviction policies and admission control,
+//! - [`rl`] — the actor-critic reinforcement-learning agent,
+//! - [`workload`] — workload generators and dynamic phase schedules,
+//! - [`core`] — the AdCache controller and the cached database engine.
+
+pub use adcache_cache as cache;
+pub use adcache_core as core;
+pub use adcache_lsm as lsm;
+pub use adcache_rl as rl;
+pub use adcache_workload as workload;

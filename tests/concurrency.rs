@@ -1,0 +1,136 @@
+//! Multi-threaded stress: concurrent clients on one engine (paper Section
+//! 4.4's sharded design). Each thread owns a disjoint key slice, so it can
+//! assert exact read-your-writes coherence under full concurrency, while
+//! cross-partition scans exercise shared cache state.
+
+use adcache_suite::core::{CachedDb, EngineConfig, Strategy};
+use adcache_suite::lsm::{MemStorage, Options};
+use adcache_suite::workload::render_key;
+use bytes::Bytes;
+use std::sync::Arc;
+
+fn run_stress(strategy: Strategy, threads: usize, rounds: usize) {
+    let mut ecfg = EngineConfig::new(strategy, 1 << 20);
+    ecfg.block_shards = 4;
+    // Shard the range cache across the key space.
+    let keys_total = 8_000u64;
+    ecfg.range_boundaries =
+        (1..4).map(|i| render_key(i * keys_total / 4)).collect();
+    let db = Arc::new(CachedDb::new(Options::small(), Arc::new(MemStorage::new()), ecfg).unwrap());
+
+    // Preload.
+    for i in 0..keys_total {
+        db.load(render_key(i), Bytes::from(format!("init-{i}"))).unwrap();
+    }
+    db.db().flush().unwrap();
+
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let mut state = (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                let mut rand = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                };
+                for round in 0..rounds {
+                    // Write own keys (partition: i % threads == t).
+                    let base = (rand() % (keys_total / threads as u64)) * threads as u64 + t as u64;
+                    let value = Bytes::from(format!("t{t}-r{round}"));
+                    db.put(render_key(base), value.clone()).unwrap();
+                    // Read-your-write must hold immediately.
+                    let got = db.get(&render_key(base)).unwrap().unwrap();
+                    assert_eq!(got, value, "thread {t} round {round}");
+                    // Cross-partition scan: sorted, correct lengths, no panic.
+                    let from = rand() % keys_total;
+                    let scan = db.scan(&render_key(from), 16).unwrap();
+                    assert!(scan.len() <= 16);
+                    for w in scan.windows(2) {
+                        assert!(w[0].0 < w[1].0, "scan out of order");
+                    }
+                    // Occasional delete + verify.
+                    if round % 7 == 0 {
+                        db.delete(render_key(base)).unwrap();
+                        assert!(db.get(&render_key(base)).unwrap().is_none());
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("stress thread panicked");
+    }
+}
+
+#[test]
+fn adcache_survives_concurrent_clients() {
+    run_stress(Strategy::AdCache, 8, 400);
+}
+
+#[test]
+fn block_cache_survives_concurrent_clients() {
+    run_stress(Strategy::RocksDbBlock, 8, 400);
+}
+
+#[test]
+fn range_cache_survives_concurrent_clients() {
+    run_stress(Strategy::RangeCache, 8, 400);
+}
+
+#[test]
+fn concurrent_retuning_while_serving() {
+    // One thread continuously retunes the boundary while others serve.
+    let db = Arc::new(
+        CachedDb::new(
+            Options::small(),
+            Arc::new(MemStorage::new()),
+            EngineConfig::new(Strategy::AdCache, 1 << 20),
+        )
+        .unwrap(),
+    );
+    for i in 0..4_000u64 {
+        db.load(render_key(i), Bytes::from(format!("v{i}"))).unwrap();
+    }
+    db.db().flush().unwrap();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let tuner = {
+        let db = db.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut flip = false;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                flip = !flip;
+                db.apply_decision(&adcache_suite::core::CacheDecision {
+                    range_ratio: if flip { 0.9 } else { 0.1 },
+                    point_threshold: 0.001,
+                    scan_a: 16,
+                    scan_b: 0.25,
+                });
+                std::thread::yield_now();
+            }
+        })
+    };
+    let clients: Vec<_> = (0..4)
+        .map(|t| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                for i in 0..2_000u64 {
+                    let k = (i * 31 + t * 7) % 4_000;
+                    let got = db.get(&render_key(k)).unwrap().unwrap();
+                    assert!(got.starts_with(b"v"), "corrupt value under retuning");
+                    if i % 5 == 0 {
+                        db.scan(&render_key(k), 8).unwrap();
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client panicked");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    tuner.join().unwrap();
+}

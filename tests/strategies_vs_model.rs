@@ -1,0 +1,136 @@
+//! Cross-crate property test: every cache strategy, layered over the full
+//! LSM engine, must be *invisible* — any sequence of operations returns
+//! exactly what a plain ordered map would return, regardless of cache
+//! sizes, admission decisions, evictions, flushes, or compactions.
+
+use adcache_suite::core::{CacheDecision, CachedDb, EngineConfig, Strategy as CacheStrategy};
+use adcache_suite::lsm::{MemStorage, Options};
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, u8),
+    Delete(u16),
+    Get(u16),
+    Scan(u16, u8),
+    Retune(u8),
+}
+
+fn op_strategy() -> impl proptest::strategy::Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 600, v)),
+        1 => any::<u16>().prop_map(|k| Op::Delete(k % 600)),
+        3 => any::<u16>().prop_map(|k| Op::Get(k % 600)),
+        3 => (any::<u16>(), 1u8..48).prop_map(|(k, n)| Op::Scan(k % 600, n)),
+        1 => any::<u8>().prop_map(Op::Retune),
+    ]
+}
+
+fn key(k: u16) -> Bytes {
+    Bytes::from(format!("user{k:06}"))
+}
+
+fn value(k: u16, v: u8) -> Bytes {
+    Bytes::from(format!("value-{k}-{v}"))
+}
+
+fn build(strategy: CacheStrategy, cache_bytes: usize) -> CachedDb {
+    let mut opts = Options::small();
+    opts.memtable_size = 4 << 10; // frequent flushes/compactions
+    opts.sstable_size = 4 << 10;
+    CachedDb::new(opts, Arc::new(MemStorage::new()), EngineConfig::new(strategy, cache_bytes))
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_strategy_is_transparent(
+        ops in proptest::collection::vec(op_strategy(), 1..250),
+        cache_kb in 1usize..64,
+    ) {
+        let engines: Vec<CachedDb> =
+            CacheStrategy::all().iter().map(|s| build(*s, cache_kb << 10)).collect();
+        let mut model: BTreeMap<Bytes, Bytes> = BTreeMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    model.insert(key(*k), value(*k, *v));
+                    for e in &engines {
+                        e.put(key(*k), value(*k, *v)).unwrap();
+                    }
+                }
+                Op::Delete(k) => {
+                    model.remove(&key(*k));
+                    for e in &engines {
+                        e.delete(key(*k)).unwrap();
+                    }
+                }
+                Op::Get(k) => {
+                    let want = model.get(&key(*k));
+                    for e in &engines {
+                        let got = e.get(&key(*k)).unwrap();
+                        prop_assert_eq!(
+                            got.as_ref(),
+                            want,
+                            "get({}) diverged under {:?}",
+                            k,
+                            e.strategy()
+                        );
+                    }
+                }
+                Op::Scan(k, n) => {
+                    let want: Vec<(Bytes, Bytes)> = model
+                        .range(key(*k)..)
+                        .take(*n as usize)
+                        .map(|(a, b)| (a.clone(), b.clone()))
+                        .collect();
+                    for e in &engines {
+                        let got = e.scan(&key(*k), *n as usize).unwrap();
+                        prop_assert_eq!(
+                            &got,
+                            &want,
+                            "scan({}, {}) diverged under {:?}",
+                            k,
+                            n,
+                            e.strategy()
+                        );
+                    }
+                }
+                Op::Retune(x) => {
+                    // Exercise the dynamic boundary mid-stream (AdCache
+                    // applies it; the rest ignore it).
+                    let d = CacheDecision {
+                        range_ratio: (*x % 5) as f64 / 4.0,
+                        point_threshold: (*x % 3) as f64 * 0.001,
+                        scan_a: 4 + (*x % 32) as usize,
+                        scan_b: (*x % 4) as f64 / 4.0,
+                    };
+                    for e in &engines {
+                        e.apply_decision(&d);
+                    }
+                }
+            }
+        }
+
+        // Exhaustive final sweep.
+        for k in (0..600u16).step_by(7) {
+            let want = model.get(&key(k));
+            for e in &engines {
+                let got = e.get(&key(k)).unwrap();
+                prop_assert_eq!(got.as_ref(), want);
+            }
+        }
+        let want: Vec<(Bytes, Bytes)> =
+            model.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+        for e in &engines {
+            let got = e.scan(b"", 1000).unwrap();
+            prop_assert_eq!(&got, &want, "full scan diverged under {:?}", e.strategy());
+        }
+    }
+}
