@@ -80,7 +80,10 @@ fn bench_wal_and_histogram(c: &mut Criterion) {
     let mut wal = WalWriter::open(&path, false).unwrap();
     let value = Entry::Put(Bytes::from(vec![b'v'; 100]));
     g.bench_function("wal_append_100b", |b| {
-        b.iter(|| wal.append(b"user00000000000000000001", black_box(&value)).unwrap())
+        b.iter(|| {
+            wal.append(b"user00000000000000000001", black_box(&value))
+                .unwrap()
+        })
     });
     let payload = vec![0xABu8; 4096];
     g.bench_function("crc32_4k", |b| b.iter(|| black_box(crc32(&payload))));
@@ -144,7 +147,10 @@ fn bench_skiplist_and_bloom(c: &mut Criterion) {
         b.iter(|| {
             let mut l = SkipList::new();
             for i in 0..1000u32 {
-                l.insert(Bytes::from(format!("{:08}", (i * 2654435761u32) % 100_000)), i);
+                l.insert(
+                    Bytes::from(format!("{:08}", (i * 2654435761u32) % 100_000)),
+                    i,
+                );
             }
             black_box(l.len())
         })
@@ -156,7 +162,9 @@ fn bench_skiplist_and_bloom(c: &mut Criterion) {
     g.bench_function("skiplist_get", |b| {
         b.iter(|| black_box(list.get(b"00005000")))
     });
-    let keys: Vec<Vec<u8>> = (0..10_000).map(|i| format!("key{i}").into_bytes()).collect();
+    let keys: Vec<Vec<u8>> = (0..10_000)
+        .map(|i| format!("key{i}").into_bytes())
+        .collect();
     g.bench_function("bloom_build_10k", |b| {
         b.iter(|| black_box(BloomFilter::build(&keys, 10)))
     });
@@ -234,8 +242,9 @@ fn bench_range_cache(c: &mut Criterion) {
         })
     });
     let cache = RangeCache::new(64 << 20);
-    let results: Vec<(Bytes, Bytes)> =
-        (0..64).map(|i| (render_key(i), Bytes::from(vec![b'v'; 64]))).collect();
+    let results: Vec<(Bytes, Bytes)> = (0..64)
+        .map(|i| (render_key(i), Bytes::from(vec![b'v'; 64])))
+        .collect();
     cache.insert_scan(&results[0].0, &results, 64);
     g.bench_function("range_hit_16", |b| {
         b.iter(|| match cache.get_range(&render_key(8), 16) {
@@ -249,7 +258,8 @@ fn bench_range_cache(c: &mut Criterion) {
             _ => panic!(),
         })
     });
-    let mut charged: ChargedCache<u64, u64> = ChargedCache::new(1 << 20, Box::new(LruPolicy::new()));
+    let mut charged: ChargedCache<u64, u64> =
+        ChargedCache::new(1 << 20, Box::new(LruPolicy::new()));
     g.bench_function("charged_cache_insert_get", |b| {
         let mut i = 0u64;
         b.iter(|| {
@@ -276,13 +286,18 @@ fn bench_rl(c: &mut Criterion) {
         reward: 0.1,
         next_state: state.clone(),
     };
-    g.bench_function("train_step_256x256", |b| b.iter(|| agent.update(black_box(&t))));
+    g.bench_function("train_step_256x256", |b| {
+        b.iter(|| agent.update(black_box(&t)))
+    });
     g.finish();
 }
 
 fn bench_workload(c: &mut Criterion) {
     let mut g = c.benchmark_group("workload");
-    let mut gen = WorkloadGen::new(WorkloadConfig { num_keys: 1_000_000, ..Default::default() });
+    let mut gen = WorkloadGen::new(WorkloadConfig {
+        num_keys: 1_000_000,
+        ..Default::default()
+    });
     let mix = Mix::new(40.0, 20.0, 10.0, 30.0);
     g.bench_function("next_op", |b| b.iter(|| black_box(gen.next_op(&mix))));
     g.finish();

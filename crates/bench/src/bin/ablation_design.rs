@@ -18,8 +18,16 @@ use adcache_workload::{Mix, Phase, Schedule};
 fn shift_schedule(ops: u64) -> Schedule {
     Schedule {
         phases: vec![
-            Phase { name: "points".into(), mix: Mix::new(95.0, 2.0, 1.0, 2.0), ops },
-            Phase { name: "scans".into(), mix: Mix::new(2.0, 95.0, 1.0, 2.0), ops },
+            Phase {
+                name: "points".into(),
+                mix: Mix::new(95.0, 2.0, 1.0, 2.0),
+                ops,
+            },
+            Phase {
+                name: "scans".into(),
+                mix: Mix::new(2.0, 95.0, 1.0, 2.0),
+                ops,
+            },
         ],
     }
 }
@@ -44,7 +52,11 @@ fn main() {
         let n = r.windows.len();
         let steady = r.mean_hit_rate(n * 3 / 4, n); // post-shift steady state
         rows.push(vec![label.to_string(), f4(steady), f4(r.overall_hit_rate)]);
-        csv.push(vec![label.to_string(), format!("{steady:.6}"), format!("{:.6}", r.overall_hit_rate)]);
+        csv.push(vec![
+            label.to_string(),
+            format!("{steady:.6}"),
+            format!("{:.6}", r.overall_hit_rate),
+        ]);
     }
 
     // --- 3: partial range serving under long scans. ---
@@ -63,8 +75,16 @@ fn main() {
         let r = run_static(&cfg, mix, params.ops).expect("run");
         let half = r.windows.len() / 2;
         let steady = r.mean_hit_rate(half, r.windows.len());
-        rows.push(vec![label.to_string(), f4(steady), format!("{} sst reads", r.total_sst_reads)]);
-        csv.push(vec![label.to_string(), format!("{steady:.6}"), r.total_sst_reads.to_string()]);
+        rows.push(vec![
+            label.to_string(),
+            f4(steady),
+            format!("{} sst reads", r.total_sst_reads),
+        ]);
+        csv.push(vec![
+            label.to_string(),
+            format!("{steady:.6}"),
+            r.total_sst_reads.to_string(),
+        ]);
     }
 
     // --- extension: Leaper-style post-compaction prefetching on the block
@@ -108,7 +128,11 @@ fn main() {
         rows.push(vec![
             label.to_string(),
             f4(r.mean_hit_rate(half, r.windows.len())),
-            format!("{} KiB on disk, write amp {:.1}x", disk_bytes >> 10, db.db().write_amplification()),
+            format!(
+                "{} KiB on disk, write amp {:.1}x",
+                disk_bytes >> 10,
+                db.db().write_amplification()
+            ),
         ]);
         csv.push(vec![
             label.to_string(),

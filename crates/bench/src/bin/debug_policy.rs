@@ -11,16 +11,51 @@ fn main() {
     let frac = 0.2;
 
     for (label, d) in [
-        ("ratio=1.0 thr=0", CacheDecision { range_ratio: 1.0, point_threshold: 0.0, scan_a: 16, scan_b: 0.25 }),
-        ("ratio=1.0 thr=0.002", CacheDecision { range_ratio: 1.0, point_threshold: 0.002, scan_a: 16, scan_b: 0.25 }),
-        ("ratio=0.5 thr=0", CacheDecision { range_ratio: 0.5, point_threshold: 0.0, scan_a: 16, scan_b: 0.25 }),
-        ("ratio=0.0", CacheDecision { range_ratio: 0.0, point_threshold: 0.0, scan_a: 16, scan_b: 0.25 }),
+        (
+            "ratio=1.0 thr=0",
+            CacheDecision {
+                range_ratio: 1.0,
+                point_threshold: 0.0,
+                scan_a: 16,
+                scan_b: 0.25,
+            },
+        ),
+        (
+            "ratio=1.0 thr=0.002",
+            CacheDecision {
+                range_ratio: 1.0,
+                point_threshold: 0.002,
+                scan_a: 16,
+                scan_b: 0.25,
+            },
+        ),
+        (
+            "ratio=0.5 thr=0",
+            CacheDecision {
+                range_ratio: 0.5,
+                point_threshold: 0.0,
+                scan_a: 16,
+                scan_b: 0.25,
+            },
+        ),
+        (
+            "ratio=0.0",
+            CacheDecision {
+                range_ratio: 0.0,
+                point_threshold: 0.0,
+                scan_a: 16,
+                scan_b: 0.25,
+            },
+        ),
     ] {
         let mut cfg = params.run_config(Strategy::AdCache, frac);
         cfg.pinned_decision = Some(d);
         let r = run_static(&cfg, mix, params.ops).unwrap();
         let half = r.windows.len() / 2;
-        println!("pinned {label}: steady hit {:.4}", r.mean_hit_rate(half, r.windows.len()));
+        println!(
+            "pinned {label}: steady hit {:.4}",
+            r.mean_hit_rate(half, r.windows.len())
+        );
     }
 
     let pretrained = ensure_pretrained(&params);

@@ -45,12 +45,22 @@ fn main() {
     }
     print_table(
         "Figure 1 — hit rate by workload pattern (block vs result caching)",
-        &["strategy", "lookup_intensive", "scan_intensive", "update_intensive"],
+        &[
+            "strategy",
+            "lookup_intensive",
+            "scan_intensive",
+            "update_intensive",
+        ],
         &rows,
     );
     println!(
         "\nExpected shape (paper Fig. 1): block cache wins the low-update patterns,\n\
          result caching (range cache) closes the gap / wins as updates dominate."
     );
-    write_csv("fig1", &["strategy", "pattern", "hit_rate", "sst_reads"], &csv).expect("csv");
+    write_csv(
+        "fig1",
+        &["strategy", "pattern", "hit_rate", "sst_reads"],
+        &csv,
+    )
+    .expect("csv");
 }

@@ -20,8 +20,16 @@ use adcache_workload::{Mix, Phase, Schedule};
 fn shift_schedule(ops_per_phase: u64) -> Schedule {
     Schedule {
         phases: vec![
-            Phase { name: "read_heavy".into(), mix: Mix::new(97.0, 1.0, 1.0, 1.0), ops: ops_per_phase },
-            Phase { name: "short_scan_heavy".into(), mix: Mix::new(1.0, 97.0, 1.0, 1.0), ops: ops_per_phase },
+            Phase {
+                name: "read_heavy".into(),
+                mix: Mix::new(97.0, 1.0, 1.0, 1.0),
+                ops: ops_per_phase,
+            },
+            Phase {
+                name: "short_scan_heavy".into(),
+                mix: Mix::new(1.0, 97.0, 1.0, 1.0),
+                ops: ops_per_phase,
+            },
         ],
     }
 }
@@ -51,9 +59,9 @@ fn run_variant(
     let mut bucket = 0u64;
     while i < r.windows.len() {
         let end = (i + windows_per_bucket).min(r.windows.len());
-        let hit: f64 =
-            r.windows[i..end].iter().map(|w| w.hit_rate).sum::<f64>() / (end - i) as f64;
-        let ops_at = (i as u64 + 1) * window * windows_per_bucket as u64 / windows_per_bucket as u64;
+        let hit: f64 = r.windows[i..end].iter().map(|w| w.hit_rate).sum::<f64>() / (end - i) as f64;
+        let ops_at =
+            (i as u64 + 1) * window * windows_per_bucket as u64 / windows_per_bucket as u64;
         let _ = ops_at;
         csv.push(vec![
             label.to_string(),
@@ -70,9 +78,7 @@ fn run_variant(
         .map(|w| w.hit_rate)
         .fold(f64::MAX, f64::min);
     let post = r.mean_hit_rate(r.windows.len().saturating_sub(5), r.windows.len());
-    println!(
-        "{label:>26}: pre-shift {pre:.3}  dip {dip:.3}  recovered {post:.3}"
-    );
+    println!("{label:>26}: pre-shift {pre:.3}  dip {dip:.3}  recovered {post:.3}");
 }
 
 fn main() {
@@ -90,16 +96,40 @@ fn main() {
             println!("(skipping window {window}: fewer than 4 windows per phase at this scale)");
             continue;
         }
-        run_variant(&params, &pretrained, window, 0.9, true, &format!("window={window}"), &mut csv1);
+        run_variant(
+            &params,
+            &pretrained,
+            window,
+            0.9,
+            true,
+            &format!("window={window}"),
+            &mut csv1,
+        );
     }
-    run_variant(&params, &pretrained, 1000.min(params.ops / 8), 0.9, false, "pretrained (no online)", &mut csv1);
+    run_variant(
+        &params,
+        &pretrained,
+        1000.min(params.ops / 8),
+        0.9,
+        false,
+        "pretrained (no online)",
+        &mut csv1,
+    );
     write_csv("fig10_window", &["variant", "ops", "hit_rate"], &csv1).expect("csv");
 
     // Part 2: smoothing factor (window = 1000).
     let window = 1000.min(params.ops / 8);
     let mut csv2: Vec<Vec<String>> = Vec::new();
     for alpha in [0.0, 0.5, 0.9] {
-        run_variant(&params, &pretrained, window, alpha, true, &format!("alpha={alpha}"), &mut csv2);
+        run_variant(
+            &params,
+            &pretrained,
+            window,
+            alpha,
+            true,
+            &format!("alpha={alpha}"),
+            &mut csv2,
+        );
     }
     write_csv("fig10_alpha", &["variant", "ops", "hit_rate"], &csv2).expect("csv");
 
@@ -135,7 +165,13 @@ fn main() {
     }
     write_csv(
         "fig10_params",
-        &["window", "phase", "range_ratio", "point_threshold", "scan_threshold"],
+        &[
+            "window",
+            "phase",
+            "range_ratio",
+            "point_threshold",
+            "scan_threshold",
+        ],
         &csv3,
     )
     .expect("csv");

@@ -38,7 +38,11 @@ fn main() {
         let qps_off = run_multiclient(&cfg_off, mix, clients, ops_per_client).expect("run");
         let mean_off = qps_off.iter().sum::<f64>() / qps_off.len() as f64;
 
-        let overhead_pct = if mean_off > 0.0 { (1.0 - mean / mean_off) * 100.0 } else { 0.0 };
+        let overhead_pct = if mean_off > 0.0 {
+            (1.0 - mean / mean_off) * 100.0
+        } else {
+            0.0
+        };
         rows.push(vec![
             clients.to_string(),
             f1(mean),
@@ -58,12 +62,26 @@ fn main() {
     }
     print_table(
         "Figure 11a — per-client wall-clock QPS vs clients (training on/off)",
-        &["clients", "qps/client", "min", "max", "qps (no train)", "train overhead"],
+        &[
+            "clients",
+            "qps/client",
+            "min",
+            "max",
+            "qps (no train)",
+            "train overhead",
+        ],
         &rows,
     );
     write_csv(
         "fig11a",
-        &["clients", "qps_per_client", "min", "max", "qps_no_training", "overhead_pct"],
+        &[
+            "clients",
+            "qps_per_client",
+            "min",
+            "max",
+            "qps_no_training",
+            "overhead_pct",
+        ],
         &csv,
     )
     .expect("csv");

@@ -47,7 +47,11 @@ fn main() {
         if label == "range-cache" {
             baseline_hit = hit;
         }
-        let lift = if baseline_hit > 0.0 { (hit / baseline_hit - 1.0) * 100.0 } else { 0.0 };
+        let lift = if baseline_hit > 0.0 {
+            (hit / baseline_hit - 1.0) * 100.0
+        } else {
+            0.0
+        };
         rows.push(vec![
             label.to_string(),
             f4(hit),
@@ -61,7 +65,11 @@ fn main() {
             format!("{}", r.total_sst_reads),
         ]);
         for w in &r.windows {
-            series.push(vec![label.to_string(), w.index.to_string(), format!("{:.6}", w.hit_rate)]);
+            series.push(vec![
+                label.to_string(),
+                w.index.to_string(),
+                format!("{:.6}", w.hit_rate),
+            ]);
         }
     }
     print_table(
@@ -69,6 +77,11 @@ fn main() {
         &["variant", "hit_rate", "lift", "sst_reads"],
         &rows,
     );
-    write_csv("fig11b", &["variant", "hit_rate", "lift_pct", "sst_reads"], &csv).expect("csv");
+    write_csv(
+        "fig11b",
+        &["variant", "hit_rate", "lift_pct", "sst_reads"],
+        &csv,
+    )
+    .expect("csv");
     write_csv("fig11b_series", &["variant", "window", "hit_rate"], &series).expect("csv");
 }

@@ -65,11 +65,16 @@ fn main() {
         format!("ideal l/B = {ideal}"),
         format!("{runs} sorted runs"),
     ]);
-    csv.push(vec!["block_scan16".into(), touched.to_string(), ideal.to_string(), runs.to_string()]);
+    csv.push(vec![
+        "block_scan16".into(),
+        touched.to_string(),
+        ideal.to_string(),
+        runs.to_string(),
+    ]);
 
     // --- Range cache: entries displaced by one long scan of length 64. ---
     let db = build(Strategy::RangeCache, 64 * (24 + 64 + 48), keys); // exactly 64 entries
-    // Warm with point entries.
+                                                                     // Warm with point entries.
     for i in 0..64u64 {
         db.get(&render_key(i * 31 + 1)).unwrap();
     }
@@ -107,7 +112,10 @@ fn main() {
     rows.push(vec![
         "range cache, scan l=64".into(),
         format!("{evicted_partial} resident entries evicted"),
-        format!("admitted a+b(l-a) = {}", 16 + ((64 - 16) as f64 * 0.25).ceil() as usize),
+        format!(
+            "admitted a+b(l-a) = {}",
+            16 + ((64 - 16) as f64 * 0.25).ceil() as usize
+        ),
         "partial admission (AdCache)".into(),
     ]);
     csv.push(vec![

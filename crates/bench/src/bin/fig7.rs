@@ -44,12 +44,28 @@ fn main() {
             rows.push(row);
         }
         let mut headers = vec!["strategy".to_string()];
-        headers.extend(params.cache_fracs.iter().map(|f| format!("{:.1}%", f * 100.0)));
-        print_table(&format!("Figure 7 — {workload_name} (hit rate vs cache size)"), &headers, &rows);
+        headers.extend(
+            params
+                .cache_fracs
+                .iter()
+                .map(|f| format!("{:.1}%", f * 100.0)),
+        );
+        print_table(
+            &format!("Figure 7 — {workload_name} (hit rate vs cache size)"),
+            &headers,
+            &rows,
+        );
     }
     write_csv(
         "fig7",
-        &["workload", "strategy", "cache_frac", "hit_rate", "sst_reads", "qps"],
+        &[
+            "workload",
+            "strategy",
+            "cache_frac",
+            "hit_rate",
+            "sst_reads",
+            "qps",
+        ],
         &csv_rows,
     )
     .expect("csv");

@@ -66,7 +66,11 @@ fn main() {
     let mut headers = vec!["strategy".to_string()];
     headers.extend(phase_names.iter().cloned());
     print_table("Figure 8 — hit rate per dynamic phase", &headers, &hit_rows);
-    print_table("Figure 8 — throughput (simulated QPS) per dynamic phase", &headers, &qps_rows);
+    print_table(
+        "Figure 8 — throughput (simulated QPS) per dynamic phase",
+        &headers,
+        &qps_rows,
+    );
 
     // Extra: simulated per-op latency distribution over the whole dynamic
     // run (not in the paper's figures, but the flip side of its throughput
@@ -145,7 +149,16 @@ fn main() {
             ]);
         }
     }
-    write_csv("fig8_series", &["strategy", "window", "phase", "hit_rate", "qps"], &series)
-        .expect("csv");
-    write_csv("fig8_table4", &["strategy", "phase", "hit_rate", "qps"], &csv).expect("csv");
+    write_csv(
+        "fig8_series",
+        &["strategy", "window", "phase", "hit_rate", "qps"],
+        &series,
+    )
+    .expect("csv");
+    write_csv(
+        "fig8_table4",
+        &["strategy", "phase", "hit_rate", "qps"],
+        &csv,
+    )
+    .expect("csv");
 }

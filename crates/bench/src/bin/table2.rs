@@ -19,10 +19,26 @@ fn main() {
     let total = model + grads + adam;
 
     let rows = vec![
-        vec!["model parameters (actor + critic)".to_string(), agent.param_count().to_string(), kb(model)],
-        vec!["gradient buffers (backprop)".to_string(), agent.param_count().to_string(), kb(grads)],
-        vec!["Adam optimizer states (2 moments)".to_string(), (2 * agent.param_count()).to_string(), kb(adam)],
-        vec!["total during online training".to_string(), String::new(), kb(total)],
+        vec![
+            "model parameters (actor + critic)".to_string(),
+            agent.param_count().to_string(),
+            kb(model),
+        ],
+        vec![
+            "gradient buffers (backprop)".to_string(),
+            agent.param_count().to_string(),
+            kb(grads),
+        ],
+        vec![
+            "Adam optimizer states (2 moments)".to_string(),
+            (2 * agent.param_count()).to_string(),
+            kb(adam),
+        ],
+        vec![
+            "total during online training".to_string(),
+            String::new(),
+            kb(total),
+        ],
     ];
     print_table(
         "Table 2 — memory overhead of the RL model and online training",
@@ -52,5 +68,8 @@ fn main() {
     assert!((130_000..170_000).contains(&agent.param_count()));
     assert!((500_000..700_000).contains(&model));
     assert_eq!(adam, 2 * model);
-    assert!(total <= 3 * 1024 * 1024, "training overhead stays in the low MB");
+    assert!(
+        total <= 3 * 1024 * 1024,
+        "training overhead stays in the low MB"
+    );
 }

@@ -71,13 +71,17 @@ impl ExpParams {
         let mut i = 1;
         let get_val = |args: &[String], i: &mut usize| -> String {
             *i += 1;
-            args.get(*i).unwrap_or_else(|| panic!("missing value for {}", args[*i - 1])).clone()
+            args.get(*i)
+                .unwrap_or_else(|| panic!("missing value for {}", args[*i - 1]))
+                .clone()
         };
         while i < args.len() {
             match args[i].as_str() {
                 "--keys" => p.num_keys = get_val(&args, &mut i).parse().expect("--keys"),
                 "--ops" => p.ops = get_val(&args, &mut i).parse().expect("--ops"),
-                "--value-size" => p.value_size = get_val(&args, &mut i).parse().expect("--value-size"),
+                "--value-size" => {
+                    p.value_size = get_val(&args, &mut i).parse().expect("--value-size")
+                }
                 "--skew" => p.skew = get_val(&args, &mut i).parse().expect("--skew"),
                 "--seed" => p.seed = get_val(&args, &mut i).parse().expect("--seed"),
                 "--window" => p.window = get_val(&args, &mut i).parse().expect("--window"),
@@ -141,6 +145,7 @@ impl ExpParams {
             boundary_hysteresis: 0.02,
             serve_partial_range: true,
             compaction_prefetch_blocks: 0,
+            trace_dir: None,
         }
     }
 }
@@ -149,8 +154,10 @@ impl ExpParams {
 pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
     println!("\n== {title} ==");
     let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
-    let body: Vec<Vec<String>> =
-        rows.iter().map(|r| r.iter().map(|c| c.to_string()).collect()).collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|c| c.to_string()).collect())
+        .collect();
     let mut widths: Vec<usize> = head.iter().map(|h| h.len()).collect();
     for row in &body {
         for (i, cell) in row.iter().enumerate() {
@@ -168,7 +175,10 @@ pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[V
             .join("  ")
     };
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in &body {
         println!("{}", fmt_row(row));
     }
@@ -188,10 +198,21 @@ pub fn write_csv<H: Display, C: Display>(
     writeln!(
         f,
         "{}",
-        headers.iter().map(|h| h.to_string()).collect::<Vec<_>>().join(",")
+        headers
+            .iter()
+            .map(|h| h.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
     )?;
     for row in rows {
-        writeln!(f, "{}", row.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(","))?;
+        writeln!(
+            f,
+            "{}",
+            row.iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        )?;
     }
     println!("[csv] wrote {}", path.display());
     Ok(path)
@@ -216,7 +237,10 @@ mod tests {
         let p = ExpParams::default();
         assert!(p.dataset_bytes() > 1 << 20);
         let cfg = p.run_config(Strategy::AdCache, 0.1);
-        assert_eq!(cfg.total_cache_bytes, (p.dataset_bytes() as f64 * 0.1) as usize);
+        assert_eq!(
+            cfg.total_cache_bytes,
+            (p.dataset_bytes() as f64 * 0.1) as usize
+        );
         assert_eq!(cfg.workload.num_keys, p.num_keys);
     }
 

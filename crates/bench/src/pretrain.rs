@@ -74,11 +74,19 @@ pub fn controlled_best(
         let mut cfg = base_cfg.clone();
         cfg.pinned_decision = Some(candidate);
         let warm = adcache_workload::Schedule {
-            phases: vec![adcache_workload::Phase { name: "warm".into(), mix, ops: warm_ops }],
+            phases: vec![adcache_workload::Phase {
+                name: "warm".into(),
+                mix,
+                ops: warm_ops,
+            }],
         };
         adcache_core::run_schedule_on(&cfg, &warm, &db).expect("warmup run");
         let schedule = adcache_workload::Schedule {
-            phases: vec![adcache_workload::Phase { name: "ctl".into(), mix, ops }],
+            phases: vec![adcache_workload::Phase {
+                name: "ctl".into(),
+                mix,
+                ops,
+            }],
         };
         let r = adcache_core::run_schedule_on(&cfg, &schedule, &db).expect("controlled run");
         states.extend(
@@ -92,10 +100,18 @@ pub fn controlled_best(
     };
 
     // Stage 1: memory ratio.
-    let mut best = CacheDecision { range_ratio: 0.0, point_threshold: 0.0, scan_a: 16, scan_b: 0.25 };
+    let mut best = CacheDecision {
+        range_ratio: 0.0,
+        point_threshold: 0.0,
+        scan_a: 16,
+        scan_b: 0.25,
+    };
     let mut best_hit = f64::MIN;
     for &range_ratio in &[0.0, 0.25, 0.5, 0.75, 1.0] {
-        let c = CacheDecision { range_ratio, ..best };
+        let c = CacheDecision {
+            range_ratio,
+            ..best
+        };
         let hit = evaluate(c, &mut states);
         if hit > best_hit {
             best_hit = hit;
@@ -104,7 +120,10 @@ pub fn controlled_best(
     }
     // Stage 2: point-admission threshold at the winning ratio.
     for &point_threshold in &[0.0005, 0.002] {
-        let c = CacheDecision { point_threshold, ..best };
+        let c = CacheDecision {
+            point_threshold,
+            ..best
+        };
         let hit = evaluate(c, &mut states);
         if hit > best_hit {
             best_hit = hit;
@@ -113,7 +132,11 @@ pub fn controlled_best(
     }
     // Stage 3: partial-admission parameters.
     for &(scan_a, scan_b) in &[(24usize, 0.1f64), (64, 1.0)] {
-        let c = CacheDecision { scan_a, scan_b, ..best };
+        let c = CacheDecision {
+            scan_a,
+            scan_b,
+            ..best
+        };
         let hit = evaluate(c, &mut states);
         if hit > best_hit {
             best_hit = hit;
@@ -150,7 +173,10 @@ pub fn build_pretrained(params: &ExpParams, cache_fracs: &[f64]) -> String {
                     reward: 0.05,
                     next_state: s.clone(),
                 });
-                samples.push(LabeledSample { state: s, target: target.clone() });
+                samples.push(LabeledSample {
+                    state: s,
+                    target: target.clone(),
+                });
             }
         }
     }
@@ -162,7 +188,10 @@ pub fn build_pretrained(params: &ExpParams, cache_fracs: &[f64]) -> String {
     // (and wall time) stay bounded at any experiment scale.
     let epochs = (400_000 / samples.len().max(1)).clamp(30, 300);
     let mse = pretrain_supervised(&mut agent, &samples, epochs, 2e-3);
-    eprintln!("[pretrain] supervised fit over {} samples, final mse {mse:.5}", samples.len());
+    eprintln!(
+        "[pretrain] supervised fit over {} samples, final mse {mse:.5}",
+        samples.len()
+    );
     pretrain_unsupervised(&mut agent, &replay, 2);
     agent.to_json()
 }

@@ -84,7 +84,10 @@ pub struct ScanAdmission {
 impl ScanAdmission {
     /// Creates the policy; `b` is clamped to `[0, 1]`.
     pub fn new(a: usize, b: f64) -> Self {
-        ScanAdmission { a, b: b.clamp(0.0, 1.0) }
+        ScanAdmission {
+            a,
+            b: b.clamp(0.0, 1.0),
+        }
     }
 
     /// How many leading entries of a scan of length `l` to admit.

@@ -17,16 +17,48 @@ use crate::policy::{LruPolicy, Policy};
 use adcache_lsm::compaction::{CompactionEvent, CompactionListener};
 use adcache_lsm::sstable::{decode_stored_block, BlockProvider, TableMeta};
 use adcache_lsm::{Block, BlockRef, FileId, Result, Storage};
+use adcache_obs::{CacheStructure, Counter, Event, EvictionCause, Obs};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Factory producing one eviction policy per shard.
 pub type PolicyFactory = Box<dyn Fn() -> Box<dyn Policy<BlockRef>> + Send + Sync>;
 
+/// Pre-resolved observability handles: counters are registered once when
+/// tracing is attached, so the per-block hot path never touches the
+/// registry. When tracing is never attached the `OnceLock` stays empty and
+/// every hook reduces to one relaxed load plus an untaken branch.
+struct BlockObsHooks {
+    obs: Obs,
+    hits: Counter,
+    misses: Counter,
+    inserts: Counter,
+    evictions: Counter,
+    invalidations: Counter,
+}
+
+impl BlockObsHooks {
+    fn new(obs: Obs) -> Self {
+        BlockObsHooks {
+            hits: obs.counter("cache.block.hits"),
+            misses: obs.counter("cache.block.misses"),
+            inserts: obs.counter("cache.block.inserts"),
+            evictions: obs.counter("cache.block.evictions"),
+            invalidations: obs.counter("cache.block.invalidations"),
+            obs,
+        }
+    }
+}
+
+fn evicted_block_bytes(evicted: &[(BlockRef, Arc<Block>)]) -> u64 {
+    evicted.iter().map(|(_, b)| b.encoded_len() as u64).sum()
+}
+
 /// A sharded, byte-charged cache of decoded SSTable blocks.
 pub struct BlockCache {
     shards: Vec<Mutex<ChargedCache<BlockRef, Arc<Block>>>>,
+    obs: OnceLock<BlockObsHooks>,
 }
 
 fn shard_of(key: &BlockRef, n: usize) -> usize {
@@ -53,17 +85,39 @@ impl BlockCache {
             shards: (0..shards)
                 .map(|_| Mutex::new(ChargedCache::new(per_shard, factory())))
                 .collect(),
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Attaches an observability handle. Hit/miss/eviction counters and
+    /// eviction events flow into it from now on; a second call is a no-op.
+    pub fn set_obs(&self, obs: Obs) {
+        let _ = self.obs.set(BlockObsHooks::new(obs));
     }
 
     /// Re-targets the total byte budget (split evenly across shards),
     /// evicting overflow immediately. Returns how many blocks were evicted.
     pub fn set_capacity(&self, capacity: usize) -> usize {
         let per_shard = capacity / self.shards.len();
-        self.shards
-            .iter()
-            .map(|s| s.lock().set_capacity(per_shard).len())
-            .sum()
+        let mut count = 0u64;
+        let mut bytes = 0u64;
+        for s in &self.shards {
+            let evicted = s.lock().set_capacity(per_shard);
+            count += evicted.len() as u64;
+            bytes += evicted_block_bytes(&evicted);
+        }
+        if let Some(h) = self.obs.get() {
+            if count > 0 {
+                h.evictions.add(count);
+                h.obs.emit(|| Event::Eviction {
+                    cache: CacheStructure::Block,
+                    cause: EvictionCause::Resize,
+                    count,
+                    bytes,
+                });
+            }
+        }
+        count as usize
     }
 
     /// Total byte budget.
@@ -110,32 +164,88 @@ impl BlockCache {
     /// Drops every cached block belonging to `files`. Returns the number of
     /// blocks invalidated.
     pub fn invalidate(&self, files: &[FileId]) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().retain(|k| !files.contains(&k.file)))
-            .sum()
+        let mut dropped = 0u64;
+        let mut bytes = 0u64;
+        for s in &self.shards {
+            let mut shard = s.lock();
+            let before = shard.used() as u64;
+            dropped += shard.retain(|k| !files.contains(&k.file)) as u64;
+            bytes += before - shard.used() as u64;
+        }
+        if let Some(h) = self.obs.get() {
+            if dropped > 0 {
+                h.invalidations.add(dropped);
+                h.obs.emit(|| Event::BlockCacheInvalidation {
+                    files: files.len() as u64,
+                    blocks_dropped: dropped,
+                });
+                h.obs.emit(|| Event::Eviction {
+                    cache: CacheStructure::Block,
+                    cause: EvictionCause::Invalidation,
+                    count: dropped,
+                    bytes,
+                });
+            }
+        }
+        dropped as usize
     }
 
     /// Directly admits a decoded block (prefetching and warm-up paths).
     pub fn insert_block(&self, key: BlockRef, block: Arc<Block>) {
         let charge = block.encoded_len();
-        self.shards[shard_of(&key, self.shards.len())].lock().insert(key, block, charge);
+        let evicted = self.shards[shard_of(&key, self.shards.len())]
+            .lock()
+            .insert(key, block, charge);
+        self.note_insert(&key, &evicted);
+    }
+
+    /// Counter/event bookkeeping shared by the admission paths. Entries in
+    /// `evicted` carrying the inserted key itself (same-key replacement, or
+    /// an oversized refusal bounced straight back) are not policy evictions.
+    fn note_insert(&self, inserted: &BlockRef, mut evicted: &[(BlockRef, Arc<Block>)]) {
+        let Some(h) = self.obs.get() else { return };
+        h.inserts.inc();
+        while let Some((k, _)) = evicted.first() {
+            if k == inserted {
+                evicted = &evicted[1..];
+            } else {
+                break;
+            }
+        }
+        if !evicted.is_empty() {
+            h.evictions.add(evicted.len() as u64);
+            h.obs.emit(|| Event::Eviction {
+                cache: CacheStructure::Block,
+                cause: EvictionCause::Capacity,
+                count: evicted.len() as u64,
+                bytes: evicted_block_bytes(evicted),
+            });
+        }
     }
 
     /// Looks up a block without admission side effects (tests/metrics).
     pub fn peek(&self, key: &BlockRef) -> Option<Arc<Block>> {
-        self.shards[shard_of(key, self.shards.len())].lock().peek(key).cloned()
+        self.shards[shard_of(key, self.shards.len())]
+            .lock()
+            .peek(key)
+            .cloned()
     }
 
     /// A per-query provider with unlimited admission.
     pub fn provider(&self) -> ScopedBlockProvider<'_> {
-        ScopedBlockProvider { cache: self, admit_remaining: AtomicUsize::new(usize::MAX) }
+        ScopedBlockProvider {
+            cache: self,
+            admit_remaining: AtomicUsize::new(usize::MAX),
+        }
     }
 
     /// A per-query provider that admits at most `budget` missed blocks
     /// (partial scan admission at block granularity).
     pub fn provider_with_budget(&self, budget: usize) -> ScopedBlockProvider<'_> {
-        ScopedBlockProvider { cache: self, admit_remaining: AtomicUsize::new(budget) }
+        ScopedBlockProvider {
+            cache: self,
+            admit_remaining: AtomicUsize::new(budget),
+        }
     }
 
     fn get_or_load(
@@ -148,7 +258,13 @@ impl BlockCache {
         let key = BlockRef::new(meta.id, block_no);
         let shard = &self.shards[shard_of(&key, self.shards.len())];
         if let Some(block) = shard.lock().get(&key).cloned() {
+            if let Some(h) = self.obs.get() {
+                h.hits.inc();
+            }
             return Ok(block);
+        }
+        if let Some(h) = self.obs.get() {
+            h.misses.inc();
         }
         // Miss: fetch outside the shard lock (the device read dominates).
         let stored = storage.read_block(meta.id, block_no)?;
@@ -157,7 +273,8 @@ impl BlockCache {
         if budget > 0 {
             admit.store(budget.saturating_sub(1), Ordering::Relaxed);
             let charge = block.encoded_len();
-            shard.lock().insert(key, block.clone(), charge);
+            let evicted = shard.lock().insert(key, block.clone(), charge);
+            self.note_insert(&key, &evicted);
         }
         Ok(block)
     }
@@ -178,7 +295,8 @@ impl ScopedBlockProvider<'_> {
 
 impl BlockProvider for ScopedBlockProvider<'_> {
     fn block(&self, meta: &TableMeta, block_no: u32, storage: &dyn Storage) -> Result<Arc<Block>> {
-        self.cache.get_or_load(meta, block_no, storage, &self.admit_remaining)
+        self.cache
+            .get_or_load(meta, block_no, storage, &self.admit_remaining)
     }
 
     fn invalidate_files(&self, files: &[FileId]) {
@@ -203,7 +321,8 @@ mod tests {
         let mut b = TableBuilder::new(id, &Options::small());
         for i in 0..n {
             let k = format!("t{id}-k{i:05}");
-            b.add(k.as_bytes(), &Entry::Put(Bytes::from(format!("v{i}")))).unwrap();
+            b.add(k.as_bytes(), &Entry::Put(Bytes::from(format!("v{i}"))))
+                .unwrap();
         }
         b.finish(storage).unwrap()
     }
@@ -217,7 +336,11 @@ mod tests {
         p.block(&meta, 0, &storage).unwrap();
         assert_eq!(storage.stats().reads(), 1);
         p.block(&meta, 0, &storage).unwrap();
-        assert_eq!(storage.stats().reads(), 1, "second access must hit the cache");
+        assert_eq!(
+            storage.stats().reads(),
+            1,
+            "second access must hit the cache"
+        );
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
         assert!(cache.used() > 0);

@@ -49,7 +49,13 @@ pub struct ChargedCache<K, V> {
 impl<K: Clone + Eq + Hash, V> ChargedCache<K, V> {
     /// Creates a cache bounded at `capacity` bytes.
     pub fn new(capacity: usize, policy: Box<dyn Policy<K>>) -> Self {
-        ChargedCache { map: HashMap::new(), policy, capacity, used: 0, stats: CacheStats::default() }
+        ChargedCache {
+            map: HashMap::new(),
+            policy,
+            capacity,
+            used: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// Looks up `key`, updating recency on hit and the hit/miss counters.
@@ -94,7 +100,9 @@ impl<K: Clone + Eq + Hash, V> ChargedCache<K, V> {
         self.map.insert(key.clone(), (value, charge));
         self.policy.on_insert(&key);
         while self.used > self.capacity {
-            let Some(victim) = self.policy.victim() else { break };
+            let Some(victim) = self.policy.victim() else {
+                break;
+            };
             if let Some((v, c)) = self.map.remove(&victim) {
                 self.used -= c;
                 self.stats.evictions += 1;
@@ -129,7 +137,9 @@ impl<K: Clone + Eq + Hash, V> ChargedCache<K, V> {
         self.capacity = capacity;
         let mut evicted = Vec::new();
         while self.used > self.capacity {
-            let Some(victim) = self.policy.victim() else { break };
+            let Some(victim) = self.policy.victim() else {
+                break;
+            };
             if let Some((v, c)) = self.map.remove(&victim) {
                 self.used -= c;
                 self.stats.evictions += 1;

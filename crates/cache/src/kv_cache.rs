@@ -6,15 +6,37 @@
 
 use crate::container::{CacheStats, ChargedCache};
 use crate::policy::{LruPolicy, Policy};
+use adcache_obs::{CacheStructure, Counter, Event, EvictionCause, Obs};
 use bytes::Bytes;
 use parking_lot::Mutex;
+use std::sync::OnceLock;
 
 /// Per-entry bookkeeping overhead added to the byte charge.
 const ENTRY_OVERHEAD: usize = 32;
 
+/// Pre-resolved observability handles (see `BlockCache` for the pattern).
+struct KvObsHooks {
+    obs: Obs,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+}
+
+impl KvObsHooks {
+    fn new(obs: Obs) -> Self {
+        KvObsHooks {
+            hits: obs.counter("cache.kv.hits"),
+            misses: obs.counter("cache.kv.misses"),
+            evictions: obs.counter("cache.kv.evictions"),
+            obs,
+        }
+    }
+}
+
 /// A thread-safe key-value result cache.
 pub struct KvCache {
     inner: Mutex<ChargedCache<Bytes, Bytes>>,
+    obs: OnceLock<KvObsHooks>,
 }
 
 impl KvCache {
@@ -25,7 +47,47 @@ impl KvCache {
 
     /// Creates a cache with a custom eviction policy.
     pub fn with_policy(capacity: usize, policy: Box<dyn Policy<Bytes>>) -> Self {
-        KvCache { inner: Mutex::new(ChargedCache::new(capacity, policy)) }
+        KvCache {
+            inner: Mutex::new(ChargedCache::new(capacity, policy)),
+            obs: OnceLock::new(),
+        }
+    }
+
+    /// Attaches an observability handle (no-op when called twice).
+    pub fn set_obs(&self, obs: Obs) {
+        let _ = self.obs.set(KvObsHooks::new(obs));
+    }
+
+    fn note_evictions(
+        &self,
+        cause: EvictionCause,
+        inserted: Option<&Bytes>,
+        mut evicted: &[(Bytes, Bytes)],
+    ) {
+        // A same-key replacement (or an oversized refusal bounced back) is
+        // not a policy eviction.
+        while let (Some(ins), Some((k, _))) = (inserted, evicted.first()) {
+            if k == ins {
+                evicted = &evicted[1..];
+            } else {
+                break;
+            }
+        }
+        if evicted.is_empty() {
+            return;
+        }
+        if let Some(h) = self.obs.get() {
+            h.evictions.add(evicted.len() as u64);
+            h.obs.emit(|| Event::Eviction {
+                cache: CacheStructure::Kv,
+                cause,
+                count: evicted.len() as u64,
+                bytes: evicted
+                    .iter()
+                    .map(|(k, v)| (k.len() + v.len() + ENTRY_OVERHEAD) as u64)
+                    .sum(),
+            });
+        }
     }
 
     /// Looks up a point result.
@@ -33,13 +95,23 @@ impl KvCache {
         // `Bytes` keys require an owned probe; keys are short so the copy is
         // cheaper than a borrowed-key map abstraction.
         let probe = Bytes::copy_from_slice(key);
-        self.inner.lock().get(&probe).cloned()
+        let result = self.inner.lock().get(&probe).cloned();
+        if let Some(h) = self.obs.get() {
+            if result.is_some() {
+                h.hits.inc();
+            } else {
+                h.misses.inc();
+            }
+        }
+        result
     }
 
     /// Admits a point result.
     pub fn insert(&self, key: Bytes, value: Bytes) {
         let charge = key.len() + value.len() + ENTRY_OVERHEAD;
-        self.inner.lock().insert(key, value, charge);
+        let key_probe = key.clone();
+        let evicted = self.inner.lock().insert(key, value, charge);
+        self.note_evictions(EvictionCause::Capacity, Some(&key_probe), &evicted);
     }
 
     /// Applies a write: overwrites a resident entry or drops it on delete,
@@ -66,7 +138,8 @@ impl KvCache {
 
     /// Re-targets the byte budget.
     pub fn set_capacity(&self, capacity: usize) {
-        self.inner.lock().set_capacity(capacity);
+        let evicted = self.inner.lock().set_capacity(capacity);
+        self.note_evictions(EvictionCause::Resize, None, &evicted);
     }
 
     /// Counter snapshot.
@@ -126,7 +199,10 @@ mod tests {
     fn byte_budget_evicts_lru() {
         let c = KvCache::new(3 * (1 + 1 + 32));
         for (k, v) in [("a", "1"), ("b", "2"), ("c", "3")] {
-            c.insert(Bytes::copy_from_slice(k.as_bytes()), Bytes::copy_from_slice(v.as_bytes()));
+            c.insert(
+                Bytes::copy_from_slice(k.as_bytes()),
+                Bytes::copy_from_slice(v.as_bytes()),
+            );
         }
         c.get(b"a");
         c.insert(Bytes::from_static(b"d"), Bytes::from_static(b"4"));

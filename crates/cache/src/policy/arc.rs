@@ -130,7 +130,9 @@ impl<K: Clone + Eq + Hash + Send> Policy<K> for ArcPolicy<K> {
     }
 
     fn on_hit(&mut self, key: &K) {
-        let Some(&(list, tick)) = self.resident.get(key) else { return };
+        let Some(&(list, tick)) = self.resident.get(key) else {
+            return;
+        };
         match list {
             Residency::T1 => {
                 self.t1.remove(&tick);

@@ -34,7 +34,12 @@ struct SrLru<K> {
 
 impl<K: Clone + Eq + Hash> SrLru<K> {
     fn new() -> Self {
-        SrLru { s: BTreeMap::new(), r: BTreeMap::new(), meta: HashMap::new(), clock: 0 }
+        SrLru {
+            s: BTreeMap::new(),
+            r: BTreeMap::new(),
+            meta: HashMap::new(),
+            clock: 0,
+        }
     }
 
     fn tick(&mut self) -> u64 {
@@ -49,7 +54,9 @@ impl<K: Clone + Eq + Hash> SrLru<K> {
     }
 
     fn hit(&mut self, key: &K) {
-        let Some(&(protected, tick)) = self.meta.get(key) else { return };
+        let Some(&(protected, tick)) = self.meta.get(key) else {
+            return;
+        };
         if protected {
             self.r.remove(&tick);
         } else {
@@ -230,7 +237,11 @@ impl<K: Clone + Eq + Hash + Send> Policy<K> for CacheusPolicy<K> {
             return None;
         }
         let use_lru = self.rand_unit() < self.w_lru;
-        let victim = if use_lru { self.srlru.victim() } else { self.crlfu.victim() }?;
+        let victim = if use_lru {
+            self.srlru.victim()
+        } else {
+            self.crlfu.victim()
+        }?;
         if use_lru {
             self.crlfu.on_external_remove(&victim);
             self.hist_lru.insert(victim.clone(), self.step);
@@ -310,7 +321,11 @@ mod tests {
                 p.on_insert(&g);
             }
         }
-        assert_ne!(p.learning_rate(), initial, "learning rate should have moved");
+        assert_ne!(
+            p.learning_rate(),
+            initial,
+            "learning rate should have moved"
+        );
     }
 
     #[test]

@@ -30,7 +30,12 @@ pub struct ClockPolicy<K> {
 impl<K: Clone + Eq + Hash> ClockPolicy<K> {
     /// Creates an empty policy.
     pub fn new() -> Self {
-        ClockPolicy { slots: Vec::new(), index: HashMap::new(), hand: 0, free: Vec::new() }
+        ClockPolicy {
+            slots: Vec::new(),
+            index: HashMap::new(),
+            hand: 0,
+            free: Vec::new(),
+        }
     }
 
     /// Number of tracked keys.
@@ -53,7 +58,10 @@ impl<K: Clone + Eq + Hash> Default for ClockPolicy<K> {
 impl<K: Clone + Eq + Hash + Send> Policy<K> for ClockPolicy<K> {
     fn on_insert(&mut self, key: &K) {
         debug_assert!(!self.index.contains_key(key));
-        let slot = Slot { key: key.clone(), referenced: false };
+        let slot = Slot {
+            key: key.clone(),
+            referenced: false,
+        };
         let idx = if let Some(i) = self.free.pop() {
             self.slots[i] = Some(slot);
             i
@@ -81,7 +89,9 @@ impl<K: Clone + Eq + Hash + Send> Policy<K> for ClockPolicy<K> {
         for _ in 0..(2 * self.slots.len()) {
             let i = self.hand;
             self.hand = (self.hand + 1) % self.slots.len();
-            let Some(slot) = self.slots[i].as_mut() else { continue };
+            let Some(slot) = self.slots[i].as_mut() else {
+                continue;
+            };
             if slot.referenced {
                 slot.referenced = false;
             } else {

@@ -17,7 +17,11 @@ pub struct FifoPolicy<K> {
 impl<K: Clone + Eq + Hash> FifoPolicy<K> {
     /// Creates an empty policy.
     pub fn new() -> Self {
-        FifoPolicy { by_arrival: BTreeMap::new(), arrivals: HashMap::new(), clock: 0 }
+        FifoPolicy {
+            by_arrival: BTreeMap::new(),
+            arrivals: HashMap::new(),
+            clock: 0,
+        }
     }
 
     /// Number of tracked keys.

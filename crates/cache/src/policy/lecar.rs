@@ -135,7 +135,11 @@ impl<K: Clone + Eq + Hash + Send> Policy<K> for LeCaRPolicy<K> {
         }
         let use_lru = self.rand_unit() < self.w_lru;
         // Sample the winning expert's victim; remove it from both experts.
-        let victim = if use_lru { self.lru.victim() } else { self.lfu.victim() }?;
+        let victim = if use_lru {
+            self.lru.victim()
+        } else {
+            self.lfu.victim()
+        }?;
         if use_lru {
             self.lfu.on_external_remove(&victim);
             self.hist_lru.insert(victim.clone(), self.step);
@@ -222,7 +226,10 @@ mod tests {
                 }
             }
         }
-        assert!(lru_picks > 0 && lfu_picks > 0, "lru={lru_picks} lfu={lfu_picks}");
+        assert!(
+            lru_picks > 0 && lfu_picks > 0,
+            "lru={lru_picks} lfu={lfu_picks}"
+        );
     }
 
     #[test]

@@ -35,7 +35,12 @@ impl<K: Clone + Eq + Hash> LfuPolicy<K> {
 
     /// LFU with an explicit tie-break rule.
     pub fn with_tiebreak(tie: TieBreak) -> Self {
-        LfuPolicy { by_priority: BTreeMap::new(), meta: HashMap::new(), clock: 0, tie }
+        LfuPolicy {
+            by_priority: BTreeMap::new(),
+            meta: HashMap::new(),
+            clock: 0,
+            tie,
+        }
     }
 
     fn bump(&mut self, key: &K, start_freq: u64) {

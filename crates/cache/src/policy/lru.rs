@@ -17,7 +17,11 @@ pub struct LruPolicy<K> {
 impl<K: Clone + Eq + Hash> LruPolicy<K> {
     /// Creates an empty policy.
     pub fn new() -> Self {
-        LruPolicy { by_tick: BTreeMap::new(), ticks: HashMap::new(), clock: 0 }
+        LruPolicy {
+            by_tick: BTreeMap::new(),
+            ticks: HashMap::new(),
+            clock: 0,
+        }
     }
 
     fn touch(&mut self, key: &K) {

@@ -209,7 +209,7 @@ mod tests {
         let v = p.victim().unwrap(); // 0 goes to ghosts
         assert_eq!(v, 0);
         p.on_insert(&0); // ghost hit
-        // 0 is now in Am: scans through probation must not touch it soon.
+                         // 0 is now in Am: scans through probation must not touch it soon.
         for k in 10..14u32 {
             p.on_insert(&k);
             let victim = p.victim().unwrap();

@@ -31,7 +31,12 @@ pub struct CompactionPrefetcher {
 impl CompactionPrefetcher {
     /// Creates a prefetcher over `cache` and `storage`.
     pub fn new(cache: Arc<BlockCache>, storage: Arc<dyn Storage>, blocks_per_file: usize) -> Self {
-        CompactionPrefetcher { cache, storage, blocks_per_file, prefetched: AtomicU64::new(0) }
+        CompactionPrefetcher {
+            cache,
+            storage,
+            blocks_per_file,
+            prefetched: AtomicU64::new(0),
+        }
     }
 
     /// Total blocks loaded by prefetching so far (subtract from raw device
@@ -48,13 +53,22 @@ impl CompactionListener for CompactionPrefetcher {
         }
         for &file in &event.new_files {
             // Metadata reads are pinned-memory operations, not data I/O.
-            let Ok(meta_blob) = self.storage.read_meta(file) else { continue };
-            let Ok(meta) = TableMeta::decode(&meta_blob) else { continue };
+            let Ok(meta_blob) = self.storage.read_meta(file) else {
+                continue;
+            };
+            let Ok(meta) = TableMeta::decode(&meta_blob) else {
+                continue;
+            };
             let n = (self.blocks_per_file as u32).min(meta.num_blocks);
             for block_no in 0..n {
-                let Ok(stored) = self.storage.read_block(file, block_no) else { break };
-                let Ok(block) = decode_stored_block(stored) else { break };
-                self.cache.insert_block(BlockRef::new(file, block_no), Arc::new(block));
+                let Ok(stored) = self.storage.read_block(file, block_no) else {
+                    break;
+                };
+                let Ok(block) = decode_stored_block(stored) else {
+                    break;
+                };
+                self.cache
+                    .insert_block(BlockRef::new(file, block_no), Arc::new(block));
                 self.prefetched.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -96,7 +110,10 @@ mod tests {
         let query_reads = db
             .query_block_reads()
             .saturating_sub(prefetcher.blocks_prefetched());
-        assert_eq!(query_reads, 0, "no queries ran; all residual reads are prefetches");
+        assert_eq!(
+            query_reads, 0,
+            "no queries ran; all residual reads are prefetches"
+        );
     }
 
     #[test]
@@ -111,7 +128,11 @@ mod tests {
         ));
         db.add_compaction_listener(prefetcher.clone());
         for i in 0..10_000u64 {
-            db.put(Bytes::from(format!("user{:020}", i % 1000)), Bytes::from("v")).unwrap();
+            db.put(
+                Bytes::from(format!("user{:020}", i % 1000)),
+                Bytes::from("v"),
+            )
+            .unwrap();
         }
         assert_eq!(prefetcher.blocks_prefetched(), 0);
         assert!(cache.is_empty());

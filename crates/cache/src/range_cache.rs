@@ -26,11 +26,13 @@
 use crate::container::CacheStats;
 use crate::policy::{LruPolicy, Policy};
 use adcache_lsm::SkipList;
+use adcache_obs::{CacheStructure, Counter, Event, EvictionCause, Obs};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Per-entry bookkeeping overhead added to the byte charge.
 const ENTRY_OVERHEAD: usize = 48;
@@ -142,7 +144,9 @@ impl Shard {
     }
 
     fn remove_entry(&mut self, key: &[u8], via_eviction: bool) -> bool {
-        let Some(val) = self.entries.remove(key) else { return false };
+        let Some(val) = self.entries.remove(key) else {
+            return false;
+        };
         self.used -= Self::charge_of(key, &val.value);
         if via_eviction {
             self.evictions += 1;
@@ -168,14 +172,14 @@ impl Shard {
             .range::<Bytes, _>((Bound::Unbounded, Bound::Included(&end)))
             .rev()
         {
-            if e < &start {
+            if *e < start {
                 break;
             }
             doomed.push(s.clone());
-            if s < &new_start {
+            if *s < new_start {
                 new_start = s.clone();
             }
-            if e > &new_end {
+            if *e > new_end {
                 new_end = e.clone();
             }
         }
@@ -188,7 +192,9 @@ impl Shard {
 
     /// Splits coverage at `key` (called when `key`'s entry is evicted).
     fn split_at(&mut self, key: &[u8]) {
-        let Some((s, e)) = self.covering(key) else { return };
+        let Some((s, e)) = self.covering(key) else {
+            return;
+        };
         self.segments.remove(&s);
         if s.as_ref() < key {
             self.segments.insert(s, Bytes::copy_from_slice(key));
@@ -199,20 +205,29 @@ impl Shard {
         }
     }
 
-    fn evict_to_capacity(&mut self) {
+    /// Evicts down to the byte budget; returns `(entries, bytes)` evicted.
+    fn evict_to_capacity(&mut self) -> (u64, u64) {
+        let (ev_before, used_before) = (self.evictions, self.used);
         while self.used > self.capacity {
-            let Some(victim) = self.policy.victim() else { break };
+            let Some(victim) = self.policy.victim() else {
+                break;
+            };
             if self.remove_entry(&victim, true) {
                 self.split_at(&victim);
             }
         }
+        (self.evictions - ev_before, (used_before - self.used) as u64)
     }
 
     /// Bounds segment-map growth: drop whole segments (and their entries)
     /// from the cold front until under the cap.
     fn prune_segments(&mut self) {
         while self.segments.len() > self.max_segments {
-            let Some((s, e)) = self.segments.iter().next().map(|(a, b)| (a.clone(), b.clone()))
+            let Some((s, e)) = self
+                .segments
+                .iter()
+                .next()
+                .map(|(a, b)| (a.clone(), b.clone()))
             else {
                 break;
             };
@@ -250,6 +265,26 @@ impl Shard {
     }
 }
 
+/// Pre-resolved observability handles (see `BlockCache` for the pattern:
+/// registered once on attach, lock-free afterwards, absent = inert).
+struct RangeObsHooks {
+    obs: Obs,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+}
+
+impl RangeObsHooks {
+    fn new(obs: Obs) -> Self {
+        RangeObsHooks {
+            hits: obs.counter("cache.range.hits"),
+            misses: obs.counter("cache.range.misses"),
+            evictions: obs.counter("cache.range.evictions"),
+            obs,
+        }
+    }
+}
+
 /// A sharded, coverage-tracking result cache for point and range lookups.
 pub struct RangeCache {
     shards: Vec<Mutex<Shard>>,
@@ -257,6 +292,7 @@ pub struct RangeCache {
     boundaries: Vec<Bytes>,
     hits: AtomicU64,
     misses: AtomicU64,
+    obs: OnceLock<RangeObsHooks>,
 }
 
 impl RangeCache {
@@ -273,15 +309,56 @@ impl RangeCache {
 
     /// Sharded construction: `boundaries` are the ascending key-space split
     /// points; `boundaries.len() + 1` shards are created.
-    pub fn with_shards(capacity: usize, boundaries: Vec<Bytes>, factory: RangePolicyFactory) -> Self {
+    pub fn with_shards(
+        capacity: usize,
+        boundaries: Vec<Bytes>,
+        factory: RangePolicyFactory,
+    ) -> Self {
         debug_assert!(boundaries.windows(2).all(|w| w[0] < w[1]));
         let n = boundaries.len() + 1;
         let per_shard = capacity / n;
         RangeCache {
-            shards: (0..n).map(|_| Mutex::new(Shard::new(per_shard, factory()))).collect(),
+            shards: (0..n)
+                .map(|_| Mutex::new(Shard::new(per_shard, factory())))
+                .collect(),
             boundaries,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            obs: OnceLock::new(),
+        }
+    }
+
+    /// Attaches an observability handle (no-op when called twice).
+    pub fn set_obs(&self, obs: Obs) {
+        let _ = self.obs.set(RangeObsHooks::new(obs));
+    }
+
+    fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(h) = self.obs.get() {
+            h.hits.inc();
+        }
+    }
+
+    fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(h) = self.obs.get() {
+            h.misses.inc();
+        }
+    }
+
+    fn note_evictions(&self, cause: EvictionCause, count: u64, bytes: u64) {
+        if count == 0 {
+            return;
+        }
+        if let Some(h) = self.obs.get() {
+            h.evictions.add(count);
+            h.obs.emit(|| Event::Eviction {
+                cache: CacheStructure::Range,
+                cause,
+                count,
+                bytes,
+            });
         }
     }
 
@@ -300,14 +377,17 @@ impl RangeCache {
         if let Some(val) = shard.entries.get(key) {
             let value = val.value.clone();
             shard.policy.on_hit(&Bytes::copy_from_slice(key));
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            drop(shard);
+            self.note_hit();
             return PointLookup::Hit(value);
         }
         if shard.covering(key).is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            drop(shard);
+            self.note_hit();
             return PointLookup::NegativeHit;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        drop(shard);
+        self.note_miss();
         PointLookup::Miss
     }
 
@@ -326,7 +406,7 @@ impl RangeCache {
             };
             let mut touched: Vec<Bytes> = Vec::new();
             for (k, v) in shard.entries.iter_from(&current) {
-                if k >= &seg_end || out.len() >= n {
+                if *k >= seg_end || out.len() >= n {
                     break;
                 }
                 out.push((k.clone(), v.value.clone()));
@@ -361,10 +441,10 @@ impl RangeCache {
         }
         let (out, cont) = self.walk_range(from, n);
         if cont.is_none() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.note_hit();
             RangeLookup::Hit(out)
         } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.note_miss();
             RangeLookup::Miss
         }
     }
@@ -380,9 +460,9 @@ impl RangeCache {
         }
         let (out, cont) = self.walk_range(from, n);
         if cont.is_none() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.note_hit();
         } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.note_miss();
         }
         (out, cont)
     }
@@ -429,13 +509,16 @@ impl RangeCache {
                 cov_end.clone()
             } else {
                 // More entries in the next shard: cover up to the boundary.
-                shard_upper.clone().unwrap_or_else(|| next_key(&results[last_in_shard].0))
+                shard_upper
+                    .clone()
+                    .unwrap_or_else(|| next_key(&results[last_in_shard].0))
             };
             // Clip the segment to this shard's key space.
             let clipped_start = seg_start.clone();
             shard.add_segment(clipped_start, seg_end.clone());
-            shard.evict_to_capacity();
+            let (ev_count, ev_bytes) = shard.evict_to_capacity();
             drop(shard);
+            self.note_evictions(EvictionCause::Capacity, ev_count, ev_bytes);
             seg_start = seg_end;
         }
     }
@@ -464,7 +547,9 @@ impl RangeCache {
         let end = next_key(&key);
         shard.upsert_entry(key.clone(), value);
         shard.add_segment(key, end);
-        shard.evict_to_capacity();
+        let (ev_count, ev_bytes) = shard.evict_to_capacity();
+        drop(shard);
+        self.note_evictions(EvictionCause::Capacity, ev_count, ev_bytes);
     }
 
     /// Applies a write so covered ranges never serve stale data: upserts
@@ -477,7 +562,9 @@ impl RangeCache {
             Some(v) => {
                 if shard.covering(key).is_some() {
                     shard.upsert_entry(Bytes::copy_from_slice(key), v.clone());
-                    shard.evict_to_capacity();
+                    let (ev_count, ev_bytes) = shard.evict_to_capacity();
+                    drop(shard);
+                    self.note_evictions(EvictionCause::Capacity, ev_count, ev_bytes);
                 }
             }
             None => {
@@ -503,13 +590,18 @@ impl RangeCache {
     /// Re-targets the total byte budget (split across shards).
     pub fn set_capacity(&self, capacity: usize) {
         let per_shard = capacity / self.shards.len();
+        let mut count = 0u64;
+        let mut bytes = 0u64;
         for s in &self.shards {
             let mut s = s.lock();
             s.capacity = per_shard;
             s.max_segments = segment_cap(per_shard);
-            s.evict_to_capacity();
+            let (ev_count, ev_bytes) = s.evict_to_capacity();
+            count += ev_count;
+            bytes += ev_bytes;
             s.prune_segments();
         }
+        self.note_evictions(EvictionCause::Resize, count, bytes);
     }
 
     /// Total byte budget.
@@ -571,7 +663,10 @@ mod tests {
     }
 
     fn kv(i: usize) -> (Bytes, Bytes) {
-        (Bytes::from(format!("key{i:04}")), Bytes::from(format!("val{i:04}")))
+        (
+            Bytes::from(format!("key{i:04}")),
+            Bytes::from(format!("val{i:04}")),
+        )
     }
 
     fn scan_result(from: usize, n: usize) -> Vec<(Bytes, Bytes)> {
@@ -786,8 +881,7 @@ mod tests {
         assert_eq!(prefix.len(), 16);
         let cont = cont.unwrap();
         // "LSM scan" of the tail = everything at/after the continuation.
-        let tail: Vec<(Bytes, Bytes)> =
-            full.iter().filter(|(k, _)| k >= &cont).cloned().collect();
+        let tail: Vec<(Bytes, Bytes)> = full.iter().filter(|(k, _)| *k >= cont).cloned().collect();
         assert_eq!(prefix.len() + tail.len(), 64, "no gap, no overlap");
         c.insert_scan(&cont, &tail, tail.len());
         match c.get_range(&full[0].0, 64) {

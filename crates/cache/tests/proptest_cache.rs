@@ -17,7 +17,10 @@ fn key(k: u16) -> Bytes {
 }
 
 fn scan_db(db: &Db, from: &Bytes, n: usize) -> Vec<(Bytes, Bytes)> {
-    db.range(from.clone()..).take(n).map(|(a, b)| (a.clone(), b.clone())).collect()
+    db.range(from.clone()..)
+        .take(n)
+        .map(|(a, b)| (a.clone(), b.clone()))
+        .collect()
 }
 
 #[derive(Debug, Clone)]

@@ -11,11 +11,16 @@
 //!
 //! Commands: `put`, `get`, `del`, `scan`, `fill`, `bench`, `stats`,
 //! `tune`, `flush`, `help`, `quit`.
+//!
+//! `adcache trace DIR` is a non-interactive mode: it summarizes a trace
+//! directory (`trace.jsonl` + `metrics.json`) produced by `--trace DIR`,
+//! the `ADCACHE_TRACE` environment variable, or `RunConfig::trace_dir`.
 
 use adcache_core::{
-    AsyncController, CachedDb, ControllerConfig, EngineConfig, Snapshot, Strategy,
+    AsyncController, CachedDb, Controller, ControllerConfig, EngineConfig, Snapshot, Strategy,
 };
 use adcache_lsm::{FileStorage, MemStorage, Options};
+use adcache_obs::{parse_jsonl, Event, Obs};
 use adcache_workload::{render_key, Mix, WorkloadConfig, WorkloadGen};
 use bytes::Bytes;
 use std::io::{BufRead, Write};
@@ -25,6 +30,7 @@ struct CliConfig {
     dir: Option<std::path::PathBuf>,
     cache_mb: usize,
     strategy: Strategy,
+    trace: Option<std::path::PathBuf>,
 }
 
 fn parse_strategy(name: &str) -> Result<Strategy, String> {
@@ -33,13 +39,20 @@ fn parse_strategy(name: &str) -> Result<Strategy, String> {
         .find(|s| s.name() == name)
         .ok_or_else(|| {
             let names: Vec<&str> = Strategy::all().iter().map(|s| s.name()).collect();
-            format!("unknown strategy {name}; choose one of {}", names.join(", "))
+            format!(
+                "unknown strategy {name}; choose one of {}",
+                names.join(", ")
+            )
         })
 }
 
 fn parse_args() -> Result<CliConfig, String> {
-    let mut cfg =
-        CliConfig { dir: None, cache_mb: 64, strategy: Strategy::AdCache };
+    let mut cfg = CliConfig {
+        dir: None,
+        cache_mb: 64,
+        strategy: Strategy::AdCache,
+        trace: None,
+    };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -47,6 +60,10 @@ fn parse_args() -> Result<CliConfig, String> {
             "--dir" => {
                 i += 1;
                 cfg.dir = Some(args.get(i).ok_or("--dir needs a path")?.into());
+            }
+            "--trace" => {
+                i += 1;
+                cfg.trace = Some(args.get(i).ok_or("--trace needs a path")?.into());
             }
             "--cache-mb" => {
                 i += 1;
@@ -75,11 +92,16 @@ fn print_help() {
     println!(
         "adcache — interactive AdCache key-value shell\n\
          \n\
+         usage:\n\
+         \x20 adcache [flags]     interactive shell\n\
+         \x20 adcache trace DIR   summarize a trace directory (trace.jsonl + metrics.json)\n\
+         \n\
          flags:\n\
          \x20 --dir PATH        durable store rooted at PATH (default: in-memory)\n\
          \x20 --cache-mb N      total cache budget in MiB (default 64)\n\
          \x20 --strategy NAME   rocksdb-block | kv-cache | range-cache |\n\
          \x20                   range-lecar | range-cacheus | adcache (default)\n\
+         \x20 --trace PATH      record a structured trace; dumped to PATH on quit\n\
          \n\
          commands:\n\
          \x20 put <key> <value>   insert or overwrite\n\
@@ -158,7 +180,10 @@ fn cmd_stats(db: &CachedDb) {
         "engine: {} SST reads (queries), {} compactions, {} flushes, {} runs / {} levels",
         db.db().query_block_reads(),
         db.db().stats().compactions(),
-        db.db().stats().flushes.load(std::sync::atomic::Ordering::Relaxed),
+        db.db()
+            .stats()
+            .flushes
+            .load(std::sync::atomic::Ordering::Relaxed),
         db.db().num_runs(),
         db.db().num_levels(),
     );
@@ -180,15 +205,32 @@ struct Shell {
     window: u64,
     ops_in_window: std::cell::Cell<u64>,
     win_start: std::cell::Cell<Snapshot>,
+    obs: Obs,
 }
 
 impl Shell {
-    fn new(db: CachedDb) -> Self {
+    fn new(db: CachedDb, obs: Obs) -> Self {
+        if obs.is_enabled() {
+            db.set_obs(obs.clone());
+        }
         let tuner = (db.strategy() == Strategy::AdCache).then(|| {
-            AsyncController::new(ControllerConfig { window: 1000, hidden: 64, ..Default::default() })
+            let mut c = Controller::new(ControllerConfig {
+                window: 1000,
+                hidden: 64,
+                ..Default::default()
+            });
+            c.set_obs(obs.clone());
+            AsyncController::with_controller(c)
         });
         let win_start = std::cell::Cell::new(db.snapshot());
-        Shell { db, tuner, window: 1000, ops_in_window: std::cell::Cell::new(0), win_start }
+        Shell {
+            db,
+            tuner,
+            window: 1000,
+            ops_in_window: std::cell::Cell::new(0),
+            win_start,
+            obs,
+        }
     }
 
     fn exec(&self, op: &adcache_workload::Operation) -> adcache_lsm::Result<()> {
@@ -201,6 +243,7 @@ impl Shell {
         let n = self.ops_in_window.get() + 1;
         self.ops_in_window.set(n);
         if n.is_multiple_of(self.window) {
+            self.obs.set_window(n / self.window);
             if let Some(t) = &self.tuner {
                 let w = self.db.window_summary(&self.win_start.get());
                 t.submit(w);
@@ -221,7 +264,10 @@ fn cmd_bench(shell: &Shell, n: u64, mix_name: &str) -> Result<(), Box<dyn std::e
         other => return Err(format!("unknown mix {other} (point|scan|write|mixed)").into()),
     };
     let keys = 100_000;
-    let mut gen = WorkloadGen::new(WorkloadConfig { num_keys: keys, ..Default::default() });
+    let mut gen = WorkloadGen::new(WorkloadConfig {
+        num_keys: keys,
+        ..Default::default()
+    });
     let reads_before = db.db().query_block_reads();
     let start = std::time::Instant::now();
     for _ in 0..n {
@@ -237,6 +283,175 @@ fn cmd_bench(shell: &Shell, n: u64, mix_name: &str) -> Result<(), Box<dyn std::e
     Ok(())
 }
 
+/// Reads a counter out of a `metrics.json` snapshot (0 when absent).
+fn metric_counter(metrics: &serde_json::Value, name: &str) -> u64 {
+    metrics
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(serde_json::Value::as_u64)
+        .unwrap_or(0)
+}
+
+fn hit_rate_line(metrics: &serde_json::Value, label: &str, prefix: &str) -> String {
+    let hits = metric_counter(metrics, &format!("{prefix}.hits"));
+    let misses = metric_counter(metrics, &format!("{prefix}.misses"));
+    let evictions = metric_counter(metrics, &format!("{prefix}.evictions"));
+    let total = hits + misses;
+    if total == 0 {
+        format!("  {label:<12} (no traffic)")
+    } else {
+        format!(
+            "  {label:<12} {:>7.2}% hit ({hits} hits / {misses} misses, {evictions} evictions)",
+            hits as f64 * 100.0 / total as f64
+        )
+    }
+}
+
+/// `adcache trace DIR` — summarizes a recorded trace directory.
+fn cmd_trace(dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
+    let metrics: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("metrics.json"))?)?;
+    let records = parse_jsonl(&std::fs::read_to_string(dir.join("trace.jsonl"))?)?;
+
+    println!("trace: {} ({} events)", dir.display(), records.len());
+    for r in &records {
+        if let Event::RunStart {
+            strategy,
+            total_cache_bytes,
+        } = &r.event
+        {
+            println!(
+                "run: strategy {strategy}, cache budget {:.1} MiB",
+                *total_cache_bytes as f64 / (1 << 20) as f64
+            );
+        }
+    }
+
+    println!("\ncache hit rates:");
+    println!("{}", hit_rate_line(&metrics, "block", "cache.block"));
+    println!("{}", hit_rate_line(&metrics, "range", "cache.range"));
+    println!("{}", hit_rate_line(&metrics, "kv", "cache.kv"));
+
+    // Admission breakdown by outcome and reason, from the journal.
+    let mut by_verdict: std::collections::BTreeMap<String, (u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    for r in &records {
+        if let Event::Admission {
+            cache,
+            outcome,
+            reason,
+            requested,
+            admitted,
+        } = &r.event
+        {
+            let e = by_verdict
+                .entry(format!("{cache:?}/{outcome:?}/{reason:?}"))
+                .or_insert((0, 0, 0));
+            e.0 += 1;
+            e.1 += requested;
+            e.2 += admitted;
+        }
+    }
+    println!("\nadmission decisions (journal tail):");
+    if by_verdict.is_empty() {
+        println!("  (none recorded)");
+    }
+    for (k, (n, req, adm)) in &by_verdict {
+        println!("  {k:<44} {n:>7} decisions, {adm}/{req} entries admitted");
+    }
+    println!(
+        "  counters (whole run): {} accepts, {} rejects, {} partials",
+        metric_counter(&metrics, "core.admission.accepts"),
+        metric_counter(&metrics, "core.admission.rejects"),
+        metric_counter(&metrics, "core.admission.partials"),
+    );
+
+    // Boundary trajectory: where the controller moved the block/range split.
+    let moves: Vec<(u64, f64, bool)> = records
+        .iter()
+        .filter_map(|r| match &r.event {
+            Event::BoundaryResize {
+                range_ratio,
+                applied,
+                ..
+            } => Some((r.window, *range_ratio, *applied)),
+            _ => None,
+        })
+        .collect();
+    println!("\nboundary trajectory ({} decisions):", moves.len());
+    let tail = moves.len().saturating_sub(10);
+    if tail > 0 {
+        println!("  ... {tail} earlier decisions elided ...");
+    }
+    for (window, ratio, applied) in &moves[tail..] {
+        println!(
+            "  window {window:>5}: range {:>5.1}% / block {:>5.1}%{}",
+            ratio * 100.0,
+            (1.0 - ratio) * 100.0,
+            if *applied {
+                ""
+            } else {
+                "  (suppressed by hysteresis)"
+            }
+        );
+    }
+
+    // Training progress.
+    let steps: Vec<(f64, f64)> = records
+        .iter()
+        .filter_map(|r| match &r.event {
+            Event::TrainStep {
+                reward, td_error, ..
+            } => Some((*reward, *td_error)),
+            _ => None,
+        })
+        .collect();
+    if !steps.is_empty() {
+        let mean_r = steps.iter().map(|(r, _)| r).sum::<f64>() / steps.len() as f64;
+        let mean_td = steps.iter().map(|(_, td)| td.abs()).sum::<f64>() / steps.len() as f64;
+        println!(
+            "\ntraining: {} steps, mean reward {mean_r:+.4}, mean |td error| {mean_td:.4}, last reward {:+.4}",
+            steps.len(),
+            steps.last().unwrap().0
+        );
+    }
+
+    // LSM maintenance counted from the journal.
+    let (mut compactions, mut flushes, mut invalidations) = (0u64, 0u64, 0u64);
+    for r in &records {
+        match &r.event {
+            Event::CompactionFinish { .. } => compactions += 1,
+            Event::Flush { .. } => flushes += 1,
+            Event::BlockCacheInvalidation { .. } => invalidations += 1,
+            _ => {}
+        }
+    }
+    println!(
+        "\nlsm: {} flushes, {} compactions (counters: {} / {}), {} block-cache invalidations",
+        flushes,
+        compactions,
+        metric_counter(&metrics, "lsm.flushes"),
+        metric_counter(&metrics, "lsm.compactions"),
+        invalidations,
+    );
+
+    if let Some(h) = metrics
+        .get("histograms")
+        .and_then(|h| h.get("op.latency_ns"))
+    {
+        let ns = |k: &str| h.get(k).and_then(serde_json::Value::as_u64).unwrap_or(0);
+        println!(
+            "\nlatency (simulated): p50 {:.1}us  p95 {:.1}us  p99 {:.1}us  max {:.1}us  ({} ops)",
+            ns("p50_ns") as f64 / 1e3,
+            ns("p95_ns") as f64 / 1e3,
+            ns("p99_ns") as f64 / 1e3,
+            ns("max_ns") as f64 / 1e3,
+            ns("count"),
+        );
+    }
+    Ok(())
+}
+
 fn handle(shell: &Shell, line: &str) -> Result<bool, Box<dyn std::error::Error>> {
     let db = &shell.db;
     let parts: Vec<&str> = line.split_whitespace().collect();
@@ -245,7 +460,10 @@ fn handle(shell: &Shell, line: &str) -> Result<bool, Box<dyn std::error::Error>>
         ["quit" | "exit"] => return Ok(false),
         ["help"] => print_help(),
         ["put", key, value] => {
-            db.put(Bytes::copy_from_slice(key.as_bytes()), Bytes::copy_from_slice(value.as_bytes()))?;
+            db.put(
+                Bytes::copy_from_slice(key.as_bytes()),
+                Bytes::copy_from_slice(value.as_bytes()),
+            )?;
             shell.tick();
             println!("ok");
         }
@@ -266,7 +484,11 @@ fn handle(shell: &Shell, line: &str) -> Result<bool, Box<dyn std::error::Error>>
             let page = db.scan(key.as_bytes(), n)?;
             shell.tick();
             for (k, v) in page {
-                println!("{} = {}", String::from_utf8_lossy(&k), String::from_utf8_lossy(&v));
+                println!(
+                    "{} = {}",
+                    String::from_utf8_lossy(&k),
+                    String::from_utf8_lossy(&v)
+                );
             }
         }
         ["fill", n] => {
@@ -318,6 +540,19 @@ fn handle(shell: &Shell, line: &str) -> Result<bool, Box<dyn std::error::Error>>
 }
 
 fn main() {
+    // Non-interactive subcommand: `adcache trace DIR`.
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("trace") {
+        let Some(dir) = argv.get(2) else {
+            eprintln!("usage: adcache trace DIR");
+            std::process::exit(2);
+        };
+        if let Err(e) = cmd_trace(std::path::Path::new(dir)) {
+            eprintln!("error reading trace: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let cfg = match parse_args() {
         Ok(c) => c,
         Err(e) => {
@@ -332,7 +567,16 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let shell = Shell::new(db);
+    let obs = if cfg.trace.is_some() {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
+    obs.emit(|| Event::RunStart {
+        strategy: cfg.strategy.name().into(),
+        total_cache_bytes: (cfg.cache_mb as u64) << 20,
+    });
+    let shell = Shell::new(db, obs);
     println!("type 'help' for commands");
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
@@ -353,6 +597,17 @@ fn main() {
             }
         }
     }
+    if let Some(dir) = &cfg.trace {
+        match shell.obs.dump_to_dir(dir) {
+            Ok(true) => println!(
+                "trace written to {} (summarize with: adcache trace {})",
+                dir.display(),
+                dir.display()
+            ),
+            Ok(false) => {}
+            Err(e) => eprintln!("error writing trace: {e}"),
+        }
+    }
     println!("bye");
 }
 
@@ -362,13 +617,17 @@ mod tests {
     use adcache_lsm::MemStorage;
 
     fn mem_shell(strategy: Strategy) -> Shell {
+        mem_shell_obs(strategy, Obs::disabled())
+    }
+
+    fn mem_shell_obs(strategy: Strategy, obs: Obs) -> Shell {
         let db = CachedDb::new(
             Options::small(),
             Arc::new(MemStorage::new()),
             EngineConfig::new(strategy, 1 << 20),
         )
         .unwrap();
-        Shell::new(db)
+        Shell::new(db, obs)
     }
 
     #[test]
@@ -409,6 +668,21 @@ mod tests {
         // Bad mix errors but the shell keeps going.
         assert!(handle(&shell, "bench 10 bogus").is_err());
         assert!(handle(&shell, "get user00000000000000000001").unwrap());
+    }
+
+    #[test]
+    fn traced_shell_dumps_and_trace_subcommand_parses_it() {
+        let shell = mem_shell_obs(Strategy::AdCache, Obs::enabled());
+        assert!(handle(&shell, "fill 2000").unwrap());
+        assert!(handle(&shell, "bench 2500 mixed").unwrap());
+        let dir = std::env::temp_dir().join(format!("adcache-cli-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(shell.obs.dump_to_dir(&dir).unwrap());
+        let trace = std::fs::read_to_string(dir.join("trace.jsonl")).unwrap();
+        assert!(trace.contains("\"Admission\""));
+        // The summarizer must parse its own dump end to end.
+        cmd_trace(&dir).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -67,7 +67,11 @@ impl AsyncController {
                 controller
             })
             .expect("spawn tuner thread");
-        AsyncController { tx, shared, worker: Some(worker) }
+        AsyncController {
+            tx,
+            shared,
+            worker: Some(worker),
+        }
     }
 
     /// Submits a finished window for background training. Never blocks.
@@ -92,7 +96,11 @@ impl AsyncController {
     /// returns the controller (e.g. to save the trained agent).
     pub fn shutdown(mut self) -> Controller {
         let _ = self.tx.send(Msg::Shutdown);
-        self.worker.take().expect("worker present").join().expect("tuner thread panicked")
+        self.worker
+            .take()
+            .expect("worker present")
+            .join()
+            .expect("tuner thread panicked")
     }
 }
 
@@ -122,7 +130,10 @@ mod tests {
     }
 
     fn cfg() -> ControllerConfig {
-        ControllerConfig { hidden: 16, ..Default::default() }
+        ControllerConfig {
+            hidden: 16,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -146,7 +157,10 @@ mod tests {
         // Wait (bounded) for the worker to process.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         while ctl.history().is_empty() {
-            assert!(std::time::Instant::now() < deadline, "worker made no progress");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "worker made no progress"
+            );
             std::thread::yield_now();
         }
         assert_eq!(ctl.history().len(), 1);
@@ -162,7 +176,10 @@ mod tests {
             ctl.submit(window(1000, 500));
         }
         // 200 submissions must be near-instant even though training lags.
-        assert!(start.elapsed().as_millis() < 500, "submit blocked on training");
+        assert!(
+            start.elapsed().as_millis() < 500,
+            "submit blocked on training"
+        );
         let controller = ctl.shutdown();
         assert_eq!(controller.history().len(), 200, "shutdown drains the queue");
     }

@@ -8,6 +8,7 @@
 
 use crate::reward::{h_estimate, RewardSmoother};
 use crate::stats::WindowSummary;
+use adcache_obs::{Event, Obs};
 use adcache_rl::{ActorCritic, AgentConfig, Transition};
 
 /// Number of state features fed to the agent.
@@ -34,7 +35,12 @@ impl Default for CacheDecision {
     fn default() -> Self {
         // Paper defaults: an even split to start, near-zero threshold, and
         // `a` initialized to the short-scan length.
-        CacheDecision { range_ratio: 0.5, point_threshold: 0.0, scan_a: 16, scan_b: 0.25 }
+        CacheDecision {
+            range_ratio: 0.5,
+            point_threshold: 0.0,
+            scan_a: 16,
+            scan_b: 0.25,
+        }
     }
 }
 
@@ -136,6 +142,7 @@ pub struct Controller {
     history: Vec<TuningRecord>,
     base_lr: f32,
     base_std: f32,
+    obs: Obs,
 }
 
 impl Controller {
@@ -166,7 +173,14 @@ impl Controller {
             history: Vec::new(),
             base_lr,
             base_std,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle: every subsequent window journals
+    /// its train step and decision.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The controller's configuration.
@@ -199,8 +213,7 @@ impl Controller {
         // Smooth the boundary: flipping the ratio wholesale evicts both
         // caches, so a per-window EMA turns decisive moves into a short
         // ramp and suppresses oscillation when the policy is ambivalent.
-        let smoothed_ratio =
-            0.5 * self.decision.range_ratio + 0.5 * a[0] as f64;
+        let smoothed_ratio = 0.5 * self.decision.range_ratio + 0.5 * a[0] as f64;
         let mut d = CacheDecision {
             range_ratio: smoothed_ratio,
             // Threshold range [0, 1%]: one-off keys score ~1/window, so a
@@ -231,11 +244,17 @@ impl Controller {
 
         if self.cfg.online {
             if let Some((state, action)) = self.last.take() {
-                self.agent.update(&Transition {
+                let td_error = self.agent.update(&Transition {
                     state,
-                    action,
+                    action: action.clone(),
                     reward: reward as f32,
                     next_state: next_state.clone(),
+                });
+                self.obs.emit(|| Event::TrainStep {
+                    reward,
+                    td_error: td_error as f64,
+                    actor_lr: self.agent.actor_lr() as f64,
+                    action,
                 });
             }
             self.agent.adapt_lr(reward as f32);
@@ -247,9 +266,23 @@ impl Controller {
             self.agent.set_exploration_std(self.base_std * lr_scale);
         }
 
-        let action =
-            if self.cfg.online { self.agent.act(&next_state) } else { self.agent.act_greedy(&next_state) };
+        let action = if self.cfg.online {
+            self.agent.act(&next_state)
+        } else {
+            self.agent.act_greedy(&next_state)
+        };
         self.decision = self.map_action(&action);
+        {
+            let d = self.decision;
+            let exploratory = self.cfg.online;
+            self.obs.emit(|| Event::ControllerDecision {
+                range_ratio: d.range_ratio,
+                point_threshold: d.point_threshold,
+                scan_a: d.scan_a as u64,
+                scan_b: d.scan_b,
+                exploratory,
+            });
+        }
         self.last = Some((next_state, action));
         self.history.push(TuningRecord {
             h_estimate: h,
@@ -282,7 +315,10 @@ mod tests {
     }
 
     fn small_cfg() -> ControllerConfig {
-        ControllerConfig { hidden: 16, ..Default::default() }
+        ControllerConfig {
+            hidden: 16,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -317,7 +353,10 @@ mod tests {
         cfg.enable_partition = false;
         let mut c = Controller::new(cfg);
         let d = c.end_of_window(&window(100, 100, 100, 50));
-        assert_eq!(d.range_ratio, 1.0, "admission-only keeps a pure range cache");
+        assert_eq!(
+            d.range_ratio, 1.0,
+            "admission-only keeps a pure range cache"
+        );
 
         let mut cfg = small_cfg();
         cfg.enable_admission = false;
@@ -347,7 +386,8 @@ mod tests {
         assert!((d1.point_threshold - d2.point_threshold).abs() < 1e-4);
         assert!(d1.scan_a.abs_diff(d2.scan_a) <= 1);
         assert!(
-            (d3.range_ratio - d2.range_ratio).abs() <= (d2.range_ratio - d1.range_ratio).abs() + 1e-9,
+            (d3.range_ratio - d2.range_ratio).abs()
+                <= (d2.range_ratio - d1.range_ratio).abs() + 1e-9,
             "ratio must converge: {} {} {}",
             d1.range_ratio,
             d2.range_ratio,

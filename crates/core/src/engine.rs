@@ -14,10 +14,11 @@ use adcache_cache::{
     PointAdmission, PointLookup, RangeCache, ScanAdmission,
 };
 use adcache_lsm::{DirectProvider, Key, LsmTree, Options, Result, Storage, Value};
+use adcache_obs::{AdmissionOutcome, AdmissionReason, CacheStructure, Counter, Event, Obs};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The cache configuration under evaluation (paper Section 5.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +104,52 @@ impl EngineConfig {
     }
 }
 
+/// Pre-resolved observability handles for the engine's admission paths
+/// (see `BlockCache` in `adcache-cache` for the pattern: registered once on
+/// attach, lock-free afterwards, absent = inert).
+struct EngineObsHooks {
+    obs: Obs,
+    admission_accepts: Counter,
+    admission_rejects: Counter,
+    admission_partials: Counter,
+    boundary_resizes: Counter,
+}
+
+impl EngineObsHooks {
+    fn new(obs: Obs) -> Self {
+        EngineObsHooks {
+            admission_accepts: obs.counter("core.admission.accepts"),
+            admission_rejects: obs.counter("core.admission.rejects"),
+            admission_partials: obs.counter("core.admission.partials"),
+            boundary_resizes: obs.counter("core.boundary.resizes"),
+            obs,
+        }
+    }
+
+    /// Journals one admission verdict and bumps the matching counter.
+    fn admission(
+        &self,
+        cache: CacheStructure,
+        outcome: AdmissionOutcome,
+        reason: AdmissionReason,
+        requested: u64,
+        admitted: u64,
+    ) {
+        match outcome {
+            AdmissionOutcome::Accept => self.admission_accepts.inc(),
+            AdmissionOutcome::Reject => self.admission_rejects.inc(),
+            AdmissionOutcome::Partial => self.admission_partials.inc(),
+        }
+        self.obs.emit(|| Event::Admission {
+            cache,
+            outcome,
+            reason,
+            requested,
+            admitted,
+        });
+    }
+}
+
 /// An LSM-tree fronted by the configured cache strategy.
 pub struct CachedDb {
     db: LsmTree,
@@ -127,6 +174,7 @@ pub struct CachedDb {
     /// is excluded from the query SST-read metric.
     prefetcher: Option<Arc<CompactionPrefetcher>>,
     counters: Counters,
+    obs: OnceLock<EngineObsHooks>,
 }
 
 impl CachedDb {
@@ -197,8 +245,10 @@ impl CachedDb {
                     cfg.range_boundaries.clone(),
                     Box::new(|| Box::new(LruPolicy::new())),
                 ));
-                point_admission =
-                    Some(Mutex::new(PointAdmission::new(cfg.expected_keys, d.point_threshold)));
+                point_admission = Some(Mutex::new(PointAdmission::new(
+                    cfg.expected_keys,
+                    d.point_threshold,
+                )));
             }
         }
         // Compactions must sweep stale blocks out of the block cache.
@@ -234,7 +284,30 @@ impl CachedDb {
             serve_partial_range: cfg.serve_partial_range,
             prefetcher,
             counters: Counters::default(),
+            obs: OnceLock::new(),
         })
+    }
+
+    /// Attaches an observability handle to the engine and every layer
+    /// below it: the LSM-tree (flush/compaction/WAL events) and each cache
+    /// structure the strategy instantiated. A second call is a no-op.
+    pub fn set_obs(&self, obs: Obs) {
+        self.db.set_obs(obs.clone());
+        if let Some(bc) = &self.block_cache {
+            bc.set_obs(obs.clone());
+        }
+        if let Some(rc) = &self.range_cache {
+            rc.set_obs(obs.clone());
+        }
+        if let Some(kv) = &self.kv_cache {
+            kv.set_obs(obs.clone());
+        }
+        let _ = self.obs.set(EngineObsHooks::new(obs));
+    }
+
+    /// The attached observability handle (disabled when none was attached).
+    pub fn obs(&self) -> Obs {
+        self.obs.get().map(|h| h.obs.clone()).unwrap_or_default()
     }
 
     /// The strategy in force.
@@ -292,15 +365,40 @@ impl CachedDb {
         // Cache-fill path.
         if let Some(v) = &result {
             if let Some(rc) = &self.range_cache {
-                let admit = match &self.point_admission {
-                    Some(adm) => adm.lock().admit(key),
-                    None => true,
+                let (admit, reason) = match &self.point_admission {
+                    Some(adm) => {
+                        let admit = adm.lock().admit(key);
+                        let reason = if admit {
+                            AdmissionReason::FrequencyAtThreshold
+                        } else {
+                            AdmissionReason::FrequencyBelowThreshold
+                        };
+                        (admit, reason)
+                    }
+                    None => (true, AdmissionReason::Unconditional),
                 };
+                if let Some(h) = self.obs.get() {
+                    let outcome = if admit {
+                        AdmissionOutcome::Accept
+                    } else {
+                        AdmissionOutcome::Reject
+                    };
+                    h.admission(CacheStructure::Range, outcome, reason, 1, admit as u64);
+                }
                 if admit {
                     rc.insert_point(Bytes::copy_from_slice(key), v.clone());
                 }
             }
             if let Some(kv) = &self.kv_cache {
+                if let Some(h) = self.obs.get() {
+                    h.admission(
+                        CacheStructure::Kv,
+                        AdmissionOutcome::Accept,
+                        AdmissionReason::Unconditional,
+                        1,
+                        1,
+                    );
+                }
                 kv.insert(Bytes::copy_from_slice(key), v.clone());
             }
         }
@@ -331,7 +429,9 @@ impl CachedDb {
         };
         let Some(cont_key) = continuation else {
             self.counters.range_hits.fetch_add(1, Ordering::Relaxed);
-            self.counters.entries_returned.fetch_add(results.len() as u64, Ordering::Relaxed);
+            self.counters
+                .entries_returned
+                .fetch_add(results.len() as u64, Ordering::Relaxed);
             return Ok(results);
         };
         self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -361,10 +461,35 @@ impl CachedDb {
             } else {
                 tail.len()
             };
+            if let Some(h) = self.obs.get() {
+                if !tail.is_empty() {
+                    let (outcome, reason) = if self.strategy != Strategy::AdCache {
+                        (AdmissionOutcome::Accept, AdmissionReason::Unconditional)
+                    } else if admitted == 0 {
+                        (AdmissionOutcome::Reject, AdmissionReason::ScanZeroLength)
+                    } else if admitted >= tail.len() {
+                        (
+                            AdmissionOutcome::Accept,
+                            AdmissionReason::ScanWithinFullLimit,
+                        )
+                    } else {
+                        (AdmissionOutcome::Partial, AdmissionReason::ScanPartialSlope)
+                    };
+                    h.admission(
+                        CacheStructure::Range,
+                        outcome,
+                        reason,
+                        tail.len() as u64,
+                        admitted.min(tail.len()) as u64,
+                    );
+                }
+            }
             rc.insert_scan(&cont_key, &tail, admitted);
         }
         results.extend(tail);
-        self.counters.entries_returned.fetch_add(results.len() as u64, Ordering::Relaxed);
+        self.counters
+            .entries_returned
+            .fetch_add(results.len() as u64, Ordering::Relaxed);
         Ok(results)
     }
 
@@ -437,10 +562,12 @@ impl CachedDb {
         } else {
             d.range_ratio
         };
-        if (snapped - *applied).abs() >= hyst || (snapped != *applied && (snapped == 0.0 || snapped == 1.0)) {
+        let moved = (snapped - *applied).abs() >= hyst
+            || (snapped != *applied && (snapped == 0.0 || snapped == 1.0));
+        let range_bytes = (self.total_cache_bytes as f64 * snapped) as usize;
+        let block_bytes = self.total_cache_bytes - range_bytes;
+        if moved {
             *applied = snapped;
-            let range_bytes = (self.total_cache_bytes as f64 * snapped) as usize;
-            let block_bytes = self.total_cache_bytes - range_bytes;
             if let Some(bc) = &self.block_cache {
                 bc.set_capacity(block_bytes);
             }
@@ -449,6 +576,17 @@ impl CachedDb {
             }
         }
         drop(applied);
+        if let Some(h) = self.obs.get() {
+            if moved {
+                h.boundary_resizes.inc();
+            }
+            h.obs.emit(|| Event::BoundaryResize {
+                block_bytes: block_bytes as u64,
+                range_bytes: range_bytes as u64,
+                range_ratio: snapped,
+                applied: moved,
+            });
+        }
         if let Some(adm) = &self.point_admission {
             adm.lock().set_threshold(d.point_threshold);
         }
@@ -482,7 +620,11 @@ impl CachedDb {
     /// A full counter snapshot (window boundaries).
     pub fn snapshot(&self) -> Snapshot {
         let c = &self.counters;
-        let bstats = self.block_cache.as_ref().map(|b| b.stats()).unwrap_or_default();
+        let bstats = self
+            .block_cache
+            .as_ref()
+            .map(|b| b.stats())
+            .unwrap_or_default();
         Snapshot {
             points: c.points.load(Ordering::Relaxed),
             scans: c.scans.load(Ordering::Relaxed),
@@ -492,7 +634,9 @@ impl CachedDb {
             kv_hits: c.kv_hits.load(Ordering::Relaxed),
             cache_misses: c.cache_misses.load(Ordering::Relaxed),
             query_block_reads: self.db.query_block_reads().saturating_sub(
-                self.prefetcher.as_ref().map_or(0, |p| p.blocks_prefetched()),
+                self.prefetcher
+                    .as_ref()
+                    .map_or(0, |p| p.blocks_prefetched()),
             ),
             block_cache_hits: bstats.hits,
             block_cache_misses: bstats.misses,
@@ -558,12 +702,18 @@ mod tests {
 
     fn build(strategy: Strategy, cache_bytes: usize) -> CachedDb {
         let storage = Arc::new(MemStorage::new());
-        CachedDb::new(Options::small(), storage, EngineConfig::new(strategy, cache_bytes)).unwrap()
+        CachedDb::new(
+            Options::small(),
+            storage,
+            EngineConfig::new(strategy, cache_bytes),
+        )
+        .unwrap()
     }
 
     fn populate(db: &CachedDb, n: u64) {
         for i in 0..n {
-            db.load(render_key(i), Bytes::from(format!("value-{i:04}"))).unwrap();
+            db.load(render_key(i), Bytes::from(format!("value-{i:04}")))
+                .unwrap();
         }
         db.db().flush().unwrap();
         while db.db().maybe_compact_once().unwrap() {}
@@ -572,8 +722,10 @@ mod tests {
     /// Every strategy must return identical query results.
     #[test]
     fn all_strategies_agree_on_results() {
-        let mut engines: Vec<CachedDb> =
-            Strategy::all().iter().map(|s| build(*s, 64 << 10)).collect();
+        let mut engines: Vec<CachedDb> = Strategy::all()
+            .iter()
+            .map(|s| build(*s, 64 << 10))
+            .collect();
         for e in &engines {
             populate(e, 2000);
         }
@@ -586,12 +738,19 @@ mod tests {
                 let expected = &model[&i];
                 for e in &engines {
                     let got = e.get(&render_key(i)).unwrap().unwrap();
-                    assert_eq!(got.as_ref(), expected.as_bytes(), "round {round} strategy {:?}", e.strategy());
+                    assert_eq!(
+                        got.as_ref(),
+                        expected.as_bytes(),
+                        "round {round} strategy {:?}",
+                        e.strategy()
+                    );
                 }
             }
             for i in (0..2000).step_by(13) {
-                let scans: Vec<Vec<(Key, Value)>> =
-                    engines.iter().map(|e| e.scan(&render_key(i), 16).unwrap()).collect();
+                let scans: Vec<Vec<(Key, Value)>> = engines
+                    .iter()
+                    .map(|e| e.scan(&render_key(i), 16).unwrap())
+                    .collect();
                 for s in &scans[1..] {
                     assert_eq!(s, &scans[0], "scan divergence at {i}");
                 }
@@ -602,7 +761,8 @@ mod tests {
             }
             for e in &mut engines {
                 for i in (0..2000).step_by(11) {
-                    e.put(render_key(i), Bytes::from(format!("v{round}-{i}"))).unwrap();
+                    e.put(render_key(i), Bytes::from(format!("v{round}-{i}")))
+                        .unwrap();
                 }
             }
             for i in (0..2000).step_by(11) {
@@ -651,7 +811,11 @@ mod tests {
         let after_first = db.db().query_block_reads();
         assert!(after_first > 0);
         db.get(&render_key(42)).unwrap();
-        assert_eq!(db.db().query_block_reads(), after_first, "second get must be free");
+        assert_eq!(
+            db.db().query_block_reads(),
+            after_first,
+            "second get must be free"
+        );
     }
 
     #[test]
@@ -661,7 +825,11 @@ mod tests {
         db.scan(&render_key(100), 16).unwrap();
         let reads = db.db().query_block_reads();
         db.scan(&render_key(100), 16).unwrap();
-        assert_eq!(db.db().query_block_reads(), reads, "repeat scan must hit the range cache");
+        assert_eq!(
+            db.db().query_block_reads(),
+            reads,
+            "repeat scan must hit the range cache"
+        );
         // And a sub-range too.
         db.scan(&render_key(105), 8).unwrap();
         assert_eq!(db.db().query_block_reads(), reads);
@@ -678,18 +846,29 @@ mod tests {
         db.scan(&render_key(5), 4).unwrap();
         let reads2 = db.db().query_block_reads();
         db.scan(&render_key(5), 4).unwrap();
-        assert!(db.db().query_block_reads() > reads2, "scans bypass the KV cache");
+        assert!(
+            db.db().query_block_reads() > reads2,
+            "scans bypass the KV cache"
+        );
     }
 
     #[test]
     fn adcache_decision_moves_the_boundary() {
         let db = build(Strategy::AdCache, 1 << 20);
         populate(&db, 1000);
-        let d = CacheDecision { range_ratio: 0.0, point_threshold: 0.001, scan_a: 8, scan_b: 0.5 };
+        let d = CacheDecision {
+            range_ratio: 0.0,
+            point_threshold: 0.001,
+            scan_a: 8,
+            scan_b: 0.5,
+        };
         db.apply_decision(&d);
         assert_eq!(db.range_cache().unwrap().capacity(), 0);
         assert_eq!(db.block_cache().unwrap().capacity(), 1 << 20);
-        let d = CacheDecision { range_ratio: 1.0, ..d };
+        let d = CacheDecision {
+            range_ratio: 1.0,
+            ..d
+        };
         db.apply_decision(&d);
         assert_eq!(db.block_cache().unwrap().capacity(), 0);
         // Non-AdCache engines ignore decisions.
@@ -710,7 +889,11 @@ mod tests {
         });
         db.scan(&render_key(0), 64).unwrap();
         // Only the first 8 entries of the long scan may be admitted.
-        assert!(db.range_cache().unwrap().len() <= 8, "len {}", db.range_cache().unwrap().len());
+        assert!(
+            db.range_cache().unwrap().len() <= 8,
+            "len {}",
+            db.range_cache().unwrap().len()
+        );
 
         // Compare: plain RangeCache admits all 64.
         let full = build(Strategy::RangeCache, 1 << 20);
@@ -726,8 +909,9 @@ mod tests {
         // Warm the caches on a range.
         db.scan(&render_key(100), 32).unwrap();
         // Batch-overwrite part of that range.
-        let batch: Vec<(Key, Value)> =
-            (100..120).map(|i| (render_key(i), Bytes::from(format!("batched-{i}")))).collect();
+        let batch: Vec<(Key, Value)> = (100..120)
+            .map(|i| (render_key(i), Bytes::from(format!("batched-{i}"))))
+            .collect();
         db.write_batch(batch).unwrap();
         for i in 100..120 {
             assert_eq!(
@@ -774,7 +958,8 @@ mod tests {
         // Heavy overwrites force flushes + compactions -> invalidations.
         for round in 0..10 {
             for i in 0..2000 {
-                db.put(render_key(i), Bytes::from(format!("r{round}-{i}"))).unwrap();
+                db.put(render_key(i), Bytes::from(format!("r{round}-{i}")))
+                    .unwrap();
             }
         }
         assert!(db.block_cache().unwrap().stats().invalidations > 0);

@@ -43,7 +43,8 @@ pub mod stats;
 
 pub use async_controller::AsyncController;
 pub use controller::{
-    featurize_with, CacheDecision, Controller, ControllerConfig, TuningRecord, ACTION_DIM, STATE_DIM,
+    featurize_with, CacheDecision, Controller, ControllerConfig, TuningRecord, ACTION_DIM,
+    STATE_DIM,
 };
 pub use engine::{CachedDb, EngineConfig, Strategy};
 pub use histogram::Histogram;

@@ -37,7 +37,15 @@ pub fn io_estimate(
 
 /// `IO_estimate` from a [`WindowSummary`].
 pub fn io_estimate_of(w: &WindowSummary) -> f64 {
-    io_estimate(w.points, w.scans, w.avg_scan_len, w.entries_per_block, w.levels, w.r0_max, 0.0)
+    io_estimate(
+        w.points,
+        w.scans,
+        w.avg_scan_len,
+        w.entries_per_block,
+        w.levels,
+        w.r0_max,
+        0.0,
+    )
 }
 
 /// Estimated hit rate `1 − IO_miss / IO_estimate`, clamped to `[-1, 1]`
@@ -63,7 +71,10 @@ impl RewardSmoother {
     /// `alpha` weights history; the paper's default is 0.9.
     pub fn new(alpha: f64) -> Self {
         assert!((0.0..=1.0).contains(&alpha));
-        RewardSmoother { alpha, h_smoothed: None }
+        RewardSmoother {
+            alpha,
+            h_smoothed: None,
+        }
     }
 
     /// Feeds one window's `h_estimate`; returns `(h_smoothed, reward)`.

@@ -14,8 +14,10 @@ use crate::histogram::Histogram;
 use crate::reward::h_estimate;
 use crate::stats::WindowSummary;
 use adcache_lsm::{MemStorage, Options, Result};
+use adcache_obs::{Event, Obs};
 use adcache_workload::{Mix, Operation, Schedule, WorkloadConfig, WorkloadGen};
 use parking_lot::Mutex;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -30,7 +32,10 @@ pub struct CpuModel {
 
 impl Default for CpuModel {
     fn default() -> Self {
-        CpuModel { ns_per_op: 2_000, ns_per_entry: 100 }
+        CpuModel {
+            ns_per_op: 2_000,
+            ns_per_entry: 100,
+        }
     }
 }
 
@@ -62,6 +67,12 @@ pub struct RunConfig {
     pub serve_partial_range: bool,
     /// Post-compaction prefetch depth passed to the engine (extension).
     pub compaction_prefetch_blocks: usize,
+    /// When set, the run records a structured trace and dumps
+    /// `trace.jsonl` + `metrics.json` into this directory on completion.
+    /// The `ADCACHE_TRACE` environment variable provides the same behavior
+    /// for existing binaries without code changes (the config field wins
+    /// when both are present).
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl RunConfig {
@@ -72,7 +83,10 @@ impl RunConfig {
             total_cache_bytes,
             db_options: Options::small(),
             workload,
-            controller: ControllerConfig { hidden: 64, ..Default::default() },
+            controller: ControllerConfig {
+                hidden: 64,
+                ..Default::default()
+            },
             cpu: CpuModel::default(),
             shards: 1,
             pretrained_agent: None,
@@ -80,8 +94,44 @@ impl RunConfig {
             boundary_hysteresis: 0.02,
             serve_partial_range: true,
             compaction_prefetch_blocks: 0,
+            trace_dir: None,
         }
     }
+
+    /// The directory traces should be dumped to, honoring the
+    /// `ADCACHE_TRACE` environment variable as a fallback.
+    pub fn effective_trace_dir(&self) -> Option<PathBuf> {
+        self.trace_dir
+            .clone()
+            .or_else(|| std::env::var_os("ADCACHE_TRACE").map(PathBuf::from))
+    }
+}
+
+/// Builds the observability handle for a run and attaches it to the engine
+/// and (optional) controller. Returns the handle plus the dump directory;
+/// both sides are no-ops when tracing is off.
+fn attach_obs(
+    cfg: &RunConfig,
+    db: &CachedDb,
+    controller: Option<&mut Controller>,
+) -> (Obs, Option<PathBuf>) {
+    let Some(dir) = cfg.effective_trace_dir() else {
+        return (Obs::disabled(), None);
+    };
+    db.set_obs(Obs::enabled());
+    // `set_obs` is first-write-wins, so read back the handle actually wired
+    // into the engine (a shared db may have been traced by an earlier run).
+    let obs = db.obs();
+    if let Some(c) = controller {
+        c.set_obs(obs.clone());
+    }
+    let strategy = cfg.strategy.name();
+    let total = cfg.total_cache_bytes as u64;
+    obs.emit(|| Event::RunStart {
+        strategy: strategy.into(),
+        total_cache_bytes: total,
+    });
+    (obs, Some(dir))
 }
 
 /// One window's measurements.
@@ -182,8 +232,8 @@ pub fn prepare_db(cfg: &RunConfig) -> Result<CachedDb> {
 fn make_controller(cfg: &RunConfig) -> Controller {
     match &cfg.pretrained_agent {
         Some(json) => {
-            let agent = adcache_rl::ActorCritic::from_json(json)
-                .expect("invalid pretrained agent JSON");
+            let agent =
+                adcache_rl::ActorCritic::from_json(json).expect("invalid pretrained agent JSON");
             Controller::with_agent(cfg.controller.clone(), agent)
         }
         None => Controller::new(cfg.controller.clone()),
@@ -225,6 +275,7 @@ pub fn run_schedule_on(cfg: &RunConfig, schedule: &Schedule, db: &CachedDb) -> R
     } else {
         None
     };
+    let (obs, trace_dir) = attach_obs(cfg, db, controller.as_mut());
     if let Some(d) = &cfg.pinned_decision {
         db.apply_decision(d);
     }
@@ -237,6 +288,7 @@ pub fn run_schedule_on(cfg: &RunConfig, schedule: &Schedule, db: &CachedDb) -> R
     let wall_start = std::time::Instant::now();
     let mut executed = 0u64;
     let mut latency = Histogram::new();
+    let obs_latency = obs.histogram("op.latency_ns");
     let io_stats = db.db().storage().stats();
     let mut last_sim_ns = io_stats.simulated_ns();
     let mut last_entries = 0u64;
@@ -250,11 +302,11 @@ pub fn run_schedule_on(cfg: &RunConfig, schedule: &Schedule, db: &CachedDb) -> R
         // the CPU charge for the op itself and any entries it returned.
         let sim_now = io_stats.simulated_ns();
         let entries_now = db.counters().entries_returned.load(Ordering::Relaxed);
-        latency.record(
-            (sim_now - last_sim_ns)
-                + cfg.cpu.ns_per_op
-                + (entries_now - last_entries) * cfg.cpu.ns_per_entry,
-        );
+        let op_ns = (sim_now - last_sim_ns)
+            + cfg.cpu.ns_per_op
+            + (entries_now - last_entries) * cfg.cpu.ns_per_entry;
+        latency.record(op_ns);
+        obs_latency.record(op_ns);
         last_sim_ns = sim_now;
         last_entries = entries_now;
         executed += 1;
@@ -262,7 +314,11 @@ pub fn run_schedule_on(cfg: &RunConfig, schedule: &Schedule, db: &CachedDb) -> R
             let w = db.window_summary(&win_start);
             let entries_now = db.counters().entries_returned.load(Ordering::Relaxed);
             let sim_ns = simulated_window_ns(&w, &cfg.cpu, entries_now - entries_at_win_start);
-            let qps = if sim_ns == 0 { 0.0 } else { w.ops() as f64 * 1e9 / sim_ns as f64 };
+            let qps = if sim_ns == 0 {
+                0.0
+            } else {
+                w.ops() as f64 * 1e9 / sim_ns as f64
+            };
             let decision = controller.as_mut().map(|c| {
                 let d = c.end_of_window(&w);
                 db.apply_decision(&d);
@@ -279,18 +335,31 @@ pub fn run_schedule_on(cfg: &RunConfig, schedule: &Schedule, db: &CachedDb) -> R
             });
             win_start = db.snapshot();
             entries_at_win_start = entries_now;
+            obs.set_window(executed / window);
         }
     }
 
     let overall = db.window_summary(&run_start_snapshot);
     let entries_total = db.counters().entries_returned.load(Ordering::Relaxed);
     let sim_ns = simulated_window_ns(&overall, &cfg.cpu, entries_total);
+    if let Some(dir) = &trace_dir {
+        obs.gauge("run.total_ops").set(overall.ops() as i64);
+        obs.gauge("run.windows").set(windows.len() as i64);
+        obs.gauge("run.sst_reads").set(overall.io_miss as i64);
+        obs.gauge("run.hit_rate_milli")
+            .set((h_estimate(&overall) * 1000.0) as i64);
+        obs.dump_to_dir(dir)?;
+    }
     Ok(RunResult {
         strategy: cfg.strategy.name(),
         total_ops: overall.ops(),
         total_sst_reads: overall.io_miss,
         overall_hit_rate: h_estimate(&overall),
-        overall_qps: if sim_ns == 0 { 0.0 } else { overall.ops() as f64 * 1e9 / sim_ns as f64 },
+        overall_qps: if sim_ns == 0 {
+            0.0
+        } else {
+            overall.ops() as f64 * 1e9 / sim_ns as f64
+        },
         wall_secs: wall_start.elapsed().as_secs_f64(),
         windows,
         latency,
@@ -300,7 +369,11 @@ pub fn run_schedule_on(cfg: &RunConfig, schedule: &Schedule, db: &CachedDb) -> R
 /// Convenience: run a single static mix for `ops` operations.
 pub fn run_static(cfg: &RunConfig, mix: Mix, ops: u64) -> Result<RunResult> {
     let schedule = Schedule {
-        phases: vec![adcache_workload::Phase { name: "static".into(), mix, ops }],
+        phases: vec![adcache_workload::Phase {
+            name: "static".into(),
+            mix,
+            ops,
+        }],
     };
     run_schedule(cfg, &schedule)
 }
@@ -319,11 +392,13 @@ pub fn run_multiclient(
     ops_per_client: u64,
 ) -> Result<Vec<f64>> {
     let db = Arc::new(prepare_db(cfg)?);
-    let controller = if cfg.strategy == Strategy::AdCache && cfg.controller.online {
-        Some(Arc::new(crate::AsyncController::with_controller(make_controller(cfg))))
+    let mut tuner = if cfg.strategy == Strategy::AdCache && cfg.controller.online {
+        Some(make_controller(cfg))
     } else {
         None
     };
+    let (obs, trace_dir) = attach_obs(cfg, &db, tuner.as_mut());
+    let controller = tuner.map(|c| Arc::new(crate::AsyncController::with_controller(c)));
     let global_ops = Arc::new(AtomicU64::new(0));
     let win_start = Arc::new(Mutex::new(db.snapshot()));
     let window = cfg.controller.window.max(1);
@@ -334,6 +409,7 @@ pub fn run_multiclient(
         let controller = controller.clone();
         let global_ops = global_ops.clone();
         let win_start = win_start.clone();
+        let obs = obs.clone();
         let mut wcfg = cfg.workload.clone();
         wcfg.seed = cfg.workload.seed.wrapping_add(client as u64 * 7919 + 1);
         handles.push(std::thread::spawn(move || -> Result<f64> {
@@ -344,6 +420,7 @@ pub fn run_multiclient(
                 execute(&db, &op)?;
                 let n = global_ops.fetch_add(1, Ordering::Relaxed) + 1;
                 if n.is_multiple_of(window) {
+                    obs.set_window(n / window);
                     if let Some(ctl) = &controller {
                         // Snapshot + enqueue only; training happens on the
                         // tuner thread.
@@ -358,10 +435,14 @@ pub fn run_multiclient(
             Ok(ops_per_client as f64 / start.elapsed().as_secs_f64())
         }));
     }
-    handles
+    let qps = handles
         .into_iter()
         .map(|h| h.join().expect("client thread panicked"))
-        .collect()
+        .collect::<Result<Vec<f64>>>()?;
+    if let Some(dir) = &trace_dir {
+        obs.dump_to_dir(dir)?;
+    }
+    Ok(qps)
 }
 
 #[cfg(test)]
@@ -370,7 +451,11 @@ mod tests {
     use adcache_workload::paper_dynamic_schedule;
 
     fn quick_cfg(strategy: Strategy) -> RunConfig {
-        let workload = WorkloadConfig { num_keys: 3000, value_size: 64, ..Default::default() };
+        let workload = WorkloadConfig {
+            num_keys: 3000,
+            value_size: 64,
+            ..Default::default()
+        };
         let mut cfg = RunConfig::new(strategy, 128 << 10, workload);
         cfg.controller.window = 200;
         cfg.controller.hidden = 16;
@@ -448,12 +533,68 @@ mod tests {
     }
 
     #[test]
+    fn traced_run_dumps_trace_and_metrics() {
+        let mut cfg = quick_cfg(Strategy::AdCache);
+        let dir = std::env::temp_dir().join(format!("adcache-runner-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        cfg.trace_dir = Some(dir.clone());
+        let r = run_static(&cfg, Mix::new(50.0, 25.0, 5.0, 20.0), 2000).unwrap();
+        assert_eq!(r.total_ops, 2000);
+
+        let trace = std::fs::read_to_string(dir.join("trace.jsonl")).unwrap();
+        assert!(trace.contains("\"RunStart\""));
+        assert!(
+            trace.contains("\"ControllerDecision\""),
+            "controller decisions must be journaled"
+        );
+        assert!(trace.contains("\"range_ratio\""));
+        assert!(trace.contains("\"point_threshold\""));
+        assert!(
+            trace.contains("\"TrainStep\""),
+            "online training must journal reward/td_error"
+        );
+        assert!(
+            trace.contains("\"Admission\""),
+            "admission verdicts must be journaled"
+        );
+        assert!(trace.contains("\"BoundaryResize\""));
+
+        let metrics = std::fs::read_to_string(dir.join("metrics.json")).unwrap();
+        assert!(metrics.contains("cache.block.hits"));
+        assert!(metrics.contains("core.admission.accepts"));
+        assert!(metrics.contains("op.latency_ns"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn untraced_run_writes_nothing_and_stays_disabled() {
+        let cfg = quick_cfg(Strategy::AdCache);
+        let db = prepare_db(&cfg).unwrap();
+        let schedule = Schedule {
+            phases: vec![adcache_workload::Phase {
+                name: "static".into(),
+                mix: Mix::new(100.0, 0.0, 0.0, 0.0),
+                ops: 400,
+            }],
+        };
+        run_schedule_on(&cfg, &schedule, &db).unwrap();
+        assert!(
+            !db.obs().is_enabled(),
+            "no trace dir -> engine obs must stay disabled"
+        );
+    }
+
+    #[test]
     fn mean_helpers_slice_windows() {
         let cfg = quick_cfg(Strategy::RocksDbBlock);
         let r = run_static(&cfg, Mix::new(100.0, 0.0, 0.0, 0.0), 1000).unwrap();
         let all = r.mean_hit_rate(0, r.windows.len());
         assert!((0.0 - 1.0..=1.0).contains(&all));
-        assert_eq!(r.mean_hit_rate(100, 200), 0.0, "out of range slices are empty");
+        assert_eq!(
+            r.mean_hit_rate(100, 200),
+            0.0,
+            "out of range slices are empty"
+        );
         assert!(r.mean_qps(0, 5) > 0.0);
     }
 }

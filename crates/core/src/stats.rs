@@ -125,23 +125,40 @@ impl WindowSummary {
     }
 
     /// Delta between two snapshots (`end - start`).
+    ///
+    /// Every field saturates at zero: snapshots taken concurrently with
+    /// serving threads can observe counters in slightly different orders
+    /// (and callers may pass swapped or stale snapshots), and a panic on
+    /// wraparound inside the stats path would take the whole run down.
     pub fn from_snapshots(start: &Snapshot, end: &Snapshot) -> Self {
-        let scans = end.scans - start.scans;
-        let scan_len = end.scan_len_sum - start.scan_len_sum;
-        let bh = end.block_cache_hits - start.block_cache_hits;
-        let bm = end.block_cache_misses - start.block_cache_misses;
+        let scans = end.scans.saturating_sub(start.scans);
+        let scan_len = end.scan_len_sum.saturating_sub(start.scan_len_sum);
+        let bh = end.block_cache_hits.saturating_sub(start.block_cache_hits);
+        let bm = end
+            .block_cache_misses
+            .saturating_sub(start.block_cache_misses);
         WindowSummary {
-            points: end.points - start.points,
+            points: end.points.saturating_sub(start.points),
             scans,
-            writes: end.writes - start.writes,
-            avg_scan_len: if scans == 0 { 0.0 } else { scan_len as f64 / scans as f64 },
-            range_hits: end.range_hits - start.range_hits,
-            kv_hits: end.kv_hits - start.kv_hits,
-            cache_misses: end.cache_misses - start.cache_misses,
-            io_miss: end.query_block_reads - start.query_block_reads,
-            block_hit_rate: if bh + bm == 0 { 0.0 } else { bh as f64 / (bh + bm) as f64 },
-            compactions: end.compactions - start.compactions,
-            simulated_ns: end.simulated_ns - start.simulated_ns,
+            writes: end.writes.saturating_sub(start.writes),
+            avg_scan_len: if scans == 0 {
+                0.0
+            } else {
+                scan_len as f64 / scans as f64
+            },
+            range_hits: end.range_hits.saturating_sub(start.range_hits),
+            kv_hits: end.kv_hits.saturating_sub(start.kv_hits),
+            cache_misses: end.cache_misses.saturating_sub(start.cache_misses),
+            io_miss: end
+                .query_block_reads
+                .saturating_sub(start.query_block_reads),
+            block_hit_rate: if bh + bm == 0 {
+                0.0
+            } else {
+                bh as f64 / (bh + bm) as f64
+            },
+            compactions: end.compactions.saturating_sub(start.compactions),
+            simulated_ns: end.simulated_ns.saturating_sub(start.simulated_ns),
             ..Default::default()
         }
     }
@@ -191,6 +208,36 @@ mod tests {
         assert_eq!(w.io_miss, 50);
         assert!((w.block_hit_rate - 0.75).abs() < 1e-12);
         assert_eq!(w.ops(), 25);
+    }
+
+    #[test]
+    fn swapped_snapshots_saturate_instead_of_panicking() {
+        let newer = Snapshot {
+            points: 30,
+            scans: 10,
+            scan_len_sum: 240,
+            query_block_reads: 150,
+            block_cache_hits: 80,
+            block_cache_misses: 60,
+            compactions: 3,
+            simulated_ns: 1_000,
+            ..Default::default()
+        };
+        let older = Snapshot {
+            points: 10,
+            scans: 5,
+            ..Default::default()
+        };
+        // Arguments reversed: every delta would underflow without the
+        // saturating arithmetic.
+        let w = WindowSummary::from_snapshots(&newer, &older);
+        assert_eq!(w.points, 0);
+        assert_eq!(w.scans, 0);
+        assert_eq!(w.avg_scan_len, 0.0);
+        assert_eq!(w.io_miss, 0);
+        assert_eq!(w.block_hit_rate, 0.0);
+        assert_eq!(w.compactions, 0);
+        assert_eq!(w.simulated_ns, 0);
     }
 
     #[test]

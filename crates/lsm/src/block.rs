@@ -69,7 +69,8 @@ impl BlockBuilder {
         };
         self.buf.extend_from_slice(&(shared as u16).to_le_bytes());
         self.buf.extend_from_slice(&(unshared as u16).to_le_bytes());
-        self.buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(value.len() as u32).to_le_bytes());
         self.buf.push(kind);
         self.buf.extend_from_slice(&key[shared..]);
         self.buf.extend_from_slice(value);
@@ -100,7 +101,8 @@ impl BlockBuilder {
         for r in &self.restarts {
             self.buf.extend_from_slice(&r.to_le_bytes());
         }
-        self.buf.extend_from_slice(&(self.restarts.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(self.restarts.len() as u32).to_le_bytes());
         let crc = crc32(&self.buf);
         self.buf.extend_from_slice(&crc.to_le_bytes());
         Bytes::from(self.buf)
@@ -151,7 +153,11 @@ impl Block {
             }
             restarts.push(r);
         }
-        Ok(Block { data, restarts, entries_end })
+        Ok(Block {
+            data,
+            restarts,
+            entries_end,
+        })
     }
 
     /// Size of the encoded block; used as the cache charge.
@@ -164,7 +170,9 @@ impl Block {
         let off = self.restarts[restart_idx] as usize;
         let (shared, unshared, _vlen, _kind, key_off) = self.entry_header(off)?;
         if shared != 0 {
-            return Err(LsmError::Corruption("restart entry has shared prefix".into()));
+            return Err(LsmError::Corruption(
+                "restart entry has shared prefix".into(),
+            ));
         }
         Ok(&self.data[key_off..key_off + unshared])
     }
@@ -197,7 +205,12 @@ impl Block {
 
     /// Iterates all entries in order.
     pub fn iter(&self) -> BlockIter<'_> {
-        BlockIter { block: self, off: self.restarts[0] as usize, key: Vec::new(), done: false }
+        BlockIter {
+            block: self,
+            off: self.restarts[0] as usize,
+            key: Vec::new(),
+            done: false,
+        }
     }
 
     /// Iterates entries with keys `>= from`.
@@ -216,8 +229,12 @@ impl Block {
             }
         }
         let start = lo.saturating_sub(1);
-        let mut iter =
-            BlockIter { block: self, off: self.restarts[start] as usize, key: Vec::new(), done: false };
+        let mut iter = BlockIter {
+            block: self,
+            off: self.restarts[start] as usize,
+            key: Vec::new(),
+            done: false,
+        };
         iter.skip_until(from)?;
         Ok(iter)
     }
@@ -249,10 +266,13 @@ impl<'a> BlockIter<'a> {
         }
         let (shared, unshared, vlen, kind, key_off) = self.block.entry_header(self.off)?;
         if shared > self.key.len() {
-            return Err(LsmError::Corruption("shared prefix exceeds previous key".into()));
+            return Err(LsmError::Corruption(
+                "shared prefix exceeds previous key".into(),
+            ));
         }
         self.key.truncate(shared);
-        self.key.extend_from_slice(&self.block.data[key_off..key_off + unshared]);
+        self.key
+            .extend_from_slice(&self.block.data[key_off..key_off + unshared]);
         let vstart = key_off + unshared;
         let entry = match kind {
             KIND_PUT => Entry::Put(self.block.data.slice(vstart..vstart + vlen)),
@@ -260,7 +280,10 @@ impl<'a> BlockIter<'a> {
             other => return Err(LsmError::Corruption(format!("unknown entry kind {other}"))),
         };
         self.off = vstart + vlen;
-        Ok(Some(KeyEntry { key: Bytes::copy_from_slice(&self.key), entry }))
+        Ok(Some(KeyEntry {
+            key: Bytes::copy_from_slice(&self.key),
+            entry,
+        }))
     }
 
     /// Advances the iterator until the current position's key is `>= from`.
@@ -315,11 +338,16 @@ mod tests {
 
     #[test]
     fn roundtrip_with_prefix_compression() {
-        let entries: Vec<(String, String)> =
-            (0..100).map(|i| (format!("user{i:06}"), format!("value-{i}"))).collect();
+        let entries: Vec<(String, String)> = (0..100)
+            .map(|i| (format!("user{i:06}"), format!("value-{i}")))
+            .collect();
         let mut b = BlockBuilder::new(16);
         for (k, v) in &entries {
-            b.add(k.as_bytes(), &Entry::Put(Bytes::copy_from_slice(v.as_bytes()))).unwrap();
+            b.add(
+                k.as_bytes(),
+                &Entry::Put(Bytes::copy_from_slice(v.as_bytes())),
+            )
+            .unwrap();
         }
         assert_eq!(b.num_entries(), 100);
         let block = Block::decode(b.finish()).unwrap();
@@ -330,15 +358,24 @@ mod tests {
             assert_eq!(ke.entry.value().unwrap().as_ref(), entries[i].1.as_bytes());
         }
         // Prefix compression must actually shrink the encoding.
-        let raw: usize = entries.iter().map(|(k, v)| k.len() + v.len() + HEADER).sum();
+        let raw: usize = entries
+            .iter()
+            .map(|(k, v)| k.len() + v.len() + HEADER)
+            .sum();
         assert!(block.encoded_len() < raw + 100);
     }
 
     #[test]
     fn get_finds_present_and_absent() {
         let block = build(&[("a", Some("1")), ("c", Some("3")), ("e", None)], 2);
-        assert_eq!(block.get(b"a").unwrap(), Some(Entry::Put(Bytes::from_static(b"1"))));
-        assert_eq!(block.get(b"c").unwrap(), Some(Entry::Put(Bytes::from_static(b"3"))));
+        assert_eq!(
+            block.get(b"a").unwrap(),
+            Some(Entry::Put(Bytes::from_static(b"1")))
+        );
+        assert_eq!(
+            block.get(b"c").unwrap(),
+            Some(Entry::Put(Bytes::from_static(b"3")))
+        );
         assert_eq!(block.get(b"e").unwrap(), Some(Entry::Tombstone));
         assert_eq!(block.get(b"b").unwrap(), None);
         assert_eq!(block.get(b"z").unwrap(), None);
@@ -347,19 +384,30 @@ mod tests {
 
     #[test]
     fn iter_from_seeks_across_restarts() {
-        let entries: Vec<(String, String)> =
-            (0..50).map(|i| (format!("k{i:04}"), format!("v{i}"))).collect();
-        let refs: Vec<(&str, Option<&str>)> =
-            entries.iter().map(|(k, v)| (k.as_str(), Some(v.as_str()))).collect();
+        let entries: Vec<(String, String)> = (0..50)
+            .map(|i| (format!("k{i:04}"), format!("v{i}")))
+            .collect();
+        let refs: Vec<(&str, Option<&str>)> = entries
+            .iter()
+            .map(|(k, v)| (k.as_str(), Some(v.as_str())))
+            .collect();
         let block = build(&refs, 4);
         for probe in [0usize, 1, 3, 4, 17, 48, 49] {
             let from = format!("k{probe:04}");
-            let got: Vec<_> = block.iter_from(from.as_bytes()).unwrap().map(|r| r.unwrap()).collect();
+            let got: Vec<_> = block
+                .iter_from(from.as_bytes())
+                .unwrap()
+                .map(|r| r.unwrap())
+                .collect();
             assert_eq!(got.len(), 50 - probe, "seek {from}");
             assert_eq!(got[0].key.as_ref(), from.as_bytes());
         }
         // Seek between keys and past the end.
-        let got: Vec<_> = block.iter_from(b"k0003x").unwrap().map(|r| r.unwrap()).collect();
+        let got: Vec<_> = block
+            .iter_from(b"k0003x")
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
         assert_eq!(got[0].key.as_ref(), b"k0004");
         assert!(block.iter_from(b"zzz").unwrap().next().is_none());
         // Seek before the first key.
@@ -416,7 +464,8 @@ mod tests {
         let mut b = BlockBuilder::new(8);
         for i in 0..20 {
             let k = format!("key{i:03}");
-            b.add(k.as_bytes(), &Entry::Put(Bytes::from_static(b"v"))).unwrap();
+            b.add(k.as_bytes(), &Entry::Put(Bytes::from_static(b"v")))
+                .unwrap();
         }
         let est = b.size_estimate();
         let data = b.finish();
@@ -434,6 +483,15 @@ mod tests {
     fn single_entry_block() {
         let block = build(&[("only", Some("x"))], 16);
         assert_eq!(block.count_entries(), 1);
-        assert_eq!(block.get(b"only").unwrap().unwrap().value().unwrap().as_ref(), b"x");
+        assert_eq!(
+            block
+                .get(b"only")
+                .unwrap()
+                .unwrap()
+                .value()
+                .unwrap()
+                .as_ref(),
+            b"x"
+        );
     }
 }

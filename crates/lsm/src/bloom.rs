@@ -37,13 +37,22 @@ impl BloomFilter {
     /// reports nothing present.
     pub fn build<K: AsRef<[u8]>>(keys: &[K], bits_per_key: usize) -> Self {
         if keys.is_empty() || bits_per_key == 0 {
-            return BloomFilter { bits: Vec::new(), num_bits: 0, num_probes: 0 };
+            return BloomFilter {
+                bits: Vec::new(),
+                num_bits: 0,
+                num_probes: 0,
+            };
         }
         let num_bits = (keys.len() * bits_per_key).max(64) as u64;
         let num_words = num_bits.div_ceil(64) as usize;
         let num_bits = (num_words * 64) as u64;
-        let num_probes = ((bits_per_key as f64 * std::f64::consts::LN_2).round() as u32).clamp(1, 30);
-        let mut filter = BloomFilter { bits: vec![0u64; num_words], num_bits, num_probes };
+        let num_probes =
+            ((bits_per_key as f64 * std::f64::consts::LN_2).round() as u32).clamp(1, 30);
+        let mut filter = BloomFilter {
+            bits: vec![0u64; num_words],
+            num_bits,
+            num_probes,
+        };
         for key in keys {
             filter.insert(key.as_ref());
         }
@@ -107,7 +116,9 @@ impl BloomFilter {
         let num_probes = u32::from_le_bytes(data[8..12].try_into().ok()?);
         let num_words = u32::from_le_bytes(data[12..16].try_into().ok()?) as usize;
         let need = 16 + num_words * 8;
-        if data.len() < need || num_bits as usize != num_words * 64 && !(num_bits == 0 && num_words == 0) {
+        if data.len() < need
+            || num_bits as usize != num_words * 64 && !(num_bits == 0 && num_words == 0)
+        {
             return None;
         }
         let mut bits = Vec::with_capacity(num_words);
@@ -115,7 +126,14 @@ impl BloomFilter {
             let off = 16 + i * 8;
             bits.push(u64::from_le_bytes(data[off..off + 8].try_into().ok()?));
         }
-        Some((BloomFilter { bits, num_bits, num_probes }, need))
+        Some((
+            BloomFilter {
+                bits,
+                num_bits,
+                num_probes,
+            },
+            need,
+        ))
     }
 }
 
@@ -132,7 +150,11 @@ mod tests {
         let ks = keys(10_000);
         let f = BloomFilter::build(&ks, 10);
         for k in &ks {
-            assert!(f.may_contain(k), "false negative for {:?}", String::from_utf8_lossy(k));
+            assert!(
+                f.may_contain(k),
+                "false negative for {:?}",
+                String::from_utf8_lossy(k)
+            );
         }
     }
 
@@ -159,7 +181,9 @@ mod tests {
         let tight = BloomFilter::build(&ks, 10);
         let loose = BloomFilter::build(&ks, 2);
         let count = |f: &BloomFilter| {
-            (0..10_000).filter(|i| f.may_contain(format!("miss-{i}").as_bytes())).count()
+            (0..10_000)
+                .filter(|i| f.may_contain(format!("miss-{i}").as_bytes()))
+                .count()
         };
         assert!(count(&loose) > count(&tight) * 3);
     }

@@ -16,8 +16,8 @@ use crate::iterator::{MergingIter, Source};
 use crate::options::Options;
 use crate::sstable::{DirectProvider, TableBuilder, TableIter, TableMeta};
 use crate::storage::Storage;
-use crate::version::{CompactionTask, Version};
 use crate::types::FileId;
+use crate::version::{CompactionTask, Version};
 use std::sync::Arc;
 
 /// What a finished compaction changed; consumed by cache-invalidation
@@ -67,13 +67,23 @@ pub fn run_compaction(
             if l0.is_empty() {
                 return Ok(None);
             }
-            let start = l0.iter().map(|t| t.smallest.clone()).min().expect("non-empty");
-            let end = l0.iter().map(|t| t.largest.clone()).max().expect("non-empty");
+            let start = l0
+                .iter()
+                .map(|t| t.smallest.clone())
+                .min()
+                .expect("non-empty");
+            let end = l0
+                .iter()
+                .map(|t| t.largest.clone())
+                .max()
+                .expect("non-empty");
             let l1 = version.overlapping(1, &start, Some(&end));
             (0usize, 1usize, l0, l1)
         }
         CompactionTask::LevelDown { level } => {
-            let Some(table) = version.pick_table(level) else { return Ok(None) };
+            let Some(table) = version.pick_table(level) else {
+                return Ok(None);
+            };
             let below = version.overlapping(level + 1, &table.smallest, Some(&table.largest));
             if below.is_empty() && level + 1 < version.max_levels() {
                 // Trivial move (RocksDB optimization): nothing overlaps in
@@ -111,8 +121,8 @@ pub fn run_compaction(
     }
 
     // Tombstones can be dropped iff nothing lives below the output level.
-    let drop_tombstones = ((to_level + 1)..version.max_levels())
-        .all(|l| version.level_files(l) == 0);
+    let drop_tombstones =
+        ((to_level + 1)..version.max_levels()).all(|l| version.level_files(l) == 0);
 
     let mut merger = MergingIter::new(sources);
     let mut outputs: Vec<Arc<TableMeta>> = Vec::new();
@@ -134,8 +144,11 @@ pub fn run_compaction(
         }
     }
 
-    let obsolete: Vec<FileId> =
-        inputs_from.iter().chain(inputs_to.iter()).map(|t| t.id).collect();
+    let obsolete: Vec<FileId> = inputs_from
+        .iter()
+        .chain(inputs_to.iter())
+        .map(|t| t.id)
+        .collect();
     let new_files: Vec<FileId> = outputs.iter().map(|t| t.id).collect();
     version.apply_compaction(from_level, to_level, &obsolete, outputs)?;
     for id in &obsolete {
@@ -184,8 +197,18 @@ mod tests {
         let storage = MemStorage::new();
         let mut v = Version::new(4);
         // Older flush (id 1), newer flush (id 2) overwriting "b".
-        v.add_l0(build(1, &opts, &storage, &[("a", Some("1")), ("b", Some("old"))]));
-        v.add_l0(build(2, &opts, &storage, &[("b", Some("new")), ("c", Some("3"))]));
+        v.add_l0(build(
+            1,
+            &opts,
+            &storage,
+            &[("a", Some("1")), ("b", Some("old"))],
+        ));
+        v.add_l0(build(
+            2,
+            &opts,
+            &storage,
+            &[("b", Some("new")), ("c", Some("3"))],
+        ));
         let mut next = 10u64;
         let ev = run_compaction(&mut v, CompactionTask::L0ToL1, &opts, &storage, &mut || {
             next += 1;
@@ -205,7 +228,12 @@ mod tests {
         let out = v.level(1)[0].clone();
         let p = DirectProvider;
         assert_eq!(
-            table_get(&out, &p, &storage, b"b").unwrap().unwrap().value().unwrap().as_ref(),
+            table_get(&out, &p, &storage, b"b")
+                .unwrap()
+                .unwrap()
+                .value()
+                .unwrap()
+                .as_ref(),
             b"new"
         );
         assert_eq!(out.num_entries, 3);
@@ -218,8 +246,13 @@ mod tests {
         let mut v = Version::new(4);
         // L2 holds the old value, so an L0->L1 compaction must keep the
         // tombstone; a later L1->L2 compaction may drop it (L3 empty).
-        v.apply_compaction(1, 2, &[], vec![build(1, &opts, &storage, &[("k", Some("old"))])])
-            .unwrap();
+        v.apply_compaction(
+            1,
+            2,
+            &[],
+            vec![build(1, &opts, &storage, &[("k", Some("old"))])],
+        )
+        .unwrap();
         v.add_l0(build(2, &opts, &storage, &[("k", None)]));
         let mut next = 10u64;
         let mut alloc = || {
@@ -247,7 +280,11 @@ mod tests {
         .unwrap();
         assert_eq!(v.level_files(1), 0);
         // L3 empty => tombstone and the value it shadowed both vanish.
-        assert_eq!(v.level_files(2), 0, "tombstone plus shadowed value annihilate");
+        assert_eq!(
+            v.level_files(2),
+            0,
+            "tombstone plus shadowed value annihilate"
+        );
         assert_eq!(storage.table_count(), 0);
     }
 
@@ -256,8 +293,13 @@ mod tests {
         let opts = Options::small();
         let storage = MemStorage::new();
         let mut v = Version::new(4);
-        v.apply_compaction(0, 1, &[], vec![build(1, &opts, &storage, &[("c", Some("c1"))])])
-            .unwrap();
+        v.apply_compaction(
+            0,
+            1,
+            &[],
+            vec![build(1, &opts, &storage, &[("c", Some("c1"))])],
+        )
+        .unwrap();
         v.apply_compaction(
             1,
             2,
@@ -290,7 +332,12 @@ mod tests {
         let p = DirectProvider;
         let merged = v.table_for_key(2, b"c").unwrap();
         assert_eq!(
-            table_get(&merged, &p, &storage, b"c").unwrap().unwrap().value().unwrap().as_ref(),
+            table_get(&merged, &p, &storage, b"c")
+                .unwrap()
+                .unwrap()
+                .value()
+                .unwrap()
+                .as_ref(),
             b"c1",
             "L1 version wins over L2"
         );
@@ -303,10 +350,13 @@ mod tests {
         opts.sstable_size = 2048;
         let storage = MemStorage::new();
         let mut v = Version::new(4);
-        let entries: Vec<(String, String)> =
-            (0..200).map(|i| (format!("k{i:05}"), format!("v{i:05}{}", "x".repeat(50)))).collect();
-        let refs: Vec<(&str, Option<&str>)> =
-            entries.iter().map(|(k, v)| (k.as_str(), Some(v.as_str()))).collect();
+        let entries: Vec<(String, String)> = (0..200)
+            .map(|i| (format!("k{i:05}"), format!("v{i:05}{}", "x".repeat(50))))
+            .collect();
+        let refs: Vec<(&str, Option<&str>)> = entries
+            .iter()
+            .map(|(k, v)| (k.as_str(), Some(v.as_str())))
+            .collect();
         v.add_l0(build(1, &opts, &storage, &refs));
         let mut next = 10u64;
         run_compaction(&mut v, CompactionTask::L0ToL1, &opts, &storage, &mut || {
@@ -327,10 +377,30 @@ mod tests {
         let storage = MemStorage::new();
         let mut v = Version::new(4);
         // L1 table "a..f"; L2 table "p..z": no overlap -> trivial move.
-        v.apply_compaction(0, 1, &[], vec![build(1, &opts, &storage, &[("a", Some("1")), ("f", Some("2"))])])
-            .unwrap();
-        v.apply_compaction(1, 2, &[], vec![build(2, &opts, &storage, &[("p", Some("3")), ("z", Some("4"))])])
-            .unwrap();
+        v.apply_compaction(
+            0,
+            1,
+            &[],
+            vec![build(
+                1,
+                &opts,
+                &storage,
+                &[("a", Some("1")), ("f", Some("2"))],
+            )],
+        )
+        .unwrap();
+        v.apply_compaction(
+            1,
+            2,
+            &[],
+            vec![build(
+                2,
+                &opts,
+                &storage,
+                &[("p", Some("3")), ("z", Some("4"))],
+            )],
+        )
+        .unwrap();
         let reads_before = storage.stats().reads();
         let ev = run_compaction(
             &mut v,
@@ -342,7 +412,10 @@ mod tests {
         .unwrap()
         .unwrap();
         assert!(ev.trivial_move);
-        assert!(ev.obsolete_files.is_empty(), "no invalidation on trivial move");
+        assert!(
+            ev.obsolete_files.is_empty(),
+            "no invalidation on trivial move"
+        );
         assert_eq!(ev.new_files, vec![1]);
         assert_eq!(ev.blocks_read, 0);
         assert_eq!(storage.stats().reads(), reads_before, "zero I/O");
@@ -352,7 +425,12 @@ mod tests {
         let p = DirectProvider;
         let t = v.table_for_key(2, b"a").unwrap();
         assert_eq!(
-            table_get(&t, &p, &storage, b"a").unwrap().unwrap().value().unwrap().as_ref(),
+            table_get(&t, &p, &storage, b"a")
+                .unwrap()
+                .unwrap()
+                .value()
+                .unwrap()
+                .as_ref(),
             b"1"
         );
         v.check_level_invariants().unwrap();
@@ -363,9 +441,11 @@ mod tests {
         let opts = Options::small();
         let storage = MemStorage::new();
         let mut v = Version::new(4);
-        assert!(run_compaction(&mut v, CompactionTask::L0ToL1, &opts, &storage, &mut || 1)
-            .unwrap()
-            .is_none());
+        assert!(
+            run_compaction(&mut v, CompactionTask::L0ToL1, &opts, &storage, &mut || 1)
+                .unwrap()
+                .is_none()
+        );
         assert!(run_compaction(
             &mut v,
             CompactionTask::LevelDown { level: 2 },

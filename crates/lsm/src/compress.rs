@@ -41,20 +41,18 @@ pub fn lzss_compress(input: &[u8]) -> Vec<u8> {
     let mut control_pos = out.len();
     out.push(0);
     let mut control_bit = 0u8;
-    let flush_bit = |out: &mut Vec<u8>,
-                         control_pos: &mut usize,
-                         control_bit: &mut u8,
-                         is_match: bool| {
-        if *control_bit == 8 {
-            *control_pos = out.len();
-            out.push(0);
-            *control_bit = 0;
-        }
-        if is_match {
-            out[*control_pos] |= 1 << *control_bit;
-        }
-        *control_bit += 1;
-    };
+    let flush_bit =
+        |out: &mut Vec<u8>, control_pos: &mut usize, control_bit: &mut u8, is_match: bool| {
+            if *control_bit == 8 {
+                *control_pos = out.len();
+                out.push(0);
+                *control_bit = 0;
+            }
+            if is_match {
+                out[*control_pos] |= 1 << *control_bit;
+            }
+            *control_bit += 1;
+        };
 
     while i < n {
         let mut best_len = 0usize;
@@ -170,7 +168,9 @@ pub fn wrap_block(encoded: &[u8], compression: bool) -> Vec<u8> {
 /// Unwraps a stored block into its raw encoding.
 pub fn unwrap_block(stored: &[u8]) -> Result<Vec<u8>> {
     if stored.len() < 5 {
-        return Err(LsmError::Corruption("stored block shorter than header".into()));
+        return Err(LsmError::Corruption(
+            "stored block shorter than header".into(),
+        ));
     }
     let raw_len = u32::from_le_bytes(stored[1..5].try_into().unwrap()) as usize;
     let body = &stored[5..];
@@ -182,7 +182,9 @@ pub fn unwrap_block(stored: &[u8]) -> Result<Vec<u8>> {
             Ok(body.to_vec())
         }
         FLAG_LZSS => lzss_decompress(body, raw_len),
-        other => Err(LsmError::Corruption(format!("unknown compression flag {other}"))),
+        other => Err(LsmError::Corruption(format!(
+            "unknown compression flag {other}"
+        ))),
     }
 }
 
@@ -202,7 +204,11 @@ mod tests {
         roundtrip(b"a");
         roundtrip(b"abcabcabcabcabcabcabc");
         roundtrip(&vec![0u8; 10_000]);
-        roundtrip("the quick brown fox jumps over the lazy dog. ".repeat(100).as_bytes());
+        roundtrip(
+            "the quick brown fox jumps over the lazy dog. "
+                .repeat(100)
+                .as_bytes(),
+        );
         // Pseudo-random (incompressible) data.
         let mut x = 1u64;
         let noise: Vec<u8> = (0..5000)

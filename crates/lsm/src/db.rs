@@ -26,12 +26,42 @@ use crate::options::Options;
 use crate::sstable::{table_get, BlockProvider, TableBuilder, TableIter, TableMeta};
 use crate::storage::Storage;
 use crate::types::{Entry, Key, Value};
-use crate::version::Version;
+use crate::version::{CompactionTask, Version};
 use crate::wal::{replay, WalWriter};
+use adcache_obs::{Counter, Event, Obs};
 use parking_lot::RwLock;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Pre-registered observability hooks: the handle plus the counters the
+/// engine bumps, resolved once so event paths never touch the registry lock.
+#[derive(Default)]
+struct ObsHooks {
+    obs: Obs,
+    flushes: Counter,
+    flush_entries: Counter,
+    compactions: Counter,
+    compaction_block_reads: Counter,
+    compaction_block_writes: Counter,
+    wal_appends: Counter,
+    wal_bytes: Counter,
+}
+
+impl ObsHooks {
+    fn new(obs: Obs) -> Self {
+        ObsHooks {
+            flushes: obs.counter("lsm.flushes"),
+            flush_entries: obs.counter("lsm.flush_entries"),
+            compactions: obs.counter("lsm.compactions"),
+            compaction_block_reads: obs.counter("lsm.compaction_block_reads"),
+            compaction_block_writes: obs.counter("lsm.compaction_block_writes"),
+            wal_appends: obs.counter("lsm.wal_appends"),
+            wal_bytes: obs.counter("lsm.wal_bytes"),
+            obs,
+        }
+    }
+}
 
 /// Engine-level counters (distinct from device I/O counters, which live in
 /// [`crate::storage::IoStats`]).
@@ -97,22 +127,30 @@ pub struct LsmTree {
     stats: DbStats,
     /// Directory holding the WAL and manifest when durability is enabled.
     durability_dir: Option<PathBuf>,
+    /// Observability hooks; disabled (free) unless [`LsmTree::set_obs`] ran.
+    obs: RwLock<ObsHooks>,
 }
 
 impl LsmTree {
     /// Creates an empty tree over `storage` (no durability: nothing
     /// survives a process restart except what the storage backend holds).
     pub fn new(opts: Options, storage: Arc<dyn Storage>) -> Result<Self> {
-        opts.validate().map_err(crate::error::LsmError::InvalidArgument)?;
+        opts.validate()
+            .map_err(crate::error::LsmError::InvalidArgument)?;
         let version = Version::new(opts.max_levels);
         Ok(LsmTree {
             opts,
             storage,
-            inner: RwLock::new(Inner { mem: MemTable::new(), version, wal: None }),
+            inner: RwLock::new(Inner {
+                mem: MemTable::new(),
+                version,
+                wal: None,
+            }),
             listeners: RwLock::new(Vec::new()),
             next_file: AtomicU64::new(1),
             stats: DbStats::default(),
             durability_dir: None,
+            obs: RwLock::new(ObsHooks::default()),
         })
     }
 
@@ -125,7 +163,8 @@ impl LsmTree {
         storage: Arc<dyn Storage>,
         dir: impl Into<PathBuf>,
     ) -> Result<Self> {
-        opts.validate().map_err(crate::error::LsmError::InvalidArgument)?;
+        opts.validate()
+            .map_err(crate::error::LsmError::InvalidArgument)?;
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
 
@@ -156,24 +195,33 @@ impl LsmTree {
         Ok(LsmTree {
             opts,
             storage,
-            inner: RwLock::new(Inner { mem, version, wal: Some(wal) }),
+            inner: RwLock::new(Inner {
+                mem,
+                version,
+                wal: Some(wal),
+            }),
             listeners: RwLock::new(Vec::new()),
             next_file: AtomicU64::new(next_file),
             stats: DbStats::default(),
             durability_dir: Some(dir),
+            obs: RwLock::new(ObsHooks::default()),
         })
     }
 
     fn persist_manifest(&self, inner: &Inner) -> Result<()> {
-        let Some(dir) = &self.durability_dir else { return Ok(()) };
+        let Some(dir) = &self.durability_dir else {
+            return Ok(());
+        };
         let mut tables = Vec::new();
         for level in 0..inner.version.max_levels() {
             for t in inner.version.level(level) {
                 tables.push((level, t.id));
             }
         }
-        let state =
-            ManifestState { next_file: self.next_file.load(Ordering::Relaxed), tables };
+        let state = ManifestState {
+            next_file: self.next_file.load(Ordering::Relaxed),
+            tables,
+        };
         write_manifest(&dir.join("MANIFEST"), &state)
     }
 
@@ -197,6 +245,13 @@ impl LsmTree {
     /// engine.
     pub fn add_compaction_listener(&self, l: Arc<dyn CompactionListener>) {
         self.listeners.write().push(l);
+    }
+
+    /// Attaches an observability handle. Flushes, compactions and WAL resets
+    /// emit journal events and bump `lsm.*` counters through it; a disabled
+    /// handle (the default) keeps all of that free.
+    pub fn set_obs(&self, obs: Obs) {
+        *self.obs.write() = ObsHooks::new(obs);
     }
 
     /// Query-path SST block reads so far: total device reads minus those
@@ -286,6 +341,7 @@ impl LsmTree {
 
     fn flush_locked(&self, inner: &mut Inner) -> Result<()> {
         debug_assert!(!inner.mem.is_empty());
+        let flushed_entries = inner.mem.len() as u64;
         let mut builder = TableBuilder::new(self.alloc_file(), &self.opts);
         for ke in inner.mem.iter() {
             builder.add(&ke.key, &ke.entry)?;
@@ -294,24 +350,45 @@ impl LsmTree {
         let meta = builder.finish(self.storage.as_ref())?;
         inner.version.add_l0(meta);
         inner.mem = MemTable::new();
+        let flushed_blocks = self.storage.stats().writes() - writes_before;
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
         self.stats
             .flush_block_writes
-            .fetch_add(self.storage.stats().writes() - writes_before, Ordering::Relaxed);
+            .fetch_add(flushed_blocks, Ordering::Relaxed);
+        {
+            let hooks = self.obs.read();
+            hooks.flushes.inc();
+            hooks.flush_entries.add(flushed_entries);
+            hooks.obs.emit(|| Event::Flush {
+                entries: flushed_entries,
+                bytes: flushed_blocks * self.opts.block_size as u64,
+            });
+        }
         // Durable ordering: the SST is on storage, so first make the
         // manifest point at it, then drop the WAL entries it replaces.
         self.persist_manifest(inner)?;
         if let Some(wal) = inner.wal.as_mut() {
+            let (appends, bytes) = (wal.segment_appends(), wal.segment_bytes());
             wal.reset()?;
+            let hooks = self.obs.read();
+            hooks.wal_appends.add(appends);
+            hooks.wal_bytes.add(bytes);
+            hooks.obs.emit(|| Event::WalReset { appends, bytes });
         }
         Ok(())
     }
 
     fn compact_due_locked(&self, inner: &mut Inner) -> Result<()> {
         while let Some(task) = inner.version.pick_compaction(&self.opts) {
+            self.note_compaction_start(&task, &inner.version);
             let mut alloc = || self.next_file.fetch_add(1, Ordering::Relaxed);
-            let Some(event) =
-                run_compaction(&mut inner.version, task, &self.opts, self.storage.as_ref(), &mut alloc)?
+            let Some(event) = run_compaction(
+                &mut inner.version,
+                task,
+                &self.opts,
+                self.storage.as_ref(),
+                &mut alloc,
+            )?
             else {
                 break;
             };
@@ -325,10 +402,18 @@ impl LsmTree {
     /// tests and for experiments that want explicit compaction control.
     pub fn maybe_compact_once(&self) -> Result<bool> {
         let mut inner = self.inner.write();
-        let Some(task) = inner.version.pick_compaction(&self.opts) else { return Ok(false) };
+        let Some(task) = inner.version.pick_compaction(&self.opts) else {
+            return Ok(false);
+        };
+        self.note_compaction_start(&task, &inner.version);
         let mut alloc = || self.next_file.fetch_add(1, Ordering::Relaxed);
-        let Some(event) =
-            run_compaction(&mut inner.version, task, &self.opts, self.storage.as_ref(), &mut alloc)?
+        let Some(event) = run_compaction(
+            &mut inner.version,
+            task,
+            &self.opts,
+            self.storage.as_ref(),
+            &mut alloc,
+        )?
         else {
             return Ok(false);
         };
@@ -337,10 +422,44 @@ impl LsmTree {
         Ok(true)
     }
 
+    fn note_compaction_start(&self, task: &CompactionTask, version: &Version) {
+        let hooks = self.obs.read();
+        hooks.obs.emit(|| {
+            let (from, to, input_files) = match *task {
+                CompactionTask::L0ToL1 => (0, 1, version.level_files(0)),
+                CompactionTask::LevelDown { level } => (level, level + 1, 1),
+            };
+            Event::CompactionStart {
+                from_level: from as u64,
+                to_level: to as u64,
+                input_files: input_files as u64,
+            }
+        });
+    }
+
     fn note_compaction(&self, event: &CompactionEvent) {
         self.stats.compactions.fetch_add(1, Ordering::Relaxed);
-        self.stats.compaction_block_reads.fetch_add(event.blocks_read, Ordering::Relaxed);
-        self.stats.compaction_block_writes.fetch_add(event.blocks_written, Ordering::Relaxed);
+        self.stats
+            .compaction_block_reads
+            .fetch_add(event.blocks_read, Ordering::Relaxed);
+        self.stats
+            .compaction_block_writes
+            .fetch_add(event.blocks_written, Ordering::Relaxed);
+        {
+            let hooks = self.obs.read();
+            hooks.compactions.inc();
+            hooks.compaction_block_reads.add(event.blocks_read);
+            hooks.compaction_block_writes.add(event.blocks_written);
+            hooks.obs.emit(|| Event::CompactionFinish {
+                from_level: event.from_level as u64,
+                to_level: event.to_level as u64,
+                blocks_read: event.blocks_read,
+                blocks_written: event.blocks_written,
+                obsolete_files: event.obsolete_files.len() as u64,
+                new_files: event.new_files.len() as u64,
+                trivial_move: event.trivial_move,
+            });
+        }
         for l in self.listeners.read().iter() {
             l.on_compaction(event);
         }
@@ -394,7 +513,10 @@ impl LsmTree {
         for level in 1..max_levels {
             let chain = inner.version.tables_from(level, from);
             if !chain.is_empty() {
-                sources.push(((max_levels - level) as u64, Source::level_chain(chain, from)));
+                sources.push((
+                    (max_levels - level) as u64,
+                    Source::level_chain(chain, from),
+                ));
             }
         }
         let mut merger = MergingIter::new(sources);
@@ -416,7 +538,13 @@ impl LsmTree {
     pub fn level_summary(&self) -> Vec<(usize, usize, u64)> {
         let inner = self.inner.read();
         (0..inner.version.max_levels())
-            .map(|l| (l, inner.version.level_files(l), inner.version.level_bytes(l)))
+            .map(|l| {
+                (
+                    l,
+                    inner.version.level_files(l),
+                    inner.version.level_bytes(l),
+                )
+            })
             .collect()
     }
 
@@ -485,7 +613,11 @@ mod tests {
         // Some data flushed, some still in memtable.
         assert!(db.stats().flushes.load(Ordering::Relaxed) > 0);
         for i in (0..2000).step_by(97) {
-            assert_eq!(db.get(&key(i), &p).unwrap().unwrap(), value(i, "a"), "i={i}");
+            assert_eq!(
+                db.get(&key(i), &p).unwrap().unwrap(),
+                value(i, "a"),
+                "i={i}"
+            );
         }
         assert!(db.get(b"missing", &p).unwrap().is_none());
     }
@@ -586,7 +718,10 @@ mod tests {
         }
         assert!(db.stats().compactions() > 0, "compactions should have run");
         let summary = db.level_summary();
-        assert!(summary.iter().skip(1).any(|(_, files, _)| *files > 0), "deeper levels populated: {summary:?}");
+        assert!(
+            summary.iter().skip(1).any(|(_, files, _)| *files > 0),
+            "deeper levels populated: {summary:?}"
+        );
         // All keys readable with the newest value.
         for i in (0..4000).step_by(131) {
             assert!(db.get(&key(i), &p).unwrap().is_some());
@@ -665,7 +800,10 @@ mod tests {
         }
         db.flush().unwrap();
         let late = db.write_amplification();
-        assert!(late > early, "compactions must raise write amp: {early} -> {late}");
+        assert!(
+            late > early,
+            "compactions must raise write amp: {early} -> {late}"
+        );
         assert!(late < 50.0, "amp implausibly high: {late}");
     }
 
@@ -677,15 +815,12 @@ mod tests {
             opts.compression = compression;
             let db = LsmTree::new(opts, Arc::new(MemStorage::new())).unwrap();
             for i in 0..2000 {
-                db.put(key(i), Bytes::from(format!("padding-{}", "x".repeat(60)))).unwrap();
+                db.put(key(i), Bytes::from(format!("padding-{}", "x".repeat(60))))
+                    .unwrap();
             }
             db.flush().unwrap();
             while db.maybe_compact_once().unwrap() {}
-            let bytes: u64 = db
-                .level_summary()
-                .iter()
-                .map(|(_, _, b)| *b)
-                .sum();
+            let bytes: u64 = db.level_summary().iter().map(|(_, _, b)| *b).sum();
             (db, bytes as usize)
         };
         let (plain_db, plain_bytes) = run(false);
@@ -718,13 +853,17 @@ mod tests {
             .collect();
         db.write_batch(batch).unwrap();
         assert_eq!(db.get(&key(0), &p).unwrap().unwrap(), value(0, "batch"));
-        assert!(db.get(&key(5), &p).unwrap().is_none(), "later tombstone wins in-batch");
+        assert!(
+            db.get(&key(5), &p).unwrap().is_none(),
+            "later tombstone wins in-batch"
+        );
         assert_eq!(db.get(&key(99), &p).unwrap().unwrap(), value(99, "batch"));
         // Empty batch is a no-op.
         db.write_batch(Vec::new()).unwrap();
         // Large batches trigger flushes like individual writes do.
-        let big: Vec<(Bytes, Entry)> =
-            (0..2000).map(|i| (key(i), Entry::Put(value(i, "big")))).collect();
+        let big: Vec<(Bytes, Entry)> = (0..2000)
+            .map(|i| (key(i), Entry::Put(value(i, "big"))))
+            .collect();
         db.write_batch(big).unwrap();
         assert!(db.stats().flushes.load(Ordering::Relaxed) > 0);
         assert_eq!(db.get(&key(1999), &p).unwrap().unwrap(), value(1999, "big"));

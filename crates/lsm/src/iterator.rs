@@ -48,22 +48,27 @@ impl<'a> Source<'a> {
 
     /// A lazy source over a key-sorted iterator.
     pub fn from_sorted(inner: impl Iterator<Item = KeyEntry> + 'a) -> Self {
-        Source::Iter { inner: Box::new(inner), peeked: None }
+        Source::Iter {
+            inner: Box::new(inner),
+            peeked: None,
+        }
     }
 
     /// A lazily-opened chain over one deeper level.
     pub fn level_chain(tables: Vec<Arc<TableMeta>>, seek: &[u8]) -> Self {
-        Source::LevelChain { tables: tables.into(), open: None, seek: seek.to_vec() }
+        Source::LevelChain {
+            tables: tables.into(),
+            open: None,
+            seek: seek.to_vec(),
+        }
     }
 
-    fn ensure_open(
-        &mut self,
-        provider: &dyn BlockProvider,
-        storage: &dyn Storage,
-    ) -> Result<()> {
+    fn ensure_open(&mut self, provider: &dyn BlockProvider, storage: &dyn Storage) -> Result<()> {
         if let Source::LevelChain { tables, open, seek } = self {
             while open.is_none() {
-                let Some(meta) = tables.front().cloned() else { return Ok(()) };
+                let Some(meta) = tables.front().cloned() else {
+                    return Ok(());
+                };
                 let it = TableIter::seek(meta, provider, storage, seek)?;
                 if it.peek().is_some() {
                     *open = Some(it);
@@ -107,7 +112,9 @@ impl<'a> Source<'a> {
             Source::Iter { inner, peeked } => Ok(peeked.take().or_else(|| inner.next())),
             Source::Table(it) => it.advance(provider, storage),
             Source::LevelChain { tables, open, seek } => {
-                let Some(it) = open.as_mut() else { return Ok(None) };
+                let Some(it) = open.as_mut() else {
+                    return Ok(None);
+                };
                 let head = it.advance(provider, storage)?;
                 if it.peek().is_none() {
                     // Front table exhausted: drop it; later tables start at
@@ -146,7 +153,9 @@ impl<'a> MergingIter<'a> {
         let mut best: Option<(usize, bytes::Bytes, u64)> = None;
         for i in 0..self.sources.len() {
             let rank = self.sources[i].0;
-            let Some(head) = self.sources[i].1.peek(provider, storage)? else { continue };
+            let Some(head) = self.sources[i].1.peek(provider, storage)? else {
+                continue;
+            };
             let key = head.key.clone();
             best = match best.take() {
                 None => Some((i, key, rank)),
@@ -159,7 +168,9 @@ impl<'a> MergingIter<'a> {
                 }
             };
         }
-        let Some((best_i, best_key, _)) = best else { return Ok(None) };
+        let Some((best_i, best_key, _)) = best else {
+            return Ok(None);
+        };
         let winner = self.sources[best_i]
             .1
             .advance(provider, storage)?
@@ -215,8 +226,11 @@ mod tests {
         let storage = MemStorage::new();
         let p = DirectProvider;
         let newer = Source::from_entries(vec![ke("a", Some("new")), ke("c", Some("c-new"))]);
-        let older =
-            Source::from_entries(vec![ke("a", Some("old")), ke("b", Some("b")), ke("c", Some("c-old"))]);
+        let older = Source::from_entries(vec![
+            ke("a", Some("old")),
+            ke("b", Some("b")),
+            ke("c", Some("c-old")),
+        ]);
         let mut m = MergingIter::new(vec![(2, newer), (1, older)]);
         let all = m.collect_all(&p, &storage).unwrap();
         let flat: Vec<(String, String)> = all
@@ -260,20 +274,23 @@ mod tests {
         let mut b = TableBuilder::new(1, &opts);
         for i in 0..50 {
             let k = format!("k{i:04}");
-            b.add(k.as_bytes(), &Entry::Put(Bytes::from(format!("t1-{i}")))).unwrap();
+            b.add(k.as_bytes(), &Entry::Put(Bytes::from(format!("t1-{i}"))))
+                .unwrap();
         }
         let t1 = b.finish(&storage).unwrap();
         let mut b = TableBuilder::new(2, &opts);
         for i in 50..100 {
             let k = format!("k{i:04}");
-            b.add(k.as_bytes(), &Entry::Put(Bytes::from(format!("t2-{i}")))).unwrap();
+            b.add(k.as_bytes(), &Entry::Put(Bytes::from(format!("t2-{i}"))))
+                .unwrap();
         }
         let t2 = b.finish(&storage).unwrap();
         // One newer L0 table overwriting a few keys.
         let mut b = TableBuilder::new(3, &opts);
         for i in [10usize, 60] {
             let k = format!("k{i:04}");
-            b.add(k.as_bytes(), &Entry::Put(Bytes::from(format!("l0-{i}")))).unwrap();
+            b.add(k.as_bytes(), &Entry::Put(Bytes::from(format!("l0-{i}"))))
+                .unwrap();
         }
         let t0 = b.finish(&storage).unwrap();
 
@@ -300,7 +317,8 @@ mod tests {
             let mut b = TableBuilder::new(t + 1, &opts);
             for i in 0..20 {
                 let k = format!("t{t}-k{i:03}");
-                b.add(k.as_bytes(), &Entry::Put(Bytes::from_static(b"v"))).unwrap();
+                b.add(k.as_bytes(), &Entry::Put(Bytes::from_static(b"v")))
+                    .unwrap();
             }
             metas.push(b.finish(&storage).unwrap());
         }

@@ -48,12 +48,12 @@ pub mod wal;
 pub use block::{Block, BlockBuilder};
 pub use bloom::BloomFilter;
 pub use compaction::{CompactionEvent, CompactionListener};
+pub use compress::{lzss_compress, lzss_decompress};
 pub use db::{DbStats, LsmTree};
 pub use error::{LsmError, Result};
 pub use options::Options;
 pub use skiplist::SkipList;
-pub use compress::{lzss_compress, lzss_decompress};
 pub use sstable::{decode_stored_block, BlockProvider, DirectProvider, TableMeta};
 pub use storage::{CostModel, FileStorage, IoStats, MemStorage, Storage};
-pub use wal::{crc32, WalWriter};
 pub use types::{BlockRef, Entry, FileId, Key, KeyEntry, Value};
+pub use wal::{crc32, WalWriter};

@@ -69,7 +69,9 @@ pub fn read_manifest(path: &Path) -> Result<Option<ManifestState>> {
     match lines.next() {
         Some("adcache-manifest v1") => {}
         other => {
-            return Err(LsmError::Corruption(format!("manifest bad header: {other:?}")));
+            return Err(LsmError::Corruption(format!(
+                "manifest bad header: {other:?}"
+            )));
         }
     }
     let mut state = ManifestState::default();
@@ -94,7 +96,9 @@ pub fn read_manifest(path: &Path) -> Result<Option<ManifestState>> {
                 state.tables.push((level, id));
             }
             Some(other) => {
-                return Err(LsmError::Corruption(format!("manifest unknown directive {other}")));
+                return Err(LsmError::Corruption(format!(
+                    "manifest unknown directive {other}"
+                )));
             }
             None => {}
         }
@@ -133,7 +137,14 @@ mod tests {
     #[test]
     fn corruption_is_detected() {
         let path = tmp("corrupt");
-        write_manifest(&path, &ManifestState { next_file: 9, tables: vec![(1, 2)] }).unwrap();
+        write_manifest(
+            &path,
+            &ManifestState {
+                next_file: 9,
+                tables: vec![(1, 2)],
+            },
+        )
+        .unwrap();
         let mut content = std::fs::read_to_string(&path).unwrap();
         content = content.replace("table 1 2", "table 1 3");
         std::fs::write(&path, content).unwrap();
@@ -143,8 +154,22 @@ mod tests {
     #[test]
     fn rewrite_replaces_atomically() {
         let path = tmp("rewrite");
-        write_manifest(&path, &ManifestState { next_file: 1, tables: vec![] }).unwrap();
-        write_manifest(&path, &ManifestState { next_file: 2, tables: vec![(0, 1)] }).unwrap();
+        write_manifest(
+            &path,
+            &ManifestState {
+                next_file: 1,
+                tables: vec![],
+            },
+        )
+        .unwrap();
+        write_manifest(
+            &path,
+            &ManifestState {
+                next_file: 2,
+                tables: vec![(0, 1)],
+            },
+        )
+        .unwrap();
         let back = read_manifest(&path).unwrap().unwrap();
         assert_eq!(back.next_file, 2);
         assert_eq!(back.tables, vec![(0, 1)]);
@@ -155,7 +180,14 @@ mod tests {
     #[test]
     fn truncated_manifest_is_rejected() {
         let path = tmp("truncated");
-        write_manifest(&path, &ManifestState { next_file: 5, tables: vec![(0, 4)] }).unwrap();
+        write_manifest(
+            &path,
+            &ManifestState {
+                next_file: 5,
+                tables: vec![(0, 4)],
+            },
+        )
+        .unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, &content[..content.len() / 2]).unwrap();
         assert!(read_manifest(&path).is_err());

@@ -17,7 +17,10 @@ pub struct MemTable {
 impl MemTable {
     /// Creates an empty memtable.
     pub fn new() -> Self {
-        MemTable { map: SkipList::new(), bytes: 0 }
+        MemTable {
+            map: SkipList::new(),
+            bytes: 0,
+        }
     }
 
     /// Inserts or overwrites `key`.
@@ -53,12 +56,18 @@ impl MemTable {
 
     /// Iterates entries with keys `>= from` in ascending order.
     pub fn iter_from<'a>(&'a self, from: &[u8]) -> impl Iterator<Item = KeyEntry> + 'a {
-        self.map.iter_from(from).map(|(k, e)| KeyEntry { key: k.clone(), entry: e.clone() })
+        self.map.iter_from(from).map(|(k, e)| KeyEntry {
+            key: k.clone(),
+            entry: e.clone(),
+        })
     }
 
     /// Iterates every entry in ascending order (used by flush).
     pub fn iter(&self) -> impl Iterator<Item = KeyEntry> + '_ {
-        self.map.iter().map(|(k, e)| KeyEntry { key: k.clone(), entry: e.clone() })
+        self.map.iter().map(|(k, e)| KeyEntry {
+            key: k.clone(),
+            entry: e.clone(),
+        })
     }
 
     /// Approximate memory footprint in bytes.

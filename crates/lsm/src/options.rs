@@ -155,16 +155,41 @@ mod tests {
     #[test]
     fn validation_rejects_bad_configs() {
         let base = Options::default;
-        assert!(Options { block_size: 8, ..base() }.validate().is_err());
-        assert!(Options { block_restart_interval: 0, ..base() }.validate().is_err());
-        assert!(Options { sstable_size: 63, ..base() }.validate().is_err());
+        assert!(Options {
+            block_size: 8,
+            ..base()
+        }
+        .validate()
+        .is_err());
+        assert!(Options {
+            block_restart_interval: 0,
+            ..base()
+        }
+        .validate()
+        .is_err());
+        assert!(Options {
+            sstable_size: 63,
+            ..base()
+        }
+        .validate()
+        .is_err());
         assert!(Options {
             l0_stop_files: base().l0_slowdown_files - 1,
             ..base()
         }
         .validate()
         .is_err());
-        assert!(Options { size_ratio: 1, ..base() }.validate().is_err());
-        assert!(Options { max_levels: 1, ..base() }.validate().is_err());
+        assert!(Options {
+            size_ratio: 1,
+            ..base()
+        }
+        .validate()
+        .is_err());
+        assert!(Options {
+            max_levels: 1,
+            ..base()
+        }
+        .validate()
+        .is_err());
     }
 }

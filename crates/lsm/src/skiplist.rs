@@ -131,7 +131,11 @@ impl<V> SkipList<V> {
         }
 
         let height = self.random_height();
-        let node = Node { key, value, next: vec![NIL; height] };
+        let node = Node {
+            key,
+            value,
+            next: vec![NIL; height],
+        };
         let idx = if let Some(slot) = self.free.pop() {
             self.arena[slot as usize] = node;
             slot
@@ -195,13 +199,19 @@ impl<V> SkipList<V> {
 
     /// Iterates over all entries in ascending key order.
     pub fn iter(&self) -> SkipIter<'_, V> {
-        SkipIter { list: self, cur: self.head[0] }
+        SkipIter {
+            list: self,
+            cur: self.head[0],
+        }
     }
 
     /// Iterates over entries with keys `>= from`, ascending.
     pub fn iter_from(&self, from: &[u8]) -> SkipIter<'_, V> {
         let preds = self.find_predecessors(from);
-        SkipIter { list: self, cur: self.next_of(preds[0], 0) }
+        SkipIter {
+            list: self,
+            cur: self.next_of(preds[0], 0),
+        }
     }
 
     /// First key `>= from`, with its value.

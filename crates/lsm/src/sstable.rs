@@ -121,7 +121,16 @@ impl TableMeta {
         }
         let (bloom, _used) = BloomFilter::decode(&data[pos..])
             .ok_or_else(|| LsmError::Corruption("table meta bloom truncated".into()))?;
-        Ok(TableMeta { id, num_blocks, num_entries, total_bytes, smallest, largest, index, bloom })
+        Ok(TableMeta {
+            id,
+            num_blocks,
+            num_entries,
+            total_bytes,
+            smallest,
+            largest,
+            index,
+            bloom,
+        })
     }
 }
 
@@ -215,7 +224,11 @@ impl TableBuilder {
         // Frame (and optionally compress) the encoded block for storage.
         let stored = wrap_block(&builder.finish(), self.opts.compression);
         self.blocks.push(Bytes::from(stored));
-        self.index.push(self.pending_first_key.take().expect("non-empty block has a first key"));
+        self.index.push(
+            self.pending_first_key
+                .take()
+                .expect("non-empty block has a first key"),
+        );
     }
 
     /// Estimated total encoded size so far (used by compaction to cut
@@ -239,7 +252,9 @@ impl TableBuilder {
     pub fn finish(mut self, storage: &dyn Storage) -> Result<Arc<TableMeta>> {
         self.cut_block();
         if self.blocks.is_empty() {
-            return Err(LsmError::InvalidArgument("cannot finish an empty table".into()));
+            return Err(LsmError::InvalidArgument(
+                "cannot finish an empty table".into(),
+            ));
         }
         let total_bytes: u64 = self.blocks.iter().map(|b| b.len() as u64).sum();
         let bloom = BloomFilter::build(&self.keys, self.opts.bloom_bits_per_key);
@@ -299,7 +314,11 @@ impl TableIter {
         from: &[u8],
     ) -> Result<Self> {
         let start_block = meta.block_for_key(from).unwrap_or(0);
-        let mut iter = TableIter { meta, next_block: start_block, buf: VecDeque::new() };
+        let mut iter = TableIter {
+            meta,
+            next_block: start_block,
+            buf: VecDeque::new(),
+        };
         iter.fill(provider, storage, Some(from))?;
         Ok(iter)
     }
@@ -387,11 +406,20 @@ mod tests {
         let p = DirectProvider;
         for i in (0..1000).step_by(37) {
             let k = format!("key{i:06}");
-            let got = table_get(&meta, &p, &storage, k.as_bytes()).unwrap().unwrap();
-            assert_eq!(got.value().unwrap().as_ref(), format!("value-{i}").as_bytes());
+            let got = table_get(&meta, &p, &storage, k.as_bytes())
+                .unwrap()
+                .unwrap();
+            assert_eq!(
+                got.value().unwrap().as_ref(),
+                format!("value-{i}").as_bytes()
+            );
         }
-        assert!(table_get(&meta, &p, &storage, b"missing").unwrap().is_none());
-        assert!(table_get(&meta, &p, &storage, b"key9999999").unwrap().is_none());
+        assert!(table_get(&meta, &p, &storage, b"missing")
+            .unwrap()
+            .is_none());
+        assert!(table_get(&meta, &p, &storage, b"key9999999")
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -414,7 +442,10 @@ mod tests {
                 skipped += 1;
             }
         }
-        assert!(skipped >= 95, "bloom should skip nearly all absent keys, skipped={skipped}");
+        assert!(
+            skipped >= 95,
+            "bloom should skip nearly all absent keys, skipped={skipped}"
+        );
     }
 
     #[test]
@@ -424,7 +455,9 @@ mod tests {
         let meta = build_table(1000, &opts, &storage);
         let p = DirectProvider;
         let before = storage.stats().reads();
-        table_get(&meta, &p, &storage, b"key000500").unwrap().unwrap();
+        table_get(&meta, &p, &storage, b"key000500")
+            .unwrap()
+            .unwrap();
         assert_eq!(storage.stats().reads(), before + 1);
     }
 
@@ -457,7 +490,10 @@ mod tests {
         let meta = build_table(10, &opts, &storage);
         let p = DirectProvider;
         let mut it = TableIter::seek(meta.clone(), &p, &storage, b"a").unwrap();
-        assert_eq!(it.advance(&p, &storage).unwrap().unwrap().key.as_ref(), b"key000000");
+        assert_eq!(
+            it.advance(&p, &storage).unwrap().unwrap().key.as_ref(),
+            b"key000000"
+        );
         let mut it = TableIter::seek(meta, &p, &storage, b"zzz").unwrap();
         assert!(it.advance(&p, &storage).unwrap().is_none());
     }
@@ -510,7 +546,8 @@ mod tests {
         let opts = Options::small();
         let storage = MemStorage::new();
         let mut b = TableBuilder::new(9, &opts);
-        b.add(b"alive", &Entry::Put(Bytes::from_static(b"v"))).unwrap();
+        b.add(b"alive", &Entry::Put(Bytes::from_static(b"v")))
+            .unwrap();
         b.add(b"dead", &Entry::Tombstone).unwrap();
         let meta = b.finish(&storage).unwrap();
         let p = DirectProvider;

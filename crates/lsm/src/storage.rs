@@ -33,7 +33,10 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { read_block_ns: 80_000, write_block_ns: 40_000 }
+        CostModel {
+            read_block_ns: 80_000,
+            write_block_ns: 40_000,
+        }
     }
 }
 
@@ -132,7 +135,11 @@ impl MemStorage {
 
     /// Creates an empty device with a custom cost model.
     pub fn with_cost(cost: CostModel) -> Self {
-        MemStorage { tables: RwLock::new(HashMap::new()), stats: IoStats::default(), cost }
+        MemStorage {
+            tables: RwLock::new(HashMap::new()),
+            stats: IoStats::default(),
+            cost,
+        }
     }
 }
 
@@ -147,10 +154,14 @@ impl Storage for MemStorage {
         let n = blocks.len() as u64;
         let mut tables = self.tables.write();
         if tables.insert(id, (blocks, meta)).is_some() {
-            return Err(LsmError::InvalidArgument(format!("table {id} already exists")));
+            return Err(LsmError::InvalidArgument(format!(
+                "table {id} already exists"
+            )));
         }
         self.stats.block_writes.fetch_add(n, Ordering::Relaxed);
-        self.stats.simulated_ns.fetch_add(n * self.cost.write_block_ns, Ordering::Relaxed);
+        self.stats
+            .simulated_ns
+            .fetch_add(n * self.cost.write_block_ns, Ordering::Relaxed);
         Ok(())
     }
 
@@ -165,7 +176,9 @@ impl Storage for MemStorage {
             .ok_or_else(|| LsmError::NotFound(format!("table {id} block {block_no}")))?
             .clone();
         self.stats.block_reads.fetch_add(1, Ordering::Relaxed);
-        self.stats.simulated_ns.fetch_add(self.cost.read_block_ns, Ordering::Relaxed);
+        self.stats
+            .simulated_ns
+            .fetch_add(self.cost.read_block_ns, Ordering::Relaxed);
         Ok(block)
     }
 
@@ -236,7 +249,9 @@ impl FileStorage {
         let mut buf = vec![0u8; (n + 1) * 8];
         f.read_exact(&mut buf)?;
         for i in 0..=n {
-            offs.push(u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap()));
+            offs.push(u64::from_le_bytes(
+                buf[i * 8..i * 8 + 8].try_into().unwrap(),
+            ));
         }
         self.offsets.write().insert(id, offs.clone());
         Ok(offs)
@@ -247,7 +262,9 @@ impl Storage for FileStorage {
     fn write_table(&self, id: FileId, blocks: Vec<Bytes>, meta: Bytes) -> Result<()> {
         let path = self.path(id);
         if path.exists() {
-            return Err(LsmError::InvalidArgument(format!("table {id} already exists")));
+            return Err(LsmError::InvalidArgument(format!(
+                "table {id} already exists"
+            )));
         }
         let n = blocks.len();
         let header_len = 8 + (n + 1) * 8;
@@ -271,7 +288,9 @@ impl Storage for FileStorage {
         f.write_all(&meta)?;
         f.sync_all()?;
         self.offsets.write().insert(id, offsets);
-        self.stats.block_writes.fetch_add(n as u64, Ordering::Relaxed);
+        self.stats
+            .block_writes
+            .fetch_add(n as u64, Ordering::Relaxed);
         self.stats
             .simulated_ns
             .fetch_add(n as u64 * self.cost.write_block_ns, Ordering::Relaxed);
@@ -291,7 +310,9 @@ impl Storage for FileStorage {
         let mut buf = vec![0u8; len];
         f.read_exact(&mut buf)?;
         self.stats.block_reads.fetch_add(1, Ordering::Relaxed);
-        self.stats.simulated_ns.fetch_add(self.cost.read_block_ns, Ordering::Relaxed);
+        self.stats
+            .simulated_ns
+            .fetch_add(self.cost.read_block_ns, Ordering::Relaxed);
         Ok(Bytes::from(buf))
     }
 
@@ -320,7 +341,11 @@ impl Storage for FileStorage {
 
     fn table_count(&self) -> usize {
         std::fs::read_dir(&self.dir)
-            .map(|d| d.filter_map(|e| e.ok()).filter(|e| e.path().extension().is_some_and(|x| x == "sst")).count())
+            .map(|d| {
+                d.filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "sst"))
+                    .count()
+            })
             .unwrap_or(0)
     }
 }
@@ -330,17 +355,32 @@ mod tests {
     use super::*;
 
     fn blocks(n: usize) -> Vec<Bytes> {
-        (0..n).map(|i| Bytes::from(format!("block-{i}-payload"))).collect()
+        (0..n)
+            .map(|i| Bytes::from(format!("block-{i}-payload")))
+            .collect()
     }
 
     fn exercise(storage: &dyn Storage) {
-        storage.write_table(1, blocks(3), Bytes::from_static(b"meta1")).unwrap();
-        storage.write_table(2, blocks(2), Bytes::from_static(b"meta2")).unwrap();
+        storage
+            .write_table(1, blocks(3), Bytes::from_static(b"meta1"))
+            .unwrap();
+        storage
+            .write_table(2, blocks(2), Bytes::from_static(b"meta2"))
+            .unwrap();
         assert_eq!(storage.table_count(), 2);
 
-        assert_eq!(storage.read_block(1, 0).unwrap().as_ref(), b"block-0-payload");
-        assert_eq!(storage.read_block(1, 2).unwrap().as_ref(), b"block-2-payload");
-        assert_eq!(storage.read_block(2, 1).unwrap().as_ref(), b"block-1-payload");
+        assert_eq!(
+            storage.read_block(1, 0).unwrap().as_ref(),
+            b"block-0-payload"
+        );
+        assert_eq!(
+            storage.read_block(1, 2).unwrap().as_ref(),
+            b"block-2-payload"
+        );
+        assert_eq!(
+            storage.read_block(2, 1).unwrap().as_ref(),
+            b"block-1-payload"
+        );
         assert_eq!(storage.stats().reads(), 3);
         assert_eq!(storage.stats().writes(), 5);
         assert!(storage.stats().simulated_ns() > 0);
@@ -378,7 +418,8 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("adcache-fs-test2-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let s = FileStorage::open(&dir).unwrap();
-        s.write_table(7, blocks(4), Bytes::from_static(b"m")).unwrap();
+        s.write_table(7, blocks(4), Bytes::from_static(b"m"))
+            .unwrap();
         // Drop the cached offsets to force a reload path.
         s.offsets.write().clear();
         assert_eq!(s.read_block(7, 3).unwrap().as_ref(), b"block-3-payload");
@@ -400,7 +441,10 @@ mod tests {
 
     #[test]
     fn cost_model_accumulates_simulated_time() {
-        let s = MemStorage::with_cost(CostModel { read_block_ns: 100, write_block_ns: 10 });
+        let s = MemStorage::with_cost(CostModel {
+            read_block_ns: 100,
+            write_block_ns: 10,
+        });
         s.write_table(1, blocks(2), Bytes::new()).unwrap();
         assert_eq!(s.stats().simulated_ns(), 20);
         s.read_block(1, 0).unwrap();

@@ -68,12 +68,18 @@ pub struct KeyEntry {
 impl KeyEntry {
     /// Creates a live key-value pair.
     pub fn put(key: impl Into<Key>, value: impl Into<Value>) -> Self {
-        KeyEntry { key: key.into(), entry: Entry::Put(value.into()) }
+        KeyEntry {
+            key: key.into(),
+            entry: Entry::Put(value.into()),
+        }
     }
 
     /// Creates a tombstone for `key`.
     pub fn tombstone(key: impl Into<Key>) -> Self {
-        KeyEntry { key: key.into(), entry: Entry::Tombstone }
+        KeyEntry {
+            key: key.into(),
+            entry: Entry::Tombstone,
+        }
     }
 }
 

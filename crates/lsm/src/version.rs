@@ -36,7 +36,10 @@ pub enum CompactionTask {
 impl Version {
     /// Creates an empty manifest with `max_levels` levels.
     pub fn new(max_levels: usize) -> Self {
-        Version { levels: vec![Vec::new(); max_levels], cursors: vec![0; max_levels] }
+        Version {
+            levels: vec![Vec::new(); max_levels],
+            cursors: vec![0; max_levels],
+        }
     }
 
     /// Number of levels (fixed at construction).
@@ -58,7 +61,9 @@ impl Version {
     /// (Level 0 is recorded newest-first; deeper levels key-sorted).
     pub fn restore_table(&mut self, level: usize, meta: Arc<TableMeta>) -> Result<()> {
         if level >= self.levels.len() {
-            return Err(LsmError::Corruption(format!("manifest level {level} out of range")));
+            return Err(LsmError::Corruption(format!(
+                "manifest level {level} out of range"
+            )));
         }
         self.levels[level].push(meta);
         Ok(())
@@ -74,14 +79,15 @@ impl Version {
         added: Vec<Arc<TableMeta>>,
     ) -> Result<()> {
         if to_level >= self.levels.len() {
-            return Err(LsmError::InvalidArgument("compaction below bottom level".into()));
+            return Err(LsmError::InvalidArgument(
+                "compaction below bottom level".into(),
+            ));
         }
         for lvl in [from_level, to_level] {
             self.levels[lvl].retain(|t| !deleted.contains(&t.id));
         }
         for meta in added {
-            let pos = self.levels[to_level]
-                .partition_point(|t| t.smallest < meta.smallest);
+            let pos = self.levels[to_level].partition_point(|t| t.smallest < meta.smallest);
             self.levels[to_level].insert(pos, meta);
         }
         // Sanity: deeper levels must stay non-overlapping.
@@ -117,8 +123,7 @@ impl Version {
     /// Number of sorted runs: each L0 file is a run; each non-empty deeper
     /// level is one run. This is `r` in the paper's reward model.
     pub fn num_runs(&self) -> usize {
-        self.levels[0].len()
-            + self.levels.iter().skip(1).filter(|l| !l.is_empty()).count()
+        self.levels[0].len() + self.levels.iter().skip(1).filter(|l| !l.is_empty()).count()
     }
 
     /// Number of non-empty levels, i.e. `L` in the paper's reward model
@@ -139,7 +144,12 @@ impl Version {
 
     /// Tables in `level` overlapping `[start, end]`; `end = None` means
     /// unbounded above. For L0, returns every overlapping run newest-first.
-    pub fn overlapping(&self, level: usize, start: &[u8], end: Option<&[u8]>) -> Vec<Arc<TableMeta>> {
+    pub fn overlapping(
+        &self,
+        level: usize,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> Vec<Arc<TableMeta>> {
         self.levels[level]
             .iter()
             .filter(|t| t.overlaps(start, end))
@@ -235,8 +245,13 @@ mod tests {
         let mut v = Version::new(7);
         v.add_l0(meta(1, "a", "m", 10));
         v.add_l0(meta(2, "n", "z", 10));
-        v.apply_compaction(0, 1, &[1, 2], vec![meta(4, "n", "z", 10), meta(3, "a", "m", 10)])
-            .unwrap();
+        v.apply_compaction(
+            0,
+            1,
+            &[1, 2],
+            vec![meta(4, "n", "z", 10), meta(3, "a", "m", 10)],
+        )
+        .unwrap();
         assert_eq!(v.level_files(0), 0);
         assert_eq!(v.level_files(1), 2);
         assert_eq!(v.level(1)[0].id, 3);
@@ -250,7 +265,8 @@ mod tests {
     #[test]
     fn invariant_detects_overlap() {
         let mut v = Version::new(7);
-        v.apply_compaction(0, 1, &[], vec![meta(1, "a", "m", 10)]).unwrap();
+        v.apply_compaction(0, 1, &[], vec![meta(1, "a", "m", 10)])
+            .unwrap();
         // Force an overlapping insert bypassing the checked path.
         v.levels[1].push(meta(2, "k", "z", 10));
         assert!(v.check_level_invariants().is_err());
@@ -263,7 +279,11 @@ mod tests {
             0,
             1,
             &[],
-            vec![meta(1, "a", "f", 10), meta(2, "h", "m", 10), meta(3, "p", "z", 10)],
+            vec![
+                meta(1, "a", "f", 10),
+                meta(2, "h", "m", 10),
+                meta(3, "p", "z", 10),
+            ],
         )
         .unwrap();
         assert_eq!(v.table_for_key(1, b"b").unwrap().id, 1);
@@ -281,7 +301,11 @@ mod tests {
             0,
             1,
             &[],
-            vec![meta(1, "a", "f", 10), meta(2, "h", "m", 10), meta(3, "p", "z", 10)],
+            vec![
+                meta(1, "a", "f", 10),
+                meta(2, "h", "m", 10),
+                meta(3, "p", "z", 10),
+            ],
         )
         .unwrap();
         let chain: Vec<_> = v.tables_from(1, b"i").iter().map(|t| t.id).collect();
@@ -293,24 +317,34 @@ mod tests {
 
     #[test]
     fn pick_compaction_prefers_l0_then_overfull_level() {
-        let opts = Options { l0_compaction_trigger: 2, l1_max_bytes: 100, ..Options::small() };
+        let opts = Options {
+            l0_compaction_trigger: 2,
+            l1_max_bytes: 100,
+            ..Options::small()
+        };
         let mut v = Version::new(4);
         assert_eq!(v.pick_compaction(&opts), None);
         v.add_l0(meta(1, "a", "b", 10));
         v.add_l0(meta(2, "a", "b", 10));
         assert_eq!(v.pick_compaction(&opts), Some(CompactionTask::L0ToL1));
         // Clear L0; overfill L1.
-        v.apply_compaction(0, 1, &[1, 2], vec![meta(3, "a", "m", 150)]).unwrap();
-        assert_eq!(v.pick_compaction(&opts), Some(CompactionTask::LevelDown { level: 1 }));
+        v.apply_compaction(0, 1, &[1, 2], vec![meta(3, "a", "m", 150)])
+            .unwrap();
+        assert_eq!(
+            v.pick_compaction(&opts),
+            Some(CompactionTask::LevelDown { level: 1 })
+        );
         // Move to L2 (within budget 100*ratio) => nothing to do.
-        v.apply_compaction(1, 2, &[3], vec![meta(4, "a", "m", 150)]).unwrap();
+        v.apply_compaction(1, 2, &[3], vec![meta(4, "a", "m", 150)])
+            .unwrap();
         assert_eq!(v.pick_compaction(&opts), None);
     }
 
     #[test]
     fn round_robin_table_picking() {
         let mut v = Version::new(4);
-        v.apply_compaction(0, 1, &[], vec![meta(1, "a", "b", 1), meta(2, "c", "d", 1)]).unwrap();
+        v.apply_compaction(0, 1, &[], vec![meta(1, "a", "b", 1), meta(2, "c", "d", 1)])
+            .unwrap();
         assert_eq!(v.pick_table(1).unwrap().id, 1);
         assert_eq!(v.pick_table(1).unwrap().id, 2);
         assert_eq!(v.pick_table(1).unwrap().id, 1);
@@ -323,7 +357,11 @@ mod tests {
         v.add_l0(meta(1, "a", "f", 1));
         v.add_l0(meta(2, "e", "k", 1));
         v.add_l0(meta(3, "x", "z", 1));
-        let ids: Vec<_> = v.overlapping(0, b"d", Some(b"g")).iter().map(|t| t.id).collect();
+        let ids: Vec<_> = v
+            .overlapping(0, b"d", Some(b"g"))
+            .iter()
+            .map(|t| t.id)
+            .collect();
         assert_eq!(ids, vec![2, 1]); // newest first
         let ids: Vec<_> = v.overlapping(0, b"y", None).iter().map(|t| t.id).collect();
         assert_eq!(ids, vec![3]);
@@ -333,7 +371,8 @@ mod tests {
     fn live_files_lists_everything() {
         let mut v = Version::new(4);
         v.add_l0(meta(1, "a", "b", 1));
-        v.apply_compaction(0, 1, &[], vec![meta(2, "c", "d", 1)]).unwrap();
+        v.apply_compaction(0, 1, &[], vec![meta(2, "c", "d", 1)])
+            .unwrap();
         let mut files = v.live_files();
         files.sort_unstable();
         assert_eq!(files, vec![1, 2]);

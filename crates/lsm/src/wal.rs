@@ -30,7 +30,11 @@ pub fn crc32(data: &[u8]) -> u32 {
         for (i, slot) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *slot = c;
         }
@@ -50,6 +54,10 @@ pub struct WalWriter {
     /// fsync after every record (safest, slowest). Off by default: the
     /// simulation workloads don't model fsync latency.
     sync_each_write: bool,
+    /// Records appended to the current segment (since the last reset).
+    segment_appends: u64,
+    /// Bytes appended to the current segment (since the last reset).
+    segment_bytes: u64,
 }
 
 impl WalWriter {
@@ -57,7 +65,23 @@ impl WalWriter {
     pub fn open(path: impl Into<PathBuf>, sync_each_write: bool) -> Result<Self> {
         let path = path.into();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(WalWriter { path, file: BufWriter::new(file), sync_each_write })
+        Ok(WalWriter {
+            path,
+            file: BufWriter::new(file),
+            sync_each_write,
+            segment_appends: 0,
+            segment_bytes: 0,
+        })
+    }
+
+    /// Records appended since the last [`WalWriter::reset`].
+    pub fn segment_appends(&self) -> u64 {
+        self.segment_appends
+    }
+
+    /// Bytes appended since the last [`WalWriter::reset`].
+    pub fn segment_bytes(&self) -> u64 {
+        self.segment_bytes
     }
 
     /// Appends one write record.
@@ -80,6 +104,8 @@ impl WalWriter {
         self.file.write_all(&(payload.len() as u32).to_le_bytes())?;
         self.file.write_all(&crc32(&payload).to_le_bytes())?;
         self.file.write_all(&payload)?;
+        self.segment_appends += 1;
+        self.segment_bytes += 8 + payload.len() as u64;
         if self.sync_each_write {
             self.file.flush()?;
             self.file.get_ref().sync_data()?;
@@ -100,6 +126,8 @@ impl WalWriter {
         let f = self.file.get_mut();
         f.set_len(0)?;
         f.seek(SeekFrom::Start(0))?;
+        self.segment_appends = 0;
+        self.segment_bytes = 0;
         Ok(())
     }
 
@@ -157,10 +185,18 @@ fn decode_payload(p: &[u8]) -> Result<Option<KeyEntry>> {
         KIND_PUT => {
             let vlen = u32::from_le_bytes(take(5 + klen, 4)?.try_into().unwrap()) as usize;
             let value = Bytes::copy_from_slice(take(9 + klen, vlen)?);
-            Ok(Some(KeyEntry { key, entry: Entry::Put(value) }))
+            Ok(Some(KeyEntry {
+                key,
+                entry: Entry::Put(value),
+            }))
         }
-        KIND_DELETE => Ok(Some(KeyEntry { key, entry: Entry::Tombstone })),
-        other => Err(LsmError::Corruption(format!("unknown wal record kind {other}"))),
+        KIND_DELETE => Ok(Some(KeyEntry {
+            key,
+            entry: Entry::Tombstone,
+        })),
+        other => Err(LsmError::Corruption(format!(
+            "unknown wal record kind {other}"
+        ))),
     }
 }
 
@@ -176,7 +212,10 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0x0000_0000);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -185,9 +224,11 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let mut w = WalWriter::open(&path, false).unwrap();
-            w.append(b"k1", &Entry::Put(Bytes::from_static(b"v1"))).unwrap();
+            w.append(b"k1", &Entry::Put(Bytes::from_static(b"v1")))
+                .unwrap();
             w.append(b"k2", &Entry::Tombstone).unwrap();
-            w.append(b"k1", &Entry::Put(Bytes::from_static(b"v2"))).unwrap();
+            w.append(b"k1", &Entry::Put(Bytes::from_static(b"v2")))
+                .unwrap();
             w.flush().unwrap();
         }
         let records = replay(&path).unwrap();
@@ -211,11 +252,13 @@ mod tests {
         let path = tmp("reset");
         let _ = std::fs::remove_file(&path);
         let mut w = WalWriter::open(&path, false).unwrap();
-        w.append(b"k", &Entry::Put(Bytes::from_static(b"v"))).unwrap();
+        w.append(b"k", &Entry::Put(Bytes::from_static(b"v")))
+            .unwrap();
         w.reset().unwrap();
         assert!(replay(&path).unwrap().is_empty());
         // Usable after reset.
-        w.append(b"k2", &Entry::Put(Bytes::from_static(b"v2"))).unwrap();
+        w.append(b"k2", &Entry::Put(Bytes::from_static(b"v2")))
+            .unwrap();
         w.flush().unwrap();
         let records = replay(&path).unwrap();
         assert_eq!(records.len(), 1);
@@ -229,7 +272,8 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let mut w = WalWriter::open(&path, false).unwrap();
-            w.append(b"good", &Entry::Put(Bytes::from_static(b"v"))).unwrap();
+            w.append(b"good", &Entry::Put(Bytes::from_static(b"v")))
+                .unwrap();
             w.flush().unwrap();
         }
         // Simulate a crash mid-append: write a partial record.
@@ -251,8 +295,10 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let mut w = WalWriter::open(&path, false).unwrap();
-            w.append(b"a", &Entry::Put(Bytes::from_static(b"1"))).unwrap();
-            w.append(b"b", &Entry::Put(Bytes::from_static(b"2"))).unwrap();
+            w.append(b"a", &Entry::Put(Bytes::from_static(b"1")))
+                .unwrap();
+            w.append(b"b", &Entry::Put(Bytes::from_static(b"2")))
+                .unwrap();
             w.flush().unwrap();
         }
         // Flip a byte inside the second record's payload.

@@ -2,7 +2,7 @@
 //! model under arbitrary operation sequences, for both point lookups and
 //! range scans, across flushes and compactions.
 
-use adcache_lsm::{DirectProvider, LsmTree, Options, MemStorage};
+use adcache_lsm::{DirectProvider, LsmTree, MemStorage, Options};
 use bytes::Bytes;
 use proptest::prelude::*;
 use std::collections::BTreeMap;

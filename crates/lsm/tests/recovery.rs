@@ -84,7 +84,11 @@ fn restart_continues_writing_without_id_collisions() {
     let p = DirectProvider;
     for i in (0..2500).step_by(83) {
         let got = db.get(&key(i), &p).unwrap().unwrap();
-        let want = if i >= 1000 { format!("b{i}") } else { format!("a{i}") };
+        let want = if i >= 1000 {
+            format!("b{i}")
+        } else {
+            format!("a{i}")
+        };
         assert_eq!(got.as_ref(), want.as_bytes(), "key {i}");
     }
     cleanup("ids");
@@ -123,8 +127,7 @@ fn mem_storage_with_durability_dir_still_replays_wal() {
     let (_, meta_dir) = test_dirs("mem");
     let storage = Arc::new(adcache_lsm::MemStorage::new());
     {
-        let db =
-            LsmTree::with_durability(Options::small(), storage.clone(), &meta_dir).unwrap();
+        let db = LsmTree::with_durability(Options::small(), storage.clone(), &meta_dir).unwrap();
         db.put(key(1), Bytes::from_static(b"v1")).unwrap();
     }
     // Same storage Arc survives "restart" (the process keeps the device).
@@ -154,7 +157,11 @@ fn recovery_preserves_level_structure() {
     assert_eq!(db.num_runs(), runs_before);
     assert_eq!(db.num_levels(), levels_before);
     // No orphan tables: storage holds exactly the live files.
-    let live = db.level_summary().iter().map(|(_, files, _)| files).sum::<usize>();
+    let live = db
+        .level_summary()
+        .iter()
+        .map(|(_, files, _)| files)
+        .sum::<usize>();
     assert_eq!(storage.table_count(), live);
     cleanup("levels");
 }

@@ -1,0 +1,216 @@
+//! The structured event taxonomy.
+//!
+//! Every observable action in the stack maps to one [`Event`] variant.
+//! Serialized field and variant names are a **stable schema**: trace
+//! consumers (the CLI `trace` subcommand, plotting scripts, the golden
+//! schema test in `tests/schema.rs`) parse them by name, so renames are
+//! breaking changes.
+
+use serde::{Deserialize, Serialize};
+
+/// Which cache structure an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheStructure {
+    /// The sharded block cache in front of SSTable blocks.
+    Block,
+    /// The range cache holding contiguous key runs.
+    Range,
+    /// The flat KV cache used by the KvCache baseline strategy.
+    Kv,
+}
+
+/// The verdict of an admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionOutcome {
+    /// The candidate was admitted in full.
+    Accept,
+    /// The candidate was not admitted at all.
+    Reject,
+    /// A prefix of a scan result was admitted (partial admission).
+    Partial,
+}
+
+/// Why an admission decision went the way it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionReason {
+    /// Point admission: estimated frequency reached the threshold.
+    FrequencyAtThreshold,
+    /// Point admission: estimated frequency was below the threshold.
+    FrequencyBelowThreshold,
+    /// Scan admission: result length within the full-admission cut-off `a`.
+    ScanWithinFullLimit,
+    /// Scan admission: the sloped rule `a + b·(len − a)` truncated the
+    /// result.
+    ScanPartialSlope,
+    /// Scan admission: the rule admitted nothing.
+    ScanZeroLength,
+    /// Admission control disabled or not applicable for this strategy; the
+    /// insert is unconditional.
+    Unconditional,
+}
+
+/// What triggered an eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvictionCause {
+    /// Capacity pressure: the policy chose a victim to make room.
+    Capacity,
+    /// Compaction invalidated cached data for obsolete files.
+    Invalidation,
+    /// A boundary resize shrank the structure's budget.
+    Resize,
+}
+
+/// One structured observation. See the module docs for schema stability
+/// rules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A run began (always the first event of a trace).
+    RunStart {
+        /// Strategy name as reported by `Strategy::name()`.
+        strategy: String,
+        /// Total cache budget in bytes shared by all structures.
+        total_cache_bytes: u64,
+    },
+    /// The controller emitted the decision governing the next window.
+    ControllerDecision {
+        /// Fraction of the budget assigned to the range cache.
+        range_ratio: f64,
+        /// Normalized-importance threshold for point admission.
+        point_threshold: f64,
+        /// Full-admission scan-length cut-off `a`.
+        scan_a: u64,
+        /// Partial-admission slope `b`.
+        scan_b: f64,
+        /// Whether exploration noise was applied to the action.
+        exploratory: bool,
+    },
+    /// The RL agent took one training step.
+    TrainStep {
+        /// Smoothed reward fed to the critic.
+        reward: f64,
+        /// TD error of the step (the critic's loss signal).
+        td_error: f64,
+        /// Actor learning rate in force for the step.
+        actor_lr: f64,
+        /// Raw action vector produced for the window.
+        action: Vec<f32>,
+    },
+    /// The block/range boundary moved (or a move was suppressed).
+    BoundaryResize {
+        /// New block-cache budget in bytes.
+        block_bytes: u64,
+        /// New range-cache budget in bytes.
+        range_bytes: u64,
+        /// The range ratio that produced these budgets.
+        range_ratio: f64,
+        /// False when hysteresis suppressed the resize.
+        applied: bool,
+    },
+    /// One admission decision on a cache-fill path.
+    Admission {
+        /// The cache structure deciding.
+        cache: CacheStructure,
+        /// Accept / Reject / Partial.
+        outcome: AdmissionOutcome,
+        /// The rule that produced the outcome.
+        reason: AdmissionReason,
+        /// Entries offered for admission.
+        requested: u64,
+        /// Entries actually admitted.
+        admitted: u64,
+    },
+    /// Evictions from one cache structure (possibly batched).
+    Eviction {
+        /// The structure evicting.
+        cache: CacheStructure,
+        /// What triggered it.
+        cause: EvictionCause,
+        /// Number of entries evicted.
+        count: u64,
+        /// Bytes released.
+        bytes: u64,
+    },
+    /// Compaction dropped cached blocks of obsolete files.
+    BlockCacheInvalidation {
+        /// Obsolete files whose blocks were dropped.
+        files: u64,
+        /// Blocks dropped across all shards.
+        blocks_dropped: u64,
+    },
+    /// A compaction started.
+    CompactionStart {
+        /// Source level.
+        from_level: u64,
+        /// Destination level.
+        to_level: u64,
+        /// Input SSTables feeding the merge.
+        input_files: u64,
+    },
+    /// A compaction finished.
+    CompactionFinish {
+        /// Source level.
+        from_level: u64,
+        /// Destination level.
+        to_level: u64,
+        /// Blocks read from inputs (I/O amplification numerator).
+        blocks_read: u64,
+        /// Blocks written to outputs.
+        blocks_written: u64,
+        /// Input files made obsolete.
+        obsolete_files: u64,
+        /// Output files created.
+        new_files: u64,
+        /// Whether the compaction was a trivial move (no I/O).
+        trivial_move: bool,
+    },
+    /// A memtable flush wrote an SSTable to level 0.
+    Flush {
+        /// Entries flushed.
+        entries: u64,
+        /// Approximate bytes flushed.
+        bytes: u64,
+    },
+    /// The write-ahead log was reset after a successful flush.
+    WalReset {
+        /// Appends accumulated in the segment being retired.
+        appends: u64,
+        /// Bytes accumulated in the segment being retired.
+        bytes: u64,
+    },
+}
+
+impl Event {
+    /// Stable kind label (the serialized variant name).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "RunStart",
+            Event::ControllerDecision { .. } => "ControllerDecision",
+            Event::TrainStep { .. } => "TrainStep",
+            Event::BoundaryResize { .. } => "BoundaryResize",
+            Event::Admission { .. } => "Admission",
+            Event::Eviction { .. } => "Eviction",
+            Event::BlockCacheInvalidation { .. } => "BlockCacheInvalidation",
+            Event::CompactionStart { .. } => "CompactionStart",
+            Event::CompactionFinish { .. } => "CompactionFinish",
+            Event::Flush { .. } => "Flush",
+            Event::WalReset { .. } => "WalReset",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_matches_serialized_tag() {
+        let e = Event::Flush {
+            entries: 1,
+            bytes: 2,
+        };
+        let v = e.serialize();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.len(), 1);
+        assert_eq!(obj[0].0, e.kind());
+    }
+}

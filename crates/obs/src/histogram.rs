@@ -1,0 +1,275 @@
+//! Log-bucketed latency histograms.
+//!
+//! [`Histogram`] records per-operation simulated latencies with ~4% relative
+//! bucket granularity and O(1) memory, and reports the percentiles systems
+//! papers quote (p50/p95/p99/max). It moved here from `adcache-core` (which
+//! re-exports it) so that the observability layer can share the bucketing
+//! scheme; [`AtomicHistogram`] is the concurrent counterpart used by the
+//! metrics registry's lock-free hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Buckets per power of two (higher = finer percentile resolution).
+const SUB_BUCKETS: usize = 16;
+/// Covers values up to 2^40 ns (~18 minutes), far beyond any op latency.
+const MAX_POW2: usize = 40;
+
+fn bucket_of(value: u64) -> usize {
+    let v = value.max(1);
+    let pow = 63 - v.leading_zeros() as usize; // floor(log2 v)
+    let pow = pow.min(MAX_POW2 - 1);
+    // Position within the power-of-two band, in SUB_BUCKETS slices.
+    let base = 1u64 << pow;
+    let frac = ((v - base) * SUB_BUCKETS as u64 / base.max(1)) as usize;
+    pow * SUB_BUCKETS + frac.min(SUB_BUCKETS - 1)
+}
+
+/// The representative (upper-bound) value of a bucket.
+fn bucket_value(idx: usize) -> u64 {
+    let pow = idx / SUB_BUCKETS;
+    let frac = (idx % SUB_BUCKETS) as u64 + 1;
+    let base = 1u64 << pow;
+    base + base * frac / SUB_BUCKETS as u64
+}
+
+/// A fixed-size logarithmic histogram of nanosecond values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; SUB_BUCKETS * MAX_POW2],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one value (nanoseconds).
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The maximum recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]` (upper bucket bound; exact max for
+    /// q=1).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return bucket_value(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// `(p50, p95, p99, max)` in nanoseconds.
+    pub fn summary(&self) -> (u64, u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+            self.max,
+        )
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A concurrently recordable histogram with the same bucketing as
+/// [`Histogram`].
+///
+/// `record` touches only relaxed atomics — no locks, no allocation — so it
+/// is safe on the hottest read paths. Snapshots are *not* atomic across
+/// buckets; a reader racing writers sees counts within one `record` of each
+/// other, which is fine for reporting.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            buckets: (0..SUB_BUCKETS * MAX_POW2)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (nanoseconds). Lock-free.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state into a plain [`Histogram`] for reporting.
+    pub fn snapshot(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for (dst, src) in h.buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        h.count = self.count.load(Ordering::Relaxed);
+        h.sum = self.sum.load(Ordering::Relaxed);
+        h.max = self.max.load(Ordering::Relaxed);
+        h
+    }
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_on_uniform_data() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 100); // 100ns .. 1ms
+        }
+        assert_eq!(h.count(), 10_000);
+        let p50 = h.quantile(0.5);
+        assert!((450_000..=560_000).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((950_000..=1_070_000).contains(&p99), "p99 {p99}");
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        assert!((h.mean() - 500_050.0).abs() < 1_000.0);
+    }
+
+    #[test]
+    fn bimodal_distribution_separates_modes() {
+        // 90% fast ops at ~2µs, 10% slow at ~80µs (cache hit vs device).
+        let mut h = Histogram::new();
+        for _ in 0..9_000 {
+            h.record(2_000);
+        }
+        for _ in 0..1_000 {
+            h.record(80_000);
+        }
+        assert!(h.quantile(0.5) < 4_000);
+        assert!(h.quantile(0.95) > 60_000);
+    }
+
+    #[test]
+    fn empty_and_extremes() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        h.record(0); // clamps to bucket of 1
+        h.record(u64::MAX >> 20);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) >= u64::MAX >> 20);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..1000u64 {
+            a.record(v + 1);
+            b.record((v + 1) * 1000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 2000);
+        assert!(a.quantile(0.25) <= 1_000);
+        assert!(a.quantile(0.75) >= 100_000);
+    }
+
+    #[test]
+    fn bucket_error_is_bounded() {
+        // Relative error of the bucket upper bound is <= 1/SUB_BUCKETS.
+        for v in [100u64, 1_000, 55_555, 1_000_000, 123_456_789] {
+            let idx = bucket_of(v);
+            let rep = bucket_value(idx);
+            assert!(rep >= v, "bucket value under-reports {v}");
+            assert!(
+                (rep - v) as f64 / v as f64 <= 2.0 / SUB_BUCKETS as f64 + 0.01,
+                "relative error too large for {v}: rep {rep}"
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_histogram_matches_sequential() {
+        let a = AtomicHistogram::new();
+        let mut h = Histogram::new();
+        for v in [1u64, 17, 999, 4_242, 1 << 30] {
+            a.record(v);
+            h.record(v);
+        }
+        let snap = a.snapshot();
+        assert_eq!(snap.count(), h.count());
+        assert_eq!(snap.max(), h.max());
+        assert_eq!(snap.summary(), h.summary());
+    }
+}

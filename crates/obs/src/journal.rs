@@ -1,0 +1,175 @@
+//! The bounded event journal: a ring buffer of sequenced, window-stamped
+//! [`Event`]s with JSONL export.
+
+use crate::events::Event;
+use parking_lot::Mutex;
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::VecDeque;
+
+/// One journal line: a sequence number, the tuning window it happened in,
+/// and the event payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalRecord {
+    /// Global sequence number (monotone within a run, gaps mean drops).
+    pub seq: u64,
+    /// The tuning window in force when the event fired.
+    pub window: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+impl Serialize for JournalRecord {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("seq".into(), Value::from(self.seq)),
+            ("window".into(), Value::from(self.window)),
+            ("event".into(), self.event.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for JournalRecord {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(JournalRecord {
+            seq: u64::deserialize(v.get("seq").ok_or_else(|| DeError::missing_field("seq"))?)?,
+            window: u64::deserialize(
+                v.get("window")
+                    .ok_or_else(|| DeError::missing_field("window"))?,
+            )?,
+            event: Event::deserialize(
+                v.get("event")
+                    .ok_or_else(|| DeError::missing_field("event"))?,
+            )?,
+        })
+    }
+}
+
+struct JournalState {
+    ring: VecDeque<JournalRecord>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded, thread-safe event ring buffer.
+///
+/// When full, the oldest record is dropped and counted; `seq` gaps at the
+/// start of an exported trace reveal how much history was lost.
+pub struct Journal {
+    capacity: usize,
+    state: Mutex<JournalState>,
+}
+
+impl Journal {
+    /// A journal retaining at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Journal {
+            capacity,
+            state: Mutex::new(JournalState {
+                ring: VecDeque::with_capacity(capacity.min(4096)),
+                next_seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Appends one event stamped with `window`.
+    pub fn push(&self, window: u64, event: Event) {
+        let mut s = self.state.lock();
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        if s.ring.len() == self.capacity {
+            s.ring.pop_front();
+            s.dropped += 1;
+        }
+        s.ring.push_back(JournalRecord { seq, window, event });
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.state.lock().ring.len()
+    }
+
+    /// Whether the journal holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records dropped due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().dropped
+    }
+
+    /// Copies out the retained records, oldest first.
+    pub fn records(&self) -> Vec<JournalRecord> {
+        self.state.lock().ring.iter().cloned().collect()
+    }
+
+    /// Serializes the retained records as JSON Lines (one record per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in self.state.lock().ring.iter() {
+            out.push_str(&serde_json::to_string(r).expect("journal record serialize"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parses a JSONL trace back into records, failing on the first bad line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<JournalRecord>, serde_json::Error> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(serde_json::from_str::<JournalRecord>)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest_and_tracks_seq() {
+        let j = Journal::new(3);
+        for i in 0..5u64 {
+            j.push(
+                i / 2,
+                Event::Flush {
+                    entries: i,
+                    bytes: i * 10,
+                },
+            );
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 2);
+        let recs = j.records();
+        assert_eq!(recs[0].seq, 2, "oldest surviving record");
+        assert_eq!(recs[2].seq, 4);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let j = Journal::new(16);
+        j.push(
+            0,
+            Event::RunStart {
+                strategy: "adcache".into(),
+                total_cache_bytes: 1 << 20,
+            },
+        );
+        j.push(
+            1,
+            Event::Admission {
+                cache: crate::events::CacheStructure::Range,
+                outcome: crate::events::AdmissionOutcome::Partial,
+                reason: crate::events::AdmissionReason::ScanPartialSlope,
+                requested: 64,
+                admitted: 28,
+            },
+        );
+        let text = j.to_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, j.records());
+    }
+}

@@ -1,0 +1,249 @@
+//! The metrics registry: named counters, gauges, and histograms.
+//!
+//! Registration (name → handle) takes a lock once; recording through a
+//! handle is lock-free (relaxed atomics). Handles are cheap to clone and
+//! remain valid for the registry's lifetime. A handle obtained from a
+//! disabled [`crate::Obs`] is inert: recording through it is a no-op with
+//! no allocation and no synchronization.
+
+use crate::histogram::AtomicHistogram;
+use parking_lot::Mutex;
+use serde::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. Lock-free; no-op on an inert handle.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 on an inert handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A gauge handle holding the latest sampled value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// Overwrites the value. Lock-free; no-op on an inert handle.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 on an inert handle).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram handle for recording latency-like samples.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(pub(crate) Option<Arc<AtomicHistogram>>);
+
+impl HistogramHandle {
+    /// Records one sample. Lock-free; no-op on an inert handle.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.record(v);
+        }
+    }
+}
+
+/// Named metric storage. Maps are ordered so exports are deterministic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<AtomicHistogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it if new.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock();
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Some(cell.clone()))
+    }
+
+    /// Returns the gauge registered under `name`, creating it if new.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock();
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicI64::new(0)));
+        Gauge(Some(cell.clone()))
+    }
+
+    /// Returns the histogram registered under `name`, creating it if new.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut map = self.histograms.lock();
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicHistogram::new()));
+        HistogramHandle(Some(cell.clone()))
+    }
+
+    /// Snapshot of every metric as a JSON value tree.
+    ///
+    /// Shape: `{"counters": {name: n}, "gauges": {name: n},
+    /// "histograms": {name: {count, mean_ns, p50_ns, p95_ns, p99_ns,
+    /// max_ns}}}`.
+    pub fn snapshot_value(&self) -> Value {
+        let counters: Vec<(String, Value)> = self
+            .counters
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::from(v.load(Ordering::Relaxed))))
+            .collect();
+        let gauges: Vec<(String, Value)> = self
+            .gauges
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::from(v.load(Ordering::Relaxed))))
+            .collect();
+        let histograms: Vec<(String, Value)> = self
+            .histograms
+            .lock()
+            .iter()
+            .map(|(k, v)| {
+                let h = v.snapshot();
+                let (p50, p95, p99, max) = h.summary();
+                (
+                    k.clone(),
+                    Value::Object(vec![
+                        ("count".into(), Value::from(h.count())),
+                        ("mean_ns".into(), Value::from(h.mean())),
+                        ("p50_ns".into(), Value::from(p50)),
+                        ("p95_ns".into(), Value::from(p95)),
+                        ("p99_ns".into(), Value::from(p99)),
+                        ("max_ns".into(), Value::from(max)),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Object(vec![
+            ("counters".into(), Value::Object(counters)),
+            ("gauges".into(), Value::Object(gauges)),
+            ("histograms".into(), Value::Object(histograms)),
+        ])
+    }
+
+    /// Snapshot as pretty-printed JSON text.
+    pub fn snapshot_json(&self) -> String {
+        serde_json::to_string_pretty(&self.snapshot_value()).expect("metrics serialize")
+    }
+
+    /// Snapshot as CSV (`kind,name,field,value` rows; histograms exploded
+    /// into one row per summary statistic).
+    pub fn snapshot_csv(&self) -> String {
+        let mut out = String::from("kind,name,field,value\n");
+        for (k, v) in self.counters.lock().iter() {
+            out.push_str(&format!(
+                "counter,{k},value,{}\n",
+                v.load(Ordering::Relaxed)
+            ));
+        }
+        for (k, v) in self.gauges.lock().iter() {
+            out.push_str(&format!("gauge,{k},value,{}\n", v.load(Ordering::Relaxed)));
+        }
+        for (k, v) in self.histograms.lock().iter() {
+            let h = v.snapshot();
+            let (p50, p95, p99, max) = h.summary();
+            out.push_str(&format!("histogram,{k},count,{}\n", h.count()));
+            out.push_str(&format!("histogram,{k},mean_ns,{}\n", h.mean()));
+            out.push_str(&format!("histogram,{k},p50_ns,{p50}\n"));
+            out.push_str(&format!("histogram,{k},p95_ns,{p95}\n"));
+            out.push_str(&format!("histogram,{k},p99_ns,{p99}\n"));
+            out.push_str(&format!("histogram,{k},max_ns,{max}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_cell() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+        assert_eq!(b.get(), 7);
+    }
+
+    #[test]
+    fn inert_handles_are_noops() {
+        let c = Counter::default();
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::default();
+        g.set(9);
+        assert_eq!(g.get(), 0);
+        let h = HistogramHandle::default();
+        h.record(100);
+    }
+
+    #[test]
+    fn snapshot_shapes() {
+        let r = Registry::new();
+        r.counter("ops").add(5);
+        r.gauge("occupancy").set(-2);
+        r.histogram("lat").record(1000);
+        let v = r.snapshot_value();
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("ops"))
+                .and_then(Value::as_u64),
+            Some(5)
+        );
+        assert_eq!(
+            v.get("gauges")
+                .and_then(|g| g.get("occupancy"))
+                .and_then(Value::as_i64),
+            Some(-2)
+        );
+        assert_eq!(
+            v.get("histograms")
+                .and_then(|h| h.get("lat"))
+                .and_then(|l| l.get("count"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        let csv = r.snapshot_csv();
+        assert!(csv.contains("counter,ops,value,5"));
+        assert!(csv.contains("histogram,lat,p99_ns,"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Golden-schema test: the serialized form of every [`Event`] variant is a
+//! stable contract consumed by the CLI `trace` subcommand and external
+//! plotting scripts. A failure here means a field or variant rename leaked
+//! into the wire format — treat it as a breaking change, not a test to
+//! update casually.
+
+use adcache_obs::{
+    parse_jsonl, AdmissionOutcome, AdmissionReason, CacheStructure, Event, EvictionCause, Journal,
+};
+
+/// Every variant once, with values chosen to be exactly representable so
+/// the JSON text is deterministic.
+fn exemplars() -> Vec<(Event, &'static str)> {
+    vec![
+        (
+            Event::RunStart {
+                strategy: "adcache".into(),
+                total_cache_bytes: 1048576,
+            },
+            r#"{"RunStart":{"strategy":"adcache","total_cache_bytes":1048576}}"#,
+        ),
+        (
+            Event::ControllerDecision {
+                range_ratio: 0.25,
+                point_threshold: 0.5,
+                scan_a: 64,
+                scan_b: 0.3,
+                exploratory: true,
+            },
+            r#"{"ControllerDecision":{"range_ratio":0.25,"point_threshold":0.5,"scan_a":64,"scan_b":0.3,"exploratory":true}}"#,
+        ),
+        (
+            Event::TrainStep {
+                reward: 0.125,
+                td_error: -0.5,
+                actor_lr: 0.001,
+                action: vec![0.5, -1.0],
+            },
+            r#"{"TrainStep":{"reward":0.125,"td_error":-0.5,"actor_lr":0.001,"action":[0.5,-1.0]}}"#,
+        ),
+        (
+            Event::BoundaryResize {
+                block_bytes: 1024,
+                range_bytes: 512,
+                range_ratio: 0.333984375,
+                applied: false,
+            },
+            r#"{"BoundaryResize":{"block_bytes":1024,"range_bytes":512,"range_ratio":0.333984375,"applied":false}}"#,
+        ),
+        (
+            Event::Admission {
+                cache: CacheStructure::Range,
+                outcome: AdmissionOutcome::Partial,
+                reason: AdmissionReason::ScanPartialSlope,
+                requested: 64,
+                admitted: 28,
+            },
+            r#"{"Admission":{"cache":"Range","outcome":"Partial","reason":"ScanPartialSlope","requested":64,"admitted":28}}"#,
+        ),
+        (
+            Event::Eviction {
+                cache: CacheStructure::Block,
+                cause: EvictionCause::Invalidation,
+                count: 3,
+                bytes: 12288,
+            },
+            r#"{"Eviction":{"cache":"Block","cause":"Invalidation","count":3,"bytes":12288}}"#,
+        ),
+        (
+            Event::BlockCacheInvalidation {
+                files: 2,
+                blocks_dropped: 17,
+            },
+            r#"{"BlockCacheInvalidation":{"files":2,"blocks_dropped":17}}"#,
+        ),
+        (
+            Event::CompactionStart {
+                from_level: 0,
+                to_level: 1,
+                input_files: 4,
+            },
+            r#"{"CompactionStart":{"from_level":0,"to_level":1,"input_files":4}}"#,
+        ),
+        (
+            Event::CompactionFinish {
+                from_level: 0,
+                to_level: 1,
+                blocks_read: 10,
+                blocks_written: 9,
+                obsolete_files: 4,
+                new_files: 1,
+                trivial_move: false,
+            },
+            r#"{"CompactionFinish":{"from_level":0,"to_level":1,"blocks_read":10,"blocks_written":9,"obsolete_files":4,"new_files":1,"trivial_move":false}}"#,
+        ),
+        (
+            Event::Flush {
+                entries: 100,
+                bytes: 4096,
+            },
+            r#"{"Flush":{"entries":100,"bytes":4096}}"#,
+        ),
+        (
+            Event::WalReset {
+                appends: 100,
+                bytes: 5000,
+            },
+            r#"{"WalReset":{"appends":100,"bytes":5000}}"#,
+        ),
+    ]
+}
+
+#[test]
+fn every_event_kind_serializes_to_its_golden_form() {
+    let exemplars = exemplars();
+    assert_eq!(
+        exemplars.len(),
+        11,
+        "new Event variants need a golden exemplar here"
+    );
+    for (event, golden) in &exemplars {
+        let json = serde_json::to_string(event).unwrap();
+        assert_eq!(&json, golden, "schema drift for {}", event.kind());
+        assert!(
+            json.contains(event.kind()),
+            "kind label must appear in the wire form"
+        );
+    }
+}
+
+#[test]
+fn every_event_kind_round_trips_through_jsonl() {
+    let journal = Journal::new(64);
+    for (i, (event, _)) in exemplars().into_iter().enumerate() {
+        journal.push(i as u64, event);
+    }
+    let text = journal.to_jsonl();
+    let back = parse_jsonl(&text).unwrap();
+    assert_eq!(back, journal.records(), "JSONL round trip must be lossless");
+    // Each journal line carries the stable envelope fields.
+    for line in text.lines() {
+        assert!(line.starts_with(r#"{"seq":"#), "envelope drift: {line}");
+        assert!(line.contains(r#""window":"#));
+        assert!(line.contains(r#""event":"#));
+    }
+}
+
+#[test]
+fn journal_envelope_is_stable() {
+    let journal = Journal::new(4);
+    journal.push(
+        7,
+        Event::Flush {
+            entries: 1,
+            bytes: 2,
+        },
+    );
+    assert_eq!(
+        journal.to_jsonl().trim_end(),
+        r#"{"seq":0,"window":7,"event":{"Flush":{"entries":1,"bytes":2}}}"#,
+    );
+}

@@ -69,7 +69,10 @@ impl AgentConfig {
     /// A small-network variant for fast tests and simulations where the
     /// full 256-wide model is unnecessary.
     pub fn small(state_dim: usize, action_dim: usize) -> Self {
-        AgentConfig { hidden: 32, ..Self::paper_default(state_dim, action_dim) }
+        AgentConfig {
+            hidden: 32,
+            ..Self::paper_default(state_dim, action_dim)
+        }
     }
 }
 
@@ -95,12 +98,25 @@ impl ActorCritic {
         let widths_a = [cfg.state_dim, cfg.hidden, cfg.hidden, cfg.action_dim];
         let widths_c = [cfg.state_dim, cfg.hidden, cfg.hidden, 1];
         let actor = Mlp::new(&widths_a, crate::layers::Activation::Relu, cfg.seed);
-        let critic = Mlp::new(&widths_c, crate::layers::Activation::Relu, cfg.seed.wrapping_add(1));
+        let critic = Mlp::new(
+            &widths_c,
+            crate::layers::Activation::Relu,
+            cfg.seed.wrapping_add(1),
+        );
         let actor_adam = actor.make_adam();
         let critic_adam = critic.make_adam();
         let actor_lr = cfg.actor_lr;
         let rng = XorShift(cfg.seed | 1);
-        ActorCritic { cfg, actor, critic, actor_adam, critic_adam, actor_lr, rng, updates: 0 }
+        ActorCritic {
+            cfg,
+            actor,
+            critic,
+            actor_adam,
+            critic_adam,
+            actor_lr,
+            rng,
+            updates: 0,
+        }
     }
 
     /// The deterministic policy mean: `sigmoid(actor(state))`.
@@ -117,8 +133,10 @@ impl ActorCritic {
             .collect()
     }
 
-    /// One-step advantage actor-critic update from `t`.
-    pub fn update(&mut self, t: &Transition) {
+    /// One-step advantage actor-critic update from `t`. Returns the TD
+    /// error (advantage) of the transition, the training-progress signal
+    /// surfaced in observability traces.
+    pub fn update(&mut self, t: &Transition) -> f32 {
         debug_assert_eq!(t.state.len(), self.cfg.state_dim);
         debug_assert_eq!(t.action.len(), self.cfg.action_dim);
 
@@ -129,7 +147,8 @@ impl ActorCritic {
         let v_s = self.critic.forward(&t.state)[0];
         let advantage = target - v_s;
         self.critic.backward(&[2.0 * (v_s - target)]);
-        self.critic.apply_grads(&mut self.critic_adam, self.cfg.critic_lr);
+        self.critic
+            .apply_grads(&mut self.critic_adam, self.cfg.critic_lr);
 
         // Actor: Gaussian policy gradient through the sigmoid squash.
         // ∂(−adv·logπ)/∂μᵢ ∝ −adv·(aᵢ−μᵢ),  ∂μ/∂z = μ(1−μ).
@@ -154,6 +173,7 @@ impl ActorCritic {
         self.actor.backward(&dz);
         self.actor.apply_grads(&mut self.actor_adam, self.actor_lr);
         self.updates += 1;
+        advantage
     }
 
     /// Adaptive learning-rate rule (paper Section 3.5):
@@ -250,7 +270,16 @@ impl ActorCritic {
         let critic_adam = critic.make_adam();
         let actor_lr = saved.cfg.actor_lr;
         let rng = XorShift(saved.cfg.seed | 1);
-        Ok(ActorCritic { cfg: saved.cfg, actor, critic, actor_adam, critic_adam, actor_lr, rng, updates: 0 })
+        Ok(ActorCritic {
+            cfg: saved.cfg,
+            actor,
+            critic,
+            actor_adam,
+            critic_adam,
+            actor_lr,
+            rng,
+            updates: 0,
+        })
     }
 }
 
@@ -344,7 +373,12 @@ mod tests {
         // Train a little so the weights are not fresh.
         for _ in 0..20 {
             let a = agent.act(&s);
-            agent.update(&Transition { state: s.clone(), action: a, reward: 0.3, next_state: s.clone() });
+            agent.update(&Transition {
+                state: s.clone(),
+                action: a,
+                reward: 0.3,
+                next_state: s.clone(),
+            });
         }
         let mu = agent.act_greedy(&s);
         let mut restored = ActorCritic::from_json(&agent.to_json()).unwrap();

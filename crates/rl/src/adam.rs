@@ -20,7 +20,14 @@ impl Adam {
     /// Creates optimizer state for `param_count` parameters with the
     /// standard hyperparameters (β₁ 0.9, β₂ 0.999, ε 1e-8).
     pub fn new(param_count: usize) -> Self {
-        Adam { m: vec![0.0; param_count], v: vec![0.0; param_count], t: 0, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        Adam {
+            m: vec![0.0; param_count],
+            v: vec![0.0; param_count],
+            t: 0,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 
     /// Applies one update step at learning rate `lr`. `params` and `grads`

@@ -128,7 +128,11 @@ impl Linear {
     /// returns `dL/dx`. Must follow a `forward` call.
     pub fn backward(&mut self, dy: &[f32]) -> Vec<f32> {
         assert_eq!(dy.len(), self.out_dim());
-        assert_eq!(self.last_input.len(), self.in_dim(), "backward without forward");
+        assert_eq!(
+            self.last_input.len(),
+            self.in_dim(),
+            "backward without forward"
+        );
         let dz: Vec<f32> = dy
             .iter()
             .zip(&self.last_output)
@@ -138,7 +142,10 @@ impl Linear {
             self.grad_w = Some(Matrix::zeros(self.out_dim(), self.in_dim()));
             self.grad_b = vec![0.0; self.out_dim()];
         }
-        self.grad_w.as_mut().expect("just initialized").add_outer(&dz, &self.last_input);
+        self.grad_w
+            .as_mut()
+            .expect("just initialized")
+            .add_outer(&dz, &self.last_input);
         for (g, d) in self.grad_b.iter_mut().zip(&dz) {
             *g += d;
         }
@@ -156,10 +163,18 @@ impl Linear {
     /// `(params, grads)` flat views for the optimizer: weights then biases.
     pub fn params_and_grads(&mut self) -> Option<(Vec<&mut f32>, Vec<f32>)> {
         let grad_w = self.grad_w.as_ref()?;
-        let grads: Vec<f32> =
-            grad_w.as_slice().iter().chain(self.grad_b.iter()).copied().collect();
-        let params: Vec<&mut f32> =
-            self.w.as_mut_slice().iter_mut().chain(self.b.iter_mut()).collect();
+        let grads: Vec<f32> = grad_w
+            .as_slice()
+            .iter()
+            .chain(self.grad_b.iter())
+            .copied()
+            .collect();
+        let params: Vec<&mut f32> = self
+            .w
+            .as_mut_slice()
+            .iter_mut()
+            .chain(self.b.iter_mut())
+            .collect();
         Some((params, grads))
     }
 
@@ -201,7 +216,12 @@ mod tests {
     /// Finite-difference gradient check across every activation.
     #[test]
     fn gradients_match_finite_differences() {
-        for act in [Activation::Relu, Activation::Tanh, Activation::Sigmoid, Activation::Identity] {
+        for act in [
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Identity,
+        ] {
             let mut l = Linear::new(3, 2, act, 42);
             let x = [0.3, -0.7, 0.9];
             // Loss = sum(y), so dL/dy = [1, 1].

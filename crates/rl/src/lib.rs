@@ -30,4 +30,6 @@ pub use adam::Adam;
 pub use layers::{Activation, Linear};
 pub use matrix::Matrix;
 pub use mlp::Mlp;
-pub use pretrain::{load_agent, pretrain_supervised, pretrain_unsupervised, save_agent, LabeledSample};
+pub use pretrain::{
+    load_agent, pretrain_supervised, pretrain_unsupervised, save_agent, LabeledSample,
+};

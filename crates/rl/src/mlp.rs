@@ -25,8 +25,17 @@ impl Mlp {
         assert!(widths.len() >= 2, "need at least input and output widths");
         let mut layers = Vec::with_capacity(widths.len() - 1);
         for (i, w) in widths.windows(2).enumerate() {
-            let act = if i + 2 == widths.len() { Activation::Identity } else { hidden_act };
-            layers.push(Linear::new(w[0], w[1], act, seed.wrapping_add(i as u64 * 7919)));
+            let act = if i + 2 == widths.len() {
+                Activation::Identity
+            } else {
+                hidden_act
+            };
+            layers.push(Linear::new(
+                w[0],
+                w[1],
+                act,
+                seed.wrapping_add(i as u64 * 7919),
+            ));
         }
         Mlp { layers }
     }
@@ -77,7 +86,9 @@ impl Mlp {
         let mut params: Vec<&mut f32> = Vec::with_capacity(self.param_count());
         let mut grads: Vec<f32> = Vec::with_capacity(self.param_count());
         for layer in &mut self.layers {
-            let Some((p, g)) = layer.params_and_grads() else { return };
+            let Some((p, g)) = layer.params_and_grads() else {
+                return;
+            };
             params.extend(p);
             grads.extend(g);
         }
@@ -165,7 +176,11 @@ mod tests {
             xp[i] -= 2.0 * eps;
             let down: f32 = net.forward(&xp).iter().sum();
             let numeric = (up - down) / (2.0 * eps);
-            assert!((numeric - dx[i]).abs() < 1e-2, "dx[{i}]: {numeric} vs {}", dx[i]);
+            assert!(
+                (numeric - dx[i]).abs() < 1e-2,
+                "dx[{i}]: {numeric} vs {}",
+                dx[i]
+            );
         }
     }
 

@@ -92,15 +92,27 @@ mod tests {
         let mut agent = ActorCritic::new(cfg);
         // Two distinct workload states mapping to distinct configurations.
         let samples = vec![
-            LabeledSample { state: vec![1.0, 0.0, 0.0], target: vec![0.9, 0.1] },
-            LabeledSample { state: vec![0.0, 1.0, 0.0], target: vec![0.1, 0.8] },
+            LabeledSample {
+                state: vec![1.0, 0.0, 0.0],
+                target: vec![0.9, 0.1],
+            },
+            LabeledSample {
+                state: vec![0.0, 1.0, 0.0],
+                target: vec![0.1, 0.8],
+            },
         ];
         let mse = pretrain_supervised(&mut agent, &samples, 300, 5e-3);
         assert!(mse < 0.01, "mse {mse}");
         let a = agent.act_greedy(&[1.0, 0.0, 0.0]);
-        assert!((a[0] - 0.9).abs() < 0.1 && (a[1] - 0.1).abs() < 0.1, "{a:?}");
+        assert!(
+            (a[0] - 0.9).abs() < 0.1 && (a[1] - 0.1).abs() < 0.1,
+            "{a:?}"
+        );
         let b = agent.act_greedy(&[0.0, 1.0, 0.0]);
-        assert!((b[0] - 0.1).abs() < 0.1 && (b[1] - 0.8).abs() < 0.1, "{b:?}");
+        assert!(
+            (b[0] - 0.1).abs() < 0.1 && (b[1] - 0.8).abs() < 0.1,
+            "{b:?}"
+        );
     }
 
     #[test]

@@ -78,7 +78,12 @@ pub struct Mix {
 impl Mix {
     /// A mix with the given percentages.
     pub const fn new(get: f64, short_scan: f64, long_scan: f64, write: f64) -> Self {
-        Mix { get, short_scan, long_scan, write }
+        Mix {
+            get,
+            short_scan,
+            long_scan,
+            write,
+        }
     }
 
     fn total(&self) -> f64 {
@@ -139,7 +144,10 @@ pub fn render_key(i: u64) -> Bytes {
 
 /// The id encoded in a key produced by [`render_key`].
 pub fn parse_key(key: &[u8]) -> Option<u64> {
-    std::str::from_utf8(key.strip_prefix(b"user")?).ok()?.parse().ok()
+    std::str::from_utf8(key.strip_prefix(b"user")?)
+        .ok()?
+        .parse()
+        .ok()
 }
 
 /// Draws operations from a configurable mix over a Zipfian key space.
@@ -160,7 +168,14 @@ impl WorkloadGen {
         let scan_dist = Zipf::new(cfg.num_keys, cfg.scan_skew);
         let rng = StdRng::seed_from_u64(cfg.seed);
         let latest_write = cfg.num_keys.saturating_sub(1);
-        WorkloadGen { cfg, point_dist, scan_dist, rng, value_counter: 0, latest_write }
+        WorkloadGen {
+            cfg,
+            point_dist,
+            scan_dist,
+            rng,
+            value_counter: 0,
+            latest_write,
+        }
     }
 
     /// The generator's configuration.
@@ -184,8 +199,7 @@ impl WorkloadGen {
                 self.latest_write.wrapping_sub(rank) % self.cfg.num_keys
             }
             Distribution::Hotspot => {
-                let hot_keys =
-                    ((self.cfg.num_keys as f64) * self.cfg.hot_fraction).max(1.0) as u64;
+                let hot_keys = ((self.cfg.num_keys as f64) * self.cfg.hot_fraction).max(1.0) as u64;
                 if self.rng.gen::<f64>() < self.cfg.hot_access_fraction {
                     // Hot set is spread across the space by hashing.
                     crate::zipf::fnv1a64(self.rng.gen_range(0..hot_keys)) % self.cfg.num_keys
@@ -224,11 +238,19 @@ impl WorkloadGen {
         assert!(total > 0.0, "mix must have positive mass");
         let u: f64 = self.rng.gen::<f64>() * total;
         if u < mix.get {
-            Operation::Get { key: self.point_key() }
+            Operation::Get {
+                key: self.point_key(),
+            }
         } else if u < mix.get + mix.short_scan {
-            Operation::Scan { from: self.scan_start(), len: self.cfg.short_scan_len }
+            Operation::Scan {
+                from: self.scan_start(),
+                len: self.cfg.short_scan_len,
+            }
         } else if u < mix.get + mix.short_scan + mix.long_scan {
-            Operation::Scan { from: self.scan_start(), len: self.cfg.long_scan_len }
+            Operation::Scan {
+                from: self.scan_start(),
+                len: self.cfg.long_scan_len,
+            }
         } else {
             let key = self.point_key();
             if let Some(id) = parse_key(&key) {
@@ -243,7 +265,10 @@ impl WorkloadGen {
     /// values); run before measurements so the tree is fully populated.
     pub fn load_ops(&mut self) -> Vec<Operation> {
         (0..self.cfg.num_keys)
-            .map(|i| Operation::Put { key: render_key(i), value: self.value() })
+            .map(|i| Operation::Put {
+                key: render_key(i),
+                value: self.value(),
+            })
             .collect()
     }
 }
@@ -265,7 +290,10 @@ mod tests {
 
     #[test]
     fn mix_proportions_are_respected() {
-        let mut g = WorkloadGen::new(WorkloadConfig { num_keys: 1000, ..Default::default() });
+        let mut g = WorkloadGen::new(WorkloadConfig {
+            num_keys: 1000,
+            ..Default::default()
+        });
         let mix = Mix::new(50.0, 25.0, 0.0, 25.0);
         let mut gets = 0;
         let mut scans = 0;
@@ -291,7 +319,10 @@ mod tests {
 
     #[test]
     fn long_scans_use_long_length() {
-        let mut g = WorkloadGen::new(WorkloadConfig { num_keys: 1000, ..Default::default() });
+        let mut g = WorkloadGen::new(WorkloadConfig {
+            num_keys: 1000,
+            ..Default::default()
+        });
         let mix = Mix::new(0.0, 0.0, 1.0, 0.0);
         for _ in 0..100 {
             match g.next_op(&mix) {
@@ -303,7 +334,11 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let cfg = WorkloadConfig { num_keys: 1000, seed: 99, ..Default::default() };
+        let cfg = WorkloadConfig {
+            num_keys: 1000,
+            seed: 99,
+            ..Default::default()
+        };
         let mut a = WorkloadGen::new(cfg.clone());
         let mut b = WorkloadGen::new(cfg);
         let mix = Mix::new(1.0, 1.0, 1.0, 1.0);
@@ -314,7 +349,10 @@ mod tests {
 
     #[test]
     fn load_ops_cover_every_key_once() {
-        let mut g = WorkloadGen::new(WorkloadConfig { num_keys: 500, ..Default::default() });
+        let mut g = WorkloadGen::new(WorkloadConfig {
+            num_keys: 500,
+            ..Default::default()
+        });
         let ops = g.load_ops();
         assert_eq!(ops.len(), 500);
         let mut seen = std::collections::HashSet::new();
@@ -429,6 +467,9 @@ mod tests {
         let mut freqs: Vec<u64> = counts.values().copied().collect();
         freqs.sort_unstable_by(|a, b| b.cmp(a));
         let top10: u64 = freqs.iter().take(10).sum();
-        assert!(top10 as f64 / 20_000.0 > 0.4, "skew 1.2 must concentrate access");
+        assert!(
+            top10 as f64 / 20_000.0 > 0.4,
+            "skew 1.2 must concentrate access"
+        );
     }
 }

@@ -17,7 +17,9 @@ pub mod phases;
 pub mod trace;
 pub mod zipf;
 
-pub use generator::{parse_key, render_key, Distribution, Mix, Operation, WorkloadConfig, WorkloadGen};
+pub use generator::{
+    parse_key, render_key, Distribution, Mix, Operation, WorkloadConfig, WorkloadGen,
+};
 pub use phases::{paper_dynamic_schedule, static_workloads, Phase, Schedule, TABLE3};
 pub use trace::Trace;
 pub use zipf::Zipf;

@@ -62,7 +62,11 @@ pub fn paper_dynamic_schedule(ops_per_phase: u64) -> Schedule {
     Schedule {
         phases: TABLE3
             .iter()
-            .map(|(name, mix)| Phase { name: (*name).into(), mix: *mix, ops: ops_per_phase })
+            .map(|(name, mix)| Phase {
+                name: (*name).into(),
+                mix: *mix,
+                ops: ops_per_phase,
+            })
             .collect(),
     }
 }

@@ -85,10 +85,20 @@ mod tests {
 
     fn sample_ops() -> Vec<Operation> {
         vec![
-            Operation::Get { key: Bytes::from_static(b"user1") },
-            Operation::Scan { from: Bytes::from_static(b"user2"), len: 16 },
-            Operation::Put { key: Bytes::from_static(b"user3"), value: Bytes::from_static(b"v") },
-            Operation::Delete { key: Bytes::from_static(b"user4") },
+            Operation::Get {
+                key: Bytes::from_static(b"user1"),
+            },
+            Operation::Scan {
+                from: Bytes::from_static(b"user2"),
+                len: 16,
+            },
+            Operation::Put {
+                key: Bytes::from_static(b"user3"),
+                value: Bytes::from_static(b"v"),
+            },
+            Operation::Delete {
+                key: Bytes::from_static(b"user4"),
+            },
         ]
     }
 
@@ -108,7 +118,8 @@ mod tests {
 
     #[test]
     fn malformed_lines_error_with_line_number() {
-        let path = std::env::temp_dir().join(format!("adcache-trace-bad-{}.jsonl", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("adcache-trace-bad-{}.jsonl", std::process::id()));
         std::fs::write(&path, "{\"Get\":{\"key\":[1]}}\nnot json\n").unwrap();
         let err = Trace::load(&path).unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
@@ -117,7 +128,8 @@ mod tests {
 
     #[test]
     fn empty_lines_are_ignored() {
-        let path = std::env::temp_dir().join(format!("adcache-trace-empty-{}.jsonl", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("adcache-trace-empty-{}.jsonl", std::process::id()));
         std::fs::write(&path, "\n\n").unwrap();
         let t = Trace::load(&path).unwrap();
         assert!(t.is_empty());

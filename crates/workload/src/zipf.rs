@@ -29,7 +29,14 @@ impl Zipf {
         let zeta2 = Self::zeta(2.min(n), theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipf { n, theta, alpha, zetan, eta, zeta2 }
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -40,8 +47,8 @@ impl Zipf {
             (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
         } else {
             let head: f64 = (1..=EXACT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
-            let tail = ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta))
-                / (1.0 - theta);
+            let tail =
+                ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta)) / (1.0 - theta);
             head + tail
         }
     }
@@ -114,10 +121,18 @@ mod tests {
         let mild = histogram(0.6, 1000, 200_000);
         let sharp = histogram(1.2, 1000, 200_000);
         assert!(mild[0] > mild[500], "rank 0 must beat median rank");
-        assert!(sharp[0] > mild[0], "higher skew concentrates mass on rank 0");
+        assert!(
+            sharp[0] > mild[0],
+            "higher skew concentrates mass on rank 0"
+        );
         // Top-10 share grows with skew.
         let share = |h: &[u64]| h[..10].iter().sum::<u64>() as f64 / h.iter().sum::<u64>() as f64;
-        assert!(share(&sharp) > share(&mild) + 0.2, "{} vs {}", share(&sharp), share(&mild));
+        assert!(
+            share(&sharp) > share(&mild) + 0.2,
+            "{} vs {}",
+            share(&sharp),
+            share(&mild)
+        );
     }
 
     #[test]
@@ -147,7 +162,10 @@ mod tests {
             *counts.entry(z.sample_scrambled(&mut rng)).or_insert(0u64) += 1;
         }
         let hottest = counts.iter().max_by_key(|(_, c)| **c).unwrap();
-        assert_ne!(*hottest.0, 0, "scrambled hot key must move away from rank 0");
+        assert_ne!(
+            *hottest.0, 0,
+            "scrambled hot key must move away from rank 0"
+        );
         assert_eq!(*hottest.0, fnv1a64(0) % 1_000_000);
     }
 

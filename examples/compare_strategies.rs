@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cache_bytes = 512 << 10;
     let ops = 40_000;
 
-    let workload = WorkloadConfig { num_keys: 20_000, value_size: 64, ..Default::default() };
+    let workload = WorkloadConfig {
+        num_keys: 20_000,
+        value_size: 64,
+        ..Default::default()
+    };
     println!(
         "{} keys, {}B values, cache {} KiB, {} ops of mix {:?}\n",
         workload.num_keys,
@@ -37,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             total_cache_bytes: cache_bytes,
             db_options: Options::small(),
             workload: workload.clone(),
-            controller: ControllerConfig { window: 1000, hidden: 32, ..Default::default() },
+            controller: ControllerConfig {
+                window: 1000,
+                hidden: 32,
+                ..Default::default()
+            },
             cpu: CpuModel::default(),
             shards: 1,
             pretrained_agent: None,
@@ -45,6 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             boundary_hysteresis: 0.02,
             serve_partial_range: true,
             compaction_prefetch_blocks: 0,
+            trace_dir: None,
         };
         let r = run_static(&cfg, mix, ops)?;
         let (p50, _, p99, _) = r.latency.summary();

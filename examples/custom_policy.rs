@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example custom_policy`
 
-use adcache_suite::cache::{LeCaRPolicy, LruPolicy, Policy, PointLookup, RangeCache};
+use adcache_suite::cache::{LeCaRPolicy, LruPolicy, PointLookup, Policy, RangeCache};
 use adcache_suite::workload::{Mix, Operation, WorkloadConfig, WorkloadGen};
 use bytes::Bytes;
 use std::collections::HashMap;
@@ -25,7 +25,11 @@ struct RandomPolicy<K> {
 
 impl<K: Clone + Eq + Hash> RandomPolicy<K> {
     fn new(seed: u64) -> Self {
-        RandomPolicy { keys: Vec::new(), index: HashMap::new(), rng: seed.max(1) }
+        RandomPolicy {
+            keys: Vec::new(),
+            index: HashMap::new(),
+            rng: seed.max(1),
+        }
     }
 
     fn next_rand(&mut self) -> u64 {
@@ -101,7 +105,16 @@ fn measure(cache: &RangeCache, label: &str) {
 fn main() {
     let capacity = 200_000; // bytes -> roughly 1.4k entries
     println!("point workload, Zipf 0.99, cache holds ~7% of keys\n");
-    measure(&RangeCache::with_policy(capacity, Box::new(|| Box::new(RandomPolicy::new(7)))), "random");
-    measure(&RangeCache::with_policy(capacity, Box::new(|| Box::new(LruPolicy::new()))), "lru");
-    measure(&RangeCache::with_policy(capacity, Box::new(|| Box::new(LeCaRPolicy::new()))), "lecar");
+    measure(
+        &RangeCache::with_policy(capacity, Box::new(|| Box::new(RandomPolicy::new(7)))),
+        "random",
+    );
+    measure(
+        &RangeCache::with_policy(capacity, Box::new(|| Box::new(LruPolicy::new()))),
+        "lru",
+    );
+    measure(
+        &RangeCache::with_policy(capacity, Box::new(|| Box::new(LeCaRPolicy::new()))),
+        "lecar",
+    );
 }

@@ -28,13 +28,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             EngineConfig::new(Strategy::AdCache, 1 << 20),
         )?;
         for i in 0..5_000u32 {
-            db.put(Bytes::from(format!("user{i:06}")), Bytes::from(format!("v{i}")))?;
+            db.put(
+                Bytes::from(format!("user{i:06}")),
+                Bytes::from(format!("v{i}")),
+            )?;
         }
         db.delete(Bytes::from("user000100"))?;
         println!(
             "first life: {} entries still only in the memtable (WAL-protected), {} flushes so far",
             db.db().memtable_len(),
-            db.db().stats().flushes.load(std::sync::atomic::Ordering::Relaxed),
+            db.db()
+                .stats()
+                .flushes
+                .load(std::sync::atomic::Ordering::Relaxed),
         );
         // Dropped here without flushing = simulated crash.
     }
@@ -57,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(db.get(b"user000100")?.is_none(), "the delete survived too");
     let page = db.scan(b"user000098", 4)?;
     for (k, v) in &page {
-        println!("  {} = {}", String::from_utf8_lossy(k), String::from_utf8_lossy(v));
+        println!(
+            "  {} = {}",
+            String::from_utf8_lossy(k),
+            String::from_utf8_lossy(v)
+        );
     }
 
     std::fs::remove_dir_all(&base)?;

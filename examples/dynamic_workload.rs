@@ -27,11 +27,15 @@ fn demo_agent() -> ActorCritic {
     let mut samples = Vec::new();
     for ratio in [0.0f32, 0.5, 1.0] {
         samples.push(LabeledSample {
-            state: vec![1.0, 0.0, 0.0, 0.0, 0.5, 0.5, 0.5, ratio, 0.9, 0.9, 0.1, 0.3, 0.1],
+            state: vec![
+                1.0, 0.0, 0.0, 0.0, 0.5, 0.5, 0.5, ratio, 0.9, 0.9, 0.1, 0.3, 0.1,
+            ],
             target: vec![1.0, 0.05, 0.25, 0.25],
         });
         samples.push(LabeledSample {
-            state: vec![0.0, 1.0, 0.0, 0.25, 0.5, 0.5, 0.5, ratio, 0.9, 0.9, 0.1, 0.3, 0.1],
+            state: vec![
+                0.0, 1.0, 0.0, 0.25, 0.5, 0.5, 0.5, ratio, 0.9, 0.9, 0.1, 0.3, 0.1,
+            ],
             target: vec![0.0, 0.0, 0.25, 0.25],
         });
     }
@@ -40,7 +44,11 @@ fn demo_agent() -> ActorCritic {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let workload = WorkloadConfig { num_keys: 20_000, value_size: 64, ..Default::default() };
+    let workload = WorkloadConfig {
+        num_keys: 20_000,
+        value_size: 64,
+        ..Default::default()
+    };
     let cache_bytes = 512 << 10;
 
     let cfg = RunConfig {
@@ -48,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         total_cache_bytes: cache_bytes,
         db_options: Options::small(),
         workload,
-        controller: ControllerConfig { window: 1000, hidden: 32, ..Default::default() },
+        controller: ControllerConfig {
+            window: 1000,
+            hidden: 32,
+            ..Default::default()
+        },
         cpu: CpuModel::default(),
         shards: 1,
         pretrained_agent: Some(demo_agent().to_json()),
@@ -56,12 +68,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         boundary_hysteresis: 0.02,
         serve_partial_range: true,
         compaction_prefetch_blocks: 0,
+        trace_dir: None,
     };
 
     let schedule = Schedule {
         phases: vec![
-            Phase { name: "points".into(), mix: Mix::new(95.0, 2.0, 1.0, 2.0), ops: 30_000 },
-            Phase { name: "scans".into(), mix: Mix::new(2.0, 95.0, 1.0, 2.0), ops: 30_000 },
+            Phase {
+                name: "points".into(),
+                mix: Mix::new(95.0, 2.0, 1.0, 2.0),
+                ops: 30_000,
+            },
+            Phase {
+                name: "scans".into(),
+                mix: Mix::new(2.0, 95.0, 1.0, 2.0),
+                ops: 30_000,
+            },
         ],
     };
 

@@ -30,12 +30,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for ratio in [0.0f32, 0.5, 1.0] {
         // Point-heavy profile -> all memory to the range cache.
         samples.push(LabeledSample {
-            state: vec![1.0, 0.0, 0.0, 0.0, 0.5, 0.5, 0.5, ratio, 0.9, 0.9, 0.1, 0.3, 0.1],
+            state: vec![
+                1.0, 0.0, 0.0, 0.0, 0.5, 0.5, 0.5, ratio, 0.9, 0.9, 0.1, 0.3, 0.1,
+            ],
             target: vec![1.0, 0.05, 0.25, 0.25],
         });
         // Scan-heavy profile -> all memory to the block cache.
         samples.push(LabeledSample {
-            state: vec![0.0, 1.0, 0.0, 0.25, 0.5, 0.5, 0.5, ratio, 0.9, 0.9, 0.1, 0.3, 0.1],
+            state: vec![
+                0.0, 1.0, 0.0, 0.25, 0.5, 0.5, 0.5, ratio, 0.9, 0.9, 0.1, 0.3, 0.1,
+            ],
             target: vec![0.0, 0.0, 0.25, 0.25],
         });
     }
@@ -45,12 +49,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Ship the model: save + reload, as across machines. ---
     let path = std::env::temp_dir().join("adcache-demo-agent.json");
     adcache_suite::rl::save_agent(&agent, &path)?;
-    println!("saved model to {} ({} parameters)", path.display(), agent.param_count());
+    println!(
+        "saved model to {} ({} parameters)",
+        path.display(),
+        agent.param_count()
+    );
     let deployed = adcache_suite::rl::load_agent(&path)?;
     std::fs::remove_file(&path).ok();
 
     // --- Online: deploy with training disabled. ---
-    let workload = WorkloadConfig { num_keys: 10_000, value_size: 64, ..Default::default() };
+    let workload = WorkloadConfig {
+        num_keys: 10_000,
+        value_size: 64,
+        ..Default::default()
+    };
     let base = RunConfig {
         strategy: Strategy::AdCache,
         total_cache_bytes: 256 << 10,
@@ -69,6 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         boundary_hysteresis: 0.02,
         serve_partial_range: true,
         compaction_prefetch_blocks: 0,
+        trace_dir: None,
     };
 
     for (name, mix) in [
@@ -76,7 +89,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("scan-heavy", Mix::new(0.0, 100.0, 0.0, 0.0)),
     ] {
         let r = run_static(&base, mix, 10_000)?;
-        let last = r.windows.last().and_then(|w| w.decision).expect("adcache records decisions");
+        let last = r
+            .windows
+            .last()
+            .and_then(|w| w.decision)
+            .expect("adcache records decisions");
         println!(
             "{name:>11}: hit {:.3}, deployed policy chose range_ratio {:.2}",
             r.overall_hit_rate, last.range_ratio

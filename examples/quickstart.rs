@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Write some data.
     for i in 0..10_000u32 {
-        db.put(Bytes::from(format!("user{i:06}")), Bytes::from(format!("profile-{i}")))?;
+        db.put(
+            Bytes::from(format!("user{i:06}")),
+            Bytes::from(format!("profile-{i}")),
+        )?;
     }
 
     // Point lookup.
@@ -34,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let page = db.scan(b"user001000", 10)?;
     println!("scan from user001000:");
     for (k, v) in &page {
-        println!("  {} = {}", String::from_utf8_lossy(k), String::from_utf8_lossy(v));
+        println!(
+            "  {} = {}",
+            String::from_utf8_lossy(k),
+            String::from_utf8_lossy(v)
+        );
     }
 
     // Delete and verify.

@@ -14,13 +14,13 @@ fn run_stress(strategy: Strategy, threads: usize, rounds: usize) {
     ecfg.block_shards = 4;
     // Shard the range cache across the key space.
     let keys_total = 8_000u64;
-    ecfg.range_boundaries =
-        (1..4).map(|i| render_key(i * keys_total / 4)).collect();
+    ecfg.range_boundaries = (1..4).map(|i| render_key(i * keys_total / 4)).collect();
     let db = Arc::new(CachedDb::new(Options::small(), Arc::new(MemStorage::new()), ecfg).unwrap());
 
     // Preload.
     for i in 0..keys_total {
-        db.load(render_key(i), Bytes::from(format!("init-{i}"))).unwrap();
+        db.load(render_key(i), Bytes::from(format!("init-{i}")))
+            .unwrap();
     }
     db.db().flush().unwrap();
 
@@ -91,7 +91,8 @@ fn concurrent_retuning_while_serving() {
         .unwrap(),
     );
     for i in 0..4_000u64 {
-        db.load(render_key(i), Bytes::from(format!("v{i}"))).unwrap();
+        db.load(render_key(i), Bytes::from(format!("v{i}")))
+            .unwrap();
     }
     db.db().flush().unwrap();
 

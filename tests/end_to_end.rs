@@ -11,7 +11,11 @@ use bytes::Bytes;
 use std::sync::Arc;
 
 fn small_workload(keys: u64) -> WorkloadConfig {
-    WorkloadConfig { num_keys: keys, value_size: 64, ..Default::default() }
+    WorkloadConfig {
+        num_keys: keys,
+        value_size: 64,
+        ..Default::default()
+    }
 }
 
 fn quick_config(strategy: Strategy) -> RunConfig {
@@ -20,7 +24,11 @@ fn quick_config(strategy: Strategy) -> RunConfig {
         total_cache_bytes: 256 << 10,
         db_options: Options::small(),
         workload: small_workload(5_000),
-        controller: ControllerConfig { window: 250, hidden: 16, ..Default::default() },
+        controller: ControllerConfig {
+            window: 250,
+            hidden: 16,
+            ..Default::default()
+        },
         cpu: CpuModel::default(),
         shards: 1,
         pretrained_agent: None,
@@ -28,6 +36,7 @@ fn quick_config(strategy: Strategy) -> RunConfig {
         boundary_hysteresis: 0.02,
         serve_partial_range: true,
         compaction_prefetch_blocks: 0,
+        trace_dir: None,
     }
 }
 
@@ -44,7 +53,8 @@ fn adcache_over_file_storage() {
     )
     .unwrap();
     for i in 0..5_000u64 {
-        db.put(render_key(i), Bytes::from(format!("value-{i}"))).unwrap();
+        db.put(render_key(i), Bytes::from(format!("value-{i}")))
+            .unwrap();
     }
     db.db().flush().unwrap();
     while db.db().maybe_compact_once().unwrap() {}
@@ -68,7 +78,11 @@ fn adcache_over_file_storage() {
 /// Cache warming must show up as rising hit rate and falling SST reads.
 #[test]
 fn hit_rate_improves_as_cache_warms() {
-    for strategy in [Strategy::RocksDbBlock, Strategy::RangeCache, Strategy::AdCache] {
+    for strategy in [
+        Strategy::RocksDbBlock,
+        Strategy::RangeCache,
+        Strategy::AdCache,
+    ] {
         let cfg = quick_config(strategy);
         let r = run_static(&cfg, Mix::new(80.0, 20.0, 0.0, 0.0), 8_000).unwrap();
         let first = r.mean_hit_rate(0, 4);

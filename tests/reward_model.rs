@@ -16,8 +16,16 @@ fn no_cache_config() -> RunConfig {
         strategy: Strategy::RocksDbBlock,
         total_cache_bytes: 0, // block cache admits nothing: every read hits the device
         db_options: Options::small(),
-        workload: WorkloadConfig { num_keys: 20_000, value_size: 64, ..Default::default() },
-        controller: ControllerConfig { window: 1000, hidden: 16, ..Default::default() },
+        workload: WorkloadConfig {
+            num_keys: 20_000,
+            value_size: 64,
+            ..Default::default()
+        },
+        controller: ControllerConfig {
+            window: 1000,
+            hidden: 16,
+            ..Default::default()
+        },
         cpu: CpuModel::default(),
         shards: 1,
         pretrained_agent: None,
@@ -25,6 +33,7 @@ fn no_cache_config() -> RunConfig {
         boundary_hysteresis: 0.02,
         serve_partial_range: true,
         compaction_prefetch_blocks: 0,
+        trace_dir: None,
     }
 }
 
@@ -81,12 +90,15 @@ fn h_estimate_approaches_one_with_a_huge_cache() {
     let mut cfg = no_cache_config();
     cfg.strategy = Strategy::RangeCache;
     cfg.total_cache_bytes = 64 << 20; // far larger than the dataset
-    // Small key space so cold (first-touch) misses are exhausted early and
-    // the tail windows measure pure steady state.
+                                      // Small key space so cold (first-touch) misses are exhausted early and
+                                      // the tail windows measure pure steady state.
     cfg.workload.num_keys = 4_000;
     let r = run_static(&cfg, Mix::new(100.0, 0.0, 0.0, 0.0), 40_000).unwrap();
     let tail = r.mean_hit_rate(r.windows.len() - 5, r.windows.len());
-    assert!(tail > 0.95, "steady-state hit rate with an oversized cache: {tail:.3}");
+    assert!(
+        tail > 0.95,
+        "steady-state hit rate with an oversized cache: {tail:.3}"
+    );
     // And the h_estimate helper agrees with the window records.
     let last = r.windows.last().unwrap();
     assert!((h_estimate(&last.summary) - last.hit_rate).abs() < 1e-12);

@@ -41,8 +41,12 @@ fn build(strategy: CacheStrategy, cache_bytes: usize) -> CachedDb {
     let mut opts = Options::small();
     opts.memtable_size = 4 << 10; // frequent flushes/compactions
     opts.sstable_size = 4 << 10;
-    CachedDb::new(opts, Arc::new(MemStorage::new()), EngineConfig::new(strategy, cache_bytes))
-        .unwrap()
+    CachedDb::new(
+        opts,
+        Arc::new(MemStorage::new()),
+        EngineConfig::new(strategy, cache_bytes),
+    )
+    .unwrap()
 }
 
 proptest! {

@@ -1,0 +1,87 @@
+//! Offline shim for the `crossbeam` crate: the `channel` module only,
+//! implemented over `std::sync::mpsc`. The workspace uses single-consumer
+//! channels exclusively, so mpsc semantics are sufficient.
+
+/// Multi-producer channels with the crossbeam-channel API shape.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a channel. Clonable; `send` takes `&self`.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// Error returned by `recv` on a disconnected empty channel.
+    pub use std::sync::mpsc::RecvError;
+    /// Error returned when the receiving half has been dropped.
+    pub use std::sync::mpsc::SendError;
+    /// Error returned by `try_recv`.
+    pub use std::sync::mpsc::TryRecvError;
+
+    impl<T> Sender<T> {
+        /// Sends `value`, failing only if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Iterates over received messages, ending when senders are gone.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates a channel with unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_roundtrip_across_threads() {
+            let (tx, rx) = unbounded::<u64>();
+            let tx2 = tx.clone();
+            let h = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            let mut sum = 0;
+            for _ in 0..100 {
+                sum += rx.recv().unwrap();
+            }
+            h.join().unwrap();
+            assert_eq!(sum, 4950);
+            drop(tx);
+            assert!(rx.recv().is_err(), "disconnected channel errors");
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! Offline shim for `serde_derive`: a dependency-free (no syn/quote)
+//! implementation of `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! targeting the in-tree `serde` shim's `Value`-based traits.
+//!
+//! Supported input shapes — exactly what this workspace uses, enforced with
+//! `compile_error!` so unsupported code fails loudly at the derive site:
+//!
+//! - structs with named fields, honouring `#[serde(skip)]` (skipped fields
+//!   are omitted on write and `Default::default()`-filled on read);
+//! - unit structs and tuple structs (newtype = transparent, n-tuple = array);
+//! - enums with unit, newtype, tuple and struct variants, using serde's
+//!   externally-tagged JSON representation (`"Variant"` for unit,
+//!   `{"Variant": ...}` otherwise).
+//!
+//! Generics, lifetimes and other `#[serde(...)]` attributes are rejected.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug, Clone)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Consumes leading attributes from `toks[*i]`, returning whether a
+/// `#[serde(skip)]` was present. Unknown `#[serde(...)]` forms error.
+fn eat_attrs(toks: &[TokenTree], i: &mut usize) -> Result<bool, String> {
+    let mut skip = false;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let TokenTree::Group(g) = &toks[*i + 1] else {
+                    return Err("malformed attribute".into());
+                };
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        let body = match inner.get(1) {
+                            Some(TokenTree::Group(b)) => b.stream().to_string(),
+                            _ => String::new(),
+                        };
+                        if body.trim() == "skip" {
+                            skip = true;
+                        } else {
+                            return Err(format!(
+                                "serde shim derive: unsupported attribute #[serde({})]",
+                                body.trim()
+                            ));
+                        }
+                    }
+                }
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+    Ok(skip)
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn eat_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Consumes a type (or any token run) up to a top-level `,`, tracking
+/// `<...>` nesting depth.
+fn eat_until_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let skip = eat_attrs(&toks, &mut i)?;
+        if i >= toks.len() {
+            break;
+        }
+        eat_vis(&toks, &mut i);
+        let TokenTree::Ident(name) = &toks[i] else {
+            return Err(format!("expected field name, found {}", toks[i]));
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after field name, found {other:?}")),
+        }
+        eat_until_comma(&toks, &mut i);
+        i += 1; // the comma (or past the end)
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+        });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        // Tuple fields can carry attrs/vis too.
+        let _ = eat_attrs(&toks, &mut i);
+        eat_vis(&toks, &mut i);
+        eat_until_comma(&toks, &mut i);
+        i += 1;
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        eat_attrs(&toks, &mut i)?;
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            return Err(format!("expected variant name, found {}", toks[i]));
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == '=' {
+                return Err("serde shim derive: explicit discriminants unsupported".into());
+            }
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    eat_attrs(&toks, &mut i)?;
+    eat_vis(&toks, &mut i);
+    let kw = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other}")),
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        return Err("expected type name".into());
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive: generic type `{name}` unsupported"
+            ));
+        }
+    }
+    match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input::Struct {
+                name,
+                fields: parse_named_fields(g)?,
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Input::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input::Enum {
+                name,
+                variants: parse_variants(g)?,
+            }),
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("serde shim derive: cannot derive for `{other}`")),
+    }
+}
+
+// ---- code generation ----------------------------------------------------
+
+fn gen_struct_fields_ser(fields: &[Field], access: &str) -> String {
+    let mut out = String::from("let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "__fields.push((\"{n}\".to_string(), ::serde::Serialize::serialize({access}{n})));\n",
+            n = f.name
+        ));
+    }
+    out.push_str("::serde::Value::Object(__fields)");
+    out
+}
+
+fn gen_struct_fields_de(ty_and_variant: &str, fields: &[Field], src: &str) -> String {
+    let mut out = format!("Ok({ty_and_variant} {{\n");
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!(
+                "{}: ::core::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{n}: match {src}.get(\"{n}\") {{\n\
+                     Some(__fv) => ::serde::Deserialize::deserialize(__fv)?,\n\
+                     None => return Err(::serde::DeError::missing_field(\"{n}\")),\n\
+                 }},\n",
+                n = f.name
+            ));
+        }
+    }
+    out.push_str("})");
+    out
+}
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let body = gen_struct_fields_ser(fields, "&self.");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Input::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::serialize(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let body = gen_struct_fields_ser(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                                 let __inner = {{ {body} }};\n\
+                                 ::serde::Value::Object(vec![(\"{vn}\".to_string(), __inner)])\n\
+                             }},\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let body = gen_struct_fields_de(name, fields, "__v");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                         if __v.as_object().is_none() {{\n\
+                             return Err(::serde::DeError::custom(\"expected object for struct {name}\"));\n\
+                         }}\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                     let _ = __v; Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Input::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+            } else {
+                let mut items = String::new();
+                for k in 0..*arity {
+                    items.push_str(&format!(
+                        "::serde::Deserialize::deserialize(&__a[{k}])?, "
+                    ));
+                }
+                format!(
+                    "let __a = __v.as_array().ok_or_else(|| ::serde::DeError::custom(\"expected array for tuple struct {name}\"))?;\n\
+                     if __a.len() != {arity} {{ return Err(::serde::DeError::custom(\"wrong tuple arity for {name}\")); }}\n\
+                     Ok({name}({items}))"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    unit_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}),\n",
+                        vn = v.name
+                    ));
+                }
+            }
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        // Also accept the {"Variant": null} form.
+                        tagged_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!("Ok({name}::{vn}(::serde::Deserialize::deserialize(__inner)?))")
+                        } else {
+                            let mut items = String::new();
+                            for k in 0..*arity {
+                                items.push_str(&format!(
+                                    "::serde::Deserialize::deserialize(&__a[{k}])?, "
+                                ));
+                            }
+                            format!(
+                                "let __a = __inner.as_array().ok_or_else(|| ::serde::DeError::custom(\"expected array for variant {vn}\"))?;\n\
+                                 if __a.len() != {arity} {{ return Err(::serde::DeError::custom(\"wrong arity for variant {vn}\")); }}\n\
+                                 Ok({name}::{vn}({items}))"
+                            )
+                        };
+                        tagged_arms.push_str(&format!("\"{vn}\" => {{ {body} }}\n"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let body =
+                            gen_struct_fields_de(&format!("{name}::{vn}"), fields, "__inner");
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 if __inner.as_object().is_none() {{\n\
+                                     return Err(::serde::DeError::custom(\"expected object for variant {vn}\"));\n\
+                                 }}\n\
+                                 {body}\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                         if let Some(__s) = __v.as_str() {{\n\
+                             match __s {{\n{unit_arms}_ => {{}}\n}}\n\
+                             return Err(::serde::DeError::custom(format!(\"unknown variant `{{__s}}` of {name}\")));\n\
+                         }}\n\
+                         let __obj = __v.as_object().ok_or_else(|| ::serde::DeError::custom(\"expected string or single-key object for enum {name}\"))?;\n\
+                         if __obj.len() != 1 {{\n\
+                             return Err(::serde::DeError::custom(\"expected single-key object for enum {name}\"));\n\
+                         }}\n\
+                         let (__tag, __inner) = (&__obj[0].0, &__obj[0].1);\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\
+                             __other => Err(::serde::DeError::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Derives `serde::Serialize` (shim semantics: lowering to `serde::Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde shim codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives `serde::Deserialize` (shim semantics: rebuilding from
+/// `serde::Value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde shim codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
