@@ -146,6 +146,7 @@ impl ExpParams {
             serve_partial_range: true,
             compaction_prefetch_blocks: 0,
             trace_dir: None,
+            continue_on_error: false,
         }
     }
 }

@@ -15,11 +15,11 @@
 use crate::container::{CacheStats, ChargedCache};
 use crate::policy::{LruPolicy, Policy};
 use adcache_lsm::compaction::{CompactionEvent, CompactionListener};
-use adcache_lsm::sstable::{decode_stored_block, BlockProvider, TableMeta};
+use adcache_lsm::sstable::{decode_stored_block_at, BlockProvider, TableMeta};
 use adcache_lsm::{Block, BlockRef, FileId, Result, Storage};
 use adcache_obs::{CacheStructure, Counter, Event, EvictionCause, Obs};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Factory producing one eviction policy per shard.
@@ -59,6 +59,7 @@ fn evicted_block_bytes(evicted: &[(BlockRef, Arc<Block>)]) -> u64 {
 pub struct BlockCache {
     shards: Vec<Mutex<ChargedCache<BlockRef, Arc<Block>>>>,
     obs: OnceLock<BlockObsHooks>,
+    decode_failures: AtomicU64,
 }
 
 fn shard_of(key: &BlockRef, n: usize) -> usize {
@@ -86,6 +87,7 @@ impl BlockCache {
                 .map(|_| Mutex::new(ChargedCache::new(per_shard, factory())))
                 .collect(),
             obs: OnceLock::new(),
+            decode_failures: AtomicU64::new(0),
         }
     }
 
@@ -223,6 +225,13 @@ impl BlockCache {
         }
     }
 
+    /// Blocks that failed checksum/decode verification on load and were
+    /// therefore refused admission (the owning file's cached blocks are
+    /// invalidated each time).
+    pub fn decode_failures(&self) -> u64 {
+        self.decode_failures.load(Ordering::Relaxed)
+    }
+
     /// Looks up a block without admission side effects (tests/metrics).
     pub fn peek(&self, key: &BlockRef) -> Option<Arc<Block>> {
         self.shards[shard_of(key, self.shards.len())]
@@ -268,7 +277,24 @@ impl BlockCache {
         }
         // Miss: fetch outside the shard lock (the device read dominates).
         let stored = storage.read_block(meta.id, block_no)?;
-        let block = Arc::new(decode_stored_block(stored)?);
+        let block = match decode_stored_block_at(meta.id, block_no, stored) {
+            Ok(b) => Arc::new(b),
+            Err(e) => {
+                // Containment: a block that failed checksum/decode is never
+                // admitted, and anything previously cached from the same
+                // file is suspect — drop it so a corrupt device region
+                // cannot keep serving stale decodes from memory.
+                self.decode_failures.fetch_add(1, Ordering::Relaxed);
+                self.invalidate(&[meta.id]);
+                if let Some(h) = self.obs.get() {
+                    h.obs.emit(|| Event::BlockQuarantined {
+                        file: meta.id,
+                        block: block_no as u64,
+                    });
+                }
+                return Err(e);
+            }
+        };
         let budget = admit.load(Ordering::Relaxed);
         if budget > 0 {
             admit.store(budget.saturating_sub(1), Ordering::Relaxed);
@@ -417,6 +443,39 @@ mod tests {
         let evicted = cache.set_capacity(1024);
         assert!(evicted > 0);
         assert!(cache.used() <= 1024);
+    }
+
+    #[test]
+    fn corrupt_block_is_never_admitted_and_file_is_purged() {
+        use adcache_lsm::{FaultPlan, FaultStorage, LsmError};
+
+        let storage = Arc::new(MemStorage::new());
+        let meta = table(storage.as_ref(), 1, 500);
+        let faulty = FaultStorage::new(storage, 99, FaultPlan::none());
+        let cache = BlockCache::new(1 << 20, 4);
+        let p = cache.provider();
+        // Warm the cache with a clean block from the same file.
+        p.block(&meta, 0, &faulty).unwrap();
+        assert_eq!(cache.len(), 1);
+
+        // Every subsequent device read returns a bit-flipped copy.
+        faulty.set_plan(FaultPlan {
+            bit_flip: 1.0,
+            ..FaultPlan::none()
+        });
+        let err = p.block(&meta, 1, &faulty).unwrap_err();
+        assert!(matches!(err, LsmError::Corruption(_)), "got {err:?}");
+        assert!(
+            cache.is_empty(),
+            "corrupt block must not be admitted and the file's blocks purged"
+        );
+        assert_eq!(cache.decode_failures(), 1);
+
+        // Containment, not collapse: once the device reads clean again the
+        // same cache keeps serving and admitting.
+        faulty.set_plan(FaultPlan::none());
+        p.block(&meta, 1, &faulty).unwrap();
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -95,6 +95,8 @@ fn print_help() {
          usage:\n\
          \x20 adcache [flags]     interactive shell\n\
          \x20 adcache trace DIR   summarize a trace directory (trace.jsonl + metrics.json)\n\
+         \x20 adcache faultcheck [--cycles N] [--seed S]\n\
+         \x20                     seeded crash-recover-verify fault drills\n\
          \n\
          flags:\n\
          \x20 --dir PATH        durable store rooted at PATH (default: in-memory)\n\
@@ -452,6 +454,227 @@ fn cmd_trace(dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Deterministic splitmix64 step for the fault-drill harness RNG.
+fn fc_mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Outcome counters for [`cmd_faultcheck`].
+#[derive(Default)]
+struct FaultCheckReport {
+    crashes_fired: u64,
+    faults_injected: u64,
+    lost_acked_writes: u64,
+    unstable_reopens: u64,
+    nonfinite_updates: u64,
+}
+
+/// One crash-recover-verify cycle: a durable tree over fault-injecting
+/// file storage takes writes under a storm plan with one armed crash
+/// point; the process "crashes" (drops the tree), reopens with faults
+/// paused, and checks every key against the acked-write model.
+fn faultcheck_cycle(
+    base: &std::path::Path,
+    cycle: u64,
+    seed: u64,
+    report: &mut FaultCheckReport,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use adcache_lsm::{
+        CrashController, CrashPoint, DirectProvider, FaultPlan, FaultStorage, LsmTree,
+    };
+
+    let dir = base.join(format!("cycle-{cycle}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+    let cseed = fc_mix(seed ^ cycle.wrapping_mul(0x517C_C1B7_2722_0A95));
+    let storage = Arc::new(FaultStorage::new(
+        Arc::new(FileStorage::open(dir.join("sst"))?),
+        cseed,
+        FaultPlan::none(),
+    ));
+    let crash = CrashController::new();
+    // Tiny memtable + padded values so a 200-op cycle crosses several
+    // flush and compaction seams — that is where the crash points live.
+    let mut opts = Options::small();
+    opts.memtable_size = 2 << 10;
+    let key_space = 48u64;
+    let kb = |k: u64| Bytes::from(format!("k{k:04}"));
+    let pad = "x".repeat(48);
+    // Per-key write history, in order: (value-or-tombstone, acked?). A
+    // failed op may still have reached the WAL before the injected error,
+    // so unacked writes are *candidates*, not forbidden states.
+    let mut history: Vec<Vec<(Option<Bytes>, bool)>> = vec![Vec::new(); key_space as usize];
+    let mut rng = cseed | 1;
+    let mut next = move || {
+        rng = fc_mix(rng);
+        rng
+    };
+    {
+        let db = LsmTree::with_durability(opts.clone(), storage.clone(), dir.join("meta"))?;
+        db.set_crash_controller(crash.clone());
+        // Baseline data lands cleanly so the faulted phase reads and
+        // compacts real tables.
+        for k in 0..key_space {
+            let v = Bytes::from(format!("base-{cycle}-{k}-{pad}"));
+            db.put(kb(k), v.clone())?;
+            history[k as usize].push((Some(v), true));
+        }
+        db.flush()?;
+
+        // Storm on, one crash point armed somewhere in the cycle.
+        storage.set_plan(FaultPlan::storm());
+        let points = CrashPoint::all();
+        crash.arm(
+            points[(next() % points.len() as u64) as usize],
+            next() % 3 + 1,
+        );
+        for i in 0..200u64 {
+            let k = next() % key_space;
+            match next() % 100 {
+                0..=59 => {
+                    let v = Bytes::from(format!("c{cycle}-i{i}-{pad}"));
+                    let acked = db.put(kb(k), v.clone()).is_ok();
+                    history[k as usize].push((Some(v), acked));
+                }
+                60..=69 => {
+                    let acked = db.delete(kb(k)).is_ok();
+                    history[k as usize].push((None, acked));
+                }
+                70..=74 => {
+                    let _ = db.maybe_compact_once();
+                }
+                _ => {
+                    let _ = db.get(&kb(k), &DirectProvider);
+                }
+            }
+            if crash.fired() {
+                break;
+            }
+        }
+        if crash.fired() {
+            report.crashes_fired += 1;
+        }
+        report.faults_injected += storage.fault_stats().total();
+        // The tree drops here: the simulated crash.
+    }
+
+    // Recovery runs against a quiet device.
+    storage.set_active(false);
+    let reopen = |path: &std::path::Path| {
+        LsmTree::with_durability(opts.clone(), storage.clone(), path.join("meta"))
+    };
+    let db = reopen(&dir)?;
+    let mut state = Vec::with_capacity(key_space as usize);
+    for k in 0..key_space {
+        let got = db.get(&kb(k), &DirectProvider)?;
+        let h = &history[k as usize];
+        let last_acked = h.iter().rposition(|(_, acked)| *acked);
+        let matches = |want: &Option<Bytes>| got.as_deref() == want.as_deref();
+        let ok = match last_acked {
+            // The recovered value must be the last acked write or any
+            // unacked candidate issued after it — never older.
+            Some(idx) => h[idx..].iter().any(|(v, _)| matches(v)),
+            None => got.is_none() || h.iter().any(|(v, _)| matches(v)),
+        };
+        if !ok {
+            report.lost_acked_writes += 1;
+            eprintln!(
+                "cycle {cycle}: key k{k:04} recovered {:?}, not justified by its write history",
+                got.as_ref()
+                    .map(|v| String::from_utf8_lossy(v).into_owned())
+            );
+        }
+        state.push(got);
+    }
+    drop(db);
+
+    // Recovery must be idempotent: a second reopen (same quiet device)
+    // yields the identical state — nothing is applied twice or re-lost.
+    let db = reopen(&dir)?;
+    for k in 0..key_space {
+        if db.get(&kb(k), &DirectProvider)? != state[k as usize] {
+            report.unstable_reopens += 1;
+            eprintln!("cycle {cycle}: key k{k:04} changed between reopens");
+        }
+    }
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+/// `adcache faultcheck` — runs N seeded crash-recover-verify cycles plus
+/// an RL storm drill; exits nonzero on any violated guarantee.
+fn cmd_faultcheck(cycles: u64, seed: u64) -> Result<bool, Box<dyn std::error::Error>> {
+    use adcache_core::{prepare_db_with_storage, run_schedule_on, RunConfig};
+    use adcache_lsm::{FaultPlan, FaultStorage};
+    use adcache_workload::{Phase, Schedule};
+
+    let base = std::env::temp_dir().join(format!("adcache-faultcheck-{}", std::process::id()));
+    let mut report = FaultCheckReport::default();
+    for cycle in 0..cycles {
+        faultcheck_cycle(&base, cycle, seed, &mut report)?;
+    }
+    let _ = std::fs::remove_dir_all(&base);
+
+    // RL guarantee: a full engine + controller run under a fault storm
+    // keeps training finite (failed reads become misses, never NaN).
+    let mut cfg = RunConfig::new(
+        Strategy::AdCache,
+        128 << 10,
+        WorkloadConfig {
+            num_keys: 3000,
+            value_size: 64,
+            seed,
+            ..Default::default()
+        },
+    );
+    cfg.controller.window = 200;
+    cfg.controller.hidden = 16;
+    cfg.controller.seed = seed;
+    cfg.continue_on_error = true;
+    let faulty = Arc::new(FaultStorage::new(
+        Arc::new(MemStorage::new()),
+        seed,
+        FaultPlan::none(),
+    ));
+    let db = prepare_db_with_storage(&cfg, faulty.clone())?;
+    faulty.set_plan(FaultPlan::storm());
+    let schedule = Schedule {
+        phases: vec![Phase {
+            name: "storm".into(),
+            mix: Mix::new(40.0, 25.0, 15.0, 20.0),
+            ops: 4000,
+        }],
+    };
+    let run = run_schedule_on(&cfg, &schedule, &db)?;
+    report.nonfinite_updates = run.nonfinite_repairs;
+    let storm_errors = run.op_errors;
+    if !run.overall_hit_rate.is_finite() || !run.overall_qps.is_finite() {
+        report.nonfinite_updates += 1;
+    }
+
+    println!(
+        "faultcheck: {cycles} cycles (seed {seed}), {} crash points fired, {} faults injected",
+        report.crashes_fired, report.faults_injected
+    );
+    println!(
+        "  storage:  {} lost acked writes, {} unstable reopens",
+        report.lost_acked_writes, report.unstable_reopens
+    );
+    println!(
+        "  rl storm: {} op errors absorbed, {} non-finite controller updates",
+        storm_errors, report.nonfinite_updates
+    );
+    let ok = report.lost_acked_writes == 0
+        && report.unstable_reopens == 0
+        && report.nonfinite_updates == 0;
+    println!("{}", if ok { "PASS" } else { "FAIL" });
+    Ok(ok)
+}
+
 fn handle(shell: &Shell, line: &str) -> Result<bool, Box<dyn std::error::Error>> {
     let db = &shell.db;
     let parts: Vec<&str> = line.split_whitespace().collect();
@@ -552,6 +775,44 @@ fn main() {
             std::process::exit(1);
         }
         return;
+    }
+    // Non-interactive subcommand: `adcache faultcheck [--cycles N] [--seed S]`.
+    if argv.get(1).map(String::as_str) == Some("faultcheck") {
+        let mut cycles = 50u64;
+        let mut seed = 42u64;
+        let mut i = 2;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--cycles" => {
+                    i += 1;
+                    cycles = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--cycles needs a number");
+                        std::process::exit(2);
+                    });
+                }
+                "--seed" => {
+                    i += 1;
+                    seed = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--seed needs a number");
+                        std::process::exit(2);
+                    });
+                }
+                other => {
+                    eprintln!("unknown faultcheck flag {other}");
+                    eprintln!("usage: adcache faultcheck [--cycles N] [--seed S]");
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        match cmd_faultcheck(cycles, seed) {
+            Ok(true) => return,
+            Ok(false) => std::process::exit(1),
+            Err(e) => {
+                eprintln!("faultcheck error: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     let cfg = match parse_args() {
         Ok(c) => c,
@@ -683,6 +944,19 @@ mod tests {
         // The summarizer must parse its own dump end to end.
         cmd_trace(&dir).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faultcheck_cycles_hold_guarantees() {
+        let base = std::env::temp_dir().join(format!("adcache-cli-fc-test-{}", std::process::id()));
+        let mut report = FaultCheckReport::default();
+        for cycle in 0..6 {
+            faultcheck_cycle(&base, cycle, 7, &mut report).unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&base);
+        assert_eq!(report.lost_acked_writes, 0);
+        assert_eq!(report.unstable_reopens, 0);
+        assert!(report.faults_injected > 0, "the storm plan must bite");
     }
 
     #[test]

@@ -142,6 +142,7 @@ pub struct Controller {
     history: Vec<TuningRecord>,
     base_lr: f32,
     base_std: f32,
+    nonfinite_repairs: u64,
     obs: Obs,
 }
 
@@ -173,6 +174,7 @@ impl Controller {
             history: Vec::new(),
             base_lr,
             base_std,
+            nonfinite_repairs: 0,
             obs: Obs::disabled(),
         }
     }
@@ -235,12 +237,39 @@ impl Controller {
         d
     }
 
+    /// Non-finite features or rewards repaired (replaced by 0.0) before
+    /// reaching the agent. Non-zero means a degraded window (fault storm,
+    /// counter anomaly) produced bad telemetry — the controller absorbed it
+    /// rather than poisoning the network weights.
+    pub fn nonfinite_repairs(&self) -> u64 {
+        self.nonfinite_repairs
+    }
+
+    /// Replaces any NaN/Inf element with 0.0, counting repairs.
+    fn sanitize(&mut self, v: &mut [f32]) {
+        for x in v.iter_mut() {
+            if !x.is_finite() {
+                *x = 0.0;
+                self.nonfinite_repairs += 1;
+            }
+        }
+    }
+
     /// Consumes a finished window; trains; returns the decision for the
     /// next window.
     pub fn end_of_window(&mut self, w: &WindowSummary) -> CacheDecision {
-        let h = h_estimate(w);
-        let (h_smoothed, reward) = self.smoother.update(h);
-        let next_state = self.featurize(w);
+        let mut h = h_estimate(w);
+        if !h.is_finite() {
+            h = 0.0;
+            self.nonfinite_repairs += 1;
+        }
+        let (h_smoothed, mut reward) = self.smoother.update(h);
+        if !reward.is_finite() {
+            reward = 0.0;
+            self.nonfinite_repairs += 1;
+        }
+        let mut next_state = self.featurize(w);
+        self.sanitize(&mut next_state);
 
         if self.cfg.online {
             if let Some((state, action)) = self.last.take() {
@@ -404,6 +433,25 @@ mod tests {
         assert_eq!(c.agent().updates(), 1);
         c.end_of_window(&window(500, 300, 200, 400));
         assert_eq!(c.agent().updates(), 2);
+    }
+
+    #[test]
+    fn poisoned_window_is_repaired_before_training() {
+        let mut c = Controller::new(small_cfg());
+        let mut w = window(500, 300, 200, 400);
+        w.avg_scan_len = f64::NAN;
+        w.block_hit_rate = f64::INFINITY;
+        // Two windows so a transition actually trains on repaired inputs.
+        c.end_of_window(&w);
+        let d = c.end_of_window(&w);
+        assert!(c.nonfinite_repairs() > 0, "poisoned features were counted");
+        assert!(d.range_ratio.is_finite());
+        assert!((0.0..=1.0).contains(&d.range_ratio));
+        assert!(c.history().iter().all(|r| r.reward.is_finite()));
+        // Training continued on sane values: a clean window still works.
+        let d = c.end_of_window(&window(500, 300, 200, 400));
+        assert!(d.range_ratio.is_finite());
+        assert_eq!(c.agent().nonfinite_inputs(), 0, "repairs happen upstream");
     }
 
     #[test]

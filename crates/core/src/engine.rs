@@ -359,8 +359,18 @@ impl CachedDb {
         }
         self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
         let result = match &self.block_cache {
-            Some(bc) => self.db.get(key, &bc.provider())?,
-            None => self.db.get(key, &DirectProvider)?,
+            Some(bc) => self.db.get(key, &bc.provider()),
+            None => self.db.get(key, &DirectProvider),
+        };
+        // Graceful degradation: a failed read is charged as a miss (the
+        // controller must see a failing device as expensive, not as a
+        // quiet window) and the error propagates to the caller.
+        let result = match result {
+            Ok(r) => r,
+            Err(e) => {
+                self.counters.add_failed_read();
+                return Err(e);
+            }
         };
         // Cache-fill path.
         if let Some(v) = &result {
@@ -451,9 +461,16 @@ impl CachedDb {
                 } else {
                     bc.provider()
                 };
-                self.db.scan(&cont_key, remaining, &provider)?
+                self.db.scan(&cont_key, remaining, &provider)
             }
-            None => self.db.scan(&cont_key, remaining, &DirectProvider)?,
+            None => self.db.scan(&cont_key, remaining, &DirectProvider),
+        };
+        let tail = match tail {
+            Ok(t) => t,
+            Err(e) => {
+                self.counters.add_failed_read();
+                return Err(e);
+            }
         };
         if let Some(rc) = &self.range_cache {
             let admitted = if self.strategy == Strategy::AdCache {
@@ -642,6 +659,7 @@ impl CachedDb {
             block_cache_misses: bstats.misses,
             compactions: self.db.stats().compactions(),
             simulated_ns: self.db.storage().stats().simulated_ns(),
+            failed_reads: c.failed_reads.load(Ordering::Relaxed),
         }
     }
 
@@ -943,6 +961,47 @@ mod tests {
         assert!(w.runs >= 1);
         assert_eq!(w.r0_max, 8);
         assert!(w.io_miss > 0);
+    }
+
+    #[test]
+    fn failed_reads_are_counted_and_do_not_wedge_the_engine() {
+        use adcache_lsm::{FaultPlan, FaultStorage};
+
+        let inner = Arc::new(MemStorage::new());
+        let faulty = Arc::new(FaultStorage::new(inner, 11, FaultPlan::none()));
+        let mut opts = Options::small();
+        // Leave no retry headroom so injected errors surface to the engine.
+        opts.read_retries = 0;
+        let db = CachedDb::new(
+            opts,
+            faulty.clone(),
+            EngineConfig::new(Strategy::AdCache, 64 << 10),
+        )
+        .unwrap();
+        populate(&db, 1000);
+        faulty.set_plan(FaultPlan {
+            read_transient: 1.0,
+            ..FaultPlan::none()
+        });
+        let start = db.snapshot();
+        let mut failures = 0;
+        for i in 0..20 {
+            if db.get(&render_key(i)).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures > 0, "an always-failing device must surface errors");
+        let w = db.window_summary(&start);
+        assert!(
+            w.io_miss >= failures,
+            "failed reads must be charged as misses (io_miss {}, failures {failures})",
+            w.io_miss
+        );
+        // The storm passes; the same engine serves again.
+        faulty.set_plan(FaultPlan::none());
+        for i in 0..20 {
+            assert!(db.get(&render_key(i)).unwrap().is_some());
+        }
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub use engine::{CachedDb, EngineConfig, Strategy};
 pub use histogram::Histogram;
 pub use reward::{h_estimate, io_estimate, io_estimate_of, RewardSmoother};
 pub use runner::{
-    execute, prepare_db, run_multiclient, run_schedule, run_schedule_on, run_static, CpuModel,
-    RunConfig, RunResult, WindowRecord,
+    execute, prepare_db, prepare_db_with_storage, run_multiclient, run_schedule, run_schedule_on,
+    run_static, CpuModel, RunConfig, RunResult, WindowRecord,
 };
 pub use stats::{Counters, Snapshot, WindowSummary};

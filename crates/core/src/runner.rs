@@ -73,6 +73,10 @@ pub struct RunConfig {
     /// for existing binaries without code changes (the config field wins
     /// when both are present).
     pub trace_dir: Option<PathBuf>,
+    /// Keep executing when an operation fails (fault drills): the error is
+    /// counted in [`RunResult::op_errors`] instead of aborting the run.
+    /// Default `false` — normal experiments treat any I/O error as fatal.
+    pub continue_on_error: bool,
 }
 
 impl RunConfig {
@@ -95,6 +99,7 @@ impl RunConfig {
             serve_partial_range: true,
             compaction_prefetch_blocks: 0,
             trace_dir: None,
+            continue_on_error: false,
         }
     }
 
@@ -173,6 +178,12 @@ pub struct RunResult {
     /// Distribution of per-operation simulated latencies (device time plus
     /// the CPU charge), in nanoseconds.
     pub latency: Histogram,
+    /// Operations that failed and were skipped (only non-zero when
+    /// [`RunConfig::continue_on_error`] is set).
+    pub op_errors: u64,
+    /// Non-finite controller inputs repaired before training (see
+    /// [`Controller::nonfinite_repairs`]); always 0 for baselines.
+    pub nonfinite_repairs: u64,
 }
 
 impl RunResult {
@@ -202,7 +213,16 @@ fn simulated_window_ns(w: &WindowSummary, cpu: &CpuModel, entries_delta: u64) ->
 /// Builds the engine, loads `workload.num_keys` keys, and settles
 /// compactions so measurement starts from a steady tree.
 pub fn prepare_db(cfg: &RunConfig) -> Result<CachedDb> {
-    let storage = Arc::new(MemStorage::new());
+    prepare_db_with_storage(cfg, Arc::new(MemStorage::new()))
+}
+
+/// Like [`prepare_db`] but over a caller-supplied storage backend (file
+/// storage for durability drills, a fault-injecting wrapper for resilience
+/// tests).
+pub fn prepare_db_with_storage(
+    cfg: &RunConfig,
+    storage: Arc<dyn adcache_lsm::Storage>,
+) -> Result<CachedDb> {
     let mut ecfg = EngineConfig::new(cfg.strategy, cfg.total_cache_bytes);
     ecfg.block_shards = cfg.shards;
     ecfg.expected_keys = cfg.workload.num_keys as usize;
@@ -294,10 +314,15 @@ pub fn run_schedule_on(cfg: &RunConfig, schedule: &Schedule, db: &CachedDb) -> R
     let mut last_entries = 0u64;
 
     let total = schedule.total_ops();
+    let mut op_errors = 0u64;
     while executed < total {
         let (phase, _) = schedule.phase_at(executed).expect("within schedule");
         let op = gen.next_op(&phase.mix);
-        execute(db, &op)?;
+        match execute(db, &op) {
+            Ok(()) => {}
+            Err(_) if cfg.continue_on_error => op_errors += 1,
+            Err(e) => return Err(e),
+        }
         // Per-op simulated latency: device time consumed by this op plus
         // the CPU charge for the op itself and any entries it returned.
         let sim_now = io_stats.simulated_ns();
@@ -363,6 +388,8 @@ pub fn run_schedule_on(cfg: &RunConfig, schedule: &Schedule, db: &CachedDb) -> R
         wall_secs: wall_start.elapsed().as_secs_f64(),
         windows,
         latency,
+        op_errors,
+        nonfinite_repairs: controller.as_ref().map_or(0, |c| c.nonfinite_repairs()),
     })
 }
 
@@ -582,6 +609,39 @@ mod tests {
             !db.obs().is_enabled(),
             "no trace dir -> engine obs must stay disabled"
         );
+    }
+
+    #[test]
+    fn fault_storm_run_degrades_gracefully() {
+        use adcache_lsm::{FaultPlan, FaultStorage};
+
+        let mut cfg = quick_cfg(Strategy::AdCache);
+        cfg.continue_on_error = true;
+        let inner = Arc::new(MemStorage::new());
+        let faulty = Arc::new(FaultStorage::new(inner, 21, FaultPlan::none()));
+        let db = prepare_db_with_storage(&cfg, faulty.clone()).unwrap();
+        faulty.set_plan(FaultPlan::storm());
+        let schedule = Schedule {
+            phases: vec![adcache_workload::Phase {
+                name: "storm".into(),
+                mix: Mix::new(40.0, 25.0, 15.0, 20.0),
+                ops: 2000,
+            }],
+        };
+        let r = run_schedule_on(&cfg, &schedule, &db).unwrap();
+        assert!(r.op_errors > 0, "the storm plan must actually bite");
+        assert_eq!(
+            r.nonfinite_repairs, 0,
+            "fault storms must not poison controller inputs"
+        );
+        assert!(r.overall_hit_rate.is_finite());
+        assert!(r.overall_qps.is_finite());
+        for w in &r.windows {
+            assert!(w.hit_rate.is_finite(), "window {} hit rate", w.index);
+            if let Some(d) = &w.decision {
+                assert!(d.range_ratio.is_finite() && (0.0..=1.0).contains(&d.range_ratio));
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub struct Counters {
     pub cache_misses: AtomicU64,
     /// Entries returned by scans (CPU cost accounting).
     pub entries_returned: AtomicU64,
+    /// Reads that failed at the storage layer (fault injection or real I/O
+    /// errors). Counted toward `IO_miss` so the controller sees a failing
+    /// device as a cold cache, never as free hits.
+    pub failed_reads: AtomicU64,
 }
 
 impl Counters {
@@ -37,6 +41,10 @@ impl Counters {
     #[allow(missing_docs)]
     pub fn add_write(&self) {
         self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+    #[allow(missing_docs)]
+    pub fn add_failed_read(&self) {
+        self.failed_reads.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total operations so far.
@@ -74,6 +82,8 @@ pub struct Snapshot {
     pub compactions: u64,
     /// Simulated device nanoseconds so far.
     pub simulated_ns: u64,
+    /// Storage-layer read failures so far.
+    pub failed_reads: u64,
 }
 
 /// Per-window deltas derived from two snapshots, plus tree-shape context —
@@ -151,7 +161,8 @@ impl WindowSummary {
             cache_misses: end.cache_misses.saturating_sub(start.cache_misses),
             io_miss: end
                 .query_block_reads
-                .saturating_sub(start.query_block_reads),
+                .saturating_sub(start.query_block_reads)
+                + end.failed_reads.saturating_sub(start.failed_reads),
             block_hit_rate: if bh + bm == 0 {
                 0.0
             } else {
@@ -238,6 +249,22 @@ mod tests {
         assert_eq!(w.block_hit_rate, 0.0);
         assert_eq!(w.compactions, 0);
         assert_eq!(w.simulated_ns, 0);
+    }
+
+    #[test]
+    fn failed_reads_count_toward_io_miss() {
+        let start = Snapshot {
+            query_block_reads: 100,
+            failed_reads: 2,
+            ..Default::default()
+        };
+        let end = Snapshot {
+            query_block_reads: 130,
+            failed_reads: 7,
+            ..Default::default()
+        };
+        let w = WindowSummary::from_snapshots(&start, &end);
+        assert_eq!(w.io_miss, 35, "30 block reads + 5 failed reads");
     }
 
     #[test]

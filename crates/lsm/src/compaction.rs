@@ -151,9 +151,10 @@ pub fn run_compaction(
         .collect();
     let new_files: Vec<FileId> = outputs.iter().map(|t| t.id).collect();
     version.apply_compaction(from_level, to_level, &obsolete, outputs)?;
-    for id in &obsolete {
-        storage.delete_table(*id)?;
-    }
+    // Deleting the obsolete inputs is the CALLER's job, and only after the
+    // new version is durably committed (manifest first, delete second): a
+    // crash in between must leave orphan files, never a manifest that
+    // references deleted tables. See `LsmTree::finish_compaction`.
 
     Ok(Some(CompactionEvent {
         from_level,
@@ -191,6 +192,14 @@ mod tests {
         b.finish(storage).unwrap()
     }
 
+    /// Mirrors the engine's post-commit step: obsolete inputs are deleted
+    /// only after `run_compaction` returns (see `LsmTree::finish_compaction`).
+    fn apply_deletes(storage: &dyn Storage, ev: &CompactionEvent) {
+        for id in &ev.obsolete_files {
+            storage.delete_table(*id).unwrap();
+        }
+    }
+
     #[test]
     fn l0_to_l1_merges_newest_wins() {
         let opts = Options::small();
@@ -223,7 +232,10 @@ mod tests {
         assert_eq!(v.level_files(1), 1);
         assert!(ev.blocks_read >= 2);
         assert!(ev.blocks_written >= 1);
-        // Obsolete tables are gone from storage; output is readable.
+        // Inputs survive until the caller commits and deletes them; after
+        // that only the output remains, and it is readable.
+        assert_eq!(storage.table_count(), 3);
+        apply_deletes(&storage, &ev);
         assert_eq!(storage.table_count(), 1);
         let out = v.level(1)[0].clone();
         let p = DirectProvider;
@@ -259,9 +271,10 @@ mod tests {
             next += 1;
             next
         };
-        run_compaction(&mut v, CompactionTask::L0ToL1, &opts, &storage, &mut alloc)
+        let ev = run_compaction(&mut v, CompactionTask::L0ToL1, &opts, &storage, &mut alloc)
             .unwrap()
             .unwrap();
+        apply_deletes(&storage, &ev);
         assert_eq!(v.level_files(1), 1, "tombstone must survive to L1");
         let p = DirectProvider;
         assert_eq!(
@@ -269,7 +282,7 @@ mod tests {
             Some(Entry::Tombstone)
         );
         // Now push it down into L2 where the old value lives.
-        run_compaction(
+        let ev = run_compaction(
             &mut v,
             CompactionTask::LevelDown { level: 1 },
             &opts,
@@ -278,6 +291,7 @@ mod tests {
         )
         .unwrap()
         .unwrap();
+        apply_deletes(&storage, &ev);
         assert_eq!(v.level_files(1), 0);
         // L3 empty => tombstone and the value it shadowed both vanish.
         assert_eq!(

@@ -34,6 +34,7 @@ pub mod compaction;
 pub mod compress;
 pub mod db;
 pub mod error;
+pub mod fault;
 pub mod iterator;
 pub mod manifest;
 pub mod memtable;
@@ -51,9 +52,12 @@ pub use compaction::{CompactionEvent, CompactionListener};
 pub use compress::{lzss_compress, lzss_decompress};
 pub use db::{DbStats, LsmTree};
 pub use error::{LsmError, Result};
+pub use fault::{CrashController, CrashPoint, FaultPlan, FaultStats, FaultStorage};
 pub use options::Options;
 pub use skiplist::SkipList;
-pub use sstable::{decode_stored_block, BlockProvider, DirectProvider, TableMeta};
+pub use sstable::{
+    decode_stored_block, decode_stored_block_at, BlockProvider, DirectProvider, TableMeta,
+};
 pub use storage::{CostModel, FileStorage, IoStats, MemStorage, Storage};
 pub use types::{BlockRef, Entry, FileId, Key, KeyEntry, Value};
-pub use wal::{crc32, WalWriter};
+pub use wal::{crc32, ReplayOutcome, WalWriter};

@@ -30,7 +30,18 @@ pub struct ManifestState {
     pub tables: Vec<(usize, FileId)>,
 }
 
-/// Serializes `state` and writes it atomically to `path`.
+/// The sibling path holding the previous good manifest during a commit.
+pub fn backup_path(path: &Path) -> PathBuf {
+    path.with_extension("bak")
+}
+
+/// Serializes `state` and commits it atomically to `path`.
+///
+/// Commit sequence: write the new manifest to a temp file and fsync it,
+/// preserve the current manifest (if any) as `<path>.bak`, then rename the
+/// temp file into place. Any single crash point leaves either the new
+/// manifest at `path` or the previous one at the backup path —
+/// [`recover_manifest`] checks both.
 pub fn write_manifest(path: &Path, state: &ManifestState) -> Result<()> {
     let mut body = String::from("adcache-manifest v1\n");
     body.push_str(&format!("next_file {}\n", state.next_file));
@@ -41,10 +52,48 @@ pub fn write_manifest(path: &Path, state: &ManifestState) -> Result<()> {
     body.push_str(&format!("crc {crc:08x}\n"));
 
     let tmp: PathBuf = path.with_extension("tmp");
-    std::fs::write(&tmp, body.as_bytes())?;
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut f, body.as_bytes())?;
+        f.sync_data()?;
+    }
+    if path.exists() {
+        std::fs::rename(path, backup_path(path))?;
+    }
     // Rename is atomic on POSIX filesystems.
     std::fs::rename(&tmp, path)?;
     Ok(())
+}
+
+/// Loads the manifest, falling back to the previous good version when the
+/// current one is missing mid-commit or fails validation.
+///
+/// Returns `Ok(None)` for a genuinely fresh directory (neither file
+/// exists). The `bool` is true when recovery had to roll back to the
+/// backup; the caller should surface that (journal + stats) because it
+/// means the newest version was lost.
+pub fn recover_manifest(path: &Path) -> Result<(Option<ManifestState>, bool)> {
+    let primary = read_manifest(path);
+    match primary {
+        Ok(Some(state)) => Ok((Some(state), false)),
+        Ok(None) | Err(LsmError::Corruption(_)) => {
+            // Primary corrupt, or missing because a crash hit between the
+            // two commit renames — either way the backup is the last good
+            // version.
+            let primary_err = primary.err();
+            match read_manifest(&backup_path(path)) {
+                Ok(Some(state)) => Ok((Some(state), true)),
+                Ok(None) => match primary_err {
+                    // Corrupt primary and no backup to fall back to.
+                    Some(e) => Err(e),
+                    None => Ok((None, false)),
+                },
+                // Both damaged: report the primary's error.
+                Err(backup_err) => Err(primary_err.unwrap_or(backup_err)),
+            }
+        }
+        Err(e) => Err(e),
+    }
 }
 
 /// Loads and validates a manifest. `Ok(None)` when no manifest exists yet.
@@ -175,6 +224,74 @@ mod tests {
         assert_eq!(back.tables, vec![(0, 1)]);
         assert!(!path.with_extension("tmp").exists(), "temp file cleaned up");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recover_rolls_back_to_backup_on_corruption() {
+        let path = tmp("rollback");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(backup_path(&path));
+        let v1 = ManifestState {
+            next_file: 3,
+            tables: vec![(0, 2)],
+        };
+        let v2 = ManifestState {
+            next_file: 5,
+            tables: vec![(0, 4), (1, 2)],
+        };
+        write_manifest(&path, &v1).unwrap();
+        write_manifest(&path, &v2).unwrap();
+        // Clean state: primary wins, no rollback.
+        let (state, rolled_back) = recover_manifest(&path).unwrap();
+        assert_eq!(state.unwrap(), v2);
+        assert!(!rolled_back);
+        // Corrupt the primary: recovery falls back to the preserved v1.
+        std::fs::write(&path, b"garbage").unwrap();
+        let (state, rolled_back) = recover_manifest(&path).unwrap();
+        assert_eq!(state.unwrap(), v1);
+        assert!(rolled_back);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(backup_path(&path)).unwrap();
+    }
+
+    #[test]
+    fn recover_survives_crash_between_commit_renames() {
+        let path = tmp("mid-commit");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(backup_path(&path));
+        let v1 = ManifestState {
+            next_file: 3,
+            tables: vec![(0, 2)],
+        };
+        write_manifest(&path, &v1).unwrap();
+        // Simulate a crash after `rename(path, bak)` but before
+        // `rename(tmp, path)`: primary gone, backup holds the last good
+        // version.
+        std::fs::rename(&path, backup_path(&path)).unwrap();
+        let (state, rolled_back) = recover_manifest(&path).unwrap();
+        assert_eq!(state.unwrap(), v1);
+        assert!(rolled_back);
+        std::fs::remove_file(backup_path(&path)).unwrap();
+    }
+
+    #[test]
+    fn recover_fresh_directory_is_none() {
+        let path = tmp("fresh");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(backup_path(&path));
+        let (state, rolled_back) = recover_manifest(&path).unwrap();
+        assert!(state.is_none());
+        assert!(!rolled_back);
+    }
+
+    #[test]
+    fn recover_fails_when_both_copies_are_damaged() {
+        let path = tmp("both-bad");
+        std::fs::write(&path, b"garbage").unwrap();
+        std::fs::write(backup_path(&path), b"also garbage").unwrap();
+        assert!(recover_manifest(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(backup_path(&path)).unwrap();
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub struct Options {
     /// stored raw automatically). The paper's evaluation runs without
     /// compression, so this defaults to off.
     pub compression: bool,
+    /// Retries for a failed query-path block read before the error
+    /// surfaces (transient device errors and checksum failures resolve on
+    /// re-read; see `fault::FaultStorage`). Zero disables retrying.
+    pub read_retries: u32,
+    /// Backoff charged to the simulated clock before the first retry;
+    /// doubles per attempt. Never a real sleep.
+    pub retry_backoff_ns: u64,
 }
 
 impl Default for Options {
@@ -53,6 +60,8 @@ impl Default for Options {
             bloom_bits_per_key: 10,
             max_levels: 7,
             compression: false,
+            read_retries: 2,
+            retry_backoff_ns: 50_000,
         }
     }
 }
@@ -76,6 +85,8 @@ impl Options {
             bloom_bits_per_key: 10,
             max_levels: 7,
             compression: false,
+            read_retries: 2,
+            retry_backoff_ns: 50_000,
         }
     }
 
@@ -96,6 +107,8 @@ impl Options {
             bloom_bits_per_key: 10,
             max_levels: 7,
             compression: false,
+            read_retries: 2,
+            retry_backoff_ns: 50_000,
         }
     }
 

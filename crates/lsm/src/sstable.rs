@@ -152,6 +152,18 @@ pub fn decode_stored_block(stored: Bytes) -> Result<Block> {
     Block::decode(Bytes::from(raw))
 }
 
+/// [`decode_stored_block`] with the block's address stamped into any
+/// corruption error, so quarantine bookkeeping and fault journals can name
+/// the damaged block instead of an anonymous payload.
+pub fn decode_stored_block_at(file: FileId, block_no: u32, stored: Bytes) -> Result<Block> {
+    decode_stored_block(stored).map_err(|e| match e {
+        crate::error::LsmError::Corruption(msg) => {
+            crate::error::LsmError::Corruption(format!("table {file} block {block_no}: {msg}"))
+        }
+        other => other,
+    })
+}
+
 /// Provider that always fetches from storage: the no-block-cache baseline.
 #[derive(Debug, Default)]
 pub struct DirectProvider;
@@ -159,7 +171,7 @@ pub struct DirectProvider;
 impl BlockProvider for DirectProvider {
     fn block(&self, meta: &TableMeta, block_no: u32, storage: &dyn Storage) -> Result<Arc<Block>> {
         let stored = storage.read_block(meta.id, block_no)?;
-        Ok(Arc::new(decode_stored_block(stored)?))
+        Ok(Arc::new(decode_stored_block_at(meta.id, block_no, stored)?))
     }
 }
 

@@ -137,37 +137,82 @@ impl WalWriter {
     }
 }
 
-/// Replays a WAL file in order. A torn or corrupt tail record ends the
-/// replay without error (standard recovery semantics); corruption *before*
-/// the tail is also treated as end-of-valid-log.
-pub fn replay(path: &Path) -> Result<Vec<KeyEntry>> {
+/// What a WAL replay recovered, and what it had to discard.
+#[derive(Debug, Default)]
+pub struct ReplayOutcome {
+    /// Intact records, in append order.
+    pub records: Vec<KeyEntry>,
+    /// Bytes truncated from a torn tail (0 on a clean log). When nonzero
+    /// the file on disk has already been truncated to its valid prefix.
+    pub torn_tail_bytes: u64,
+}
+
+/// Replays a WAL file in order, distinguishing two failure shapes:
+///
+/// - **Torn tail** — the *last physical record* is incomplete or fails its
+///   CRC. That is exactly what a crash mid-append produces; losing it is
+///   not data loss because the record was never acknowledged. The tail is
+///   truncated off the file and replay succeeds with
+///   [`ReplayOutcome::torn_tail_bytes`] > 0.
+/// - **Mid-log corruption** — a record *before* the physical tail fails
+///   its CRC. No crash produces that; it is bit rot of acknowledged data,
+///   and silently dropping the suffix would lose acknowledged writes. This
+///   is a hard [`LsmError::Corruption`].
+pub fn replay(path: &Path) -> Result<ReplayOutcome> {
     let mut data = Vec::new();
     match File::open(path) {
         Ok(mut f) => {
             f.read_to_end(&mut data)?;
         }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ReplayOutcome::default()),
         Err(e) => return Err(e.into()),
     }
     let mut out = Vec::new();
     let mut pos = 0usize;
-    while pos + 8 <= data.len() {
+    let mut torn = false;
+    while pos < data.len() {
+        if pos + 8 > data.len() {
+            torn = true; // partial header at the tail
+            break;
+        }
         let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
         let want_crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
         let start = pos + 8;
         if start + len > data.len() {
-            break; // torn tail
+            torn = true; // record body runs past EOF
+            break;
         }
         let payload = &data[start..start + len];
         if crc32(payload) != want_crc {
-            break; // corrupt record: stop at last valid prefix
+            if start + len == data.len() {
+                // The final record is exactly the damaged one: physically
+                // indistinguishable from a torn append, so recoverable.
+                torn = true;
+                break;
+            }
+            return Err(LsmError::Corruption(format!(
+                "wal corrupt mid-log at offset {pos}: crc mismatch with {} bytes following",
+                data.len() - (start + len)
+            )));
         }
         if let Some(ke) = decode_payload(payload)? {
             out.push(ke);
         }
         pos = start + len;
     }
-    Ok(out)
+    let mut outcome = ReplayOutcome {
+        records: out,
+        torn_tail_bytes: 0,
+    };
+    if torn {
+        outcome.torn_tail_bytes = (data.len() - pos) as u64;
+        // Truncate to the valid prefix so the writer appends after the last
+        // intact record instead of interleaving with torn garbage.
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(pos as u64)?;
+        f.sync_data()?;
+    }
+    Ok(outcome)
 }
 
 fn decode_payload(p: &[u8]) -> Result<Option<KeyEntry>> {
@@ -231,7 +276,9 @@ mod tests {
                 .unwrap();
             w.flush().unwrap();
         }
-        let records = replay(&path).unwrap();
+        let outcome = replay(&path).unwrap();
+        assert_eq!(outcome.torn_tail_bytes, 0);
+        let records = outcome.records;
         assert_eq!(records.len(), 3);
         assert_eq!(records[0].key.as_ref(), b"k1");
         assert_eq!(records[0].entry, Entry::Put(Bytes::from_static(b"v1")));
@@ -244,7 +291,7 @@ mod tests {
     fn missing_file_replays_empty() {
         let path = tmp("missing");
         let _ = std::fs::remove_file(&path);
-        assert!(replay(&path).unwrap().is_empty());
+        assert!(replay(&path).unwrap().records.is_empty());
     }
 
     #[test]
@@ -255,19 +302,19 @@ mod tests {
         w.append(b"k", &Entry::Put(Bytes::from_static(b"v")))
             .unwrap();
         w.reset().unwrap();
-        assert!(replay(&path).unwrap().is_empty());
+        assert!(replay(&path).unwrap().records.is_empty());
         // Usable after reset.
         w.append(b"k2", &Entry::Put(Bytes::from_static(b"v2")))
             .unwrap();
         w.flush().unwrap();
-        let records = replay(&path).unwrap();
+        let records = replay(&path).unwrap().records;
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].key.as_ref(), b"k2");
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn torn_tail_is_ignored() {
+    fn torn_tail_is_truncated_and_replay_continues() {
         let path = tmp("torn");
         let _ = std::fs::remove_file(&path);
         {
@@ -276,6 +323,7 @@ mod tests {
                 .unwrap();
             w.flush().unwrap();
         }
+        let intact_len = std::fs::metadata(&path).unwrap().len();
         // Simulate a crash mid-append: write a partial record.
         {
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
@@ -283,15 +331,20 @@ mod tests {
             f.write_all(&0u32.to_le_bytes()).unwrap();
             f.write_all(b"partial").unwrap();
         }
-        let records = replay(&path).unwrap();
-        assert_eq!(records.len(), 1);
-        assert_eq!(records[0].key.as_ref(), b"good");
+        let outcome = replay(&path).unwrap();
+        assert_eq!(outcome.records.len(), 1);
+        assert_eq!(outcome.records[0].key.as_ref(), b"good");
+        assert_eq!(outcome.torn_tail_bytes, 8 + 7);
+        // The file was truncated back to its valid prefix, so a second
+        // replay sees a clean log.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), intact_len);
+        assert_eq!(replay(&path).unwrap().torn_tail_bytes, 0);
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn corrupt_record_stops_replay() {
-        let path = tmp("corrupt");
+    fn corrupt_tail_record_recovers_like_a_torn_write() {
+        let path = tmp("corrupt-tail");
         let _ = std::fs::remove_file(&path);
         {
             let mut w = WalWriter::open(&path, false).unwrap();
@@ -301,13 +354,37 @@ mod tests {
                 .unwrap();
             w.flush().unwrap();
         }
-        // Flip a byte inside the second record's payload.
+        // Flip a byte inside the LAST record's payload: physically
+        // indistinguishable from a torn append, so recoverable.
         let mut data = std::fs::read(&path).unwrap();
         let n = data.len();
         data[n - 1] ^= 0xFF;
         std::fs::write(&path, &data).unwrap();
-        let records = replay(&path).unwrap();
-        assert_eq!(records.len(), 1, "replay stops before the corrupt record");
+        let outcome = replay(&path).unwrap();
+        assert_eq!(outcome.records.len(), 1, "replay keeps the intact prefix");
+        assert_eq!(outcome.records[0].key.as_ref(), b"a");
+        assert!(outcome.torn_tail_bytes > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mid_log_corruption_is_a_hard_error() {
+        let path = tmp("corrupt-mid");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = WalWriter::open(&path, false).unwrap();
+            w.append(b"a", &Entry::Put(Bytes::from_static(b"1")))
+                .unwrap();
+            w.append(b"b", &Entry::Put(Bytes::from_static(b"2")))
+                .unwrap();
+            w.flush().unwrap();
+        }
+        // Flip a byte inside the FIRST record's payload: acknowledged data
+        // rotted, and dropping the suffix would lose acknowledged writes.
+        let mut data = std::fs::read(&path).unwrap();
+        data[9] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        assert!(matches!(replay(&path), Err(LsmError::Corruption(_))));
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -60,6 +60,25 @@ pub enum EvictionCause {
     Resize,
 }
 
+/// The class of an injected storage fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A one-shot read error; the retried read succeeds.
+    ReadTransient,
+    /// A sticky per-address read error that never heals.
+    ReadPermanent,
+    /// A table write that failed atomically (nothing persisted).
+    WriteFail,
+    /// A table write torn mid-append (a strict prefix persisted).
+    TornWrite,
+    /// A read that returned a block with a flipped byte.
+    BitFlip,
+    /// A table delete / sync that failed, leaving the file behind.
+    DeleteFail,
+    /// A read charged extra simulated device time.
+    LatencySpike,
+}
+
 /// One structured observation. See the module docs for schema stability
 /// rules.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -177,6 +196,40 @@ pub enum Event {
         /// Bytes accumulated in the segment being retired.
         bytes: u64,
     },
+    /// The fault-injection layer injected one storage fault.
+    FaultInjected {
+        /// The fault class.
+        kind: FaultKind,
+        /// Table the fault targeted (0 when not table-specific).
+        file: u64,
+        /// Block the fault targeted, or the persisted-prefix length for
+        /// torn writes (0 when not block-specific).
+        block: u64,
+    },
+    /// A block failed checksum verification and its file was quarantined.
+    BlockQuarantined {
+        /// Table holding the corrupt block.
+        file: u64,
+        /// Block number that failed verification.
+        block: u64,
+    },
+    /// WAL replay found a torn tail, truncated it, and continued.
+    WalTornTail {
+        /// Bytes dropped from the end of the log.
+        truncated_bytes: u64,
+        /// Intact records recovered before the tear.
+        recovered_records: u64,
+    },
+    /// Manifest recovery fell back to the previous good manifest.
+    ManifestRollback {
+        /// Why the current manifest was unusable.
+        reason: String,
+    },
+    /// An armed crash point fired (the engine simulated process death).
+    CrashInjected {
+        /// Stable crash-point label (`CrashPoint::label`).
+        point: String,
+    },
 }
 
 impl Event {
@@ -194,6 +247,11 @@ impl Event {
             Event::CompactionFinish { .. } => "CompactionFinish",
             Event::Flush { .. } => "Flush",
             Event::WalReset { .. } => "WalReset",
+            Event::FaultInjected { .. } => "FaultInjected",
+            Event::BlockQuarantined { .. } => "BlockQuarantined",
+            Event::WalTornTail { .. } => "WalTornTail",
+            Event::ManifestRollback { .. } => "ManifestRollback",
+            Event::CrashInjected { .. } => "CrashInjected",
         }
     }
 }

@@ -35,7 +35,9 @@ pub mod histogram;
 pub mod journal;
 pub mod metrics;
 
-pub use events::{AdmissionOutcome, AdmissionReason, CacheStructure, Event, EvictionCause};
+pub use events::{
+    AdmissionOutcome, AdmissionReason, CacheStructure, Event, EvictionCause, FaultKind,
+};
 pub use histogram::{AtomicHistogram, Histogram};
 pub use journal::{parse_jsonl, Journal, JournalRecord};
 pub use metrics::{Counter, Gauge, HistogramHandle, Registry};

@@ -5,7 +5,8 @@
 //! update casually.
 
 use adcache_obs::{
-    parse_jsonl, AdmissionOutcome, AdmissionReason, CacheStructure, Event, EvictionCause, Journal,
+    parse_jsonl, AdmissionOutcome, AdmissionReason, CacheStructure, Event, EvictionCause,
+    FaultKind, Journal,
 };
 
 /// Every variant once, with values chosen to be exactly representable so
@@ -107,6 +108,37 @@ fn exemplars() -> Vec<(Event, &'static str)> {
             },
             r#"{"WalReset":{"appends":100,"bytes":5000}}"#,
         ),
+        (
+            Event::FaultInjected {
+                kind: FaultKind::BitFlip,
+                file: 12,
+                block: 3,
+            },
+            r#"{"FaultInjected":{"kind":"BitFlip","file":12,"block":3}}"#,
+        ),
+        (
+            Event::BlockQuarantined { file: 12, block: 3 },
+            r#"{"BlockQuarantined":{"file":12,"block":3}}"#,
+        ),
+        (
+            Event::WalTornTail {
+                truncated_bytes: 17,
+                recovered_records: 42,
+            },
+            r#"{"WalTornTail":{"truncated_bytes":17,"recovered_records":42}}"#,
+        ),
+        (
+            Event::ManifestRollback {
+                reason: "crc mismatch".into(),
+            },
+            r#"{"ManifestRollback":{"reason":"crc mismatch"}}"#,
+        ),
+        (
+            Event::CrashInjected {
+                point: "flush_after_sst".into(),
+            },
+            r#"{"CrashInjected":{"point":"flush_after_sst"}}"#,
+        ),
     ]
 }
 
@@ -115,7 +147,7 @@ fn every_event_kind_serializes_to_its_golden_form() {
     let exemplars = exemplars();
     assert_eq!(
         exemplars.len(),
-        11,
+        16,
         "new Event variants need a golden exemplar here"
     );
     for (event, golden) in &exemplars {

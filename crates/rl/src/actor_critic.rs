@@ -90,6 +90,7 @@ pub struct ActorCritic {
     actor_lr: f32,
     rng: XorShift,
     updates: u64,
+    nonfinite_inputs: u64,
 }
 
 impl ActorCritic {
@@ -116,6 +117,7 @@ impl ActorCritic {
             actor_lr,
             rng,
             updates: 0,
+            nonfinite_inputs: 0,
         }
     }
 
@@ -139,6 +141,20 @@ impl ActorCritic {
     pub fn update(&mut self, t: &Transition) -> f32 {
         debug_assert_eq!(t.state.len(), self.cfg.state_dim);
         debug_assert_eq!(t.action.len(), self.cfg.action_dim);
+
+        // Last line of defense: a single NaN/Inf reaching backprop poisons
+        // every weight it touches permanently. Upstream (the controller)
+        // sanitizes its own telemetry; anything that still arrives
+        // non-finite is dropped here, counted, and reported as a zero
+        // TD error rather than trained on.
+        let finite = t.reward.is_finite()
+            && t.state.iter().all(|x| x.is_finite())
+            && t.action.iter().all(|x| x.is_finite())
+            && t.next_state.iter().all(|x| x.is_finite());
+        if !finite {
+            self.nonfinite_inputs += 1;
+            return 0.0;
+        }
 
         // Critic: TD(0) target with a frozen bootstrap value.
         let v_next = self.critic.forward(&t.next_state)[0];
@@ -220,6 +236,11 @@ impl ActorCritic {
         self.updates
     }
 
+    /// Transitions rejected because they carried NaN/Inf (never trained on).
+    pub fn nonfinite_inputs(&self) -> u64 {
+        self.nonfinite_inputs
+    }
+
     /// The agent's configuration.
     pub fn config(&self) -> &AgentConfig {
         &self.cfg
@@ -279,6 +300,7 @@ impl ActorCritic {
             actor_lr,
             rng,
             updates: 0,
+            nonfinite_inputs: 0,
         })
     }
 }
@@ -384,6 +406,33 @@ mod tests {
         let mut restored = ActorCritic::from_json(&agent.to_json()).unwrap();
         assert_eq!(restored.act_greedy(&s), mu);
         assert_eq!(restored.updates(), 0, "optimizer state starts fresh");
+    }
+
+    #[test]
+    fn nonfinite_transitions_are_rejected_not_trained_on() {
+        let mut agent = ActorCritic::new(AgentConfig::small(2, 2));
+        let s = vec![0.5, 0.5];
+        let clean_mu = agent.act_greedy(&s);
+        let poisoned = Transition {
+            state: vec![f32::NAN, 0.5],
+            action: vec![0.5, 0.5],
+            reward: 0.1,
+            next_state: s.clone(),
+        };
+        assert_eq!(agent.update(&poisoned), 0.0);
+        let inf_reward = Transition {
+            state: s.clone(),
+            action: vec![0.5, 0.5],
+            reward: f32::INFINITY,
+            next_state: s.clone(),
+        };
+        assert_eq!(agent.update(&inf_reward), 0.0);
+        assert_eq!(agent.nonfinite_inputs(), 2);
+        assert_eq!(agent.updates(), 0, "poisoned transitions never count");
+        // The policy is untouched and still finite.
+        let mu = agent.act_greedy(&s);
+        assert_eq!(mu, clean_mu);
+        assert!(mu.iter().all(|x| x.is_finite()));
     }
 
     #[test]

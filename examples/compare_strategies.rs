@@ -54,6 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             serve_partial_range: true,
             compaction_prefetch_blocks: 0,
             trace_dir: None,
+            continue_on_error: false,
         };
         let r = run_static(&cfg, mix, ops)?;
         let (p50, _, p99, _) = r.latency.summary();

@@ -82,6 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         serve_partial_range: true,
         compaction_prefetch_blocks: 0,
         trace_dir: None,
+        continue_on_error: false,
     };
 
     for (name, mix) in [

@@ -34,6 +34,7 @@ fn no_cache_config() -> RunConfig {
         serve_partial_range: true,
         compaction_prefetch_blocks: 0,
         trace_dir: None,
+        continue_on_error: false,
     }
 }
 
