@@ -73,11 +73,11 @@ fn bench_policies(c: &mut Criterion) {
 
 fn bench_wal_and_histogram(c: &mut Criterion) {
     use adcache_core::Histogram;
-    use adcache_lsm::{crc32, Entry, WalWriter};
+    use adcache_lsm::{crc32, Entry, RealFs, WalWriter};
     let mut g = c.benchmark_group("durability");
     let path = std::env::temp_dir().join(format!("adcache-bench-wal-{}.log", std::process::id()));
     let _ = std::fs::remove_file(&path);
-    let mut wal = WalWriter::open(&path, false).unwrap();
+    let mut wal = WalWriter::open(Arc::new(RealFs::new()), &path, false).unwrap();
     let value = Entry::Put(Bytes::from(vec![b'v'; 100]));
     g.bench_function("wal_append_100b", |b| {
         b.iter(|| {

@@ -467,62 +467,104 @@ fn fc_mix(x: u64) -> u64 {
 struct FaultCheckReport {
     crashes_fired: u64,
     faults_injected: u64,
+    unsynced_files_dropped: u64,
     lost_acked_writes: u64,
+    failed_opens: u64,
     unstable_reopens: u64,
+    orphan_leftovers: u64,
+    id_collisions: u64,
     nonfinite_updates: u64,
 }
 
-/// One crash-recover-verify cycle: a durable tree over fault-injecting
-/// file storage takes writes under a storm plan with one armed crash
-/// point; the process "crashes" (drops the tree), reopens with faults
-/// paused, and checks every key against the acked-write model.
+impl FaultCheckReport {
+    /// Whether every guarantee held.
+    fn ok(&self) -> bool {
+        self.lost_acked_writes == 0
+            && self.failed_opens == 0
+            && self.unstable_reopens == 0
+            && self.orphan_leftovers == 0
+            && self.id_collisions == 0
+            && self.nonfinite_updates == 0
+    }
+}
+
+/// One crash-recover-verify cycle, entirely in memory: a durable tree
+/// over write-back-modeling fault storage (SSTs) and a simulated
+/// filesystem (WAL + manifest) takes writes under a fault storm with one
+/// armed crash point; the process "crashes" — the tree drops AND every
+/// completed-but-unsynced write is torn out of both device models — then
+/// the store reopens and every key is checked against what the configured
+/// sync policy actually promised.
 fn faultcheck_cycle(
-    base: &std::path::Path,
     cycle: u64,
     seed: u64,
+    sync: adcache_lsm::SyncPolicy,
+    misplace: Option<adcache_lsm::FsyncSite>,
     report: &mut FaultCheckReport,
 ) -> Result<(), Box<dyn std::error::Error>> {
     use adcache_lsm::{
-        CrashController, CrashPoint, DirectProvider, FaultPlan, FaultStorage, LsmTree,
+        CrashController, CrashPoint, DirectProvider, FaultPlan, FaultStorage, LsmTree, SimFs,
+        Storage, SyncPolicy,
     };
+    use std::sync::atomic::Ordering;
 
-    let dir = base.join(format!("cycle-{cycle}"));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir)?;
     let cseed = fc_mix(seed ^ cycle.wrapping_mul(0x517C_C1B7_2722_0A95));
+    let fs = Arc::new(SimFs::new());
     let storage = Arc::new(FaultStorage::new(
-        Arc::new(FileStorage::open(dir.join("sst"))?),
+        Arc::new(MemStorage::new()),
         cseed,
         FaultPlan::none(),
     ));
+    storage.enable_write_back();
     let crash = CrashController::new();
     // Tiny memtable + padded values so a 200-op cycle crosses several
     // flush and compaction seams — that is where the crash points live.
     let mut opts = Options::small();
     opts.memtable_size = 2 << 10;
+    opts.sync = sync;
+    opts.misplaced_fsync = misplace;
+    let meta_dir = std::path::PathBuf::from("/faultcheck/meta");
     let key_space = 48u64;
     let kb = |k: u64| Bytes::from(format!("k{k:04}"));
     let pad = "x".repeat(48);
-    // Per-key write history, in order: (value-or-tombstone, acked?). A
-    // failed op may still have reached the WAL before the injected error,
-    // so unacked writes are *candidates*, not forbidden states.
-    let mut history: Vec<Vec<(Option<Bytes>, bool)>> = vec![Vec::new(); key_space as usize];
+    // Per-key write history, in order: (value-or-tombstone, acked?,
+    // global sequence number). A failed op may still have reached the WAL
+    // before the injected error, so unacked writes are *candidates*, not
+    // forbidden states.
+    let mut history: Vec<Vec<(Option<Bytes>, bool, u64)>> = vec![Vec::new(); key_space as usize];
+    let mut seq = 0u64;
+    // Highest sequence number covered by a fully *successful* flush — the
+    // `on_flush` policy's durability floor. (A flush that errored past the
+    // counter bump may have synced nothing, so only acked flushes count.)
+    let mut flushed_seq = 0u64;
     let mut rng = cseed | 1;
     let mut next = move || {
         rng = fc_mix(rng);
         rng
     };
     {
-        let db = LsmTree::with_durability(opts.clone(), storage.clone(), dir.join("meta"))?;
+        let db = LsmTree::with_durability_fs(opts.clone(), storage.clone(), &meta_dir, fs.clone())?;
         db.set_crash_controller(crash.clone());
+        let mut flushes_seen = 0u64;
         // Baseline data lands cleanly so the faulted phase reads and
         // compacts real tables.
         for k in 0..key_space {
             let v = Bytes::from(format!("base-{cycle}-{k}-{pad}"));
-            db.put(kb(k), v.clone())?;
-            history[k as usize].push((Some(v), true));
+            seq += 1;
+            let acked = db.put(kb(k), v.clone()).is_ok();
+            history[k as usize].push((Some(v), acked, seq));
+            if acked {
+                let f = db.stats().flushes.load(Ordering::Relaxed);
+                if f > flushes_seen {
+                    flushes_seen = f;
+                    flushed_seq = seq;
+                }
+            }
         }
-        db.flush()?;
+        if db.flush().is_ok() {
+            flushes_seen = db.stats().flushes.load(Ordering::Relaxed);
+            flushed_seq = seq;
+        }
 
         // Storm on, one crash point armed somewhere in the cycle.
         storage.set_plan(FaultPlan::storm());
@@ -536,12 +578,28 @@ fn faultcheck_cycle(
             match next() % 100 {
                 0..=59 => {
                     let v = Bytes::from(format!("c{cycle}-i{i}-{pad}"));
+                    seq += 1;
                     let acked = db.put(kb(k), v.clone()).is_ok();
-                    history[k as usize].push((Some(v), acked));
+                    history[k as usize].push((Some(v), acked, seq));
+                    if acked {
+                        let f = db.stats().flushes.load(Ordering::Relaxed);
+                        if f > flushes_seen {
+                            flushes_seen = f;
+                            flushed_seq = seq;
+                        }
+                    }
                 }
                 60..=69 => {
+                    seq += 1;
                     let acked = db.delete(kb(k)).is_ok();
-                    history[k as usize].push((None, acked));
+                    history[k as usize].push((None, acked, seq));
+                    if acked {
+                        let f = db.stats().flushes.load(Ordering::Relaxed);
+                        if f > flushes_seen {
+                            flushes_seen = f;
+                            flushed_seq = seq;
+                        }
+                    }
                 }
                 70..=74 => {
                     let _ = db.maybe_compact_once();
@@ -558,66 +616,120 @@ fn faultcheck_cycle(
             report.crashes_fired += 1;
         }
         report.faults_injected += storage.fault_stats().total();
-        // The tree drops here: the simulated crash.
+        // The tree drops here: the simulated crash...
     }
 
-    // Recovery runs against a quiet device.
+    // ...and the crash also tears every completed-but-unsynced write out
+    // of both device models: SST files from the storage write-back cache,
+    // WAL/manifest bytes and directory entries from the simulated fs.
     storage.set_active(false);
-    let reopen = |path: &std::path::Path| {
-        LsmTree::with_durability(opts.clone(), storage.clone(), path.join("meta"))
+    let (sst_files, _) = storage.crash_drop_unsynced(fc_mix(cseed ^ 0xA5A5));
+    let meta_loss = fs.crash(fc_mix(cseed ^ 0x5A5A));
+    report.unsynced_files_dropped += sst_files + meta_loss.files;
+
+    // Recovery runs against a quiet device. "Acked" now means "acked
+    // under the configured sync policy": with `always` every acked write
+    // must survive; with `on_flush` every acked write up to the last
+    // successful flush must; with `never` nothing is promised beyond
+    // serving only values that were actually written.
+    let reopen =
+        || LsmTree::with_durability_fs(opts.clone(), storage.clone(), &meta_dir, fs.clone());
+    let db = match reopen() {
+        Ok(db) => db,
+        Err(e) => {
+            report.failed_opens += 1;
+            eprintln!("cycle {cycle}: reopen failed: {e}");
+            return Ok(());
+        }
     };
-    let db = reopen(&dir)?;
     let mut state = Vec::with_capacity(key_space as usize);
     for k in 0..key_space {
         let got = db.get(&kb(k), &DirectProvider)?;
         let h = &history[k as usize];
-        let last_acked = h.iter().rposition(|(_, acked)| *acked);
+        let strong = match sync {
+            SyncPolicy::Always => h.iter().rposition(|(_, acked, _)| *acked),
+            SyncPolicy::OnFlush => h
+                .iter()
+                .rposition(|(_, acked, s)| *acked && *s <= flushed_seq),
+            SyncPolicy::Never => None,
+        };
         let matches = |want: &Option<Bytes>| got.as_deref() == want.as_deref();
-        let ok = match last_acked {
-            // The recovered value must be the last acked write or any
-            // unacked candidate issued after it — never older.
-            Some(idx) => h[idx..].iter().any(|(v, _)| matches(v)),
-            None => got.is_none() || h.iter().any(|(v, _)| matches(v)),
+        let ok = match strong {
+            // The recovered value must be the newest sync-covered acked
+            // write or any candidate issued after it — never older.
+            Some(idx) => h[idx..].iter().any(|(v, _, _)| matches(v)),
+            None => got.is_none() || h.iter().any(|(v, _, _)| matches(v)),
         };
         if !ok {
             report.lost_acked_writes += 1;
             eprintln!(
-                "cycle {cycle}: key k{k:04} recovered {:?}, not justified by its write history",
+                "cycle {cycle}: key k{k:04} recovered {:?}, not justified under sync={}",
                 got.as_ref()
-                    .map(|v| String::from_utf8_lossy(v).into_owned())
+                    .map(|v| String::from_utf8_lossy(v).into_owned()),
+                sync.name(),
             );
         }
         state.push(got);
+    }
+    // The recovery sweep must leave no table on the device that the
+    // recovered version does not reference.
+    let live: usize = db.level_summary().iter().map(|(_, files, _)| files).sum();
+    let on_device = storage.table_count();
+    if on_device > live {
+        report.orphan_leftovers += (on_device - live) as u64;
+        eprintln!("cycle {cycle}: {on_device} tables on device, only {live} referenced");
     }
     drop(db);
 
     // Recovery must be idempotent: a second reopen (same quiet device)
     // yields the identical state — nothing is applied twice or re-lost.
-    let db = reopen(&dir)?;
+    let db = match reopen() {
+        Ok(db) => db,
+        Err(e) => {
+            report.failed_opens += 1;
+            eprintln!("cycle {cycle}: second reopen failed: {e}");
+            return Ok(());
+        }
+    };
     for k in 0..key_space {
         if db.get(&kb(k), &DirectProvider)? != state[k as usize] {
             report.unstable_reopens += 1;
             eprintln!("cycle {cycle}: key k{k:04} changed between reopens");
         }
     }
+    // The recovered store must still be writable: fresh keys flushed to
+    // new tables. A file-id collision with a leftover orphan (the bug the
+    // recovery sweep exists to prevent) surfaces here as a write error.
+    for j in 0..key_space {
+        let v = Bytes::from(format!("post-{cycle}-{j}-{pad}"));
+        if db.put(Bytes::from(format!("z{j:04}")), v).is_err() {
+            report.id_collisions += 1;
+        }
+    }
+    if db.flush().is_err() {
+        report.id_collisions += 1;
+        eprintln!("cycle {cycle}: post-recovery flush failed (file-id collision?)");
+    }
     drop(db);
-    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }
 
 /// `adcache faultcheck` — runs N seeded crash-recover-verify cycles plus
 /// an RL storm drill; exits nonzero on any violated guarantee.
-fn cmd_faultcheck(cycles: u64, seed: u64) -> Result<bool, Box<dyn std::error::Error>> {
+fn cmd_faultcheck(
+    cycles: u64,
+    seed: u64,
+    sync: adcache_lsm::SyncPolicy,
+    misplace: Option<adcache_lsm::FsyncSite>,
+) -> Result<bool, Box<dyn std::error::Error>> {
     use adcache_core::{prepare_db_with_storage, run_schedule_on, RunConfig};
     use adcache_lsm::{FaultPlan, FaultStorage};
     use adcache_workload::{Phase, Schedule};
 
-    let base = std::env::temp_dir().join(format!("adcache-faultcheck-{}", std::process::id()));
     let mut report = FaultCheckReport::default();
     for cycle in 0..cycles {
-        faultcheck_cycle(&base, cycle, seed, &mut report)?;
+        faultcheck_cycle(cycle, seed, sync, misplace, &mut report)?;
     }
-    let _ = std::fs::remove_dir_all(&base);
 
     // RL guarantee: a full engine + controller run under a fault storm
     // keeps training finite (failed reads become misses, never NaN).
@@ -657,20 +769,29 @@ fn cmd_faultcheck(cycles: u64, seed: u64) -> Result<bool, Box<dyn std::error::Er
     }
 
     println!(
-        "faultcheck: {cycles} cycles (seed {seed}), {} crash points fired, {} faults injected",
-        report.crashes_fired, report.faults_injected
+        "faultcheck: {cycles} cycles (seed {seed}, sync {}{}), {} crash points fired, {} faults injected",
+        sync.name(),
+        misplace.map_or(String::new(), |m| format!(", misplaced fsync at {}", m.label())),
+        report.crashes_fired,
+        report.faults_injected
     );
     println!(
-        "  storage:  {} lost acked writes, {} unstable reopens",
-        report.lost_acked_writes, report.unstable_reopens
+        "  crash model: {} unsynced files dropped",
+        report.unsynced_files_dropped
+    );
+    println!(
+        "  storage:  {} lost acked writes, {} failed opens, {} unstable reopens",
+        report.lost_acked_writes, report.failed_opens, report.unstable_reopens
+    );
+    println!(
+        "  sweep:    {} orphan tables left behind, {} post-recovery id collisions",
+        report.orphan_leftovers, report.id_collisions
     );
     println!(
         "  rl storm: {} op errors absorbed, {} non-finite controller updates",
         storm_errors, report.nonfinite_updates
     );
-    let ok = report.lost_acked_writes == 0
-        && report.unstable_reopens == 0
-        && report.nonfinite_updates == 0;
+    let ok = report.ok();
     println!("{}", if ok { "PASS" } else { "FAIL" });
     Ok(ok)
 }
@@ -776,10 +897,15 @@ fn main() {
         }
         return;
     }
-    // Non-interactive subcommand: `adcache faultcheck [--cycles N] [--seed S]`.
+    // Non-interactive subcommand:
+    // `adcache faultcheck [--cycles N] [--seed S] [--sync POLICY] [--misplace SITE]`.
     if argv.get(1).map(String::as_str) == Some("faultcheck") {
+        let usage = "usage: adcache faultcheck [--cycles N] [--seed S] \
+             [--sync always|on_flush|never] [--misplace wal_append|wal_reset|manifest_dir|sst_dir]";
         let mut cycles = 50u64;
         let mut seed = 42u64;
+        let mut sync = adcache_lsm::SyncPolicy::Always;
+        let mut misplace = None;
         let mut i = 2;
         while i < argv.len() {
             match argv[i].as_str() {
@@ -797,15 +923,39 @@ fn main() {
                         std::process::exit(2);
                     });
                 }
+                "--sync" => {
+                    i += 1;
+                    sync = argv
+                        .get(i)
+                        .and_then(|s| adcache_lsm::SyncPolicy::parse(s))
+                        .unwrap_or_else(|| {
+                            eprintln!("--sync needs one of: always, on_flush, never");
+                            std::process::exit(2);
+                        });
+                }
+                "--misplace" => {
+                    i += 1;
+                    misplace = Some(
+                        argv.get(i)
+                            .and_then(|s| adcache_lsm::FsyncSite::parse(s))
+                            .unwrap_or_else(|| {
+                                eprintln!(
+                                    "--misplace needs one of: wal_append, wal_reset, \
+                                     manifest_dir, sst_dir"
+                                );
+                                std::process::exit(2);
+                            }),
+                    );
+                }
                 other => {
                     eprintln!("unknown faultcheck flag {other}");
-                    eprintln!("usage: adcache faultcheck [--cycles N] [--seed S]");
+                    eprintln!("{usage}");
                     std::process::exit(2);
                 }
             }
             i += 1;
         }
-        match cmd_faultcheck(cycles, seed) {
+        match cmd_faultcheck(cycles, seed, sync, misplace) {
             Ok(true) => return,
             Ok(false) => std::process::exit(1),
             Err(e) => {
@@ -947,16 +1097,75 @@ mod tests {
     }
 
     #[test]
-    fn faultcheck_cycles_hold_guarantees() {
-        let base = std::env::temp_dir().join(format!("adcache-cli-fc-test-{}", std::process::id()));
+    fn faultcheck_cycles_hold_guarantees_under_every_sync_policy() {
+        for sync in adcache_lsm::SyncPolicy::all() {
+            let mut report = FaultCheckReport::default();
+            for cycle in 0..6 {
+                faultcheck_cycle(cycle, 7, sync, None, &mut report).unwrap();
+            }
+            assert!(
+                report.ok(),
+                "guarantees violated under sync={}: {} lost acked, {} failed opens, \
+                 {} unstable, {} orphans, {} collisions",
+                sync.name(),
+                report.lost_acked_writes,
+                report.failed_opens,
+                report.unstable_reopens,
+                report.orphan_leftovers,
+                report.id_collisions,
+            );
+            assert!(report.faults_injected > 0, "the storm plan must bite");
+            assert!(report.crashes_fired > 0, "crash points must fire");
+        }
+    }
+
+    #[test]
+    fn faultcheck_goes_red_when_the_manifest_dir_fsync_is_misplaced() {
+        use adcache_lsm::{FsyncSite, SyncPolicy};
+        // The guarded hook omits exactly one fsync (the directory sync
+        // after the manifest rename). Under `always` that single hole
+        // must make the drill fail — proving it can detect a real
+        // regression in fsync placement, not just pass vacuously.
         let mut report = FaultCheckReport::default();
         for cycle in 0..6 {
-            faultcheck_cycle(&base, cycle, 7, &mut report).unwrap();
+            faultcheck_cycle(
+                cycle,
+                7,
+                SyncPolicy::Always,
+                Some(FsyncSite::ManifestDir),
+                &mut report,
+            )
+            .unwrap();
         }
-        let _ = std::fs::remove_dir_all(&base);
-        assert_eq!(report.lost_acked_writes, 0);
-        assert_eq!(report.unstable_reopens, 0);
-        assert!(report.faults_injected > 0, "the storm plan must bite");
+        assert!(
+            !report.ok(),
+            "a misplaced manifest-directory fsync must lose acked writes"
+        );
+    }
+
+    #[test]
+    fn faultcheck_goes_red_when_the_wal_reset_sync_is_misplaced() {
+        use adcache_lsm::{FsyncSite, SyncPolicy};
+        // Under `on_flush` the WAL truncation must be sync-bracketed;
+        // without it a stale pre-flush segment can resurrect after a
+        // crash and shadow newer flushed data on replay.
+        let mut report = FaultCheckReport::default();
+        let mut any_red = false;
+        for cycle in 0..12 {
+            faultcheck_cycle(
+                cycle,
+                7,
+                SyncPolicy::OnFlush,
+                Some(FsyncSite::WalReset),
+                &mut report,
+            )
+            .unwrap();
+            any_red |= !report.ok();
+        }
+        assert!(
+            any_red,
+            "an unsynced WAL truncation must eventually resurrect stale records"
+        );
     }
 
     #[test]

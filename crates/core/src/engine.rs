@@ -197,6 +197,20 @@ impl CachedDb {
         Self::from_tree(db, cfg)
     }
 
+    /// [`CachedDb::with_durability`] over an explicit [`adcache_lsm::MetaFs`],
+    /// so crash drills can interpose a simulated write-back cache under the
+    /// WAL and manifest (see [`LsmTree::with_durability_fs`]).
+    pub fn with_durability_fs(
+        opts: Options,
+        storage: Arc<dyn Storage>,
+        meta_dir: impl Into<std::path::PathBuf>,
+        fs: Arc<dyn adcache_lsm::MetaFs>,
+        cfg: EngineConfig,
+    ) -> Result<Self> {
+        let db = LsmTree::with_durability_fs(opts, storage, meta_dir, fs)?;
+        Self::from_tree(db, cfg)
+    }
+
     /// Wraps an already-constructed (possibly recovered) tree with the
     /// cache strategy.
     pub fn from_tree(db: LsmTree, cfg: EngineConfig) -> Result<Self> {

@@ -184,6 +184,9 @@ pub struct RunResult {
     /// Non-finite controller inputs repaired before training (see
     /// [`Controller::nonfinite_repairs`]); always 0 for baselines.
     pub nonfinite_repairs: u64,
+    /// Device fsyncs issued over the whole run (file and directory syncs
+    /// charged to the simulated clock; 0 unless a sync policy is active).
+    pub device_syncs: u64,
 }
 
 impl RunResult {
@@ -390,6 +393,7 @@ pub fn run_schedule_on(cfg: &RunConfig, schedule: &Schedule, db: &CachedDb) -> R
         latency,
         op_errors,
         nonfinite_repairs: controller.as_ref().map_or(0, |c| c.nonfinite_repairs()),
+        device_syncs: io_stats.syncs(),
     })
 }
 

@@ -20,10 +20,11 @@
 use crate::compaction::{run_compaction, CompactionEvent, CompactionListener};
 use crate::error::{LsmError, Result};
 use crate::fault::{CrashController, CrashPoint};
+use crate::fs::{MetaFs, RealFs};
 use crate::iterator::{MergingIter, Source};
-use crate::manifest::{recover_manifest, write_manifest, ManifestState};
+use crate::manifest::{recover_manifest, write_manifest, ManifestState, ManifestSync};
 use crate::memtable::MemTable;
-use crate::options::Options;
+use crate::options::{FsyncSite, Options, SyncPolicy};
 use crate::sstable::{table_get, BlockProvider, TableBuilder, TableIter, TableMeta};
 use crate::storage::Storage;
 use crate::types::{Entry, FileId, Key, Value};
@@ -99,6 +100,13 @@ pub struct DbStats {
     /// Obsolete-table deletions that failed after compaction (orphan files
     /// left for a future sweep; never a correctness problem).
     pub compaction_delete_failures: AtomicU64,
+    /// Orphan table files deleted by the recovery sweep (files present on
+    /// the device but absent from the recovered manifest).
+    pub orphan_tables_swept: AtomicU64,
+    /// Manifest-referenced tables missing or unreadable at recovery, and
+    /// dropped because the sync policy permits it (`SyncPolicy::Never`
+    /// only; under stronger policies this is a hard error).
+    pub missing_tables_dropped: AtomicU64,
 }
 
 impl DbStats {
@@ -127,6 +135,12 @@ impl LsmTree {
     }
 }
 
+/// Where (and through which filesystem) the WAL and manifest live.
+struct Durability {
+    dir: PathBuf,
+    fs: Arc<dyn MetaFs>,
+}
+
 struct Inner {
     mem: MemTable,
     version: Version,
@@ -143,8 +157,8 @@ pub struct LsmTree {
     listeners: RwLock<Vec<Arc<dyn CompactionListener>>>,
     next_file: AtomicU64,
     stats: DbStats,
-    /// Directory holding the WAL and manifest when durability is enabled.
-    durability_dir: Option<PathBuf>,
+    /// WAL + manifest location and filesystem when durability is enabled.
+    durability: Option<Durability>,
     /// Observability hooks; disabled (free) unless [`LsmTree::set_obs`] ran.
     obs: RwLock<ObsHooks>,
     /// Armable crash points for recovery tests; `None` in production.
@@ -172,7 +186,7 @@ impl LsmTree {
             listeners: RwLock::new(Vec::new()),
             next_file: AtomicU64::new(1),
             stats: DbStats::default(),
-            durability_dir: None,
+            durability: None,
             obs: RwLock::new(ObsHooks::default()),
             crash: RwLock::new(None),
             quarantine: RwLock::new(HashSet::new()),
@@ -188,36 +202,86 @@ impl LsmTree {
         storage: Arc<dyn Storage>,
         dir: impl Into<PathBuf>,
     ) -> Result<Self> {
+        Self::with_durability_fs(opts, storage, dir, Arc::new(RealFs::new()))
+    }
+
+    /// [`LsmTree::with_durability`] over an explicit [`MetaFs`] — the seam
+    /// crash drills use to interpose a simulated write-back cache
+    /// ([`crate::fs::SimFs`]) under the WAL and manifest.
+    pub fn with_durability_fs(
+        opts: Options,
+        storage: Arc<dyn Storage>,
+        dir: impl Into<PathBuf>,
+        fs: Arc<dyn MetaFs>,
+    ) -> Result<Self> {
         opts.validate()
             .map_err(crate::error::LsmError::InvalidArgument)?;
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
+        fs.create_dir_all(&dir)?;
 
         // Restore the version from the manifest, re-reading pinned table
         // metadata from storage. A corrupt (or mid-commit-missing) manifest
         // rolls back to the previous good version; the WAL replay below
         // still covers everything the lost version added from the memtable.
         let stats = DbStats::default();
-        let (manifest_state, rolled_back) = recover_manifest(&dir.join("MANIFEST"))?;
+        let (manifest_state, rolled_back) = recover_manifest(fs.as_ref(), &dir.join("MANIFEST"))?;
         if rolled_back {
             stats.manifest_rollbacks.store(1, Ordering::Relaxed);
         }
         let mut version = Version::new(opts.max_levels);
         let mut next_file = 1u64;
+        let mut live: HashSet<FileId> = HashSet::new();
         if let Some(state) = manifest_state {
             next_file = state.next_file.max(1);
             for (level, id) in state.tables {
-                let meta = TableMeta::decode(&storage.read_meta(id)?)?;
+                let meta = match storage.read_meta(id).and_then(|m| TableMeta::decode(&m)) {
+                    Ok(meta) => meta,
+                    Err(e) if opts.sync == SyncPolicy::Never => {
+                        // Without fsyncs the manifest can legitimately
+                        // outlive a table the device cache dropped; the
+                        // table's records are lost (the user opted into
+                        // that), but recovery must still serve the rest.
+                        let _ = e;
+                        stats.missing_tables_dropped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    // Under `always`/`on_flush` a dangling manifest
+                    // reference means the engine broke its own fsync
+                    // ordering — surface it, never paper over it.
+                    Err(e) => return Err(e),
+                };
+                live.insert(id);
                 version.restore_table(level, Arc::new(meta))?;
             }
             version.check_level_invariants()?;
+        }
+
+        // Sweep orphans: tables on the device that no recovered manifest
+        // references (interrupted flushes and compactions leave them).
+        // Deleting them — and bumping the id allocator past everything on
+        // the device — prevents a recovered engine from colliding with a
+        // leftover file when it re-allocates an id the lost manifest had
+        // handed out.
+        let mut swept = 0u64;
+        for id in storage.list_tables() {
+            next_file = next_file.max(id + 1);
+            if !live.contains(&id) {
+                storage.delete_table(id)?;
+                swept += 1;
+            }
+        }
+        stats.orphan_tables_swept.store(swept, Ordering::Relaxed);
+        if swept > 0 {
+            // The deletions must outlive a second crash, or the orphans
+            // resurrect after the id allocator was already persisted.
+            let _ = storage.sync_dir();
         }
 
         // Replay unflushed writes. A torn tail (crash mid-append) was
         // truncated by `replay` and is not an error; mid-log corruption is.
         let wal_path = dir.join("wal.log");
         let mut mem = MemTable::new();
-        let outcome = replay(&wal_path)?;
+        let outcome = replay(fs.as_ref(), &wal_path)?;
         stats
             .wal_replayed_records
             .store(outcome.records.len() as u64, Ordering::Relaxed);
@@ -230,7 +294,19 @@ impl LsmTree {
                 Entry::Tombstone => mem.delete(ke.key),
             }
         }
-        let wal = WalWriter::open(&wal_path, false)?;
+        let reset_sync =
+            opts.sync != SyncPolicy::Never && opts.misplaced_fsync != Some(FsyncSite::WalReset);
+        let wal = WalWriter::open(fs.clone(), &wal_path, reset_sync)?;
+        if opts.sync != SyncPolicy::Never {
+            // A freshly created WAL is only durable once its directory
+            // entry is — without this, a crash before the first manifest
+            // commit silently discards the whole log, synced appends and
+            // all.
+            fs.sync_dir(&dir)?;
+            let io = storage.stats();
+            io.syncs.fetch_add(1, Ordering::Relaxed);
+            io.charge_ns(storage.sync_cost_ns());
+        }
 
         Ok(LsmTree {
             opts,
@@ -243,7 +319,7 @@ impl LsmTree {
             listeners: RwLock::new(Vec::new()),
             next_file: AtomicU64::new(next_file),
             stats,
-            durability_dir: Some(dir),
+            durability: Some(Durability { dir, fs }),
             obs: RwLock::new(ObsHooks::default()),
             crash: RwLock::new(None),
             quarantine: RwLock::new(HashSet::new()),
@@ -251,7 +327,7 @@ impl LsmTree {
     }
 
     fn persist_manifest(&self, inner: &Inner) -> Result<()> {
-        let Some(dir) = &self.durability_dir else {
+        let Some(d) = &self.durability else {
             return Ok(());
         };
         self.crash_check(CrashPoint::BeforeManifestCommit)?;
@@ -265,7 +341,77 @@ impl LsmTree {
             next_file: self.next_file.load(Ordering::Relaxed),
             tables,
         };
-        write_manifest(&dir.join("MANIFEST"), &state)
+        let syncing = self.opts.sync != SyncPolicy::Never;
+        let sync = ManifestSync {
+            file: syncing,
+            dir: syncing && self.opts.misplaced_fsync != Some(FsyncSite::ManifestDir),
+        };
+        write_manifest(d.fs.as_ref(), &d.dir.join("MANIFEST"), &state, sync)?;
+        let mut syncs = 0u64;
+        if sync.file {
+            syncs += 1;
+        }
+        if sync.dir {
+            syncs += 1;
+        }
+        if syncs > 0 {
+            self.charge_meta_syncs(syncs);
+            self.obs.read().obs.emit(|| Event::SyncIssued {
+                target: "manifest".into(),
+                file: 0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Charges `n` WAL/manifest fsyncs to the device's simulated clock (the
+    /// metadata files bypass the block device but share its platter).
+    fn charge_meta_syncs(&self, n: u64) {
+        let stats = self.storage.stats();
+        stats.syncs.fetch_add(n, Ordering::Relaxed);
+        stats.charge_ns(n * self.storage.sync_cost_ns());
+    }
+
+    /// Whether the `always` policy requires an fsync after every WAL write
+    /// batch (the misplaced-fsync hook deliberately omits it to prove the
+    /// crash drills catch the resulting torn acked tail).
+    fn wal_sync_per_write(&self) -> bool {
+        self.opts.sync == SyncPolicy::Always
+            && self.opts.misplaced_fsync != Some(FsyncSite::WalAppend)
+    }
+
+    /// Charges `n` WAL fsyncs and journals them.
+    fn note_wal_sync(&self, n: u64) {
+        self.charge_meta_syncs(n);
+        self.obs.read().obs.emit(|| Event::SyncIssued {
+            target: "wal".into(),
+            file: 0,
+        });
+    }
+
+    /// Makes a freshly written table durable per the sync policy: fsync the
+    /// file, then the device directory so the entry itself survives. Runs
+    /// *before* the manifest references the table — the ordering the
+    /// manifest commit's own durability depends on.
+    fn sync_new_tables(&self, ids: &[FileId]) -> Result<()> {
+        if self.durability.is_none() || self.opts.sync == SyncPolicy::Never {
+            return Ok(());
+        }
+        for &id in ids {
+            self.storage.sync_table(id)?;
+            self.obs.read().obs.emit(|| Event::SyncIssued {
+                target: "sst".into(),
+                file: id,
+            });
+        }
+        if self.opts.misplaced_fsync != Some(FsyncSite::SstDir) {
+            self.storage.sync_dir()?;
+            self.obs.read().obs.emit(|| Event::SyncIssued {
+                target: "dir".into(),
+                file: 0,
+            });
+        }
+        Ok(())
     }
 
     /// The engine's options.
@@ -307,6 +453,10 @@ impl LsmTree {
             obs.emit(|| Event::ManifestRollback {
                 reason: "current manifest missing or corrupt at open".into(),
             });
+        }
+        let swept = self.stats.orphan_tables_swept.load(Ordering::Relaxed);
+        if swept > 0 {
+            obs.emit(|| Event::OrphanSwept { files: swept });
         }
         *self.obs.write() = ObsHooks::new(obs);
     }
@@ -427,7 +577,12 @@ impl LsmTree {
             for (key, entry) in &batch {
                 wal.append(key, entry)?;
             }
-            wal.flush()?;
+            if self.wal_sync_per_write() {
+                wal.sync()?;
+                self.note_wal_sync(1);
+            } else {
+                wal.flush()?;
+            }
         }
         for (key, entry) in batch {
             match entry {
@@ -449,7 +604,12 @@ impl LsmTree {
         }
         if let Some(wal) = inner.wal.as_mut() {
             wal.append(&key, &entry)?;
-            wal.flush()?;
+            if self.wal_sync_per_write() {
+                wal.sync()?;
+                self.note_wal_sync(1);
+            } else {
+                wal.flush()?;
+            }
         }
         match entry {
             Entry::Put(v) => inner.mem.put(key, v),
@@ -482,6 +642,7 @@ impl LsmTree {
         }
         let writes_before = self.storage.stats().writes();
         let meta = builder.finish(self.storage.as_ref())?;
+        self.sync_new_tables(&[meta.id])?;
         // Crash here: the SST is durable but unreferenced (an orphan) and
         // the WAL still covers every record — recovery loses nothing.
         self.crash_check(CrashPoint::FlushAfterSst)?;
@@ -510,7 +671,11 @@ impl LsmTree {
         self.crash_check(CrashPoint::FlushAfterManifest)?;
         if let Some(wal) = inner.wal.as_mut() {
             let (appends, bytes) = (wal.segment_appends(), wal.segment_bytes());
+            let reset_syncs = if wal.reset_sync() { 2 } else { 0 };
             wal.reset()?;
+            if reset_syncs > 0 {
+                self.note_wal_sync(reset_syncs);
+            }
             let hooks = self.obs.read();
             hooks.wal_appends.add(appends);
             hooks.wal_bytes.add(bytes);
@@ -547,6 +712,7 @@ impl LsmTree {
         // Crash here: outputs written, old manifest still references the
         // (undeleted) inputs — recovery reopens the pre-compaction version.
         self.crash_check(CrashPoint::CompactionAfterRun)?;
+        self.sync_new_tables(&event.new_files)?;
         self.persist_manifest(inner)?;
         // Crash here: new manifest committed, inputs not yet deleted —
         // recovery reopens the post-compaction version plus orphans.

@@ -30,13 +30,13 @@ use crate::types::FileId;
 use adcache_obs::{Event, FaultKind, Obs};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// SplitMix64 — the standard 64-bit finalizer; one call per decision keeps
 /// fault draws independent across ops and fault kinds.
-fn splitmix64(x: u64) -> u64 {
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -57,6 +57,8 @@ const SALT_BIT_FLIP: u64 = 0x06;
 const SALT_FLIP_POS: u64 = 0x07;
 const SALT_DELETE_FAIL: u64 = 0x08;
 const SALT_LATENCY: u64 = 0x09;
+const SALT_CRASH_DROP: u64 = 0x0A;
+const SALT_CRASH_KEEP: u64 = 0x0B;
 
 /// Per-fault-kind probabilities for a [`FaultStorage`].
 ///
@@ -162,6 +164,27 @@ pub struct FaultStorage {
     permanent_bad: RwLock<HashSet<(FileId, u32)>>,
     stats: FaultStats,
     obs: RwLock<Obs>,
+    /// Write-back cache model (`None` until enabled): tracks which
+    /// completed operations are not yet durable, so a crash can undo them.
+    write_back: Mutex<Option<WriteBack>>,
+}
+
+/// Completed-but-unsynced device state, from the write-back cache's point
+/// of view. Writes pass through to the inner device (so reads and I/O
+/// accounting stay exact) while this undo log remembers what a power loss
+/// would take back.
+#[derive(Debug, Default)]
+struct WriteBack {
+    /// Tables written since their last `sync_table`: a crash may drop them
+    /// wholly or tear them to a block prefix. Keeps a copy of the payload
+    /// so the torn remnant can be re-materialized.
+    created: HashMap<FileId, (Vec<Bytes>, Bytes)>,
+    /// Contents synced, directory entry not: a crash erases the file from
+    /// the namespace even though its bytes hit the platter.
+    await_dir: HashSet<FileId>,
+    /// Deletions deferred until the next `sync_dir`; a crash undoes them
+    /// and the obsolete tables resurrect as orphans.
+    pending_delete: HashSet<FileId>,
 }
 
 impl FaultStorage {
@@ -177,6 +200,112 @@ impl FaultStorage {
             permanent_bad: RwLock::new(HashSet::new()),
             stats: FaultStats::default(),
             obs: RwLock::new(Obs::disabled()),
+            write_back: Mutex::new(None),
+        }
+    }
+
+    /// Enables the write-back cache model: completed writes and deletes
+    /// stay undoable until the matching `sync_table` / `sync_dir`, and
+    /// [`FaultStorage::crash_drop_unsynced`] can take them back. Stays on
+    /// for the life of the decorator (and across `set_active(false)` —
+    /// cache volatility is device semantics, not a fault).
+    pub fn enable_write_back(&self) {
+        let mut wb = self.write_back.lock();
+        if wb.is_none() {
+            *wb = Some(WriteBack::default());
+        }
+    }
+
+    /// Number of tables with any unsynced state (test / drill helper).
+    pub fn unsynced_tables(&self) -> usize {
+        self.write_back
+            .lock()
+            .as_ref()
+            .map(|wb| wb.created.len() + wb.await_dir.len() + wb.pending_delete.len())
+            .unwrap_or(0)
+    }
+
+    /// Simulates power loss against the write-back cache: every unsynced
+    /// table creation is dropped wholly, torn to a strict block prefix
+    /// (metadata lost), or survives by luck — seeded per table; tables
+    /// whose contents were synced but whose directory entry was not vanish
+    /// from the namespace; unsynced deletions are undone, resurrecting
+    /// obsolete tables as orphans. Returns `(files affected, bytes
+    /// dropped)` and journals an `UnsyncedLoss` event. No-op until
+    /// [`FaultStorage::enable_write_back`].
+    pub fn crash_drop_unsynced(&self, seed: u64) -> (u64, u64) {
+        let mut guard = self.write_back.lock();
+        let Some(wb) = guard.as_mut() else {
+            return (0, 0);
+        };
+        let mut files = 0u64;
+        let mut bytes = 0u64;
+        let mut ids: Vec<FileId> = wb.created.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let (blocks, meta) = wb.created.remove(&id).expect("listed id");
+            let h = splitmix64(seed ^ splitmix64(id ^ (SALT_CRASH_DROP << 56)));
+            let payload = blocks.iter().map(|b| b.len() as u64).sum::<u64>() + meta.len() as u64;
+            match h % 4 {
+                3 => continue, // the cache happened to drain in time
+                0 => {
+                    // Dropped wholly: the file never reached the platter.
+                    let _ = self.inner.delete_table(id);
+                    files += 1;
+                    bytes += payload;
+                }
+                _ => {
+                    // Torn: a strict prefix of the blocks survives and the
+                    // trailing metadata is gone — an unreadable orphan.
+                    let keep = if blocks.is_empty() {
+                        0
+                    } else {
+                        (splitmix64(h ^ (SALT_CRASH_KEEP << 56)) % blocks.len() as u64) as usize
+                    };
+                    let kept: u64 = blocks[..keep].iter().map(|b| b.len() as u64).sum();
+                    let _ = self.inner.delete_table(id);
+                    let _ = self
+                        .inner
+                        .write_table(id, blocks[..keep].to_vec(), Bytes::new());
+                    files += 1;
+                    bytes += payload - kept;
+                }
+            }
+        }
+        let mut await_dir: Vec<FileId> = wb.await_dir.drain().collect();
+        await_dir.sort_unstable();
+        for id in await_dir {
+            // fsync'd contents without a durable directory entry are
+            // unreachable after restart: the file is lost all the same.
+            let _ = self.inner.delete_table(id);
+            files += 1;
+        }
+        files += wb.pending_delete.len() as u64;
+        wb.pending_delete.clear();
+        drop(guard);
+        if files > 0 || bytes > 0 {
+            self.obs
+                .read()
+                .emit(|| Event::UnsyncedLoss { files, bytes });
+        }
+        (files, bytes)
+    }
+
+    /// Completed write: passes through to the device, and when the
+    /// write-back model is on, remembers the payload as undoable.
+    fn write_back_write(&self, id: FileId, blocks: Vec<Bytes>, meta: Bytes) -> Result<()> {
+        let mut guard = self.write_back.lock();
+        if let Some(wb) = guard.as_mut() {
+            if wb.pending_delete.contains(&id) {
+                return Err(LsmError::InvalidArgument(format!(
+                    "table {id} already exists"
+                )));
+            }
+            self.inner.write_table(id, blocks.clone(), meta.clone())?;
+            wb.created.insert(id, (blocks, meta));
+            Ok(())
+        } else {
+            self.inner.write_table(id, blocks, meta)
         }
     }
 
@@ -245,7 +374,7 @@ impl FaultStorage {
 impl Storage for FaultStorage {
     fn write_table(&self, id: FileId, blocks: Vec<Bytes>, meta: Bytes) -> Result<()> {
         if !self.is_active() {
-            return self.inner.write_table(id, blocks, meta);
+            return self.write_back_write(id, blocks, meta);
         }
         let plan = self.plan.read().clone();
         let op = self.ops.fetch_add(1, Ordering::Relaxed);
@@ -269,13 +398,12 @@ impl Storage for FaultStorage {
             let total = blocks.len();
             self.stats.torn_write.fetch_add(1, Ordering::Relaxed);
             self.emit(FaultKind::TornWrite, id, keep as u64);
-            self.inner
-                .write_table(id, blocks[..keep].to_vec(), Bytes::new())?;
+            self.write_back_write(id, blocks[..keep].to_vec(), Bytes::new())?;
             return Err(LsmError::Injected(format!(
                 "torn write: table {id} persisted {keep}/{total} blocks"
             )));
         }
-        self.inner.write_table(id, blocks, meta)
+        self.write_back_write(id, blocks, meta)
     }
 
     fn read_block(&self, id: FileId, block_no: u32) -> Result<Bytes> {
@@ -325,19 +453,78 @@ impl Storage for FaultStorage {
     }
 
     fn delete_table(&self, id: FileId) -> Result<()> {
-        if !self.is_active() {
-            return self.inner.delete_table(id);
+        if self.is_active() {
+            let plan = self.plan.read().clone();
+            let op = self.ops.fetch_add(1, Ordering::Relaxed);
+            if self.roll(op, SALT_DELETE_FAIL) < plan.delete_fail {
+                self.stats.delete_fail.fetch_add(1, Ordering::Relaxed);
+                self.emit(FaultKind::DeleteFail, id, 0);
+                return Err(LsmError::Injected(format!(
+                    "delete/sync failure: table {id} left behind"
+                )));
+            }
         }
-        let plan = self.plan.read().clone();
-        let op = self.ops.fetch_add(1, Ordering::Relaxed);
-        if self.roll(op, SALT_DELETE_FAIL) < plan.delete_fail {
-            self.stats.delete_fail.fetch_add(1, Ordering::Relaxed);
-            self.emit(FaultKind::DeleteFail, id, 0);
-            return Err(LsmError::Injected(format!(
-                "delete/sync failure: table {id} left behind"
-            )));
+        let mut guard = self.write_back.lock();
+        if let Some(wb) = guard.as_mut() {
+            if wb.created.remove(&id).is_some() {
+                // Deleting a never-synced table cancels it outright; there
+                // is nothing for a crash to resurrect.
+                wb.await_dir.remove(&id);
+                return self.inner.delete_table(id);
+            }
+            if wb.pending_delete.contains(&id) {
+                return Err(LsmError::NotFound(format!("table {id}")));
+            }
+            if !self.inner.list_tables().contains(&id) {
+                return Err(LsmError::NotFound(format!("table {id}")));
+            }
+            // The unlink completes from the caller's perspective but only
+            // becomes durable at the next directory sync.
+            wb.await_dir.remove(&id);
+            wb.pending_delete.insert(id);
+            return Ok(());
         }
+        drop(guard);
         self.inner.delete_table(id)
+    }
+
+    fn sync_table(&self, id: FileId) -> Result<()> {
+        let mut guard = self.write_back.lock();
+        if let Some(wb) = guard.as_mut() {
+            if wb.created.remove(&id).is_some() {
+                // Contents are now durable; the directory entry still needs
+                // a `sync_dir` before the file survives a crash.
+                wb.await_dir.insert(id);
+            }
+        }
+        drop(guard);
+        self.inner.sync_table(id)
+    }
+
+    fn sync_dir(&self) -> Result<()> {
+        let mut guard = self.write_back.lock();
+        if let Some(wb) = guard.as_mut() {
+            wb.await_dir.clear();
+            let mut doomed: Vec<FileId> = wb.pending_delete.drain().collect();
+            doomed.sort_unstable();
+            for id in doomed {
+                let _ = self.inner.delete_table(id);
+            }
+        }
+        drop(guard);
+        self.inner.sync_dir()
+    }
+
+    fn list_tables(&self) -> Vec<FileId> {
+        let mut ids = self.inner.list_tables();
+        if let Some(wb) = self.write_back.lock().as_ref() {
+            ids.retain(|id| !wb.pending_delete.contains(id));
+        }
+        ids
+    }
+
+    fn sync_cost_ns(&self) -> u64 {
+        self.inner.sync_cost_ns()
     }
 
     fn stats(&self) -> &IoStats {
@@ -345,6 +532,9 @@ impl Storage for FaultStorage {
     }
 
     fn table_count(&self) -> usize {
+        if self.write_back.lock().is_some() {
+            return self.list_tables().len();
+        }
         self.inner.table_count()
     }
 }

@@ -35,6 +35,7 @@ pub mod compress;
 pub mod db;
 pub mod error;
 pub mod fault;
+pub mod fs;
 pub mod iterator;
 pub mod manifest;
 pub mod memtable;
@@ -53,7 +54,9 @@ pub use compress::{lzss_compress, lzss_decompress};
 pub use db::{DbStats, LsmTree};
 pub use error::{LsmError, Result};
 pub use fault::{CrashController, CrashPoint, FaultPlan, FaultStats, FaultStorage};
-pub use options::Options;
+pub use fs::{MetaFs, RealFs, SimFs, UnsyncedLoss};
+pub use manifest::ManifestSync;
+pub use options::{FsyncSite, Options, SyncPolicy};
 pub use skiplist::SkipList;
 pub use sstable::{
     decode_stored_block, decode_stored_block_at, BlockProvider, DirectProvider, TableMeta,

@@ -16,9 +16,40 @@
 //! ```
 
 use crate::error::{LsmError, Result};
+use crate::fs::MetaFs;
 use crate::types::FileId;
 use crate::wal::crc32;
 use std::path::{Path, PathBuf};
+
+/// Which durability steps [`write_manifest`] takes after writing the new
+/// manifest, derived from the engine's sync policy (and its misplacement
+/// test hook).
+#[derive(Debug, Clone, Copy)]
+pub struct ManifestSync {
+    /// fsync the temp file before the renames (content durability).
+    pub file: bool,
+    /// fsync the parent directory after the renames (entry durability) —
+    /// without it the commit itself can be lost to a crash.
+    pub dir: bool,
+}
+
+impl ManifestSync {
+    /// Sync everything — full commit durability.
+    pub fn full() -> Self {
+        ManifestSync {
+            file: true,
+            dir: true,
+        }
+    }
+
+    /// Sync nothing (`SyncPolicy::Never`).
+    pub fn none() -> Self {
+        ManifestSync {
+            file: false,
+            dir: false,
+        }
+    }
+}
 
 /// The durable version snapshot.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -37,12 +68,18 @@ pub fn backup_path(path: &Path) -> PathBuf {
 
 /// Serializes `state` and commits it atomically to `path`.
 ///
-/// Commit sequence: write the new manifest to a temp file and fsync it,
-/// preserve the current manifest (if any) as `<path>.bak`, then rename the
-/// temp file into place. Any single crash point leaves either the new
-/// manifest at `path` or the previous one at the backup path —
-/// [`recover_manifest`] checks both.
-pub fn write_manifest(path: &Path, state: &ManifestState) -> Result<()> {
+/// Commit sequence: write the new manifest to a temp file and fsync it
+/// (when `sync.file`), preserve the current manifest (if any) as
+/// `<path>.bak`, rename the temp file into place, then fsync the parent
+/// directory (when `sync.dir`) so the renames themselves survive a crash.
+/// Any single crash point leaves either the new manifest at `path` or the
+/// previous one at the backup path — [`recover_manifest`] checks both.
+pub fn write_manifest(
+    fs: &dyn MetaFs,
+    path: &Path,
+    state: &ManifestState,
+    sync: ManifestSync,
+) -> Result<()> {
     let mut body = String::from("adcache-manifest v1\n");
     body.push_str(&format!("next_file {}\n", state.next_file));
     for (level, id) in &state.tables {
@@ -52,16 +89,21 @@ pub fn write_manifest(path: &Path, state: &ManifestState) -> Result<()> {
     body.push_str(&format!("crc {crc:08x}\n"));
 
     let tmp: PathBuf = path.with_extension("tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        std::io::Write::write_all(&mut f, body.as_bytes())?;
-        f.sync_data()?;
+    fs.write_file(&tmp, body.as_bytes())?;
+    if sync.file {
+        fs.sync_file(&tmp)?;
     }
-    if path.exists() {
-        std::fs::rename(path, backup_path(path))?;
+    if fs.exists(path) {
+        fs.rename(path, &backup_path(path))?;
     }
-    // Rename is atomic on POSIX filesystems.
-    std::fs::rename(&tmp, path)?;
+    // Rename is atomic on POSIX filesystems — but only durable once the
+    // parent directory is synced.
+    fs.rename(&tmp, path)?;
+    if sync.dir {
+        if let Some(parent) = path.parent() {
+            fs.sync_dir(parent)?;
+        }
+    }
     Ok(())
 }
 
@@ -72,16 +114,37 @@ pub fn write_manifest(path: &Path, state: &ManifestState) -> Result<()> {
 /// exists). The `bool` is true when recovery had to roll back to the
 /// backup; the caller should surface that (journal + stats) because it
 /// means the newest version was lost.
-pub fn recover_manifest(path: &Path) -> Result<(Option<ManifestState>, bool)> {
-    let primary = read_manifest(path);
-    match primary {
-        Ok(Some(state)) => Ok((Some(state), false)),
+///
+/// Also tidies commit litter: a stale `<path>.tmp` left by a crash before
+/// the final rename is always removed, and after a clean read of the
+/// primary the superseded `<path>.bak` is removed too (it is only kept
+/// while it is the fallback).
+pub fn recover_manifest(fs: &dyn MetaFs, path: &Path) -> Result<(Option<ManifestState>, bool)> {
+    let tmp = path.with_extension("tmp");
+    let mut cleaned = false;
+    if fs.exists(&tmp) {
+        // A crash between writing the temp file and renaming it into
+        // place leaves it behind; it was never committed, so drop it.
+        let _ = fs.remove(&tmp);
+        cleaned = true;
+    }
+    let primary = read_manifest(fs, path);
+    let out = match primary {
+        Ok(Some(state)) => {
+            let bak = backup_path(path);
+            if fs.exists(&bak) {
+                // The primary is valid, so the backup is superseded.
+                let _ = fs.remove(&bak);
+                cleaned = true;
+            }
+            Ok((Some(state), false))
+        }
         Ok(None) | Err(LsmError::Corruption(_)) => {
             // Primary corrupt, or missing because a crash hit between the
             // two commit renames — either way the backup is the last good
             // version.
             let primary_err = primary.err();
-            match read_manifest(&backup_path(path)) {
+            match read_manifest(fs, &backup_path(path)) {
                 Ok(Some(state)) => Ok((Some(state), true)),
                 Ok(None) => match primary_err {
                     // Corrupt primary and no backup to fall back to.
@@ -93,16 +156,24 @@ pub fn recover_manifest(path: &Path) -> Result<(Option<ManifestState>, bool)> {
             }
         }
         Err(e) => Err(e),
+    };
+    if cleaned {
+        // Make the tidy-up durable best-effort; recovery proceeds even on
+        // a device that refuses directory syncs.
+        if let Some(parent) = path.parent() {
+            let _ = fs.sync_dir(parent);
+        }
     }
+    out
 }
 
 /// Loads and validates a manifest. `Ok(None)` when no manifest exists yet.
-pub fn read_manifest(path: &Path) -> Result<Option<ManifestState>> {
-    let content = match std::fs::read_to_string(path) {
-        Ok(c) => c,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-        Err(e) => return Err(e.into()),
+pub fn read_manifest(fs: &dyn MetaFs, path: &Path) -> Result<Option<ManifestState>> {
+    let Some(raw) = fs.read(path)? else {
+        return Ok(None);
     };
+    let content =
+        String::from_utf8(raw).map_err(|_| LsmError::Corruption("manifest is not utf-8".into()))?;
     let Some(crc_line_start) = content.rfind("crc ") else {
         return Err(LsmError::Corruption("manifest missing crc line".into()));
     };
@@ -158,9 +229,22 @@ pub fn read_manifest(path: &Path) -> Result<Option<ManifestState>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fs::RealFs;
 
     fn tmp(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!("adcache-manifest-{}-{name}", std::process::id()))
+    }
+
+    fn write(path: &Path, state: &ManifestState) {
+        write_manifest(&RealFs::new(), path, state, ManifestSync::full()).unwrap();
+    }
+
+    fn read(path: &Path) -> Result<Option<ManifestState>> {
+        read_manifest(&RealFs::new(), path)
+    }
+
+    fn recover(path: &Path) -> Result<(Option<ManifestState>, bool)> {
+        recover_manifest(&RealFs::new(), path)
     }
 
     #[test]
@@ -170,8 +254,8 @@ mod tests {
             next_file: 42,
             tables: vec![(0, 7), (0, 5), (1, 3), (2, 1)],
         };
-        write_manifest(&path, &state).unwrap();
-        let back = read_manifest(&path).unwrap().unwrap();
+        write(&path, &state);
+        let back = read(&path).unwrap().unwrap();
         assert_eq!(back, state);
         std::fs::remove_file(&path).unwrap();
     }
@@ -180,46 +264,43 @@ mod tests {
     fn missing_is_none() {
         let path = tmp("missing");
         let _ = std::fs::remove_file(&path);
-        assert!(read_manifest(&path).unwrap().is_none());
+        assert!(read(&path).unwrap().is_none());
     }
 
     #[test]
     fn corruption_is_detected() {
         let path = tmp("corrupt");
-        write_manifest(
+        write(
             &path,
             &ManifestState {
                 next_file: 9,
                 tables: vec![(1, 2)],
             },
-        )
-        .unwrap();
+        );
         let mut content = std::fs::read_to_string(&path).unwrap();
         content = content.replace("table 1 2", "table 1 3");
         std::fs::write(&path, content).unwrap();
-        assert!(read_manifest(&path).is_err());
+        assert!(read(&path).is_err());
     }
 
     #[test]
     fn rewrite_replaces_atomically() {
         let path = tmp("rewrite");
-        write_manifest(
+        write(
             &path,
             &ManifestState {
                 next_file: 1,
                 tables: vec![],
             },
-        )
-        .unwrap();
-        write_manifest(
+        );
+        write(
             &path,
             &ManifestState {
                 next_file: 2,
                 tables: vec![(0, 1)],
             },
-        )
-        .unwrap();
-        let back = read_manifest(&path).unwrap().unwrap();
+        );
+        let back = read(&path).unwrap().unwrap();
         assert_eq!(back.next_file, 2);
         assert_eq!(back.tables, vec![(0, 1)]);
         assert!(!path.with_extension("tmp").exists(), "temp file cleaned up");
@@ -239,19 +320,47 @@ mod tests {
             next_file: 5,
             tables: vec![(0, 4), (1, 2)],
         };
-        write_manifest(&path, &v1).unwrap();
-        write_manifest(&path, &v2).unwrap();
-        // Clean state: primary wins, no rollback.
-        let (state, rolled_back) = recover_manifest(&path).unwrap();
-        assert_eq!(state.unwrap(), v2);
-        assert!(!rolled_back);
-        // Corrupt the primary: recovery falls back to the preserved v1.
+        write(&path, &v1);
+        write(&path, &v2);
+        // Corrupt the primary: recovery falls back to the preserved v1 and
+        // keeps the backup (it is still the only good copy).
         std::fs::write(&path, b"garbage").unwrap();
-        let (state, rolled_back) = recover_manifest(&path).unwrap();
+        let (state, rolled_back) = recover(&path).unwrap();
         assert_eq!(state.unwrap(), v1);
         assert!(rolled_back);
+        assert!(backup_path(&path).exists(), "fallback must not be deleted");
+        // Re-commit: the primary is valid again, so a clean recovery wins
+        // without rollback and tidies the superseded backup away.
+        write(&path, &v2);
+        let (state, rolled_back) = recover(&path).unwrap();
+        assert_eq!(state.unwrap(), v2);
+        assert!(!rolled_back);
+        assert!(
+            !backup_path(&path).exists(),
+            "superseded backup must be removed after a clean recovery"
+        );
         std::fs::remove_file(&path).unwrap();
-        std::fs::remove_file(backup_path(&path)).unwrap();
+    }
+
+    #[test]
+    fn recover_removes_stale_tmp_left_by_a_crashed_commit() {
+        let path = tmp("stale-tmp");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(backup_path(&path));
+        let v1 = ManifestState {
+            next_file: 3,
+            tables: vec![(0, 2)],
+        };
+        write(&path, &v1);
+        // A crash after writing the temp file but before the rename leaves
+        // it behind; it was never committed and must not survive recovery.
+        let stale = path.with_extension("tmp");
+        std::fs::write(&stale, b"uncommitted next version").unwrap();
+        let (state, rolled_back) = recover(&path).unwrap();
+        assert_eq!(state.unwrap(), v1);
+        assert!(!rolled_back);
+        assert!(!stale.exists(), "stale manifest.tmp must be swept");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
@@ -263,12 +372,12 @@ mod tests {
             next_file: 3,
             tables: vec![(0, 2)],
         };
-        write_manifest(&path, &v1).unwrap();
+        write(&path, &v1);
         // Simulate a crash after `rename(path, bak)` but before
         // `rename(tmp, path)`: primary gone, backup holds the last good
         // version.
         std::fs::rename(&path, backup_path(&path)).unwrap();
-        let (state, rolled_back) = recover_manifest(&path).unwrap();
+        let (state, rolled_back) = recover(&path).unwrap();
         assert_eq!(state.unwrap(), v1);
         assert!(rolled_back);
         std::fs::remove_file(backup_path(&path)).unwrap();
@@ -279,7 +388,7 @@ mod tests {
         let path = tmp("fresh");
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(backup_path(&path));
-        let (state, rolled_back) = recover_manifest(&path).unwrap();
+        let (state, rolled_back) = recover(&path).unwrap();
         assert!(state.is_none());
         assert!(!rolled_back);
     }
@@ -289,7 +398,7 @@ mod tests {
         let path = tmp("both-bad");
         std::fs::write(&path, b"garbage").unwrap();
         std::fs::write(backup_path(&path), b"also garbage").unwrap();
-        assert!(recover_manifest(&path).is_err());
+        assert!(recover(&path).is_err());
         std::fs::remove_file(&path).unwrap();
         std::fs::remove_file(backup_path(&path)).unwrap();
     }
@@ -297,17 +406,16 @@ mod tests {
     #[test]
     fn truncated_manifest_is_rejected() {
         let path = tmp("truncated");
-        write_manifest(
+        write(
             &path,
             &ManifestState {
                 next_file: 5,
                 tables: vec![(0, 4)],
             },
-        )
-        .unwrap();
+        );
         let content = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, &content[..content.len() / 2]).unwrap();
-        assert!(read_manifest(&path).is_err());
+        assert!(read(&path).is_err());
         std::fs::remove_file(&path).unwrap();
     }
 }

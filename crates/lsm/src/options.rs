@@ -1,5 +1,96 @@
 //! Engine configuration.
 
+/// When the engine issues device syncs (fsync) for its durability
+/// metadata — WAL, manifest, and SSTable files.
+///
+/// The policy only matters when the engine runs with a durability
+/// directory; purely in-memory trees never sync. Costs are charged to the
+/// simulated clock through [`crate::CostModel::sync_ns`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Sync the WAL after every write batch and sync every flush /
+    /// compaction artifact (file and directory). No acked write is ever
+    /// lost to a crash.
+    Always,
+    /// Push WAL appends to the OS per write but only fsync at flush and
+    /// compaction boundaries. A crash can lose the unsynced memtable tail,
+    /// but never data that a flush made durable. This mirrors common
+    /// production defaults (RocksDB with `sync=false` + WAL).
+    #[default]
+    OnFlush,
+    /// Never fsync anything. A crash can lose any unsynced suffix of the
+    /// history; recovery must still succeed on whatever survived.
+    Never,
+}
+
+impl SyncPolicy {
+    /// Stable lowercase name (CLI flag value).
+    pub fn name(self) -> &'static str {
+        match self {
+            SyncPolicy::Always => "always",
+            SyncPolicy::OnFlush => "on_flush",
+            SyncPolicy::Never => "never",
+        }
+    }
+
+    /// Parses a CLI flag value; accepts the stable names.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "always" => Some(SyncPolicy::Always),
+            "on_flush" | "on-flush" | "onflush" => Some(SyncPolicy::OnFlush),
+            "never" => Some(SyncPolicy::Never),
+            _ => None,
+        }
+    }
+
+    /// All policies, for matrix-style tests and drills.
+    pub fn all() -> [SyncPolicy; 3] {
+        [SyncPolicy::Always, SyncPolicy::OnFlush, SyncPolicy::Never]
+    }
+}
+
+/// A deliberately *suppressed* fsync site — a guarded test hook that
+/// re-introduces one of the durability bugs this engine fixes, so crash
+/// drills can prove they detect each hole. Never set in production paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncSite {
+    /// Skip the per-batch WAL sync under [`SyncPolicy::Always`]: acks come
+    /// out of an unsynced buffer again.
+    WalAppend,
+    /// Skip the sync-before-truncate ordering in `WalWriter::reset`: a
+    /// crash can resurrect stale WAL records that shadow newer SSTs.
+    WalReset,
+    /// Skip the parent-directory fsync after the manifest renames: the
+    /// committed manifest itself is not durable.
+    ManifestDir,
+    /// Skip the storage-directory fsync after SSTable creation: flushed
+    /// tables can vanish even though the manifest references them.
+    SstDir,
+}
+
+impl FsyncSite {
+    /// Stable lowercase label (CLI flag value).
+    pub fn label(self) -> &'static str {
+        match self {
+            FsyncSite::WalAppend => "wal_append",
+            FsyncSite::WalReset => "wal_reset",
+            FsyncSite::ManifestDir => "manifest_dir",
+            FsyncSite::SstDir => "sst_dir",
+        }
+    }
+
+    /// Parses a CLI flag value; accepts the stable labels.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "wal_append" => Some(FsyncSite::WalAppend),
+            "wal_reset" => Some(FsyncSite::WalReset),
+            "manifest_dir" => Some(FsyncSite::ManifestDir),
+            "sst_dir" => Some(FsyncSite::SstDir),
+            _ => None,
+        }
+    }
+}
+
 /// Tuning knobs for the LSM-tree, mirroring the paper's experimental setup
 /// (Section 5.1) at a configurable scale.
 ///
@@ -43,6 +134,14 @@ pub struct Options {
     /// Backoff charged to the simulated clock before the first retry;
     /// doubles per attempt. Never a real sleep.
     pub retry_backoff_ns: u64,
+    /// Fsync placement policy for the durability path (WAL, manifest,
+    /// SSTables). Ignored by purely in-memory trees.
+    pub sync: SyncPolicy,
+    /// Test hook: suppress the fsync at exactly one site, re-introducing a
+    /// known durability bug so crash drills can prove they catch it.
+    /// `None` (the only sane production value) syncs every site the policy
+    /// requires.
+    pub misplaced_fsync: Option<FsyncSite>,
 }
 
 impl Default for Options {
@@ -62,6 +161,8 @@ impl Default for Options {
             compression: false,
             read_retries: 2,
             retry_backoff_ns: 50_000,
+            sync: SyncPolicy::OnFlush,
+            misplaced_fsync: None,
         }
     }
 }
@@ -87,6 +188,8 @@ impl Options {
             compression: false,
             read_retries: 2,
             retry_backoff_ns: 50_000,
+            sync: SyncPolicy::OnFlush,
+            misplaced_fsync: None,
         }
     }
 
@@ -109,6 +212,8 @@ impl Options {
             compression: false,
             read_retries: 2,
             retry_backoff_ns: 50_000,
+            sync: SyncPolicy::OnFlush,
+            misplaced_fsync: None,
         }
     }
 

@@ -29,6 +29,10 @@ pub struct CostModel {
     pub read_block_ns: u64,
     /// Simulated nanoseconds charged per block written.
     pub write_block_ns: u64,
+    /// Simulated nanoseconds charged per explicit device sync (fsync of a
+    /// file or directory). NVMe flush latency is dominated by the drive
+    /// cache flush, not the payload size, so the charge is flat.
+    pub sync_ns: u64,
 }
 
 impl Default for CostModel {
@@ -36,6 +40,7 @@ impl Default for CostModel {
         CostModel {
             read_block_ns: 80_000,
             write_block_ns: 40_000,
+            sync_ns: 100_000,
         }
     }
 }
@@ -51,6 +56,9 @@ pub struct IoStats {
     pub block_reads: AtomicU64,
     /// Number of data blocks written (flushes and compactions).
     pub block_writes: AtomicU64,
+    /// Number of explicit device syncs issued (file + directory fsyncs,
+    /// including WAL and manifest syncs charged by the engine).
+    pub syncs: AtomicU64,
     /// Accumulated simulated device time in nanoseconds.
     pub simulated_ns: AtomicU64,
 }
@@ -64,6 +72,11 @@ impl IoStats {
     /// Snapshot of the write counter.
     pub fn writes(&self) -> u64 {
         self.block_writes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the sync counter.
+    pub fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
     }
 
     /// Snapshot of accumulated simulated nanoseconds.
@@ -98,6 +111,27 @@ pub trait Storage: Send + Sync {
 
     /// Deletes a table (after compaction made it obsolete).
     fn delete_table(&self, id: FileId) -> Result<()>;
+
+    /// Makes a written table's *contents* durable (fsync). Until this (and
+    /// [`Storage::sync_dir`]) succeed, a completed `write_table` may sit in
+    /// a modeled write-back cache and vanish on crash. Charged to the
+    /// simulated clock.
+    fn sync_table(&self, id: FileId) -> Result<()>;
+
+    /// Makes the device's *namespace* durable (directory fsync): table
+    /// creations and deletions issued before this call survive a crash.
+    /// Charged to the simulated clock.
+    fn sync_dir(&self) -> Result<()>;
+
+    /// Ids of every table currently present on the device — including
+    /// files an interrupted flush left behind that no manifest references.
+    /// Recovery uses this to sweep orphans. Sorted ascending.
+    fn list_tables(&self) -> Vec<FileId>;
+
+    /// Simulated nanoseconds one explicit sync costs on this device (the
+    /// engine charges this for WAL / manifest fsyncs, which bypass the
+    /// block device but share its clock).
+    fn sync_cost_ns(&self) -> u64;
 
     /// Shared I/O counters.
     fn stats(&self) -> &IoStats;
@@ -182,6 +216,31 @@ impl Storage for MemStorage {
             .remove(&id)
             .map(|_| ())
             .ok_or_else(|| LsmError::NotFound(format!("table {id}")))
+    }
+
+    fn sync_table(&self, id: FileId) -> Result<()> {
+        if !self.tables.read().contains_key(&id) {
+            return Err(LsmError::NotFound(format!("table {id}")));
+        }
+        self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+        self.stats.charge_ns(self.cost.sync_ns);
+        Ok(())
+    }
+
+    fn sync_dir(&self) -> Result<()> {
+        self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+        self.stats.charge_ns(self.cost.sync_ns);
+        Ok(())
+    }
+
+    fn list_tables(&self) -> Vec<FileId> {
+        let mut ids: Vec<FileId> = self.tables.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn sync_cost_ns(&self) -> u64 {
+        self.cost.sync_ns
     }
 
     fn stats(&self) -> &IoStats {
@@ -272,7 +331,10 @@ impl Storage for FileStorage {
             f.write_all(b)?;
         }
         f.write_all(&meta)?;
-        f.sync_all()?;
+        // Durability is explicit: the engine calls `sync_table` +
+        // `sync_dir` when its sync policy requires it; an unconditional
+        // fsync here would hide exactly the write-back-cache bugs the
+        // crash drills exist to catch.
         self.offsets.write().insert(id, offsets);
         self.stats
             .block_writes
@@ -318,6 +380,44 @@ impl Storage for FileStorage {
         self.offsets.write().remove(&id);
         std::fs::remove_file(self.path(id))?;
         Ok(())
+    }
+
+    fn sync_table(&self, id: FileId) -> Result<()> {
+        let f = std::fs::File::open(self.path(id))?;
+        f.sync_all()?;
+        self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+        self.stats.charge_ns(self.cost.sync_ns);
+        Ok(())
+    }
+
+    fn sync_dir(&self) -> Result<()> {
+        let f = std::fs::File::open(&self.dir)?;
+        f.sync_all()?;
+        self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+        self.stats.charge_ns(self.cost.sync_ns);
+        Ok(())
+    }
+
+    fn list_tables(&self) -> Vec<FileId> {
+        let mut ids: Vec<FileId> = std::fs::read_dir(&self.dir)
+            .map(|d| {
+                d.filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|x| x == "sst"))
+                    .filter_map(|p| {
+                        p.file_stem()
+                            .and_then(|s| s.to_str())
+                            .and_then(|s| s.parse::<FileId>().ok())
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn sync_cost_ns(&self) -> u64 {
+        self.cost.sync_ns
     }
 
     fn stats(&self) -> &IoStats {
@@ -379,10 +479,17 @@ mod tests {
         assert!(storage.read_block(9, 0).is_err());
         assert!(storage.write_table(1, blocks(1), Bytes::new()).is_err());
 
+        assert_eq!(storage.list_tables(), vec![1, 2]);
+        storage.sync_table(1).unwrap();
+        storage.sync_dir().unwrap();
+        assert_eq!(storage.stats().syncs(), 2);
+        assert!(storage.sync_table(9).is_err());
+
         storage.delete_table(1).unwrap();
         assert!(storage.read_block(1, 0).is_err());
         assert!(storage.delete_table(1).is_err());
         assert_eq!(storage.table_count(), 1);
+        assert_eq!(storage.list_tables(), vec![2]);
     }
 
     #[test]
@@ -440,11 +547,15 @@ mod tests {
         let s = MemStorage::with_cost(CostModel {
             read_block_ns: 100,
             write_block_ns: 10,
+            sync_ns: 1000,
         });
         s.write_table(1, blocks(2), Bytes::new()).unwrap();
         assert_eq!(s.stats().simulated_ns(), 20);
         s.read_block(1, 0).unwrap();
         s.read_block(1, 1).unwrap();
         assert_eq!(s.stats().simulated_ns(), 220);
+        s.sync_table(1).unwrap();
+        s.sync_dir().unwrap();
+        assert_eq!(s.stats().simulated_ns(), 2220);
     }
 }

@@ -12,11 +12,11 @@
 //! `kind:u8 | klen:u32 | key | (vlen:u32 | value)?` (value only for puts).
 
 use crate::error::{LsmError, Result};
+use crate::fs::MetaFs;
 use crate::types::{Entry, Key, KeyEntry};
 use bytes::Bytes;
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const KIND_PUT: u8 = 1;
 const KIND_DELETE: u8 = 2;
@@ -48,12 +48,21 @@ pub fn crc32(data: &[u8]) -> u32 {
 }
 
 /// Append-only writer for the WAL file.
+///
+/// All I/O goes through a [`MetaFs`], so crash drills can interpose a
+/// write-back cache: a flushed record has merely *completed*; only
+/// [`WalWriter::sync`] makes it durable.
 pub struct WalWriter {
     path: PathBuf,
-    file: BufWriter<File>,
-    /// fsync after every record (safest, slowest). Off by default: the
-    /// simulation workloads don't model fsync latency.
-    sync_each_write: bool,
+    fs: Arc<dyn MetaFs>,
+    /// Records encoded but not yet pushed to the filesystem.
+    buf: Vec<u8>,
+    /// Bracket [`WalWriter::reset`] with file syncs so the truncation is
+    /// both ordered after the preceding appends and itself durable —
+    /// without this, a crash can resurrect stale records that shadow data
+    /// already flushed to an SSTable. Off under `SyncPolicy::Never` (and
+    /// under the `FsyncSite::WalReset` misplacement hook).
+    reset_sync: bool,
     /// Records appended to the current segment (since the last reset).
     segment_appends: u64,
     /// Bytes appended to the current segment (since the last reset).
@@ -62,16 +71,24 @@ pub struct WalWriter {
 
 impl WalWriter {
     /// Opens (appending) or creates the log at `path`.
-    pub fn open(path: impl Into<PathBuf>, sync_each_write: bool) -> Result<Self> {
+    pub fn open(fs: Arc<dyn MetaFs>, path: impl Into<PathBuf>, reset_sync: bool) -> Result<Self> {
         let path = path.into();
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if !fs.exists(&path) {
+            fs.write_file(&path, &[])?;
+        }
         Ok(WalWriter {
             path,
-            file: BufWriter::new(file),
-            sync_each_write,
+            fs,
+            buf: Vec::new(),
+            reset_sync,
             segment_appends: 0,
             segment_bytes: 0,
         })
+    }
+
+    /// Whether [`WalWriter::reset`] brackets the truncation with file syncs.
+    pub fn reset_sync(&self) -> bool {
+        self.reset_sync
     }
 
     /// Records appended since the last [`WalWriter::reset`].
@@ -101,31 +118,49 @@ impl WalWriter {
                 payload.extend_from_slice(key);
             }
         }
-        self.file.write_all(&(payload.len() as u32).to_le_bytes())?;
-        self.file.write_all(&crc32(&payload).to_le_bytes())?;
-        self.file.write_all(&payload)?;
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        self.buf.extend_from_slice(&payload);
         self.segment_appends += 1;
         self.segment_bytes += 8 + payload.len() as u64;
-        if self.sync_each_write {
-            self.file.flush()?;
-            self.file.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Pushes buffered records to the filesystem (completed, not durable).
+    pub fn flush(&mut self) -> Result<()> {
+        if !self.buf.is_empty() {
+            self.fs.append(&self.path, &self.buf)?;
+            self.buf.clear();
         }
         Ok(())
     }
 
-    /// Flushes buffered records to the OS.
-    pub fn flush(&mut self) -> Result<()> {
-        self.file.flush()?;
+    /// Flushes and fsyncs the log: every record appended so far survives a
+    /// crash.
+    pub fn sync(&mut self) -> Result<()> {
+        self.flush()?;
+        self.fs.sync_file(&self.path)?;
         Ok(())
     }
 
     /// Truncates the log (after the memtable it protected was flushed to
     /// an SSTable).
+    ///
+    /// With `reset_sync` on, the truncation is bracketed by file syncs:
+    /// the first orders it after every preceding append, the second makes
+    /// the empty log durable. Skipping the bracket lets a crash keep the
+    /// pre-truncate records — they would replay on top of the SSTable that
+    /// already holds them, and a *stale* record can shadow newer data.
     pub fn reset(&mut self) -> Result<()> {
-        self.file.flush()?;
-        let f = self.file.get_mut();
-        f.set_len(0)?;
-        f.seek(SeekFrom::Start(0))?;
+        self.flush()?;
+        if self.reset_sync {
+            self.fs.sync_file(&self.path)?;
+        }
+        self.fs.truncate(&self.path, 0)?;
+        if self.reset_sync {
+            self.fs.sync_file(&self.path)?;
+        }
         self.segment_appends = 0;
         self.segment_bytes = 0;
         Ok(())
@@ -158,15 +193,10 @@ pub struct ReplayOutcome {
 ///   its CRC. No crash produces that; it is bit rot of acknowledged data,
 ///   and silently dropping the suffix would lose acknowledged writes. This
 ///   is a hard [`LsmError::Corruption`].
-pub fn replay(path: &Path) -> Result<ReplayOutcome> {
-    let mut data = Vec::new();
-    match File::open(path) {
-        Ok(mut f) => {
-            f.read_to_end(&mut data)?;
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ReplayOutcome::default()),
-        Err(e) => return Err(e.into()),
-    }
+pub fn replay(fs: &dyn MetaFs, path: &Path) -> Result<ReplayOutcome> {
+    let Some(data) = fs.read(path)? else {
+        return Ok(ReplayOutcome::default());
+    };
     let mut out = Vec::new();
     let mut pos = 0usize;
     let mut torn = false;
@@ -207,10 +237,10 @@ pub fn replay(path: &Path) -> Result<ReplayOutcome> {
     if torn {
         outcome.torn_tail_bytes = (data.len() - pos) as u64;
         // Truncate to the valid prefix so the writer appends after the last
-        // intact record instead of interleaving with torn garbage.
-        let f = OpenOptions::new().write(true).open(path)?;
-        f.set_len(pos as u64)?;
-        f.sync_data()?;
+        // intact record instead of interleaving with torn garbage, and make
+        // the repair durable.
+        fs.truncate(path, pos as u64)?;
+        fs.sync_file(path)?;
     }
     Ok(outcome)
 }
@@ -248,9 +278,15 @@ fn decode_payload(p: &[u8]) -> Result<Option<KeyEntry>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fs::{RealFs, SimFs};
+    use std::io::Write;
 
     fn tmp(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!("adcache-wal-{}-{name}.log", std::process::id()))
+    }
+
+    fn real() -> Arc<dyn MetaFs> {
+        Arc::new(RealFs::new())
     }
 
     #[test]
@@ -268,7 +304,7 @@ mod tests {
         let path = tmp("roundtrip");
         let _ = std::fs::remove_file(&path);
         {
-            let mut w = WalWriter::open(&path, false).unwrap();
+            let mut w = WalWriter::open(real(), &path, false).unwrap();
             w.append(b"k1", &Entry::Put(Bytes::from_static(b"v1")))
                 .unwrap();
             w.append(b"k2", &Entry::Tombstone).unwrap();
@@ -276,7 +312,7 @@ mod tests {
                 .unwrap();
             w.flush().unwrap();
         }
-        let outcome = replay(&path).unwrap();
+        let outcome = replay(&RealFs::new(), &path).unwrap();
         assert_eq!(outcome.torn_tail_bytes, 0);
         let records = outcome.records;
         assert_eq!(records.len(), 3);
@@ -291,23 +327,23 @@ mod tests {
     fn missing_file_replays_empty() {
         let path = tmp("missing");
         let _ = std::fs::remove_file(&path);
-        assert!(replay(&path).unwrap().records.is_empty());
+        assert!(replay(&RealFs::new(), &path).unwrap().records.is_empty());
     }
 
     #[test]
     fn reset_truncates() {
         let path = tmp("reset");
         let _ = std::fs::remove_file(&path);
-        let mut w = WalWriter::open(&path, false).unwrap();
+        let mut w = WalWriter::open(real(), &path, false).unwrap();
         w.append(b"k", &Entry::Put(Bytes::from_static(b"v")))
             .unwrap();
         w.reset().unwrap();
-        assert!(replay(&path).unwrap().records.is_empty());
+        assert!(replay(&RealFs::new(), &path).unwrap().records.is_empty());
         // Usable after reset.
         w.append(b"k2", &Entry::Put(Bytes::from_static(b"v2")))
             .unwrap();
         w.flush().unwrap();
-        let records = replay(&path).unwrap().records;
+        let records = replay(&RealFs::new(), &path).unwrap().records;
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].key.as_ref(), b"k2");
         std::fs::remove_file(&path).unwrap();
@@ -318,7 +354,7 @@ mod tests {
         let path = tmp("torn");
         let _ = std::fs::remove_file(&path);
         {
-            let mut w = WalWriter::open(&path, false).unwrap();
+            let mut w = WalWriter::open(real(), &path, false).unwrap();
             w.append(b"good", &Entry::Put(Bytes::from_static(b"v")))
                 .unwrap();
             w.flush().unwrap();
@@ -326,19 +362,22 @@ mod tests {
         let intact_len = std::fs::metadata(&path).unwrap().len();
         // Simulate a crash mid-append: write a partial record.
         {
-            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
             f.write_all(&100u32.to_le_bytes()).unwrap();
             f.write_all(&0u32.to_le_bytes()).unwrap();
             f.write_all(b"partial").unwrap();
         }
-        let outcome = replay(&path).unwrap();
+        let outcome = replay(&RealFs::new(), &path).unwrap();
         assert_eq!(outcome.records.len(), 1);
         assert_eq!(outcome.records[0].key.as_ref(), b"good");
         assert_eq!(outcome.torn_tail_bytes, 8 + 7);
         // The file was truncated back to its valid prefix, so a second
         // replay sees a clean log.
         assert_eq!(std::fs::metadata(&path).unwrap().len(), intact_len);
-        assert_eq!(replay(&path).unwrap().torn_tail_bytes, 0);
+        assert_eq!(replay(&RealFs::new(), &path).unwrap().torn_tail_bytes, 0);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -347,7 +386,7 @@ mod tests {
         let path = tmp("corrupt-tail");
         let _ = std::fs::remove_file(&path);
         {
-            let mut w = WalWriter::open(&path, false).unwrap();
+            let mut w = WalWriter::open(real(), &path, false).unwrap();
             w.append(b"a", &Entry::Put(Bytes::from_static(b"1")))
                 .unwrap();
             w.append(b"b", &Entry::Put(Bytes::from_static(b"2")))
@@ -360,7 +399,7 @@ mod tests {
         let n = data.len();
         data[n - 1] ^= 0xFF;
         std::fs::write(&path, &data).unwrap();
-        let outcome = replay(&path).unwrap();
+        let outcome = replay(&RealFs::new(), &path).unwrap();
         assert_eq!(outcome.records.len(), 1, "replay keeps the intact prefix");
         assert_eq!(outcome.records[0].key.as_ref(), b"a");
         assert!(outcome.torn_tail_bytes > 0);
@@ -372,7 +411,7 @@ mod tests {
         let path = tmp("corrupt-mid");
         let _ = std::fs::remove_file(&path);
         {
-            let mut w = WalWriter::open(&path, false).unwrap();
+            let mut w = WalWriter::open(real(), &path, false).unwrap();
             w.append(b"a", &Entry::Put(Bytes::from_static(b"1")))
                 .unwrap();
             w.append(b"b", &Entry::Put(Bytes::from_static(b"2")))
@@ -384,7 +423,58 @@ mod tests {
         let mut data = std::fs::read(&path).unwrap();
         data[9] ^= 0xFF;
         std::fs::write(&path, &data).unwrap();
-        assert!(matches!(replay(&path), Err(LsmError::Corruption(_))));
+        assert!(matches!(
+            replay(&RealFs::new(), &path),
+            Err(LsmError::Corruption(_))
+        ));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn synced_appends_survive_a_simulated_crash() {
+        let fs = Arc::new(SimFs::new());
+        let path = PathBuf::from("/sim/wal.log");
+        let mut w = WalWriter::open(fs.clone(), &path, true).unwrap();
+        fs.sync_dir(&path).unwrap(); // the creation itself must be durable
+        w.append(b"k1", &Entry::Put(Bytes::from_static(b"v1")))
+            .unwrap();
+        w.sync().unwrap();
+        w.append(b"k2", &Entry::Put(Bytes::from_static(b"v2")))
+            .unwrap();
+        w.flush().unwrap(); // completed but not durable
+        fs.crash(41);
+        let records = replay(fs.as_ref(), &path).unwrap().records;
+        // k1 always survives; k2 may or may not (a torn suffix is also
+        // legal) — but nothing beyond what was appended can appear.
+        assert!(!records.is_empty());
+        assert_eq!(records[0].key.as_ref(), b"k1");
+        assert!(records.len() <= 2);
+    }
+
+    #[test]
+    fn unsynced_reset_can_resurrect_stale_records() {
+        // With reset_sync off, the truncation sits in the write-back cache
+        // while the pre-reset records may already be durable: a crash
+        // undoes the truncate and the stale segment replays again. The
+        // sync-bracketed reset closes exactly this hole.
+        let run = |reset_sync: bool| -> bool {
+            let mut resurrected = false;
+            for seed in 0..16u64 {
+                let fs = Arc::new(SimFs::new());
+                let path = PathBuf::from("/sim/wal.log");
+                let mut w = WalWriter::open(fs.clone(), &path, reset_sync).unwrap();
+                fs.sync_dir(&path).unwrap();
+                w.append(b"stale", &Entry::Put(Bytes::from_static(b"old")))
+                    .unwrap();
+                w.sync().unwrap(); // the stale segment is durable
+                w.reset().unwrap(); // ... the memtable it covered flushed
+                fs.crash(seed);
+                let records = replay(fs.as_ref(), &path).unwrap().records;
+                resurrected |= records.iter().any(|r| r.key.as_ref() == b"stale");
+            }
+            resurrected
+        };
+        assert!(run(false), "the unsynced-reset hole must be reachable");
+        assert!(!run(true), "a sync-bracketed reset must never resurrect");
     }
 }

@@ -4,19 +4,23 @@
 //!    flush), a durable engine recovers to exactly the model state — every
 //!    write is either in an SSTable referenced by the manifest or in the
 //!    WAL.
-//! 2. Under an injected fault storm with a randomly armed internal crash
-//!    point, recovery never loses an acknowledged write and never applies
-//!    one twice: every recovered value is justified by the write history
-//!    (the last acked write or a later unacked candidate), and a second
-//!    recovery reproduces the first bit for bit.
+//! 2. Under an injected fault storm, a randomly armed internal crash
+//!    point, a random sync policy, AND a modeled write-back cache that
+//!    drops completed-but-unsynced writes at the crash, recovery keeps
+//!    exactly what the policy promised: `always` never loses an acked
+//!    write; `on_flush` never loses an acked write covered by a completed
+//!    flush; `never` may lose unsynced suffixes but still serves only
+//!    values that were actually written. A second recovery reproduces the
+//!    first bit for bit in every case.
 
 use adcache_lsm::{
     CrashController, CrashPoint, DirectProvider, FaultPlan, FaultStorage, FileStorage, LsmTree,
-    Options,
+    MemStorage, Options, SimFs, SyncPolicy,
 };
 use bytes::Bytes;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 #[derive(Debug, Clone)]
@@ -102,77 +106,109 @@ proptest! {
     fn faulted_recovery_never_loses_acked_writes(
         ops in proptest::collection::vec(op_strategy(), 20..200),
         point_idx in 0usize..CrashPoint::all().len(),
+        policy_idx in 0usize..SyncPolicy::all().len(),
         nth in 1u64..4,
         seed in any::<u64>(),
-        case_id in any::<u64>(),
     ) {
         const KEYS: u16 = 300;
-        let base = std::env::temp_dir().join(format!(
-            "adcache-pfault-{}-{case_id}",
-            std::process::id()
-        ));
-        let _ = std::fs::remove_dir_all(&base);
-        let sst_dir = base.join("sst");
-        let meta_dir = base.join("meta");
+        let sync = SyncPolicy::all()[policy_idx];
         let mut tiny = Options::small();
         tiny.memtable_size = 2048;
         tiny.sstable_size = 2048;
+        tiny.sync = sync;
+        let meta_dir = "/pfault/meta";
 
+        // Both device models buffer completed-but-unsynced writes: the
+        // storage wrapper for SSTs, the simulated fs for WAL + manifest.
+        let fs = Arc::new(SimFs::new());
         let storage = Arc::new(FaultStorage::new(
-            Arc::new(FileStorage::open(&sst_dir).unwrap()),
+            Arc::new(MemStorage::new()),
             seed,
             FaultPlan::none(),
         ));
+        storage.enable_write_back();
         let crash = CrashController::new();
-        // Write history per key, in order: (value-or-tombstone, acked?).
-        // A failed op may still have reached the WAL before its error, so
-        // unacked writes are candidates, not forbidden states.
-        let mut history: Vec<Vec<(Option<Bytes>, bool)>> = vec![Vec::new(); KEYS as usize];
+        // Write history per key, in order: (value-or-tombstone, acked?,
+        // sequence number). A failed op may still have reached the WAL
+        // before its error, so unacked writes are candidates, not
+        // forbidden states.
+        let mut history: Vec<Vec<(Option<Bytes>, bool, u64)>> = vec![Vec::new(); KEYS as usize];
+        let mut seq = 0u64;
+        // Highest sequence covered by a fully successful flush — the
+        // durability floor the `on_flush` policy promises.
+        let mut flushed_seq = 0u64;
 
         // First life: a fault storm plus one armed crash point.
         {
-            let db = LsmTree::with_durability(tiny.clone(), storage.clone(), &meta_dir).unwrap();
+            let db = LsmTree::with_durability_fs(
+                tiny.clone(), storage.clone(), meta_dir, fs.clone(),
+            ).unwrap();
             db.set_crash_controller(crash.clone());
             crash.arm(CrashPoint::all()[point_idx], nth);
             storage.set_plan(FaultPlan::storm());
+            let mut flushes_seen = 0u64;
             for (i, op) in ops.iter().enumerate() {
-                match op {
+                let acked = match op {
                     Op::Put(k, v) => {
                         let value = Bytes::from(format!("v{k}-{v}-{i}"));
+                        seq += 1;
                         let acked = db.put(key(*k), value.clone()).is_ok();
-                        history[*k as usize].push((Some(value), acked));
+                        history[*k as usize].push((Some(value), acked, seq));
+                        acked
                     }
                     Op::Delete(k) => {
+                        seq += 1;
                         let acked = db.delete(key(*k)).is_ok();
-                        history[*k as usize].push((None, acked));
+                        history[*k as usize].push((None, acked, seq));
+                        acked
                     }
-                    Op::Flush => { let _ = db.flush(); }
+                    Op::Flush => db.flush().is_ok(),
+                };
+                if acked {
+                    let f = db.stats().flushes.load(Ordering::Relaxed);
+                    if f > flushes_seen {
+                        flushes_seen = f;
+                        flushed_seq = seq;
+                    }
                 }
                 if crash.fired() {
                     break;
                 }
             }
-            // Crash: drop mid-storm.
+            // Crash: drop mid-storm...
         }
 
-        // Recovery against a quiet device.
+        // ...and drop whatever the write-back caches still held.
         storage.set_active(false);
-        let db = LsmTree::with_durability(tiny.clone(), storage.clone(), &meta_dir).unwrap();
+        storage.crash_drop_unsynced(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+        fs.crash(seed.rotate_left(17) | 1);
+
+        // Recovery against a quiet device must succeed under EVERY policy:
+        // weaker sync loses more data, never the ability to reopen.
+        let db = LsmTree::with_durability_fs(
+            tiny.clone(), storage.clone(), meta_dir, fs.clone(),
+        ).unwrap();
         let p = DirectProvider;
         let mut state = Vec::with_capacity(KEYS as usize);
         for k in 0..KEYS {
             let got = db.get(&key(k), &p).unwrap();
             let h = &history[k as usize];
-            let last_acked = h.iter().rposition(|(_, acked)| *acked);
+            let strong = match sync {
+                SyncPolicy::Always => h.iter().rposition(|(_, acked, _)| *acked),
+                SyncPolicy::OnFlush => {
+                    h.iter().rposition(|(_, acked, s)| *acked && *s <= flushed_seq)
+                }
+                SyncPolicy::Never => None,
+            };
             let matches = |want: &Option<Bytes>| got.as_deref() == want.as_deref();
-            let ok = match last_acked {
-                Some(idx) => h[idx..].iter().any(|(v, _)| matches(v)),
-                None => got.is_none() || h.iter().any(|(v, _)| matches(v)),
+            let ok = match strong {
+                Some(idx) => h[idx..].iter().any(|(v, _, _)| matches(v)),
+                None => got.is_none() || h.iter().any(|(v, _, _)| matches(v)),
             };
             prop_assert!(
                 ok,
-                "key {k}: recovered {:?} not justified by history {:?}",
-                got, h
+                "key {k} (sync={}): recovered {:?} not justified by history {:?}",
+                sync.name(), got, h
             );
             state.push(got);
         }
@@ -180,16 +216,14 @@ proptest! {
 
         // Second recovery must be idempotent: nothing applied twice,
         // nothing re-lost.
-        let db = LsmTree::with_durability(tiny, storage, &meta_dir).unwrap();
+        let db = LsmTree::with_durability_fs(tiny, storage, meta_dir, fs).unwrap();
         for k in 0..KEYS {
             prop_assert_eq!(
                 db.get(&key(k), &p).unwrap(),
                 state[k as usize].clone(),
-                "key {} changed between reopens",
-                k
+                "key {} changed between reopens (sync={})",
+                k, sync.name()
             );
         }
-        drop(db);
-        std::fs::remove_dir_all(&base).unwrap();
     }
 }

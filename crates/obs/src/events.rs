@@ -230,6 +230,28 @@ pub enum Event {
         /// Stable crash-point label (`CrashPoint::label`).
         point: String,
     },
+    /// The engine issued an explicit device sync (fsync) per its sync
+    /// policy.
+    SyncIssued {
+        /// What was synced: `"wal"`, `"manifest"`, `"sst"`, or `"dir"`.
+        target: String,
+        /// Table id for SST syncs (0 when not table-specific).
+        file: u64,
+    },
+    /// A modeled crash dropped completed-but-unsynced writes from the
+    /// device's write-back cache.
+    UnsyncedLoss {
+        /// Files whose unsynced contents or directory entries were lost.
+        files: u64,
+        /// Content bytes dropped (including torn suffixes).
+        bytes: u64,
+    },
+    /// Recovery deleted table files no manifest references (orphans left
+    /// by an interrupted flush or compaction).
+    OrphanSwept {
+        /// Orphan table files deleted.
+        files: u64,
+    },
 }
 
 impl Event {
@@ -252,6 +274,9 @@ impl Event {
             Event::WalTornTail { .. } => "WalTornTail",
             Event::ManifestRollback { .. } => "ManifestRollback",
             Event::CrashInjected { .. } => "CrashInjected",
+            Event::SyncIssued { .. } => "SyncIssued",
+            Event::UnsyncedLoss { .. } => "UnsyncedLoss",
+            Event::OrphanSwept { .. } => "OrphanSwept",
         }
     }
 }

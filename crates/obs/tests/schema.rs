@@ -139,6 +139,24 @@ fn exemplars() -> Vec<(Event, &'static str)> {
             },
             r#"{"CrashInjected":{"point":"flush_after_sst"}}"#,
         ),
+        (
+            Event::SyncIssued {
+                target: "manifest".into(),
+                file: 0,
+            },
+            r#"{"SyncIssued":{"target":"manifest","file":0}}"#,
+        ),
+        (
+            Event::UnsyncedLoss {
+                files: 3,
+                bytes: 4096,
+            },
+            r#"{"UnsyncedLoss":{"files":3,"bytes":4096}}"#,
+        ),
+        (
+            Event::OrphanSwept { files: 2 },
+            r#"{"OrphanSwept":{"files":2}}"#,
+        ),
     ]
 }
 
@@ -147,7 +165,7 @@ fn every_event_kind_serializes_to_its_golden_form() {
     let exemplars = exemplars();
     assert_eq!(
         exemplars.len(),
-        16,
+        19,
         "new Event variants need a golden exemplar here"
     );
     for (event, golden) in &exemplars {
