@@ -15,12 +15,16 @@
 //! `adcache trace DIR` is a non-interactive mode: it summarizes a trace
 //! directory (`trace.jsonl` + `metrics.json`) produced by `--trace DIR`,
 //! the `ADCACHE_TRACE` environment variable, or `RunConfig::trace_dir`.
+//!
+//! `adcache serve` puts the same engine behind a TCP socket (see
+//! `adcache-server` for the wire protocol), and `adcache loadgen` replays
+//! generated workloads against it, reporting throughput and tail latency.
 
 use adcache_core::{
     AsyncController, CachedDb, Controller, ControllerConfig, EngineConfig, Snapshot, Strategy,
 };
 use adcache_lsm::{FileStorage, MemStorage, Options};
-use adcache_obs::{parse_jsonl, Event, Obs};
+use adcache_obs::{parse_jsonl_lenient, Event, Obs};
 use adcache_workload::{render_key, Mix, WorkloadConfig, WorkloadGen};
 use bytes::Bytes;
 use std::io::{BufRead, Write};
@@ -95,6 +99,10 @@ fn print_help() {
          usage:\n\
          \x20 adcache [flags]     interactive shell\n\
          \x20 adcache trace DIR   summarize a trace directory (trace.jsonl + metrics.json)\n\
+         \x20 adcache serve [--addr HOST:PORT] [--workers N] [--fill N] [--trace DIR]\n\
+         \x20                     TCP server over the engine (drain via opcode 6)\n\
+         \x20 adcache loadgen [--addr HOST:PORT] [--ops N] [--connections N] [--qps Q]\n\
+         \x20                     network load generator (closed loop; --qps = open loop)\n\
          \x20 adcache faultcheck [--cycles N] [--seed S]\n\
          \x20                     seeded crash-recover-verify fault drills\n\
          \n\
@@ -256,15 +264,19 @@ impl Shell {
     }
 }
 
-fn cmd_bench(shell: &Shell, n: u64, mix_name: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let db = &shell.db;
-    let mix = match mix_name {
+fn parse_mix(name: &str) -> Result<Mix, String> {
+    Ok(match name {
         "point" => Mix::new(100.0, 0.0, 0.0, 0.0),
         "scan" => Mix::new(0.0, 80.0, 20.0, 0.0),
         "write" => Mix::new(0.0, 0.0, 0.0, 100.0),
         "mixed" => Mix::new(40.0, 25.0, 5.0, 30.0),
-        other => return Err(format!("unknown mix {other} (point|scan|write|mixed)").into()),
-    };
+        other => return Err(format!("unknown mix {other} (point|scan|write|mixed)")),
+    })
+}
+
+fn cmd_bench(shell: &Shell, n: u64, mix_name: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let db = &shell.db;
+    let mix = parse_mix(mix_name)?;
     let keys = 100_000;
     let mut gen = WorkloadGen::new(WorkloadConfig {
         num_keys: keys,
@@ -313,9 +325,16 @@ fn hit_rate_line(metrics: &serde_json::Value, label: &str, prefix: &str) -> Stri
 fn cmd_trace(dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
     let metrics: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(dir.join("metrics.json"))?)?;
-    let records = parse_jsonl(&std::fs::read_to_string(dir.join("trace.jsonl"))?)?;
+    // Lenient parse: a trace written by a newer build may contain event
+    // kinds this binary does not know; skip and count them instead of
+    // refusing the whole file.
+    let (records, skipped) =
+        parse_jsonl_lenient(&std::fs::read_to_string(dir.join("trace.jsonl"))?)?;
 
     println!("trace: {} ({} events)", dir.display(), records.len());
+    if skipped > 0 {
+        println!("  ({skipped} events of unknown kind skipped — newer trace format?)");
+    }
     for r in &records {
         if let Event::RunStart {
             strategy,
@@ -451,7 +470,241 @@ fn cmd_trace(dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
             ns("count"),
         );
     }
+
+    // Serving summary (present only for traces from `adcache serve`).
+    let served = metric_counter(&metrics, "server.requests");
+    if served > 0 {
+        let (mut accepted, mut closed, mut overloads) = (0u64, 0u64, 0u64);
+        let mut close_causes: std::collections::BTreeMap<String, u64> =
+            std::collections::BTreeMap::new();
+        let mut sampled: std::collections::BTreeMap<String, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for r in &records {
+            match &r.event {
+                Event::ConnAccepted { .. } => accepted += 1,
+                Event::ConnClosed { cause, .. } => {
+                    closed += 1;
+                    *close_causes.entry(format!("{cause:?}")).or_insert(0) += 1;
+                }
+                Event::ServerOverload { .. } => overloads += 1,
+                Event::RequestServed {
+                    opcode, latency_ns, ..
+                } => {
+                    let e = sampled.entry(opcode.clone()).or_insert((0, 0));
+                    e.0 += 1;
+                    e.1 += latency_ns;
+                }
+                _ => {}
+            }
+        }
+        println!(
+            "\nserving: {served} requests, {} protocol errors, {} MiB in / {} MiB out",
+            metric_counter(&metrics, "server.protocol_errors"),
+            metric_counter(&metrics, "server.bytes_in") >> 20,
+            metric_counter(&metrics, "server.bytes_out") >> 20,
+        );
+        let causes = close_causes
+            .iter()
+            .map(|(k, n)| format!("{n} {k}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "  connections: {accepted} accepted, {closed} closed{}{}",
+            if causes.is_empty() {
+                String::new()
+            } else {
+                format!(" ({causes})")
+            },
+            if overloads > 0 {
+                format!(", {overloads} overload refusals")
+            } else {
+                String::new()
+            }
+        );
+        for op in ["get", "put", "delete", "scan", "ping", "stats"] {
+            if let Some(h) = metrics
+                .get("histograms")
+                .and_then(|h| h.get(&format!("server.latency.{op}")))
+            {
+                let ns = |k: &str| h.get(k).and_then(serde_json::Value::as_u64).unwrap_or(0);
+                if ns("count") == 0 {
+                    continue;
+                }
+                println!(
+                    "  {op:<7} p50 {:>8.1}us  p95 {:>8.1}us  p99 {:>8.1}us  max {:>8.1}us  ({} ops)",
+                    ns("p50_ns") as f64 / 1e3,
+                    ns("p95_ns") as f64 / 1e3,
+                    ns("p99_ns") as f64 / 1e3,
+                    ns("max_ns") as f64 / 1e3,
+                    ns("count"),
+                );
+            }
+        }
+        if !sampled.is_empty() {
+            let line = sampled
+                .iter()
+                .map(|(op, (n, total))| {
+                    format!("{op} {n}x ~{:.1}us", *total as f64 / *n as f64 / 1e3)
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            println!("  journal samples: {line}");
+        }
+    }
     Ok(())
+}
+
+/// `adcache serve`: put the engine behind a TCP socket and run until a
+/// client sends the `Shutdown` opcode (CI drives drain that way; an
+/// operator can use `adcache loadgen --shutdown --ops 0`).
+fn cmd_serve(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let usage = "usage: adcache serve [--addr HOST:PORT] [--cache-mb N] [--strategy NAME] \
+                 [--dir PATH] [--workers N] [--max-conns N] [--idle-timeout-secs N] \
+                 [--fill N] [--trace DIR]";
+    let mut cli = CliConfig {
+        dir: None,
+        cache_mb: 64,
+        strategy: Strategy::AdCache,
+        trace: None,
+    };
+    let mut server_cfg = adcache_server::ServerConfig::default();
+    let mut fill = 0u64;
+    let mut i = 2;
+    let next = |argv: &[String], i: &mut usize, what: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i).cloned().ok_or(format!("{what} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => server_cfg.addr = next(argv, &mut i, "--addr")?,
+            "--cache-mb" => cli.cache_mb = next(argv, &mut i, "--cache-mb")?.parse()?,
+            "--strategy" => cli.strategy = parse_strategy(&next(argv, &mut i, "--strategy")?)?,
+            "--dir" => cli.dir = Some(next(argv, &mut i, "--dir")?.into()),
+            "--workers" => server_cfg.workers = next(argv, &mut i, "--workers")?.parse()?,
+            "--max-conns" => server_cfg.max_conns = next(argv, &mut i, "--max-conns")?.parse()?,
+            "--idle-timeout-secs" => {
+                server_cfg.idle_timeout = std::time::Duration::from_secs(
+                    next(argv, &mut i, "--idle-timeout-secs")?.parse()?,
+                )
+            }
+            "--fill" => fill = next(argv, &mut i, "--fill")?.parse()?,
+            "--trace" => cli.trace = Some(next(argv, &mut i, "--trace")?.into()),
+            other => return Err(format!("unknown serve flag {other}\n{usage}").into()),
+        }
+        i += 1;
+    }
+
+    let db = build_db(&cli)?;
+    let obs = if cli.trace.is_some() {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
+    obs.emit(|| Event::RunStart {
+        strategy: cli.strategy.name().into(),
+        total_cache_bytes: (cli.cache_mb as u64) << 20,
+    });
+    db.set_obs(obs.clone());
+    if fill > 0 {
+        for k in 0..fill {
+            db.load(render_key(k), Bytes::from(format!("value-{k}")))?;
+        }
+        db.db().flush()?;
+        println!("preloaded {fill} keys");
+    }
+
+    let server = adcache_server::Server::start(Arc::new(db), server_cfg)?;
+    println!(
+        "serving on {} (shutdown: protocol opcode 6)",
+        server.local_addr()
+    );
+    let report = server.wait();
+    println!(
+        "drained: {} requests ({} protocol errors), {}/{} connections closed, \
+         {} refused, {} MiB in / {} MiB out",
+        report.requests,
+        report.protocol_errors,
+        report.conns_closed,
+        report.conns_accepted,
+        report.conns_refused,
+        report.bytes_in >> 20,
+        report.bytes_out >> 20,
+    );
+    if let Some(dir) = &cli.trace {
+        obs.dump_to_dir(dir)?;
+        println!(
+            "trace dumped to {} (summarize: adcache trace)",
+            dir.display()
+        );
+    }
+    Ok(())
+}
+
+/// `adcache loadgen`: replay a generated workload against a running
+/// server and report throughput + tail latency. Exits nonzero if any
+/// reply was lost, misordered, or undecodable.
+fn cmd_loadgen(argv: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
+    let usage = "usage: adcache loadgen [--addr HOST:PORT] [--ops N] [--connections N] \
+                 [--mix point|scan|write|mixed] [--keys N] [--value-size N] [--seed S] \
+                 [--qps Q] [--shutdown]";
+    let mut cfg = adcache_server::LoadgenConfig::default();
+    let mut workload = WorkloadConfig {
+        num_keys: 100_000,
+        ..Default::default()
+    };
+    let mut shutdown_after = false;
+    let mut i = 2;
+    let next = |argv: &[String], i: &mut usize, what: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i).cloned().ok_or(format!("{what} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => cfg.addr = next(argv, &mut i, "--addr")?,
+            "--ops" => cfg.ops = next(argv, &mut i, "--ops")?.parse()?,
+            "--connections" => cfg.connections = next(argv, &mut i, "--connections")?.parse()?,
+            "--mix" => cfg.mix = parse_mix(&next(argv, &mut i, "--mix")?)?,
+            "--keys" => workload.num_keys = next(argv, &mut i, "--keys")?.parse()?,
+            "--value-size" => workload.value_size = next(argv, &mut i, "--value-size")?.parse()?,
+            "--seed" => workload.seed = next(argv, &mut i, "--seed")?.parse()?,
+            "--qps" => cfg.target_qps = Some(next(argv, &mut i, "--qps")?.parse()?),
+            "--shutdown" => shutdown_after = true,
+            other => return Err(format!("unknown loadgen flag {other}\n{usage}").into()),
+        }
+        i += 1;
+    }
+    cfg.workload = workload;
+
+    let report = if cfg.ops > 0 {
+        let report = adcache_server::loadgen::run(&cfg)?;
+        println!(
+            "{} connections, {} loop:",
+            cfg.connections,
+            if cfg.target_qps.is_some() {
+                "open"
+            } else {
+                "closed"
+            }
+        );
+        println!("{}", report.render());
+        Some(report)
+    } else {
+        // `--ops 0` is a connectivity probe: one Ping round-trip.
+        if !shutdown_after {
+            let mut c = adcache_server::Client::connect(&cfg.addr)?;
+            match c.call(&adcache_server::Request::Ping)? {
+                adcache_server::Response::Ok => println!("pong from {}", cfg.addr),
+                other => return Err(format!("ping answered {other:?}").into()),
+            }
+        }
+        None
+    };
+    if shutdown_after {
+        let mut c = adcache_server::Client::connect(&cfg.addr)?;
+        c.shutdown_server()?;
+        println!("server shutdown acknowledged");
+    }
+    Ok(report.is_none_or(|r| r.protocol_errors == 0))
 }
 
 /// Deterministic splitmix64 step for the fault-drill harness RNG.
@@ -896,6 +1149,28 @@ fn main() {
             std::process::exit(1);
         }
         return;
+    }
+    // Non-interactive subcommand: `adcache serve [flags]`.
+    if argv.get(1).map(String::as_str) == Some("serve") {
+        if let Err(e) = cmd_serve(&argv) {
+            eprintln!("serve error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    // Non-interactive subcommand: `adcache loadgen [flags]`.
+    if argv.get(1).map(String::as_str) == Some("loadgen") {
+        match cmd_loadgen(&argv) {
+            Ok(true) => return,
+            Ok(false) => {
+                eprintln!("loadgen: protocol errors detected");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("loadgen error: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     // Non-interactive subcommand:
     // `adcache faultcheck [--cycles N] [--seed S] [--sync POLICY] [--misplace SITE]`.

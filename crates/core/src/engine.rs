@@ -724,6 +724,111 @@ impl CachedDb {
     pub fn total_cache_bytes(&self) -> usize {
         self.total_cache_bytes
     }
+
+    /// A serializable point-in-time statistics report covering the engine,
+    /// every cache structure, and the tree shape — the payload behind the
+    /// server's `STATS` opcode and the CLI `stats` command.
+    pub fn stats_report(&self) -> EngineStatsReport {
+        let snap = self.snapshot();
+        let (block, range) = (
+            self.block_cache.as_ref().map(|bc| {
+                let s = bc.stats();
+                CacheStatsReport {
+                    used_bytes: bc.used() as u64,
+                    capacity_bytes: bc.capacity() as u64,
+                    entries: bc.len() as u64,
+                    hits: s.hits,
+                    misses: s.misses,
+                }
+            }),
+            self.range_cache.as_ref().map(|rc| {
+                let s = rc.stats();
+                CacheStatsReport {
+                    used_bytes: rc.used() as u64,
+                    capacity_bytes: rc.capacity() as u64,
+                    entries: rc.len() as u64,
+                    hits: s.hits,
+                    misses: s.misses,
+                }
+            }),
+        );
+        EngineStatsReport {
+            strategy: self.strategy.name().into(),
+            total_cache_bytes: self.total_cache_bytes as u64,
+            points: snap.points,
+            scans: snap.scans,
+            writes: snap.writes,
+            range_hits: snap.range_hits,
+            kv_hits: snap.kv_hits,
+            cache_misses: snap.cache_misses,
+            failed_reads: snap.failed_reads,
+            query_block_reads: snap.query_block_reads,
+            compactions: snap.compactions,
+            flushes: self
+                .db
+                .stats()
+                .flushes
+                .load(std::sync::atomic::Ordering::Relaxed),
+            runs: self.db.num_runs() as u64,
+            levels: self.db.num_levels() as u64,
+            block_cache: block,
+            range_cache: range,
+        }
+    }
+}
+
+/// One cache structure's slice of an [`EngineStatsReport`].
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStatsReport {
+    /// Bytes currently held.
+    pub used_bytes: u64,
+    /// Configured byte budget.
+    pub capacity_bytes: u64,
+    /// Entries (blocks or KV pairs) currently held.
+    pub entries: u64,
+    /// Lookup hits since construction.
+    pub hits: u64,
+    /// Lookup misses since construction.
+    pub misses: u64,
+}
+
+/// A serializable engine statistics snapshot (see
+/// [`CachedDb::stats_report`]). Field names are part of the server's
+/// `STATS` wire payload, so renames are breaking changes.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EngineStatsReport {
+    /// Strategy name as reported by [`Strategy::name`].
+    pub strategy: String,
+    /// Total cache budget in bytes.
+    pub total_cache_bytes: u64,
+    /// Point lookups served.
+    pub points: u64,
+    /// Scans served.
+    pub scans: u64,
+    /// Writes (puts + deletes) applied.
+    pub writes: u64,
+    /// Queries answered by the range cache.
+    pub range_hits: u64,
+    /// Queries answered by the KV cache.
+    pub kv_hits: u64,
+    /// Queries that fell through to the LSM-tree.
+    pub cache_misses: u64,
+    /// Reads that failed at the storage layer.
+    pub failed_reads: u64,
+    /// Query-path SST block reads.
+    pub query_block_reads: u64,
+    /// Compactions completed.
+    pub compactions: u64,
+    /// Memtable flushes completed.
+    pub flushes: u64,
+    /// Current sorted-run count.
+    pub runs: u64,
+    /// Current non-empty level count.
+    pub levels: u64,
+    /// Block-cache stats, when the strategy has one.
+    pub block_cache: Option<CacheStatsReport>,
+    /// Range-cache stats, when the strategy has one.
+    pub range_cache: Option<CacheStatsReport>,
 }
 
 #[cfg(test)]

@@ -46,7 +46,7 @@ pub use controller::{
     featurize_with, CacheDecision, Controller, ControllerConfig, TuningRecord, ACTION_DIM,
     STATE_DIM,
 };
-pub use engine::{CachedDb, EngineConfig, Strategy};
+pub use engine::{CacheStatsReport, CachedDb, EngineConfig, EngineStatsReport, Strategy};
 pub use histogram::Histogram;
 pub use reward::{h_estimate, io_estimate, io_estimate_of, RewardSmoother};
 pub use runner::{

@@ -79,6 +79,23 @@ pub enum FaultKind {
     LatencySpike,
 }
 
+/// Why a server connection was closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConnCloseCause {
+    /// The client closed the connection (EOF on a frame boundary).
+    ClientClosed,
+    /// The connection sat idle past the server's idle timeout.
+    IdleTimeout,
+    /// The server shut down and drained the connection.
+    Shutdown,
+    /// An unrecoverable protocol violation (oversized or torn frame).
+    ProtocolError,
+    /// A transport-level I/O error.
+    IoError,
+    /// The connection was refused because the server was at its limit.
+    Overload,
+}
+
 /// One structured observation. See the module docs for schema stability
 /// rules.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -252,6 +269,47 @@ pub enum Event {
         /// Orphan table files deleted.
         files: u64,
     },
+    /// The TCP server accepted a client connection.
+    ConnAccepted {
+        /// Server-assigned connection id (monotone within a run).
+        conn: u64,
+        /// Peer address as reported by the OS.
+        peer: String,
+    },
+    /// A server connection ended.
+    ConnClosed {
+        /// Server-assigned connection id.
+        conn: u64,
+        /// Why the connection ended.
+        cause: ConnCloseCause,
+        /// Requests served on this connection.
+        requests: u64,
+        /// Bytes read from the client.
+        bytes_in: u64,
+        /// Bytes written to the client.
+        bytes_out: u64,
+    },
+    /// One served request (sampled — the server journals every Nth
+    /// request, not all of them; the full population lives in the
+    /// `server.*.latency_ns` histograms).
+    RequestServed {
+        /// Connection the request arrived on.
+        conn: u64,
+        /// Stable opcode label (`get`, `put`, `delete`, `scan`, `stats`,
+        /// `ping`, `shutdown`).
+        opcode: String,
+        /// Stable status label (`ok`, `not_found`, `err`).
+        status: String,
+        /// Wall-clock service latency in nanoseconds.
+        latency_ns: u64,
+    },
+    /// The server hit a saturation limit and shed load.
+    ServerOverload {
+        /// Active connections when the limit was hit.
+        active: u64,
+        /// The configured connection limit.
+        limit: u64,
+    },
 }
 
 impl Event {
@@ -277,6 +335,10 @@ impl Event {
             Event::SyncIssued { .. } => "SyncIssued",
             Event::UnsyncedLoss { .. } => "UnsyncedLoss",
             Event::OrphanSwept { .. } => "OrphanSwept",
+            Event::ConnAccepted { .. } => "ConnAccepted",
+            Event::ConnClosed { .. } => "ConnClosed",
+            Event::RequestServed { .. } => "RequestServed",
+            Event::ServerOverload { .. } => "ServerOverload",
         }
     }
 }

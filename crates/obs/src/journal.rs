@@ -124,6 +124,26 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<JournalRecord>, serde_json::Error> 
         .collect()
 }
 
+/// Like [`parse_jsonl`], but forward-compatible: a line that is valid JSON
+/// yet does not decode as a known [`JournalRecord`] (an event kind or shape
+/// introduced by a newer writer) is skipped and counted instead of failing
+/// the whole parse. Lines that are not JSON at all still error — that is a
+/// corrupt file, not a schema gap.
+pub fn parse_jsonl_lenient(text: &str) -> Result<(Vec<JournalRecord>, u64), serde_json::Error> {
+    let mut records = Vec::new();
+    let mut skipped = 0u64;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        // Syntactic validity is checked first so truncated or garbage
+        // lines surface as hard errors even when decoding is lenient.
+        let value: serde_json::Value = serde_json::from_str(line)?;
+        match JournalRecord::deserialize(&value) {
+            Ok(r) => records.push(r),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((records, skipped))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +191,37 @@ mod tests {
         assert_eq!(text.lines().count(), 2);
         let back = parse_jsonl(&text).unwrap();
         assert_eq!(back, j.records());
+    }
+
+    #[test]
+    fn lenient_parse_skips_unknown_event_kinds() {
+        let j = Journal::new(16);
+        j.push(
+            0,
+            Event::Flush {
+                entries: 1,
+                bytes: 10,
+            },
+        );
+        let mut text = j.to_jsonl();
+        // A record from some future writer: valid envelope, unknown kind.
+        text.push_str(r#"{"seq":1,"window":0,"event":{"QuantumFlush":{"qubits":3}}}"#);
+        text.push('\n');
+        text.push_str(r#"{"seq":2,"window":0,"event":{"Flush":{"entries":2,"bytes":20}}}"#);
+        text.push('\n');
+        // The strict parser rejects the stream outright...
+        assert!(parse_jsonl(&text).is_err());
+        // ...the lenient one keeps every known record and counts the rest.
+        let (records, skipped) = parse_jsonl_lenient(&text).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(skipped, 1);
+        assert_eq!(records[1].seq, 2);
+    }
+
+    #[test]
+    fn lenient_parse_still_errors_on_corrupt_lines() {
+        let err = parse_jsonl_lenient("{\"seq\":0,\"window\":0\n").unwrap_err();
+        let _ = err; // truncated JSON is corruption, not schema drift
+        assert!(parse_jsonl_lenient("not json at all\n").is_err());
     }
 }

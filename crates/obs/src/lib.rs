@@ -36,10 +36,11 @@ pub mod journal;
 pub mod metrics;
 
 pub use events::{
-    AdmissionOutcome, AdmissionReason, CacheStructure, Event, EvictionCause, FaultKind,
+    AdmissionOutcome, AdmissionReason, CacheStructure, ConnCloseCause, Event, EvictionCause,
+    FaultKind,
 };
 pub use histogram::{AtomicHistogram, Histogram};
-pub use journal::{parse_jsonl, Journal, JournalRecord};
+pub use journal::{parse_jsonl, parse_jsonl_lenient, Journal, JournalRecord};
 pub use metrics::{Counter, Gauge, HistogramHandle, Registry};
 
 use std::io::Write as _;

@@ -5,8 +5,8 @@
 //! update casually.
 
 use adcache_obs::{
-    parse_jsonl, AdmissionOutcome, AdmissionReason, CacheStructure, Event, EvictionCause,
-    FaultKind, Journal,
+    parse_jsonl, parse_jsonl_lenient, AdmissionOutcome, AdmissionReason, CacheStructure,
+    ConnCloseCause, Event, EvictionCause, FaultKind, Journal,
 };
 
 /// Every variant once, with values chosen to be exactly representable so
@@ -157,6 +157,39 @@ fn exemplars() -> Vec<(Event, &'static str)> {
             Event::OrphanSwept { files: 2 },
             r#"{"OrphanSwept":{"files":2}}"#,
         ),
+        (
+            Event::ConnAccepted {
+                conn: 7,
+                peer: "127.0.0.1:54321".into(),
+            },
+            r#"{"ConnAccepted":{"conn":7,"peer":"127.0.0.1:54321"}}"#,
+        ),
+        (
+            Event::ConnClosed {
+                conn: 7,
+                cause: ConnCloseCause::IdleTimeout,
+                requests: 120,
+                bytes_in: 4096,
+                bytes_out: 16384,
+            },
+            r#"{"ConnClosed":{"conn":7,"cause":"IdleTimeout","requests":120,"bytes_in":4096,"bytes_out":16384}}"#,
+        ),
+        (
+            Event::RequestServed {
+                conn: 7,
+                opcode: "scan".into(),
+                status: "ok".into(),
+                latency_ns: 12500,
+            },
+            r#"{"RequestServed":{"conn":7,"opcode":"scan","status":"ok","latency_ns":12500}}"#,
+        ),
+        (
+            Event::ServerOverload {
+                active: 256,
+                limit: 256,
+            },
+            r#"{"ServerOverload":{"active":256,"limit":256}}"#,
+        ),
     ]
 }
 
@@ -165,7 +198,7 @@ fn every_event_kind_serializes_to_its_golden_form() {
     let exemplars = exemplars();
     assert_eq!(
         exemplars.len(),
-        19,
+        23,
         "new Event variants need a golden exemplar here"
     );
     for (event, golden) in &exemplars {
@@ -209,4 +242,20 @@ fn journal_envelope_is_stable() {
         journal.to_jsonl().trim_end(),
         r#"{"seq":0,"window":7,"event":{"Flush":{"entries":1,"bytes":2}}}"#,
     );
+}
+
+#[test]
+fn lenient_parse_keeps_known_records_alongside_future_kinds() {
+    // Forward-compat contract: tooling built against this schema must keep
+    // working when a newer writer adds event kinds it has never seen.
+    let journal = Journal::new(64);
+    for (i, (event, _)) in exemplars().into_iter().enumerate() {
+        journal.push(i as u64, event);
+    }
+    let mut text = journal.to_jsonl();
+    text.push_str(r#"{"seq":99,"window":3,"event":{"FromTheFuture":{"x":1}}}"#);
+    text.push('\n');
+    let (records, skipped) = parse_jsonl_lenient(&text).unwrap();
+    assert_eq!(records, journal.records());
+    assert_eq!(skipped, 1);
 }

@@ -1,0 +1,454 @@
+//! The network load generator.
+//!
+//! Replays `adcache-workload` operation streams over the wire in two
+//! shapes:
+//!
+//! - **Closed loop** (`target_qps: None`): N connections, each a thread
+//!   that issues one request, waits for its reply, and immediately issues
+//!   the next. Throughput is whatever the server sustains; latency is
+//!   per-request round-trip time.
+//! - **Open loop** (`target_qps: Some(q)`): the target rate is split
+//!   across connections and each thread *schedules* sends at fixed
+//!   intervals regardless of replies, pipelining over its socket. Latency
+//!   then includes queueing delay — the honest number under overload.
+//!
+//! Both modes verify the reply stream: the server answers in request
+//! order, so every decoded response id must equal the id at the head of
+//! the sender's outstanding queue. Any mismatch (lost, reordered, or
+//! conjured reply) counts as a protocol error and fails the run report.
+
+use crate::protocol::{
+    decode_response, encode_request, Opcode, Progress, Request, Response, DEFAULT_MAX_FRAME,
+};
+use adcache_obs::Histogram;
+use adcache_workload::{Mix, OpSink, Operation, WorkloadConfig, WorkloadGen};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// One blocking protocol client: request/response over a `TcpStream`.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    rbuf: Vec<u8>,
+    max_frame: usize,
+}
+
+fn violation(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+impl Client {
+    /// Connects (blocking socket, Nagle off).
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            next_id: 1,
+            rbuf: Vec::new(),
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Sends `req` and blocks for its reply, verifying the echoed id.
+    pub fn call(&mut self, req: &Request) -> std::io::Result<Response> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut frame = Vec::new();
+        encode_request(&mut frame, id, req);
+        self.stream.write_all(&frame)?;
+        let (got, resp) = self.read_frame(req.opcode())?;
+        if got != id {
+            return Err(violation(format!("reply id {got}, expected {id}")));
+        }
+        Ok(resp)
+    }
+
+    /// Reads one complete response frame (blocking).
+    fn read_frame(&mut self, awaiting: Opcode) -> std::io::Result<(u64, Response)> {
+        let mut chunk = [0u8; 64 << 10];
+        loop {
+            match decode_response(&self.rbuf, self.max_frame, awaiting) {
+                Progress::Frame(Ok((id, resp)), consumed) => {
+                    self.rbuf.drain(..consumed);
+                    return Ok((id, resp));
+                }
+                Progress::Frame(Err((id, err)), _) => {
+                    return Err(violation(format!("undecodable reply to {id}: {err}")));
+                }
+                Progress::Fatal(err) => {
+                    return Err(violation(format!("broken framing from server: {err}")));
+                }
+                Progress::Incomplete => {}
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-reply",
+                ));
+            }
+            self.rbuf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Asks the server to drain and exit; returns once acknowledged.
+    pub fn shutdown_server(&mut self) -> std::io::Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            other => Err(violation(format!("shutdown answered {other:?}"))),
+        }
+    }
+
+    /// Fetches the server's stats JSON.
+    pub fn stats(&mut self) -> std::io::Result<String> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(json) => Ok(json),
+            other => Err(violation(format!("stats answered {other:?}"))),
+        }
+    }
+}
+
+/// Maps a workload operation onto its wire request.
+pub fn request_of(op: &Operation) -> Request {
+    match op {
+        Operation::Get { key } => Request::Get { key: key.clone() },
+        Operation::Scan { from, len } => Request::Scan {
+            from: from.clone(),
+            limit: *len as u32,
+        },
+        Operation::Put { key, value } => Request::Put {
+            key: key.clone(),
+            value: value.clone(),
+        },
+        Operation::Delete { key } => Request::Delete { key: key.clone() },
+    }
+}
+
+/// A [`Client`] as an operation sink, so any generated or recorded
+/// workload replays over the wire exactly as it would in-process.
+pub struct NetSink {
+    client: Client,
+    /// Round-trip latencies of every applied operation.
+    pub latency: Histogram,
+    /// `Get`s that found nothing (not errors).
+    pub not_found: u64,
+    /// Operations the server answered with an `Err` frame.
+    pub server_errors: u64,
+}
+
+impl NetSink {
+    /// Wraps a connected client.
+    pub fn new(client: Client) -> Self {
+        NetSink {
+            client,
+            latency: Histogram::new(),
+            not_found: 0,
+            server_errors: 0,
+        }
+    }
+
+    /// The wrapped client back (e.g. to send `Shutdown`).
+    pub fn into_client(self) -> Client {
+        self.client
+    }
+}
+
+impl OpSink for NetSink {
+    type Error = std::io::Error;
+
+    fn apply(&mut self, op: &Operation) -> Result<(), Self::Error> {
+        let req = request_of(op);
+        let start = Instant::now();
+        let resp = self.client.call(&req)?;
+        self.latency.record(start.elapsed().as_nanos() as u64);
+        match resp {
+            Response::NotFound => self.not_found += 1,
+            Response::Error(_) => self.server_errors += 1,
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+/// What to run against the server.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: String,
+    /// Concurrent connections (one thread each).
+    pub connections: usize,
+    /// Total operations across all connections.
+    pub ops: u64,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Key-space shape, value size, skew, and base seed (connection `i`
+    /// uses `seed + i` so streams differ but stay reproducible).
+    pub workload: WorkloadConfig,
+    /// `Some(q)`: open loop at `q` ops/s overall; `None`: closed loop.
+    pub target_qps: Option<u64>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:4400".to_string(),
+            connections: 8,
+            ops: 100_000,
+            mix: Mix::new(40.0, 25.0, 5.0, 30.0),
+            workload: WorkloadConfig::default(),
+            target_qps: None,
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Operations completed with a verified in-order reply.
+    pub ops: u64,
+    /// `Get`s that found nothing.
+    pub not_found: u64,
+    /// Operations the server answered with an `Err` frame.
+    pub server_errors: u64,
+    /// Client-side protocol violations (lost / misordered / undecodable
+    /// replies). Must be zero on a healthy run.
+    pub protocol_errors: u64,
+    /// Wall-clock run time.
+    pub elapsed: Duration,
+    /// Achieved throughput.
+    pub qps: f64,
+    /// Round-trip latency distribution (open loop: includes queueing).
+    pub latency: Histogram,
+}
+
+impl LoadReport {
+    /// `p50/p95/p99/p999/max` in nanoseconds.
+    pub fn tail_ns(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.latency.quantile(0.50),
+            self.latency.quantile(0.95),
+            self.latency.quantile(0.99),
+            self.latency.quantile(0.999),
+            self.latency.max(),
+        )
+    }
+
+    /// Human-readable one-screen summary.
+    pub fn render(&self) -> String {
+        let (p50, p95, p99, p999, max) = self.tail_ns();
+        let us = |ns: u64| ns as f64 / 1_000.0;
+        format!(
+            "ops        {}\n\
+             errors     {} server, {} protocol, {} not-found\n\
+             elapsed    {:.3} s\n\
+             throughput {:.0} ops/s\n\
+             latency    p50 {:.1} us | p95 {:.1} us | p99 {:.1} us | p999 {:.1} us | max {:.1} us",
+            self.ops,
+            self.server_errors,
+            self.protocol_errors,
+            self.not_found,
+            self.elapsed.as_secs_f64(),
+            self.qps,
+            us(p50),
+            us(p95),
+            us(p99),
+            us(p999),
+            us(max)
+        )
+    }
+}
+
+struct ThreadOutcome {
+    ops: u64,
+    not_found: u64,
+    server_errors: u64,
+    protocol_errors: u64,
+    latency: Histogram,
+}
+
+/// Runs the configured load and aggregates per-connection results.
+pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
+    let conns = cfg.connections.max(1);
+    let per_conn = cfg.ops / conns as u64;
+    let remainder = cfg.ops % conns as u64;
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(conns);
+    for i in 0..conns {
+        let cfg = cfg.clone();
+        let ops = per_conn + u64::from((i as u64) < remainder);
+        handles.push(std::thread::spawn(
+            move || -> std::io::Result<ThreadOutcome> {
+                let mut gen = WorkloadGen::new(WorkloadConfig {
+                    seed: cfg.workload.seed + i as u64,
+                    ..cfg.workload
+                });
+                match cfg.target_qps {
+                    None => closed_loop(&cfg.addr, &mut gen, &cfg.mix, ops),
+                    Some(q) => {
+                        let rate = (q / conns as u64).max(1);
+                        open_loop(&cfg.addr, &mut gen, &cfg.mix, ops, rate)
+                    }
+                }
+            },
+        ));
+    }
+    let mut report = LoadReport {
+        ops: 0,
+        not_found: 0,
+        server_errors: 0,
+        protocol_errors: 0,
+        elapsed: Duration::ZERO,
+        qps: 0.0,
+        latency: Histogram::new(),
+    };
+    for h in handles {
+        let outcome = h
+            .join()
+            .map_err(|_| violation("loadgen thread panicked".to_string()))??;
+        report.ops += outcome.ops;
+        report.not_found += outcome.not_found;
+        report.server_errors += outcome.server_errors;
+        report.protocol_errors += outcome.protocol_errors;
+        report.latency.merge(&outcome.latency);
+    }
+    report.elapsed = started.elapsed();
+    report.qps = report.ops as f64 / report.elapsed.as_secs_f64().max(1e-9);
+    Ok(report)
+}
+
+fn closed_loop(
+    addr: &str,
+    gen: &mut WorkloadGen,
+    mix: &Mix,
+    ops: u64,
+) -> std::io::Result<ThreadOutcome> {
+    let mut sink = NetSink::new(Client::connect(addr)?);
+    let mut protocol_errors = 0u64;
+    let mut done = 0u64;
+    for _ in 0..ops {
+        let op = gen.next_op(mix);
+        match sink.apply(&op) {
+            Ok(()) => done += 1,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => protocol_errors += 1,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ThreadOutcome {
+        ops: done,
+        not_found: sink.not_found,
+        server_errors: sink.server_errors,
+        protocol_errors,
+        latency: sink.latency,
+    })
+}
+
+/// One in-flight open-loop request awaiting its reply.
+struct Pending {
+    id: u64,
+    opcode: Opcode,
+    sent_at: Instant,
+}
+
+fn open_loop(
+    addr: &str,
+    gen: &mut WorkloadGen,
+    mix: &Mix,
+    ops: u64,
+    rate_per_sec: u64,
+) -> std::io::Result<ThreadOutcome> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_nonblocking(true)?;
+    let interval = Duration::from_nanos(1_000_000_000 / rate_per_sec.max(1));
+    let started = Instant::now();
+
+    let mut out = ThreadOutcome {
+        ops: 0,
+        not_found: 0,
+        server_errors: 0,
+        protocol_errors: 0,
+        latency: Histogram::new(),
+    };
+    let mut pending: VecDeque<Pending> = VecDeque::new();
+    let mut rbuf: Vec<u8> = Vec::new();
+    let mut wbuf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 64 << 10];
+    let mut next_id = 1u64;
+    let mut sent = 0u64;
+    let mut stream = stream;
+
+    while out.ops + out.protocol_errors < ops {
+        // Schedule sends by wall clock, independent of replies.
+        let due = (started.elapsed().as_nanos() / interval.as_nanos().max(1)) as u64 + 1;
+        while sent < ops && sent < due {
+            let op = gen.next_op(mix);
+            let req = request_of(&op);
+            let id = next_id;
+            next_id += 1;
+            encode_request(&mut wbuf, id, &req);
+            pending.push_back(Pending {
+                id,
+                opcode: req.opcode(),
+                sent_at: Instant::now(),
+            });
+            sent += 1;
+        }
+        // Push out whatever the socket accepts.
+        if !wbuf.is_empty() {
+            match stream.write(&wbuf) {
+                Ok(n) => {
+                    wbuf.drain(..n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain replies, verifying FIFO order against the pending queue.
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed with replies outstanding",
+                ));
+            }
+            Ok(n) => rbuf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+        while let Some(head) = pending.front() {
+            match decode_response(&rbuf, DEFAULT_MAX_FRAME, head.opcode) {
+                Progress::Incomplete => break,
+                Progress::Fatal(err) => {
+                    return Err(violation(format!("broken framing from server: {err}")));
+                }
+                Progress::Frame(decoded, consumed) => {
+                    rbuf.drain(..consumed);
+                    let head = pending.pop_front().expect("head exists");
+                    match decoded {
+                        Ok((id, resp)) if id == head.id => {
+                            out.ops += 1;
+                            out.latency.record(head.sent_at.elapsed().as_nanos() as u64);
+                            match resp {
+                                Response::NotFound => out.not_found += 1,
+                                Response::Error(_) => out.server_errors += 1,
+                                _ => {}
+                            }
+                        }
+                        Ok((_, _)) | Err(_) => out.protocol_errors += 1,
+                    }
+                }
+            }
+        }
+        if wbuf.is_empty() && rbuf.is_empty() && pending.is_empty() && sent < ops {
+            // Ahead of schedule with nothing outstanding: nap until the
+            // next send slot rather than spinning.
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    Ok(out)
+}

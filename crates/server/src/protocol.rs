@@ -1,0 +1,635 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every frame — request or response — shares one envelope (all integers
+//! little-endian):
+//!
+//! ```text
+//! [u32 len][u64 id][u8 tag][body...]
+//! ```
+//!
+//! `len` counts everything after the length field itself (id + tag +
+//! body), so a reader needs exactly 4 bytes to learn how much more to
+//! buffer; many frames can be decoded from one `read` syscall (request
+//! pipelining). `id` is chosen by the client and echoed verbatim in the
+//! response; the server answers each connection's requests **in order**,
+//! so a client can verify it never lost or reordered a reply. `tag` is the
+//! opcode on requests and the status on responses.
+//!
+//! Body grammar (`lp x` = `u32` length-prefixed bytes):
+//!
+//! | opcode     | request body        | OK response body            |
+//! |------------|---------------------|-----------------------------|
+//! | `Ping`     | —                   | —                           |
+//! | `Get`      | `lp key`            | `lp value` (or `NotFound`)  |
+//! | `Put`      | `lp key, lp value`  | —                           |
+//! | `Delete`   | `lp key`            | —                           |
+//! | `Scan`     | `lp from, u32 n`    | `u32 k, k × (lp key, lp v)` |
+//! | `Stats`    | —                   | `lp json`                   |
+//! | `Shutdown` | —                   | —                           |
+//!
+//! An `Err` response carries `lp message`. Malformed input is answered
+//! with a clean `Err` frame; only violations that break framing itself
+//! (an oversized or torn length prefix) close the connection, because
+//! after one of those the byte stream can no longer be resynchronized.
+
+use bytes::Bytes;
+
+/// Frame-envelope overhead after the length field: id (8) + tag (1).
+pub const HEADER_AFTER_LEN: usize = 9;
+/// Default ceiling on `len` (16 MiB) — far above any legitimate frame.
+pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
+
+/// Request opcodes (the `tag` byte of a request frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Liveness probe; no body.
+    Ping = 0,
+    /// Point lookup.
+    Get = 1,
+    /// Insert or overwrite.
+    Put = 2,
+    /// Delete a key.
+    Delete = 3,
+    /// Range scan.
+    Scan = 4,
+    /// Engine + server statistics as JSON.
+    Stats = 5,
+    /// Ask the server to drain and exit gracefully.
+    Shutdown = 6,
+}
+
+impl Opcode {
+    /// Decodes the opcode byte.
+    pub fn from_u8(b: u8) -> Option<Opcode> {
+        Some(match b {
+            0 => Opcode::Ping,
+            1 => Opcode::Get,
+            2 => Opcode::Put,
+            3 => Opcode::Delete,
+            4 => Opcode::Scan,
+            5 => Opcode::Stats,
+            6 => Opcode::Shutdown,
+            _ => return None,
+        })
+    }
+
+    /// Stable lowercase label (used in metrics names and journal events).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Opcode::Ping => "ping",
+            Opcode::Get => "get",
+            Opcode::Put => "put",
+            Opcode::Delete => "delete",
+            Opcode::Scan => "scan",
+            Opcode::Stats => "stats",
+            Opcode::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Response status (the `tag` byte of a response frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// The operation succeeded; the body is the opcode's payload.
+    Ok = 0,
+    /// A `Get` found no value (not an error).
+    NotFound = 1,
+    /// The operation failed; the body is `lp message`.
+    Err = 2,
+}
+
+impl Status {
+    /// Decodes the status byte.
+    pub fn from_u8(b: u8) -> Option<Status> {
+        Some(match b {
+            0 => Status::Ok,
+            1 => Status::NotFound,
+            2 => Status::Err,
+            _ => return None,
+        })
+    }
+
+    /// Stable lowercase label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::NotFound => "not_found",
+            Status::Err => "err",
+        }
+    }
+}
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Point lookup of `key`.
+    Get {
+        /// Target key.
+        key: Bytes,
+    },
+    /// Insert or overwrite `key` with `value`.
+    Put {
+        /// Target key.
+        key: Bytes,
+        /// Value payload.
+        value: Bytes,
+    },
+    /// Delete `key`.
+    Delete {
+        /// Target key.
+        key: Bytes,
+    },
+    /// Scan `limit` entries starting at `from`.
+    Scan {
+        /// Inclusive start key.
+        from: Bytes,
+        /// Maximum entries to return.
+        limit: u32,
+    },
+    /// Engine + server statistics.
+    Stats,
+    /// Graceful server shutdown.
+    Shutdown,
+}
+
+impl Request {
+    /// The request's opcode.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Request::Ping => Opcode::Ping,
+            Request::Get { .. } => Opcode::Get,
+            Request::Put { .. } => Opcode::Put,
+            Request::Delete { .. } => Opcode::Delete,
+            Request::Scan { .. } => Opcode::Scan,
+            Request::Stats => Opcode::Stats,
+            Request::Shutdown => Opcode::Shutdown,
+        }
+    }
+}
+
+/// A decoded response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Success with no payload (`Ping`, `Put`, `Delete`, `Shutdown`).
+    Ok,
+    /// A found value (`Get`).
+    Value(Bytes),
+    /// `Get` missed.
+    NotFound,
+    /// Scan results, in key order.
+    Entries(Vec<(Bytes, Bytes)>),
+    /// Statistics JSON text (`Stats`).
+    Stats(String),
+    /// The request failed; the message explains why.
+    Error(String),
+}
+
+impl Response {
+    /// The status byte this response serializes under.
+    pub fn status(&self) -> Status {
+        match self {
+            Response::NotFound => Status::NotFound,
+            Response::Error(_) => Status::Err,
+            _ => Status::Ok,
+        }
+    }
+}
+
+/// Why a frame could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The declared frame length exceeds the configured maximum. Framing
+    /// is no longer trustworthy; the connection must close.
+    Oversized {
+        /// The declared length.
+        declared: usize,
+        /// The configured ceiling.
+        max: usize,
+    },
+    /// The frame's tag byte is not a known opcode. Framing is intact, so
+    /// the connection survives after an error reply.
+    UnknownOpcode(u8),
+    /// The frame's tag byte is not a known status (client side).
+    UnknownStatus(u8),
+    /// The body does not match the opcode's grammar. Framing is intact.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { declared, max } => {
+                write!(f, "frame length {declared} exceeds maximum {max}")
+            }
+            FrameError::UnknownOpcode(b) => write!(f, "unknown opcode {b}"),
+            FrameError::UnknownStatus(b) => write!(f, "unknown status {b}"),
+            FrameError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Whether a [`FrameError`] poisons the byte stream (connection must
+/// close) or leaves framing intact (error reply, connection survives).
+pub fn is_fatal(err: &FrameError) -> bool {
+    matches!(err, FrameError::Oversized { .. })
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_lp(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+/// A cursor over a frame body.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        let end = self.pos + 4;
+        if end > self.buf.len() {
+            return Err(FrameError::Malformed("truncated u32"));
+        }
+        let v = u32::from_le_bytes(self.buf[self.pos..end].try_into().unwrap());
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn lp(&mut self) -> Result<Bytes, FrameError> {
+        let n = self.u32()? as usize;
+        let end = self.pos + n;
+        if end > self.buf.len() {
+            return Err(FrameError::Malformed("length-prefixed field overruns body"));
+        }
+        let b = Bytes::copy_from_slice(&self.buf[self.pos..end]);
+        self.pos = end;
+        Ok(b)
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(FrameError::Malformed("trailing bytes after body"))
+        }
+    }
+}
+
+fn encode_frame(out: &mut Vec<u8>, id: u64, tag: u8, body: impl FnOnce(&mut Vec<u8>)) {
+    let len_at = out.len();
+    put_u32(out, 0); // patched below
+    out.extend_from_slice(&id.to_le_bytes());
+    out.push(tag);
+    body(out);
+    let frame_len = (out.len() - len_at - 4) as u32;
+    out[len_at..len_at + 4].copy_from_slice(&frame_len.to_le_bytes());
+}
+
+/// Appends one encoded request frame to `out`.
+pub fn encode_request(out: &mut Vec<u8>, id: u64, req: &Request) {
+    encode_frame(out, id, req.opcode() as u8, |out| match req {
+        Request::Ping | Request::Stats | Request::Shutdown => {}
+        Request::Get { key } | Request::Delete { key } => put_lp(out, key),
+        Request::Put { key, value } => {
+            put_lp(out, key);
+            put_lp(out, value);
+        }
+        Request::Scan { from, limit } => {
+            put_lp(out, from);
+            put_u32(out, *limit);
+        }
+    });
+}
+
+/// Appends one encoded response frame to `out`.
+pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) {
+    encode_frame(out, id, resp.status() as u8, |out| match resp {
+        Response::Ok | Response::NotFound => {}
+        Response::Value(v) => put_lp(out, v),
+        Response::Entries(entries) => {
+            put_u32(out, entries.len() as u32);
+            for (k, v) in entries {
+                put_lp(out, k);
+                put_lp(out, v);
+            }
+        }
+        Response::Stats(json) => put_lp(out, json.as_bytes()),
+        Response::Error(msg) => put_lp(out, msg.as_bytes()),
+    });
+}
+
+/// One step of frame extraction from a streaming buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Progress<T> {
+    /// A complete frame was consumed: the decoded payload (or a
+    /// recoverable per-frame error) plus the bytes consumed.
+    Frame(Result<(u64, T), (u64, FrameError)>, usize),
+    /// Not enough buffered bytes for a complete frame yet.
+    Incomplete,
+    /// Framing is broken (oversized declared length); close the stream.
+    Fatal(FrameError),
+}
+
+/// Splits the envelope of the first frame in `buf`, honoring `max_frame`.
+fn split_envelope(buf: &[u8], max_frame: usize) -> Progress<(u8, Vec<u8>)> {
+    if buf.len() < 4 {
+        return Progress::Incomplete;
+    }
+    let declared = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    if declared > max_frame || declared < HEADER_AFTER_LEN {
+        return Progress::Fatal(FrameError::Oversized {
+            declared,
+            max: max_frame,
+        });
+    }
+    if buf.len() < 4 + declared {
+        return Progress::Incomplete;
+    }
+    let id = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+    let tag = buf[12];
+    let body = buf[13..4 + declared].to_vec();
+    Progress::Frame(Ok((id, (tag, body))), 4 + declared)
+}
+
+/// Attempts to decode one request frame from the front of `buf`.
+///
+/// A recoverable decode failure (unknown opcode, malformed body) still
+/// consumes the frame — the caller replies with an error and keeps the
+/// connection; only [`Progress::Fatal`] requires a close.
+pub fn decode_request(buf: &[u8], max_frame: usize) -> Progress<Request> {
+    let (id, tag, body, consumed) = match split_envelope(buf, max_frame) {
+        Progress::Frame(Ok((id, (tag, body))), consumed) => (id, tag, body, consumed),
+        Progress::Frame(Err(e), c) => return Progress::Frame(Err(e), c),
+        Progress::Incomplete => return Progress::Incomplete,
+        Progress::Fatal(e) => return Progress::Fatal(e),
+    };
+    let Some(op) = Opcode::from_u8(tag) else {
+        return Progress::Frame(Err((id, FrameError::UnknownOpcode(tag))), consumed);
+    };
+    let mut r = Reader::new(&body);
+    let parsed = (|| {
+        let req = match op {
+            Opcode::Ping => Request::Ping,
+            Opcode::Stats => Request::Stats,
+            Opcode::Shutdown => Request::Shutdown,
+            Opcode::Get => Request::Get { key: r.lp()? },
+            Opcode::Delete => Request::Delete { key: r.lp()? },
+            Opcode::Put => Request::Put {
+                key: r.lp()?,
+                value: r.lp()?,
+            },
+            Opcode::Scan => Request::Scan {
+                from: r.lp()?,
+                limit: r.u32()?,
+            },
+        };
+        r.finish()?;
+        Ok(req)
+    })();
+    match parsed {
+        Ok(req) => Progress::Frame(Ok((id, req)), consumed),
+        Err(e) => Progress::Frame(Err((id, e)), consumed),
+    }
+}
+
+/// Attempts to decode one response frame from the front of `buf`.
+///
+/// `for_scan` disambiguates `Ok` bodies: the envelope alone cannot tell a
+/// `Get` value from a scan result set, so the client passes the opcode it
+/// is awaiting (responses arrive strictly in request order).
+pub fn decode_response(buf: &[u8], max_frame: usize, awaiting: Opcode) -> Progress<Response> {
+    let (id, tag, body, consumed) = match split_envelope(buf, max_frame) {
+        Progress::Frame(Ok((id, (tag, body))), consumed) => (id, tag, body, consumed),
+        Progress::Frame(Err(e), c) => return Progress::Frame(Err(e), c),
+        Progress::Incomplete => return Progress::Incomplete,
+        Progress::Fatal(e) => return Progress::Fatal(e),
+    };
+    let Some(status) = Status::from_u8(tag) else {
+        return Progress::Frame(Err((id, FrameError::UnknownStatus(tag))), consumed);
+    };
+    let mut r = Reader::new(&body);
+    let parsed = (|| {
+        let resp = match status {
+            Status::NotFound => Response::NotFound,
+            Status::Err => {
+                let msg = r.lp()?;
+                Response::Error(String::from_utf8_lossy(&msg).into_owned())
+            }
+            Status::Ok => match awaiting {
+                Opcode::Get => Response::Value(r.lp()?),
+                Opcode::Scan => {
+                    let n = r.u32()? as usize;
+                    let mut entries = Vec::with_capacity(n.min(1 << 16));
+                    for _ in 0..n {
+                        entries.push((r.lp()?, r.lp()?));
+                    }
+                    Response::Entries(entries)
+                }
+                Opcode::Stats => {
+                    let json = r.lp()?;
+                    Response::Stats(String::from_utf8_lossy(&json).into_owned())
+                }
+                Opcode::Ping | Opcode::Put | Opcode::Delete | Opcode::Shutdown => Response::Ok,
+            },
+        };
+        r.finish()?;
+        Ok(resp)
+    })();
+    match parsed {
+        Ok(resp) => Progress::Frame(Ok((id, resp)), consumed),
+        Err(e) => Progress::Frame(Err((id, e)), consumed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 42, &req);
+        match decode_request(&buf, DEFAULT_MAX_FRAME) {
+            Progress::Frame(Ok((id, back)), consumed) => {
+                assert_eq!(id, 42);
+                assert_eq!(back, req);
+                assert_eq!(consumed, buf.len());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Get {
+            key: Bytes::from_static(b"user1"),
+        });
+        roundtrip_request(Request::Delete {
+            key: Bytes::from_static(b""),
+        });
+        roundtrip_request(Request::Put {
+            key: Bytes::from_static(b"k"),
+            value: Bytes::from(vec![0u8, 255, 7]),
+        });
+        roundtrip_request(Request::Scan {
+            from: Bytes::from_static(b"user2"),
+            limit: 64,
+        });
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_order() {
+        let mut buf = Vec::new();
+        for i in 0..10u64 {
+            encode_request(
+                &mut buf,
+                i,
+                &Request::Get {
+                    key: Bytes::from(format!("k{i}")),
+                },
+            );
+        }
+        let mut at = 0;
+        for i in 0..10u64 {
+            match decode_request(&buf[at..], DEFAULT_MAX_FRAME) {
+                Progress::Frame(Ok((id, Request::Get { key })), consumed) => {
+                    assert_eq!(id, i);
+                    assert_eq!(key, Bytes::from(format!("k{i}")));
+                    at += consumed;
+                }
+                other => panic!("frame {i}: {other:?}"),
+            }
+        }
+        assert_eq!(at, buf.len());
+    }
+
+    #[test]
+    fn truncated_frames_wait_for_more_bytes() {
+        let mut buf = Vec::new();
+        encode_request(
+            &mut buf,
+            9,
+            &Request::Put {
+                key: Bytes::from_static(b"key"),
+                value: Bytes::from_static(b"value"),
+            },
+        );
+        for cut in 0..buf.len() {
+            assert_eq!(
+                decode_request(&buf[..cut], DEFAULT_MAX_FRAME),
+                Progress::Incomplete,
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_fatal() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, (DEFAULT_MAX_FRAME + 1) as u32);
+        buf.extend_from_slice(&[0u8; 16]);
+        match decode_request(&buf, DEFAULT_MAX_FRAME) {
+            Progress::Fatal(FrameError::Oversized { declared, .. }) => {
+                assert_eq!(declared, DEFAULT_MAX_FRAME + 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A declared length too small to hold the envelope is equally
+        // unrecoverable.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 3);
+        buf.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            decode_request(&buf, DEFAULT_MAX_FRAME),
+            Progress::Fatal(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_opcode_is_recoverable() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 77, 200, |_| {});
+        match decode_request(&buf, DEFAULT_MAX_FRAME) {
+            Progress::Frame(Err((id, FrameError::UnknownOpcode(200))), consumed) => {
+                assert_eq!(id, 77);
+                assert_eq!(consumed, buf.len());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!is_fatal(&FrameError::UnknownOpcode(200)));
+        assert!(is_fatal(&FrameError::Oversized {
+            declared: 1,
+            max: 0
+        }));
+    }
+
+    #[test]
+    fn malformed_body_is_recoverable_and_consumes_the_frame() {
+        // A Get whose key length overruns the body.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 5, Opcode::Get as u8, |out| {
+            put_u32(out, 1000); // claims 1000 bytes...
+            out.extend_from_slice(b"short"); // ...provides 5
+        });
+        match decode_request(&buf, DEFAULT_MAX_FRAME) {
+            Progress::Frame(Err((5, FrameError::Malformed(_))), consumed) => {
+                assert_eq!(consumed, buf.len());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Trailing garbage after a well-formed body.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 6, Opcode::Ping as u8, |out| out.push(9));
+        assert!(matches!(
+            decode_request(&buf, DEFAULT_MAX_FRAME),
+            Progress::Frame(Err((6, FrameError::Malformed(_))), _)
+        ));
+    }
+
+    #[test]
+    fn responses_roundtrip_for_each_awaiting_opcode() {
+        let cases: Vec<(Opcode, Response)> = vec![
+            (Opcode::Ping, Response::Ok),
+            (Opcode::Put, Response::Ok),
+            (Opcode::Get, Response::Value(Bytes::from_static(b"v"))),
+            (Opcode::Get, Response::NotFound),
+            (
+                Opcode::Scan,
+                Response::Entries(vec![
+                    (Bytes::from_static(b"a"), Bytes::from_static(b"1")),
+                    (Bytes::from_static(b"b"), Bytes::from_static(b"2")),
+                ]),
+            ),
+            (Opcode::Stats, Response::Stats("{\"x\":1}".into())),
+            (Opcode::Delete, Response::Error("boom".into())),
+        ];
+        for (awaiting, resp) in cases {
+            let mut buf = Vec::new();
+            encode_response(&mut buf, 11, &resp);
+            match decode_response(&buf, DEFAULT_MAX_FRAME, awaiting) {
+                Progress::Frame(Ok((11, back)), consumed) => {
+                    assert_eq!(back, resp, "awaiting {awaiting:?}");
+                    assert_eq!(consumed, buf.len());
+                }
+                other => panic!("awaiting {awaiting:?}: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,658 @@
+//! The TCP serving front-end.
+//!
+//! One shared accept loop hands sockets to a pool of worker threads
+//! (default: one per core). Each worker owns its connections outright —
+//! no per-request locking, no cross-thread handoff on the hot path — and
+//! runs a read → parse → execute → write cycle over nonblocking sockets:
+//!
+//! - **Pipelining**: a single `read` syscall may yield many frames; all of
+//!   them are decoded and executed before the next read, and responses are
+//!   written back strictly in request order.
+//! - **Backpressure**: a connection whose response buffer exceeds
+//!   [`ServerConfig::max_write_buffer`] stops being *read* until the
+//!   client drains it — a slow reader throttles itself instead of growing
+//!   server memory.
+//! - **Limits**: past [`ServerConfig::max_conns`] concurrent connections
+//!   the accept loop answers with one `Err` frame and closes; connections
+//!   idle longer than [`ServerConfig::idle_timeout`] are reaped.
+//! - **Graceful shutdown**: on [`ServerHandle::shutdown`] (or a `Shutdown`
+//!   frame from any client) the listener stops accepting, every worker
+//!   executes the requests it has already buffered, flushes the replies,
+//!   closes its connections, and the engine's memtable is flushed before
+//!   the report is returned — no accepted request is dropped.
+//!
+//! Everything is instrumented through the engine's [`Obs`] handle:
+//! `ConnAccepted` / `ConnClosed` / `ServerOverload` journal events, a
+//! sampled `RequestServed` event, and `server.*` counters, gauges, and
+//! per-opcode latency histograms, so `adcache trace` can summarize a
+//! serving run the same way it summarizes an in-process one.
+
+use crate::protocol::{
+    self, decode_request, encode_response, is_fatal, Opcode, Progress, Request, Response,
+};
+use adcache_core::CachedDb;
+use adcache_obs::{ConnCloseCause, Counter, Event, Gauge, HistogramHandle, Obs};
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the serving layer is sized and bounded.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:4400` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads; 0 means one per available core.
+    pub workers: usize,
+    /// Concurrent-connection ceiling; excess connects get an `Err` frame.
+    pub max_conns: usize,
+    /// Largest acceptable frame; a larger declared length closes the
+    /// connection (framing can no longer be trusted).
+    pub max_frame: usize,
+    /// Connections idle longer than this are closed.
+    pub idle_timeout: Duration,
+    /// Per-connection response-buffer cap; beyond it the connection is
+    /// not read until the client drains replies (backpressure).
+    pub max_write_buffer: usize,
+    /// Emit one `RequestServed` journal event per this many requests
+    /// (0 disables sampling entirely).
+    pub sample_every: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:4400".to_string(),
+            workers: 0,
+            max_conns: 1024,
+            max_frame: protocol::DEFAULT_MAX_FRAME,
+            idle_timeout: Duration::from_secs(60),
+            max_write_buffer: 4 << 20,
+            sample_every: 64,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// What a finished serving run did, returned by [`ServerHandle::shutdown`]
+/// and [`ServerHandle::wait`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Requests executed (including ones answered with `Err`).
+    pub requests: u64,
+    /// Frames that failed to decode (unknown opcode, malformed body,
+    /// oversized length).
+    pub protocol_errors: u64,
+    /// Connections accepted over the run.
+    pub conns_accepted: u64,
+    /// Connections closed over the run (equals accepted after drain).
+    pub conns_closed: u64,
+    /// Connections refused at the `max_conns` ceiling.
+    pub conns_refused: u64,
+    /// Bytes read off sockets.
+    pub bytes_in: u64,
+    /// Bytes written to sockets.
+    pub bytes_out: u64,
+}
+
+/// Pre-resolved metric handles (inert when the engine has no `Obs`).
+struct Metrics {
+    requests: Counter,
+    protocol_errors: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    conns_active: Gauge,
+    inflight: Gauge,
+    /// Indexed by opcode discriminant.
+    latency: [HistogramHandle; 7],
+}
+
+impl Metrics {
+    fn new(obs: &Obs) -> Self {
+        let lat = |op: Opcode| obs.histogram(&format!("server.latency.{}", op.label()));
+        Metrics {
+            requests: obs.counter("server.requests"),
+            protocol_errors: obs.counter("server.protocol_errors"),
+            bytes_in: obs.counter("server.bytes_in"),
+            bytes_out: obs.counter("server.bytes_out"),
+            conns_active: obs.gauge("server.conns.active"),
+            inflight: obs.gauge("server.inflight"),
+            latency: [
+                lat(Opcode::Ping),
+                lat(Opcode::Get),
+                lat(Opcode::Put),
+                lat(Opcode::Delete),
+                lat(Opcode::Scan),
+                lat(Opcode::Stats),
+                lat(Opcode::Shutdown),
+            ],
+        }
+    }
+}
+
+/// State shared by the accept loop, every worker, and the handle.
+struct Shared {
+    db: Arc<CachedDb>,
+    cfg: ServerConfig,
+    obs: Obs,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    active: AtomicU64,
+    conn_seq: AtomicU64,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+    conns_accepted: AtomicU64,
+    conns_closed: AtomicU64,
+    conns_refused: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+impl Shared {
+    fn report(&self) -> ServeReport {
+        ServeReport {
+            requests: self.requests.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_closed: self.conns_closed.load(Ordering::Relaxed),
+            conns_refused: self.conns_refused.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One worker-owned connection.
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    /// Already-written prefix of `wbuf` (compacted lazily).
+    wpos: usize,
+    last_active: Instant,
+    requests: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    /// Set once the connection should close after its replies flush.
+    closing: Option<ConnCloseCause>,
+}
+
+impl Conn {
+    fn pending_write(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] aborts the threads without draining.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Alias kept for readability at call sites: `Server::start` returns the
+/// same type it is named after, acting as the run's handle.
+pub type ServerHandle = Server;
+
+impl Server {
+    /// Binds, spawns the accept loop and worker pool, and returns.
+    pub fn start(db: Arc<CachedDb>, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let obs = db.obs();
+        let workers = cfg.effective_workers();
+        let shared = Arc::new(Shared {
+            metrics: Metrics::new(&obs),
+            obs,
+            db,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            active: AtomicU64::new(0),
+            conn_seq: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            conns_accepted: AtomicU64::new(0),
+            conns_closed: AtomicU64::new(0),
+            conns_refused: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+        });
+
+        let mut threads = Vec::with_capacity(workers + 1);
+        let mut senders = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = mpsc::channel::<TcpStream>();
+            senders.push(tx);
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("adcache-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, &rx))?,
+            );
+        }
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("adcache-accept".to_string())
+                    .spawn(move || accept_loop(&shared, &listener, &senders))?,
+            );
+        }
+        Ok(Server {
+            shared,
+            local_addr,
+            threads,
+        })
+    }
+
+    /// The bound address (useful with `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests graceful shutdown and waits for the drain to finish:
+    /// buffered requests execute, replies flush, connections close, and
+    /// the engine's memtable is flushed to the LSM before returning.
+    pub fn shutdown(self) -> ServeReport {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.wait()
+    }
+
+    /// Waits for the server to stop on its own (a client's `Shutdown`
+    /// frame) and returns the drain report.
+    pub fn wait(self) -> ServeReport {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        // Everything acknowledged over the wire must survive a restart.
+        let _ = self.shared.db.db().flush();
+        self.shared.report()
+    }
+
+    /// Whether shutdown has been requested (test hook).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, senders: &[mpsc::Sender<TcpStream>]) {
+    let mut next = 0usize;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let active = shared.active.load(Ordering::Relaxed);
+                if active >= shared.cfg.max_conns as u64 {
+                    refuse(shared, stream, active);
+                    continue;
+                }
+                shared.active.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .conns_active
+                    .set(shared.active.load(Ordering::Relaxed) as i64);
+                // Round-robin dispatch; workers balance naturally because
+                // each owns an independent slice of connections.
+                if senders[next % senders.len()].send(stream).is_err() {
+                    break; // worker gone — shutting down
+                }
+                next += 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    // Dropping the senders lets each worker observe disconnection and
+    // finish its drain.
+}
+
+/// Over the connection ceiling: answer with one `Err` frame, then close.
+fn refuse(shared: &Shared, mut stream: TcpStream, active: u64) {
+    shared.conns_refused.fetch_add(1, Ordering::Relaxed);
+    let limit = shared.cfg.max_conns as u64;
+    shared.obs.emit(|| Event::ServerOverload { active, limit });
+    let mut frame = Vec::new();
+    encode_response(
+        &mut frame,
+        0,
+        &Response::Error("server at connection limit".to_string()),
+    );
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.write_all(&frame);
+}
+
+fn worker_loop(shared: &Shared, incoming: &mpsc::Receiver<TcpStream>) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; 64 << 10];
+    let mut accept_closed = false;
+    loop {
+        let draining = shared.shutdown.load(Ordering::SeqCst);
+        let mut progressed = false;
+
+        // Adopt newly accepted sockets.
+        loop {
+            match incoming.try_recv() {
+                Ok(stream) => {
+                    if let Some(conn) = adopt(shared, stream) {
+                        conns.push(conn);
+                        progressed = true;
+                    }
+                }
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    accept_closed = true;
+                    break;
+                }
+            }
+        }
+
+        let mut i = 0;
+        while i < conns.len() {
+            let conn = &mut conns[i];
+            progressed |= flush_writes(shared, conn);
+            if conn.closing.is_none() && !draining {
+                progressed |= service_reads(shared, conn, &mut scratch);
+                if conn.closing.is_none() && conn.last_active.elapsed() >= shared.cfg.idle_timeout {
+                    conn.closing = Some(ConnCloseCause::IdleTimeout);
+                }
+            } else if conn.closing.is_none() && draining {
+                // Drain: execute what is already buffered, then close.
+                progressed |= service_reads(shared, conn, &mut scratch);
+                drain_buffered(shared, conn);
+                conn.closing = Some(ConnCloseCause::Shutdown);
+            }
+            let done = match conn.closing {
+                Some(_) => conn.pending_write() == 0 || draining_flush(conn),
+                None => false,
+            };
+            if done {
+                let conn = conns.swap_remove(i);
+                finish(shared, conn);
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        if draining && conns.is_empty() && accept_closed {
+            return;
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+fn adopt(shared: &Shared, stream: TcpStream) -> Option<Conn> {
+    if stream.set_nonblocking(true).is_err() {
+        shared.active.fetch_sub(1, Ordering::Relaxed);
+        return None;
+    }
+    let _ = stream.set_nodelay(true);
+    let id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
+    shared.conns_accepted.fetch_add(1, Ordering::Relaxed);
+    shared.obs.emit(|| Event::ConnAccepted {
+        conn: id,
+        peer: peer.clone(),
+    });
+    Some(Conn {
+        id,
+        stream,
+        rbuf: Vec::new(),
+        wbuf: Vec::new(),
+        wpos: 0,
+        last_active: Instant::now(),
+        requests: 0,
+        bytes_in: 0,
+        bytes_out: 0,
+        closing: None,
+    })
+}
+
+/// Writes as much buffered response data as the socket accepts.
+fn flush_writes(shared: &Shared, conn: &mut Conn) -> bool {
+    let mut progressed = false;
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => {
+                conn.closing = Some(ConnCloseCause::IoError);
+                break;
+            }
+            Ok(n) => {
+                conn.wpos += n;
+                conn.bytes_out += n as u64;
+                shared.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                shared.metrics.bytes_out.add(n as u64);
+                conn.last_active = Instant::now();
+                progressed = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.closing = Some(ConnCloseCause::IoError);
+                break;
+            }
+        }
+    }
+    if conn.wpos == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    } else if conn.wpos > 1 << 16 {
+        conn.wbuf.drain(..conn.wpos);
+        conn.wpos = 0;
+    }
+    progressed
+}
+
+/// Final blocking flush of a draining connection's replies. Returns true
+/// once the connection can be dropped.
+fn draining_flush(conn: &mut Conn) -> bool {
+    let _ = conn.stream.set_nonblocking(false);
+    let _ = conn.stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = conn.stream.write_all(&conn.wbuf[conn.wpos..]);
+    let _ = conn.stream.flush();
+    conn.wpos = conn.wbuf.len();
+    true
+}
+
+/// Reads whatever is available and executes every complete frame.
+fn service_reads(shared: &Shared, conn: &mut Conn, scratch: &mut [u8]) -> bool {
+    // Backpressure: stop reading while this client owes us a drain.
+    if conn.pending_write() >= shared.cfg.max_write_buffer {
+        return false;
+    }
+    let mut progressed = false;
+    match conn.stream.read(scratch) {
+        Ok(0) => {
+            // Client closed its half; execute anything already buffered.
+            drain_buffered(shared, conn);
+            if conn.closing.is_none() {
+                conn.closing = Some(ConnCloseCause::ClientClosed);
+            }
+            return true;
+        }
+        Ok(n) => {
+            conn.rbuf.extend_from_slice(&scratch[..n]);
+            conn.bytes_in += n as u64;
+            shared.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+            shared.metrics.bytes_in.add(n as u64);
+            conn.last_active = Instant::now();
+            progressed = true;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+        Err(_) => {
+            conn.closing = Some(ConnCloseCause::IoError);
+            return true;
+        }
+    }
+    progressed |= drain_buffered(shared, conn);
+    progressed
+}
+
+/// Decodes and executes every complete frame already buffered on `conn`,
+/// appending responses in request order.
+fn drain_buffered(shared: &Shared, conn: &mut Conn) -> bool {
+    let mut at = 0usize;
+    let mut served = 0u64;
+    loop {
+        match decode_request(&conn.rbuf[at..], shared.cfg.max_frame) {
+            Progress::Incomplete => break,
+            Progress::Fatal(err) => {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.protocol_errors.inc();
+                encode_response(&mut conn.wbuf, 0, &Response::Error(err.to_string()));
+                debug_assert!(is_fatal(&err));
+                conn.closing = Some(ConnCloseCause::ProtocolError);
+                at = conn.rbuf.len(); // the rest of the stream is garbage
+                break;
+            }
+            Progress::Frame(Err((id, err)), consumed) => {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.protocol_errors.inc();
+                encode_response(&mut conn.wbuf, id, &Response::Error(err.to_string()));
+                at += consumed;
+                served += 1;
+            }
+            Progress::Frame(Ok((id, req)), consumed) => {
+                at += consumed;
+                served += 1;
+                execute(shared, conn, id, &req);
+            }
+        }
+    }
+    if at > 0 {
+        conn.rbuf.drain(..at);
+    }
+    served > 0
+}
+
+fn execute(shared: &Shared, conn: &mut Conn, id: u64, req: &Request) {
+    let op = req.opcode();
+    shared.metrics.inflight.set(1);
+    let start = Instant::now();
+    let resp = match req {
+        Request::Ping => Response::Ok,
+        Request::Get { key } => match shared.db.get(key) {
+            Ok(Some(v)) => Response::Value(v),
+            Ok(None) => Response::NotFound,
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Put { key, value } => match shared.db.put(key.clone(), value.clone()) {
+            Ok(()) => Response::Ok,
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Delete { key } => match shared.db.delete(key.clone()) {
+            Ok(()) => Response::Ok,
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Scan { from, limit } => match shared.db.scan(from, *limit as usize) {
+            Ok(entries) => Response::Entries(entries),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Stats => Response::Stats(stats_json(shared)),
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Response::Ok
+        }
+    };
+    let latency_ns = start.elapsed().as_nanos() as u64;
+    shared.metrics.inflight.set(0);
+    shared.metrics.latency[op as usize].record(latency_ns);
+    shared.metrics.requests.inc();
+    let total = shared.requests.fetch_add(1, Ordering::Relaxed) + 1;
+    conn.requests += 1;
+    let sample = shared.cfg.sample_every;
+    if sample > 0 && total.is_multiple_of(sample) {
+        let status = resp.status();
+        shared.obs.emit(|| Event::RequestServed {
+            conn: conn.id,
+            opcode: op.label().to_string(),
+            status: status.label().to_string(),
+            latency_ns,
+        });
+    }
+    encode_response(&mut conn.wbuf, id, &resp);
+}
+
+/// The `Stats` payload: the engine's report wrapped with serving-layer
+/// totals, as one JSON object.
+fn stats_json(shared: &Shared) -> String {
+    let engine = serde_json::to_value(&shared.db.stats_report())
+        .unwrap_or_else(|_| Value::Object(Vec::new()));
+    let server = Value::Object(vec![
+        (
+            "requests".to_string(),
+            Value::from(shared.requests.load(Ordering::Relaxed)),
+        ),
+        (
+            "protocol_errors".to_string(),
+            Value::from(shared.protocol_errors.load(Ordering::Relaxed)),
+        ),
+        (
+            "conns_active".to_string(),
+            Value::from(shared.active.load(Ordering::Relaxed)),
+        ),
+        (
+            "conns_accepted".to_string(),
+            Value::from(shared.conns_accepted.load(Ordering::Relaxed)),
+        ),
+        (
+            "conns_refused".to_string(),
+            Value::from(shared.conns_refused.load(Ordering::Relaxed)),
+        ),
+        (
+            "bytes_in".to_string(),
+            Value::from(shared.bytes_in.load(Ordering::Relaxed)),
+        ),
+        (
+            "bytes_out".to_string(),
+            Value::from(shared.bytes_out.load(Ordering::Relaxed)),
+        ),
+    ]);
+    let root = Value::Object(vec![
+        ("engine".to_string(), engine),
+        ("server".to_string(), server),
+    ]);
+    serde_json::to_string(&root).unwrap_or_else(|_| "{}".to_string())
+}
+
+fn finish(shared: &Shared, conn: Conn) {
+    let cause = conn.closing.unwrap_or(ConnCloseCause::ClientClosed);
+    shared.conns_closed.fetch_add(1, Ordering::Relaxed);
+    shared.active.fetch_sub(1, Ordering::Relaxed);
+    shared
+        .metrics
+        .conns_active
+        .set(shared.active.load(Ordering::Relaxed) as i64);
+    shared.obs.emit(|| Event::ConnClosed {
+        conn: conn.id,
+        cause,
+        requests: conn.requests,
+        bytes_in: conn.bytes_in,
+        bytes_out: conn.bytes_out,
+    });
+    // Drop closes the socket.
+}

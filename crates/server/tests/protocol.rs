@@ -1,0 +1,218 @@
+//! Wire-protocol coverage: property-based encode/decode round-trips and
+//! deliberate frame corruption (satellite of the serving-layer PR).
+
+use adcache_server::{
+    decode_request, decode_response, encode_request, encode_response, FrameError, Opcode, Progress,
+    Request, Response,
+};
+use bytes::Bytes;
+use proptest::prelude::*;
+
+const MAX_FRAME: usize = 1 << 20;
+
+fn bytes_strategy(max: usize) -> impl Strategy<Value = Bytes> {
+    proptest::collection::vec(any::<u8>(), 0..max).prop_map(Bytes::from)
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        1 => Just(Request::Ping),
+        1 => Just(Request::Stats),
+        1 => Just(Request::Shutdown),
+        4 => bytes_strategy(64).prop_map(|key| Request::Get { key }),
+        2 => bytes_strategy(64).prop_map(|key| Request::Delete { key }),
+        4 => (bytes_strategy(64), bytes_strategy(256))
+            .prop_map(|(key, value)| Request::Put { key, value }),
+        3 => (bytes_strategy(64), 0u32..1024)
+            .prop_map(|(from, limit)| Request::Scan { from, limit }),
+    ]
+}
+
+fn ascii_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..80)
+        .prop_map(|v| v.into_iter().map(|b| char::from(b' ' + b % 95)).collect())
+}
+
+fn response_strategy() -> impl Strategy<Value = (Opcode, Response)> {
+    prop_oneof![
+        1 => Just((Opcode::Ping, Response::Ok)),
+        1 => Just((Opcode::Put, Response::Ok)),
+        1 => Just((Opcode::Delete, Response::Ok)),
+        1 => Just((Opcode::Get, Response::NotFound)),
+        3 => bytes_strategy(256).prop_map(|v| (Opcode::Get, Response::Value(v))),
+        3 => proptest::collection::vec((bytes_strategy(32), bytes_strategy(64)), 0..20)
+            .prop_map(|entries| (Opcode::Scan, Response::Entries(entries))),
+        1 => ascii_strategy().prop_map(|s| (Opcode::Stats, Response::Stats(s))),
+        1 => ascii_strategy().prop_map(|s| (Opcode::Get, Response::Error(s))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Any request survives encode → decode bit-exactly, with the id
+    /// echoed and the whole frame consumed.
+    #[test]
+    fn request_encode_decode_roundtrip(id in any::<u64>(), req in request_strategy()) {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, id, &req);
+        match decode_request(&buf, MAX_FRAME) {
+            Progress::Frame(Ok((got_id, got)), consumed) => {
+                prop_assert_eq!(got_id, id);
+                prop_assert_eq!(got, req);
+                prop_assert_eq!(consumed, buf.len());
+            }
+            other => prop_assert!(false, "unexpected decode result: {:?}", other),
+        }
+    }
+
+    /// Any response survives encode → decode, given the opcode the
+    /// client is awaiting (replies arrive strictly in request order).
+    #[test]
+    fn response_encode_decode_roundtrip(id in any::<u64>(), case in response_strategy()) {
+        let (awaiting, resp) = case;
+        let mut buf = Vec::new();
+        encode_response(&mut buf, id, &resp);
+        match decode_response(&buf, MAX_FRAME, awaiting) {
+            Progress::Frame(Ok((got_id, got)), consumed) => {
+                prop_assert_eq!(got_id, id);
+                prop_assert_eq!(got, resp);
+                prop_assert_eq!(consumed, buf.len());
+            }
+            other => prop_assert!(false, "unexpected decode result: {:?}", other),
+        }
+    }
+
+    /// Back-to-back frames decode independently: concatenating any two
+    /// encoded requests yields exactly those two requests.
+    #[test]
+    fn concatenated_frames_split_cleanly(
+        a in request_strategy(),
+        b in request_strategy(),
+    ) {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 1, &a);
+        let first_len = buf.len();
+        encode_request(&mut buf, 2, &b);
+        let Progress::Frame(Ok((1, got_a)), consumed) = decode_request(&buf, MAX_FRAME) else {
+            return Err(TestCaseError::fail("first frame"));
+        };
+        prop_assert_eq!(consumed, first_len);
+        prop_assert_eq!(got_a, a);
+        let Progress::Frame(Ok((2, got_b)), rest) = decode_request(&buf[consumed..], MAX_FRAME)
+        else {
+            return Err(TestCaseError::fail("second frame"));
+        };
+        prop_assert_eq!(got_b, b);
+        prop_assert_eq!(consumed + rest, buf.len());
+    }
+
+    /// Every strict prefix of a frame is `Incomplete` — a decoder fed a
+    /// torn TCP segment waits rather than misparsing.
+    #[test]
+    fn any_prefix_is_incomplete(req in request_strategy(), frac in 0u32..1000) {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 3, &req);
+        let cut = buf.len() * frac as usize / 1000;
+        prop_assert!(cut < buf.len());
+        prop_assert_eq!(decode_request(&buf[..cut], MAX_FRAME), Progress::Incomplete);
+    }
+
+    /// Flipping the length prefix to something oversized is always fatal
+    /// (framing can't be trusted), never a misparse.
+    #[test]
+    fn oversized_length_is_always_fatal(req in request_strategy(), extra in 1u32..1 << 20) {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 4, &req);
+        let huge = (MAX_FRAME as u32).saturating_add(extra);
+        buf[..4].copy_from_slice(&huge.to_le_bytes());
+        prop_assert!(matches!(
+            decode_request(&buf, MAX_FRAME),
+            Progress::Fatal(FrameError::Oversized { .. })
+        ));
+    }
+}
+
+/// An unknown opcode is reported against the frame's own id and consumes
+/// exactly that frame — the next frame in the buffer still decodes.
+#[test]
+fn unknown_opcode_skips_one_frame_and_recovers() {
+    let mut buf = Vec::new();
+    // Hand-build a frame with opcode 99: len = id(8) + tag(1) + empty body.
+    buf.extend_from_slice(&9u32.to_le_bytes());
+    buf.extend_from_slice(&55u64.to_le_bytes());
+    buf.push(99);
+    encode_request(&mut buf, 56, &Request::Ping);
+
+    let Progress::Frame(Err((55, FrameError::UnknownOpcode(99))), consumed) =
+        decode_request(&buf, MAX_FRAME)
+    else {
+        panic!("expected recoverable unknown-opcode error");
+    };
+    assert_eq!(consumed, 13);
+    let Progress::Frame(Ok((56, Request::Ping)), rest) =
+        decode_request(&buf[consumed..], MAX_FRAME)
+    else {
+        panic!("pipelined frame after the bad one must still decode");
+    };
+    assert_eq!(consumed + rest, buf.len());
+}
+
+/// A body that contradicts its opcode's grammar is a recoverable,
+/// frame-local error: reported with the frame's id, fully consumed.
+#[test]
+fn malformed_bodies_are_frame_local() {
+    // Put with only one field.
+    let mut only_key = Vec::new();
+    let mut body = Vec::new();
+    body.extend_from_slice(&3u32.to_le_bytes());
+    body.extend_from_slice(b"abc");
+    only_key.extend_from_slice(&((9 + body.len()) as u32).to_le_bytes());
+    only_key.extend_from_slice(&7u64.to_le_bytes());
+    only_key.push(Opcode::Put as u8);
+    only_key.extend_from_slice(&body);
+    assert!(matches!(
+        decode_request(&only_key, MAX_FRAME),
+        Progress::Frame(Err((7, FrameError::Malformed(_))), n) if n == only_key.len()
+    ));
+
+    // Scan with a truncated limit.
+    let mut short_scan = Vec::new();
+    let mut body = Vec::new();
+    body.extend_from_slice(&1u32.to_le_bytes());
+    body.push(b'x');
+    body.extend_from_slice(&[1, 2]); // half a u32
+    short_scan.extend_from_slice(&((9 + body.len()) as u32).to_le_bytes());
+    short_scan.extend_from_slice(&8u64.to_le_bytes());
+    short_scan.push(Opcode::Scan as u8);
+    short_scan.extend_from_slice(&body);
+    assert!(matches!(
+        decode_request(&short_scan, MAX_FRAME),
+        Progress::Frame(Err((8, FrameError::Malformed(_))), _)
+    ));
+
+    // Ping with trailing bytes.
+    let mut noisy_ping = Vec::new();
+    noisy_ping.extend_from_slice(&11u32.to_le_bytes());
+    noisy_ping.extend_from_slice(&9u64.to_le_bytes());
+    noisy_ping.push(Opcode::Ping as u8);
+    noisy_ping.extend_from_slice(&[0xde, 0xad]);
+    assert!(matches!(
+        decode_request(&noisy_ping, MAX_FRAME),
+        Progress::Frame(Err((9, FrameError::Malformed(_))), _)
+    ));
+}
+
+/// A declared length too small to hold the header is fatal, like an
+/// oversized one: there is no way to resynchronize the stream.
+#[test]
+fn undersized_length_is_fatal() {
+    for declared in 0u32..9 {
+        let mut buf = declared.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(
+            matches!(decode_request(&buf, MAX_FRAME), Progress::Fatal(_)),
+            "declared {declared}"
+        );
+    }
+}

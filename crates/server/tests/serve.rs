@@ -1,0 +1,442 @@
+//! End-to-end serving tests over loopback TCP: a real `Server` on port 0,
+//! real clients, real frames. Covers the PR's acceptance criterion (a
+//! many-connection mixed zipfian workload completes with zero lost or
+//! misordered replies and a graceful drain) plus the failure paths:
+//! malformed frames, connection limits, idle timeouts, and the `Shutdown`
+//! opcode.
+
+use adcache_core::{CachedDb, EngineConfig, Strategy};
+use adcache_lsm::{MemStorage, Options};
+use adcache_obs::Obs;
+use adcache_server::{loadgen, Client, LoadgenConfig, Request, Response, Server, ServerConfig};
+use adcache_workload::{render_key, Mix, WorkloadConfig};
+use bytes::Bytes;
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn test_db(with_obs: bool) -> Arc<CachedDb> {
+    let db = CachedDb::new(
+        Options::small(),
+        Arc::new(MemStorage::new()),
+        EngineConfig::new(Strategy::AdCache, 1 << 20),
+    )
+    .unwrap();
+    if with_obs {
+        db.set_obs(Obs::enabled());
+    }
+    for i in 0..2_000u64 {
+        db.load(render_key(i), Bytes::from(format!("seed-{i:05}")))
+            .unwrap();
+    }
+    db.db().flush().unwrap();
+    Arc::new(db)
+}
+
+fn start_server(db: Arc<CachedDb>, tweak: impl FnOnce(&mut ServerConfig)) -> Server {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..Default::default()
+    };
+    tweak(&mut cfg);
+    Server::start(db, cfg).unwrap()
+}
+
+/// Basic request/response semantics for every opcode through one client.
+#[test]
+fn every_opcode_round_trips() {
+    let db = test_db(false);
+    let server = start_server(db, |_| {});
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+
+    assert_eq!(c.call(&Request::Ping).unwrap(), Response::Ok);
+    assert_eq!(
+        c.call(&Request::Get {
+            key: render_key(42)
+        })
+        .unwrap(),
+        Response::Value(Bytes::from("seed-00042"))
+    );
+    assert_eq!(
+        c.call(&Request::Get {
+            key: Bytes::from_static(b"missing!")
+        })
+        .unwrap(),
+        Response::NotFound
+    );
+    assert_eq!(
+        c.call(&Request::Put {
+            key: Bytes::from_static(b"net-key"),
+            value: Bytes::from_static(b"net-value"),
+        })
+        .unwrap(),
+        Response::Ok
+    );
+    assert_eq!(
+        c.call(&Request::Get {
+            key: Bytes::from_static(b"net-key")
+        })
+        .unwrap(),
+        Response::Value(Bytes::from_static(b"net-value"))
+    );
+    assert_eq!(
+        c.call(&Request::Delete {
+            key: Bytes::from_static(b"net-key")
+        })
+        .unwrap(),
+        Response::Ok
+    );
+    assert_eq!(
+        c.call(&Request::Get {
+            key: Bytes::from_static(b"net-key")
+        })
+        .unwrap(),
+        Response::NotFound
+    );
+
+    match c
+        .call(&Request::Scan {
+            from: render_key(10),
+            limit: 5,
+        })
+        .unwrap()
+    {
+        Response::Entries(entries) => {
+            assert_eq!(entries.len(), 5);
+            assert_eq!(entries[0].0, render_key(10));
+            for w in entries.windows(2) {
+                assert!(w[0].0 < w[1].0, "scan replies must be ordered");
+            }
+        }
+        other => panic!("scan answered {other:?}"),
+    }
+
+    let stats = c.stats().unwrap();
+    assert!(
+        stats.contains("\"engine\""),
+        "stats missing engine: {stats}"
+    );
+    assert!(
+        stats.contains("\"server\""),
+        "stats missing server: {stats}"
+    );
+    assert!(stats.contains("\"strategy\""));
+
+    let report = server.shutdown();
+    assert_eq!(report.protocol_errors, 0);
+    assert_eq!(report.conns_accepted, report.conns_closed);
+}
+
+/// The acceptance run: a 32-connection mixed zipfian workload completes
+/// with zero lost, misordered, or undecodable replies, and shutdown
+/// drains cleanly (every accepted connection closed, engine flushed).
+#[test]
+fn thirty_two_connections_of_mixed_zipf_traffic_lose_nothing() {
+    let db = test_db(true);
+    let server = start_server(db.clone(), |cfg| cfg.max_conns = 64);
+    let addr = server.local_addr().to_string();
+
+    let report = loadgen::run(&LoadgenConfig {
+        addr,
+        connections: 32,
+        ops: 16_000,
+        mix: Mix::new(40.0, 25.0, 5.0, 30.0),
+        workload: WorkloadConfig {
+            num_keys: 2_000,
+            value_size: 64,
+            seed: 7,
+            ..Default::default()
+        },
+        target_qps: None,
+    })
+    .unwrap();
+
+    assert_eq!(report.ops, 16_000, "every op must complete");
+    assert_eq!(report.protocol_errors, 0, "no lost or misordered replies");
+    assert_eq!(report.server_errors, 0, "no engine failures");
+    assert!(report.qps > 0.0);
+    assert!(report.latency.count() == 16_000);
+    assert!(report.latency.quantile(0.999) >= report.latency.quantile(0.50));
+
+    let serve = server.shutdown();
+    assert_eq!(serve.requests, 16_000);
+    assert_eq!(serve.protocol_errors, 0);
+    assert_eq!(serve.conns_accepted, serve.conns_closed, "graceful drain");
+    assert_eq!(serve.conns_refused, 0);
+
+    // The run is visible through the observability layer: server metrics
+    // registered, connection lifecycle journaled.
+    let obs = db.obs();
+    let metrics = obs.metrics_json().unwrap();
+    assert!(metrics.contains("server.requests"));
+    assert!(metrics.contains("server.latency.get"));
+    let trace = obs.trace_jsonl().unwrap();
+    assert!(trace.contains("ConnAccepted"));
+    assert!(trace.contains("ConnClosed"));
+    assert!(trace.contains("RequestServed"));
+}
+
+/// Open-loop mode paces sends by wall clock and still verifies FIFO
+/// replies; a modest target rate finishes with zero protocol errors.
+#[test]
+fn open_loop_mode_completes_at_target_rate() {
+    let db = test_db(false);
+    let server = start_server(db, |_| {});
+    let addr = server.local_addr().to_string();
+
+    let report = loadgen::run(&LoadgenConfig {
+        addr,
+        connections: 4,
+        ops: 4_000,
+        mix: Mix::new(60.0, 20.0, 0.0, 20.0),
+        workload: WorkloadConfig {
+            num_keys: 2_000,
+            value_size: 64,
+            seed: 11,
+            ..Default::default()
+        },
+        target_qps: Some(50_000),
+    })
+    .unwrap();
+
+    assert_eq!(report.ops, 4_000);
+    assert_eq!(report.protocol_errors, 0);
+    assert_eq!(report.server_errors, 0);
+    let rendered = report.render();
+    assert!(rendered.contains("throughput"));
+    assert!(rendered.contains("p999"));
+
+    let serve = server.shutdown();
+    assert_eq!(serve.requests, 4_000);
+}
+
+/// A pipelined burst written as one TCP payload comes back as in-order
+/// replies — the server decodes many frames per read and answers them
+/// in request order.
+#[test]
+fn pipelined_burst_is_answered_in_order() {
+    let db = test_db(false);
+    let server = start_server(db, |_| {});
+    let addr = server.local_addr().to_string();
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    let mut burst = Vec::new();
+    for i in 0..200u64 {
+        adcache_server::encode_request(
+            &mut burst,
+            i,
+            &Request::Get {
+                key: render_key(i % 2_000),
+            },
+        );
+    }
+    stream.write_all(&burst).unwrap();
+
+    let mut rbuf = Vec::new();
+    let mut chunk = [0u8; 65536];
+    let mut next_expected = 0u64;
+    while next_expected < 200 {
+        loop {
+            match adcache_server::decode_response(&rbuf, 1 << 20, adcache_server::Opcode::Get) {
+                adcache_server::Progress::Frame(Ok((id, resp)), consumed) => {
+                    assert_eq!(id, next_expected, "replies must arrive in request order");
+                    assert!(matches!(resp, Response::Value(_)));
+                    rbuf.drain(..consumed);
+                    next_expected += 1;
+                }
+                adcache_server::Progress::Incomplete => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        if next_expected < 200 {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "server closed early");
+            rbuf.extend_from_slice(&chunk[..n]);
+        }
+    }
+    drop(stream);
+    server.shutdown();
+}
+
+/// An unknown opcode or malformed body gets a clean `Err` reply carrying
+/// the offending frame's id, and the connection keeps working.
+#[test]
+fn malformed_frames_get_error_replies_and_the_connection_survives() {
+    let db = test_db(true);
+    let server = start_server(db.clone(), |_| {});
+    let addr = server.local_addr().to_string();
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    // Unknown opcode 77, then a malformed Get, then a valid Ping — all in
+    // one burst.
+    let mut burst = Vec::new();
+    burst.extend_from_slice(&9u32.to_le_bytes());
+    burst.extend_from_slice(&1u64.to_le_bytes());
+    burst.push(77);
+    burst.extend_from_slice(&13u32.to_le_bytes());
+    burst.extend_from_slice(&2u64.to_le_bytes());
+    burst.push(1); // Get
+    burst.extend_from_slice(&999u32.to_le_bytes()); // key claims 999 bytes
+    adcache_server::encode_request(&mut burst, 3, &Request::Ping);
+    stream.write_all(&burst).unwrap();
+
+    // Replies may arrive coalesced into one TCP segment, so the buffer
+    // must persist across reads.
+    let mut rbuf = Vec::new();
+    let mut read_reply = |awaiting| {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match adcache_server::decode_response(&rbuf, 1 << 20, awaiting) {
+                adcache_server::Progress::Frame(Ok((id, resp)), consumed) => {
+                    rbuf.drain(..consumed);
+                    return (id, resp);
+                }
+                adcache_server::Progress::Incomplete => {
+                    let n = stream.read(&mut chunk).unwrap();
+                    assert!(n > 0, "connection must survive malformed frames");
+                    rbuf.extend_from_slice(&chunk[..n]);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    };
+
+    let (id, resp) = read_reply(adcache_server::Opcode::Ping);
+    assert_eq!(id, 1);
+    assert!(
+        matches!(resp, Response::Error(ref m) if m.contains("opcode")),
+        "got {resp:?}"
+    );
+    let (id, resp) = read_reply(adcache_server::Opcode::Get);
+    assert_eq!(id, 2);
+    assert!(matches!(resp, Response::Error(_)));
+    let (id, resp) = read_reply(adcache_server::Opcode::Ping);
+    assert_eq!(id, 3);
+    assert_eq!(resp, Response::Ok, "connection still serves after errors");
+
+    drop(stream);
+    let report = server.shutdown();
+    assert_eq!(report.protocol_errors, 2);
+    assert_eq!(report.requests, 1, "only the Ping executed");
+}
+
+/// An oversized declared length poisons framing: the server answers with
+/// one `Err` frame and closes that connection, but keeps serving others.
+#[test]
+fn oversized_frames_close_only_the_offending_connection() {
+    let db = test_db(false);
+    let server = start_server(db, |cfg| cfg.max_frame = 1 << 16);
+    let addr = server.local_addr().to_string();
+
+    let mut bad = std::net::TcpStream::connect(&addr).unwrap();
+    bad.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    bad.write_all(&[0u8; 32]).unwrap();
+    // The server replies with an error frame and then EOF.
+    let mut tail = Vec::new();
+    bad.read_to_end(&mut tail).unwrap();
+    assert!(!tail.is_empty(), "expected an error reply before close");
+
+    let mut good = Client::connect(&addr).unwrap();
+    assert_eq!(good.call(&Request::Ping).unwrap(), Response::Ok);
+
+    let report = server.shutdown();
+    assert_eq!(report.protocol_errors, 1);
+}
+
+/// Past `max_conns`, new connections get one `Err` frame and a close,
+/// and the journal records the overload.
+#[test]
+fn connection_limit_refuses_with_an_error_frame() {
+    let db = test_db(true);
+    let server = start_server(db.clone(), |cfg| cfg.max_conns = 2);
+    let addr = server.local_addr().to_string();
+
+    let mut a = Client::connect(&addr).unwrap();
+    let mut b = Client::connect(&addr).unwrap();
+    assert_eq!(a.call(&Request::Ping).unwrap(), Response::Ok);
+    assert_eq!(b.call(&Request::Ping).unwrap(), Response::Ok);
+
+    // The third connection is refused. The refusal races with accept, so
+    // poll until the limit bites.
+    let mut refused = false;
+    for _ in 0..50 {
+        let mut c = std::net::TcpStream::connect(&addr).unwrap();
+        let mut tail = Vec::new();
+        c.set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        if c.read_to_end(&mut tail).is_ok() && !tail.is_empty() {
+            refused = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        refused,
+        "third connection should get an error frame + close"
+    );
+
+    let report = server.shutdown();
+    assert!(report.conns_refused >= 1);
+    let trace = db.obs().trace_jsonl().unwrap();
+    assert!(trace.contains("ServerOverload"));
+}
+
+/// Idle connections are reaped after the timeout and journaled with the
+/// `IdleTimeout` cause; active ones are not.
+#[test]
+fn idle_connections_are_reaped() {
+    let db = test_db(true);
+    let server = start_server(db.clone(), |cfg| {
+        cfg.idle_timeout = Duration::from_millis(100);
+    });
+    let addr = server.local_addr().to_string();
+
+    let mut idle = std::net::TcpStream::connect(&addr).unwrap();
+    idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    // First confirm the connection works, then go quiet.
+    let mut hello = Vec::new();
+    adcache_server::encode_request(&mut hello, 1, &Request::Ping);
+    idle.write_all(&hello).unwrap();
+    let mut chunk = [0u8; 64];
+    let n = idle.read(&mut chunk).unwrap();
+    assert!(n > 0);
+
+    // The server should close us well within 5 s.
+    let mut rest = Vec::new();
+    idle.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "no extra frames expected on idle close");
+
+    server.shutdown();
+    let trace = db.obs().trace_jsonl().unwrap();
+    assert!(trace.contains("IdleTimeout"));
+}
+
+/// A client-issued `Shutdown` frame is acknowledged and then drains the
+/// whole server — `wait()` returns without any local trigger.
+#[test]
+fn shutdown_opcode_drains_the_server() {
+    let db = test_db(false);
+    let server = start_server(db.clone(), |_| {});
+    let addr = server.local_addr().to_string();
+
+    let mut c = Client::connect(&addr).unwrap();
+    c.call(&Request::Put {
+        key: Bytes::from_static(b"durable"),
+        value: Bytes::from_static(b"yes"),
+    })
+    .unwrap();
+    c.shutdown_server().unwrap();
+
+    let report = server.wait();
+    assert!(report.requests >= 2);
+    assert_eq!(report.conns_accepted, report.conns_closed);
+    // The acknowledged write survived the drain (engine flushed).
+    assert_eq!(
+        db.get(b"durable").unwrap().map(|v| v.to_vec()),
+        Some(b"yes".to_vec())
+    );
+}

@@ -1,0 +1,122 @@
+//! The operation sink abstraction: anything that can execute a generated
+//! [`Operation`] stream.
+//!
+//! Workload generators and traces produce [`Operation`]s; *where* those
+//! operations land is a separate concern. The in-process engine executes
+//! them directly, the network load generator ships them over a TCP
+//! connection, and tests capture them for inspection — all through the one
+//! [`OpSink`] trait, so every driver (static mixes, the dynamic phase
+//! schedule, recorded traces) replays identically against any backend.
+
+use crate::generator::Operation;
+use crate::trace::Trace;
+
+/// A destination that executes operations drawn from a workload.
+pub trait OpSink {
+    /// The sink's error type (an engine error, a transport error, ...).
+    type Error;
+
+    /// Executes one operation.
+    fn apply(&mut self, op: &Operation) -> Result<(), Self::Error>;
+}
+
+/// A sink that records every operation into an in-memory [`Trace`]
+/// (pretraining data collection; golden traces for tests).
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    /// The operations captured so far, in arrival order.
+    pub trace: Trace,
+}
+
+impl OpSink for RecordingSink {
+    type Error = std::convert::Infallible;
+
+    fn apply(&mut self, op: &Operation) -> Result<(), Self::Error> {
+        self.trace.record(op.clone());
+        Ok(())
+    }
+}
+
+/// Replays `ops` into `sink` in order, stopping at the first error.
+/// Returns the number of operations applied successfully.
+pub fn replay<'a, S, I>(ops: I, sink: &mut S) -> Result<u64, S::Error>
+where
+    S: OpSink,
+    I: IntoIterator<Item = &'a Operation>,
+{
+    let mut applied = 0;
+    for op in ops {
+        sink.apply(op)?;
+        applied += 1;
+    }
+    Ok(applied)
+}
+
+impl Trace {
+    /// Replays the recorded operations into `sink` in execution order.
+    pub fn replay_into<S: OpSink>(&self, sink: &mut S) -> Result<u64, S::Error> {
+        replay(self.iter(), sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Mix, WorkloadConfig, WorkloadGen};
+
+    /// A sink that fails after a set number of operations.
+    struct FlakySink {
+        ok_budget: u64,
+        seen: Vec<Operation>,
+    }
+
+    impl OpSink for FlakySink {
+        type Error = String;
+
+        fn apply(&mut self, op: &Operation) -> Result<(), Self::Error> {
+            if self.seen.len() as u64 >= self.ok_budget {
+                return Err("budget exhausted".into());
+            }
+            self.seen.push(op.clone());
+            Ok(())
+        }
+    }
+
+    fn sample_trace(n: u64) -> Trace {
+        let mut gen = WorkloadGen::new(WorkloadConfig {
+            num_keys: 100,
+            seed: 7,
+            ..Default::default()
+        });
+        let mix = Mix::new(40.0, 25.0, 5.0, 30.0);
+        let mut rec = RecordingSink::default();
+        for _ in 0..n {
+            let op = gen.next_op(&mix);
+            rec.apply(&op).unwrap();
+        }
+        rec.trace
+    }
+
+    #[test]
+    fn recording_then_replaying_preserves_order() {
+        let trace = sample_trace(50);
+        assert_eq!(trace.len(), 50);
+        let mut copy = RecordingSink::default();
+        let applied = trace.replay_into(&mut copy).unwrap();
+        assert_eq!(applied, 50);
+        assert_eq!(copy.trace, trace);
+    }
+
+    #[test]
+    fn replay_stops_at_first_sink_error() {
+        let trace = sample_trace(20);
+        let mut flaky = FlakySink {
+            ok_budget: 7,
+            seen: Vec::new(),
+        };
+        let err = trace.replay_into(&mut flaky).unwrap_err();
+        assert_eq!(err, "budget exhausted");
+        assert_eq!(flaky.seen.len(), 7);
+        assert_eq!(flaky.seen.as_slice(), &trace.ops[..7]);
+    }
+}

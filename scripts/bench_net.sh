@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Records the standing network baseline in BENCH_net.json: closed-loop
+# throughput and tail latency over loopback at 1, 8, and 32 connections
+# (release build, in-memory store, mixed zipfian workload).
+#
+# Loopback numbers measure the serving path — framing, worker scheduling,
+# the engine under concurrency — not a real network. Compare shapes
+# across commits, not absolute values.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${PORT:-$((42000 + RANDOM % 20000))}"
+OPS="${OPS:-100000}"
+KEYS="${KEYS:-50000}"
+OUT="${OUT:-BENCH_net.json}"
+
+cargo build --release -p adcache-cli
+
+run_point() {
+    local conns=$1
+    ./target/release/adcache serve \
+        --addr "127.0.0.1:$PORT" --fill "$KEYS" > /tmp/bench_net_serve.log 2>&1 &
+    local server_pid=$!
+    for _ in $(seq 1 50); do
+        if ./target/release/adcache loadgen --addr "127.0.0.1:$PORT" --ops 0 \
+            > /dev/null 2>&1; then
+            break
+        fi
+        sleep 0.2
+    done
+    ./target/release/adcache loadgen \
+        --addr "127.0.0.1:$PORT" --ops "$OPS" --connections "$conns" \
+        --keys "$KEYS" --mix mixed --shutdown | tee "/tmp/bench_net_$conns.log"
+    wait "$server_pid"
+}
+
+# Pulls "p50 589.8 us" style fields out of a loadgen report.
+extract() {
+    local file=$1 field=$2
+    grep -oE "$field [0-9.]+" "$file" | head -1 | awk '{print $2}'
+}
+
+points=""
+for conns in 1 8 32; do
+    echo "=== $conns connection(s) ==="
+    run_point "$conns"
+    log="/tmp/bench_net_$conns.log"
+    qps=$(grep -oE 'throughput [0-9.]+' "$log" | awk '{print $2}')
+    p50=$(extract "$log" p50)
+    p95=$(extract "$log" p95)
+    p99=$(extract "$log" p99)
+    p999=$(extract "$log" p999)
+    point=$(printf '    {"connections": %s, "ops": %s, "qps": %s, "p50_us": %s, "p95_us": %s, "p99_us": %s, "p999_us": %s}' \
+        "$conns" "$OPS" "$qps" "$p50" "$p95" "$p99" "$p999")
+    points="$points$point,\n"
+done
+
+{
+    echo '{'
+    echo '  "bench": "network serving baseline (closed loop, loopback, mixed zipfian)",'
+    echo '  "command": "scripts/bench_net.sh",'
+    echo "  \"keys\": $KEYS,"
+    echo '  "points": ['
+    printf '%b' "$points" | sed '$ s/,$//'
+    echo '  ]'
+    echo '}'
+} > "$OUT"
+echo "baseline written to $OUT"
