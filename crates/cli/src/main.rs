@@ -103,6 +103,10 @@ fn print_help() {
          \x20                     TCP server over the engine (drain via opcode 6)\n\
          \x20 adcache loadgen [--addr HOST:PORT] [--ops N] [--connections N] [--qps Q]\n\
          \x20                     network load generator (closed loop; --qps = open loop)\n\
+         \x20 adcache metrics [--addr HOST:PORT] [--format json|prom] [--summary]\n\
+         \x20                     one-shot metrics export from a live server\n\
+         \x20 adcache top [--addr HOST:PORT] [--interval-ms N] [--iterations N]\n\
+         \x20                     polling live view: QPS, stages, locks, caches\n\
          \x20 adcache faultcheck [--cycles N] [--seed S]\n\
          \x20                     seeded crash-recover-verify fault drills\n\
          \n\
@@ -335,6 +339,25 @@ fn cmd_trace(dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
     if skipped > 0 {
         println!("  ({skipped} events of unknown kind skipped — newer trace format?)");
     }
+    // Journal loss: the ring drops oldest records under pressure. A
+    // nonzero first seq is history lost off the front; internal seq gaps
+    // would mean records vanished mid-stream (should never happen).
+    if let Some(first) = records.first() {
+        let head_dropped = first.seq;
+        let mut internal_gaps = 0u64;
+        for w in records.windows(2) {
+            internal_gaps += w[1].seq.saturating_sub(w[0].seq + 1);
+        }
+        // Lenient-skipped lines are present in the file, just unknown —
+        // they account for that many apparent gaps.
+        let internal_gaps = internal_gaps.saturating_sub(skipped);
+        if head_dropped > 0 || internal_gaps > 0 {
+            println!(
+                "  WARNING: journal lossy — {head_dropped} events dropped before the \
+                 retained window, {internal_gaps} internal seq gaps"
+            );
+        }
+    }
     for r in &records {
         if let Event::RunStart {
             strategy,
@@ -550,6 +573,151 @@ fn cmd_trace(dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
                 .join(", ");
             println!("  journal samples: {line}");
         }
+
+        // Per-request stage breakdown (whole run, from the registry).
+        let (total_count, total_sum, _, _) = hist_stats(&metrics, "server.stage.total");
+        if total_count > 0 {
+            println!("\nstage breakdown ({total_count} requests):");
+            for label in STAGE_LABELS {
+                let (count, sum, _, p99) = hist_stats(&metrics, &format!("server.stage.{label}"));
+                if count == 0 {
+                    continue;
+                }
+                let share = if total_sum > 0 && label != "recv" {
+                    sum as f64 * 100.0 / total_sum as f64
+                } else {
+                    0.0
+                };
+                println!(
+                    "  {label:<12} {share:>5.1}%  mean {:>8.1}us  p99 {:>8.1}us{}",
+                    sum as f64 / count as f64 / 1e3,
+                    p99 as f64 / 1e3,
+                    if label == "recv" {
+                        "  (overlaps batches; outside total)"
+                    } else {
+                        ""
+                    },
+                );
+            }
+        }
+
+        // Engine lock accounting and contention events.
+        let lock_lines: Vec<String> = ["read", "write", "flush", "compaction"]
+            .iter()
+            .filter_map(|path| {
+                let acq = metric_counter(&metrics, &format!("engine.lock.{path}.acquisitions"));
+                if acq == 0 {
+                    return None;
+                }
+                let wait = metric_counter(&metrics, &format!("engine.lock.{path}.wait_ns"));
+                let hold = metric_counter(&metrics, &format!("engine.lock.{path}.hold_ns"));
+                Some(format!(
+                    "  {path:<12} {acq:>9} acquisitions, wait {:>9.2}ms, hold {:>9.2}ms",
+                    wait as f64 / 1e6,
+                    hold as f64 / 1e6
+                ))
+            })
+            .collect();
+        if !lock_lines.is_empty() {
+            println!("\nengine lock accounting:");
+            for l in &lock_lines {
+                println!("{l}");
+            }
+            let contentions = records
+                .iter()
+                .filter(|r| matches!(r.event, Event::LockContention { .. }))
+                .count();
+            if contentions > 0 {
+                println!("  {contentions} over-budget waits journaled (LockContention)");
+            }
+        }
+
+        // Slowest journaled requests, worst first.
+        let mut slow: Vec<&adcache_obs::JournalRecord> = records
+            .iter()
+            .filter(|r| matches!(r.event, Event::SlowRequest { .. }))
+            .collect();
+        slow.sort_by_key(|r| match &r.event {
+            Event::SlowRequest { total_ns, .. } => std::cmp::Reverse(*total_ns),
+            _ => std::cmp::Reverse(0),
+        });
+        if !slow.is_empty() {
+            println!("\nslow requests ({} journaled, worst 5):", slow.len());
+            for r in slow.iter().take(5) {
+                if let Event::SlowRequest {
+                    conn,
+                    opcode,
+                    status,
+                    total_ns,
+                    queue_ns,
+                    lock_wait_ns,
+                    engine_ns,
+                    cache_ns,
+                    key,
+                    ..
+                } = &r.event
+                {
+                    println!(
+                        "  {:>9.1}us {opcode} ({status}) conn {conn} key {key:?} — queue \
+                         {:.1}us, lock {:.1}us, engine {:.1}us, cache {:.1}us",
+                        *total_ns as f64 / 1e3,
+                        *queue_ns as f64 / 1e3,
+                        *lock_wait_ns as f64 / 1e3,
+                        *engine_ns as f64 / 1e3,
+                        *cache_ns as f64 / 1e3,
+                    );
+                }
+            }
+        }
+    }
+
+    // Rolling time-series, if the run snapshotted one (`serve
+    // --snapshot-ms`). Absent for plain shell traces.
+    let ts_path = dir.join("timeseries.jsonl");
+    if let Ok(text) = std::fs::read_to_string(&ts_path) {
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        println!(
+            "\ntimeseries: {} snapshots in {}",
+            lines.len(),
+            ts_path.display()
+        );
+        let tail = lines.len().saturating_sub(5);
+        if tail > 0 {
+            println!("  ... {tail} earlier snapshots elided ...");
+        }
+        for line in &lines[tail..] {
+            let Ok(v) = serde_json::from_str::<serde_json::Value>(line) else {
+                println!("  (malformed snapshot line)");
+                continue;
+            };
+            let seq = v
+                .get("seq")
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(0);
+            let interval_ms = v
+                .get("interval_ms")
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(0);
+            let reqs = v
+                .get("counters")
+                .and_then(|c| c.get("server.requests"))
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(0);
+            let hits = v
+                .get("counters")
+                .and_then(|c| c.get("cache.block.hits"))
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(0);
+            let qps = if interval_ms > 0 {
+                reqs as f64 * 1e3 / interval_ms as f64
+            } else {
+                0.0
+            };
+            println!(
+                "  snapshot {seq:>4}: {qps:>9.0} ops/s over {interval_ms} ms, \
+                 {hits} block-cache hits"
+            );
+        }
     }
     Ok(())
 }
@@ -560,7 +728,7 @@ fn cmd_trace(dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
 fn cmd_serve(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let usage = "usage: adcache serve [--addr HOST:PORT] [--cache-mb N] [--strategy NAME] \
                  [--dir PATH] [--workers N] [--max-conns N] [--idle-timeout-secs N] \
-                 [--fill N] [--trace DIR]";
+                 [--fill N] [--trace DIR] [--no-telemetry] [--snapshot-ms N] [--slow-us N]";
     let mut cli = CliConfig {
         dir: None,
         cache_mb: 64,
@@ -569,6 +737,8 @@ fn cmd_serve(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     };
     let mut server_cfg = adcache_server::ServerConfig::default();
     let mut fill = 0u64;
+    let mut telemetry = true;
+    let mut snapshot_ms = 0u64;
     let mut i = 2;
     let next = |argv: &[String], i: &mut usize, what: &str| -> Result<String, String> {
         *i += 1;
@@ -589,13 +759,29 @@ fn cmd_serve(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             }
             "--fill" => fill = next(argv, &mut i, "--fill")?.parse()?,
             "--trace" => cli.trace = Some(next(argv, &mut i, "--trace")?.into()),
+            "--no-telemetry" => telemetry = false,
+            "--snapshot-ms" => snapshot_ms = next(argv, &mut i, "--snapshot-ms")?.parse()?,
+            "--slow-us" => {
+                server_cfg.slow_request_ns =
+                    next(argv, &mut i, "--slow-us")?.parse::<u64>()? * 1_000
+            }
             other => return Err(format!("unknown serve flag {other}\n{usage}").into()),
         }
         i += 1;
     }
 
+    if snapshot_ms > 0 && cli.trace.is_none() {
+        return Err(
+            "--snapshot-ms needs --trace DIR (snapshots land in DIR/timeseries.jsonl)"
+                .to_string()
+                .into(),
+        );
+    }
     let db = build_db(&cli)?;
-    let obs = if cli.trace.is_some() {
+    // Telemetry is on by default: the registry backs the METRICS opcode
+    // and stage histograms. `--no-telemetry` strips all of it for
+    // overhead baselines.
+    let obs = if telemetry {
         Obs::enabled()
     } else {
         Obs::disabled()
@@ -613,12 +799,33 @@ fn cmd_serve(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         println!("preloaded {fill} keys");
     }
 
+    let snapshotter = match (&cli.trace, snapshot_ms) {
+        (Some(dir), ms) if ms > 0 => {
+            std::fs::create_dir_all(dir)?;
+            let snap = adcache_obs::Snapshotter::start(
+                obs.clone(),
+                &dir.join("timeseries.jsonl"),
+                std::time::Duration::from_millis(ms),
+            )?;
+            println!(
+                "snapshotting metric deltas every {ms} ms to {}",
+                dir.join("timeseries.jsonl").display()
+            );
+            Some(snap)
+        }
+        _ => None,
+    };
+
     let server = adcache_server::Server::start(Arc::new(db), server_cfg)?;
     println!(
         "serving on {} (shutdown: protocol opcode 6)",
         server.local_addr()
     );
     let report = server.wait();
+    if let Some(snap) = snapshotter {
+        let lines = snap.stop();
+        println!("snapshot thread stopped after {lines} timeseries lines");
+    }
     println!(
         "drained: {} requests ({} protocol errors), {}/{} connections closed, \
          {} refused, {} MiB in / {} MiB out",
@@ -638,6 +845,296 @@ fn cmd_serve(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     Ok(())
+}
+
+/// Connects to a serving instance and fetches its metrics registry as a
+/// parsed JSON tree (the `METRICS` opcode, JSON format).
+fn fetch_metrics_value(addr: &str) -> Result<serde_json::Value, Box<dyn std::error::Error>> {
+    let mut c = adcache_server::Client::connect(addr)?;
+    let json = c.metrics(adcache_server::MetricsFormat::Json)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+/// `(count, sum_ns, p50_ns, p99_ns)` of one named histogram in a metrics
+/// snapshot; zeros when absent.
+fn hist_stats(metrics: &serde_json::Value, name: &str) -> (u64, u64, u64, u64) {
+    let h = metrics.get("histograms").and_then(|h| h.get(name));
+    let f = |k: &str| {
+        h.and_then(|h| h.get(k))
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(0)
+    };
+    (f("count"), f("sum_ns"), f("p50_ns"), f("p99_ns"))
+}
+
+fn metric_gauge(metrics: &serde_json::Value, name: &str) -> i64 {
+    metrics
+        .get("gauges")
+        .and_then(|g| g.get(name))
+        .and_then(serde_json::Value::as_i64)
+        .unwrap_or(0)
+}
+
+/// The per-request stage labels the server records, in pipeline order.
+/// `recv` overlaps every frame of a batched read, so it is excluded from
+/// the total and from share-of-total math.
+const STAGE_LABELS: [&str; 7] = [
+    "recv",
+    "parse",
+    "queue_wait",
+    "lock_wait",
+    "engine_exec",
+    "cache_layer",
+    "reply_flush",
+];
+
+/// `adcache metrics`: one-shot export of a live server's registry. Raw
+/// JSON / Prometheus text by default; `--summary` renders a greppable
+/// per-stage breakdown plus the engine lock-wait share.
+fn cmd_metrics(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let usage = "usage: adcache metrics [--addr HOST:PORT] [--format json|prom] [--summary]";
+    let mut addr = "127.0.0.1:4400".to_string();
+    let mut format = adcache_server::MetricsFormat::Json;
+    let mut summary = false;
+    let mut i = 2;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = argv.get(i).ok_or("--addr needs a value")?.clone();
+            }
+            "--format" => {
+                i += 1;
+                format = match argv.get(i).map(String::as_str) {
+                    Some("json") => adcache_server::MetricsFormat::Json,
+                    Some("prom" | "prometheus") => adcache_server::MetricsFormat::Prometheus,
+                    other => return Err(format!("--format json|prom, got {other:?}").into()),
+                };
+            }
+            "--summary" => summary = true,
+            other => return Err(format!("unknown metrics flag {other}\n{usage}").into()),
+        }
+        i += 1;
+    }
+    if !summary {
+        let mut c = adcache_server::Client::connect(&addr)?;
+        let text = c.metrics(format)?;
+        // The export already ends with its own newline (both formats);
+        // print it byte-exact so piped output matches the wire payload.
+        print!("{text}");
+        if !text.ends_with('\n') {
+            println!();
+        }
+        return Ok(());
+    }
+
+    let m = fetch_metrics_value(&addr)?;
+    let requests = metric_counter(&m, "server.requests");
+    println!("requests {requests}");
+    let (total_count, total_sum, total_p50, total_p99) = hist_stats(&m, "server.stage.total");
+    for label in STAGE_LABELS {
+        let (count, sum, _, p99) = hist_stats(&m, &format!("server.stage.{label}"));
+        let mean_us = if count > 0 {
+            sum as f64 / count as f64 / 1e3
+        } else {
+            0.0
+        };
+        let share = if total_sum > 0 && label != "recv" {
+            sum as f64 * 100.0 / total_sum as f64
+        } else {
+            0.0
+        };
+        println!(
+            "stage {label} count {count} mean_us {mean_us:.1} p99_us {:.1} share_pct {share:.1}",
+            p99 as f64 / 1e3
+        );
+    }
+    println!(
+        "stage total count {total_count} mean_us {:.1} p50_us {:.1} p99_us {:.1}",
+        if total_count > 0 {
+            total_sum as f64 / total_count as f64 / 1e3
+        } else {
+            0.0
+        },
+        total_p50 as f64 / 1e3,
+        total_p99 as f64 / 1e3,
+    );
+    let (_, lock_sum, _, _) = hist_stats(&m, "server.stage.lock_wait");
+    let lock_share = if total_sum > 0 {
+        lock_sum as f64 * 100.0 / total_sum as f64
+    } else {
+        0.0
+    };
+    println!("lock_wait_share_pct {lock_share:.2}");
+    for path in ["read", "write", "flush", "compaction"] {
+        println!(
+            "lock {path} acquisitions {} wait_ns {} hold_ns {}",
+            metric_counter(&m, &format!("engine.lock.{path}.acquisitions")),
+            metric_counter(&m, &format!("engine.lock.{path}.wait_ns")),
+            metric_counter(&m, &format!("engine.lock.{path}.hold_ns")),
+        );
+    }
+    Ok(())
+}
+
+/// `adcache top`: a polling live view over the wire. Each tick fetches
+/// the registry, diffs it against the previous tick, and prints QPS,
+/// per-opcode interval latency, the stage breakdown as bars, the engine
+/// lock-wait share, cache hit rates, and the RL boundary position.
+fn cmd_top(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let usage = "usage: adcache top [--addr HOST:PORT] [--interval-ms N] [--iterations N]";
+    let mut addr = "127.0.0.1:4400".to_string();
+    let mut interval_ms = 1_000u64;
+    let mut iterations = 0u64; // 0 = until the connection breaks
+    let mut i = 2;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = argv.get(i).ok_or("--addr needs a value")?.clone();
+            }
+            "--interval-ms" => {
+                i += 1;
+                interval_ms = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--interval-ms needs a number")?;
+            }
+            "--iterations" => {
+                i += 1;
+                iterations = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--iterations needs a number")?;
+            }
+            other => return Err(format!("unknown top flag {other}\n{usage}").into()),
+        }
+        i += 1;
+    }
+    let interval = std::time::Duration::from_millis(interval_ms.max(50));
+
+    let mut prev = fetch_metrics_value(&addr)?;
+    let mut prev_at = std::time::Instant::now();
+    let mut tick = 0u64;
+    loop {
+        std::thread::sleep(interval);
+        let cur = fetch_metrics_value(&addr)?;
+        let now = std::time::Instant::now();
+        let secs = now.duration_since(prev_at).as_secs_f64().max(1e-9);
+        tick += 1;
+        render_top_tick(&cur, &prev, secs, tick, &addr);
+        prev = cur;
+        prev_at = now;
+        if iterations > 0 && tick >= iterations {
+            return Ok(());
+        }
+    }
+}
+
+/// One `adcache top` frame: everything derived from the delta between
+/// two registry snapshots `secs` apart.
+fn render_top_tick(
+    cur: &serde_json::Value,
+    prev: &serde_json::Value,
+    secs: f64,
+    tick: u64,
+    addr: &str,
+) {
+    let dc = |name: &str| metric_counter(cur, name).saturating_sub(metric_counter(prev, name));
+    // Interval (count, sum) of one histogram.
+    let dh = |name: &str| {
+        let (cc, cs, _, _) = hist_stats(cur, name);
+        let (pc, ps, _, _) = hist_stats(prev, name);
+        (cc.saturating_sub(pc), cs.saturating_sub(ps))
+    };
+
+    let qps = dc("server.requests") as f64 / secs;
+    println!("\n== adcache top @ {addr} — tick {tick} — {qps:.0} ops/s ==");
+
+    // Per-opcode interval mean (delta sum / delta count) plus cumulative
+    // tail quantiles (quantiles are not delta-decomposable from the
+    // summary export).
+    for op in ["get", "put", "delete", "scan", "ping", "stats", "metrics"] {
+        let name = format!("server.latency.{op}");
+        let (dcount, dsum) = dh(&name);
+        if dcount == 0 {
+            continue;
+        }
+        let (_, _, p50, p99) = hist_stats(cur, &name);
+        println!(
+            "  {op:<7} {:>8.0}/s  mean {:>8.1}us  p50 {:>8.1}us  p99 {:>8.1}us",
+            dcount as f64 / secs,
+            dsum as f64 / dcount as f64 / 1e3,
+            p50 as f64 / 1e3,
+            p99 as f64 / 1e3,
+        );
+    }
+
+    // Stage breakdown: interval share of the summed request lifetime,
+    // rendered as bars. `recv` is shown but not part of the total.
+    let (_, total_dsum) = dh("server.stage.total");
+    println!("  stage breakdown (interval):");
+    for label in STAGE_LABELS {
+        let (dcount, dsum) = dh(&format!("server.stage.{label}"));
+        let mean_us = if dcount > 0 {
+            dsum as f64 / dcount as f64 / 1e3
+        } else {
+            0.0
+        };
+        let share = if total_dsum > 0 && label != "recv" {
+            dsum as f64 / total_dsum as f64
+        } else {
+            0.0
+        };
+        let bar = "#".repeat((share * 30.0).round() as usize);
+        println!(
+            "    {label:<12} {:>6.1}% {:>9.1}us  {bar}",
+            share * 100.0,
+            mean_us
+        );
+    }
+    let (_, lock_dsum) = dh("server.stage.lock_wait");
+    let lock_share = if total_dsum > 0 {
+        lock_dsum as f64 * 100.0 / total_dsum as f64
+    } else {
+        0.0
+    };
+    let lock_waits: u64 = ["read", "write", "flush", "compaction"]
+        .iter()
+        .map(|p| dc(&format!("engine.lock.{p}.wait_ns")))
+        .sum();
+    println!(
+        "  lock: {lock_share:.1}% of request time waiting; engine lock wait {:.1}ms/s",
+        lock_waits as f64 / secs / 1e6
+    );
+
+    // Cache hit rates over the interval.
+    for (label, prefix) in [
+        ("block", "cache.block"),
+        ("range", "cache.range"),
+        ("kv", "cache.kv"),
+    ] {
+        let hits = dc(&format!("{prefix}.hits"));
+        let misses = dc(&format!("{prefix}.misses"));
+        if hits + misses > 0 {
+            println!(
+                "  cache {label:<6} {:>6.2}% hit ({hits} hits / {misses} misses)",
+                hits as f64 * 100.0 / (hits + misses) as f64
+            );
+        }
+    }
+
+    // Where the controller has the block/range boundary right now.
+    let block = metric_gauge(cur, "core.boundary.block_bytes");
+    let range = metric_gauge(cur, "core.boundary.range_bytes");
+    if block + range > 0 {
+        println!(
+            "  boundary: range {:.1}% / block {:.1}% of {} MiB",
+            range as f64 * 100.0 / (block + range) as f64,
+            block as f64 * 100.0 / (block + range) as f64,
+            (block + range) >> 20,
+        );
+    }
 }
 
 /// `adcache loadgen`: replay a generated workload against a running
@@ -1154,6 +1651,22 @@ fn main() {
     if argv.get(1).map(String::as_str) == Some("serve") {
         if let Err(e) = cmd_serve(&argv) {
             eprintln!("serve error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    // Non-interactive subcommand: `adcache metrics [flags]`.
+    if argv.get(1).map(String::as_str) == Some("metrics") {
+        if let Err(e) = cmd_metrics(&argv) {
+            eprintln!("metrics error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    // Non-interactive subcommand: `adcache top [flags]`.
+    if argv.get(1).map(String::as_str) == Some("top") {
+        if let Err(e) = cmd_top(&argv) {
+            eprintln!("top error: {e}");
             std::process::exit(1);
         }
         return;

@@ -14,7 +14,7 @@ use adcache_cache::{
     PointAdmission, PointLookup, RangeCache, ScanAdmission,
 };
 use adcache_lsm::{DirectProvider, Key, LsmTree, Options, Result, Storage, Value};
-use adcache_obs::{AdmissionOutcome, AdmissionReason, CacheStructure, Counter, Event, Obs};
+use adcache_obs::{AdmissionOutcome, AdmissionReason, CacheStructure, Counter, Event, Gauge, Obs};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::Ordering;
@@ -113,6 +113,8 @@ struct EngineObsHooks {
     admission_rejects: Counter,
     admission_partials: Counter,
     boundary_resizes: Counter,
+    boundary_block_bytes: Gauge,
+    boundary_range_bytes: Gauge,
 }
 
 impl EngineObsHooks {
@@ -122,6 +124,8 @@ impl EngineObsHooks {
             admission_rejects: obs.counter("core.admission.rejects"),
             admission_partials: obs.counter("core.admission.partials"),
             boundary_resizes: obs.counter("core.boundary.resizes"),
+            boundary_block_bytes: obs.gauge("core.boundary.block_bytes"),
+            boundary_range_bytes: obs.gauge("core.boundary.range_bytes"),
             obs,
         }
     }
@@ -317,6 +321,15 @@ impl CachedDb {
             kv.set_obs(obs.clone());
         }
         let _ = self.obs.set(EngineObsHooks::new(obs));
+        // Publish the current boundary position so live views see it
+        // before the first controller decision moves it.
+        if let Some(h) = self.obs.get() {
+            let ratio = *self.applied_ratio.read();
+            let range_bytes = (self.total_cache_bytes as f64 * ratio) as usize;
+            h.boundary_range_bytes.set(range_bytes as i64);
+            h.boundary_block_bytes
+                .set((self.total_cache_bytes - range_bytes) as i64);
+        }
     }
 
     /// The attached observability handle (disabled when none was attached).
@@ -610,6 +623,8 @@ impl CachedDb {
         if let Some(h) = self.obs.get() {
             if moved {
                 h.boundary_resizes.inc();
+                h.boundary_block_bytes.set(block_bytes as i64);
+                h.boundary_range_bytes.set(range_bytes as i64);
             }
             h.obs.emit(|| Event::BoundaryResize {
                 block_bytes: block_bytes as u64,

@@ -27,6 +27,9 @@ use crate::memtable::MemTable;
 use crate::options::{FsyncSite, Options, SyncPolicy};
 use crate::sstable::{table_get, BlockProvider, TableBuilder, TableIter, TableMeta};
 use crate::storage::Storage;
+use crate::timed_lock::{
+    LockPath, LockPathSnapshot, TimedReadGuard, TimedRwLock, TimedWriteGuard, LOCK_PATHS,
+};
 use crate::types::{Entry, FileId, Key, Value};
 use crate::version::{CompactionTask, Version};
 use crate::wal::{replay, WalWriter};
@@ -153,7 +156,7 @@ struct Inner {
 pub struct LsmTree {
     opts: Options,
     storage: Arc<dyn Storage>,
-    inner: RwLock<Inner>,
+    inner: TimedRwLock<Inner>,
     listeners: RwLock<Vec<Arc<dyn CompactionListener>>>,
     next_file: AtomicU64,
     stats: DbStats,
@@ -178,7 +181,7 @@ impl LsmTree {
         Ok(LsmTree {
             opts,
             storage,
-            inner: RwLock::new(Inner {
+            inner: TimedRwLock::new(Inner {
                 mem: MemTable::new(),
                 version,
                 wal: None,
@@ -311,7 +314,7 @@ impl LsmTree {
         Ok(LsmTree {
             opts,
             storage,
-            inner: RwLock::new(Inner {
+            inner: TimedRwLock::new(Inner {
                 mem,
                 version,
                 wal: Some(wal),
@@ -458,7 +461,42 @@ impl LsmTree {
         if swept > 0 {
             obs.emit(|| Event::OrphanSwept { files: swept });
         }
+        self.inner.attach_obs(&obs, "engine.lock");
         *self.obs.write() = ObsHooks::new(obs);
+    }
+
+    /// Acquires the engine lock shared, accounting wait/hold to `path` and
+    /// journaling a `LockContention` event when the wait blows the budget.
+    fn lock_read(&self, path: LockPath) -> TimedReadGuard<'_, Inner> {
+        let guard = self.inner.read(path);
+        self.note_lock_wait(path, guard.wait_ns());
+        guard
+    }
+
+    /// Exclusive counterpart of [`lock_read`](Self::lock_read).
+    fn lock_write(&self, path: LockPath) -> TimedWriteGuard<'_, Inner> {
+        let guard = self.inner.write(path);
+        self.note_lock_wait(path, guard.wait_ns());
+        guard
+    }
+
+    fn note_lock_wait(&self, path: LockPath, wait_ns: u64) {
+        let budget = self.opts.lock_wait_budget_ns;
+        // wait_ns is always 0 when lock timing is off, so the disabled
+        // path never takes the obs lock here.
+        if budget > 0 && wait_ns > budget {
+            self.obs.read().obs.emit(|| Event::LockContention {
+                path: path.label().to_string(),
+                wait_ns,
+                budget_ns: budget,
+            });
+        }
+    }
+
+    /// Per-path engine-lock counters ([`LockPath::ALL`] order). All zero
+    /// until an enabled obs handle is attached.
+    pub fn lock_stats(&self) -> [LockPathSnapshot; LOCK_PATHS] {
+        self.inner.stats()
     }
 
     /// Installs a [`CrashController`] whose armed [`CrashPoint`] will abort
@@ -569,7 +607,7 @@ impl LsmTree {
         if batch.is_empty() {
             return Ok(());
         }
-        let mut inner = self.inner.write();
+        let mut inner = self.lock_write(LockPath::Write);
         if inner.version.level_files(0) >= self.opts.l0_slowdown_files {
             self.stats.write_slowdowns.fetch_add(1, Ordering::Relaxed);
         }
@@ -598,7 +636,7 @@ impl LsmTree {
     }
 
     fn write(&self, key: Key, entry: Entry) -> Result<()> {
-        let mut inner = self.inner.write();
+        let mut inner = self.lock_write(LockPath::Write);
         if inner.version.level_files(0) >= self.opts.l0_slowdown_files {
             self.stats.write_slowdowns.fetch_add(1, Ordering::Relaxed);
         }
@@ -625,7 +663,7 @@ impl LsmTree {
     /// Forces a flush of the current memtable (no-op when empty), then runs
     /// any compactions that become due.
     pub fn flush(&self) -> Result<()> {
-        let mut inner = self.inner.write();
+        let mut inner = self.lock_write(LockPath::Flush);
         if !inner.mem.is_empty() {
             self.flush_locked(&mut inner)?;
             self.compact_due_locked(&mut inner)?;
@@ -733,7 +771,7 @@ impl LsmTree {
     /// Runs at most one due compaction; returns whether one ran. Exposed for
     /// tests and for experiments that want explicit compaction control.
     pub fn maybe_compact_once(&self) -> Result<bool> {
-        let mut inner = self.inner.write();
+        let mut inner = self.lock_write(LockPath::Compaction);
         let Some(task) = inner.version.pick_compaction(&self.opts) else {
             return Ok(false);
         };
@@ -821,7 +859,7 @@ impl LsmTree {
     /// are quarantined (and purged from `provider`'s cache) before the
     /// error reaches the caller.
     pub fn get(&self, key: &[u8], provider: &dyn BlockProvider) -> Result<Option<Value>> {
-        let inner = self.inner.read();
+        let inner = self.lock_read(LockPath::Read);
         match inner.mem.get(key) {
             Some(Entry::Put(v)) => return Ok(Some(v.clone())),
             Some(Entry::Tombstone) => return Ok(None),
@@ -853,7 +891,7 @@ impl LsmTree {
         limit: usize,
         provider: &dyn BlockProvider,
     ) -> Result<Vec<(Key, Value)>> {
-        let inner = self.inner.read();
+        let inner = self.lock_read(LockPath::Read);
         let mut sources: Vec<(u64, Source<'_>)> = Vec::new();
         // Memtable outranks everything.
         sources.push((u64::MAX, Source::from_sorted(inner.mem.iter_from(from))));
@@ -892,7 +930,7 @@ impl LsmTree {
 
     /// `(level, files, bytes)` for every level — the shape of the tree.
     pub fn level_summary(&self) -> Vec<(usize, usize, u64)> {
-        let inner = self.inner.read();
+        let inner = self.lock_read(LockPath::Read);
         (0..inner.version.max_levels())
             .map(|l| {
                 (
@@ -906,23 +944,23 @@ impl LsmTree {
 
     /// Number of sorted runs (`r` in the paper's reward model).
     pub fn num_runs(&self) -> usize {
-        self.inner.read().version.num_runs()
+        self.lock_read(LockPath::Read).version.num_runs()
     }
 
     /// Number of non-empty levels (`L` in the paper's reward model).
     pub fn num_levels(&self) -> usize {
-        self.inner.read().version.num_levels_nonempty()
+        self.lock_read(LockPath::Read).version.num_levels_nonempty()
     }
 
     /// Entries currently buffered in the memtable.
     pub fn memtable_len(&self) -> usize {
-        self.inner.read().mem.len()
+        self.lock_read(LockPath::Read).mem.len()
     }
 
     /// `(total entries, total blocks)` across all live tables; their ratio
     /// is `B`, the entries-per-block term of the paper's reward model.
     pub fn entries_and_blocks(&self) -> (u64, u64) {
-        let inner = self.inner.read();
+        let inner = self.lock_read(LockPath::Read);
         let mut entries = 0;
         let mut blocks = 0;
         for level in 0..inner.version.max_levels() {

@@ -43,6 +43,7 @@ pub mod options;
 pub mod skiplist;
 pub mod sstable;
 pub mod storage;
+pub mod timed_lock;
 pub mod types;
 pub mod version;
 pub mod wal;
@@ -62,5 +63,8 @@ pub use sstable::{
     decode_stored_block, decode_stored_block_at, BlockProvider, DirectProvider, TableMeta,
 };
 pub use storage::{CostModel, FileStorage, IoStats, MemStorage, Storage};
+pub use timed_lock::{
+    lock_probe, reset_lock_probe, LockPath, LockPathSnapshot, TimedRwLock, LOCK_PATHS,
+};
 pub use types::{BlockRef, Entry, FileId, Key, KeyEntry, Value};
 pub use wal::{crc32, ReplayOutcome, WalWriter};

@@ -142,6 +142,10 @@ pub struct Options {
     /// `None` (the only sane production value) syncs every site the policy
     /// requires.
     pub misplaced_fsync: Option<FsyncSite>,
+    /// Engine-lock acquisitions that wait longer than this journal a
+    /// `LockContention` event (when lock timing is enabled via an attached
+    /// `Obs`). Zero disables the events; counters still accumulate.
+    pub lock_wait_budget_ns: u64,
 }
 
 impl Default for Options {
@@ -163,6 +167,7 @@ impl Default for Options {
             retry_backoff_ns: 50_000,
             sync: SyncPolicy::OnFlush,
             misplaced_fsync: None,
+            lock_wait_budget_ns: 1_000_000,
         }
     }
 }
@@ -190,6 +195,7 @@ impl Options {
             retry_backoff_ns: 50_000,
             sync: SyncPolicy::OnFlush,
             misplaced_fsync: None,
+            lock_wait_budget_ns: 1_000_000,
         }
     }
 
@@ -214,6 +220,7 @@ impl Options {
             retry_backoff_ns: 50_000,
             sync: SyncPolicy::OnFlush,
             misplaced_fsync: None,
+            lock_wait_budget_ns: 1_000_000,
         }
     }
 

@@ -310,6 +310,59 @@ pub enum Event {
         /// The configured connection limit.
         limit: u64,
     },
+    /// A request crossed the slow-request threshold; the full stage
+    /// breakdown is journaled so tail latency can be attributed to a
+    /// pipeline stage after the fact.
+    SlowRequest {
+        /// Connection the request arrived on.
+        conn: u64,
+        /// Stable opcode label.
+        opcode: String,
+        /// Stable status label of the reply.
+        status: String,
+        /// Total request time (queue + parse + engine + reply), ns.
+        total_ns: u64,
+        /// Duration of the read syscall that delivered the frame (shared
+        /// by every frame in the same read batch; not part of `total_ns`).
+        recv_ns: u64,
+        /// Frame decode time.
+        parse_ns: u64,
+        /// Time the complete frame sat buffered before execution began
+        /// (head-of-line wait behind earlier frames on the connection).
+        queue_ns: u64,
+        /// Time spent waiting to acquire the engine lock.
+        lock_wait_ns: u64,
+        /// Time spent inside the engine with the lock held.
+        engine_ns: u64,
+        /// Execute time outside the engine lock (cache-layer lookups,
+        /// admission, serialization).
+        cache_ns: u64,
+        /// Response encode time.
+        reply_ns: u64,
+        /// Key (point ops) or `from..+limit` range (scans), lossy UTF-8,
+        /// truncated.
+        key: String,
+    },
+    /// An engine lock acquisition waited longer than the configured
+    /// budget (`Options::lock_wait_budget_ns`).
+    LockContention {
+        /// Acquisition path: `read`, `write`, `flush`, or `compaction`.
+        path: String,
+        /// How long the acquisition waited, ns.
+        wait_ns: u64,
+        /// The budget it exceeded, ns.
+        budget_ns: u64,
+    },
+    /// The snapshot thread appended one rolling delta to
+    /// `timeseries.jsonl`.
+    SnapshotWritten {
+        /// Snapshot sequence number (0-based, monotone within a run).
+        seq: u64,
+        /// Counters included in the snapshot line.
+        counters: u64,
+        /// Histograms included in the snapshot line.
+        histograms: u64,
+    },
 }
 
 impl Event {
@@ -339,6 +392,9 @@ impl Event {
             Event::ConnClosed { .. } => "ConnClosed",
             Event::RequestServed { .. } => "RequestServed",
             Event::ServerOverload { .. } => "ServerOverload",
+            Event::SlowRequest { .. } => "SlowRequest",
+            Event::LockContention { .. } => "LockContention",
+            Event::SnapshotWritten { .. } => "SnapshotWritten",
         }
     }
 }

@@ -20,7 +20,10 @@ fn bucket_of(value: u64) -> usize {
     let pow = pow.min(MAX_POW2 - 1);
     // Position within the power-of-two band, in SUB_BUCKETS slices.
     let base = 1u64 << pow;
-    let frac = ((v - base) * SUB_BUCKETS as u64 / base.max(1)) as usize;
+    // u128: `(v - base) * SUB_BUCKETS` overflows u64 when `pow` is clamped
+    // (values beyond 2^40 land far above `base`), up to and including
+    // u64::MAX.
+    let frac = ((v - base) as u128 * SUB_BUCKETS as u128 / base.max(1) as u128) as usize;
     pow * SUB_BUCKETS + frac.min(SUB_BUCKETS - 1)
 }
 
@@ -52,11 +55,13 @@ impl Histogram {
         }
     }
 
-    /// Records one value (nanoseconds).
+    /// Records one value (nanoseconds). The running sum saturates rather
+    /// than wrapping, so pathological values (e.g. `u64::MAX`) degrade the
+    /// mean instead of panicking.
     pub fn record(&mut self, value: u64) {
         self.buckets[bucket_of(value)] += 1;
         self.count += 1;
-        self.sum += value;
+        self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
     }
 
@@ -77,6 +82,11 @@ impl Histogram {
     /// The maximum recorded value.
     pub fn max(&self) -> u64 {
         self.max
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
     }
 
     /// Approximate quantile `q ∈ [0, 1]` (upper bucket bound; exact max for
@@ -107,6 +117,28 @@ impl Histogram {
         self.count += other.count;
         self.sum += other.sum;
         self.max = self.max.max(other.max);
+    }
+
+    /// The histogram of values recorded since `earlier` was snapshotted,
+    /// assuming `earlier` is a previous snapshot of the same series
+    /// (bucket-wise subtraction). The interval `max` is not recoverable
+    /// from cumulative state; it is approximated by the upper bound of the
+    /// highest bucket that saw traffic in the interval, capped at the
+    /// cumulative max.
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let mut d = Histogram::new();
+        for (i, (a, b)) in self.buckets.iter().zip(&earlier.buckets).enumerate() {
+            d.buckets[i] = a.saturating_sub(*b);
+        }
+        d.count = self.count.saturating_sub(earlier.count);
+        d.sum = self.sum.saturating_sub(earlier.sum);
+        d.max = d
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| bucket_value(i).min(self.max))
+            .unwrap_or(0);
+        d
     }
 
     /// `(p50, p95, p99, max)` in nanoseconds.
@@ -257,6 +289,128 @@ mod tests {
                 "relative error too large for {v}: rep {rep}"
             );
         }
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0, 2.0, -1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.summary(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn merge_of_disjoint_bucket_ranges() {
+        // a occupies only the low bands, b only bands far above a's —
+        // no bucket overlaps, so the merge must preserve both modes and
+        // the quantiles must jump across the empty gap.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..100 {
+            a.record(10); // ~10ns band
+            b.record(1 << 35); // ~34s band
+        }
+        let (mut m, other) = (a.clone(), b.clone());
+        m.merge(&other);
+        assert_eq!(m.count(), 200);
+        assert_eq!(m.sum(), a.sum() + b.sum());
+        assert_eq!(m.max(), 1 << 35);
+        assert!(m.quantile(0.25) < 100);
+        assert!(m.quantile(0.75) >= 1 << 35);
+        // Merging an empty histogram is the identity.
+        let before = m.summary();
+        m.merge(&Histogram::new());
+        assert_eq!(m.summary(), before);
+    }
+
+    #[test]
+    fn saturation_at_u64_max() {
+        // Values beyond 2^40 clamp into the top band without overflowing
+        // bucket arithmetic, and the running sum saturates instead of
+        // wrapping or panicking.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), u64::MAX, "sum must saturate");
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // The clamped bucket index stays in range for any input.
+        assert!(bucket_of(u64::MAX) < SUB_BUCKETS * MAX_POW2);
+        assert_eq!(bucket_of(u64::MAX), SUB_BUCKETS * MAX_POW2 - 1);
+    }
+
+    #[test]
+    fn atomic_snapshot_while_recording_is_coherent() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let h = Arc::new(AtomicHistogram::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        h.record(1 + (n * 37 + t) % 1_000_000);
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+
+        // Snapshots race the writers; every one must be internally sane:
+        // monotone non-decreasing count, bucket totals near the counter
+        // (within one in-flight record per writer), quantiles in range.
+        let mut last_count = 0u64;
+        for _ in 0..200 {
+            let snap = h.snapshot();
+            let c = snap.count();
+            assert!(c >= last_count, "count went backwards: {c} < {last_count}");
+            last_count = c;
+            let bucket_total: u64 = snap.buckets.iter().sum();
+            assert!(
+                bucket_total.abs_diff(c) <= 8,
+                "buckets {bucket_total} vs count {c} drifted past in-flight window"
+            );
+            if c > 0 {
+                let p99 = snap.quantile(0.99);
+                assert!(p99 >= 1 && p99 <= snap.max().max(1_100_000));
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(h.snapshot().count(), total);
+    }
+
+    #[test]
+    fn diff_recovers_interval_histogram() {
+        let mut cum = Histogram::new();
+        for _ in 0..50 {
+            cum.record(1_000);
+        }
+        let earlier = cum.clone();
+        for _ in 0..200 {
+            cum.record(64_000);
+        }
+        let d = cum.diff(&earlier);
+        assert_eq!(d.count(), 200);
+        assert_eq!(d.sum(), 200 * 64_000);
+        // Only the interval's band is populated, so even p1 is ~64µs.
+        assert!(d.quantile(0.01) > 32_000);
+        assert!(d.max() >= 64_000 && d.max() <= 68_500);
+        // Diff against itself is empty.
+        let z = cum.diff(&cum);
+        assert_eq!(z.count(), 0);
+        assert_eq!(z.max(), 0);
     }
 
     #[test]

@@ -34,6 +34,8 @@ pub mod events;
 pub mod histogram;
 pub mod journal;
 pub mod metrics;
+pub mod snapshot;
+pub mod stage;
 
 pub use events::{
     AdmissionOutcome, AdmissionReason, CacheStructure, ConnCloseCause, Event, EvictionCause,
@@ -42,6 +44,8 @@ pub use events::{
 pub use histogram::{AtomicHistogram, Histogram};
 pub use journal::{parse_jsonl, parse_jsonl_lenient, Journal, JournalRecord};
 pub use metrics::{Counter, Gauge, HistogramHandle, Registry};
+pub use snapshot::Snapshotter;
+pub use stage::{Stage, StageSet, StageTimer, STAGE_COUNT};
 
 use std::io::Write as _;
 use std::path::Path;

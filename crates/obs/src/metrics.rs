@@ -6,7 +6,7 @@
 //! disabled [`crate::Obs`] is inert: recording through it is a no-op with
 //! no allocation and no synchronization.
 
-use crate::histogram::AtomicHistogram;
+use crate::histogram::{AtomicHistogram, Histogram};
 use parking_lot::Mutex;
 use serde::Value;
 use std::collections::BTreeMap;
@@ -112,11 +112,38 @@ impl Registry {
         HistogramHandle(Some(cell.clone()))
     }
 
+    /// Current value of every counter, name-ordered.
+    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Current value of every gauge, name-ordered.
+    pub fn gauges_snapshot(&self) -> Vec<(String, i64)> {
+        self.gauges
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Snapshot of every histogram, name-ordered.
+    pub fn histograms_snapshot(&self) -> Vec<(String, Histogram)> {
+        self.histograms
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+
     /// Snapshot of every metric as a JSON value tree.
     ///
     /// Shape: `{"counters": {name: n}, "gauges": {name: n},
-    /// "histograms": {name: {count, mean_ns, p50_ns, p95_ns, p99_ns,
-    /// max_ns}}}`.
+    /// "histograms": {name: {count, sum_ns, mean_ns, p50_ns, p95_ns,
+    /// p99_ns, max_ns}}}`.
     pub fn snapshot_value(&self) -> Value {
         let counters: Vec<(String, Value)> = self
             .counters
@@ -141,6 +168,7 @@ impl Registry {
                     k.clone(),
                     Value::Object(vec![
                         ("count".into(), Value::from(h.count())),
+                        ("sum_ns".into(), Value::from(h.sum())),
                         ("mean_ns".into(), Value::from(h.mean())),
                         ("p50_ns".into(), Value::from(p50)),
                         ("p95_ns".into(), Value::from(p95)),
@@ -184,6 +212,50 @@ impl Registry {
             out.push_str(&format!("histogram,{k},p95_ns,{p95}\n"));
             out.push_str(&format!("histogram,{k},p99_ns,{p99}\n"));
             out.push_str(&format!("histogram,{k},max_ns,{max}\n"));
+        }
+        out
+    }
+
+    /// Snapshot in the Prometheus text exposition format (version 0.0.4).
+    ///
+    /// Counters and gauges become single samples; histograms become
+    /// summaries with `quantile` labels plus `_sum`/`_count` series.
+    /// Metric names are prefixed `adcache_` and sanitized to
+    /// `[a-zA-Z0-9_]` so dotted registry names stay legal.
+    pub fn prometheus_text(&self) -> String {
+        fn prom_name(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 8);
+            out.push_str("adcache_");
+            for ch in name.chars() {
+                if ch.is_ascii_alphanumeric() {
+                    out.push(ch);
+                } else {
+                    out.push('_');
+                }
+            }
+            out
+        }
+        let mut out = String::new();
+        for (k, v) in self.counters_snapshot() {
+            let n = prom_name(&k);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (k, v) in self.gauges_snapshot() {
+            let n = prom_name(&k);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (k, h) in self.histograms_snapshot() {
+            let n = prom_name(&k);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (q, v) in [
+                ("0.5", h.quantile(0.5)),
+                ("0.95", h.quantile(0.95)),
+                ("0.99", h.quantile(0.99)),
+            ] {
+                out.push_str(&format!("{n}{{quantile=\"{q}\"}} {v}\n"));
+            }
+            out.push_str(&format!("{n}_sum {}\n", h.sum()));
+            out.push_str(&format!("{n}_count {}\n", h.count()));
         }
         out
     }
@@ -245,5 +317,33 @@ mod tests {
         let csv = r.snapshot_csv();
         assert!(csv.contains("counter,ops,value,5"));
         assert!(csv.contains("histogram,lat,p99_ns,"));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let r = Registry::new();
+        r.counter("server.requests").add(12);
+        r.gauge("server.conns.active").set(3);
+        r.histogram("server.stage.total").record(2_000);
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE adcache_server_requests counter\n"));
+        assert!(text.contains("adcache_server_requests 12\n"));
+        assert!(text.contains("# TYPE adcache_server_conns_active gauge\n"));
+        assert!(text.contains("adcache_server_conns_active 3\n"));
+        assert!(text.contains("# TYPE adcache_server_stage_total summary\n"));
+        assert!(text.contains("adcache_server_stage_total{quantile=\"0.99\"}"));
+        assert!(text.contains("adcache_server_stage_total_sum 2000\n"));
+        assert!(text.contains("adcache_server_stage_total_count 1\n"));
+        // Every line is either a comment or `name[labels] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# TYPE adcache_")
+                    || line
+                        .split_once(' ')
+                        .is_some_and(|(name, val)| name.starts_with("adcache_")
+                            && val.parse::<f64>().is_ok()),
+                "malformed exposition line: {line}"
+            );
+        }
     }
 }

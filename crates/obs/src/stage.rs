@@ -1,0 +1,213 @@
+//! Per-request stage timing.
+//!
+//! A request travels recv → parse → queue-wait → engine-lock-wait →
+//! engine-exec → cache-layer → reply-flush. [`StageTimer`] is a tiny
+//! per-request scratchpad of nanosecond durations (a plain `[u64; 7]`, no
+//! allocation, no atomics) that the server fills in as the request moves
+//! through the pipeline; [`StageSet`] is the pre-resolved bundle of
+//! registry histograms it drains into, one `AtomicHistogram` per stage
+//! plus a `total`.
+//!
+//! Stage semantics (documented once here, relied on by DESIGN.md §10):
+//!
+//! - **recv** — duration of the read syscall that delivered the frame.
+//!   Pipelined frames arriving in one read share the same recv value; it
+//!   is *excluded* from `total` to avoid double-counting across a batch.
+//! - **parse** — frame decode time.
+//! - **queue_wait** — time a complete frame sat buffered before execution
+//!   began (head-of-line wait behind earlier frames on the connection).
+//! - **lock_wait** — time spent blocked acquiring the engine lock.
+//! - **engine_exec** — time inside the engine with the lock held.
+//! - **cache_layer** — execute time outside the engine lock: cache-layer
+//!   lookups, admission decisions, value copies, and (for non-engine
+//!   opcodes like STATS/METRICS) serialization.
+//! - **reply_flush** — response encode + write-buffer append time.
+
+use crate::metrics::HistogramHandle;
+use crate::Obs;
+
+/// A pipeline stage of one request's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Read syscall that delivered the frame (amortized across a batch).
+    Recv,
+    /// Frame decode.
+    Parse,
+    /// Buffered wait before execution began.
+    QueueWait,
+    /// Blocked acquiring the engine lock.
+    LockWait,
+    /// Inside the engine, lock held.
+    EngineExec,
+    /// Execute time outside the engine lock (cache layer, serialization).
+    CacheLayer,
+    /// Response encode + write-buffer append.
+    ReplyFlush,
+}
+
+/// Number of stages in [`Stage::ALL`].
+pub const STAGE_COUNT: usize = 7;
+
+impl Stage {
+    /// All stages, pipeline order.
+    pub const ALL: [Stage; STAGE_COUNT] = [
+        Stage::Recv,
+        Stage::Parse,
+        Stage::QueueWait,
+        Stage::LockWait,
+        Stage::EngineExec,
+        Stage::CacheLayer,
+        Stage::ReplyFlush,
+    ];
+
+    /// Stable snake_case label used in metric names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Recv => "recv",
+            Stage::Parse => "parse",
+            Stage::QueueWait => "queue_wait",
+            Stage::LockWait => "lock_wait",
+            Stage::EngineExec => "engine_exec",
+            Stage::CacheLayer => "cache_layer",
+            Stage::ReplyFlush => "reply_flush",
+        }
+    }
+}
+
+/// Per-request scratchpad of stage durations, nanoseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimer {
+    ns: [u64; STAGE_COUNT],
+}
+
+impl StageTimer {
+    /// All stages zero.
+    pub fn new() -> Self {
+        StageTimer::default()
+    }
+
+    /// Overwrites one stage's duration.
+    #[inline]
+    pub fn set(&mut self, stage: Stage, ns: u64) {
+        self.ns[stage as usize] = ns;
+    }
+
+    /// Accumulates into one stage (for stages visited more than once).
+    #[inline]
+    pub fn add(&mut self, stage: Stage, ns: u64) {
+        self.ns[stage as usize] = self.ns[stage as usize].saturating_add(ns);
+    }
+
+    /// One stage's recorded duration.
+    #[inline]
+    pub fn get(&self, stage: Stage) -> u64 {
+        self.ns[stage as usize]
+    }
+
+    /// Total request time: every stage except `recv`, whose syscall
+    /// duration is shared by all frames of a pipelined batch.
+    pub fn total(&self) -> u64 {
+        Stage::ALL
+            .iter()
+            .filter(|s| !matches!(s, Stage::Recv))
+            .fold(0u64, |acc, &s| acc.saturating_add(self.get(s)))
+    }
+}
+
+/// Pre-resolved registry histograms, one per stage plus `{prefix}.total`.
+///
+/// Built from a disabled [`Obs`], every handle is inert and
+/// [`StageSet::record`] is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct StageSet {
+    stages: [HistogramHandle; STAGE_COUNT],
+    total: HistogramHandle,
+}
+
+impl StageSet {
+    /// Registers `{prefix}.{stage}` histograms (e.g. `server.stage.recv`)
+    /// and `{prefix}.total`.
+    pub fn new(obs: &Obs, prefix: &str) -> Self {
+        let stages = Stage::ALL.map(|s| obs.histogram(&format!("{prefix}.{}", s.label())));
+        StageSet {
+            stages,
+            total: obs.histogram(&format!("{prefix}.total")),
+        }
+    }
+
+    /// Records every stage of one finished request, plus the total.
+    ///
+    /// All stages are recorded — including zeros — so every stage
+    /// histogram has the same count and interval means
+    /// (`Δsum / Δcount`) are directly comparable across stages.
+    pub fn record(&self, timer: &StageTimer) {
+        for (h, &ns) in self.stages.iter().zip(&timer.ns) {
+            h.record(ns);
+        }
+        self.total.record(timer.total());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_excludes_recv() {
+        let mut t = StageTimer::new();
+        t.set(Stage::Recv, 1_000_000);
+        t.set(Stage::Parse, 10);
+        t.set(Stage::QueueWait, 20);
+        t.set(Stage::LockWait, 30);
+        t.set(Stage::EngineExec, 40);
+        t.set(Stage::CacheLayer, 50);
+        t.set(Stage::ReplyFlush, 60);
+        assert_eq!(t.total(), 210);
+        t.add(Stage::LockWait, 5);
+        assert_eq!(t.get(Stage::LockWait), 35);
+        assert_eq!(t.total(), 215);
+    }
+
+    #[test]
+    fn stage_set_records_into_registry() {
+        let obs = Obs::enabled();
+        let set = StageSet::new(&obs, "server.stage");
+        let mut t = StageTimer::new();
+        t.set(Stage::EngineExec, 5_000);
+        set.record(&t);
+        set.record(&t);
+        let json = obs.metrics_json().unwrap();
+        assert!(json.contains("server.stage.engine_exec"));
+        assert!(json.contains("server.stage.total"));
+        // Zero stages are recorded too: counts match across stages.
+        let reg = obs.registry().unwrap();
+        for (name, h) in reg.histograms_snapshot() {
+            assert_eq!(h.count(), 2, "{name} count");
+        }
+    }
+
+    #[test]
+    fn disabled_stage_set_is_inert() {
+        let set = StageSet::new(&Obs::disabled(), "server.stage");
+        let mut t = StageTimer::new();
+        t.set(Stage::Parse, 1);
+        set.record(&t); // must not panic or allocate registry state
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let labels: Vec<_> = Stage::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "recv",
+                "parse",
+                "queue_wait",
+                "lock_wait",
+                "engine_exec",
+                "cache_layer",
+                "reply_flush"
+            ]
+        );
+    }
+}

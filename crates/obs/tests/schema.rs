@@ -190,6 +190,39 @@ fn exemplars() -> Vec<(Event, &'static str)> {
             },
             r#"{"ServerOverload":{"active":256,"limit":256}}"#,
         ),
+        (
+            Event::SlowRequest {
+                conn: 7,
+                opcode: "scan".into(),
+                status: "ok".into(),
+                total_ns: 12000000,
+                recv_ns: 4000,
+                parse_ns: 900,
+                queue_ns: 150000,
+                lock_wait_ns: 9000000,
+                engine_ns: 2500000,
+                cache_ns: 340000,
+                reply_ns: 9100,
+                key: "user:00042..+64".into(),
+            },
+            r#"{"SlowRequest":{"conn":7,"opcode":"scan","status":"ok","total_ns":12000000,"recv_ns":4000,"parse_ns":900,"queue_ns":150000,"lock_wait_ns":9000000,"engine_ns":2500000,"cache_ns":340000,"reply_ns":9100,"key":"user:00042..+64"}}"#,
+        ),
+        (
+            Event::LockContention {
+                path: "write".into(),
+                wait_ns: 2500000,
+                budget_ns: 1000000,
+            },
+            r#"{"LockContention":{"path":"write","wait_ns":2500000,"budget_ns":1000000}}"#,
+        ),
+        (
+            Event::SnapshotWritten {
+                seq: 12,
+                counters: 40,
+                histograms: 9,
+            },
+            r#"{"SnapshotWritten":{"seq":12,"counters":40,"histograms":9}}"#,
+        ),
     ]
 }
 
@@ -198,7 +231,7 @@ fn every_event_kind_serializes_to_its_golden_form() {
     let exemplars = exemplars();
     assert_eq!(
         exemplars.len(),
-        23,
+        26,
         "new Event variants need a golden exemplar here"
     );
     for (event, golden) in &exemplars {

@@ -48,7 +48,7 @@ pub mod server;
 
 pub use loadgen::{request_of, Client, LoadReport, LoadgenConfig, NetSink};
 pub use protocol::{
-    decode_request, decode_response, encode_request, encode_response, FrameError, Opcode, Progress,
-    Request, Response, Status,
+    decode_request, decode_response, encode_request, encode_response, FrameError, MetricsFormat,
+    Opcode, Progress, Request, Response, Status,
 };
 pub use server::{ServeReport, Server, ServerConfig, ServerHandle};

@@ -18,7 +18,8 @@
 //! conjured reply) counts as a protocol error and fails the run report.
 
 use crate::protocol::{
-    decode_response, encode_request, Opcode, Progress, Request, Response, DEFAULT_MAX_FRAME,
+    decode_response, encode_request, MetricsFormat, Opcode, Progress, Request, Response,
+    DEFAULT_MAX_FRAME,
 };
 use adcache_obs::Histogram;
 use adcache_workload::{Mix, OpSink, Operation, WorkloadConfig, WorkloadGen};
@@ -107,6 +108,16 @@ impl Client {
         match self.call(&Request::Stats)? {
             Response::Stats(json) => Ok(json),
             other => Err(violation(format!("stats answered {other:?}"))),
+        }
+    }
+
+    /// Fetches the server's metrics registry in the requested export
+    /// format. Errors with the server's message when telemetry is off.
+    pub fn metrics(&mut self, format: MetricsFormat) -> std::io::Result<String> {
+        match self.call(&Request::Metrics { format })? {
+            Response::Metrics(text) => Ok(text),
+            Response::Error(msg) => Err(violation(format!("metrics refused: {msg}"))),
+            other => Err(violation(format!("metrics answered {other:?}"))),
         }
     }
 }

@@ -26,6 +26,11 @@
 //! | `Scan`     | `lp from, u32 n`    | `u32 k, k × (lp key, lp v)` |
 //! | `Stats`    | —                   | `lp json`                   |
 //! | `Shutdown` | —                   | —                           |
+//! | `Metrics`  | `u8 format`         | `lp text`                   |
+//!
+//! `Metrics` serves the live telemetry registry; `format` selects JSON
+//! (0) or Prometheus text exposition (1). A server running without
+//! telemetry answers it with `Err`.
 //!
 //! An `Err` response carries `lp message`. Malformed input is answered
 //! with a clean `Err` frame; only violations that break framing itself
@@ -57,6 +62,8 @@ pub enum Opcode {
     Stats = 5,
     /// Ask the server to drain and exit gracefully.
     Shutdown = 6,
+    /// Live metrics registry export.
+    Metrics = 7,
 }
 
 impl Opcode {
@@ -70,6 +77,7 @@ impl Opcode {
             4 => Opcode::Scan,
             5 => Opcode::Stats,
             6 => Opcode::Shutdown,
+            7 => Opcode::Metrics,
             _ => return None,
         })
     }
@@ -84,7 +92,29 @@ impl Opcode {
             Opcode::Scan => "scan",
             Opcode::Stats => "stats",
             Opcode::Shutdown => "shutdown",
+            Opcode::Metrics => "metrics",
         }
+    }
+}
+
+/// Serialization format requested by a `Metrics` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MetricsFormat {
+    /// The registry snapshot as pretty JSON.
+    Json = 0,
+    /// Prometheus text exposition format.
+    Prometheus = 1,
+}
+
+impl MetricsFormat {
+    /// Decodes the format byte.
+    pub fn from_u8(b: u8) -> Option<MetricsFormat> {
+        Some(match b {
+            0 => MetricsFormat::Json,
+            1 => MetricsFormat::Prometheus,
+            _ => return None,
+        })
     }
 }
 
@@ -154,6 +184,11 @@ pub enum Request {
     Stats,
     /// Graceful server shutdown.
     Shutdown,
+    /// Live metrics registry export.
+    Metrics {
+        /// Requested serialization.
+        format: MetricsFormat,
+    },
 }
 
 impl Request {
@@ -167,6 +202,7 @@ impl Request {
             Request::Scan { .. } => Opcode::Scan,
             Request::Stats => Opcode::Stats,
             Request::Shutdown => Opcode::Shutdown,
+            Request::Metrics { .. } => Opcode::Metrics,
         }
     }
 }
@@ -184,6 +220,8 @@ pub enum Response {
     Entries(Vec<(Bytes, Bytes)>),
     /// Statistics JSON text (`Stats`).
     Stats(String),
+    /// Metrics registry export (`Metrics`).
+    Metrics(String),
     /// The request failed; the message explains why.
     Error(String),
 }
@@ -260,6 +298,14 @@ impl<'a> Reader<'a> {
         Reader { buf, pos: 0 }
     }
 
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        let Some(&b) = self.buf.get(self.pos) else {
+            return Err(FrameError::Malformed("truncated u8"));
+        };
+        self.pos += 1;
+        Ok(b)
+    }
+
     fn u32(&mut self) -> Result<u32, FrameError> {
         let end = self.pos + 4;
         if end > self.buf.len() {
@@ -313,6 +359,7 @@ pub fn encode_request(out: &mut Vec<u8>, id: u64, req: &Request) {
             put_lp(out, from);
             put_u32(out, *limit);
         }
+        Request::Metrics { format } => out.push(*format as u8),
     });
 }
 
@@ -329,6 +376,7 @@ pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) {
             }
         }
         Response::Stats(json) => put_lp(out, json.as_bytes()),
+        Response::Metrics(text) => put_lp(out, text.as_bytes()),
         Response::Error(msg) => put_lp(out, msg.as_bytes()),
     });
 }
@@ -397,6 +445,10 @@ pub fn decode_request(buf: &[u8], max_frame: usize) -> Progress<Request> {
                 from: r.lp()?,
                 limit: r.u32()?,
             },
+            Opcode::Metrics => Request::Metrics {
+                format: MetricsFormat::from_u8(r.u8()?)
+                    .ok_or(FrameError::Malformed("unknown metrics format"))?,
+            },
         };
         r.finish()?;
         Ok(req)
@@ -443,6 +495,10 @@ pub fn decode_response(buf: &[u8], max_frame: usize, awaiting: Opcode) -> Progre
                 Opcode::Stats => {
                     let json = r.lp()?;
                     Response::Stats(String::from_utf8_lossy(&json).into_owned())
+                }
+                Opcode::Metrics => {
+                    let text = r.lp()?;
+                    Response::Metrics(String::from_utf8_lossy(&text).into_owned())
                 }
                 Opcode::Ping | Opcode::Put | Opcode::Delete | Opcode::Shutdown => Response::Ok,
             },
@@ -492,6 +548,29 @@ mod tests {
             from: Bytes::from_static(b"user2"),
             limit: 64,
         });
+        roundtrip_request(Request::Metrics {
+            format: MetricsFormat::Json,
+        });
+        roundtrip_request(Request::Metrics {
+            format: MetricsFormat::Prometheus,
+        });
+    }
+
+    #[test]
+    fn metrics_format_byte_is_validated() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 3, Opcode::Metrics as u8, |out| out.push(9));
+        assert!(matches!(
+            decode_request(&buf, DEFAULT_MAX_FRAME),
+            Progress::Frame(Err((3, FrameError::Malformed(_))), _)
+        ));
+        // Missing format byte entirely.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 4, Opcode::Metrics as u8, |_| {});
+        assert!(matches!(
+            decode_request(&buf, DEFAULT_MAX_FRAME),
+            Progress::Frame(Err((4, FrameError::Malformed(_))), _)
+        ));
     }
 
     #[test]
@@ -618,6 +697,10 @@ mod tests {
                 ]),
             ),
             (Opcode::Stats, Response::Stats("{\"x\":1}".into())),
+            (
+                Opcode::Metrics,
+                Response::Metrics("# TYPE adcache_x counter\nadcache_x 1\n".into()),
+            ),
             (Opcode::Delete, Response::Error("boom".into())),
         ];
         for (awaiting, resp) in cases {

@@ -28,10 +28,14 @@
 //! serving run the same way it summarizes an in-process one.
 
 use crate::protocol::{
-    self, decode_request, encode_response, is_fatal, Opcode, Progress, Request, Response,
+    self, decode_request, encode_response, is_fatal, MetricsFormat, Opcode, Progress, Request,
+    Response,
 };
 use adcache_core::CachedDb;
-use adcache_obs::{ConnCloseCause, Counter, Event, Gauge, HistogramHandle, Obs};
+use adcache_lsm::{lock_probe, reset_lock_probe};
+use adcache_obs::{
+    ConnCloseCause, Counter, Event, Gauge, HistogramHandle, Obs, Stage, StageSet, StageTimer,
+};
 use serde_json::Value;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -60,6 +64,9 @@ pub struct ServerConfig {
     /// Emit one `RequestServed` journal event per this many requests
     /// (0 disables sampling entirely).
     pub sample_every: u64,
+    /// Requests whose total stage time meets this threshold journal a
+    /// `SlowRequest` event with the full stage breakdown (0 disables).
+    pub slow_request_ns: u64,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +79,7 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(60),
             max_write_buffer: 4 << 20,
             sample_every: 64,
+            slow_request_ns: 10_000_000,
         }
     }
 }
@@ -117,7 +125,9 @@ struct Metrics {
     conns_active: Gauge,
     inflight: Gauge,
     /// Indexed by opcode discriminant.
-    latency: [HistogramHandle; 7],
+    latency: [HistogramHandle; 8],
+    /// Per-stage request-lifetime histograms (`server.stage.*`).
+    stages: StageSet,
 }
 
 impl Metrics {
@@ -138,7 +148,9 @@ impl Metrics {
                 lat(Opcode::Scan),
                 lat(Opcode::Stats),
                 lat(Opcode::Shutdown),
+                lat(Opcode::Metrics),
             ],
+            stages: StageSet::new(obs, "server.stage"),
         }
     }
 }
@@ -149,6 +161,10 @@ struct Shared {
     cfg: ServerConfig,
     obs: Obs,
     metrics: Metrics,
+    /// Cached `obs.is_enabled()`: gates every `Instant::now()` the stage
+    /// timers would otherwise cost, so telemetry-off runs stay at the old
+    /// per-request overhead.
+    telemetry: bool,
     shutdown: AtomicBool,
     active: AtomicU64,
     conn_seq: AtomicU64,
@@ -184,6 +200,12 @@ struct Conn {
     /// Already-written prefix of `wbuf` (compacted lazily).
     wpos: usize,
     last_active: Instant,
+    /// When the most recent socket read delivered bytes; the baseline for
+    /// each buffered frame's queue-wait stage.
+    read_at: Instant,
+    /// Duration of that read syscall (the recv stage, shared by every
+    /// frame the read delivered). 0 with telemetry off.
+    last_read_ns: u64,
     requests: u64,
     bytes_in: u64,
     bytes_out: u64,
@@ -219,6 +241,7 @@ impl Server {
         let workers = cfg.effective_workers();
         let shared = Arc::new(Shared {
             metrics: Metrics::new(&obs),
+            telemetry: obs.is_enabled(),
             obs,
             db,
             cfg,
@@ -424,6 +447,8 @@ fn adopt(shared: &Shared, stream: TcpStream) -> Option<Conn> {
         wbuf: Vec::new(),
         wpos: 0,
         last_active: Instant::now(),
+        read_at: Instant::now(),
+        last_read_ns: 0,
         requests: 0,
         bytes_in: 0,
         bytes_out: 0,
@@ -484,6 +509,11 @@ fn service_reads(shared: &Shared, conn: &mut Conn, scratch: &mut [u8]) -> bool {
         return false;
     }
     let mut progressed = false;
+    let read_start = if shared.telemetry {
+        Some(Instant::now())
+    } else {
+        None
+    };
     match conn.stream.read(scratch) {
         Ok(0) => {
             // Client closed its half; execute anything already buffered.
@@ -499,6 +529,10 @@ fn service_reads(shared: &Shared, conn: &mut Conn, scratch: &mut [u8]) -> bool {
             shared.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
             shared.metrics.bytes_in.add(n as u64);
             conn.last_active = Instant::now();
+            if let Some(t0) = read_start {
+                conn.last_read_ns = t0.elapsed().as_nanos() as u64;
+                conn.read_at = Instant::now();
+            }
             progressed = true;
         }
         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
@@ -518,6 +552,11 @@ fn drain_buffered(shared: &Shared, conn: &mut Conn) -> bool {
     let mut at = 0usize;
     let mut served = 0u64;
     loop {
+        let parse_start = if shared.telemetry {
+            Some(Instant::now())
+        } else {
+            None
+        };
         match decode_request(&conn.rbuf[at..], shared.cfg.max_frame) {
             Progress::Incomplete => break,
             Progress::Fatal(err) => {
@@ -539,7 +578,8 @@ fn drain_buffered(shared: &Shared, conn: &mut Conn) -> bool {
             Progress::Frame(Ok((id, req)), consumed) => {
                 at += consumed;
                 served += 1;
-                execute(shared, conn, id, &req);
+                let parse_ns = parse_start.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+                execute(shared, conn, id, &req, parse_ns);
             }
         }
     }
@@ -549,9 +589,20 @@ fn drain_buffered(shared: &Shared, conn: &mut Conn) -> bool {
     served > 0
 }
 
-fn execute(shared: &Shared, conn: &mut Conn, id: u64, req: &Request) {
+fn execute(shared: &Shared, conn: &mut Conn, id: u64, req: &Request, parse_ns: u64) {
     let op = req.opcode();
     shared.metrics.inflight.set(1);
+    // Queue wait: time since the socket read that delivered this frame's
+    // bytes. Head-of-line semantics — later frames in one batch charge the
+    // service time of the frames ahead of them to queue_wait.
+    let queue_ns = if shared.telemetry {
+        conn.read_at.elapsed().as_nanos() as u64
+    } else {
+        0
+    };
+    if shared.telemetry {
+        reset_lock_probe();
+    }
     let start = Instant::now();
     let resp = match req {
         Request::Ping => Response::Ok,
@@ -577,6 +628,13 @@ fn execute(shared: &Shared, conn: &mut Conn, id: u64, req: &Request) {
             shared.shutdown.store(true, Ordering::SeqCst);
             Response::Ok
         }
+        Request::Metrics { format } => match shared.obs.registry() {
+            Some(reg) => Response::Metrics(match format {
+                MetricsFormat::Json => reg.snapshot_json(),
+                MetricsFormat::Prometheus => reg.prometheus_text(),
+            }),
+            None => Response::Error("telemetry disabled".into()),
+        },
     };
     let latency_ns = start.elapsed().as_nanos() as u64;
     shared.metrics.inflight.set(0);
@@ -594,7 +652,67 @@ fn execute(shared: &Shared, conn: &mut Conn, id: u64, req: &Request) {
             latency_ns,
         });
     }
-    encode_response(&mut conn.wbuf, id, &resp);
+    if shared.telemetry {
+        // Engine-lock wait and hold observed by this thread during the db
+        // call; everything else inside the call is the cache layer (and
+        // serialization, for Stats/Metrics).
+        let (lock_wait_ns, lock_hold_ns) = lock_probe();
+        let cache_ns = latency_ns.saturating_sub(lock_wait_ns + lock_hold_ns);
+        let reply_start = Instant::now();
+        encode_response(&mut conn.wbuf, id, &resp);
+        let reply_ns = reply_start.elapsed().as_nanos() as u64;
+
+        let mut st = StageTimer::new();
+        st.set(Stage::Recv, conn.last_read_ns);
+        st.set(Stage::Parse, parse_ns);
+        st.set(Stage::QueueWait, queue_ns);
+        st.set(Stage::LockWait, lock_wait_ns);
+        st.set(Stage::EngineExec, lock_hold_ns);
+        st.set(Stage::CacheLayer, cache_ns);
+        st.set(Stage::ReplyFlush, reply_ns);
+        shared.metrics.stages.record(&st);
+
+        let slow = shared.cfg.slow_request_ns;
+        if slow > 0 && st.total() >= slow {
+            let status = resp.status();
+            shared.obs.emit(|| Event::SlowRequest {
+                conn: conn.id,
+                opcode: op.label().to_string(),
+                status: status.label().to_string(),
+                total_ns: st.total(),
+                recv_ns: conn.last_read_ns,
+                parse_ns,
+                queue_ns,
+                lock_wait_ns,
+                engine_ns: lock_hold_ns,
+                cache_ns,
+                reply_ns,
+                key: slow_request_key(req),
+            });
+        }
+    } else {
+        encode_response(&mut conn.wbuf, id, &resp);
+    }
+}
+
+/// A short human-readable key label for `SlowRequest` events: the
+/// (truncated, lossy-decoded) key for point ops, `from..+limit` for scans,
+/// empty for keyless opcodes.
+fn slow_request_key(req: &Request) -> String {
+    fn trunc(b: &[u8]) -> String {
+        let s = String::from_utf8_lossy(&b[..b.len().min(32)]).into_owned();
+        if b.len() > 32 {
+            format!("{s}…")
+        } else {
+            s
+        }
+    }
+    match req {
+        Request::Get { key } | Request::Delete { key } => trunc(key),
+        Request::Put { key, .. } => trunc(key),
+        Request::Scan { from, limit } => format!("{}..+{}", trunc(from), limit),
+        _ => String::new(),
+    }
 }
 
 /// The `Stats` payload: the engine's report wrapped with serving-layer

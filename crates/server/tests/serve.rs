@@ -8,7 +8,9 @@
 use adcache_core::{CachedDb, EngineConfig, Strategy};
 use adcache_lsm::{MemStorage, Options};
 use adcache_obs::Obs;
-use adcache_server::{loadgen, Client, LoadgenConfig, Request, Response, Server, ServerConfig};
+use adcache_server::{
+    loadgen, Client, LoadgenConfig, MetricsFormat, Request, Response, Server, ServerConfig,
+};
 use adcache_workload::{render_key, Mix, WorkloadConfig};
 use bytes::Bytes;
 use std::io::{Read, Write};
@@ -413,6 +415,104 @@ fn idle_connections_are_reaped() {
     server.shutdown();
     let trace = db.obs().trace_jsonl().unwrap();
     assert!(trace.contains("IdleTimeout"));
+}
+
+/// The telemetry plane over the wire: with an enabled `Obs`, `METRICS`
+/// serves both export formats, every request records a full stage
+/// breakdown into `server.stage.*`, and engine lock accounting shows up
+/// as `engine.lock.*`. Without telemetry the opcode answers `Err`.
+#[test]
+fn metrics_opcode_serves_registry_and_stage_breakdown() {
+    let db = test_db(true);
+    let server = start_server(db, |_| {});
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+
+    for i in 0..200u64 {
+        c.call(&Request::Get {
+            key: render_key(i % 2_000),
+        })
+        .unwrap();
+        if i % 4 == 0 {
+            c.call(&Request::Put {
+                key: render_key(i),
+                value: Bytes::from(format!("mv-{i}")),
+            })
+            .unwrap();
+        }
+    }
+
+    let json = c.metrics(MetricsFormat::Json).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&json).expect("metrics JSON parses");
+    let text = serde_json::to_string(&v).unwrap();
+    for stage in [
+        "server.stage.recv",
+        "server.stage.parse",
+        "server.stage.queue_wait",
+        "server.stage.lock_wait",
+        "server.stage.engine_exec",
+        "server.stage.cache_layer",
+        "server.stage.reply_flush",
+        "server.stage.total",
+    ] {
+        assert!(text.contains(stage), "missing {stage} in {json}");
+    }
+    assert!(text.contains("engine.lock.read.acquisitions"));
+    assert!(text.contains("engine.lock.write.wait_ns"));
+    assert!(text.contains("sum_ns"), "histograms must export sum_ns");
+
+    let prom = c.metrics(MetricsFormat::Prometheus).unwrap();
+    assert!(prom.contains("# TYPE adcache_server_requests counter"));
+    assert!(prom.contains("# TYPE adcache_server_stage_total summary"));
+    assert!(prom.contains("quantile=\"0.99\""));
+    server.shutdown();
+
+    // Telemetry off: the opcode answers a clean Err and the connection
+    // keeps serving.
+    let db = test_db(false);
+    let server = start_server(db, |_| {});
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+    let err = c.metrics(MetricsFormat::Json).unwrap_err();
+    assert!(err.to_string().contains("telemetry disabled"), "{err}");
+    assert_eq!(c.call(&Request::Ping).unwrap(), Response::Ok);
+    server.shutdown();
+}
+
+/// A deliberately slow request (large scan) lands in the journal as a
+/// `SlowRequest` event with a stage breakdown that sums to its total.
+#[test]
+fn slow_requests_are_journaled_with_stage_breakdown() {
+    let db = test_db(true);
+    let server = start_server(db.clone(), |cfg| cfg.slow_request_ns = 1); // everything is "slow"
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+    c.call(&Request::Scan {
+        from: render_key(0),
+        limit: 100,
+    })
+    .unwrap();
+    server.shutdown();
+
+    let trace = db.obs().trace_jsonl().unwrap();
+    let line = trace
+        .lines()
+        .find(|l| l.contains("SlowRequest") && l.contains("\"opcode\":\"scan\""))
+        .expect("scan must journal a SlowRequest");
+    for field in [
+        "total_ns",
+        "recv_ns",
+        "parse_ns",
+        "queue_ns",
+        "lock_wait_ns",
+        "engine_ns",
+        "cache_ns",
+        "reply_ns",
+        "key",
+    ] {
+        assert!(line.contains(field), "missing {field} in {line}");
+    }
+    assert!(line.contains("..+100"), "scan key renders from..+limit");
 }
 
 /// A client-issued `Shutdown` frame is acknowledged and then drains the

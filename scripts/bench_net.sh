@@ -3,6 +3,13 @@
 # throughput and tail latency over loopback at 1, 8, and 32 connections
 # (release build, in-memory store, mixed zipfian workload).
 #
+# Each point is measured twice: once with `--no-telemetry` (the raw
+# serving path) and once with the default telemetry plane on (stage
+# timers, lock accounting, registry). The telemetry run also captures the
+# per-request stage breakdown and the engine lock-wait share via
+# `adcache metrics --summary`, and the delta between the two runs is the
+# telemetry overhead.
+#
 # Loopback numbers measure the serving path — framing, worker scheduling,
 # the engine under concurrency — not a real network. Compare shapes
 # across commits, not absolute values.
@@ -16,10 +23,14 @@ OUT="${OUT:-BENCH_net.json}"
 
 cargo build --release -p adcache-cli
 
+# Starts a server (extra serve flags in $2...), runs one closed-loop
+# load, and leaves the loadgen report in the named log. Shuts the server
+# down through the wire.
 run_point() {
-    local conns=$1
+    local conns=$1 log=$2
+    shift 2
     ./target/release/adcache serve \
-        --addr "127.0.0.1:$PORT" --fill "$KEYS" > /tmp/bench_net_serve.log 2>&1 &
+        --addr "127.0.0.1:$PORT" --fill "$KEYS" "$@" > /tmp/bench_net_serve.log 2>&1 &
     local server_pid=$!
     for _ in $(seq 1 50); do
         if ./target/release/adcache loadgen --addr "127.0.0.1:$PORT" --ops 0 \
@@ -30,7 +41,12 @@ run_point() {
     done
     ./target/release/adcache loadgen \
         --addr "127.0.0.1:$PORT" --ops "$OPS" --connections "$conns" \
-        --keys "$KEYS" --mix mixed --shutdown | tee "/tmp/bench_net_$conns.log"
+        --keys "$KEYS" --mix mixed | tee "$log"
+    # Telemetry runs export the stage/lock summary before draining.
+    ./target/release/adcache metrics --addr "127.0.0.1:$PORT" --summary \
+        > "${log%.log}.summary" 2>/dev/null || true
+    ./target/release/adcache loadgen --addr "127.0.0.1:$PORT" --ops 0 --shutdown \
+        > /dev/null
     wait "$server_pid"
 }
 
@@ -40,24 +56,45 @@ extract() {
     grep -oE "$field [0-9.]+" "$file" | head -1 | awk '{print $2}'
 }
 
+# Pulls "stage engine_exec ... share_pct 35.9" style fields out of a
+# `metrics --summary` export; 0 when the summary is absent.
+stage_share() {
+    local file=$1 stage=$2
+    { grep -E "^stage $stage " "$file" 2>/dev/null || echo "share_pct 0"; } \
+        | grep -oE 'share_pct [0-9.]+' | awk '{print $2}'
+}
+
 points=""
 for conns in 1 8 32; do
-    echo "=== $conns connection(s) ==="
-    run_point "$conns"
-    log="/tmp/bench_net_$conns.log"
-    qps=$(grep -oE 'throughput [0-9.]+' "$log" | awk '{print $2}')
-    p50=$(extract "$log" p50)
-    p95=$(extract "$log" p95)
-    p99=$(extract "$log" p99)
-    p999=$(extract "$log" p999)
-    point=$(printf '    {"connections": %s, "ops": %s, "qps": %s, "p50_us": %s, "p95_us": %s, "p99_us": %s, "p999_us": %s}' \
-        "$conns" "$OPS" "$qps" "$p50" "$p95" "$p99" "$p999")
+    echo "=== $conns connection(s), telemetry off ==="
+    off_log="/tmp/bench_net_${conns}_off.log"
+    run_point "$conns" "$off_log" --no-telemetry
+    qps_off=$(grep -oE 'throughput [0-9.]+' "$off_log" | awk '{print $2}')
+
+    echo "=== $conns connection(s), telemetry on ==="
+    on_log="/tmp/bench_net_${conns}_on.log"
+    run_point "$conns" "$on_log"
+    sum="${on_log%.log}.summary"
+    qps=$(grep -oE 'throughput [0-9.]+' "$on_log" | awk '{print $2}')
+    p50=$(extract "$on_log" p50)
+    p95=$(extract "$on_log" p95)
+    p99=$(extract "$on_log" p99)
+    p999=$(extract "$on_log" p999)
+    overhead=$(awk -v off="$qps_off" -v on="$qps" \
+        'BEGIN { printf "%.2f", (off > 0) ? ((off - on) * 100.0 / off) : 0 }')
+    lock_share=$(grep -oE 'lock_wait_share_pct [0-9.]+' "$sum" | awk '{print $2}')
+    point=$(printf '    {"connections": %s, "ops": %s, "qps": %s, "qps_telemetry_off": %s, "overhead_pct": %s, "p50_us": %s, "p95_us": %s, "p99_us": %s, "p999_us": %s, "lock_wait_share_pct": %s, "stage_share_pct": {"parse": %s, "queue_wait": %s, "lock_wait": %s, "engine_exec": %s, "cache_layer": %s, "reply_flush": %s}}' \
+        "$conns" "$OPS" "$qps" "$qps_off" "$overhead" "$p50" "$p95" "$p99" "$p999" \
+        "${lock_share:-0}" \
+        "$(stage_share "$sum" parse)" "$(stage_share "$sum" queue_wait)" \
+        "$(stage_share "$sum" lock_wait)" "$(stage_share "$sum" engine_exec)" \
+        "$(stage_share "$sum" cache_layer)" "$(stage_share "$sum" reply_flush)")
     points="$points$point,\n"
 done
 
 {
     echo '{'
-    echo '  "bench": "network serving baseline (closed loop, loopback, mixed zipfian)",'
+    echo '  "bench": "network serving baseline (closed loop, loopback, mixed zipfian; telemetry on vs off)",'
     echo '  "command": "scripts/bench_net.sh",'
     echo "  \"keys\": $KEYS,"
     echo '  "points": ['
