@@ -24,7 +24,7 @@ pub mod prefetch;
 pub mod range_cache;
 pub mod sketch;
 
-pub use admission::{PointAdmission, ScanAdmission};
+pub use admission::{PointAdmission, ScanAdmission, SketchGuard};
 pub use block_cache::{BlockCache, ScopedBlockProvider};
 pub use container::{CacheStats, ChargedCache};
 pub use kv_cache::KvCache;

@@ -6,6 +6,13 @@
 //! saturation point (default 8) every counter and the global sum are halved
 //! — the TinyLFU aging mechanism — so stale or bursty keys fade while
 //! consistently hot keys stay ranked on top.
+//!
+//! The row hashes are salt-able: an adversary who knows the hash function
+//! can precompute keys that collide with a victim key in every row and
+//! inflate its estimate (or saturate the counters). [`CountMinSketch::reset`]
+//! zeroes the counters *and* re-seeds every row with a caller-chosen salt,
+//! invalidating any precomputed collision set at the cost of forgetting the
+//! (already poisoned) frequency history.
 
 /// A Count-Min Sketch over byte-string keys.
 #[derive(Debug, Clone)]
@@ -20,6 +27,18 @@ pub struct CountMinSketch {
     saturation: u32,
     /// Number of decays performed (observability).
     decays: u64,
+    /// XORed into every row seed; changed on [`reset`](Self::reset) so
+    /// precomputed collisions stop working.
+    salt: u64,
+    /// Number of resets performed (0 = the unsalted construction epoch).
+    epoch: u64,
+    /// Counters currently nonzero, maintained incrementally — the
+    /// numerator of [`fill_ratio`](Self::fill_ratio).
+    nonzero: u64,
+    /// Increments since the last reset.
+    epoch_increments: u64,
+    /// Decays since the last reset.
+    epoch_decays: u64,
 }
 
 fn hash_with_seed(data: &[u8], seed: u64) -> u64 {
@@ -34,6 +53,14 @@ fn hash_with_seed(data: &[u8], seed: u64) -> u64 {
     h
 }
 
+/// Smallest width [`CountMinSketch::for_keys`] will produce.
+pub const MIN_SKETCH_WIDTH: usize = 1024;
+
+/// Largest width [`CountMinSketch::for_keys`] will produce (64 Mi counters
+/// per row = 1 GiB of sketch at depth 4 — already absurd; beyond this the
+/// `keys * 4` multiply could also overflow on 32-bit `usize`).
+pub const MAX_SKETCH_WIDTH: usize = 1 << 26;
+
 impl CountMinSketch {
     /// Creates a sketch with `width` counters per row and `depth` rows.
     pub fn new(width: usize, depth: usize, saturation: u32) -> Self {
@@ -44,25 +71,50 @@ impl CountMinSketch {
             total: 0,
             saturation,
             decays: 0,
+            salt: 0,
+            epoch: 0,
+            nonzero: 0,
+            epoch_increments: 0,
+            epoch_decays: 0,
         }
     }
 
     /// A sketch sized for roughly `keys` distinct hot keys at ~1% relative
-    /// error, with the paper's default saturation of 8.
+    /// error, with the paper's default saturation of 8. Degenerate inputs
+    /// are clamped instead of panicking: `keys == 0` gets the minimum
+    /// width, and huge values saturate at [`MAX_SKETCH_WIDTH`] rather than
+    /// overflowing the `keys * 4` sizing multiply.
     pub fn for_keys(keys: usize) -> Self {
-        Self::new((keys * 4).next_power_of_two().max(1024), 4, 8)
+        let width = keys
+            .saturating_mul(4)
+            .clamp(MIN_SKETCH_WIDTH, MAX_SKETCH_WIDTH)
+            .next_power_of_two()
+            .min(MAX_SKETCH_WIDTH);
+        Self::new(width, 4, 8)
+    }
+
+    /// The per-row hash seed: row number XOR the epoch salt. With the
+    /// construction salt of 0 this is exactly the historical seeding, so
+    /// un-reset sketches hash identically to older builds.
+    fn row_seed(&self, row_no: usize) -> u64 {
+        row_no as u64 ^ self.salt
     }
 
     /// Records one occurrence of `key` and returns its new estimate.
     /// Triggers a global halving when the estimate reaches saturation.
     pub fn increment(&mut self, key: &[u8]) -> u32 {
         let mut est = u32::MAX;
-        for (row_no, row) in self.rows.iter_mut().enumerate() {
-            let idx = hash_with_seed(key, row_no as u64) as usize % self.width;
-            row[idx] = row[idx].saturating_add(1);
-            est = est.min(row[idx]);
+        for row_no in 0..self.rows.len() {
+            let idx = hash_with_seed(key, self.row_seed(row_no)) as usize % self.width;
+            let c = &mut self.rows[row_no][idx];
+            if *c == 0 {
+                self.nonzero += 1;
+            }
+            *c = c.saturating_add(1);
+            est = est.min(*c);
         }
         self.total += 1;
+        self.epoch_increments += 1;
         if est >= self.saturation {
             self.decay();
             est = self.estimate(key);
@@ -74,7 +126,7 @@ impl CountMinSketch {
     pub fn estimate(&self, key: &[u8]) -> u32 {
         let mut est = u32::MAX;
         for (row_no, row) in self.rows.iter().enumerate() {
-            let idx = hash_with_seed(key, row_no as u64) as usize % self.width;
+            let idx = hash_with_seed(key, self.row_seed(row_no)) as usize % self.width;
             est = est.min(row[idx]);
         }
         est
@@ -93,11 +145,31 @@ impl CountMinSketch {
     pub fn decay(&mut self) {
         for row in &mut self.rows {
             for c in row.iter_mut() {
+                if *c == 1 {
+                    self.nonzero -= 1;
+                }
                 *c >>= 1;
             }
         }
         self.total >>= 1;
         self.decays += 1;
+        self.epoch_decays += 1;
+    }
+
+    /// Zeroes every counter and re-seeds the row hashes with `salt`,
+    /// starting a new epoch. The cumulative [`decays`](Self::decays) count
+    /// survives (it is a lifetime observability counter); the per-epoch
+    /// counters restart.
+    pub fn reset(&mut self, salt: u64) {
+        for row in &mut self.rows {
+            row.iter_mut().for_each(|c| *c = 0);
+        }
+        self.total = 0;
+        self.nonzero = 0;
+        self.salt = salt;
+        self.epoch += 1;
+        self.epoch_increments = 0;
+        self.epoch_decays = 0;
     }
 
     /// Sum of all increments since the last decay cascade.
@@ -105,9 +177,37 @@ impl CountMinSketch {
         self.total
     }
 
-    /// Number of halvings performed.
+    /// Number of halvings performed over the sketch's lifetime.
     pub fn decays(&self) -> u64 {
         self.decays
+    }
+
+    /// The salt seeding the current epoch's row hashes.
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+
+    /// Number of resets performed (0 until the first
+    /// [`reset`](Self::reset)).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Fraction of counters currently nonzero, in `[0, 1]`. A healthy
+    /// zipfian workload leaves most counters empty; a sketch near full is
+    /// being saturated.
+    pub fn fill_ratio(&self) -> f64 {
+        self.nonzero as f64 / (self.rows.len() * self.width) as f64
+    }
+
+    /// Increments recorded since the last reset.
+    pub fn epoch_increments(&self) -> u64 {
+        self.epoch_increments
+    }
+
+    /// Decays performed since the last reset.
+    pub fn epoch_decays(&self) -> u64 {
+        self.epoch_decays
     }
 
     /// Approximate memory footprint in bytes.
@@ -196,5 +296,54 @@ mod tests {
     #[should_panic]
     fn zero_width_is_rejected() {
         CountMinSketch::new(0, 4, 8);
+    }
+
+    #[test]
+    fn for_keys_clamps_degenerate_sizes() {
+        assert_eq!(CountMinSketch::for_keys(0).memory_bytes(), 1024 * 4 * 4);
+        assert_eq!(CountMinSketch::for_keys(1).memory_bytes(), 1024 * 4 * 4);
+        // A huge key count must neither overflow the sizing multiply nor
+        // allocate an unbounded sketch.
+        let s = CountMinSketch::for_keys(usize::MAX / 2);
+        assert_eq!(s.memory_bytes(), MAX_SKETCH_WIDTH * 4 * 4);
+        // Mid-range sizing is unchanged from the historical formula.
+        assert_eq!(
+            CountMinSketch::for_keys(100_000).memory_bytes(),
+            (100_000usize * 4).next_power_of_two() * 4 * 4
+        );
+    }
+
+    #[test]
+    fn reset_changes_hash_layout_and_zeroes_counters() {
+        let mut s = CountMinSketch::new(1024, 4, 8);
+        for _ in 0..5 {
+            s.increment(b"victim");
+        }
+        assert!(s.estimate(b"victim") >= 5);
+        assert!(s.fill_ratio() > 0.0);
+        s.reset(0xDEAD_BEEF);
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(s.salt(), 0xDEAD_BEEF);
+        assert_eq!(s.estimate(b"victim"), 0);
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.fill_ratio(), 0.0);
+        assert_eq!(s.epoch_increments(), 0);
+        // The salted epoch still counts correctly.
+        for _ in 0..3 {
+            s.increment(b"victim");
+        }
+        assert_eq!(s.estimate(b"victim"), 3);
+        assert_eq!(s.epoch_increments(), 3);
+    }
+
+    #[test]
+    fn fill_ratio_tracks_decay_to_zero() {
+        let mut s = CountMinSketch::new(64, 2, u32::MAX - 1);
+        s.increment(b"a");
+        let filled = s.fill_ratio();
+        assert!(filled > 0.0);
+        s.decay(); // every counter was 1 -> all drop to 0
+        assert_eq!(s.fill_ratio(), 0.0);
+        assert_eq!(s.epoch_decays(), 1);
     }
 }

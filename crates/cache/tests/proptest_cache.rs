@@ -152,6 +152,62 @@ proptest! {
         prop_assert!(stats.inserts >= c.len() as u64);
     }
 
+    /// Partial scan admission never admits more than the scan returned,
+    /// never truncates a scan short enough to fit under `a`, and is
+    /// monotone: longer scans and larger `b` admit at least as much.
+    #[test]
+    fn scan_admission_is_bounded_and_monotone(
+        a in 0usize..64,
+        b in 0.0f64..1.5,
+        b2_bump in 0.0f64..1.0,
+        l in 0usize..512,
+    ) {
+        use adcache_cache::ScanAdmission;
+        let policy = ScanAdmission::new(a, b);
+        let got = policy.admitted_len(l);
+        prop_assert!(got <= l, "admitted {} of a {}-entry scan", got, l);
+        prop_assert!(got >= l.min(policy.a), "short scans admit whole");
+        prop_assert!(
+            policy.admitted_len(l + 1) >= got,
+            "one more entry must never shrink the admitted prefix"
+        );
+        let greedier = ScanAdmission::new(a, b + b2_bump);
+        prop_assert!(
+            greedier.admitted_len(l) >= got,
+            "larger b must admit at least as much"
+        );
+    }
+
+    /// Frequency admission is monotone in the threshold: on the *same*
+    /// key stream, everything a stricter policy admits, a looser policy
+    /// admits too (the sketch state is identical, only the bar moves).
+    #[test]
+    fn point_admission_is_monotone_in_threshold(
+        keys in proptest::collection::vec(any::<u16>(), 1..600),
+        loose in 0.0f64..0.05,
+        bump in 0.0f64..0.05,
+    ) {
+        use adcache_cache::{PointAdmission, SketchGuard};
+        // Guard off: both sketches must evolve identically so the only
+        // difference between the two policies is the threshold.
+        let mut lo = PointAdmission::with_guard(1 << 10, loose, SketchGuard::off());
+        let mut hi = PointAdmission::with_guard(1 << 10, loose + bump, SketchGuard::off());
+        for k in &keys {
+            let kb = k.to_le_bytes();
+            let lo_admit = lo.admit(&kb);
+            let hi_admit = hi.admit(&kb);
+            prop_assert!(
+                lo_admit || !hi_admit,
+                "strict admitted a key the loose policy rejected"
+            );
+        }
+        let (lo_in, lo_out) = lo.counters();
+        let (hi_in, hi_out) = hi.counters();
+        prop_assert!(lo_in >= hi_in);
+        prop_assert_eq!(lo_in + lo_out, hi_in + hi_out);
+        prop_assert_eq!(lo_in + lo_out, keys.len() as u64);
+    }
+
     #[test]
     fn sketch_estimate_upper_bounds_truth(
         keys in proptest::collection::vec(any::<u8>(), 1..500,)

@@ -100,6 +100,18 @@ pub struct ControllerConfig {
     pub hidden: usize,
     /// Agent RNG seed.
     pub seed: u64,
+    /// Whether the adversarial-window guard is active: a window whose raw
+    /// hit estimate collapses implausibly fast below the smoothed signal
+    /// gets its reward clamped and the lr/exploration adaptation frozen,
+    /// so one poisoned window cannot destabilize the boundary policy.
+    pub adversarial_guard: bool,
+    /// Raw-vs-smoothed hit-estimate drop that flags a window as
+    /// adversarial. Organic shifts move the estimate gradually; a drop
+    /// this steep within one window means the telemetry itself is under
+    /// attack (scan flood, sketch churn).
+    pub guard_h_drop: f64,
+    /// Reward magnitude cap applied to adversarial windows.
+    pub guard_reward_clamp: f64,
 }
 
 impl Default for ControllerConfig {
@@ -113,6 +125,9 @@ impl Default for ControllerConfig {
             adaptive_lr: true,
             hidden: 256,
             seed: 0xADCA,
+            adversarial_guard: true,
+            guard_h_drop: 0.35,
+            guard_reward_clamp: 0.25,
         }
     }
 }
@@ -130,6 +145,8 @@ pub struct TuningRecord {
     pub actor_lr: f32,
     /// The decision applied to the *next* window.
     pub decision: CacheDecision,
+    /// Whether the adversarial-window guard flagged this window.
+    pub adversarial: bool,
 }
 
 /// The windowed RL tuning loop.
@@ -143,6 +160,8 @@ pub struct Controller {
     base_lr: f32,
     base_std: f32,
     nonfinite_repairs: u64,
+    feature_clamps: u64,
+    adversarial_windows: u64,
     obs: Obs,
 }
 
@@ -175,6 +194,8 @@ impl Controller {
             base_lr,
             base_std,
             nonfinite_repairs: 0,
+            feature_clamps: 0,
+            adversarial_windows: 0,
             obs: Obs::disabled(),
         }
     }
@@ -245,12 +266,32 @@ impl Controller {
         self.nonfinite_repairs
     }
 
-    /// Replaces any NaN/Inf element with 0.0, counting repairs.
+    /// Feature values clipped back into the sane `[0, 2]` band before
+    /// reaching the agent. Like [`nonfinite_repairs`](Self::nonfinite_repairs),
+    /// non-zero means the telemetry went out of spec and the controller
+    /// bounded the damage.
+    pub fn feature_clamps(&self) -> u64 {
+        self.feature_clamps
+    }
+
+    /// Windows the adversarial guard flagged (reward clamped, adaptation
+    /// frozen).
+    pub fn adversarial_windows(&self) -> u64 {
+        self.adversarial_windows
+    }
+
+    /// Replaces any NaN/Inf element with 0.0 and clips the rest into the
+    /// `[0, 2]` band every feature is scaled to, counting repairs. The
+    /// clip means a counter blown out by hostile traffic saturates a
+    /// feature instead of dominating the network's input scale.
     fn sanitize(&mut self, v: &mut [f32]) {
         for x in v.iter_mut() {
             if !x.is_finite() {
                 *x = 0.0;
                 self.nonfinite_repairs += 1;
+            } else if !(0.0..=2.0).contains(x) {
+                *x = x.clamp(0.0, 2.0);
+                self.feature_clamps += 1;
             }
         }
     }
@@ -263,10 +304,30 @@ impl Controller {
             h = 0.0;
             self.nonfinite_repairs += 1;
         }
+        // The guard compares the raw estimate against the *previous*
+        // smoothed signal: a collapse steeper than any organic workload
+        // shift marks the window adversarial before it can train.
+        let prev_smoothed = self.smoother.smoothed();
         let (h_smoothed, mut reward) = self.smoother.update(h);
         if !reward.is_finite() {
             reward = 0.0;
             self.nonfinite_repairs += 1;
+        }
+        let adversarial = self.cfg.adversarial_guard
+            && prev_smoothed.is_some_and(|prev| prev - h > self.cfg.guard_h_drop);
+        if adversarial {
+            let raw_reward = reward;
+            let cap = self.cfg.guard_reward_clamp.abs();
+            reward = reward.clamp(-cap, cap);
+            self.adversarial_windows += 1;
+            self.obs.counter("core.adversarial_windows").inc();
+            self.obs.emit(|| Event::AdversaryDetected {
+                source: "controller".into(),
+                h_estimate: h,
+                h_smoothed,
+                raw_reward,
+                clamped_reward: reward,
+            });
         }
         let mut next_state = self.featurize(w);
         self.sanitize(&mut next_state);
@@ -286,13 +347,18 @@ impl Controller {
                     action,
                 });
             }
-            self.agent.adapt_lr(reward as f32);
-            // Couple exploration to the adaptive learning rate: a workload
-            // shift (negative reward) raises lr and widens exploration; a
-            // stable workload narrows it, avoiding boundary jitter that
-            // would cause gratuitous evictions.
-            let lr_scale = (self.agent.actor_lr() / self.base_lr).clamp(0.2, 2.0);
-            self.agent.set_exploration_std(self.base_std * lr_scale);
+            if !adversarial {
+                self.agent.adapt_lr(reward as f32);
+                // Couple exploration to the adaptive learning rate: a
+                // workload shift (negative reward) raises lr and widens
+                // exploration; a stable workload narrows it, avoiding
+                // boundary jitter that would cause gratuitous evictions.
+                // Adversarial windows skip both — raising lr and widening
+                // exploration on poisoned feedback is exactly how an
+                // attacker would steer the boundary.
+                let lr_scale = (self.agent.actor_lr() / self.base_lr).clamp(0.2, 2.0);
+                self.agent.set_exploration_std(self.base_std * lr_scale);
+            }
         }
 
         let action = if self.cfg.online {
@@ -319,6 +385,7 @@ impl Controller {
             reward,
             actor_lr: self.agent.actor_lr(),
             decision: self.decision,
+            adversarial,
         });
         self.decision
     }
@@ -452,6 +519,88 @@ mod tests {
         let d = c.end_of_window(&window(500, 300, 200, 400));
         assert!(d.range_ratio.is_finite());
         assert_eq!(c.agent().nonfinite_inputs(), 0, "repairs happen upstream");
+    }
+
+    #[test]
+    fn adversarial_collapse_clamps_reward_and_freezes_adaptation() {
+        // Low alpha so a collapse produces a large raw reward magnitude.
+        let mut cfg = small_cfg();
+        cfg.alpha = 0.5;
+        let mut c = Controller::new(cfg);
+        // Healthy windows: ~90% estimated hit rate.
+        for _ in 0..5 {
+            c.end_of_window(&window(1000, 0, 0, 100));
+        }
+        assert_eq!(c.adversarial_windows(), 0);
+        let lr_before = c.agent().actor_lr();
+        let std_before = c.agent().exploration_std();
+        // The attack window: every estimated I/O misses.
+        c.end_of_window(&window(1000, 0, 0, 1000));
+        assert_eq!(c.adversarial_windows(), 1);
+        let rec = c.history().last().unwrap();
+        assert!(rec.adversarial);
+        assert!(
+            rec.reward.abs() <= 0.25 + 1e-9,
+            "adversarial reward must be clamped: {}",
+            rec.reward
+        );
+        assert_eq!(
+            c.agent().actor_lr(),
+            lr_before,
+            "lr adaptation must freeze on the poisoned window"
+        );
+        assert_eq!(
+            c.agent().exploration_std(),
+            std_before,
+            "exploration must not widen on the poisoned window"
+        );
+    }
+
+    #[test]
+    fn guard_disabled_passes_raw_reward_through() {
+        let mut cfg = small_cfg();
+        cfg.alpha = 0.5;
+        cfg.adversarial_guard = false;
+        let mut c = Controller::new(cfg);
+        for _ in 0..5 {
+            c.end_of_window(&window(1000, 0, 0, 100));
+        }
+        c.end_of_window(&window(1000, 0, 0, 1000));
+        assert_eq!(c.adversarial_windows(), 0);
+        let rec = c.history().last().unwrap();
+        assert!(!rec.adversarial);
+        assert!(
+            rec.reward < -0.25,
+            "without the guard the collapse hits the agent raw: {}",
+            rec.reward
+        );
+    }
+
+    #[test]
+    fn guard_tolerates_organic_drift() {
+        let mut c = Controller::new(small_cfg());
+        // Hit rate degrades gradually (workload shift, not an attack).
+        for miss in [100u64, 150, 200, 250, 300, 350] {
+            c.end_of_window(&window(1000, 0, 0, miss));
+        }
+        assert_eq!(
+            c.adversarial_windows(),
+            0,
+            "gradual degradation must not trip the guard"
+        );
+    }
+
+    #[test]
+    fn out_of_band_features_are_clipped() {
+        let mut c = Controller::new(small_cfg());
+        let mut w = window(500, 300, 200, 400);
+        w.cache_fraction = 1.0e9; // a blown-out counter feeding a feature
+        let d = c.end_of_window(&w);
+        assert!(c.feature_clamps() > 0, "oversized feature must be clipped");
+        assert!(d.range_ratio.is_finite());
+        if let Some((state, _)) = &c.last {
+            assert!(state.iter().all(|v| (0.0..=2.0).contains(v)));
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::controller::CacheDecision;
 use crate::stats::{Counters, Snapshot, WindowSummary};
 use adcache_cache::{
     BlockCache, CacheusPolicy, CompactionPrefetcher, KvCache, LeCaRPolicy, LruPolicy,
-    PointAdmission, PointLookup, RangeCache, ScanAdmission,
+    PointAdmission, PointLookup, RangeCache, ScanAdmission, SketchGuard,
 };
 use adcache_lsm::{DirectProvider, Key, LsmTree, Options, Result, Storage, Value};
 use adcache_obs::{AdmissionOutcome, AdmissionReason, CacheStructure, Counter, Event, Gauge, Obs};
@@ -86,6 +86,9 @@ pub struct EngineConfig {
     /// this many leading blocks of every output file into the block cache
     /// (0 = off, the paper's configuration).
     pub compaction_prefetch_blocks: usize,
+    /// Whether the admission sketch's anomaly guard is armed (auto reset +
+    /// re-salt when saturation/decay telemetry looks adversarial).
+    pub sketch_guard: bool,
 }
 
 impl EngineConfig {
@@ -100,6 +103,7 @@ impl EngineConfig {
             boundary_hysteresis: 0.02,
             serve_partial_range: true,
             compaction_prefetch_blocks: 0,
+            sketch_guard: true,
         }
     }
 }
@@ -263,9 +267,15 @@ impl CachedDb {
                     cfg.range_boundaries.clone(),
                     Box::new(|| Box::new(LruPolicy::new())),
                 ));
-                point_admission = Some(Mutex::new(PointAdmission::new(
+                let guard = if cfg.sketch_guard {
+                    SketchGuard::default()
+                } else {
+                    SketchGuard::off()
+                };
+                point_admission = Some(Mutex::new(PointAdmission::with_guard(
                     cfg.expected_keys,
                     d.point_threshold,
+                    guard,
                 )));
             }
         }
@@ -320,6 +330,9 @@ impl CachedDb {
         if let Some(kv) = &self.kv_cache {
             kv.set_obs(obs.clone());
         }
+        if let Some(adm) = &self.point_admission {
+            adm.lock().set_obs(obs.clone());
+        }
         let _ = self.obs.set(EngineObsHooks::new(obs));
         // Publish the current boundary position so live views see it
         // before the first controller decision moves it.
@@ -360,6 +373,14 @@ impl CachedDb {
     /// The range cache, when the strategy has one.
     pub fn range_cache(&self) -> Option<&RangeCache> {
         self.range_cache.as_ref()
+    }
+
+    /// Auto-resets the admission sketch's anomaly guard has performed
+    /// (0 when the strategy has no point admission).
+    pub fn sketch_resets(&self) -> u64 {
+        self.point_admission
+            .as_ref()
+            .map_or(0, |adm| adm.lock().resets())
     }
 
     /// Point lookup along the paper's query-handling path.

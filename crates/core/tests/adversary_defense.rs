@@ -1,0 +1,155 @@
+//! Cross-crate adversarial efficacy checks: the attack generators from
+//! `adcache-workload` must genuinely threaten the admission sketch from
+//! `adcache-cache` (otherwise the robustness drills measure nothing), and
+//! the epoch re-salt defense must genuinely disarm them.
+
+use adcache_cache::CountMinSketch;
+use adcache_core::{CacheDecision, CachedDb, EngineConfig, Strategy};
+use adcache_lsm::{MemStorage, Options};
+use adcache_workload::zipf::fnv1a64;
+use adcache_workload::{parse_key, AdversaryConfig, AdversaryGen, AdversaryKind, AttackPlan};
+use adcache_workload::{render_key, Operation};
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// Replays the collision plan's GET phase against a sketch: round-robin
+/// increments over the mined keys, exactly like the wire attack drives
+/// the engine's miss path.
+fn hammer(sketch: &mut CountMinSketch, ids: &[u64], rounds: usize) {
+    for _ in 0..rounds {
+        for &id in ids {
+            sketch.increment(&render_key(id));
+        }
+    }
+}
+
+/// The mined collision set inflates the victim's frequency estimate far
+/// past what any honest key can sustain under saturation decay — without
+/// the attacker ever touching the victim. An epoch re-salt then breaks
+/// every precomputed collision: replaying the identical attack against
+/// the re-salted sketch leaves the victim's estimate at honest levels.
+#[test]
+fn collision_plan_inflates_victim_until_resalt() {
+    let num_keys = 1_000u64;
+    let mut cfg = AdversaryConfig::new(AdversaryKind::SketchCollision, num_keys, 42);
+    // A deeper mined set than the wire default: this test measures the raw
+    // collision mechanism, so pile enough colliders per row that the
+    // victim's estimate visibly rides above the saturation cap.
+    cfg.collisions_per_row = 8;
+    let plan = AttackPlan::build(&cfg);
+    assert!(!plan.is_empty(), "mining must succeed at this width");
+
+    let mut sketch = CountMinSketch::for_keys(num_keys as usize);
+
+    // The victim is the workload's hottest key (scrambled rank 0); the
+    // attacker never sends it. With saturation 8, an honest key's
+    // estimate can never exceed 8 between decays — riding above that is
+    // the collision signature.
+    let victim = fnv1a64(0) % num_keys;
+    assert!(
+        !plan.collision_ids.contains(&victim),
+        "collision keys sit outside the legit space"
+    );
+    hammer(&mut sketch, &plan.collision_ids, 100);
+    let inflated = sketch.estimate(&render_key(victim));
+    assert!(
+        inflated > 8,
+        "attack must push the untouched victim past the saturation cap, got {inflated}"
+    );
+
+    // Defense: re-salt the rows. The same precomputed ids now scatter
+    // across unrelated buckets, so the victim's estimate stays honest.
+    sketch.reset(0x0D15_A53D);
+    hammer(&mut sketch, &plan.collision_ids, 100);
+    let post = sketch.estimate(&render_key(victim));
+    assert!(
+        post <= 8,
+        "re-salt must break precomputed collisions, got {post}"
+    );
+    assert!(post < inflated);
+}
+
+/// The generator's full wire stream (PUT seeding, then Delete→Put→Get
+/// hammer rounds) decodes back to the mined ids, so what travels over the
+/// protocol is the same attack the sketch test above measures.
+#[test]
+fn collision_stream_replays_the_mined_plan() {
+    let cfg = AdversaryConfig::new(AdversaryKind::SketchCollision, 1_000, 9);
+    let plan = AttackPlan::build(&cfg);
+    let ids = plan.collision_ids.clone();
+    let mut gen = AdversaryGen::new(cfg, plan);
+    for _ in 0..ids.len() * 4 {
+        let id = match gen.next_op() {
+            Operation::Put { key, .. } | Operation::Get { key } | Operation::Delete { key } => {
+                parse_key(&key).expect("attack keys use the workload encoding")
+            }
+            other => panic!("unexpected op {other:?}"),
+        };
+        assert!(ids.contains(&id), "stream strays from the mined plan");
+    }
+}
+
+/// Drives an attack stream straight into a [`CachedDb`] and returns the
+/// engine's stats plus the guard's reset count.
+fn drive_attack(kind: AdversaryKind, ops: u64) -> (adcache_core::EngineStatsReport, u64) {
+    let keys = 4_000u64;
+    let mut cfg = EngineConfig::new(Strategy::AdCache, 256 << 10);
+    cfg.expected_keys = keys as usize;
+    cfg.sketch_guard = true;
+    let db = CachedDb::new(Options::small(), Arc::new(MemStorage::new()), cfg).unwrap();
+    db.apply_decision(&CacheDecision {
+        point_threshold: 0.0005,
+        ..Default::default()
+    });
+    for k in 0..keys {
+        db.load(render_key(k), Bytes::from(vec![0x5A; 100]))
+            .unwrap();
+    }
+    db.db().flush().unwrap();
+    let acfg = AdversaryConfig::new(kind, keys, 7);
+    let plan = AttackPlan::build(&acfg);
+    let mut gen = AdversaryGen::new(acfg, plan);
+    for _ in 0..ops {
+        match gen.next_op() {
+            Operation::Get { key } => {
+                let _ = db.get(&key);
+            }
+            Operation::Put { key, value } => db.put(key, value).unwrap(),
+            Operation::Delete { key } => db.delete(key).unwrap(),
+            Operation::Scan { from, len } => {
+                let _ = db.scan(&from, len);
+            }
+        }
+    }
+    (db.stats_report(), db.sketch_resets())
+}
+
+/// The churn rotation's byte footprint overflows the cache, so its GETs
+/// must keep *missing* — the attack only works (and the drill only
+/// measures something) if the cache cannot absorb the rotation.
+#[test]
+fn churn_rotation_defeats_cache_absorption() {
+    let ops = 30_000;
+    let (stats, _) = drive_attack(AdversaryKind::KeyChurn, ops);
+    // One GET per Delete→Put→Get round; the warm-up admits each key once,
+    // after which eviction must keep forcing re-misses.
+    assert!(
+        stats.cache_misses >= ops / 6,
+        "churn GETs must keep missing, got {} misses over {} ops",
+        stats.cache_misses,
+        ops
+    );
+}
+
+/// The collision rounds concentrate sketch increments hard enough to trip
+/// the decay-flood guard: the defended engine re-salts at least once.
+#[test]
+fn collision_rounds_trip_the_sketch_guard_through_the_engine() {
+    let (stats, resets) = drive_attack(AdversaryKind::SketchCollision, 60_000);
+    assert!(
+        stats.cache_misses >= 10_000,
+        "collision GETs must keep missing, got {}",
+        stats.cache_misses
+    );
+    assert!(resets >= 1, "collision rounds must trip the sketch guard");
+}

@@ -363,6 +363,44 @@ pub enum Event {
         /// Histograms included in the snapshot line.
         histograms: u64,
     },
+    /// The controller flagged a window as adversarial: the smoothed hit
+    /// estimate collapsed faster than any organic drift allows, so the
+    /// reward was clamped and policy adaptation frozen for the window.
+    AdversaryDetected {
+        /// Which guard fired (`controller` today; layer label, not freeform).
+        source: String,
+        /// Raw hit estimate of the suspect window.
+        h_estimate: f64,
+        /// Smoothed hit estimate after the EMA update.
+        h_smoothed: f64,
+        /// Reward before the adversarial clamp.
+        raw_reward: f64,
+        /// Reward actually fed to the agent after clamping.
+        clamped_reward: f64,
+    },
+    /// The admission sketch auto-reset under anomalous saturation or
+    /// decay churn, re-salting its hash rows for the new epoch.
+    SketchReset {
+        /// Epoch number after the reset (1-based; epoch 0 is unsalted).
+        epoch: u64,
+        /// Saturation-decay sweeps observed in the window that tripped
+        /// the guard.
+        decays: u64,
+        /// Percentage of sketch counters nonzero when the guard fired.
+        fill_pct: u64,
+        /// Increments observed in the window that tripped the guard.
+        increments: u64,
+    },
+    /// A per-connection admission quota throttled a request; the request
+    /// was answered with an `Err` reply without touching the engine.
+    QuotaThrottled {
+        /// Connection whose token bucket ran dry.
+        conn: u64,
+        /// Stable opcode label of the throttled request.
+        opcode: String,
+        /// Requests throttled on this connection so far.
+        throttled: u64,
+    },
 }
 
 impl Event {
@@ -395,6 +433,9 @@ impl Event {
             Event::SlowRequest { .. } => "SlowRequest",
             Event::LockContention { .. } => "LockContention",
             Event::SnapshotWritten { .. } => "SnapshotWritten",
+            Event::AdversaryDetected { .. } => "AdversaryDetected",
+            Event::SketchReset { .. } => "SketchReset",
+            Event::QuotaThrottled { .. } => "QuotaThrottled",
         }
     }
 }

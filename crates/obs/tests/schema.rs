@@ -223,6 +223,33 @@ fn exemplars() -> Vec<(Event, &'static str)> {
             },
             r#"{"SnapshotWritten":{"seq":12,"counters":40,"histograms":9}}"#,
         ),
+        (
+            Event::AdversaryDetected {
+                source: "controller".into(),
+                h_estimate: 0.125,
+                h_smoothed: 0.5,
+                raw_reward: -1.0,
+                clamped_reward: -0.25,
+            },
+            r#"{"AdversaryDetected":{"source":"controller","h_estimate":0.125,"h_smoothed":0.5,"raw_reward":-1.0,"clamped_reward":-0.25}}"#,
+        ),
+        (
+            Event::SketchReset {
+                epoch: 3,
+                decays: 40,
+                fill_pct: 81,
+                increments: 4096,
+            },
+            r#"{"SketchReset":{"epoch":3,"decays":40,"fill_pct":81,"increments":4096}}"#,
+        ),
+        (
+            Event::QuotaThrottled {
+                conn: 7,
+                opcode: "scan".into(),
+                throttled: 1024,
+            },
+            r#"{"QuotaThrottled":{"conn":7,"opcode":"scan","throttled":1024}}"#,
+        ),
     ]
 }
 
@@ -231,7 +258,7 @@ fn every_event_kind_serializes_to_its_golden_form() {
     let exemplars = exemplars();
     assert_eq!(
         exemplars.len(),
-        26,
+        29,
         "new Event variants need a golden exemplar here"
     );
     for (event, golden) in &exemplars {

@@ -46,7 +46,7 @@ pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
-pub use loadgen::{request_of, Client, LoadReport, LoadgenConfig, NetSink};
+pub use loadgen::{classify_error, request_of, Client, LoadReport, LoadgenConfig, NetSink};
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, FrameError, MetricsFormat,
     Opcode, Progress, Request, Response, Status,

@@ -22,8 +22,10 @@ use crate::protocol::{
     DEFAULT_MAX_FRAME,
 };
 use adcache_obs::Histogram;
-use adcache_workload::{Mix, OpSink, Operation, WorkloadConfig, WorkloadGen};
-use std::collections::VecDeque;
+use adcache_workload::{
+    AdversaryConfig, AdversaryGen, AttackPlan, Mix, OpSink, Operation, WorkloadConfig, WorkloadGen,
+};
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -138,6 +140,21 @@ pub fn request_of(op: &Operation) -> Request {
     }
 }
 
+/// Buckets a server `Err` reply by cause, keyed on the message the
+/// server actually sends: admission-quota rejections start with
+/// `"quota"`, overload refusals mention the connection limit, and
+/// anything else is attributed to the engine. Stable keys let reports,
+/// assertions, and drills count each defense separately.
+pub fn classify_error(msg: &str) -> &'static str {
+    if msg.starts_with("quota") {
+        "quota"
+    } else if msg.contains("connection limit") {
+        "overload"
+    } else {
+        "engine"
+    }
+}
+
 /// A [`Client`] as an operation sink, so any generated or recorded
 /// workload replays over the wire exactly as it would in-process.
 pub struct NetSink {
@@ -148,6 +165,8 @@ pub struct NetSink {
     pub not_found: u64,
     /// Operations the server answered with an `Err` frame.
     pub server_errors: u64,
+    /// `server_errors` split by [`classify_error`] cause.
+    pub errors_by_cause: BTreeMap<String, u64>,
 }
 
 impl NetSink {
@@ -158,6 +177,7 @@ impl NetSink {
             latency: Histogram::new(),
             not_found: 0,
             server_errors: 0,
+            errors_by_cause: BTreeMap::new(),
         }
     }
 
@@ -177,7 +197,13 @@ impl OpSink for NetSink {
         self.latency.record(start.elapsed().as_nanos() as u64);
         match resp {
             Response::NotFound => self.not_found += 1,
-            Response::Error(_) => self.server_errors += 1,
+            Response::Error(msg) => {
+                self.server_errors += 1;
+                *self
+                    .errors_by_cause
+                    .entry(classify_error(&msg).to_string())
+                    .or_insert(0) += 1;
+            }
             _ => {}
         }
         Ok(())
@@ -200,6 +226,13 @@ pub struct LoadgenConfig {
     pub workload: WorkloadConfig,
     /// `Some(q)`: open loop at `q` ops/s overall; `None`: closed loop.
     pub target_qps: Option<u64>,
+    /// `Some`: blend hostile traffic into the run. Whole *connections*
+    /// turn adversarial (not interleaved ops), mirroring real attackers
+    /// and giving per-connection defenses something to bite on.
+    pub adversary: Option<AdversaryConfig>,
+    /// Fraction of connections that run the adversary (rounded, and at
+    /// least one when `adversary` is set and the fraction is positive).
+    pub adversary_frac: f64,
 }
 
 impl Default for LoadgenConfig {
@@ -211,6 +244,8 @@ impl Default for LoadgenConfig {
             mix: Mix::new(40.0, 25.0, 5.0, 30.0),
             workload: WorkloadConfig::default(),
             target_qps: None,
+            adversary: None,
+            adversary_frac: 0.0,
         }
     }
 }
@@ -227,12 +262,20 @@ pub struct LoadReport {
     /// Client-side protocol violations (lost / misordered / undecodable
     /// replies). Must be zero on a healthy run.
     pub protocol_errors: u64,
+    /// `server_errors` split by [`classify_error`] cause, so a run can
+    /// tell quota throttling apart from genuine engine failures.
+    pub errors_by_cause: BTreeMap<String, u64>,
+    /// Operations issued by adversarial connections.
+    pub adversary_ops: u64,
     /// Wall-clock run time.
     pub elapsed: Duration,
     /// Achieved throughput.
     pub qps: f64,
     /// Round-trip latency distribution (open loop: includes queueing).
     pub latency: Histogram,
+    /// Latency of legitimate connections only — the victim's view of an
+    /// attack. Equals `latency` when no adversary is configured.
+    pub legit_latency: Histogram,
 }
 
 impl LoadReport {
@@ -251,7 +294,7 @@ impl LoadReport {
     pub fn render(&self) -> String {
         let (p50, p95, p99, p999, max) = self.tail_ns();
         let us = |ns: u64| ns as f64 / 1_000.0;
-        format!(
+        let mut out = format!(
             "ops        {}\n\
              errors     {} server, {} protocol, {} not-found\n\
              elapsed    {:.3} s\n\
@@ -268,7 +311,25 @@ impl LoadReport {
             us(p99),
             us(p999),
             us(max)
-        )
+        );
+        if !self.errors_by_cause.is_empty() {
+            let causes: Vec<String> = self
+                .errors_by_cause
+                .iter()
+                .map(|(cause, n)| format!("{cause} {n}"))
+                .collect();
+            out.push_str(&format!("\nerr causes {}", causes.join(" | ")));
+        }
+        if self.adversary_ops > 0 {
+            out.push_str(&format!(
+                "\nadversary  {} ops\nlegit      p50 {:.1} us | p99 {:.1} us | p999 {:.1} us",
+                self.adversary_ops,
+                us(self.legit_latency.quantile(0.50)),
+                us(self.legit_latency.quantile(0.99)),
+                us(self.legit_latency.quantile(0.999)),
+            ));
+        }
+        out
     }
 }
 
@@ -277,30 +338,79 @@ struct ThreadOutcome {
     not_found: u64,
     server_errors: u64,
     protocol_errors: u64,
+    errors_by_cause: BTreeMap<String, u64>,
+    adversary_ops: u64,
     latency: Histogram,
+    legit_latency: Histogram,
+}
+
+/// One connection's operation stream: either legitimate workload ops or
+/// an attack generator. Decided per connection, never per op.
+enum OpSource {
+    Legit(Box<WorkloadGen>, Mix),
+    Adversary(Box<AdversaryGen>),
+}
+
+impl OpSource {
+    fn next_op(&mut self) -> Operation {
+        match self {
+            OpSource::Legit(gen, mix) => gen.next_op(mix),
+            OpSource::Adversary(gen) => gen.next_op(),
+        }
+    }
+
+    fn is_legit(&self) -> bool {
+        matches!(self, OpSource::Legit(..))
+    }
 }
 
 /// Runs the configured load and aggregates per-connection results.
 pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
     let conns = cfg.connections.max(1);
+    let adv_conns = match &cfg.adversary {
+        Some(_) if cfg.adversary_frac > 0.0 => {
+            ((cfg.adversary_frac * conns as f64).round() as usize).clamp(1, conns)
+        }
+        _ => 0,
+    };
+    // Collision mining is the expensive part of plan construction; do it
+    // once and share the plan across adversarial connections.
+    let plan = cfg
+        .adversary
+        .as_ref()
+        .map(AttackPlan::build)
+        .unwrap_or_default();
     let per_conn = cfg.ops / conns as u64;
     let remainder = cfg.ops % conns as u64;
     let started = Instant::now();
     let mut handles = Vec::with_capacity(conns);
     for i in 0..conns {
         let cfg = cfg.clone();
+        let plan = plan.clone();
         let ops = per_conn + u64::from((i as u64) < remainder);
         handles.push(std::thread::spawn(
             move || -> std::io::Result<ThreadOutcome> {
-                let mut gen = WorkloadGen::new(WorkloadConfig {
-                    seed: cfg.workload.seed + i as u64,
-                    ..cfg.workload
-                });
+                let mut source = if i < adv_conns {
+                    let adv = cfg.adversary.clone().expect("adv_conns implies adversary");
+                    let adv = AdversaryConfig {
+                        seed: adv.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        ..adv
+                    };
+                    OpSource::Adversary(Box::new(AdversaryGen::new(adv, plan)))
+                } else {
+                    OpSource::Legit(
+                        Box::new(WorkloadGen::new(WorkloadConfig {
+                            seed: cfg.workload.seed + i as u64,
+                            ..cfg.workload
+                        })),
+                        cfg.mix,
+                    )
+                };
                 match cfg.target_qps {
-                    None => closed_loop(&cfg.addr, &mut gen, &cfg.mix, ops),
+                    None => closed_loop(&cfg.addr, &mut source, ops),
                     Some(q) => {
                         let rate = (q / conns as u64).max(1);
-                        open_loop(&cfg.addr, &mut gen, &cfg.mix, ops, rate)
+                        open_loop(&cfg.addr, &mut source, ops, rate)
                     }
                 }
             },
@@ -311,9 +421,12 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
         not_found: 0,
         server_errors: 0,
         protocol_errors: 0,
+        errors_by_cause: BTreeMap::new(),
+        adversary_ops: 0,
         elapsed: Duration::ZERO,
         qps: 0.0,
         latency: Histogram::new(),
+        legit_latency: Histogram::new(),
     };
     for h in handles {
         let outcome = h
@@ -323,35 +436,43 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
         report.not_found += outcome.not_found;
         report.server_errors += outcome.server_errors;
         report.protocol_errors += outcome.protocol_errors;
+        for (cause, n) in outcome.errors_by_cause {
+            *report.errors_by_cause.entry(cause).or_insert(0) += n;
+        }
+        report.adversary_ops += outcome.adversary_ops;
         report.latency.merge(&outcome.latency);
+        report.legit_latency.merge(&outcome.legit_latency);
     }
     report.elapsed = started.elapsed();
     report.qps = report.ops as f64 / report.elapsed.as_secs_f64().max(1e-9);
     Ok(report)
 }
 
-fn closed_loop(
-    addr: &str,
-    gen: &mut WorkloadGen,
-    mix: &Mix,
-    ops: u64,
-) -> std::io::Result<ThreadOutcome> {
+fn closed_loop(addr: &str, source: &mut OpSource, ops: u64) -> std::io::Result<ThreadOutcome> {
     let mut sink = NetSink::new(Client::connect(addr)?);
     let mut protocol_errors = 0u64;
     let mut done = 0u64;
     for _ in 0..ops {
-        let op = gen.next_op(mix);
+        let op = source.next_op();
         match sink.apply(&op) {
             Ok(()) => done += 1,
             Err(e) if e.kind() == std::io::ErrorKind::InvalidData => protocol_errors += 1,
             Err(e) => return Err(e),
         }
     }
+    let legit = source.is_legit();
     Ok(ThreadOutcome {
         ops: done,
         not_found: sink.not_found,
         server_errors: sink.server_errors,
         protocol_errors,
+        errors_by_cause: sink.errors_by_cause,
+        adversary_ops: if legit { 0 } else { done },
+        legit_latency: if legit {
+            sink.latency.clone()
+        } else {
+            Histogram::new()
+        },
         latency: sink.latency,
     })
 }
@@ -363,10 +484,21 @@ struct Pending {
     sent_at: Instant,
 }
 
+/// Cap on outstanding open-loop requests per connection. Pure open loop
+/// has unbounded queues: when the server falls behind, every subsequent
+/// op's measured latency is dominated by the standing backlog, so p99
+/// degenerates into "how long was the phase" — enormous and unstable
+/// run to run. Bounding the in-flight window keeps the measurement in
+/// the bounded-queue regime (p99 ≈ queue cap × service time) while the
+/// send clock still ignores individual replies. It also smooths
+/// catch-up bursts after a stall, which otherwise dump hundreds of ops
+/// into the socket at once and blow through per-connection token quotas
+/// that the same traffic respects at its steady rate.
+const OPEN_LOOP_MAX_INFLIGHT: usize = 128;
+
 fn open_loop(
     addr: &str,
-    gen: &mut WorkloadGen,
-    mix: &Mix,
+    source: &mut OpSource,
     ops: u64,
     rate_per_sec: u64,
 ) -> std::io::Result<ThreadOutcome> {
@@ -375,13 +507,17 @@ fn open_loop(
     stream.set_nonblocking(true)?;
     let interval = Duration::from_nanos(1_000_000_000 / rate_per_sec.max(1));
     let started = Instant::now();
+    let legit = source.is_legit();
 
     let mut out = ThreadOutcome {
         ops: 0,
         not_found: 0,
         server_errors: 0,
         protocol_errors: 0,
+        errors_by_cause: BTreeMap::new(),
+        adversary_ops: 0,
         latency: Histogram::new(),
+        legit_latency: Histogram::new(),
     };
     let mut pending: VecDeque<Pending> = VecDeque::new();
     let mut rbuf: Vec<u8> = Vec::new();
@@ -392,10 +528,11 @@ fn open_loop(
     let mut stream = stream;
 
     while out.ops + out.protocol_errors < ops {
-        // Schedule sends by wall clock, independent of replies.
+        // Schedule sends by wall clock, independent of replies — but
+        // never more than the in-flight cap ahead of them.
         let due = (started.elapsed().as_nanos() / interval.as_nanos().max(1)) as u64 + 1;
-        while sent < ops && sent < due {
-            let op = gen.next_op(mix);
+        while sent < ops && sent < due && pending.len() < OPEN_LOOP_MAX_INFLIGHT {
+            let op = source.next_op();
             let req = request_of(&op);
             let id = next_id;
             next_id += 1;
@@ -443,10 +580,21 @@ fn open_loop(
                     match decoded {
                         Ok((id, resp)) if id == head.id => {
                             out.ops += 1;
-                            out.latency.record(head.sent_at.elapsed().as_nanos() as u64);
+                            let rtt = head.sent_at.elapsed().as_nanos() as u64;
+                            out.latency.record(rtt);
+                            if legit {
+                                out.legit_latency.record(rtt);
+                            } else {
+                                out.adversary_ops += 1;
+                            }
                             match resp {
                                 Response::NotFound => out.not_found += 1,
-                                Response::Error(_) => out.server_errors += 1,
+                                Response::Error(msg) => {
+                                    out.server_errors += 1;
+                                    *out.errors_by_cause
+                                        .entry(classify_error(&msg).to_string())
+                                        .or_insert(0) += 1;
+                                }
                                 _ => {}
                             }
                         }

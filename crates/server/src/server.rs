@@ -67,6 +67,20 @@ pub struct ServerConfig {
     /// Requests whose total stage time meets this threshold journal a
     /// `SlowRequest` event with the full stage breakdown (0 disables).
     pub slow_request_ns: u64,
+    /// Per-connection admission quota in sustained tokens per second,
+    /// where one token ≈ one point read (0 disables). A token bucket per
+    /// connection: GET costs one token, DELETE costs four and PUT
+    /// `4 + value_len/1024` (write amplification, scaled by the payload),
+    /// a scan costs `1 + limit/16` (it does proportionally
+    /// more engine work), and control-plane opcodes (PING/STATS/METRICS/
+    /// SHUTDOWN) are free so a throttled client — or an operator during an
+    /// attack — can always observe and drain the server. Over-quota
+    /// requests are answered with an `Err` reply and never reach the
+    /// engine; the connection survives.
+    pub quota_ops: u64,
+    /// Token-bucket capacity (burst allowance); 0 sizes it to one second
+    /// of `quota_ops`.
+    pub quota_burst: u64,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +94,8 @@ impl Default for ServerConfig {
             max_write_buffer: 4 << 20,
             sample_every: 64,
             slow_request_ns: 10_000_000,
+            quota_ops: 0,
+            quota_burst: 0,
         }
     }
 }
@@ -110,6 +126,9 @@ pub struct ServeReport {
     pub conns_closed: u64,
     /// Connections refused at the `max_conns` ceiling.
     pub conns_refused: u64,
+    /// Requests shed by per-connection admission quotas (answered with an
+    /// `Err` reply without touching the engine).
+    pub quota_throttled: u64,
     /// Bytes read off sockets.
     pub bytes_in: u64,
     /// Bytes written to sockets.
@@ -120,6 +139,7 @@ pub struct ServeReport {
 struct Metrics {
     requests: Counter,
     protocol_errors: Counter,
+    quota_throttled: Counter,
     bytes_in: Counter,
     bytes_out: Counter,
     conns_active: Gauge,
@@ -136,6 +156,7 @@ impl Metrics {
         Metrics {
             requests: obs.counter("server.requests"),
             protocol_errors: obs.counter("server.protocol_errors"),
+            quota_throttled: obs.counter("server.quota.throttled"),
             bytes_in: obs.counter("server.bytes_in"),
             bytes_out: obs.counter("server.bytes_out"),
             conns_active: obs.gauge("server.conns.active"),
@@ -173,6 +194,7 @@ struct Shared {
     conns_accepted: AtomicU64,
     conns_closed: AtomicU64,
     conns_refused: AtomicU64,
+    quota_throttled: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
 }
@@ -185,6 +207,7 @@ impl Shared {
             conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
             conns_closed: self.conns_closed.load(Ordering::Relaxed),
             conns_refused: self.conns_refused.load(Ordering::Relaxed),
+            quota_throttled: self.quota_throttled.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
         }
@@ -209,6 +232,12 @@ struct Conn {
     requests: u64,
     bytes_in: u64,
     bytes_out: u64,
+    /// Admission-quota token bucket (filled lazily from `tokens_at`).
+    tokens: f64,
+    /// Last bucket refill instant.
+    tokens_at: Instant,
+    /// Requests throttled on this connection.
+    throttled: u64,
     /// Set once the connection should close after its replies flush.
     closing: Option<ConnCloseCause>,
 }
@@ -253,6 +282,7 @@ impl Server {
             conns_accepted: AtomicU64::new(0),
             conns_closed: AtomicU64::new(0),
             conns_refused: AtomicU64::new(0),
+            quota_throttled: AtomicU64::new(0),
             bytes_in: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
         });
@@ -452,6 +482,10 @@ fn adopt(shared: &Shared, stream: TcpStream) -> Option<Conn> {
         requests: 0,
         bytes_in: 0,
         bytes_out: 0,
+        // A fresh connection starts with a full burst allowance.
+        tokens: quota_burst(&shared.cfg),
+        tokens_at: Instant::now(),
+        throttled: 0,
         closing: None,
     })
 }
@@ -604,37 +638,41 @@ fn execute(shared: &Shared, conn: &mut Conn, id: u64, req: &Request, parse_ns: u
         reset_lock_probe();
     }
     let start = Instant::now();
-    let resp = match req {
-        Request::Ping => Response::Ok,
-        Request::Get { key } => match shared.db.get(key) {
-            Ok(Some(v)) => Response::Value(v),
-            Ok(None) => Response::NotFound,
-            Err(e) => Response::Error(e.to_string()),
-        },
-        Request::Put { key, value } => match shared.db.put(key.clone(), value.clone()) {
-            Ok(()) => Response::Ok,
-            Err(e) => Response::Error(e.to_string()),
-        },
-        Request::Delete { key } => match shared.db.delete(key.clone()) {
-            Ok(()) => Response::Ok,
-            Err(e) => Response::Error(e.to_string()),
-        },
-        Request::Scan { from, limit } => match shared.db.scan(from, *limit as usize) {
-            Ok(entries) => Response::Entries(entries),
-            Err(e) => Response::Error(e.to_string()),
-        },
-        Request::Stats => Response::Stats(stats_json(shared)),
-        Request::Shutdown => {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            Response::Ok
+    let resp = if let Some(denied) = quota_check(shared, conn, req) {
+        denied
+    } else {
+        match req {
+            Request::Ping => Response::Ok,
+            Request::Get { key } => match shared.db.get(key) {
+                Ok(Some(v)) => Response::Value(v),
+                Ok(None) => Response::NotFound,
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Request::Put { key, value } => match shared.db.put(key.clone(), value.clone()) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Request::Delete { key } => match shared.db.delete(key.clone()) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Request::Scan { from, limit } => match shared.db.scan(from, *limit as usize) {
+                Ok(entries) => Response::Entries(entries),
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Request::Stats => Response::Stats(stats_json(shared)),
+            Request::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                Response::Ok
+            }
+            Request::Metrics { format } => match shared.obs.registry() {
+                Some(reg) => Response::Metrics(match format {
+                    MetricsFormat::Json => reg.snapshot_json(),
+                    MetricsFormat::Prometheus => reg.prometheus_text(),
+                }),
+                None => Response::Error("telemetry disabled".into()),
+            },
         }
-        Request::Metrics { format } => match shared.obs.registry() {
-            Some(reg) => Response::Metrics(match format {
-                MetricsFormat::Json => reg.snapshot_json(),
-                MetricsFormat::Prometheus => reg.prometheus_text(),
-            }),
-            None => Response::Error("telemetry disabled".into()),
-        },
     };
     let latency_ns = start.elapsed().as_nanos() as u64;
     shared.metrics.inflight.set(0);
@@ -695,6 +733,72 @@ fn execute(shared: &Shared, conn: &mut Conn, id: u64, req: &Request, parse_ns: u
     }
 }
 
+/// The effective token-bucket capacity for `cfg` (one second of sustained
+/// rate unless overridden).
+fn quota_burst(cfg: &ServerConfig) -> f64 {
+    if cfg.quota_burst > 0 {
+        cfg.quota_burst as f64
+    } else {
+        cfg.quota_ops.max(1) as f64
+    }
+}
+
+/// Per-connection admission quota: refills `conn`'s token bucket and takes
+/// this request's cost from it. Returns the `Err` reply to send instead of
+/// executing when the bucket runs dry. Control-plane opcodes are exempt —
+/// observation and shutdown must stay possible during an attack.
+fn quota_check(shared: &Shared, conn: &mut Conn, req: &Request) -> Option<Response> {
+    let rate = shared.cfg.quota_ops;
+    if rate == 0 {
+        return None;
+    }
+    let cost = match req {
+        Request::Get { .. } => 1.0,
+        // Writes amplify: every payload byte is carried again by the WAL,
+        // the flush, and each compaction level it passes through, and a
+        // delete/overwrite additionally evicts cached state. Pricing a
+        // put at one token per 128 bytes (≈ the multi-level write
+        // amplification of a point read's work) lets a bulk-payload
+        // attacker exhaust its budget in a few requests while a legit
+        // client's small writes stay near the flat floor.
+        Request::Put { value, .. } => 4.0 + value.len() as f64 / 128.0,
+        Request::Delete { .. } => 4.0,
+        // A scan does work proportional to its limit — hundreds of entry
+        // visits per request, each comparable to a point lookup. Charging
+        // near one token per entry keeps a flood of wide scans from
+        // hiding three orders of magnitude of work behind one token,
+        // while a legit client's short scans stay cheap.
+        Request::Scan { limit, .. } => 1.0 + *limit as f64 / 2.0,
+        _ => return None,
+    };
+    let now = Instant::now();
+    let dt = now.duration_since(conn.tokens_at).as_secs_f64();
+    conn.tokens_at = now;
+    conn.tokens = (conn.tokens + dt * rate as f64).min(quota_burst(&shared.cfg));
+    if conn.tokens >= cost {
+        conn.tokens -= cost;
+        return None;
+    }
+    conn.throttled += 1;
+    shared.quota_throttled.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.quota_throttled.inc();
+    // Journal the first throttle per connection (the defense activated)
+    // and then every 1024th, so a sustained attack cannot flood the
+    // journal either.
+    if conn.throttled == 1 || conn.throttled.is_multiple_of(1024) {
+        let throttled = conn.throttled;
+        let opcode = req.opcode().label().to_string();
+        shared.obs.emit(|| Event::QuotaThrottled {
+            conn: conn.id,
+            opcode,
+            throttled,
+        });
+    }
+    Some(Response::Error(format!(
+        "quota exceeded: connection limited to {rate} tokens/s"
+    )))
+}
+
 /// A short human-readable key label for `SlowRequest` events: the
 /// (truncated, lossy-decoded) key for point ops, `from..+limit` for scans,
 /// empty for keyless opcodes.
@@ -740,6 +844,10 @@ fn stats_json(shared: &Shared) -> String {
         (
             "conns_refused".to_string(),
             Value::from(shared.conns_refused.load(Ordering::Relaxed)),
+        ),
+        (
+            "quota_throttled".to_string(),
+            Value::from(shared.quota_throttled.load(Ordering::Relaxed)),
         ),
         (
             "bytes_in".to_string(),

@@ -11,7 +11,7 @@ use adcache_obs::Obs;
 use adcache_server::{
     loadgen, Client, LoadgenConfig, MetricsFormat, Request, Response, Server, ServerConfig,
 };
-use adcache_workload::{render_key, Mix, WorkloadConfig};
+use adcache_workload::{render_key, AdversaryConfig, AdversaryKind, Mix, WorkloadConfig};
 use bytes::Bytes;
 use std::io::{Read, Write};
 use std::sync::Arc;
@@ -152,6 +152,7 @@ fn thirty_two_connections_of_mixed_zipf_traffic_lose_nothing() {
             ..Default::default()
         },
         target_qps: None,
+        ..Default::default()
     })
     .unwrap();
 
@@ -200,6 +201,7 @@ fn open_loop_mode_completes_at_target_rate() {
             ..Default::default()
         },
         target_qps: Some(50_000),
+        ..Default::default()
     })
     .unwrap();
 
@@ -513,6 +515,121 @@ fn slow_requests_are_journaled_with_stage_breakdown() {
         assert!(line.contains(field), "missing {field} in {line}");
     }
     assert!(line.contains("..+100"), "scan key renders from..+limit");
+}
+
+/// A blended adversarial run against a quota-enforcing server: hostile
+/// connections draw scan floods while legit connections run zipfian
+/// traffic. Quota rejections land in `errors_by_cause["quota"]`, never
+/// abort FIFO reply verification, and every op still completes.
+#[test]
+fn adversarial_blend_classifies_quota_errors_without_protocol_damage() {
+    let db = test_db(true);
+    let server = start_server(db.clone(), |cfg| {
+        cfg.quota_ops = 200;
+        cfg.quota_burst = 50;
+    });
+    let addr = server.local_addr().to_string();
+
+    let report = loadgen::run(&LoadgenConfig {
+        addr,
+        connections: 4,
+        ops: 4_000,
+        mix: Mix::new(60.0, 10.0, 0.0, 30.0),
+        workload: WorkloadConfig {
+            num_keys: 2_000,
+            value_size: 64,
+            seed: 13,
+            ..Default::default()
+        },
+        target_qps: None,
+        adversary: Some(AdversaryConfig::new(AdversaryKind::ScanFlood, 2_000, 99)),
+        adversary_frac: 0.5,
+    })
+    .unwrap();
+
+    assert_eq!(report.ops, 4_000, "every op completes despite throttling");
+    assert_eq!(
+        report.protocol_errors, 0,
+        "Err replies must not desync FIFO"
+    );
+    assert_eq!(report.adversary_ops, 2_000, "half the connections attack");
+    let quota = report.errors_by_cause.get("quota").copied().unwrap_or(0);
+    assert!(
+        quota > 0,
+        "scan flood must trip the quota: {:?}",
+        report.errors_by_cause
+    );
+    assert_eq!(
+        quota, report.server_errors,
+        "all errors in this run are quota rejections"
+    );
+    assert!(report.legit_latency.count() > 0);
+    assert_eq!(
+        report.legit_latency.count() + report.adversary_ops,
+        report.ops
+    );
+
+    let serve = server.shutdown();
+    assert!(serve.quota_throttled > 0);
+    assert_eq!(serve.conns_accepted, serve.conns_closed, "clean drain");
+}
+
+/// Per-connection admission quota: a connection that exceeds its token
+/// bucket gets `Err` replies that start with "quota", stays connected,
+/// and recovers once the bucket refills. Control-plane opcodes (Ping,
+/// Stats) are exempt even while the bucket is dry, and the throttling is
+/// visible in the drain report, stats, and journal.
+#[test]
+fn quota_throttles_with_error_replies_and_the_connection_survives() {
+    let db = test_db(true);
+    let server = start_server(db.clone(), |cfg| {
+        cfg.quota_ops = 20;
+        cfg.quota_burst = 20;
+    });
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+
+    // Burn through the burst and well past it as fast as we can send.
+    let mut ok = 0u64;
+    let mut throttled = 0u64;
+    for i in 0..200u64 {
+        match c
+            .call(&Request::Get {
+                key: render_key(i % 2_000),
+            })
+            .unwrap()
+        {
+            Response::Value(_) | Response::NotFound => ok += 1,
+            Response::Error(msg) => {
+                assert!(msg.starts_with("quota"), "unexpected error: {msg}");
+                throttled += 1;
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert!(ok >= 20, "the burst allowance must be admitted, got {ok}");
+    assert!(throttled > 0, "200 instant ops must exhaust a 20-op bucket");
+
+    // The control plane stays reachable while the bucket is dry.
+    assert_eq!(c.call(&Request::Ping).unwrap(), Response::Ok);
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("\"quota_throttled\""), "stats: {stats}");
+
+    // After a refill interval the same connection serves data again.
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(
+        matches!(
+            c.call(&Request::Get { key: render_key(1) }).unwrap(),
+            Response::Value(_)
+        ),
+        "bucket must refill"
+    );
+
+    let report = server.shutdown();
+    assert_eq!(report.quota_throttled, throttled);
+    assert_eq!(report.conns_accepted, report.conns_closed);
+    let trace = db.obs().trace_jsonl().unwrap();
+    assert!(trace.contains("QuotaThrottled"));
 }
 
 /// A client-issued `Shutdown` frame is acknowledged and then drains the

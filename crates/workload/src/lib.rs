@@ -10,16 +10,21 @@
 //! - [`trace`] — JSON-lines operation traces for exact replay across cache
 //!   strategies and for pretraining data collection;
 //! - [`sink`] — the [`OpSink`] abstraction that lets the same operation
-//!   stream drive an in-process engine, a network client, or a recorder.
+//!   stream drive an in-process engine, a network client, or a recorder;
+//! - [`adversary`] — hostile traffic generators (scan floods, one-hit
+//!   storms, counter churn, sketch-collision pollution) for robustness
+//!   drills.
 
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod generator;
 pub mod phases;
 pub mod sink;
 pub mod trace;
 pub mod zipf;
 
+pub use adversary::{AdversaryConfig, AdversaryGen, AdversaryKind, AttackPlan};
 pub use generator::{
     parse_key, render_key, Distribution, Mix, Operation, WorkloadConfig, WorkloadGen,
 };
