@@ -36,6 +36,9 @@ struct CliConfig {
     strategy: Strategy,
     trace: Option<std::path::PathBuf>,
     sketch_guard: bool,
+    /// Keyspace stripes; >1 also turns on background flush/compaction
+    /// workers (the serve path defaults to 16, the shell to 1).
+    stripes: usize,
 }
 
 fn parse_strategy(name: &str) -> Result<Strategy, String> {
@@ -58,6 +61,7 @@ fn parse_args() -> Result<CliConfig, String> {
         strategy: Strategy::AdCache,
         trace: None,
         sketch_guard: true,
+        stripes: 1,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -81,6 +85,14 @@ fn parse_args() -> Result<CliConfig, String> {
             "--strategy" => {
                 i += 1;
                 cfg.strategy = parse_strategy(args.get(i).ok_or("--strategy needs a name")?)?;
+            }
+            "--stripes" => {
+                i += 1;
+                cfg.stripes = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .ok_or("--stripes needs a number >= 1")?;
             }
             "--mem" => cfg.dir = None,
             "--help" | "-h" => {
@@ -138,24 +150,31 @@ fn print_help() {
 fn build_db(cfg: &CliConfig) -> Result<CachedDb, Box<dyn std::error::Error>> {
     let mut engine = EngineConfig::new(cfg.strategy, cfg.cache_mb << 20);
     engine.sketch_guard = cfg.sketch_guard;
+    let tune = |mut opts: Options| {
+        opts.stripes = cfg.stripes;
+        opts.background_maintenance = cfg.stripes > 1;
+        opts
+    };
     let db = match &cfg.dir {
         Some(dir) => {
             let storage = Arc::new(FileStorage::open(dir.join("sst"))?);
             println!(
-                "durable store at {} (strategy {}, cache {} MiB)",
+                "durable store at {} (strategy {}, cache {} MiB, {} stripes)",
                 dir.display(),
                 cfg.strategy.name(),
-                cfg.cache_mb
+                cfg.cache_mb,
+                cfg.stripes,
             );
-            CachedDb::with_durability(Options::default(), storage, dir.join("meta"), engine)?
+            CachedDb::with_durability(tune(Options::default()), storage, dir.join("meta"), engine)?
         }
         None => {
             println!(
-                "in-memory store (strategy {}, cache {} MiB)",
+                "in-memory store (strategy {}, cache {} MiB, {} stripes)",
                 cfg.strategy.name(),
-                cfg.cache_mb
+                cfg.cache_mb,
+                cfg.stripes,
             );
-            CachedDb::new(Options::small(), Arc::new(MemStorage::new()), engine)?
+            CachedDb::new(tune(Options::small()), Arc::new(MemStorage::new()), engine)?
         }
     };
     Ok(db)
@@ -198,11 +217,9 @@ fn cmd_stats(db: &CachedDb) {
     println!(
         "engine: {} SST reads (queries), {} compactions, {} flushes, {} runs / {} levels",
         db.db().query_block_reads(),
-        db.db().stats().compactions(),
+        db.db().compactions(),
         db.db()
-            .stats()
-            .flushes
-            .load(std::sync::atomic::Ordering::Relaxed),
+            .stats_sum(|s| s.flushes.load(std::sync::atomic::Ordering::Relaxed)),
         db.db().num_runs(),
         db.db().num_levels(),
     );
@@ -483,6 +500,17 @@ fn cmd_trace(dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
         metric_counter(&metrics, "lsm.compactions"),
         invalidations,
     );
+    let gc_rounds = metric_counter(&metrics, "lsm.group_commit.rounds");
+    if gc_rounds > 0 {
+        let gc_batches = metric_counter(&metrics, "lsm.group_commit.batches");
+        println!(
+            "  group commit: {gc_batches} batches in {gc_rounds} rounds \
+             ({:.2} batches/round), {} seals, {} write stalls",
+            gc_batches as f64 / gc_rounds as f64,
+            metric_counter(&metrics, "lsm.seals"),
+            metric_counter(&metrics, "lsm.write_stalls"),
+        );
+    }
 
     if let Some(h) = metrics
         .get("histograms")
@@ -637,6 +665,56 @@ fn cmd_trace(dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
 
+        // Per-stripe accounting: lock traffic, queue depths, backlog.
+        // Stripe rows exist only when the engine ran with stripes > 1.
+        let stripe_rows: Vec<(usize, u64, u64, i64, i64)> = (0..)
+            .map(|i| {
+                let mut acq = 0u64;
+                let mut wait = 0u64;
+                for path in ["read", "write", "flush", "compaction"] {
+                    acq += metric_counter(
+                        &metrics,
+                        &format!("engine.stripe.{i}.lock.{path}.acquisitions"),
+                    );
+                    wait +=
+                        metric_counter(&metrics, &format!("engine.stripe.{i}.lock.{path}.wait_ns"));
+                }
+                let depth = metric_gauge(&metrics, &format!("engine.stripe.{i}.flush_queue_depth"));
+                let backlog =
+                    metric_gauge(&metrics, &format!("engine.stripe.{i}.compaction_backlog"));
+                (i, acq, wait, depth, backlog)
+            })
+            .take_while(|(i, acq, ..)| {
+                *acq > 0
+                    || metrics
+                        .get("gauges")
+                        .and_then(|g| g.get(&format!("engine.stripe.{i}.flush_queue_depth")))
+                        .is_some()
+            })
+            .collect();
+        if !stripe_rows.is_empty() {
+            let total_wait: u64 = stripe_rows.iter().map(|(_, _, w, _, _)| w).sum();
+            println!("\nstripes ({}):", stripe_rows.len());
+            for (i, acq, wait, depth, backlog) in &stripe_rows {
+                println!(
+                    "  stripe {i:>2}: {acq:>9} lock acquisitions, wait {:>9.2}ms ({:>5.1}%), \
+                     flush queue {depth}, compaction backlog {backlog}",
+                    *wait as f64 / 1e6,
+                    if total_wait > 0 {
+                        *wait as f64 * 100.0 / total_wait as f64
+                    } else {
+                        0.0
+                    },
+                );
+            }
+            if let Some((i, _, wait, ..)) = stripe_rows.iter().max_by_key(|(_, _, w, _, _)| *w) {
+                println!(
+                    "  hottest: stripe {i} with {:.2}ms lock wait",
+                    *wait as f64 / 1e6
+                );
+            }
+        }
+
         // Slowest journaled requests, worst first.
         let mut slow: Vec<&adcache_obs::JournalRecord> = records
             .iter()
@@ -730,17 +808,32 @@ fn cmd_trace(dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
 /// `adcache serve`: put the engine behind a TCP socket and run until a
 /// client sends the `Shutdown` opcode (CI drives drain that way; an
 /// operator can use `adcache loadgen --shutdown --ops 0`).
+/// 4 stripes per core, clamped to [2, 16]: enough to spread lock and
+/// flush contention without making 16-way scan merges on a small box.
+fn default_serve_stripes() -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    (cores * 4).clamp(2, 16)
+}
+
 fn cmd_serve(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let usage = "usage: adcache serve [--addr HOST:PORT] [--cache-mb N] [--strategy NAME] \
                  [--dir PATH] [--workers N] [--max-conns N] [--idle-timeout-secs N] \
                  [--fill N] [--trace DIR] [--no-telemetry] [--snapshot-ms N] [--slow-us N] \
-                 [--quota-ops N] [--quota-burst N] [--no-sketch-guard]";
+                 [--quota-ops N] [--quota-burst N] [--no-sketch-guard] [--stripes N]";
     let mut cli = CliConfig {
         dir: None,
         cache_mb: 64,
         strategy: Strategy::AdCache,
         trace: None,
         sketch_guard: true,
+        // Serving defaults to a striped engine with background
+        // maintenance, sized to the machine (cross-stripe scans cost a
+        // per-stripe setup, so more stripes than the hardware can run in
+        // parallel only taxes the read path). `--stripes N` overrides;
+        // `--stripes 1` restores the inline single-stripe write path.
+        stripes: default_serve_stripes(),
     };
     let mut server_cfg = adcache_server::ServerConfig::default();
     let mut fill = 0u64;
@@ -777,6 +870,12 @@ fn cmd_serve(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 server_cfg.quota_burst = next(argv, &mut i, "--quota-burst")?.parse()?
             }
             "--no-sketch-guard" => cli.sketch_guard = false,
+            "--stripes" => {
+                cli.stripes = next(argv, &mut i, "--stripes")?.parse()?;
+                if cli.stripes == 0 {
+                    return Err("--stripes needs a number >= 1".into());
+                }
+            }
             other => return Err(format!("unknown serve flag {other}\n{usage}").into()),
         }
         i += 1;
@@ -987,6 +1086,18 @@ fn cmd_metrics(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             metric_counter(&m, &format!("engine.lock.{path}.hold_ns")),
         );
     }
+    let gc_rounds = metric_counter(&m, "lsm.group_commit.rounds");
+    let gc_batches = metric_counter(&m, "lsm.group_commit.batches");
+    println!(
+        "group_commit rounds {gc_rounds} batches {gc_batches} mean_batch {:.2} seals {} write_stalls {}",
+        if gc_rounds > 0 {
+            gc_batches as f64 / gc_rounds as f64
+        } else {
+            0.0
+        },
+        metric_counter(&m, "lsm.seals"),
+        metric_counter(&m, "lsm.write_stalls"),
+    );
     Ok(())
 }
 
@@ -1120,6 +1231,32 @@ fn render_top_tick(
         "  lock: {lock_share:.1}% of request time waiting; engine lock wait {:.1}ms/s",
         lock_waits as f64 / secs / 1e6
     );
+
+    // Hottest stripe over the interval (striped engines only): most
+    // interval lock wait, with its queue gauges.
+    let stripe_wait = |i: usize| -> u64 {
+        ["read", "write", "flush", "compaction"]
+            .iter()
+            .map(|p| dc(&format!("engine.stripe.{i}.lock.{p}.wait_ns")))
+            .sum()
+    };
+    let has_stripe = |i: usize| {
+        cur.get("gauges")
+            .and_then(|g| g.get(&format!("engine.stripe.{i}.flush_queue_depth")))
+            .is_some()
+    };
+    if has_stripe(0) {
+        let n = (0..).take_while(|i| has_stripe(*i)).count();
+        if let Some(hot) = (0..n).max_by_key(|i| stripe_wait(*i)) {
+            println!(
+                "  hottest stripe: {hot}/{n} with {:.2}ms/s lock wait, flush queue {}, \
+                 compaction backlog {}",
+                stripe_wait(hot) as f64 / secs / 1e6,
+                metric_gauge(cur, &format!("engine.stripe.{hot}.flush_queue_depth")),
+                metric_gauge(cur, &format!("engine.stripe.{hot}.compaction_backlog")),
+            );
+        }
+    }
 
     // Cache hit rates over the interval.
     for (label, prefix) in [
@@ -1843,6 +1980,207 @@ fn faultcheck_cycle(
     Ok(())
 }
 
+/// The striped variant of [`faultcheck_cycle`]: a [`StripedDb`] with
+/// background maintenance on, so flushes and compactions run on worker
+/// threads and the armed crash point can fire *inside a background job*
+/// (which poisons that stripe, exactly like a process kill the foreground
+/// cannot observe). The `on_flush` durability floor comes from explicit
+/// synchronous `flush()` calls — background flush completions are
+/// asynchronous and promise nothing about when they covered a given ack.
+fn faultcheck_cycle_striped(
+    cycle: u64,
+    seed: u64,
+    sync: adcache_lsm::SyncPolicy,
+    misplace: Option<adcache_lsm::FsyncSite>,
+    stripes: usize,
+    report: &mut FaultCheckReport,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use adcache_lsm::{
+        CrashController, CrashPoint, DirectProvider, FaultPlan, FaultStorage, SimFs, Storage,
+        StripedDb, SyncPolicy,
+    };
+
+    let cseed = fc_mix(seed ^ cycle.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let fs = Arc::new(SimFs::new());
+    let storage = Arc::new(FaultStorage::new(
+        Arc::new(MemStorage::new()),
+        cseed,
+        FaultPlan::none(),
+    ));
+    storage.enable_write_back();
+    let crash = CrashController::new();
+    let mut opts = Options::small();
+    opts.memtable_size = 2 << 10;
+    opts.sync = sync;
+    opts.misplaced_fsync = misplace;
+    opts.stripes = stripes;
+    opts.background_maintenance = true;
+    let meta_dir = std::path::PathBuf::from("/faultcheck/striped");
+    let key_space = 64u64;
+    let kb = |k: u64| Bytes::from(format!("k{k:04}"));
+    let pad = "x".repeat(48);
+    let mut history: Vec<Vec<(Option<Bytes>, bool, u64)>> = vec![Vec::new(); key_space as usize];
+    let mut seq = 0u64;
+    let mut flushed_seq = 0u64;
+    let mut rng = cseed | 1;
+    let mut next = move || {
+        rng = fc_mix(rng);
+        rng
+    };
+    {
+        let db =
+            StripedDb::with_durability_fs(opts.clone(), storage.clone(), &meta_dir, fs.clone())?;
+        db.set_crash_controller(crash.clone());
+        for k in 0..key_space {
+            let v = Bytes::from(format!("base-{cycle}-{k}-{pad}"));
+            seq += 1;
+            let acked = db.put(kb(k), v.clone()).is_ok();
+            history[k as usize].push((Some(v), acked, seq));
+        }
+        if db.flush().is_ok() {
+            flushed_seq = seq;
+        }
+
+        storage.set_plan(FaultPlan::storm());
+        let points = CrashPoint::all();
+        crash.arm(
+            points[(next() % points.len() as u64) as usize],
+            next() % 3 + 1,
+        );
+        for i in 0..300u64 {
+            let k = next() % key_space;
+            match next() % 100 {
+                0..=54 => {
+                    let v = Bytes::from(format!("c{cycle}-i{i}-{pad}"));
+                    seq += 1;
+                    let acked = db.put(kb(k), v.clone()).is_ok();
+                    history[k as usize].push((Some(v), acked, seq));
+                }
+                55..=64 => {
+                    seq += 1;
+                    let acked = db.delete(kb(k)).is_ok();
+                    history[k as usize].push((None, acked, seq));
+                }
+                65..=69 => {
+                    // Explicit synchronous flush: the only event that may
+                    // raise the on_flush durability floor in this drill.
+                    if db.flush().is_ok() {
+                        flushed_seq = seq;
+                    }
+                }
+                70..=74 => {
+                    let _ = db.maybe_compact_once();
+                }
+                75..=79 => {
+                    let _ = db.scan(&kb(k), 8, &DirectProvider);
+                }
+                _ => {
+                    let _ = db.get(&kb(k), &DirectProvider);
+                }
+            }
+            if crash.fired() {
+                break;
+            }
+        }
+        // Give in-flight background jobs a moment to hit the armed point.
+        if !crash.fired() {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        if crash.fired() {
+            report.crashes_fired += 1;
+        }
+        report.faults_injected += storage.fault_stats().total();
+        // Dropping the StripedDb joins the worker pool — the "process"
+        // is fully dead before the device models crash below.
+    }
+
+    storage.set_active(false);
+    let (sst_files, _) = storage.crash_drop_unsynced(fc_mix(cseed ^ 0xA5A5));
+    let meta_loss = fs.crash(fc_mix(cseed ^ 0x5A5A));
+    report.unsynced_files_dropped += sst_files + meta_loss.files;
+
+    // Reopen with background maintenance off: recovery is identical (the
+    // option only affects the write path), and the verification reads are
+    // deterministic.
+    let mut verify_opts = opts.clone();
+    verify_opts.background_maintenance = false;
+    let reopen = || {
+        StripedDb::with_durability_fs(verify_opts.clone(), storage.clone(), &meta_dir, fs.clone())
+    };
+    let db = match reopen() {
+        Ok(db) => db,
+        Err(e) => {
+            report.failed_opens += 1;
+            eprintln!("striped cycle {cycle}: reopen failed: {e}");
+            return Ok(());
+        }
+    };
+    let mut state = Vec::with_capacity(key_space as usize);
+    for k in 0..key_space {
+        let got = db.get(&kb(k), &DirectProvider)?;
+        let h = &history[k as usize];
+        let strong = match sync {
+            SyncPolicy::Always => h.iter().rposition(|(_, acked, _)| *acked),
+            SyncPolicy::OnFlush => h
+                .iter()
+                .rposition(|(_, acked, s)| *acked && *s <= flushed_seq),
+            SyncPolicy::Never => None,
+        };
+        let matches = |want: &Option<Bytes>| got.as_deref() == want.as_deref();
+        let ok = match strong {
+            Some(idx) => h[idx..].iter().any(|(v, _, _)| matches(v)),
+            None => got.is_none() || h.iter().any(|(v, _, _)| matches(v)),
+        };
+        if !ok {
+            report.lost_acked_writes += 1;
+            eprintln!(
+                "striped cycle {cycle}: key k{k:04} recovered {:?}, not justified under sync={}",
+                got.as_ref()
+                    .map(|v| String::from_utf8_lossy(v).into_owned()),
+                sync.name(),
+            );
+        }
+        state.push(got);
+    }
+    // Per-stripe orphan sweeps must jointly leave no unreferenced table.
+    let live: usize = db.level_summary().iter().map(|(_, files, _)| files).sum();
+    let on_device = storage.table_count();
+    if on_device > live {
+        report.orphan_leftovers += (on_device - live) as u64;
+        eprintln!("striped cycle {cycle}: {on_device} tables on device, only {live} referenced");
+    }
+    drop(db);
+
+    let db = match reopen() {
+        Ok(db) => db,
+        Err(e) => {
+            report.failed_opens += 1;
+            eprintln!("striped cycle {cycle}: second reopen failed: {e}");
+            return Ok(());
+        }
+    };
+    for k in 0..key_space {
+        if db.get(&kb(k), &DirectProvider)? != state[k as usize] {
+            report.unstable_reopens += 1;
+            eprintln!("striped cycle {cycle}: key k{k:04} changed between reopens");
+        }
+    }
+    // Post-recovery writability across every stripe (stride-allocated file
+    // ids must not collide with any leftover).
+    for j in 0..key_space {
+        let v = Bytes::from(format!("post-{cycle}-{j}-{pad}"));
+        if db.put(Bytes::from(format!("z{j:04}")), v).is_err() {
+            report.id_collisions += 1;
+        }
+    }
+    if db.flush().is_err() {
+        report.id_collisions += 1;
+        eprintln!("striped cycle {cycle}: post-recovery flush failed (file-id collision?)");
+    }
+    drop(db);
+    Ok(())
+}
+
 /// `adcache faultcheck` — runs N seeded crash-recover-verify cycles plus
 /// an RL storm drill; exits nonzero on any violated guarantee.
 fn cmd_faultcheck(
@@ -1850,6 +2188,7 @@ fn cmd_faultcheck(
     seed: u64,
     sync: adcache_lsm::SyncPolicy,
     misplace: Option<adcache_lsm::FsyncSite>,
+    stripes: usize,
 ) -> Result<bool, Box<dyn std::error::Error>> {
     use adcache_core::{prepare_db_with_storage, run_schedule_on, RunConfig};
     use adcache_lsm::{FaultPlan, FaultStorage};
@@ -1857,7 +2196,11 @@ fn cmd_faultcheck(
 
     let mut report = FaultCheckReport::default();
     for cycle in 0..cycles {
-        faultcheck_cycle(cycle, seed, sync, misplace, &mut report)?;
+        if stripes > 1 {
+            faultcheck_cycle_striped(cycle, seed, sync, misplace, stripes, &mut report)?;
+        } else {
+            faultcheck_cycle(cycle, seed, sync, misplace, &mut report)?;
+        }
     }
 
     // RL guarantee: a full engine + controller run under a fault storm
@@ -1898,7 +2241,7 @@ fn cmd_faultcheck(
     }
 
     println!(
-        "faultcheck: {cycles} cycles (seed {seed}, sync {}{}), {} crash points fired, {} faults injected",
+        "faultcheck: {cycles} cycles (seed {seed}, sync {}{}, stripes {stripes}), {} crash points fired, {} faults injected",
         sync.name(),
         misplace.map_or(String::new(), |m| format!(", misplaced fsync at {}", m.label())),
         report.crashes_fired,
@@ -2079,11 +2422,13 @@ fn main() {
     // `adcache faultcheck [--cycles N] [--seed S] [--sync POLICY] [--misplace SITE]`.
     if argv.get(1).map(String::as_str) == Some("faultcheck") {
         let usage = "usage: adcache faultcheck [--cycles N] [--seed S] \
-             [--sync always|on_flush|never] [--misplace wal_append|wal_reset|manifest_dir|sst_dir]";
+             [--sync always|on_flush|never] [--misplace wal_append|wal_reset|manifest_dir|sst_dir] \
+             [--stripes N]";
         let mut cycles = 50u64;
         let mut seed = 42u64;
         let mut sync = adcache_lsm::SyncPolicy::Always;
         let mut misplace = None;
+        let mut stripes = 1usize;
         let mut i = 2;
         while i < argv.len() {
             match argv[i].as_str() {
@@ -2125,6 +2470,17 @@ fn main() {
                             }),
                     );
                 }
+                "--stripes" => {
+                    i += 1;
+                    stripes = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|n| *n >= 1)
+                        .unwrap_or_else(|| {
+                            eprintln!("--stripes needs a number >= 1");
+                            std::process::exit(2);
+                        });
+                }
                 other => {
                     eprintln!("unknown faultcheck flag {other}");
                     eprintln!("{usage}");
@@ -2133,7 +2489,7 @@ fn main() {
             }
             i += 1;
         }
-        match cmd_faultcheck(cycles, seed, sync, misplace) {
+        match cmd_faultcheck(cycles, seed, sync, misplace, stripes) {
             Ok(true) => return,
             Ok(false) => std::process::exit(1),
             Err(e) => {
@@ -2284,6 +2640,32 @@ mod tests {
             assert!(
                 report.ok(),
                 "guarantees violated under sync={}: {} lost acked, {} failed opens, \
+                 {} unstable, {} orphans, {} collisions",
+                sync.name(),
+                report.lost_acked_writes,
+                report.failed_opens,
+                report.unstable_reopens,
+                report.orphan_leftovers,
+                report.id_collisions,
+            );
+            assert!(report.faults_injected > 0, "the storm plan must bite");
+            assert!(report.crashes_fired > 0, "crash points must fire");
+        }
+    }
+
+    #[test]
+    fn striped_faultcheck_holds_guarantees_with_background_crash_points() {
+        // The striped drill runs with background maintenance on, so the
+        // armed crash point fires inside a pool worker (poisoning that
+        // stripe) rather than on the writer's own stack.
+        for sync in adcache_lsm::SyncPolicy::all() {
+            let mut report = FaultCheckReport::default();
+            for cycle in 0..6 {
+                faultcheck_cycle_striped(cycle, 7, sync, None, 8, &mut report).unwrap();
+            }
+            assert!(
+                report.ok(),
+                "striped guarantees violated under sync={}: {} lost acked, {} failed opens, \
                  {} unstable, {} orphans, {} collisions",
                 sync.name(),
                 report.lost_acked_writes,

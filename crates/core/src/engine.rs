@@ -13,7 +13,7 @@ use adcache_cache::{
     BlockCache, CacheusPolicy, CompactionPrefetcher, KvCache, LeCaRPolicy, LruPolicy,
     PointAdmission, PointLookup, RangeCache, ScanAdmission, SketchGuard,
 };
-use adcache_lsm::{DirectProvider, Key, LsmTree, Options, Result, Storage, Value};
+use adcache_lsm::{DirectProvider, Key, Options, Result, Storage, StripedDb, Value};
 use adcache_obs::{AdmissionOutcome, AdmissionReason, CacheStructure, Counter, Event, Gauge, Obs};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
@@ -158,9 +158,11 @@ impl EngineObsHooks {
     }
 }
 
-/// An LSM-tree fronted by the configured cache strategy.
+/// An LSM-tree fronted by the configured cache strategy. The tree itself
+/// is a [`StripedDb`]: N keyspace stripes with independent write paths
+/// (one stripe, synchronous maintenance by default).
 pub struct CachedDb {
-    db: LsmTree,
+    db: StripedDb,
     strategy: Strategy,
     block_cache: Option<Arc<BlockCache>>,
     kv_cache: Option<KvCache>,
@@ -188,26 +190,26 @@ pub struct CachedDb {
 impl CachedDb {
     /// Builds the engine over `storage` with the given strategy.
     pub fn new(opts: Options, storage: Arc<dyn Storage>, cfg: EngineConfig) -> Result<Self> {
-        let db = LsmTree::new(opts, storage)?;
+        let db = StripedDb::new(opts, storage)?;
         Self::from_tree(db, cfg)
     }
 
     /// Builds the engine over a durable tree: the WAL and manifest in
     /// `meta_dir` make the store recoverable across restarts (see
-    /// [`LsmTree::with_durability`]).
+    /// [`StripedDb::with_durability`]).
     pub fn with_durability(
         opts: Options,
         storage: Arc<dyn Storage>,
         meta_dir: impl Into<std::path::PathBuf>,
         cfg: EngineConfig,
     ) -> Result<Self> {
-        let db = LsmTree::with_durability(opts, storage, meta_dir)?;
+        let db = StripedDb::with_durability(opts, storage, meta_dir)?;
         Self::from_tree(db, cfg)
     }
 
     /// [`CachedDb::with_durability`] over an explicit [`adcache_lsm::MetaFs`],
     /// so crash drills can interpose a simulated write-back cache under the
-    /// WAL and manifest (see [`LsmTree::with_durability_fs`]).
+    /// WAL and manifest (see [`StripedDb::with_durability_fs`]).
     pub fn with_durability_fs(
         opts: Options,
         storage: Arc<dyn Storage>,
@@ -215,13 +217,13 @@ impl CachedDb {
         fs: Arc<dyn adcache_lsm::MetaFs>,
         cfg: EngineConfig,
     ) -> Result<Self> {
-        let db = LsmTree::with_durability_fs(opts, storage, meta_dir, fs)?;
+        let db = StripedDb::with_durability_fs(opts, storage, meta_dir, fs)?;
         Self::from_tree(db, cfg)
     }
 
-    /// Wraps an already-constructed (possibly recovered) tree with the
-    /// cache strategy.
-    pub fn from_tree(db: LsmTree, cfg: EngineConfig) -> Result<Self> {
+    /// Wraps an already-constructed (possibly recovered) striped tree with
+    /// the cache strategy.
+    pub fn from_tree(db: StripedDb, cfg: EngineConfig) -> Result<Self> {
         let total = cfg.total_cache_bytes;
         let mut block_cache = None;
         let mut kv_cache = None;
@@ -355,8 +357,9 @@ impl CachedDb {
         self.strategy
     }
 
-    /// The underlying LSM-tree (read-only experiment introspection).
-    pub fn db(&self) -> &LsmTree {
+    /// The underlying striped LSM-tree (read-only experiment
+    /// introspection).
+    pub fn db(&self) -> &StripedDb {
         &self.db
     }
 
@@ -571,8 +574,9 @@ impl CachedDb {
         Ok(())
     }
 
-    /// Applies a batch of puts atomically (see [`LsmTree::write_batch`]),
-    /// keeping every result cache write-through consistent.
+    /// Applies a batch of puts atomically per stripe (see
+    /// [`StripedDb::write_batch`]), keeping every result cache
+    /// write-through consistent.
     pub fn write_batch(&self, batch: Vec<(Key, Value)>) -> Result<()> {
         let entries: Vec<(Key, adcache_lsm::Entry)> = batch
             .iter()
@@ -707,7 +711,7 @@ impl CachedDb {
             ),
             block_cache_hits: bstats.hits,
             block_cache_misses: bstats.misses,
-            compactions: self.db.stats().compactions(),
+            compactions: self.db.compactions(),
             simulated_ns: self.db.storage().stats().simulated_ns(),
             failed_reads: c.failed_reads.load(Ordering::Relaxed),
         }
@@ -802,13 +806,16 @@ impl CachedDb {
             compactions: snap.compactions,
             flushes: self
                 .db
-                .stats()
-                .flushes
-                .load(std::sync::atomic::Ordering::Relaxed),
+                .stats_sum(|s| s.flushes.load(std::sync::atomic::Ordering::Relaxed)),
             runs: self.db.num_runs() as u64,
             levels: self.db.num_levels() as u64,
             block_cache: block,
             range_cache: range,
+            stripes: self.db.num_stripes() as u64,
+            group_commit_rounds: self.db.group_commit().0,
+            group_commit_batches: self.db.group_commit().1,
+            seals: self.db.stats_sum(|s| s.seals()),
+            write_stalls: self.db.stats_sum(|s| s.write_stalls()),
         }
     }
 }
@@ -865,6 +872,18 @@ pub struct EngineStatsReport {
     pub block_cache: Option<CacheStatsReport>,
     /// Range-cache stats, when the strategy has one.
     pub range_cache: Option<CacheStatsReport>,
+    /// Keyspace stripes the engine is sharded into (1 = classic).
+    pub stripes: u64,
+    /// Group-commit leader rounds across stripes (each is one WAL push +
+    /// at most one fsync).
+    pub group_commit_rounds: u64,
+    /// Write batches committed through group commit; divided by the round
+    /// count this is the mean group size.
+    pub group_commit_batches: u64,
+    /// Memtables sealed for background flushes.
+    pub seals: u64,
+    /// Writes stalled on their own stripe's backpressure.
+    pub write_stalls: u64,
 }
 
 #[cfg(test)]

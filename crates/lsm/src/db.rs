@@ -35,9 +35,9 @@ use crate::version::{CompactionTask, Version};
 use crate::wal::{replay, WalWriter};
 use adcache_obs::{Counter, Event, Obs};
 use parking_lot::RwLock;
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Pre-registered observability hooks: the handle plus the counters the
@@ -52,6 +52,10 @@ struct ObsHooks {
     compaction_block_writes: Counter,
     wal_appends: Counter,
     wal_bytes: Counter,
+    group_commit_rounds: Counter,
+    group_commit_batches: Counter,
+    seals: Counter,
+    write_stalls: Counter,
 }
 
 impl ObsHooks {
@@ -64,6 +68,10 @@ impl ObsHooks {
             compaction_block_writes: obs.counter("lsm.compaction_block_writes"),
             wal_appends: obs.counter("lsm.wal_appends"),
             wal_bytes: obs.counter("lsm.wal_bytes"),
+            group_commit_rounds: obs.counter("lsm.group_commit.rounds"),
+            group_commit_batches: obs.counter("lsm.group_commit.batches"),
+            seals: obs.counter("lsm.seals"),
+            write_stalls: obs.counter("lsm.write_stalls"),
             obs,
         }
     }
@@ -110,6 +118,18 @@ pub struct DbStats {
     /// dropped because the sync policy permits it (`SyncPolicy::Never`
     /// only; under stronger policies this is a hard error).
     pub missing_tables_dropped: AtomicU64,
+    /// Memtables sealed (frozen + WAL segment rotated) for a background
+    /// flush.
+    pub seals: AtomicU64,
+    /// Writes that stalled because their stripe's sealed memtable was
+    /// still in flight and the active one was over its hard budget (or
+    /// Level 0 hit the stop threshold).
+    pub write_stalls: AtomicU64,
+    /// Group-commit rounds led (each is one WAL push + at most one fsync).
+    pub group_commits: AtomicU64,
+    /// Write batches committed through group commit (`/ group_commits` is
+    /// the mean group size).
+    pub group_commit_batches: AtomicU64,
 }
 
 impl DbStats {
@@ -121,6 +141,25 @@ impl DbStats {
     /// Compaction read counter snapshot.
     pub fn compaction_block_reads(&self) -> u64 {
         self.compaction_block_reads.load(Ordering::Relaxed)
+    }
+
+    /// Group-commit `(rounds, batches)` snapshot; `batches / rounds` is the
+    /// mean group size a leader drained.
+    pub fn group_commit(&self) -> (u64, u64) {
+        (
+            self.group_commits.load(Ordering::Relaxed),
+            self.group_commit_batches.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Seals (memtables frozen for background flush) snapshot.
+    pub fn seals(&self) -> u64 {
+        self.seals.load(Ordering::Relaxed)
+    }
+
+    /// Write-stall counter snapshot.
+    pub fn write_stalls(&self) -> u64 {
+        self.write_stalls.load(Ordering::Relaxed)
     }
 }
 
@@ -144,12 +183,48 @@ struct Durability {
     fs: Arc<dyn MetaFs>,
 }
 
+/// A WAL segment rotated out of the active log by a seal; its records are
+/// wholly contained in the sealed (or recovered) memtable and the file is
+/// deleted once a flush commits a manifest that covers them.
+struct SealedSegment {
+    path: PathBuf,
+    appends: u64,
+    bytes: u64,
+}
+
 struct Inner {
     mem: MemTable,
+    /// A frozen memtable awaiting its (background) flush. Reads check it
+    /// between `mem` and Level 0; writers never touch it.
+    imm: Option<Arc<MemTable>>,
     version: Version,
     /// Present when durability is enabled; writes are logged before they
     /// enter the memtable and the log truncates at each flush.
     wal: Option<WalWriter>,
+    /// Rotated WAL segments covering `imm` (or, right after recovery, the
+    /// replayed prefix of `mem`).
+    sealed: Vec<SealedSegment>,
+    /// Name counter for the next sealed segment file.
+    wal_seq: u64,
+}
+
+/// One writer's batch waiting in the group-commit queue. The leader (the
+/// writer that wins the engine write lock) drains the queue, performs one
+/// WAL push + at most one fsync for the whole group, applies every batch,
+/// and posts each follower's result here; followers discover it when they
+/// acquire the lock themselves.
+struct CommitSlot {
+    batch: std::sync::Mutex<Vec<(Key, Entry)>>,
+    result: std::sync::Mutex<Option<std::result::Result<(), String>>>,
+}
+
+impl CommitSlot {
+    fn new(batch: Vec<(Key, Entry)>) -> Self {
+        CommitSlot {
+            batch: std::sync::Mutex::new(batch),
+            result: std::sync::Mutex::new(None),
+        }
+    }
 }
 
 /// A single-writer, multi-reader LSM-tree over a [`Storage`] device.
@@ -169,6 +244,25 @@ pub struct LsmTree {
     /// `(file, block)` addresses that failed checksum verification after
     /// retries. Their cached copies are invalidated and never re-admitted.
     quarantine: RwLock<HashSet<(FileId, u32)>>,
+    /// File-id allocation stride: stripes sharing one storage device each
+    /// allocate from their own residue class (`id % stride ==
+    /// stripe_index`), so ids never collide without coordination.
+    id_stride: u64,
+    /// Writers' group-commit queue (see [`CommitSlot`]).
+    commit_queue: std::sync::Mutex<VecDeque<Arc<CommitSlot>>>,
+    /// Set when a crash point fires inside a background maintenance job:
+    /// the process is considered dead and every subsequent operation
+    /// errors until the instance is dropped and reopened.
+    poisoned: AtomicBool,
+    /// Serializes maintenance work (background worker vs explicit flush).
+    maintenance: std::sync::Mutex<()>,
+    /// Backpressure parking lot: over-budget writers wait here until a
+    /// flush or compaction frees room on *this* stripe.
+    stall_lock: std::sync::Mutex<()>,
+    stall_cv: std::sync::Condvar,
+    /// Invoked (outside the engine lock) when a seal hands flush work to a
+    /// background pool; `None` falls back to inline maintenance.
+    maintenance_hook: RwLock<Option<Arc<dyn Fn() + Send + Sync>>>,
 }
 
 impl LsmTree {
@@ -178,21 +272,32 @@ impl LsmTree {
         opts.validate()
             .map_err(crate::error::LsmError::InvalidArgument)?;
         let version = Version::new(opts.max_levels);
+        let (stride, offset) = (opts.stripes.max(1) as u64, opts.stripe_index as u64);
         Ok(LsmTree {
-            opts,
             storage,
             inner: TimedRwLock::new(Inner {
                 mem: MemTable::new(),
+                imm: None,
                 version,
                 wal: None,
+                sealed: Vec::new(),
+                wal_seq: 0,
             }),
             listeners: RwLock::new(Vec::new()),
-            next_file: AtomicU64::new(1),
+            next_file: AtomicU64::new(first_file_id(stride, offset)),
             stats: DbStats::default(),
             durability: None,
             obs: RwLock::new(ObsHooks::default()),
             crash: RwLock::new(None),
             quarantine: RwLock::new(HashSet::new()),
+            id_stride: stride,
+            commit_queue: std::sync::Mutex::new(VecDeque::new()),
+            poisoned: AtomicBool::new(false),
+            maintenance: std::sync::Mutex::new(()),
+            stall_lock: std::sync::Mutex::new(()),
+            stall_cv: std::sync::Condvar::new(),
+            maintenance_hook: RwLock::new(None),
+            opts,
         })
     }
 
@@ -232,10 +337,11 @@ impl LsmTree {
             stats.manifest_rollbacks.store(1, Ordering::Relaxed);
         }
         let mut version = Version::new(opts.max_levels);
-        let mut next_file = 1u64;
+        let (stride, offset) = (opts.stripes.max(1) as u64, opts.stripe_index as u64);
+        let mut next_file = first_file_id(stride, offset);
         let mut live: HashSet<FileId> = HashSet::new();
         if let Some(state) = manifest_state {
-            next_file = state.next_file.max(1);
+            next_file = align_file_id(state.next_file, stride, offset);
             for (level, id) in state.tables {
                 let meta = match storage.read_meta(id).and_then(|m| TableMeta::decode(&m)) {
                     Ok(meta) => meta,
@@ -267,7 +373,12 @@ impl LsmTree {
         // handed out.
         let mut swept = 0u64;
         for id in storage.list_tables() {
-            next_file = next_file.max(id + 1);
+            if stride > 1 && id % stride != offset {
+                // Another stripe's file on the shared device: its manifest
+                // shard, not ours, decides whether it lives.
+                continue;
+            }
+            next_file = next_file.max(id + stride);
             if !live.contains(&id) {
                 storage.delete_table(id)?;
                 swept += 1;
@@ -280,17 +391,58 @@ impl LsmTree {
             let _ = storage.sync_dir();
         }
 
-        // Replay unflushed writes. A torn tail (crash mid-append) was
-        // truncated by `replay` and is not an error; mid-log corruption is.
+        // Replay unflushed writes: first any sealed WAL segments (rotated
+        // by a seal whose background flush never committed its manifest),
+        // oldest first, then the active log on top. A torn tail (crash
+        // mid-append) was truncated by `replay` and is not an error;
+        // mid-log corruption is. Surviving segments are carried in the
+        // recovered state so the next flush deletes them.
         let wal_path = dir.join("wal.log");
         let mut mem = MemTable::new();
+        let mut sealed: Vec<SealedSegment> = Vec::new();
+        let mut wal_seq = 0u64;
+        let mut replayed = 0u64;
+        let mut torn = 0u64;
+        let mut segments: Vec<(u64, PathBuf)> = Vec::new();
+        for path in fs.list_dir(&dir)? {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if let Some(seq) = name
+                .strip_prefix("wal-")
+                .and_then(|r| r.strip_suffix(".log"))
+                .and_then(|r| r.parse::<u64>().ok())
+            {
+                segments.push((seq, path));
+            }
+        }
+        segments.sort_unstable();
+        for (seq, path) in segments {
+            wal_seq = wal_seq.max(seq + 1);
+            let outcome = replay(fs.as_ref(), &path)?;
+            let appends = outcome.records.len() as u64;
+            replayed += appends;
+            torn += outcome.torn_tail_bytes;
+            for ke in outcome.records {
+                match ke.entry {
+                    Entry::Put(v) => mem.put(ke.key, v),
+                    Entry::Tombstone => mem.delete(ke.key),
+                }
+            }
+            let bytes = fs.len(&path).unwrap_or(0);
+            sealed.push(SealedSegment {
+                path,
+                appends,
+                bytes,
+            });
+        }
         let outcome = replay(fs.as_ref(), &wal_path)?;
+        replayed += outcome.records.len() as u64;
+        torn += outcome.torn_tail_bytes;
         stats
             .wal_replayed_records
-            .store(outcome.records.len() as u64, Ordering::Relaxed);
-        stats
-            .wal_torn_tail_bytes
-            .store(outcome.torn_tail_bytes, Ordering::Relaxed);
+            .store(replayed, Ordering::Relaxed);
+        stats.wal_torn_tail_bytes.store(torn, Ordering::Relaxed);
         for ke in outcome.records {
             match ke.entry {
                 Entry::Put(v) => mem.put(ke.key, v),
@@ -312,12 +464,14 @@ impl LsmTree {
         }
 
         Ok(LsmTree {
-            opts,
             storage,
             inner: TimedRwLock::new(Inner {
                 mem,
+                imm: None,
                 version,
                 wal: Some(wal),
+                sealed,
+                wal_seq,
             }),
             listeners: RwLock::new(Vec::new()),
             next_file: AtomicU64::new(next_file),
@@ -326,6 +480,14 @@ impl LsmTree {
             obs: RwLock::new(ObsHooks::default()),
             crash: RwLock::new(None),
             quarantine: RwLock::new(HashSet::new()),
+            id_stride: stride,
+            commit_queue: std::sync::Mutex::new(VecDeque::new()),
+            poisoned: AtomicBool::new(false),
+            maintenance: std::sync::Mutex::new(()),
+            stall_lock: std::sync::Mutex::new(()),
+            stall_cv: std::sync::Condvar::new(),
+            maintenance_hook: RwLock::new(None),
+            opts,
         })
     }
 
@@ -461,7 +623,16 @@ impl LsmTree {
         if swept > 0 {
             obs.emit(|| Event::OrphanSwept { files: swept });
         }
-        self.inner.attach_obs(&obs, "engine.lock");
+        if self.opts.stripes > 1 {
+            // Striped engines account the lock twice: once into the
+            // aggregate `engine.lock.*` counters every stripe shares, once
+            // into this stripe's own `engine.stripe.<i>.lock.*` set.
+            let stripe = format!("engine.stripe.{}.lock", self.opts.stripe_index);
+            self.inner
+                .attach_obs_prefixes(&obs, &["engine.lock", &stripe]);
+        } else {
+            self.inner.attach_obs(&obs, "engine.lock");
+        }
         *self.obs.write() = ObsHooks::new(obs);
     }
 
@@ -586,17 +757,17 @@ impl LsmTree {
     }
 
     fn alloc_file(&self) -> u64 {
-        self.next_file.fetch_add(1, Ordering::Relaxed)
+        self.next_file.fetch_add(self.id_stride, Ordering::Relaxed)
     }
 
     /// Inserts or overwrites `key`.
     pub fn put(&self, key: Key, value: Value) -> Result<()> {
-        self.write(key, Entry::Put(value))
+        self.commit(vec![(key, Entry::Put(value))])
     }
 
     /// Deletes `key` (writes a tombstone).
     pub fn delete(&self, key: Key) -> Result<()> {
-        self.write(key, Entry::Tombstone)
+        self.commit(vec![(key, Entry::Tombstone)])
     }
 
     /// Applies a batch of writes atomically with respect to readers and to
@@ -607,13 +778,59 @@ impl LsmTree {
         if batch.is_empty() {
             return Ok(());
         }
+        self.commit(batch)
+    }
+
+    /// Group commit. The batch enters a queue; whichever enqueued writer
+    /// wins the engine write lock becomes the leader and commits *every*
+    /// queued batch with a single WAL push (and at most one fsync under
+    /// `always`). Followers discover their posted result when they acquire
+    /// the lock themselves — the lock handoff is the wakeup, so the
+    /// uncontended path costs one extra (uncontended) mutex lock and
+    /// nothing else.
+    fn commit(&self, batch: Vec<(Key, Entry)>) -> Result<()> {
+        self.check_poison()?;
+        self.wait_for_write_budget()?;
+        let slot = Arc::new(CommitSlot::new(batch));
+        self.commit_queue.lock().unwrap().push_back(slot.clone());
         let mut inner = self.lock_write(LockPath::Write);
+        if let Some(result) = slot.result.lock().unwrap().take() {
+            // A concurrent leader already committed this batch.
+            return result.map_err(|msg| LsmError::Io(std::io::Error::other(msg)));
+        }
+        let group: Vec<Arc<CommitSlot>> = self.commit_queue.lock().unwrap().drain(..).collect();
+        let applied = self.apply_group(&mut inner, &group);
+        for s in &group {
+            if Arc::ptr_eq(s, &slot) {
+                continue;
+            }
+            *s.result.lock().unwrap() = Some(match &applied {
+                Ok(()) => Ok(()),
+                // Followers get a stringified copy; the leader keeps the
+                // original error (the variant matters to crash drills).
+                Err(e) => Err(e.to_string()),
+            });
+        }
+        applied?;
+        // Only the leader pays for the maintenance the group's application
+        // made due — the same contract as the old per-write flush check.
+        self.post_write_maintenance(&mut inner)
+    }
+
+    /// Leader half of group commit: append every queued batch to the WAL
+    /// (one flush, at most one fsync), then apply them to the memtable in
+    /// queue order.
+    fn apply_group(&self, inner: &mut Inner, group: &[Arc<CommitSlot>]) -> Result<()> {
         if inner.version.level_files(0) >= self.opts.l0_slowdown_files {
-            self.stats.write_slowdowns.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .write_slowdowns
+                .fetch_add(group.len() as u64, Ordering::Relaxed);
         }
         if let Some(wal) = inner.wal.as_mut() {
-            for (key, entry) in &batch {
-                wal.append(key, entry)?;
+            for slot in group {
+                for (key, entry) in slot.batch.lock().unwrap().iter() {
+                    wal.append(key, entry)?;
+                }
             }
             if self.wal_sync_per_write() {
                 wal.sync()?;
@@ -622,53 +839,325 @@ impl LsmTree {
                 wal.flush()?;
             }
         }
-        for (key, entry) in batch {
-            match entry {
-                Entry::Put(v) => inner.mem.put(key, v),
-                Entry::Tombstone => inner.mem.delete(key),
+        for slot in group {
+            let batch = std::mem::take(&mut *slot.batch.lock().unwrap());
+            for (key, entry) in batch {
+                match entry {
+                    Entry::Put(v) => inner.mem.put(key, v),
+                    Entry::Tombstone => inner.mem.delete(key),
+                }
             }
         }
-        if inner.mem.approximate_bytes() >= self.opts.memtable_size {
-            self.flush_locked(&mut inner)?;
-            self.compact_due_locked(&mut inner)?;
+        self.stats.group_commits.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .group_commit_batches
+            .fetch_add(group.len() as u64, Ordering::Relaxed);
+        {
+            let hooks = self.obs.read();
+            hooks.group_commit_rounds.add(1);
+            hooks.group_commit_batches.add(group.len() as u64);
         }
         Ok(())
     }
 
-    fn write(&self, key: Key, entry: Entry) -> Result<()> {
-        let mut inner = self.lock_write(LockPath::Write);
-        if inner.version.level_files(0) >= self.opts.l0_slowdown_files {
-            self.stats.write_slowdowns.fetch_add(1, Ordering::Relaxed);
+    /// After a group lands: flush inline (classic mode) or seal for the
+    /// background pool when the memtable crosses its budget.
+    fn post_write_maintenance(&self, inner: &mut Inner) -> Result<()> {
+        if inner.mem.approximate_bytes() < self.opts.memtable_size {
+            return Ok(());
         }
-        if let Some(wal) = inner.wal.as_mut() {
-            wal.append(&key, &entry)?;
-            if self.wal_sync_per_write() {
-                wal.sync()?;
-                self.note_wal_sync(1);
+        if !self.background_on() {
+            self.flush_locked(inner)?;
+            return self.compact_due_locked(inner);
+        }
+        if inner.imm.is_none() {
+            self.seal_locked(inner)?;
+            self.kick_maintenance();
+        }
+        // A seal is already in flight: the budget gate at commit entry is
+        // what stalls writers, and this write already paid for its room.
+        Ok(())
+    }
+
+    /// Whether flush/compaction run on background workers (sealing the
+    /// memtable) instead of synchronously inside the write path.
+    fn background_on(&self) -> bool {
+        self.opts.background_maintenance
+    }
+
+    /// Backpressure gate: when this stripe's sealed memtable is still in
+    /// flight AND the active one blew through its hard budget (2×
+    /// `memtable_size`), or Level 0 hit `l0_stop_files`, the writer parks
+    /// here until maintenance frees room. Only this stripe's state is
+    /// consulted — a foreground write never waits on another stripe's
+    /// flush.
+    fn wait_for_write_budget(&self) -> Result<()> {
+        if !self.background_on() {
+            return Ok(());
+        }
+        let mut stalled = false;
+        loop {
+            self.check_poison()?;
+            {
+                let inner = self.lock_read(LockPath::Write);
+                let over = inner.imm.is_some()
+                    && (inner.mem.approximate_bytes() >= 2 * self.opts.memtable_size
+                        || inner.version.level_files(0) >= self.opts.l0_stop_files);
+                if !over {
+                    return Ok(());
+                }
+            }
+            if !stalled {
+                stalled = true;
+                self.stats.write_stalls.fetch_add(1, Ordering::Relaxed);
+                self.obs.read().write_stalls.add(1);
+            }
+            if self.maintenance_hook.read().is_some() {
+                self.kick_maintenance();
+                let parked = self.stall_lock.lock().unwrap();
+                // The timeout bounds a lost-wakeup race between the check
+                // above and parking; correctness never depends on it.
+                let _ = self
+                    .stall_cv
+                    .wait_timeout(parked, std::time::Duration::from_millis(2))
+                    .unwrap();
             } else {
-                wal.flush()?;
+                // No worker pool attached: do the work on this thread.
+                self.maintain_once()?;
             }
         }
-        match entry {
-            Entry::Put(v) => inner.mem.put(key, v),
-            Entry::Tombstone => inner.mem.delete(key),
+    }
+
+    /// Freezes the memtable for a background flush and rotates the active
+    /// WAL under it. The outgoing segment is fully synced first (policy
+    /// permitting) so a later crash can never tear it into a stale prefix
+    /// that shadows the SST it becomes, and the rename plus the fresh
+    /// `wal.log` are made durable with one directory sync before any
+    /// subsequent write is acked.
+    fn seal_locked(&self, inner: &mut Inner) -> Result<()> {
+        debug_assert!(inner.imm.is_none());
+        debug_assert!(!inner.mem.is_empty());
+        if let Some(d) = &self.durability {
+            let syncing = self.opts.sync != SyncPolicy::Never;
+            let seal_sync = syncing && self.opts.misplaced_fsync != Some(FsyncSite::WalReset);
+            let (appends, bytes) = {
+                let wal = inner.wal.as_mut().expect("durable tree has a WAL");
+                wal.flush()?;
+                if seal_sync {
+                    wal.sync()?;
+                    self.note_wal_sync(1);
+                }
+                (wal.segment_appends(), wal.segment_bytes())
+            };
+            let seq = inner.wal_seq;
+            inner.wal_seq += 1;
+            let sealed_path = d.dir.join(format!("wal-{seq:06}.log"));
+            let active = d.dir.join("wal.log");
+            d.fs.rename(&active, &sealed_path)?;
+            inner.wal = Some(WalWriter::open(d.fs.clone(), &active, seal_sync)?);
+            if syncing {
+                d.fs.sync_dir(&d.dir)?;
+                self.charge_meta_syncs(1);
+            }
+            inner.sealed.push(SealedSegment {
+                path: sealed_path,
+                appends,
+                bytes,
+            });
         }
-        if inner.mem.approximate_bytes() >= self.opts.memtable_size {
-            self.flush_locked(&mut inner)?;
-            self.compact_due_locked(&mut inner)?;
+        inner.imm = Some(Arc::new(std::mem::take(&mut inner.mem)));
+        self.stats.seals.fetch_add(1, Ordering::Relaxed);
+        self.obs.read().seals.add(1);
+        Ok(())
+    }
+
+    /// Attaches the background pool's kick. It is invoked (with the engine
+    /// write lock held) whenever a seal or a stall makes maintenance due,
+    /// so it must only enqueue work — never call back into the engine.
+    pub fn set_maintenance_hook(&self, hook: Arc<dyn Fn() + Send + Sync>) {
+        *self.maintenance_hook.write() = Some(hook);
+    }
+
+    fn kick_maintenance(&self) {
+        let hook = self.maintenance_hook.read().clone();
+        if let Some(hook) = hook {
+            hook();
+        }
+    }
+
+    fn check_poison(&self) -> Result<()> {
+        if self.poisoned.load(Ordering::Relaxed) {
+            return Err(LsmError::Injected(
+                "engine poisoned: a crash point fired in a background worker".into(),
+            ));
         }
         Ok(())
     }
 
-    /// Forces a flush of the current memtable (no-op when empty), then runs
-    /// any compactions that become due.
+    /// Marks the engine dead after a background-worker crash injection:
+    /// every subsequent operation fails until the instance is dropped and
+    /// reopened — exactly the contract of a real process kill, extended to
+    /// threads the foreground cannot observe failing.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Relaxed);
+        self.stall_cv.notify_all();
+    }
+
+    /// Whether [`LsmTree::poison`] was called.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Whether the installed crash controller has fired. Background
+    /// workers use this to distinguish an injected process kill (poison
+    /// the stripe) from a transient I/O error (retry later).
+    pub fn crash_fired(&self) -> bool {
+        self.crash.read().as_ref().is_some_and(|c| c.fired())
+    }
+
+    /// Whether a sealed memtable is waiting for its background flush.
+    pub fn flush_pending(&self) -> bool {
+        self.lock_read(LockPath::Read).imm.is_some()
+    }
+
+    /// Whether the version currently has a pickable compaction (the
+    /// stripe's compaction backlog, as a boolean).
+    pub fn compaction_due(&self) -> bool {
+        self.lock_read(LockPath::Read)
+            .version
+            .pick_compaction(&self.opts)
+            .is_some()
+    }
+
+    /// One round of background maintenance: flush the sealed memtable if
+    /// one is pending, then run every due compaction. Serialized by the
+    /// maintenance mutex; safe to call from any thread. Returns whether any
+    /// work was done.
+    pub fn maintain_once(&self) -> Result<bool> {
+        self.check_poison()?;
+        let _serial = self.maintenance.lock().unwrap();
+        let mut did = false;
+        if self.flush_imm_once()? {
+            did = true;
+        }
+        while self.maybe_compact_once()? {
+            did = true;
+            self.stall_cv.notify_all();
+        }
+        Ok(did)
+    }
+
+    /// Flushes the sealed memtable to a Level-0 table, if one is pending.
+    /// The SST build runs *outside* the engine lock — reads and writes to
+    /// this stripe keep flowing — and only the version install takes it.
+    /// Callers serialize through the maintenance mutex.
+    fn flush_imm_once(&self) -> Result<bool> {
+        let imm = match self.lock_read(LockPath::Flush).imm.clone() {
+            Some(m) => m,
+            None => return Ok(false),
+        };
+        let flushed_entries = imm.len() as u64;
+        let mut builder = TableBuilder::new(self.alloc_file(), &self.opts);
+        for ke in imm.iter() {
+            builder.add(&ke.key, &ke.entry)?;
+        }
+        let meta = builder.finish(self.storage.as_ref())?;
+        let flushed_blocks = meta.num_blocks as u64;
+        self.sync_new_tables(&[meta.id])?;
+        // Crash here: a durable orphan SST; the sealed segments still
+        // cover every record — recovery sweeps the orphan, replays them.
+        self.crash_check(CrashPoint::FlushAfterSst)?;
+        let segments: Vec<SealedSegment> = {
+            let mut inner = self.lock_write(LockPath::Flush);
+            inner.version.add_l0(meta);
+            inner.imm = None;
+            self.persist_manifest(&inner)?;
+            inner.sealed.drain(..).collect()
+        };
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .flush_block_writes
+            .fetch_add(flushed_blocks, Ordering::Relaxed);
+        {
+            let hooks = self.obs.read();
+            hooks.flushes.inc();
+            hooks.flush_entries.add(flushed_entries);
+            hooks.obs.emit(|| Event::Flush {
+                entries: flushed_entries,
+                bytes: flushed_blocks * self.opts.block_size as u64,
+            });
+        }
+        // Crash here: the manifest references the table, the segments are
+        // not yet deleted — replay re-applies records the table already
+        // holds, so recovery must be (and is) idempotent.
+        self.crash_check(CrashPoint::FlushAfterManifest)?;
+        self.delete_segments(segments)?;
+        self.crash_check(CrashPoint::FlushAfterWalReset)?;
+        self.stall_cv.notify_all();
+        Ok(true)
+    }
+
+    /// Deletes WAL segments whose records the just-committed manifest now
+    /// covers. Deletion durability is deliberately not required: a
+    /// resurrected segment was fully synced at seal time, so replaying it
+    /// on top of the SST built from it is idempotent.
+    fn delete_segments(&self, segments: Vec<SealedSegment>) -> Result<()> {
+        if segments.is_empty() {
+            return Ok(());
+        }
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        for seg in segments {
+            d.fs.remove(&seg.path)?;
+            let hooks = self.obs.read();
+            hooks.wal_appends.add(seg.appends);
+            hooks.wal_bytes.add(seg.bytes);
+            hooks.obs.emit(|| Event::WalReset {
+                appends: seg.appends,
+                bytes: seg.bytes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Forces a flush of everything buffered — the sealed memtable if one
+    /// is pending, then the active one; a no-op when both are empty — then
+    /// runs any compactions that become due.
     pub fn flush(&self) -> Result<()> {
-        let mut inner = self.lock_write(LockPath::Flush);
-        if !inner.mem.is_empty() {
-            self.flush_locked(&mut inner)?;
-            self.compact_due_locked(&mut inner)?;
+        self.check_poison()?;
+        if !self.background_on() {
+            let mut inner = self.lock_write(LockPath::Flush);
+            if !inner.mem.is_empty() {
+                self.flush_locked(&mut inner)?;
+                self.compact_due_locked(&mut inner)?;
+            }
+            return Ok(());
         }
-        Ok(())
+        let _serial = self.maintenance.lock().unwrap();
+        loop {
+            self.flush_imm_once()?;
+            let mut inner = self.lock_write(LockPath::Flush);
+            if inner.imm.is_some() {
+                // A writer sealed a fresh memtable between the imm flush
+                // above and this lock acquisition (sealing needs only the
+                // write lock, not the maintenance mutex). `flush_locked`
+                // drains and deletes *every* sealed WAL segment, so running
+                // it now would delete the segment covering that pending imm
+                // without flushing its records — and flush mem with a lower
+                // file id than the later imm flush, letting the older imm
+                // records shadow newer values at L0. Never flush mem ahead
+                // of a pending imm: go back and flush the imm first.
+                drop(inner);
+                continue;
+            }
+            // Holding the write lock with imm == None: no seal can land
+            // until flush_locked (which keeps the lock) completes.
+            if !inner.mem.is_empty() {
+                self.flush_locked(&mut inner)?;
+            }
+            return self.compact_due_locked(&mut inner);
+        }
     }
 
     fn flush_locked(&self, inner: &mut Inner) -> Result<()> {
@@ -707,6 +1196,10 @@ impl LsmTree {
         // replay re-applies records the table already holds, so recovery
         // must be (and is) idempotent.
         self.crash_check(CrashPoint::FlushAfterManifest)?;
+        // Sealed segments (recovered, or left by an aborted background
+        // flush) are covered by the manifest just committed.
+        let segments: Vec<SealedSegment> = inner.sealed.drain(..).collect();
+        self.delete_segments(segments)?;
         if let Some(wal) = inner.wal.as_mut() {
             let (appends, bytes) = (wal.segment_appends(), wal.segment_bytes());
             let reset_syncs = if wal.reset_sync() { 2 } else { 0 };
@@ -726,7 +1219,7 @@ impl LsmTree {
     fn compact_due_locked(&self, inner: &mut Inner) -> Result<()> {
         while let Some(task) = inner.version.pick_compaction(&self.opts) {
             self.note_compaction_start(&task, &inner.version);
-            let mut alloc = || self.next_file.fetch_add(1, Ordering::Relaxed);
+            let mut alloc = || self.alloc_file();
             let Some(event) = run_compaction(
                 &mut inner.version,
                 task,
@@ -771,12 +1264,13 @@ impl LsmTree {
     /// Runs at most one due compaction; returns whether one ran. Exposed for
     /// tests and for experiments that want explicit compaction control.
     pub fn maybe_compact_once(&self) -> Result<bool> {
+        self.check_poison()?;
         let mut inner = self.lock_write(LockPath::Compaction);
         let Some(task) = inner.version.pick_compaction(&self.opts) else {
             return Ok(false);
         };
         self.note_compaction_start(&task, &inner.version);
-        let mut alloc = || self.next_file.fetch_add(1, Ordering::Relaxed);
+        let mut alloc = || self.alloc_file();
         let Some(event) = run_compaction(
             &mut inner.version,
             task,
@@ -859,11 +1353,21 @@ impl LsmTree {
     /// are quarantined (and purged from `provider`'s cache) before the
     /// error reaches the caller.
     pub fn get(&self, key: &[u8], provider: &dyn BlockProvider) -> Result<Option<Value>> {
+        self.check_poison()?;
         let inner = self.lock_read(LockPath::Read);
         match inner.mem.get(key) {
             Some(Entry::Put(v)) => return Ok(Some(v.clone())),
             Some(Entry::Tombstone) => return Ok(None),
             None => {}
+        }
+        // The sealed memtable (if a background flush is in flight) is the
+        // second-newest run.
+        if let Some(imm) = &inner.imm {
+            match imm.get(key) {
+                Some(Entry::Put(v)) => return Ok(Some(v.clone())),
+                Some(Entry::Tombstone) => return Ok(None),
+                None => {}
+            }
         }
         // Level 0, newest run first.
         for meta in inner.version.level(0) {
@@ -891,10 +1395,15 @@ impl LsmTree {
         limit: usize,
         provider: &dyn BlockProvider,
     ) -> Result<Vec<(Key, Value)>> {
+        self.check_poison()?;
         let inner = self.lock_read(LockPath::Read);
         let mut sources: Vec<(u64, Source<'_>)> = Vec::new();
-        // Memtable outranks everything.
+        // Memtable outranks everything; the sealed memtable (if any) is
+        // next.
         sources.push((u64::MAX, Source::from_sorted(inner.mem.iter_from(from))));
+        if let Some(imm) = &inner.imm {
+            sources.push((u64::MAX - 1, Source::from_sorted(imm.iter_from(from))));
+        }
         // Level-0 runs: rank by file id (newer flushes have larger ids).
         for meta in inner.version.overlapping(0, from, None) {
             let it = self.with_read_retries(|| {
@@ -952,9 +1461,10 @@ impl LsmTree {
         self.lock_read(LockPath::Read).version.num_levels_nonempty()
     }
 
-    /// Entries currently buffered in the memtable.
+    /// Entries currently buffered in the memtable(s), sealed one included.
     pub fn memtable_len(&self) -> usize {
-        self.lock_read(LockPath::Read).mem.len()
+        let inner = self.lock_read(LockPath::Read);
+        inner.mem.len() + inner.imm.as_ref().map_or(0, |m| m.len())
     }
 
     /// `(total entries, total blocks)` across all live tables; their ratio
@@ -976,6 +1486,30 @@ impl LsmTree {
 /// Level-0 rank helper: wraps a table cursor as a merge source.
 fn it_into_source(it: TableIter) -> Source<'static> {
     Source::Table(it)
+}
+
+/// First file id a stripe may allocate: ids stay in the stripe's residue
+/// class (`id % stride == stripe_index`) and are never 0, so stripes
+/// sharing one storage device never collide without coordination.
+fn first_file_id(stride: u64, offset: u64) -> u64 {
+    if stride <= 1 {
+        1
+    } else if offset == 0 {
+        stride
+    } else {
+        offset
+    }
+}
+
+/// Rounds `id` up into the stripe's residue class (and past 0).
+fn align_file_id(mut id: u64, stride: u64, offset: u64) -> u64 {
+    if stride <= 1 {
+        return id.max(1);
+    }
+    while id == 0 || id % stride != offset {
+        id += 1;
+    }
+    id
 }
 
 #[cfg(test)]

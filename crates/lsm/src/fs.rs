@@ -54,6 +54,9 @@ pub trait MetaFs: Send + Sync {
     /// creations, renames and removals issued before this call survive a
     /// crash.
     fn sync_dir(&self, dir: &Path) -> Result<()>;
+    /// Paths of the files directly under `dir` (in the possibly-unsynced
+    /// view), in unspecified order. A missing directory lists as empty.
+    fn list_dir(&self, dir: &Path) -> Result<Vec<PathBuf>>;
 }
 
 fn not_found(path: &Path) -> LsmError {
@@ -166,6 +169,22 @@ impl MetaFs for RealFs {
         let f = File::open(dir)?;
         f.sync_all()?;
         Ok(())
+    }
+
+    fn list_dir(&self, dir: &Path) -> Result<Vec<PathBuf>> {
+        let rd = match std::fs::read_dir(dir) {
+            Ok(rd) => rd,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut out = Vec::new();
+        for entry in rd {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -390,6 +409,18 @@ impl MetaFs for SimFs {
         let mut st = self.state.lock();
         st.durable_dir = st.dir.clone();
         Ok(())
+    }
+
+    fn list_dir(&self, dir: &Path) -> Result<Vec<PathBuf>> {
+        // The namespace is flat, so "directly under `dir`" means "path has
+        // `dir` as its parent".
+        let st = self.state.lock();
+        Ok(st
+            .dir
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .cloned()
+            .collect())
     }
 }
 

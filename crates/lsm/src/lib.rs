@@ -43,6 +43,7 @@ pub mod options;
 pub mod skiplist;
 pub mod sstable;
 pub mod storage;
+pub mod striped;
 pub mod timed_lock;
 pub mod types;
 pub mod version;
@@ -63,6 +64,7 @@ pub use sstable::{
     decode_stored_block, decode_stored_block_at, BlockProvider, DirectProvider, TableMeta,
 };
 pub use storage::{CostModel, FileStorage, IoStats, MemStorage, Storage};
+pub use striped::StripedDb;
 pub use timed_lock::{
     lock_probe, reset_lock_probe, LockPath, LockPathSnapshot, TimedRwLock, LOCK_PATHS,
 };

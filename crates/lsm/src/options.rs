@@ -146,6 +146,25 @@ pub struct Options {
     /// `LockContention` event (when lock timing is enabled via an attached
     /// `Obs`). Zero disables the events; counters still accumulate.
     pub lock_wait_budget_ns: u64,
+    /// Number of keyspace stripes for [`crate::striped::StripedDb`]: each
+    /// stripe is an independent engine (own memtable, WAL segments, SST
+    /// levels, manifest shard) selected by a hash of the key. `1` keeps
+    /// the classic single-engine layout. Also doubles as the file-id
+    /// allocation stride so stripes sharing one storage device never
+    /// collide.
+    pub stripes: usize,
+    /// Which stripe this engine instance is (`0..stripes`). Determines the
+    /// file-id residue class this engine allocates from when several
+    /// stripes share one storage device. Leave 0 for standalone trees.
+    pub stripe_index: usize,
+    /// Move flush and compaction off the write path: a full memtable is
+    /// *sealed* (frozen + WAL segment rotated) and handed to a background
+    /// worker, and writers only stall when their own stripe's sealed
+    /// memtable is still in flight and the active one is over budget. Off
+    /// (the default) preserves the classic synchronous behavior that the
+    /// deterministic simulations and unit tests rely on; the serving
+    /// layer turns it on.
+    pub background_maintenance: bool,
 }
 
 impl Default for Options {
@@ -168,6 +187,9 @@ impl Default for Options {
             sync: SyncPolicy::OnFlush,
             misplaced_fsync: None,
             lock_wait_budget_ns: 1_000_000,
+            stripes: 1,
+            stripe_index: 0,
+            background_maintenance: false,
         }
     }
 }
@@ -196,6 +218,9 @@ impl Options {
             sync: SyncPolicy::OnFlush,
             misplaced_fsync: None,
             lock_wait_budget_ns: 1_000_000,
+            stripes: 1,
+            stripe_index: 0,
+            background_maintenance: false,
         }
     }
 
@@ -221,6 +246,9 @@ impl Options {
             sync: SyncPolicy::OnFlush,
             misplaced_fsync: None,
             lock_wait_budget_ns: 1_000_000,
+            stripes: 1,
+            stripe_index: 0,
+            background_maintenance: false,
         }
     }
 
@@ -254,6 +282,12 @@ impl Options {
         }
         if self.max_levels < 2 {
             return Err("max_levels must be at least 2".into());
+        }
+        if self.stripes == 0 {
+            return Err("stripes must be at least 1".into());
+        }
+        if self.stripe_index >= self.stripes {
+            return Err("stripe_index must be < stripes".into());
         }
         Ok(())
     }

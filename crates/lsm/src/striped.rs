@@ -1,0 +1,758 @@
+//! Keyspace-striped engine router with a background maintenance pool.
+//!
+//! [`StripedDb`] shards the keyspace into N independent [`LsmTree`] stripes
+//! (hash of key → stripe), each with its own memtable, WAL segment set,
+//! Level-0..L stack and manifest shard, all over one shared storage device.
+//! File ids never collide because each stripe allocates from its own
+//! residue class (`id % stripes == stripe_index`).
+//!
+//! With [`Options::background_maintenance`] on, a seal hands flush and
+//! compaction work to a small worker pool through a per-stripe queue: a
+//! foreground `put` on stripe B never waits on stripe A's flush, and a
+//! writer stalls only when its *own* stripe's sealed memtable is still in
+//! flight and the active one has blown its hard budget. Group commit lives
+//! one layer down in [`LsmTree`]: concurrent writers to the same stripe
+//! share a single WAL push + fsync per leader round.
+//!
+//! Cross-stripe scans merge per-stripe range reads under an optimistic
+//! write-epoch fence: writers bump the epoch before *and* after their
+//! stripe commit, and the merge retries (bounded, once) when the two fence
+//! reads differ. A quiescent scan is therefore a consistent snapshot; the
+//! guarantee is best-effort, not airtight — a write whose commit spans the
+//! *entire* merge (pre-bump before the first fence read, post-bump after
+//! the second), or contention past the single retry, degrades the result
+//! to per-stripe consistency instead of livelocking the scan.
+
+use crate::compaction::CompactionListener;
+use crate::db::{DbStats, LsmTree};
+use crate::error::Result;
+use crate::fault::CrashController;
+use crate::fs::{MetaFs, RealFs};
+use crate::options::Options;
+use crate::sstable::BlockProvider;
+use crate::storage::Storage;
+use crate::types::{Entry, FileId, Key, Value};
+use adcache_obs::{Gauge, Obs};
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// FNV-1a over the key — stable across runs and platforms, so a reopened
+/// store routes every key to the stripe that owns its data.
+fn stripe_of(key: &[u8], stripes: usize) -> usize {
+    if stripes <= 1 {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % stripes as u64) as usize
+}
+
+/// Shared state of the background maintenance pool: a dedup'd per-stripe
+/// work queue (a stripe is enqueued at most once; workers re-enqueue it
+/// themselves if more work remains). A stripe whose last round failed with
+/// a non-crash error sits in `delayed` until its backoff deadline — kicks
+/// during that window are absorbed, so a persistent I/O failure (disk
+/// full) retries on a bounded schedule instead of spinning a worker at
+/// 100% CPU and minting a partial SST per iteration.
+struct PoolState {
+    queue: VecDeque<usize>,
+    scheduled: Vec<bool>,
+    /// Backoff deadline per stripe; `Some` suppresses kicks until then.
+    delayed: Vec<Option<std::time::Instant>>,
+    shutdown: bool,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+    /// Consecutive failed maintenance rounds per stripe (backoff exponent).
+    err_streak: Vec<AtomicU64>,
+}
+
+impl Pool {
+    fn new(stripes: usize) -> Self {
+        Pool {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                scheduled: vec![false; stripes],
+                delayed: vec![None; stripes],
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            err_streak: (0..stripes).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn kick(&self, stripe: usize) {
+        let mut st = self.state.lock().unwrap();
+        if !st.shutdown && !st.scheduled[stripe] && st.delayed[stripe].is_none() {
+            st.scheduled[stripe] = true;
+            st.queue.push_back(stripe);
+            self.cv.notify_one();
+        }
+    }
+
+    /// Schedules `stripe` no earlier than `deadline`, superseding any
+    /// immediate enqueue. Used by workers after a failed round.
+    fn kick_after(&self, stripe: usize, deadline: std::time::Instant) {
+        let mut st = self.state.lock().unwrap();
+        if st.shutdown {
+            return;
+        }
+        if st.scheduled[stripe] {
+            st.queue.retain(|&s| s != stripe);
+            st.scheduled[stripe] = false;
+        }
+        st.delayed[stripe] = Some(st.delayed[stripe].map_or(deadline, |d| d.max(deadline)));
+        // Wake a waiter so it recomputes its sleep against the new deadline.
+        self.cv.notify_one();
+    }
+
+    /// Blocks for the next stripe to maintain; `None` means shut down.
+    fn next(&self) -> Option<usize> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(stripe) = st.queue.pop_front() {
+                st.scheduled[stripe] = false;
+                return Some(stripe);
+            }
+            if st.shutdown {
+                return None;
+            }
+            // Promote delayed stripes whose deadline has passed; sleep
+            // until the nearest remaining one (or a notify) otherwise.
+            let now = std::time::Instant::now();
+            let mut nearest: Option<std::time::Instant> = None;
+            let due: Vec<usize> = st
+                .delayed
+                .iter()
+                .enumerate()
+                .filter_map(|(i, d)| match d {
+                    Some(dl) if *dl <= now => Some(i),
+                    Some(dl) => {
+                        nearest = Some(nearest.map_or(*dl, |n| n.min(*dl)));
+                        None
+                    }
+                    None => None,
+                })
+                .collect();
+            for i in due {
+                st.delayed[i] = None;
+                st.scheduled[i] = true;
+                st.queue.push_back(i);
+            }
+            if !st.queue.is_empty() {
+                continue;
+            }
+            st = match nearest {
+                Some(dl) => self.cv.wait_timeout(st, dl - now).unwrap().0,
+                None => self.cv.wait(st).unwrap(),
+            };
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.state.lock().unwrap().queue.len()
+    }
+}
+
+/// Per-stripe telemetry gauges, installed by [`StripedDb::set_obs`].
+#[derive(Default)]
+struct StripeGauges {
+    flush_queue_depth: Gauge,
+    compaction_backlog: Gauge,
+}
+
+/// The striped engine router. Mirrors the [`LsmTree`] surface the engine
+/// layer uses (get/put/delete/write_batch/scan/flush/stats/…), routing each
+/// key to its stripe and aggregating across stripes where the answer is
+/// global.
+pub struct StripedDb {
+    stripes: Vec<Arc<LsmTree>>,
+    storage: Arc<dyn Storage>,
+    opts: Options,
+    /// Bumped once per committed write; the scan fence reads it before and
+    /// after a cross-stripe merge.
+    write_epoch: AtomicU64,
+    pool: Option<Arc<Pool>>,
+    workers: Vec<JoinHandle<()>>,
+    gauges: Arc<parking_lot::RwLock<Vec<StripeGauges>>>,
+}
+
+impl StripedDb {
+    /// Builds a non-durable striped engine over `storage` (see
+    /// [`LsmTree::new`]). `opts.stripes` controls the stripe count;
+    /// `opts.stripe_index` is ignored (each stripe gets its own).
+    pub fn new(opts: Options, storage: Arc<dyn Storage>) -> Result<Self> {
+        Self::build(opts, storage, None, None)
+    }
+
+    /// Durable striped engine: stripe `i` keeps its WAL segments and
+    /// manifest shard under `dir/stripe-<i>` (plain `dir` when
+    /// `stripes == 1`, so existing single-stripe layouts keep working).
+    pub fn with_durability(
+        opts: Options,
+        storage: Arc<dyn Storage>,
+        dir: impl Into<PathBuf>,
+    ) -> Result<Self> {
+        Self::build(
+            opts,
+            storage,
+            Some(dir.into()),
+            Some(Arc::new(RealFs::new())),
+        )
+    }
+
+    /// [`StripedDb::with_durability`] over an explicit [`MetaFs`] — the
+    /// seam crash drills use to interpose a simulated write-back cache
+    /// under every stripe's WAL and manifest.
+    pub fn with_durability_fs(
+        opts: Options,
+        storage: Arc<dyn Storage>,
+        dir: impl Into<PathBuf>,
+        fs: Arc<dyn MetaFs>,
+    ) -> Result<Self> {
+        Self::build(opts, storage, Some(dir.into()), Some(fs))
+    }
+
+    fn build(
+        opts: Options,
+        storage: Arc<dyn Storage>,
+        dir: Option<PathBuf>,
+        fs: Option<Arc<dyn MetaFs>>,
+    ) -> Result<Self> {
+        opts.validate()
+            .map_err(crate::error::LsmError::InvalidArgument)?;
+        let n = opts.stripes.max(1);
+        let mut stripes = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut o = opts.clone();
+            o.stripe_index = i;
+            let tree = match (&dir, &fs) {
+                (Some(dir), Some(fs)) => {
+                    let stripe_dir = if n == 1 {
+                        dir.clone()
+                    } else {
+                        dir.join(format!("stripe-{i}"))
+                    };
+                    LsmTree::with_durability_fs(o, storage.clone(), stripe_dir, fs.clone())?
+                }
+                _ => LsmTree::new(o, storage.clone())?,
+            };
+            stripes.push(Arc::new(tree));
+        }
+        let gauges = Arc::new(parking_lot::RwLock::new(
+            (0..n).map(|_| StripeGauges::default()).collect::<Vec<_>>(),
+        ));
+        let mut db = StripedDb {
+            stripes,
+            storage,
+            opts,
+            write_epoch: AtomicU64::new(0),
+            pool: None,
+            workers: Vec::new(),
+            gauges,
+        };
+        if db.opts.background_maintenance {
+            db.spawn_pool();
+        }
+        Ok(db)
+    }
+
+    /// Starts the worker pool and wires each stripe's maintenance hook to
+    /// its queue. Workers poison a stripe whose background job trips a
+    /// crash point — the foreground then fails exactly as if the process
+    /// had died — and otherwise leave transient errors for the next kick.
+    fn spawn_pool(&mut self) {
+        let n = self.stripes.len();
+        let pool = Arc::new(Pool::new(n));
+        for (i, tree) in self.stripes.iter().enumerate() {
+            let p = pool.clone();
+            tree.set_maintenance_hook(Arc::new(move || p.kick(i)));
+        }
+        // One worker per stripe up to the machine's parallelism: extra
+        // threads on a small box only add context switches, never overlap.
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        let workers = n.min(cores).clamp(1, 8);
+        for _ in 0..workers {
+            let p = pool.clone();
+            let trees = self.stripes.clone();
+            let gauges = self.gauges.clone();
+            self.workers.push(std::thread::spawn(move || {
+                while let Some(stripe) = p.next() {
+                    let tree = &trees[stripe];
+                    let mut failed = false;
+                    match tree.maintain_once() {
+                        Ok(_) => {
+                            p.err_streak[stripe].store(0, Ordering::Relaxed);
+                        }
+                        Err(_) if tree.crash_fired() => tree.poison(),
+                        // Transient (e.g. injected) error: the imm is still
+                        // sealed; retry below, with backoff.
+                        Err(_) => failed = true,
+                    }
+                    // Work can arrive while a round runs; re-enqueue until
+                    // the stripe is clean. A failed round re-enqueues on an
+                    // exponential backoff (1 ms doubling to ~512 ms) so a
+                    // persistent error — disk full, say — cannot spin this
+                    // worker, and each retry's fresh file id / partial SST
+                    // is minted at a bounded rate.
+                    if !tree.is_poisoned() && (tree.flush_pending() || tree.compaction_due()) {
+                        if failed {
+                            let streak = p.err_streak[stripe].fetch_add(1, Ordering::Relaxed);
+                            let delay = std::time::Duration::from_millis(1 << streak.min(9));
+                            p.kick_after(stripe, std::time::Instant::now() + delay);
+                        } else {
+                            p.kick(stripe);
+                        }
+                    }
+                    let g = gauges.read();
+                    g[stripe].flush_queue_depth.set(tree.flush_pending() as i64);
+                    g[stripe]
+                        .compaction_backlog
+                        .set(tree.compaction_due() as i64);
+                }
+            }));
+        }
+        self.pool = Some(pool);
+    }
+
+    /// The stripe that owns `key`.
+    pub fn stripe_for(&self, key: &[u8]) -> usize {
+        stripe_of(key, self.stripes.len())
+    }
+
+    /// Number of stripes.
+    pub fn num_stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Direct handle to stripe `i` (drills and tests).
+    pub fn stripe(&self, i: usize) -> &Arc<LsmTree> {
+        &self.stripes[i]
+    }
+
+    /// The shared storage device.
+    pub fn storage(&self) -> &Arc<dyn Storage> {
+        &self.storage
+    }
+
+    /// The router's options (stripe 0's view; `stripe_index` is 0).
+    pub fn options(&self) -> &Options {
+        &self.opts
+    }
+
+    /// Inserts or overwrites `key` on its stripe.
+    pub fn put(&self, key: Key, value: Value) -> Result<()> {
+        let s = self.stripe_for(&key);
+        // Seqlock-style fence: bump before AND after the commit, so a scan
+        // overlapping either edge of this write sees the epoch move.
+        self.write_epoch.fetch_add(1, Ordering::Release);
+        self.stripes[s].put(key, value)?;
+        self.write_epoch.fetch_add(1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Deletes `key` (tombstone) on its stripe.
+    pub fn delete(&self, key: Key) -> Result<()> {
+        let s = self.stripe_for(&key);
+        self.write_epoch.fetch_add(1, Ordering::Release);
+        self.stripes[s].delete(key)?;
+        self.write_epoch.fetch_add(1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Applies a batch, grouped per stripe. Atomicity holds within each
+    /// stripe (single WAL push under one lock); a crash between stripe
+    /// sub-batches can persist one stripe's half without another's — the
+    /// cross-stripe contract is documented, not hidden.
+    pub fn write_batch(&self, batch: Vec<(Key, Entry)>) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let n = self.stripes.len();
+        if n == 1 {
+            self.stripes[0].write_batch(batch)?;
+            self.write_epoch.fetch_add(1, Ordering::Release);
+            return Ok(());
+        }
+        let mut per: Vec<Vec<(Key, Entry)>> = (0..n).map(|_| Vec::new()).collect();
+        for (key, entry) in batch {
+            per[stripe_of(&key, n)].push((key, entry));
+        }
+        self.write_epoch.fetch_add(1, Ordering::Release);
+        for (i, sub) in per.into_iter().enumerate() {
+            if !sub.is_empty() {
+                self.stripes[i].write_batch(sub)?;
+            }
+        }
+        self.write_epoch.fetch_add(1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Point lookup on the owning stripe.
+    pub fn get(&self, key: &[u8], provider: &dyn BlockProvider) -> Result<Option<Value>> {
+        self.stripes[self.stripe_for(key)].get(key, provider)
+    }
+
+    /// Range scan: merges per-stripe scans under the write-epoch fence.
+    /// A merge that raced a commit is redone once (each stripe is still
+    /// individually consistent either way); retrying more than once under
+    /// a sustained write load would never converge and only burn CPU.
+    ///
+    /// Consistency is best-effort across stripes: writers bump the epoch
+    /// on both sides of their commit, so any write overlapping either
+    /// fence read triggers the retry — but a commit in flight across the
+    /// *whole* merge (both bumps outside both fence reads) is invisible to
+    /// the fence, and the single retry's result is accepted as-is. In both
+    /// residual cases the scan is consistent per stripe, not globally.
+    pub fn scan(
+        &self,
+        from: &[u8],
+        limit: usize,
+        provider: &dyn BlockProvider,
+    ) -> Result<Vec<(Key, Value)>> {
+        if self.stripes.len() == 1 {
+            return self.stripes[0].scan(from, limit, provider);
+        }
+        let before = self.write_epoch.load(Ordering::Acquire);
+        let merged = self.scan_once(from, limit, provider)?;
+        let after = self.write_epoch.load(Ordering::Acquire);
+        if before == after {
+            return Ok(merged);
+        }
+        self.scan_once(from, limit, provider)
+    }
+
+    fn scan_once(
+        &self,
+        from: &[u8],
+        limit: usize,
+        provider: &dyn BlockProvider,
+    ) -> Result<Vec<(Key, Value)>> {
+        // Each stripe owns a disjoint key set, so the merge is a plain
+        // k-way sorted union — no cross-stripe shadowing to resolve. Hash
+        // routing spreads any contiguous range uniformly, so each stripe
+        // holds ~limit/n of the result: fetch that plus slack, and refill
+        // (doubling) the rare stripe that runs hotter than the hash
+        // suggests. Naively fetching `limit` from every stripe would make
+        // the scan cost n× the single-engine path.
+        struct Cur {
+            buf: std::collections::VecDeque<(Key, Value)>,
+            /// The fetch filled `want`, so the stripe may hold more.
+            truncated: bool,
+            want: usize,
+            /// Strict successor of the last fetched key: where a refill
+            /// resumes.
+            next_from: Vec<u8>,
+        }
+        let n = self.stripes.len();
+        let want0 = (limit / n + 4).min(limit.max(1));
+        let mut curs = Vec::with_capacity(n);
+        for tree in &self.stripes {
+            let got = tree.scan(from, want0, provider)?;
+            let truncated = got.len() == want0;
+            let next_from = match got.last() {
+                Some((k, _)) => {
+                    let mut nf = k.to_vec();
+                    nf.push(0);
+                    nf
+                }
+                None => from.to_vec(),
+            };
+            curs.push(Cur {
+                buf: got.into(),
+                truncated,
+                want: want0,
+                next_from,
+            });
+        }
+        let mut out = Vec::with_capacity(limit);
+        while out.len() < limit {
+            // A drained-but-truncated cursor may still hold the global
+            // minimum; refill it before choosing.
+            for (i, tree) in self.stripes.iter().enumerate() {
+                let c = &mut curs[i];
+                while c.buf.is_empty() && c.truncated {
+                    c.want = (c.want * 2).min(limit.max(1));
+                    let got = tree.scan(&c.next_from, c.want, provider)?;
+                    c.truncated = got.len() == c.want;
+                    if let Some((k, _)) = got.last() {
+                        c.next_from = k.to_vec();
+                        c.next_from.push(0);
+                    }
+                    c.buf = got.into();
+                }
+            }
+            let mut min: Option<usize> = None;
+            for (i, c) in curs.iter().enumerate() {
+                if let Some((k, _)) = c.buf.front() {
+                    if min.is_none_or(|m| *k < curs[m].buf.front().unwrap().0) {
+                        min = Some(i);
+                    }
+                }
+            }
+            let Some(i) = min else { break };
+            out.push(curs[i].buf.pop_front().unwrap());
+        }
+        Ok(out)
+    }
+
+    /// Flushes every stripe (sealed memtables included) and runs due
+    /// compactions.
+    pub fn flush(&self) -> Result<()> {
+        for tree in &self.stripes {
+            tree.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Runs at most one due compaction somewhere; returns whether one ran.
+    pub fn maybe_compact_once(&self) -> Result<bool> {
+        for tree in &self.stripes {
+            if tree.maybe_compact_once()? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Stripe 0's counters when single-striped (bit-compatible with the
+    /// old single-engine `stats()`); use [`StripedDb::stats_sum`] for
+    /// cross-stripe aggregates.
+    pub fn stats(&self) -> &DbStats {
+        self.stripes[0].stats()
+    }
+
+    /// Sums a counter across stripes via `f`.
+    pub fn stats_sum(&self, f: impl Fn(&DbStats) -> u64) -> u64 {
+        self.stripes.iter().map(|t| f(t.stats())).sum()
+    }
+
+    /// Total compactions across stripes.
+    pub fn compactions(&self) -> u64 {
+        self.stats_sum(|s| s.compactions())
+    }
+
+    /// Group-commit `(rounds, batches)` summed across stripes.
+    pub fn group_commit(&self) -> (u64, u64) {
+        let mut rounds = 0;
+        let mut batches = 0;
+        for t in &self.stripes {
+            let (r, b) = t.stats().group_commit();
+            rounds += r;
+            batches += b;
+        }
+        (rounds, batches)
+    }
+
+    /// Query-path SST block reads: device reads minus every stripe's
+    /// compaction reads.
+    pub fn query_block_reads(&self) -> u64 {
+        self.storage
+            .stats()
+            .reads()
+            .saturating_sub(self.stats_sum(|s| s.compaction_block_reads.load(Ordering::Relaxed)))
+    }
+
+    /// Write amplification across the device: all blocks written per block
+    /// of fresh data flushed (any stripe).
+    pub fn write_amplification(&self) -> f64 {
+        let flushed = self.stats_sum(|s| s.flush_block_writes.load(Ordering::Relaxed));
+        if flushed == 0 {
+            return 0.0;
+        }
+        self.storage.stats().writes() as f64 / flushed as f64
+    }
+
+    /// Total sorted runs across stripes (a scan opens iterators in every
+    /// stripe, so the sum is the real seek fan-out).
+    pub fn num_runs(&self) -> usize {
+        self.stripes.iter().map(|t| t.num_runs()).sum()
+    }
+
+    /// Deepest non-empty level over any stripe.
+    pub fn num_levels(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|t| t.num_levels())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `(level, files, bytes)` aggregated across stripes.
+    pub fn level_summary(&self) -> Vec<(usize, usize, u64)> {
+        let mut agg: Vec<(usize, usize, u64)> =
+            (0..self.opts.max_levels).map(|l| (l, 0, 0)).collect();
+        for tree in &self.stripes {
+            for (l, files, bytes) in tree.level_summary() {
+                agg[l].1 += files;
+                agg[l].2 += bytes;
+            }
+        }
+        agg
+    }
+
+    /// Entries buffered across every stripe's memtables.
+    pub fn memtable_len(&self) -> usize {
+        self.stripes.iter().map(|t| t.memtable_len()).sum()
+    }
+
+    /// `(total entries, total blocks)` across all stripes' live tables.
+    pub fn entries_and_blocks(&self) -> (u64, u64) {
+        let mut entries = 0;
+        let mut blocks = 0;
+        for tree in &self.stripes {
+            let (e, b) = tree.entries_and_blocks();
+            entries += e;
+            blocks += b;
+        }
+        (entries, blocks)
+    }
+
+    /// Quarantined block addresses across stripes, sorted.
+    pub fn quarantined(&self) -> Vec<(FileId, u32)> {
+        let mut v: Vec<_> = self.stripes.iter().flat_map(|t| t.quarantined()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Registers a compaction observer on every stripe (file ids are
+    /// globally unique, so one listener serves all).
+    pub fn add_compaction_listener(&self, l: Arc<dyn CompactionListener>) {
+        for tree in &self.stripes {
+            tree.add_compaction_listener(l.clone());
+        }
+    }
+
+    /// Installs one crash controller across every stripe — background
+    /// workers hit the same armed points foreground paths do.
+    pub fn set_crash_controller(&self, cc: Arc<CrashController>) {
+        for tree in &self.stripes {
+            tree.set_crash_controller(cc.clone());
+        }
+    }
+
+    /// Whether any stripe was poisoned by a background crash injection.
+    pub fn is_poisoned(&self) -> bool {
+        self.stripes.iter().any(|t| t.is_poisoned())
+    }
+
+    /// Attaches observability to every stripe: lock counters register both
+    /// the shared `engine.lock.*` aggregate and per-stripe
+    /// `engine.stripe.<i>.lock.*` sets (when striped), plus per-stripe
+    /// `flush_queue_depth` / `compaction_backlog` gauges.
+    pub fn set_obs(&self, obs: Obs) {
+        for tree in &self.stripes {
+            tree.set_obs(obs.clone());
+        }
+        if self.stripes.len() > 1 {
+            let mut g = self.gauges.write();
+            for (i, sg) in g.iter_mut().enumerate() {
+                sg.flush_queue_depth = obs.gauge(&format!("engine.stripe.{i}.flush_queue_depth"));
+                sg.compaction_backlog = obs.gauge(&format!("engine.stripe.{i}.compaction_backlog"));
+            }
+        }
+    }
+
+    /// Background queue depth (stripes currently scheduled), 0 without a
+    /// pool.
+    pub fn maintenance_queue_depth(&self) -> usize {
+        self.pool.as_ref().map_or(0, |p| p.depth())
+    }
+}
+
+impl Drop for StripedDb {
+    fn drop(&mut self) {
+        if let Some(pool) = &self.pool {
+            {
+                let mut st = pool.state.lock().unwrap();
+                st.shutdown = true;
+            }
+            pool.cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sstable::DirectProvider;
+    use crate::storage::MemStorage;
+    use bytes::Bytes;
+
+    fn kb(i: u32) -> Key {
+        Bytes::from(format!("key-{i:05}"))
+    }
+
+    #[test]
+    fn routes_are_stable_and_cover_all_stripes() {
+        let mut seen = [false; 8];
+        for i in 0..1000u32 {
+            let s = stripe_of(&kb(i), 8);
+            assert_eq!(s, stripe_of(&kb(i), 8));
+            seen[s] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "1000 keys should touch all 8 stripes"
+        );
+    }
+
+    #[test]
+    fn striped_put_get_scan_roundtrip() {
+        let mut opts = Options::small();
+        opts.stripes = 4;
+        let db = StripedDb::new(opts, Arc::new(MemStorage::new())).unwrap();
+        for i in 0..200u32 {
+            db.put(kb(i), Bytes::from(format!("v{i}"))).unwrap();
+        }
+        for i in (0..200u32).step_by(3) {
+            db.delete(kb(i)).unwrap();
+        }
+        let got = db.get(&kb(1), &DirectProvider).unwrap();
+        assert_eq!(got.unwrap().as_ref(), b"v1");
+        assert_eq!(db.get(&kb(3), &DirectProvider).unwrap(), None);
+        let scanned = db.scan(b"key-00000", 500, &DirectProvider).unwrap();
+        let expect: Vec<u32> = (0..200).filter(|i| i % 3 != 0).collect();
+        assert_eq!(scanned.len(), expect.len());
+        let mut sorted = scanned.clone();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(scanned, sorted, "merged scan must be key-ordered");
+    }
+
+    #[test]
+    fn background_pool_flushes_without_explicit_calls() {
+        let mut opts = Options::small();
+        opts.stripes = 2;
+        opts.background_maintenance = true;
+        opts.memtable_size = 1 << 10;
+        let db = StripedDb::new(opts, Arc::new(MemStorage::new())).unwrap();
+        for i in 0..2000u32 {
+            db.put(kb(i), Bytes::from(vec![b'x'; 64])).unwrap();
+        }
+        // The pool should have flushed something in the background.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while db.stats_sum(|s| s.flushes.load(Ordering::Relaxed)) == 0 {
+            assert!(std::time::Instant::now() < deadline, "no background flush");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        db.flush().unwrap();
+        for i in (0..2000u32).step_by(97) {
+            let got = db.get(&kb(i), &DirectProvider).unwrap();
+            assert_eq!(got.unwrap().as_ref(), vec![b'x'; 64].as_slice());
+        }
+        assert!(db.stats_sum(|s| s.seals()) > 0, "writes should have sealed");
+    }
+}

@@ -121,7 +121,7 @@ pub struct TimedRwLock<T> {
     lock: RwLock<T>,
     timing: AtomicBool,
     stats: [PathStats; LOCK_PATHS],
-    counters: OnceLock<[PathCounters; LOCK_PATHS]>,
+    counters: OnceLock<Vec<[PathCounters; LOCK_PATHS]>>,
 }
 
 impl<T> TimedRwLock<T> {
@@ -139,15 +139,30 @@ impl<T> TimedRwLock<T> {
     /// and enables timing when `obs` is live. Safe to call more than once;
     /// the first live registration wins.
     pub fn attach_obs(&self, obs: &Obs, prefix: &str) {
+        self.attach_obs_prefixes(obs, &[prefix]);
+    }
+
+    /// Like [`attach_obs`](Self::attach_obs) but exports the same per-path
+    /// counters under several prefixes at once — e.g. a striped engine
+    /// registering both the aggregate `engine.lock` set and its own
+    /// `engine.stripe.<i>.lock` set. Registry counters are shared by name,
+    /// so the aggregate prefix accumulates across every stripe. One timing
+    /// read feeds all sets; the per-acquisition cost stays a handful of
+    /// relaxed atomics and is still gated on the cached timing flag.
+    pub fn attach_obs_prefixes(&self, obs: &Obs, prefixes: &[&str]) {
         if !obs.is_enabled() {
             return;
         }
-        let mk = |path: &str| PathCounters {
+        let mk = |prefix: &str, path: &str| PathCounters {
             acquisitions: obs.counter(&format!("{prefix}.{path}.acquisitions")),
             wait_ns: obs.counter(&format!("{prefix}.{path}.wait_ns")),
             hold_ns: obs.counter(&format!("{prefix}.{path}.hold_ns")),
         };
-        let _ = self.counters.set(LockPath::ALL.map(|p| mk(p.label())));
+        let sets = prefixes
+            .iter()
+            .map(|prefix| LockPath::ALL.map(|p| mk(prefix, p.label())))
+            .collect();
+        let _ = self.counters.set(sets);
         self.timing.store(true, Ordering::Release);
     }
 
@@ -226,10 +241,12 @@ impl<T> TimedRwLock<T> {
         s.acquisitions.fetch_add(1, Ordering::Relaxed);
         s.wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
         s.max_wait_ns.fetch_max(wait_ns, Ordering::Relaxed);
-        if let Some(counters) = self.counters.get() {
-            let c = &counters[path as usize];
-            c.acquisitions.inc();
-            c.wait_ns.add(wait_ns);
+        if let Some(sets) = self.counters.get() {
+            for counters in sets {
+                let c = &counters[path as usize];
+                c.acquisitions.inc();
+                c.wait_ns.add(wait_ns);
+            }
         }
         PROBE_WAIT_NS.with(|c| c.set(c.get().saturating_add(wait_ns)));
     }
@@ -238,8 +255,10 @@ impl<T> TimedRwLock<T> {
         self.stats[path as usize]
             .hold_ns
             .fetch_add(hold_ns, Ordering::Relaxed);
-        if let Some(counters) = self.counters.get() {
-            counters[path as usize].hold_ns.add(hold_ns);
+        if let Some(sets) = self.counters.get() {
+            for counters in sets {
+                counters[path as usize].hold_ns.add(hold_ns);
+            }
         }
         PROBE_HOLD_NS.with(|c| c.set(c.get().saturating_add(hold_ns)));
     }

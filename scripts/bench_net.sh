@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Records the standing network baseline in BENCH_net.json: closed-loop
-# throughput and tail latency over loopback at 1, 8, and 32 connections
-# (release build, in-memory store, mixed zipfian workload).
+# throughput and tail latency over loopback at 1, 8, 32, and 128
+# connections (release build, in-memory store, mixed zipfian workload).
+# The serve default is the striped engine (16 stripes, background
+# flush/compaction, WAL group commit); each point also runs once with
+# `--stripes 1` (the legacy inline engine) for comparison.
 #
 # Each point is measured twice: once with `--no-telemetry` (the raw
 # serving path) and once with the default telemetry plane on (stage
@@ -64,12 +67,25 @@ stage_share() {
         | grep -oE 'share_pct [0-9.]+' | awk '{print $2}'
 }
 
+# Pulls one "name value" field out of the group_commit summary line.
+gc_field() {
+    local file=$1 field=$2
+    { grep -E "^group_commit " "$file" 2>/dev/null || echo "$field 0"; } \
+        | grep -oE "$field [0-9.]+" | awk '{print $2}'
+}
+
 points=""
-for conns in 1 8 32; do
+for conns in 1 8 32 128; do
     echo "=== $conns connection(s), telemetry off ==="
     off_log="/tmp/bench_net_${conns}_off.log"
     run_point "$conns" "$off_log" --no-telemetry
     qps_off=$(grep -oE 'throughput [0-9.]+' "$off_log" | awk '{print $2}')
+
+    echo "=== $conns connection(s), stripes off (legacy inline engine) ==="
+    legacy_log="/tmp/bench_net_${conns}_legacy.log"
+    run_point "$conns" "$legacy_log" --stripes 1
+    qps_legacy=$(grep -oE 'throughput [0-9.]+' "$legacy_log" | awk '{print $2}')
+    p99_legacy=$(extract "$legacy_log" p99)
 
     echo "=== $conns connection(s), telemetry on ==="
     on_log="/tmp/bench_net_${conns}_on.log"
@@ -82,10 +98,16 @@ for conns in 1 8 32; do
     p999=$(extract "$on_log" p999)
     overhead=$(awk -v off="$qps_off" -v on="$qps" \
         'BEGIN { printf "%.2f", (off > 0) ? ((off - on) * 100.0 / off) : 0 }')
+    speedup=$(awk -v legacy="$qps_legacy" -v on="$qps" \
+        'BEGIN { printf "%.2f", (legacy > 0) ? on / legacy : 0 }')
     lock_share=$(grep -oE 'lock_wait_share_pct [0-9.]+' "$sum" | awk '{print $2}')
-    point=$(printf '    {"connections": %s, "ops": %s, "qps": %s, "qps_telemetry_off": %s, "overhead_pct": %s, "p50_us": %s, "p95_us": %s, "p99_us": %s, "p999_us": %s, "lock_wait_share_pct": %s, "stage_share_pct": {"parse": %s, "queue_wait": %s, "lock_wait": %s, "engine_exec": %s, "cache_layer": %s, "reply_flush": %s}}' \
-        "$conns" "$OPS" "$qps" "$qps_off" "$overhead" "$p50" "$p95" "$p99" "$p999" \
+    point=$(printf '    {"connections": %s, "ops": %s, "qps": %s, "qps_telemetry_off": %s, "qps_stripes_off": %s, "p99_us_stripes_off": %s, "stripe_speedup": %s, "overhead_pct": %s, "p50_us": %s, "p95_us": %s, "p99_us": %s, "p999_us": %s, "lock_wait_share_pct": %s, "group_commit": {"rounds": %s, "batches": %s, "mean_batch": %s, "seals": %s, "write_stalls": %s}, "stage_share_pct": {"parse": %s, "queue_wait": %s, "lock_wait": %s, "engine_exec": %s, "cache_layer": %s, "reply_flush": %s}}' \
+        "$conns" "$OPS" "$qps" "$qps_off" "$qps_legacy" "${p99_legacy:-0}" "$speedup" \
+        "$overhead" "$p50" "$p95" "$p99" "$p999" \
         "${lock_share:-0}" \
+        "$(gc_field "$sum" rounds)" "$(gc_field "$sum" batches)" \
+        "$(gc_field "$sum" mean_batch)" "$(gc_field "$sum" seals)" \
+        "$(gc_field "$sum" write_stalls)" \
         "$(stage_share "$sum" parse)" "$(stage_share "$sum" queue_wait)" \
         "$(stage_share "$sum" lock_wait)" "$(stage_share "$sum" engine_exec)" \
         "$(stage_share "$sum" cache_layer)" "$(stage_share "$sum" reply_flush)")
@@ -94,7 +116,7 @@ done
 
 {
     echo '{'
-    echo '  "bench": "network serving baseline (closed loop, loopback, mixed zipfian; telemetry on vs off)",'
+    echo '  "bench": "network serving baseline (closed loop, loopback, mixed zipfian; striped engine, telemetry on vs off, stripes on vs off)",'
     echo '  "command": "scripts/bench_net.sh",'
     echo "  \"keys\": $KEYS,"
     echo '  "points": ['
