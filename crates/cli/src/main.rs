@@ -1293,7 +1293,8 @@ fn render_top_tick(
 fn cmd_loadgen(argv: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     let usage = "usage: adcache loadgen [--addr HOST:PORT] [--ops N] [--connections N] \
                  [--mix point|scan|write|mixed] [--keys N] [--value-size N] [--seed S] \
-                 [--qps Q] [--adversary KIND] [--adversary-frac F] [--shutdown]\n\
+                 [--qps Q] [--batch N] [--adversary KIND] [--adversary-frac F] [--shutdown]\n\
+                 --batch N groups N ops per wire frame (1 = off, max 1024)\n\
                  adversary kinds: scan-flood | one-hit-wonder | key-churn | sketch-collision";
     let mut cfg = adcache_server::LoadgenConfig::default();
     let mut workload = WorkloadConfig {
@@ -1317,6 +1318,7 @@ fn cmd_loadgen(argv: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
             "--value-size" => workload.value_size = next(argv, &mut i, "--value-size")?.parse()?,
             "--seed" => workload.seed = next(argv, &mut i, "--seed")?.parse()?,
             "--qps" => cfg.target_qps = Some(next(argv, &mut i, "--qps")?.parse()?),
+            "--batch" => cfg.batch = next(argv, &mut i, "--batch")?.parse()?,
             "--adversary" => {
                 let name = next(argv, &mut i, "--adversary")?;
                 adversary_kind = Some(
@@ -1353,12 +1355,17 @@ fn cmd_loadgen(argv: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     let report = if cfg.ops > 0 {
         let report = adcache_server::loadgen::run(&cfg)?;
         println!(
-            "{} connections, {} loop:",
+            "{} connections, {} loop{}:",
             cfg.connections,
             if cfg.target_qps.is_some() {
                 "open"
             } else {
                 "closed"
+            },
+            if cfg.batch > 1 {
+                format!(", batch {}", cfg.batch)
+            } else {
+                String::new()
             }
         );
         println!("{}", report.render());
@@ -1500,6 +1507,7 @@ fn adv_drill(
                 ..Default::default()
             },
             target_qps: Some(if blended { 8_000 } else { 4_000 }),
+            batch: 0,
             adversary_frac: if blended { 0.5 } else { 0.0 },
             adversary,
         }

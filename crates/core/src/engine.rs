@@ -389,24 +389,8 @@ impl CachedDb {
     /// Point lookup along the paper's query-handling path.
     pub fn get(&self, key: &[u8]) -> Result<Option<Value>> {
         self.counters.add_point();
-        if let Some(rc) = &self.range_cache {
-            match rc.get_point(key) {
-                PointLookup::Hit(v) => {
-                    self.counters.range_hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(Some(v));
-                }
-                PointLookup::NegativeHit => {
-                    self.counters.range_hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(None);
-                }
-                PointLookup::Miss => {}
-            }
-        }
-        if let Some(kv) = &self.kv_cache {
-            if let Some(v) = kv.get(key) {
-                self.counters.kv_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Some(v));
-            }
+        if let Some(answer) = self.probe_point_caches(key) {
+            return Ok(answer);
         }
         self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
         let result = match &self.block_cache {
@@ -423,47 +407,123 @@ impl CachedDb {
                 return Err(e);
             }
         };
-        // Cache-fill path.
         if let Some(v) = &result {
-            if let Some(rc) = &self.range_cache {
-                let (admit, reason) = match &self.point_admission {
-                    Some(adm) => {
-                        let admit = adm.lock().admit(key);
-                        let reason = if admit {
-                            AdmissionReason::FrequencyAtThreshold
-                        } else {
-                            AdmissionReason::FrequencyBelowThreshold
-                        };
-                        (admit, reason)
-                    }
-                    None => (true, AdmissionReason::Unconditional),
-                };
-                if let Some(h) = self.obs.get() {
-                    let outcome = if admit {
-                        AdmissionOutcome::Accept
-                    } else {
-                        AdmissionOutcome::Reject
-                    };
-                    h.admission(CacheStructure::Range, outcome, reason, 1, admit as u64);
-                }
-                if admit {
-                    rc.insert_point(Bytes::copy_from_slice(key), v.clone());
-                }
-            }
-            if let Some(kv) = &self.kv_cache {
-                if let Some(h) = self.obs.get() {
-                    h.admission(
-                        CacheStructure::Kv,
-                        AdmissionOutcome::Accept,
-                        AdmissionReason::Unconditional,
-                        1,
-                        1,
-                    );
-                }
-                kv.insert(Bytes::copy_from_slice(key), v.clone());
-            }
+            self.fill_point_caches(key, v);
         }
         Ok(result)
+    }
+
+    /// Batched point lookup: probes the caches per key, then reads all
+    /// misses from the LSM-tree in **one** grouped call
+    /// ([`StripedDb::multi_get`]) that takes each stripe's read lock once
+    /// per group instead of once per key. Results are positional:
+    /// `out[i]` answers `keys[i]`. Counter and admission semantics per
+    /// key match [`get`](Self::get); a failed grouped read is charged as
+    /// one failed read and fails the whole batch.
+    pub fn multi_get(&self, keys: &[&[u8]]) -> Result<Vec<Option<Value>>> {
+        let mut out: Vec<Option<Value>> = vec![None; keys.len()];
+        let mut miss_idx: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            self.counters.add_point();
+            match self.probe_point_caches(key) {
+                Some(answer) => out[i] = answer,
+                None => miss_idx.push(i),
+            }
+        }
+        if miss_idx.is_empty() {
+            return Ok(out);
+        }
+        self.counters
+            .cache_misses
+            .fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
+        let miss_keys: Vec<&[u8]> = miss_idx.iter().map(|&i| keys[i]).collect();
+        let result = match &self.block_cache {
+            Some(bc) => self.db.multi_get(&miss_keys, &bc.provider()),
+            None => self.db.multi_get(&miss_keys, &DirectProvider),
+        };
+        let values = match result {
+            Ok(v) => v,
+            Err(e) => {
+                self.counters.add_failed_read();
+                return Err(e);
+            }
+        };
+        for (&i, value) in miss_idx.iter().zip(values) {
+            if let Some(v) = &value {
+                self.fill_point_caches(keys[i], v);
+            }
+            out[i] = value;
+        }
+        Ok(out)
+    }
+
+    /// Probes the range and KV caches for `key`. `Some(answer)` is a hit
+    /// (including a negative hit: `Some(None)`); `None` means both caches
+    /// missed and the LSM-tree must be read.
+    fn probe_point_caches(&self, key: &[u8]) -> Option<Option<Value>> {
+        if let Some(rc) = &self.range_cache {
+            match rc.get_point(key) {
+                PointLookup::Hit(v) => {
+                    self.counters.range_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(Some(v));
+                }
+                PointLookup::NegativeHit => {
+                    self.counters.range_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(None);
+                }
+                PointLookup::Miss => {}
+            }
+        }
+        if let Some(kv) = &self.kv_cache {
+            if let Some(v) = kv.get(key) {
+                self.counters.kv_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(Some(v));
+            }
+        }
+        None
+    }
+
+    /// The cache-fill path for a point read that reached the LSM-tree and
+    /// found a value: point admission gates the range cache, the KV cache
+    /// admits unconditionally.
+    fn fill_point_caches(&self, key: &[u8], v: &Value) {
+        if let Some(rc) = &self.range_cache {
+            let (admit, reason) = match &self.point_admission {
+                Some(adm) => {
+                    let admit = adm.lock().admit(key);
+                    let reason = if admit {
+                        AdmissionReason::FrequencyAtThreshold
+                    } else {
+                        AdmissionReason::FrequencyBelowThreshold
+                    };
+                    (admit, reason)
+                }
+                None => (true, AdmissionReason::Unconditional),
+            };
+            if let Some(h) = self.obs.get() {
+                let outcome = if admit {
+                    AdmissionOutcome::Accept
+                } else {
+                    AdmissionOutcome::Reject
+                };
+                h.admission(CacheStructure::Range, outcome, reason, 1, admit as u64);
+            }
+            if admit {
+                rc.insert_point(Bytes::copy_from_slice(key), v.clone());
+            }
+        }
+        if let Some(kv) = &self.kv_cache {
+            if let Some(h) = self.obs.get() {
+                h.admission(
+                    CacheStructure::Kv,
+                    AdmissionOutcome::Accept,
+                    AdmissionReason::Unconditional,
+                    1,
+                    1,
+                );
+            }
+            kv.insert(Bytes::copy_from_slice(key), v.clone());
+        }
     }
 
     /// Range scan along the query-handling path.

@@ -1355,6 +1355,36 @@ impl LsmTree {
     pub fn get(&self, key: &[u8], provider: &dyn BlockProvider) -> Result<Option<Value>> {
         self.check_poison()?;
         let inner = self.lock_read(LockPath::Read);
+        self.get_locked(&inner, key, provider)
+    }
+
+    /// Point lookups for many keys under **one** read-lock acquisition.
+    ///
+    /// Results are positional: `out[i]` answers `keys[i]`. Batched
+    /// callers (the server's BATCH opcode) amortize the lock handshake
+    /// and the version snapshot across the group; semantics per key are
+    /// identical to [`get`](Self::get).
+    pub fn multi_get(
+        &self,
+        keys: &[&[u8]],
+        provider: &dyn BlockProvider,
+    ) -> Result<Vec<Option<Value>>> {
+        self.check_poison()?;
+        let inner = self.lock_read(LockPath::Read);
+        keys.iter()
+            .map(|key| self.get_locked(&inner, key, provider))
+            .collect()
+    }
+
+    /// The probe sequence of [`get`](Self::get) against an already-locked
+    /// version snapshot: memtable → sealed memtable → L0 runs → one
+    /// candidate per deeper level.
+    fn get_locked(
+        &self,
+        inner: &Inner,
+        key: &[u8],
+        provider: &dyn BlockProvider,
+    ) -> Result<Option<Value>> {
         match inner.mem.get(key) {
             Some(Entry::Put(v)) => return Ok(Some(v.clone())),
             Some(Entry::Tombstone) => return Ok(None),

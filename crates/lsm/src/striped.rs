@@ -403,6 +403,41 @@ impl StripedDb {
         self.stripes[self.stripe_for(key)].get(key, provider)
     }
 
+    /// Point lookups for many keys, grouped per owning stripe so each
+    /// stripe's read lock is acquired **once** per group rather than once
+    /// per key. Results are positional: `out[i]` answers `keys[i]`.
+    pub fn multi_get(
+        &self,
+        keys: &[&[u8]],
+        provider: &dyn BlockProvider,
+    ) -> Result<Vec<Option<Value>>> {
+        let n = self.stripes.len();
+        if n == 1 || keys.len() == 1 {
+            if keys.len() == 1 {
+                return Ok(vec![self.get(keys[0], provider)?]);
+            }
+            return self.stripes[0].multi_get(keys, provider);
+        }
+        // Group key *indices* by stripe, probe each group under one lock,
+        // then scatter the answers back into request order.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, key) in keys.iter().enumerate() {
+            groups[stripe_of(key, n)].push(i);
+        }
+        let mut out: Vec<Option<Value>> = vec![None; keys.len()];
+        for (stripe, idxs) in groups.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let group: Vec<&[u8]> = idxs.iter().map(|&i| keys[i]).collect();
+            let answers = self.stripes[stripe].multi_get(&group, provider)?;
+            for (&i, v) in idxs.iter().zip(answers) {
+                out[i] = v;
+            }
+        }
+        Ok(out)
+    }
+
     /// Range scan: merges per-stripe scans under the write-epoch fence.
     /// A merge that raced a commit is redone once (each stripe is still
     /// individually consistent either way); retrying more than once under

@@ -391,6 +391,19 @@ pub enum Event {
         /// Increments observed in the window that tripped the guard.
         increments: u64,
     },
+    /// One served `Batch` frame (sampled like `RequestServed`): many
+    /// data-plane sub-requests executed under one envelope, with
+    /// consecutive point-gets grouped per engine stripe.
+    BatchServed {
+        /// Connection the batch arrived on.
+        conn: u64,
+        /// Sub-requests carried by the frame.
+        subs: u64,
+        /// Distinct engine stripes the batch's keys routed to.
+        stripes: u64,
+        /// Wall-clock service latency of the whole batch, ns.
+        latency_ns: u64,
+    },
     /// A per-connection admission quota throttled a request; the request
     /// was answered with an `Err` reply without touching the engine.
     QuotaThrottled {
@@ -435,6 +448,7 @@ impl Event {
             Event::SnapshotWritten { .. } => "SnapshotWritten",
             Event::AdversaryDetected { .. } => "AdversaryDetected",
             Event::SketchReset { .. } => "SketchReset",
+            Event::BatchServed { .. } => "BatchServed",
             Event::QuotaThrottled { .. } => "QuotaThrottled",
         }
     }

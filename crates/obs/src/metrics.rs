@@ -51,6 +51,24 @@ impl Gauge {
         }
     }
 
+    /// Adds `n` (may be negative). Lock-free; no-op on an inert handle.
+    ///
+    /// Use this — not `set` — for gauges updated by concurrent writers
+    /// (e.g. in-flight request counts), where racing `set` calls clobber
+    /// each other.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtracts `n`. Lock-free; no-op on an inert handle.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
     /// Current value (0 on an inert handle).
     pub fn get(&self) -> i64 {
         self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))

@@ -243,6 +243,15 @@ fn exemplars() -> Vec<(Event, &'static str)> {
             r#"{"SketchReset":{"epoch":3,"decays":40,"fill_pct":81,"increments":4096}}"#,
         ),
         (
+            Event::BatchServed {
+                conn: 7,
+                subs: 16,
+                stripes: 4,
+                latency_ns: 98000,
+            },
+            r#"{"BatchServed":{"conn":7,"subs":16,"stripes":4,"latency_ns":98000}}"#,
+        ),
+        (
             Event::QuotaThrottled {
                 conn: 7,
                 opcode: "scan".into(),
@@ -258,7 +267,7 @@ fn every_event_kind_serializes_to_its_golden_form() {
     let exemplars = exemplars();
     assert_eq!(
         exemplars.len(),
-        29,
+        30,
         "new Event variants need a golden exemplar here"
     );
     for (event, golden) in &exemplars {

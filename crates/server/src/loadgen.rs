@@ -19,7 +19,7 @@
 
 use crate::protocol::{
     decode_response, encode_request, MetricsFormat, Opcode, Progress, Request, Response,
-    DEFAULT_MAX_FRAME,
+    DEFAULT_MAX_FRAME, MAX_BATCH_SUBS,
 };
 use adcache_obs::Histogram;
 use adcache_workload::{
@@ -187,6 +187,23 @@ impl NetSink {
     }
 }
 
+impl NetSink {
+    /// Books one sub-reply into the per-sink tallies.
+    fn account(&mut self, resp: &Response) {
+        match resp {
+            Response::NotFound => self.not_found += 1,
+            Response::Error(msg) => {
+                self.server_errors += 1;
+                *self
+                    .errors_by_cause
+                    .entry(classify_error(msg).to_string())
+                    .or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
 impl OpSink for NetSink {
     type Error = std::io::Error;
 
@@ -195,16 +212,45 @@ impl OpSink for NetSink {
         let start = Instant::now();
         let resp = self.client.call(&req)?;
         self.latency.record(start.elapsed().as_nanos() as u64);
-        match resp {
-            Response::NotFound => self.not_found += 1,
-            Response::Error(msg) => {
-                self.server_errors += 1;
-                *self
-                    .errors_by_cause
-                    .entry(classify_error(&msg).to_string())
-                    .or_insert(0) += 1;
+        self.account(&resp);
+        Ok(())
+    }
+
+    /// Ships the whole group as one `Batch` frame: one header, one
+    /// round trip, one in-order multi-reply. Verifies the reply carries
+    /// exactly one sub-response per sub-request with matching opcode
+    /// echoes in FIFO order; any mismatch is a protocol violation
+    /// (`InvalidData`). Latency records the batch round trip once.
+    fn apply_batch(&mut self, ops: &[Operation]) -> Result<(), Self::Error> {
+        if ops.len() <= 1 {
+            return match ops {
+                [op] => self.apply(op),
+                _ => Ok(()),
+            };
+        }
+        let subs: Vec<Request> = ops.iter().map(request_of).collect();
+        let expected: Vec<Opcode> = subs.iter().map(|s| s.opcode()).collect();
+        let start = Instant::now();
+        let resp = self.client.call(&Request::Batch { subs })?;
+        self.latency.record(start.elapsed().as_nanos() as u64);
+        let replies = match resp {
+            Response::Batch(replies) => replies,
+            other => return Err(violation(format!("batch answered {other:?}"))),
+        };
+        if replies.len() != expected.len() {
+            return Err(violation(format!(
+                "batch of {} answered with {} sub-replies",
+                expected.len(),
+                replies.len()
+            )));
+        }
+        for (i, ((echoed, sub), want)) in replies.iter().zip(&expected).enumerate() {
+            if echoed != want {
+                return Err(violation(format!(
+                    "batch sub {i} echoed {echoed:?}, expected {want:?}"
+                )));
             }
-            _ => {}
+            self.account(sub);
         }
         Ok(())
     }
@@ -226,6 +272,11 @@ pub struct LoadgenConfig {
     pub workload: WorkloadConfig,
     /// `Some(q)`: open loop at `q` ops/s overall; `None`: closed loop.
     pub target_qps: Option<u64>,
+    /// Sub-requests per `Batch` frame. `0` or `1` sends plain singleton
+    /// frames; `N > 1` groups N consecutive ops into one batch request
+    /// (one header, one round trip, one in-order multi-reply). Open loop
+    /// keeps the *operation* rate: batches go out at `qps / N` slots.
+    pub batch: usize,
     /// `Some`: blend hostile traffic into the run. Whole *connections*
     /// turn adversarial (not interleaved ops), mirroring real attackers
     /// and giving per-connection defenses something to bite on.
@@ -244,6 +295,7 @@ impl Default for LoadgenConfig {
             mix: Mix::new(40.0, 25.0, 5.0, 30.0),
             workload: WorkloadConfig::default(),
             target_qps: None,
+            batch: 0,
             adversary: None,
             adversary_frac: 0.0,
         }
@@ -406,11 +458,12 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
                         cfg.mix,
                     )
                 };
+                let batch = cfg.batch.clamp(1, MAX_BATCH_SUBS);
                 match cfg.target_qps {
-                    None => closed_loop(&cfg.addr, &mut source, ops),
+                    None => closed_loop(&cfg.addr, &mut source, ops, batch),
                     Some(q) => {
                         let rate = (q / conns as u64).max(1);
-                        open_loop(&cfg.addr, &mut source, ops, rate)
+                        open_loop(&cfg.addr, &mut source, ops, rate, batch)
                     }
                 }
             },
@@ -448,17 +501,35 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
     Ok(report)
 }
 
-fn closed_loop(addr: &str, source: &mut OpSource, ops: u64) -> std::io::Result<ThreadOutcome> {
+fn closed_loop(
+    addr: &str,
+    source: &mut OpSource,
+    ops: u64,
+    batch: usize,
+) -> std::io::Result<ThreadOutcome> {
     let mut sink = NetSink::new(Client::connect(addr)?);
     let mut protocol_errors = 0u64;
     let mut done = 0u64;
-    for _ in 0..ops {
-        let op = source.next_op();
-        match sink.apply(&op) {
-            Ok(()) => done += 1,
-            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => protocol_errors += 1,
+    let mut remaining = ops;
+    let mut group = Vec::with_capacity(batch);
+    while remaining > 0 {
+        let take = (batch as u64).min(remaining);
+        group.clear();
+        for _ in 0..take {
+            group.push(source.next_op());
+        }
+        let applied = if take == 1 {
+            sink.apply(&group[0])
+        } else {
+            sink.apply_batch(&group)
+        };
+        match applied {
+            Ok(()) => done += take,
+            // A rejected batch loses every sub in it.
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => protocol_errors += take,
             Err(e) => return Err(e),
         }
+        remaining -= take;
     }
     let legit = source.is_legit();
     Ok(ThreadOutcome {
@@ -481,6 +552,9 @@ fn closed_loop(addr: &str, source: &mut OpSource, ops: u64) -> std::io::Result<T
 struct Pending {
     id: u64,
     opcode: Opcode,
+    /// Expected sub-reply opcodes, in order, when `opcode` is `Batch`;
+    /// empty for singleton requests.
+    subs: Vec<Opcode>,
     sent_at: Instant,
 }
 
@@ -501,6 +575,7 @@ fn open_loop(
     source: &mut OpSource,
     ops: u64,
     rate_per_sec: u64,
+    batch: usize,
 ) -> std::io::Result<ThreadOutcome> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
@@ -526,29 +601,61 @@ fn open_loop(
     let mut next_id = 1u64;
     let mut sent = 0u64;
     let mut stream = stream;
+    // Backoff nap while waiting on replies. With 1k+ threads on few
+    // cores a fixed short poll is indistinguishable from a spin, so
+    // stalled threads double their nap up to a cap and reset the
+    // moment anything moves.
+    const NAP_FLOOR: Duration = Duration::from_micros(100);
+    const NAP_CEIL: Duration = Duration::from_millis(10);
+    let mut nap = NAP_FLOOR;
 
     while out.ops + out.protocol_errors < ops {
+        // Track whether this pass accomplishes anything. When it doesn't
+        // (no slot due, socket not writable, no bytes to read) we must
+        // sleep rather than spin: a thousand open-loop threads busy-polling
+        // non-blocking sockets starves the very server we're measuring.
+        let mut progressed = false;
         // Schedule sends by wall clock, independent of replies — but
-        // never more than the in-flight cap ahead of them.
+        // never more than the in-flight cap ahead of them. With batching
+        // the *operation* clock is unchanged: a frame of N subs only goes
+        // out once N ops are due, so batches leave at `rate / N` slots.
         let due = (started.elapsed().as_nanos() / interval.as_nanos().max(1)) as u64 + 1;
-        while sent < ops && sent < due && pending.len() < OPEN_LOOP_MAX_INFLIGHT {
-            let op = source.next_op();
-            let req = request_of(&op);
+        while sent < ops && pending.len() < OPEN_LOOP_MAX_INFLIGHT {
+            let take = (batch as u64).min(ops - sent);
+            if due < sent + take {
+                break;
+            }
             let id = next_id;
             next_id += 1;
-            encode_request(&mut wbuf, id, &req);
-            pending.push_back(Pending {
-                id,
-                opcode: req.opcode(),
-                sent_at: Instant::now(),
-            });
-            sent += 1;
+            if take == 1 {
+                let req = request_of(&source.next_op());
+                encode_request(&mut wbuf, id, &req);
+                pending.push_back(Pending {
+                    id,
+                    opcode: req.opcode(),
+                    subs: Vec::new(),
+                    sent_at: Instant::now(),
+                });
+            } else {
+                let subs: Vec<Request> = (0..take).map(|_| request_of(&source.next_op())).collect();
+                let echo: Vec<Opcode> = subs.iter().map(|s| s.opcode()).collect();
+                encode_request(&mut wbuf, id, &Request::Batch { subs });
+                pending.push_back(Pending {
+                    id,
+                    opcode: Opcode::Batch,
+                    subs: echo,
+                    sent_at: Instant::now(),
+                });
+            }
+            sent += take;
+            progressed = true;
         }
         // Push out whatever the socket accepts.
         if !wbuf.is_empty() {
             match stream.write(&wbuf) {
                 Ok(n) => {
                     wbuf.drain(..n);
+                    progressed |= n > 0;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -563,7 +670,10 @@ fn open_loop(
                     "server closed with replies outstanding",
                 ));
             }
-            Ok(n) => rbuf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                rbuf.extend_from_slice(&chunk[..n]);
+                progressed |= n > 0;
+            }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
@@ -577,36 +687,75 @@ fn open_loop(
                 Progress::Frame(decoded, consumed) => {
                     rbuf.drain(..consumed);
                     let head = pending.pop_front().expect("head exists");
+                    let span = (head.subs.len() as u64).max(1);
                     match decoded {
                         Ok((id, resp)) if id == head.id => {
-                            out.ops += 1;
                             let rtt = head.sent_at.elapsed().as_nanos() as u64;
-                            out.latency.record(rtt);
-                            if legit {
-                                out.legit_latency.record(rtt);
-                            } else {
-                                out.adversary_ops += 1;
-                            }
-                            match resp {
+                            let account = |out: &mut ThreadOutcome, resp: &Response| match resp {
                                 Response::NotFound => out.not_found += 1,
                                 Response::Error(msg) => {
                                     out.server_errors += 1;
                                     *out.errors_by_cause
-                                        .entry(classify_error(&msg).to_string())
+                                        .entry(classify_error(msg).to_string())
                                         .or_insert(0) += 1;
                                 }
                                 _ => {}
+                            };
+                            let verified = match (&head.opcode, &resp) {
+                                (Opcode::Batch, Response::Batch(replies)) => {
+                                    replies.len() == head.subs.len()
+                                        && replies
+                                            .iter()
+                                            .zip(&head.subs)
+                                            .all(|((echoed, _), want)| echoed == want)
+                                }
+                                (Opcode::Batch, _) => false,
+                                _ => true,
+                            };
+                            if !verified {
+                                out.protocol_errors += span;
+                            } else {
+                                out.ops += span;
+                                out.latency.record(rtt);
+                                if legit {
+                                    out.legit_latency.record(rtt);
+                                } else {
+                                    out.adversary_ops += span;
+                                }
+                                if let Response::Batch(replies) = &resp {
+                                    for (_, sub) in replies {
+                                        account(&mut out, sub);
+                                    }
+                                } else {
+                                    account(&mut out, &resp);
+                                }
                             }
                         }
-                        Ok((_, _)) | Err(_) => out.protocol_errors += 1,
+                        Ok((_, _)) | Err(_) => out.protocol_errors += span,
                     }
                 }
             }
         }
-        if wbuf.is_empty() && rbuf.is_empty() && pending.is_empty() && sent < ops {
-            // Ahead of schedule with nothing outstanding: nap until the
-            // next send slot rather than spinning.
-            std::thread::sleep(Duration::from_micros(200));
+        if progressed {
+            nap = NAP_FLOOR;
+        } else if out.ops + out.protocol_errors < ops {
+            // Nothing moved this pass. If the line is quiet we are simply
+            // ahead of the send clock: sleep straight through to the next
+            // due slot (at per-thread rates of tens of ops/s that can be
+            // tens of ms — polling it at µs granularity is a spin).
+            // Otherwise we are waiting on the socket; back off
+            // exponentially so saturated threads converge to cheap,
+            // RTT-scale polls instead of starving the server.
+            if wbuf.is_empty() && pending.is_empty() && sent < ops {
+                let next_ns = interval.as_nanos().max(1) * u128::from(sent);
+                let wait = next_ns.saturating_sub(started.elapsed().as_nanos());
+                std::thread::sleep(
+                    Duration::from_nanos(wait.min(50_000_000) as u64).max(NAP_FLOOR),
+                );
+            } else {
+                std::thread::sleep(nap);
+                nap = (nap * 2).min(NAP_CEIL);
+            }
         }
     }
     Ok(out)

@@ -27,10 +27,21 @@
 //! | `Stats`    | —                   | `lp json`                   |
 //! | `Shutdown` | —                   | —                           |
 //! | `Metrics`  | `u8 format`         | `lp text`                   |
+//! | `Batch`    | `u32 n, n × sub`    | `u32 n, n × subreply`       |
 //!
 //! `Metrics` serves the live telemetry registry; `format` selects JSON
 //! (0) or Prometheus text exposition (1). A server running without
 //! telemetry answers it with `Err`.
+//!
+//! `Batch` packs up to [`MAX_BATCH_SUBS`] data-plane sub-requests under
+//! one envelope. Each `sub` is `u8 opcode` followed by that opcode's
+//! request body (same grammar as the table above); only `Ping`, `Get`,
+//! `Put`, `Delete`, and `Scan` may appear — control-plane opcodes and
+//! nested batches are malformed. The reply is a single frame whose body
+//! carries one `subreply` per sub-request, **in request order**: `u8
+//! opcode` (echo), `u8 status`, then the status's body. A malformed
+//! sub-request rejects the whole batch with one `Err` frame; framing
+//! stays intact and the connection survives.
 //!
 //! An `Err` response carries `lp message`. Malformed input is answered
 //! with a clean `Err` frame; only violations that break framing itself
@@ -43,6 +54,8 @@ use bytes::Bytes;
 pub const HEADER_AFTER_LEN: usize = 9;
 /// Default ceiling on `len` (16 MiB) — far above any legitimate frame.
 pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
+/// Ceiling on sub-requests per `Batch` frame; larger counts are malformed.
+pub const MAX_BATCH_SUBS: usize = 1024;
 
 /// Request opcodes (the `tag` byte of a request frame).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +77,8 @@ pub enum Opcode {
     Shutdown = 6,
     /// Live metrics registry export.
     Metrics = 7,
+    /// Many data-plane sub-requests under one envelope.
+    Batch = 8,
 }
 
 impl Opcode {
@@ -78,6 +93,7 @@ impl Opcode {
             5 => Opcode::Stats,
             6 => Opcode::Shutdown,
             7 => Opcode::Metrics,
+            8 => Opcode::Batch,
             _ => return None,
         })
     }
@@ -93,7 +109,20 @@ impl Opcode {
             Opcode::Stats => "stats",
             Opcode::Shutdown => "shutdown",
             Opcode::Metrics => "metrics",
+            Opcode::Batch => "batch",
         }
+    }
+
+    /// Whether this opcode may appear as a `Batch` sub-request.
+    ///
+    /// Only data-plane operations batch; control-plane opcodes (`Stats`,
+    /// `Shutdown`, `Metrics`) and nested batches are rejected as
+    /// malformed.
+    pub fn batchable(&self) -> bool {
+        matches!(
+            self,
+            Opcode::Ping | Opcode::Get | Opcode::Put | Opcode::Delete | Opcode::Scan
+        )
     }
 }
 
@@ -189,6 +218,13 @@ pub enum Request {
         /// Requested serialization.
         format: MetricsFormat,
     },
+    /// Heterogeneous data-plane sub-requests answered with one in-order
+    /// multi-reply. Subs must satisfy [`Opcode::batchable`]; the encoder
+    /// does not enforce this, but the decoder rejects violations.
+    Batch {
+        /// Sub-requests, executed and answered in order.
+        subs: Vec<Request>,
+    },
 }
 
 impl Request {
@@ -203,6 +239,7 @@ impl Request {
             Request::Stats => Opcode::Stats,
             Request::Shutdown => Opcode::Shutdown,
             Request::Metrics { .. } => Opcode::Metrics,
+            Request::Batch { .. } => Opcode::Batch,
         }
     }
 }
@@ -222,6 +259,10 @@ pub enum Response {
     Stats(String),
     /// Metrics registry export (`Metrics`).
     Metrics(String),
+    /// In-order sub-replies to a `Batch` request. Each entry echoes the
+    /// sub-request's opcode (the wire needs it to disambiguate `Ok`
+    /// bodies) alongside its response.
+    Batch(Vec<(Opcode, Response)>),
     /// The request failed; the message explains why.
     Error(String),
 }
@@ -346,9 +387,10 @@ fn encode_frame(out: &mut Vec<u8>, id: u64, tag: u8, body: impl FnOnce(&mut Vec<
     out[len_at..len_at + 4].copy_from_slice(&frame_len.to_le_bytes());
 }
 
-/// Appends one encoded request frame to `out`.
-pub fn encode_request(out: &mut Vec<u8>, id: u64, req: &Request) {
-    encode_frame(out, id, req.opcode() as u8, |out| match req {
+/// Writes a request's body (everything after the tag byte) to `out`.
+/// Shared by top-level frames and `Batch` sub-requests.
+fn put_request_body(out: &mut Vec<u8>, req: &Request) {
+    match req {
         Request::Ping | Request::Stats | Request::Shutdown => {}
         Request::Get { key } | Request::Delete { key } => put_lp(out, key),
         Request::Put { key, value } => {
@@ -360,12 +402,21 @@ pub fn encode_request(out: &mut Vec<u8>, id: u64, req: &Request) {
             put_u32(out, *limit);
         }
         Request::Metrics { format } => out.push(*format as u8),
-    });
+        Request::Batch { subs } => {
+            put_u32(out, subs.len() as u32);
+            for sub in subs {
+                out.push(sub.opcode() as u8);
+                put_request_body(out, sub);
+            }
+        }
+    }
 }
 
-/// Appends one encoded response frame to `out`.
-pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) {
-    encode_frame(out, id, resp.status() as u8, |out| match resp {
+/// Writes a response's body to `out` (sub-replies recurse through the
+/// same grammar, so `Batch` bodies nest naturally — the decoder forbids
+/// actual nesting).
+fn put_response_body(out: &mut Vec<u8>, resp: &Response) {
+    match resp {
         Response::Ok | Response::NotFound => {}
         Response::Value(v) => put_lp(out, v),
         Response::Entries(entries) => {
@@ -377,7 +428,29 @@ pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) {
         }
         Response::Stats(json) => put_lp(out, json.as_bytes()),
         Response::Metrics(text) => put_lp(out, text.as_bytes()),
+        Response::Batch(subs) => {
+            put_u32(out, subs.len() as u32);
+            for (op, sub) in subs {
+                out.push(*op as u8);
+                out.push(sub.status() as u8);
+                put_response_body(out, sub);
+            }
+        }
         Response::Error(msg) => put_lp(out, msg.as_bytes()),
+    }
+}
+
+/// Appends one encoded request frame to `out`.
+pub fn encode_request(out: &mut Vec<u8>, id: u64, req: &Request) {
+    encode_frame(out, id, req.opcode() as u8, |out| {
+        put_request_body(out, req)
+    });
+}
+
+/// Appends one encoded response frame to `out`.
+pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) {
+    encode_frame(out, id, resp.status() as u8, |out| {
+        put_response_body(out, resp)
     });
 }
 
@@ -431,25 +504,7 @@ pub fn decode_request(buf: &[u8], max_frame: usize) -> Progress<Request> {
     };
     let mut r = Reader::new(&body);
     let parsed = (|| {
-        let req = match op {
-            Opcode::Ping => Request::Ping,
-            Opcode::Stats => Request::Stats,
-            Opcode::Shutdown => Request::Shutdown,
-            Opcode::Get => Request::Get { key: r.lp()? },
-            Opcode::Delete => Request::Delete { key: r.lp()? },
-            Opcode::Put => Request::Put {
-                key: r.lp()?,
-                value: r.lp()?,
-            },
-            Opcode::Scan => Request::Scan {
-                from: r.lp()?,
-                limit: r.u32()?,
-            },
-            Opcode::Metrics => Request::Metrics {
-                format: MetricsFormat::from_u8(r.u8()?)
-                    .ok_or(FrameError::Malformed("unknown metrics format"))?,
-            },
-        };
+        let req = read_request_body(op, &mut r)?;
         r.finish()?;
         Ok(req)
     })();
@@ -457,6 +512,49 @@ pub fn decode_request(buf: &[u8], max_frame: usize) -> Progress<Request> {
         Ok(req) => Progress::Frame(Ok((id, req)), consumed),
         Err(e) => Progress::Frame(Err((id, e)), consumed),
     }
+}
+
+/// Parses one request body (the opcode's grammar) from `r` without
+/// requiring the reader to be exhausted — `Batch` subs share one body.
+fn read_request_body(op: Opcode, r: &mut Reader<'_>) -> Result<Request, FrameError> {
+    Ok(match op {
+        Opcode::Ping => Request::Ping,
+        Opcode::Stats => Request::Stats,
+        Opcode::Shutdown => Request::Shutdown,
+        Opcode::Get => Request::Get { key: r.lp()? },
+        Opcode::Delete => Request::Delete { key: r.lp()? },
+        Opcode::Put => Request::Put {
+            key: r.lp()?,
+            value: r.lp()?,
+        },
+        Opcode::Scan => Request::Scan {
+            from: r.lp()?,
+            limit: r.u32()?,
+        },
+        Opcode::Metrics => Request::Metrics {
+            format: MetricsFormat::from_u8(r.u8()?)
+                .ok_or(FrameError::Malformed("unknown metrics format"))?,
+        },
+        Opcode::Batch => {
+            let n = r.u32()? as usize;
+            if n == 0 {
+                return Err(FrameError::Malformed("empty batch"));
+            }
+            if n > MAX_BATCH_SUBS {
+                return Err(FrameError::Malformed("batch exceeds MAX_BATCH_SUBS"));
+            }
+            let mut subs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let sub_op = Opcode::from_u8(r.u8()?)
+                    .ok_or(FrameError::Malformed("unknown opcode in batch"))?;
+                if !sub_op.batchable() {
+                    return Err(FrameError::Malformed("non-batchable opcode in batch"));
+                }
+                subs.push(read_request_body(sub_op, r)?);
+            }
+            Request::Batch { subs }
+        }
+    })
 }
 
 /// Attempts to decode one response frame from the front of `buf`.
@@ -476,33 +574,7 @@ pub fn decode_response(buf: &[u8], max_frame: usize, awaiting: Opcode) -> Progre
     };
     let mut r = Reader::new(&body);
     let parsed = (|| {
-        let resp = match status {
-            Status::NotFound => Response::NotFound,
-            Status::Err => {
-                let msg = r.lp()?;
-                Response::Error(String::from_utf8_lossy(&msg).into_owned())
-            }
-            Status::Ok => match awaiting {
-                Opcode::Get => Response::Value(r.lp()?),
-                Opcode::Scan => {
-                    let n = r.u32()? as usize;
-                    let mut entries = Vec::with_capacity(n.min(1 << 16));
-                    for _ in 0..n {
-                        entries.push((r.lp()?, r.lp()?));
-                    }
-                    Response::Entries(entries)
-                }
-                Opcode::Stats => {
-                    let json = r.lp()?;
-                    Response::Stats(String::from_utf8_lossy(&json).into_owned())
-                }
-                Opcode::Metrics => {
-                    let text = r.lp()?;
-                    Response::Metrics(String::from_utf8_lossy(&text).into_owned())
-                }
-                Opcode::Ping | Opcode::Put | Opcode::Delete | Opcode::Shutdown => Response::Ok,
-            },
-        };
+        let resp = read_response_body(status, awaiting, &mut r)?;
         r.finish()?;
         Ok(resp)
     })();
@@ -510,6 +582,60 @@ pub fn decode_response(buf: &[u8], max_frame: usize, awaiting: Opcode) -> Progre
         Ok(resp) => Progress::Frame(Ok((id, resp)), consumed),
         Err(e) => Progress::Frame(Err((id, e)), consumed),
     }
+}
+
+/// Parses one response body from `r` without requiring exhaustion —
+/// `Batch` sub-replies share one body.
+fn read_response_body(
+    status: Status,
+    awaiting: Opcode,
+    r: &mut Reader<'_>,
+) -> Result<Response, FrameError> {
+    Ok(match status {
+        Status::NotFound => Response::NotFound,
+        Status::Err => {
+            let msg = r.lp()?;
+            Response::Error(String::from_utf8_lossy(&msg).into_owned())
+        }
+        Status::Ok => match awaiting {
+            Opcode::Get => Response::Value(r.lp()?),
+            Opcode::Scan => {
+                let n = r.u32()? as usize;
+                let mut entries = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    entries.push((r.lp()?, r.lp()?));
+                }
+                Response::Entries(entries)
+            }
+            Opcode::Stats => {
+                let json = r.lp()?;
+                Response::Stats(String::from_utf8_lossy(&json).into_owned())
+            }
+            Opcode::Metrics => {
+                let text = r.lp()?;
+                Response::Metrics(String::from_utf8_lossy(&text).into_owned())
+            }
+            Opcode::Batch => {
+                let n = r.u32()? as usize;
+                if n > MAX_BATCH_SUBS {
+                    return Err(FrameError::Malformed("batch reply exceeds MAX_BATCH_SUBS"));
+                }
+                let mut subs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let sub_op = Opcode::from_u8(r.u8()?)
+                        .ok_or(FrameError::Malformed("unknown opcode in batch reply"))?;
+                    if !sub_op.batchable() {
+                        return Err(FrameError::Malformed("non-batchable opcode in batch reply"));
+                    }
+                    let sub_status = Status::from_u8(r.u8()?)
+                        .ok_or(FrameError::Malformed("unknown status in batch reply"))?;
+                    subs.push((sub_op, read_response_body(sub_status, sub_op, r)?));
+                }
+                Response::Batch(subs)
+            }
+            Opcode::Ping | Opcode::Put | Opcode::Delete | Opcode::Shutdown => Response::Ok,
+        },
+    })
 }
 
 #[cfg(test)]
@@ -680,6 +806,110 @@ mod tests {
             decode_request(&buf, DEFAULT_MAX_FRAME),
             Progress::Frame(Err((6, FrameError::Malformed(_))), _)
         ));
+    }
+
+    #[test]
+    fn batch_request_roundtrips() {
+        roundtrip_request(Request::Batch {
+            subs: vec![
+                Request::Ping,
+                Request::Get {
+                    key: Bytes::from_static(b"user1"),
+                },
+                Request::Put {
+                    key: Bytes::from_static(b"k"),
+                    value: Bytes::from(vec![0u8, 255, 7]),
+                },
+                Request::Delete {
+                    key: Bytes::from_static(b""),
+                },
+                Request::Scan {
+                    from: Bytes::from_static(b"user2"),
+                    limit: 64,
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn batch_response_roundtrips() {
+        let resp = Response::Batch(vec![
+            (Opcode::Ping, Response::Ok),
+            (Opcode::Get, Response::Value(Bytes::from_static(b"v"))),
+            (Opcode::Get, Response::NotFound),
+            (Opcode::Put, Response::Ok),
+            (
+                Opcode::Scan,
+                Response::Entries(vec![(Bytes::from_static(b"a"), Bytes::from_static(b"1"))]),
+            ),
+            (Opcode::Delete, Response::Error("quota".into())),
+        ]);
+        let mut buf = Vec::new();
+        encode_response(&mut buf, 11, &resp);
+        match decode_response(&buf, DEFAULT_MAX_FRAME, Opcode::Batch) {
+            Progress::Frame(Ok((11, back)), consumed) => {
+                assert_eq!(back, resp);
+                assert_eq!(consumed, buf.len());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_rejects_empty_oversize_and_non_batchable() {
+        // Empty batch.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 1, Opcode::Batch as u8, |out| put_u32(out, 0));
+        assert!(matches!(
+            decode_request(&buf, DEFAULT_MAX_FRAME),
+            Progress::Frame(Err((1, FrameError::Malformed(_))), _)
+        ));
+        // Count above the cap.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 2, Opcode::Batch as u8, |out| {
+            put_u32(out, (MAX_BATCH_SUBS + 1) as u32)
+        });
+        assert!(matches!(
+            decode_request(&buf, DEFAULT_MAX_FRAME),
+            Progress::Frame(Err((2, FrameError::Malformed(_))), _)
+        ));
+        // Control-plane sub-opcode.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 3, Opcode::Batch as u8, |out| {
+            put_u32(out, 1);
+            out.push(Opcode::Shutdown as u8);
+        });
+        assert!(matches!(
+            decode_request(&buf, DEFAULT_MAX_FRAME),
+            Progress::Frame(Err((3, FrameError::Malformed(_))), _)
+        ));
+        // Nested batch.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 4, Opcode::Batch as u8, |out| {
+            put_u32(out, 1);
+            out.push(Opcode::Batch as u8);
+            put_u32(out, 1);
+            out.push(Opcode::Ping as u8);
+        });
+        assert!(matches!(
+            decode_request(&buf, DEFAULT_MAX_FRAME),
+            Progress::Frame(Err((4, FrameError::Malformed(_))), _)
+        ));
+        // A sub whose body is truncated relative to its grammar.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 5, Opcode::Batch as u8, |out| {
+            put_u32(out, 2);
+            out.push(Opcode::Get as u8);
+            put_lp(out, b"ok-key");
+            out.push(Opcode::Get as u8);
+            put_u32(out, 900); // claims 900 bytes, provides none
+        });
+        match decode_request(&buf, DEFAULT_MAX_FRAME) {
+            Progress::Frame(Err((5, FrameError::Malformed(_))), consumed) => {
+                assert_eq!(consumed, buf.len(), "malformed batch still consumes frame");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -37,7 +37,8 @@ use adcache_obs::{
     ConnCloseCause, Counter, Event, Gauge, HistogramHandle, Obs, Stage, StageSet, StageTimer,
 };
 use serde_json::Value;
-use std::io::{Read, Write};
+use std::collections::VecDeque;
+use std::io::{IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -70,13 +71,15 @@ pub struct ServerConfig {
     /// Per-connection admission quota in sustained tokens per second,
     /// where one token ≈ one point read (0 disables). A token bucket per
     /// connection: GET costs one token, DELETE costs four and PUT
-    /// `4 + value_len/1024` (write amplification, scaled by the payload),
-    /// a scan costs `1 + limit/16` (it does proportionally
-    /// more engine work), and control-plane opcodes (PING/STATS/METRICS/
-    /// SHUTDOWN) are free so a throttled client — or an operator during an
-    /// attack — can always observe and drain the server. Over-quota
-    /// requests are answered with an `Err` reply and never reach the
-    /// engine; the connection survives.
+    /// `4 + value_len/128` (write amplification, scaled by the payload),
+    /// a scan costs `1 + limit/2` (it does proportionally more engine
+    /// work), a BATCH costs the sum of its sub-requests' costs (batching
+    /// must not bypass admission), and control-plane opcodes (PING/STATS/
+    /// METRICS/SHUTDOWN) are free so a throttled client — or an operator
+    /// during an attack — can always observe and drain the server. The
+    /// exact cost table lives in [`quota_cost`] and is pinned by a unit
+    /// test. Over-quota requests are answered with an `Err` reply and
+    /// never reach the engine; the connection survives.
     pub quota_ops: u64,
     /// Token-bucket capacity (burst allowance); 0 sizes it to one second
     /// of `quota_ops`.
@@ -145,7 +148,12 @@ struct Metrics {
     conns_active: Gauge,
     inflight: Gauge,
     /// Indexed by opcode discriminant.
-    latency: [HistogramHandle; 8],
+    latency: [HistogramHandle; 9],
+    /// Sub-requests per served `Batch` frame (`server.batch.subs`).
+    batch_subs: HistogramHandle,
+    /// Distinct engine stripes per served `Batch` frame
+    /// (`server.batch.stripes`).
+    batch_stripes: HistogramHandle,
     /// Per-stage request-lifetime histograms (`server.stage.*`).
     stages: StageSet,
 }
@@ -170,7 +178,10 @@ impl Metrics {
                 lat(Opcode::Stats),
                 lat(Opcode::Shutdown),
                 lat(Opcode::Metrics),
+                lat(Opcode::Batch),
             ],
+            batch_subs: obs.histogram("server.batch.subs"),
+            batch_stripes: obs.histogram("server.batch.stripes"),
             stages: StageSet::new(obs, "server.stage"),
         }
     }
@@ -214,14 +225,122 @@ impl Shared {
     }
 }
 
+/// Outbound reply bytes as a queue of segments flushed with one vectored
+/// write per syscall, instead of one contiguous buffer written (and
+/// memmove-compacted) frame by frame. Encoders append to the open tail
+/// segment; once the tail passes [`WriteQueue::SEAL_BYTES`] the next
+/// append starts a fresh segment, so a multi-megabyte backlog never pays
+/// a large compaction memmove and a flush covers many frames per
+/// `writev`.
+struct WriteQueue {
+    segs: VecDeque<Vec<u8>>,
+    /// Already-written prefix of the front segment.
+    head: usize,
+    /// Total unwritten bytes across all segments.
+    pending: usize,
+    /// One retired segment kept for reuse — most connections ping-pong a
+    /// single segment, so this removes almost all buffer churn.
+    spare: Option<Vec<u8>>,
+}
+
+impl WriteQueue {
+    /// Tail segments at or past this size are sealed.
+    const SEAL_BYTES: usize = 60 << 10;
+    /// Ceiling on iovecs per `writev` (Linux caps at `UIO_MAXIOV`=1024;
+    /// 64 is plenty to amortize the syscall).
+    const MAX_IOVECS: usize = 64;
+
+    fn new() -> Self {
+        WriteQueue {
+            segs: VecDeque::new(),
+            head: 0,
+            pending: 0,
+            spare: None,
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.pending
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Appends one encoded frame via `f`, opening a new segment when the
+    /// tail is sealed.
+    fn encode_with(&mut self, f: impl FnOnce(&mut Vec<u8>)) {
+        let need_new = self.segs.back().is_none_or(|s| s.len() >= Self::SEAL_BYTES);
+        if need_new {
+            let mut seg = self.spare.take().unwrap_or_default();
+            seg.clear();
+            self.segs.push_back(seg);
+        }
+        let tail = self.segs.back_mut().expect("tail segment exists");
+        let before = tail.len();
+        f(tail);
+        self.pending += tail.len() - before;
+    }
+
+    /// The unwritten byte ranges, at most [`Self::MAX_IOVECS`] slices.
+    fn slices(&self) -> Vec<IoSlice<'_>> {
+        let mut out = Vec::with_capacity(self.segs.len().min(Self::MAX_IOVECS));
+        for (i, seg) in self.segs.iter().enumerate() {
+            if out.len() >= Self::MAX_IOVECS {
+                break;
+            }
+            let from = if i == 0 { self.head } else { 0 };
+            if seg.len() > from {
+                out.push(IoSlice::new(&seg[from..]));
+            }
+        }
+        out
+    }
+
+    /// The front segment's unwritten range (blocking drain path).
+    fn front_chunk(&self) -> Option<&[u8]> {
+        self.segs.front().and_then(|seg| {
+            if seg.len() > self.head {
+                Some(&seg[self.head..])
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Marks `n` bytes written, retiring fully-flushed segments.
+    fn advance(&mut self, mut n: usize) {
+        self.pending -= n;
+        while n > 0 {
+            let front_left = self.segs[0].len() - self.head;
+            if n >= front_left {
+                n -= front_left;
+                self.head = 0;
+                let seg = self.segs.pop_front().expect("front segment exists");
+                if self.spare.is_none() {
+                    self.spare = Some(seg);
+                }
+            } else {
+                self.head += n;
+                n = 0;
+            }
+        }
+    }
+
+    /// Drops everything unwritten (connection is dying anyway).
+    fn clear(&mut self) {
+        self.segs.clear();
+        self.head = 0;
+        self.pending = 0;
+    }
+}
+
 /// One worker-owned connection.
 struct Conn {
     id: u64,
     stream: TcpStream,
     rbuf: Vec<u8>,
-    wbuf: Vec<u8>,
-    /// Already-written prefix of `wbuf` (compacted lazily).
-    wpos: usize,
+    wq: WriteQueue,
     last_active: Instant,
     /// When the most recent socket read delivered bytes; the baseline for
     /// each buffered frame's queue-wait stage.
@@ -244,7 +363,7 @@ struct Conn {
 
 impl Conn {
     fn pending_write(&self) -> usize {
-        self.wbuf.len() - self.wpos
+        self.wq.pending()
     }
 }
 
@@ -346,25 +465,52 @@ impl Server {
 
 fn accept_loop(shared: &Shared, listener: &TcpListener, senders: &[mpsc::Sender<TcpStream>]) {
     let mut next = 0usize;
+    // A worker whose channel has disconnected (panic, crash) is skipped
+    // permanently; the loop only exits on shutdown or when every worker
+    // is gone. One dead worker must not stop the whole server accepting.
+    let mut dead = vec![false; senders.len()];
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let active = shared.active.load(Ordering::Relaxed);
-                if active >= shared.cfg.max_conns as u64 {
-                    refuse(shared, stream, active);
+                // Claim a slot *before* checking the ceiling: a plain
+                // load-then-add would race concurrent closes and admit
+                // over the limit.
+                let prev = shared.active.fetch_add(1, Ordering::Relaxed);
+                if prev >= shared.cfg.max_conns as u64 {
+                    shared.active.fetch_sub(1, Ordering::Relaxed);
+                    refuse(shared, stream, prev);
                     continue;
                 }
-                shared.active.fetch_add(1, Ordering::Relaxed);
                 shared
                     .metrics
                     .conns_active
                     .set(shared.active.load(Ordering::Relaxed) as i64);
-                // Round-robin dispatch; workers balance naturally because
-                // each owns an independent slice of connections.
-                if senders[next % senders.len()].send(stream).is_err() {
-                    break; // worker gone — shutting down
+                // Round-robin dispatch across live workers; workers
+                // balance naturally because each owns an independent
+                // slice of connections.
+                let mut stream = Some(stream);
+                for k in 0..senders.len() {
+                    let w = (next + k) % senders.len();
+                    if dead[w] {
+                        continue;
+                    }
+                    match senders[w].send(stream.take().expect("stream unclaimed")) {
+                        Ok(()) => {
+                            next = w + 1;
+                            break;
+                        }
+                        Err(mpsc::SendError(s)) => {
+                            dead[w] = true;
+                            stream = Some(s);
+                        }
+                    }
                 }
-                next += 1;
+                if stream.is_some() {
+                    // Every worker is gone; nothing can serve this
+                    // connection or any future one.
+                    shared.active.fetch_sub(1, Ordering::Relaxed);
+                    return;
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(1));
@@ -392,10 +538,25 @@ fn refuse(shared: &Shared, mut stream: TcpStream, active: u64) {
     let _ = stream.write_all(&frame);
 }
 
+/// Unproductive wakeups before the park delay starts escalating; below
+/// this the worker only yields, keeping sub-microsecond reaction to a
+/// burst that arrives right after a quiet tick.
+const SPIN_YIELDS: u32 = 64;
+/// First park delay once yielding gives up.
+const PARK_MIN: Duration = Duration::from_micros(50);
+/// Park ceiling — an idle worker wakes at least this often to reap idle
+/// timeouts and observe shutdown.
+const PARK_MAX: Duration = Duration::from_millis(1);
+
 fn worker_loop(shared: &Shared, incoming: &mpsc::Receiver<TcpStream>) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut scratch = vec![0u8; 64 << 10];
     let mut accept_closed = false;
+    // Adaptive spin-then-park replaces a flat 1 ms sleep-poll: a busy
+    // worker never sleeps, a recently-busy one yields (staying hot for
+    // the next frame), and only a genuinely idle one backs off to
+    // millisecond parks.
+    let mut idle = 0u32;
     loop {
         let draining = shared.shutdown.load(Ordering::SeqCst);
         let mut progressed = false;
@@ -428,8 +589,10 @@ fn worker_loop(shared: &Shared, incoming: &mpsc::Receiver<TcpStream>) {
                 }
             } else if conn.closing.is_none() && draining {
                 // Drain: execute what is already buffered, then close.
+                // The write-buffer cap is waived — everything accepted
+                // executes, and `draining_flush` writes it out blocking.
                 progressed |= service_reads(shared, conn, &mut scratch);
-                drain_buffered(shared, conn);
+                drain_buffered(shared, conn, false);
                 conn.closing = Some(ConnCloseCause::Shutdown);
             }
             let done = match conn.closing {
@@ -448,8 +611,18 @@ fn worker_loop(shared: &Shared, incoming: &mpsc::Receiver<TcpStream>) {
         if draining && conns.is_empty() && accept_closed {
             return;
         }
-        if !progressed {
-            std::thread::sleep(Duration::from_millis(1));
+        if progressed {
+            idle = 0;
+        } else {
+            idle = idle.saturating_add(1);
+            if idle <= SPIN_YIELDS {
+                std::thread::yield_now();
+            } else {
+                // 50 µs doubling to the 1 ms ceiling.
+                let exp = (idle - SPIN_YIELDS - 1).min(10);
+                let park = PARK_MIN.saturating_mul(1 << exp).min(PARK_MAX);
+                std::thread::sleep(park);
+            }
         }
     }
 }
@@ -474,8 +647,7 @@ fn adopt(shared: &Shared, stream: TcpStream) -> Option<Conn> {
         id,
         stream,
         rbuf: Vec::new(),
-        wbuf: Vec::new(),
-        wpos: 0,
+        wq: WriteQueue::new(),
         last_active: Instant::now(),
         read_at: Instant::now(),
         last_read_ns: 0,
@@ -490,17 +662,19 @@ fn adopt(shared: &Shared, stream: TcpStream) -> Option<Conn> {
     })
 }
 
-/// Writes as much buffered response data as the socket accepts.
+/// Writes as much buffered response data as the socket accepts, many
+/// segments per syscall via `writev`.
 fn flush_writes(shared: &Shared, conn: &mut Conn) -> bool {
     let mut progressed = false;
-    while conn.wpos < conn.wbuf.len() {
-        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+    while !conn.wq.is_empty() {
+        let slices = conn.wq.slices();
+        match conn.stream.write_vectored(&slices) {
             Ok(0) => {
                 conn.closing = Some(ConnCloseCause::IoError);
                 break;
             }
             Ok(n) => {
-                conn.wpos += n;
+                conn.wq.advance(n);
                 conn.bytes_out += n as u64;
                 shared.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
                 shared.metrics.bytes_out.add(n as u64);
@@ -515,13 +689,6 @@ fn flush_writes(shared: &Shared, conn: &mut Conn) -> bool {
             }
         }
     }
-    if conn.wpos == conn.wbuf.len() {
-        conn.wbuf.clear();
-        conn.wpos = 0;
-    } else if conn.wpos > 1 << 16 {
-        conn.wbuf.drain(..conn.wpos);
-        conn.wpos = 0;
-    }
     progressed
 }
 
@@ -530,62 +697,99 @@ fn flush_writes(shared: &Shared, conn: &mut Conn) -> bool {
 fn draining_flush(conn: &mut Conn) -> bool {
     let _ = conn.stream.set_nonblocking(false);
     let _ = conn.stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let _ = conn.stream.write_all(&conn.wbuf[conn.wpos..]);
+    while let Some(chunk) = conn.wq.front_chunk() {
+        let len = chunk.len();
+        if conn.stream.write_all(chunk).is_err() {
+            break;
+        }
+        conn.wq.advance(len);
+    }
     let _ = conn.stream.flush();
-    conn.wpos = conn.wbuf.len();
+    conn.wq.clear();
     true
 }
 
-/// Reads whatever is available and executes every complete frame.
+/// Per-wakeup ceiling on bytes read from one connection, so a firehose
+/// peer cannot starve its worker's other connections.
+const READ_BUDGET: usize = 256 << 10;
+
+/// Reads until the socket runs dry (or a fairness/backpressure bound
+/// trips) and executes every complete frame after each read.
 fn service_reads(shared: &Shared, conn: &mut Conn, scratch: &mut [u8]) -> bool {
-    // Backpressure: stop reading while this client owes us a drain.
-    if conn.pending_write() >= shared.cfg.max_write_buffer {
-        return false;
-    }
     let mut progressed = false;
-    let read_start = if shared.telemetry {
-        Some(Instant::now())
-    } else {
-        None
-    };
-    match conn.stream.read(scratch) {
-        Ok(0) => {
-            // Client closed its half; execute anything already buffered.
-            drain_buffered(shared, conn);
-            if conn.closing.is_none() {
-                conn.closing = Some(ConnCloseCause::ClientClosed);
-            }
-            return true;
+    let mut budget = READ_BUDGET;
+    loop {
+        // Backpressure: stop reading while this client owes us a drain.
+        if conn.closing.is_some()
+            || conn.pending_write() >= shared.cfg.max_write_buffer
+            || budget == 0
+        {
+            break;
         }
-        Ok(n) => {
-            conn.rbuf.extend_from_slice(&scratch[..n]);
-            conn.bytes_in += n as u64;
-            shared.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
-            shared.metrics.bytes_in.add(n as u64);
-            conn.last_active = Instant::now();
-            if let Some(t0) = read_start {
-                conn.last_read_ns = t0.elapsed().as_nanos() as u64;
-                conn.read_at = Instant::now();
+        let read_start = if shared.telemetry {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                // Client closed its half; execute anything already
+                // buffered (cap waived: the backlog is already bounded by
+                // what was read, and no more will arrive).
+                drain_buffered(shared, conn, false);
+                if conn.closing.is_none() {
+                    conn.closing = Some(ConnCloseCause::ClientClosed);
+                }
+                return true;
             }
-            progressed = true;
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
-        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-        Err(_) => {
-            conn.closing = Some(ConnCloseCause::IoError);
-            return true;
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&scratch[..n]);
+                conn.bytes_in += n as u64;
+                shared.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                shared.metrics.bytes_in.add(n as u64);
+                conn.last_active = Instant::now();
+                if let Some(t0) = read_start {
+                    conn.last_read_ns = t0.elapsed().as_nanos() as u64;
+                    conn.read_at = Instant::now();
+                }
+                progressed = true;
+                budget = budget.saturating_sub(n);
+                // Execute between reads so replies stream out while more
+                // requests arrive, and so the backpressure re-check above
+                // sees the growth this read produced.
+                drain_buffered(shared, conn, true);
+                if n < scratch.len() {
+                    break; // short read — the socket is drained
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.closing = Some(ConnCloseCause::IoError);
+                return true;
+            }
         }
     }
-    progressed |= drain_buffered(shared, conn);
+    progressed |= drain_buffered(shared, conn, true);
     progressed
 }
 
-/// Decodes and executes every complete frame already buffered on `conn`,
+/// Decodes and executes complete frames already buffered on `conn`,
 /// appending responses in request order.
-fn drain_buffered(shared: &Shared, conn: &mut Conn) -> bool {
+///
+/// With `enforce_cap`, execution stops once the reply backlog reaches
+/// [`ServerConfig::max_write_buffer`]; the remaining buffered frames stay
+/// in `rbuf` until the client drains replies. Without the check, one
+/// 64 KiB read full of pipelined SCANs (512-entry replies each) could
+/// grow the write buffer without bound — the cap at the read boundary
+/// alone cannot see growth produced *after* the read.
+fn drain_buffered(shared: &Shared, conn: &mut Conn, enforce_cap: bool) -> bool {
     let mut at = 0usize;
     let mut served = 0u64;
     loop {
+        if enforce_cap && conn.pending_write() >= shared.cfg.max_write_buffer {
+            break;
+        }
         let parse_start = if shared.telemetry {
             Some(Instant::now())
         } else {
@@ -596,7 +800,8 @@ fn drain_buffered(shared: &Shared, conn: &mut Conn) -> bool {
             Progress::Fatal(err) => {
                 shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.protocol_errors.inc();
-                encode_response(&mut conn.wbuf, 0, &Response::Error(err.to_string()));
+                conn.wq
+                    .encode_with(|out| encode_response(out, 0, &Response::Error(err.to_string())));
                 debug_assert!(is_fatal(&err));
                 conn.closing = Some(ConnCloseCause::ProtocolError);
                 at = conn.rbuf.len(); // the rest of the stream is garbage
@@ -605,7 +810,8 @@ fn drain_buffered(shared: &Shared, conn: &mut Conn) -> bool {
             Progress::Frame(Err((id, err)), consumed) => {
                 shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.protocol_errors.inc();
-                encode_response(&mut conn.wbuf, id, &Response::Error(err.to_string()));
+                conn.wq
+                    .encode_with(|out| encode_response(out, id, &Response::Error(err.to_string())));
                 at += consumed;
                 served += 1;
             }
@@ -623,9 +829,95 @@ fn drain_buffered(shared: &Shared, conn: &mut Conn) -> bool {
     served > 0
 }
 
+/// Executes one data-plane request (a `Batch` sub-request or a top-level
+/// frame's engine work). Control-plane opcodes are not valid here — the
+/// decoder rejects them inside batches, so the fallback arm is defense in
+/// depth, not a reachable path.
+fn execute_data_sub(shared: &Shared, req: &Request) -> Response {
+    match req {
+        Request::Ping => Response::Ok,
+        Request::Get { key } => match shared.db.get(key) {
+            Ok(Some(v)) => Response::Value(v),
+            Ok(None) => Response::NotFound,
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Put { key, value } => match shared.db.put(key.clone(), value.clone()) {
+            Ok(()) => Response::Ok,
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Delete { key } => match shared.db.delete(key.clone()) {
+            Ok(()) => Response::Ok,
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Scan { from, limit } => match shared.db.scan(from, *limit as usize) {
+            Ok(entries) => Response::Entries(entries),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        _ => Response::Error("opcode not allowed in batch".into()),
+    }
+}
+
+/// Executes a batch's sub-requests **in order**, with stripe-aware
+/// grouping: consecutive GET runs go down as one [`CachedDb::multi_get`]
+/// (which groups keys by FNV stripe and takes each stripe's read lock
+/// once), while writes and scans execute at their positions so
+/// read-your-writes holds within the batch. Returns the in-order
+/// multi-reply plus `(subs, distinct stripes)` for metrics.
+fn execute_batch(shared: &Shared, subs: &[Request]) -> (Response, (u64, u64)) {
+    let striped = shared.db.db();
+    let mut stripe_seen = vec![false; striped.num_stripes()];
+    let mut out: Vec<(Opcode, Response)> = Vec::with_capacity(subs.len());
+    let mut i = 0;
+    while i < subs.len() {
+        if matches!(subs[i], Request::Get { .. }) {
+            let mut keys: Vec<&[u8]> = Vec::new();
+            let mut j = i;
+            while j < subs.len() {
+                let Request::Get { key } = &subs[j] else {
+                    break;
+                };
+                keys.push(key.as_ref());
+                stripe_seen[striped.stripe_for(key)] = true;
+                j += 1;
+            }
+            match shared.db.multi_get(&keys) {
+                Ok(values) => {
+                    for v in values {
+                        let resp = match v {
+                            Some(v) => Response::Value(v),
+                            None => Response::NotFound,
+                        };
+                        out.push((Opcode::Get, resp));
+                    }
+                }
+                Err(e) => {
+                    let msg = e.to_string();
+                    for _ in 0..keys.len() {
+                        out.push((Opcode::Get, Response::Error(msg.clone())));
+                    }
+                }
+            }
+            i = j;
+        } else {
+            match &subs[i] {
+                Request::Put { key, .. } | Request::Delete { key } => {
+                    stripe_seen[striped.stripe_for(key)] = true;
+                }
+                // A scan merges across every stripe.
+                Request::Scan { .. } => stripe_seen.iter_mut().for_each(|s| *s = true),
+                _ => {}
+            }
+            out.push((subs[i].opcode(), execute_data_sub(shared, &subs[i])));
+            i += 1;
+        }
+    }
+    let stripes = stripe_seen.iter().filter(|s| **s).count() as u64;
+    (Response::Batch(out), (subs.len() as u64, stripes))
+}
+
 fn execute(shared: &Shared, conn: &mut Conn, id: u64, req: &Request, parse_ns: u64) {
     let op = req.opcode();
-    shared.metrics.inflight.set(1);
+    shared.metrics.inflight.add(1);
     // Queue wait: time since the socket read that delivered this frame's
     // bytes. Head-of-line semantics — later frames in one batch charge the
     // service time of the frames ahead of them to queue_wait.
@@ -638,28 +930,21 @@ fn execute(shared: &Shared, conn: &mut Conn, id: u64, req: &Request, parse_ns: u
         reset_lock_probe();
     }
     let start = Instant::now();
+    let mut batch_info: Option<(u64, u64)> = None;
     let resp = if let Some(denied) = quota_check(shared, conn, req) {
         denied
     } else {
         match req {
-            Request::Ping => Response::Ok,
-            Request::Get { key } => match shared.db.get(key) {
-                Ok(Some(v)) => Response::Value(v),
-                Ok(None) => Response::NotFound,
-                Err(e) => Response::Error(e.to_string()),
-            },
-            Request::Put { key, value } => match shared.db.put(key.clone(), value.clone()) {
-                Ok(()) => Response::Ok,
-                Err(e) => Response::Error(e.to_string()),
-            },
-            Request::Delete { key } => match shared.db.delete(key.clone()) {
-                Ok(()) => Response::Ok,
-                Err(e) => Response::Error(e.to_string()),
-            },
-            Request::Scan { from, limit } => match shared.db.scan(from, *limit as usize) {
-                Ok(entries) => Response::Entries(entries),
-                Err(e) => Response::Error(e.to_string()),
-            },
+            Request::Ping
+            | Request::Get { .. }
+            | Request::Put { .. }
+            | Request::Delete { .. }
+            | Request::Scan { .. } => execute_data_sub(shared, req),
+            Request::Batch { subs } => {
+                let (resp, info) = execute_batch(shared, subs);
+                batch_info = Some(info);
+                resp
+            }
             Request::Stats => Response::Stats(stats_json(shared)),
             Request::Shutdown => {
                 shared.shutdown.store(true, Ordering::SeqCst);
@@ -675,20 +960,33 @@ fn execute(shared: &Shared, conn: &mut Conn, id: u64, req: &Request, parse_ns: u
         }
     };
     let latency_ns = start.elapsed().as_nanos() as u64;
-    shared.metrics.inflight.set(0);
+    shared.metrics.inflight.sub(1);
     shared.metrics.latency[op as usize].record(latency_ns);
     shared.metrics.requests.inc();
+    if let Some((subs, stripes)) = batch_info {
+        shared.metrics.batch_subs.record(subs);
+        shared.metrics.batch_stripes.record(stripes);
+    }
     let total = shared.requests.fetch_add(1, Ordering::Relaxed) + 1;
     conn.requests += 1;
     let sample = shared.cfg.sample_every;
     if sample > 0 && total.is_multiple_of(sample) {
         let status = resp.status();
-        shared.obs.emit(|| Event::RequestServed {
-            conn: conn.id,
-            opcode: op.label().to_string(),
-            status: status.label().to_string(),
-            latency_ns,
-        });
+        if let Some((subs, stripes)) = batch_info {
+            shared.obs.emit(|| Event::BatchServed {
+                conn: conn.id,
+                subs,
+                stripes,
+                latency_ns,
+            });
+        } else {
+            shared.obs.emit(|| Event::RequestServed {
+                conn: conn.id,
+                opcode: op.label().to_string(),
+                status: status.label().to_string(),
+                latency_ns,
+            });
+        }
     }
     if shared.telemetry {
         // Engine-lock wait and hold observed by this thread during the db
@@ -697,7 +995,7 @@ fn execute(shared: &Shared, conn: &mut Conn, id: u64, req: &Request, parse_ns: u
         let (lock_wait_ns, lock_hold_ns) = lock_probe();
         let cache_ns = latency_ns.saturating_sub(lock_wait_ns + lock_hold_ns);
         let reply_start = Instant::now();
-        encode_response(&mut conn.wbuf, id, &resp);
+        conn.wq.encode_with(|out| encode_response(out, id, &resp));
         let reply_ns = reply_start.elapsed().as_nanos() as u64;
 
         let mut st = StageTimer::new();
@@ -729,7 +1027,7 @@ fn execute(shared: &Shared, conn: &mut Conn, id: u64, req: &Request, parse_ns: u
             });
         }
     } else {
-        encode_response(&mut conn.wbuf, id, &resp);
+        conn.wq.encode_with(|out| encode_response(out, id, &resp));
     }
 }
 
@@ -743,34 +1041,49 @@ fn quota_burst(cfg: &ServerConfig) -> f64 {
     }
 }
 
+/// The admission-quota cost table, in tokens (one token ≈ one point
+/// read). `None` means the opcode is quota-exempt (control plane).
+///
+/// - GET: 1. DELETE: 4.
+/// - PUT: `4 + value_len/128`. Writes amplify — every payload byte is
+///   carried again by the WAL, the flush, and each compaction level it
+///   passes through — so a bulk-payload attacker exhausts its budget in
+///   a few requests while small legit writes stay near the flat floor.
+/// - SCAN: `1 + limit/2`. A scan does work proportional to its limit,
+///   each entry visit comparable to a point lookup; charging near one
+///   token per entry keeps a flood of wide scans from hiding three
+///   orders of magnitude of work behind one token.
+/// - BATCH: the sum of its sub-requests' costs — batching amortizes
+///   syscalls and lock handshakes, not admission control.
+///
+/// A unit test pins this table against the documented formulas so code
+/// and docs cannot drift again.
+pub fn quota_cost(req: &Request) -> Option<f64> {
+    Some(match req {
+        Request::Get { .. } => 1.0,
+        Request::Put { value, .. } => 4.0 + value.len() as f64 / 128.0,
+        Request::Delete { .. } => 4.0,
+        Request::Scan { limit, .. } => 1.0 + *limit as f64 / 2.0,
+        Request::Batch { subs } => subs.iter().filter_map(quota_cost).sum(),
+        // Ping is free: it is the liveness probe a throttled client uses
+        // to tell "quota-limited" from "dead", batched or not.
+        Request::Ping => return None,
+        Request::Stats | Request::Shutdown | Request::Metrics { .. } => return None,
+    })
+}
+
 /// Per-connection admission quota: refills `conn`'s token bucket and takes
 /// this request's cost from it. Returns the `Err` reply to send instead of
 /// executing when the bucket runs dry. Control-plane opcodes are exempt —
-/// observation and shutdown must stay possible during an attack.
+/// observation and shutdown must stay possible during an attack. A batch
+/// is all-or-nothing: either the bucket covers the whole frame or the
+/// whole frame is refused with one `Err`.
 fn quota_check(shared: &Shared, conn: &mut Conn, req: &Request) -> Option<Response> {
     let rate = shared.cfg.quota_ops;
     if rate == 0 {
         return None;
     }
-    let cost = match req {
-        Request::Get { .. } => 1.0,
-        // Writes amplify: every payload byte is carried again by the WAL,
-        // the flush, and each compaction level it passes through, and a
-        // delete/overwrite additionally evicts cached state. Pricing a
-        // put at one token per 128 bytes (≈ the multi-level write
-        // amplification of a point read's work) lets a bulk-payload
-        // attacker exhaust its budget in a few requests while a legit
-        // client's small writes stay near the flat floor.
-        Request::Put { value, .. } => 4.0 + value.len() as f64 / 128.0,
-        Request::Delete { .. } => 4.0,
-        // A scan does work proportional to its limit — hundreds of entry
-        // visits per request, each comparable to a point lookup. Charging
-        // near one token per entry keeps a flood of wide scans from
-        // hiding three orders of magnitude of work behind one token,
-        // while a legit client's short scans stay cheap.
-        Request::Scan { limit, .. } => 1.0 + *limit as f64 / 2.0,
-        _ => return None,
-    };
+    let cost = quota_cost(req)?;
     let now = Instant::now();
     let dt = now.duration_since(conn.tokens_at).as_secs_f64();
     conn.tokens_at = now;
@@ -815,6 +1128,7 @@ fn slow_request_key(req: &Request) -> String {
         Request::Get { key } | Request::Delete { key } => trunc(key),
         Request::Put { key, .. } => trunc(key),
         Request::Scan { from, limit } => format!("{}..+{}", trunc(from), limit),
+        Request::Batch { subs } => format!("batch[{}]", subs.len()),
         _ => String::new(),
     }
 }
@@ -881,4 +1195,260 @@ fn finish(shared: &Shared, conn: Conn) {
         bytes_out: conn.bytes_out,
     });
     // Drop closes the socket.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcache_core::{EngineConfig, Strategy};
+    use adcache_lsm::{MemStorage, Options};
+    use bytes::Bytes;
+
+    fn test_shared(tweak: impl FnOnce(&mut ServerConfig)) -> Arc<Shared> {
+        let db = CachedDb::new(
+            Options::small(),
+            Arc::new(MemStorage::new()),
+            EngineConfig::new(Strategy::AdCache, 1 << 20),
+        )
+        .unwrap();
+        for i in 0..512u64 {
+            db.load(
+                Bytes::from(format!("key{i:05}")),
+                Bytes::from(vec![7u8; 64]),
+            )
+            .unwrap();
+        }
+        db.db().flush().unwrap();
+        let mut cfg = ServerConfig::default();
+        tweak(&mut cfg);
+        let obs = db.obs();
+        Arc::new(Shared {
+            metrics: Metrics::new(&obs),
+            telemetry: obs.is_enabled(),
+            obs,
+            db: Arc::new(db),
+            cfg,
+            shutdown: AtomicBool::new(false),
+            active: AtomicU64::new(0),
+            conn_seq: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            conns_accepted: AtomicU64::new(0),
+            conns_closed: AtomicU64::new(0),
+            conns_refused: AtomicU64::new(0),
+            quota_throttled: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+        })
+    }
+
+    /// A worker-side `Conn` over a real loopback socket pair; the peer end
+    /// is returned so tests can read what the server flushes.
+    fn conn_pair() -> (Conn, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        stream.set_nonblocking(true).unwrap();
+        let conn = Conn {
+            id: 0,
+            stream,
+            rbuf: Vec::new(),
+            wq: WriteQueue::new(),
+            last_active: Instant::now(),
+            read_at: Instant::now(),
+            last_read_ns: 0,
+            requests: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            tokens: 0.0,
+            tokens_at: Instant::now(),
+            throttled: 0,
+            closing: None,
+        };
+        (conn, peer)
+    }
+
+    /// Regression (backpressure bypass): one buffered burst of pipelined
+    /// SCANs must stop executing once the reply backlog reaches
+    /// `max_write_buffer`, leaving the remaining frames in `rbuf`. Before
+    /// the fix, `drain_buffered` executed *every* buffered frame — the
+    /// cap was only checked before the socket read — so this burst grew
+    /// the write buffer to ~10 MiB and the assertion fails.
+    #[test]
+    fn drain_buffered_respects_write_buffer_cap() {
+        let cap = 64 << 10;
+        let shared = test_shared(|c| c.max_write_buffer = cap);
+        let (mut conn, _peer) = conn_pair();
+        // 256 pipelined scans; each reply carries 512 entries of ~80
+        // bytes (~41 KiB), so two replies cross the 64 KiB cap and ~254
+        // frames must stay unexecuted.
+        for i in 0..256u64 {
+            protocol::encode_request(
+                &mut conn.rbuf,
+                i,
+                &Request::Scan {
+                    from: Bytes::from_static(b"key"),
+                    limit: 512,
+                },
+            );
+        }
+        let rbuf_before = conn.rbuf.len();
+        drain_buffered(&shared, &mut conn, true);
+        // At most the cap plus the single reply that crossed it.
+        let one_reply = 64 << 10;
+        assert!(
+            conn.pending_write() <= cap + one_reply,
+            "write buffer grew past cap + one reply: {} > {}",
+            conn.pending_write(),
+            cap + one_reply
+        );
+        assert!(
+            !conn.rbuf.is_empty() && conn.rbuf.len() < rbuf_before,
+            "unexecuted frames must stay buffered (got {} of {} bytes left)",
+            conn.rbuf.len(),
+            rbuf_before
+        );
+        // Once the client drains (the queue empties), the rest executes.
+        conn.wq.clear();
+        drain_buffered(&shared, &mut conn, true);
+        assert!(conn.pending_write() > 0, "resumed executing after drain");
+    }
+
+    /// The converse of the regression above: without the in-loop cap
+    /// check (the pre-fix behavior, still used deliberately on the
+    /// shutdown-drain path) the same burst executes in full and the
+    /// backlog blows straight past the cap — which is exactly why the
+    /// serving path needs `enforce_cap`.
+    #[test]
+    fn drain_without_cap_is_unbounded() {
+        let cap = 64 << 10;
+        let shared = test_shared(|c| c.max_write_buffer = cap);
+        let (mut conn, _peer) = conn_pair();
+        for i in 0..64u64 {
+            protocol::encode_request(
+                &mut conn.rbuf,
+                i,
+                &Request::Scan {
+                    from: Bytes::from_static(b"key"),
+                    limit: 512,
+                },
+            );
+        }
+        drain_buffered(&shared, &mut conn, false);
+        assert!(conn.rbuf.is_empty(), "uncapped drain executes everything");
+        assert!(
+            conn.pending_write() > 4 * cap,
+            "pre-fix behavior: backlog {} far exceeds the {} cap",
+            conn.pending_write(),
+            cap
+        );
+    }
+
+    /// Pins the documented quota cost table to the implementation
+    /// (regression for the doc/code drift where the docs promised
+    /// `value_len/1024` and `limit/16`).
+    #[test]
+    fn quota_cost_table_is_pinned() {
+        let get = Request::Get {
+            key: Bytes::from_static(b"k"),
+        };
+        let put = |len: usize| Request::Put {
+            key: Bytes::from_static(b"k"),
+            value: Bytes::from(vec![0u8; len]),
+        };
+        let scan = |limit: u32| Request::Scan {
+            from: Bytes::from_static(b"k"),
+            limit,
+        };
+        assert_eq!(quota_cost(&get), Some(1.0));
+        assert_eq!(
+            quota_cost(&Request::Delete {
+                key: Bytes::from_static(b"k")
+            }),
+            Some(4.0)
+        );
+        // PUT: 4 + value_len/128.
+        assert_eq!(quota_cost(&put(0)), Some(4.0));
+        assert_eq!(quota_cost(&put(1024)), Some(12.0));
+        // SCAN: 1 + limit/2.
+        assert_eq!(quota_cost(&scan(0)), Some(1.0));
+        assert_eq!(quota_cost(&scan(512)), Some(257.0));
+        // BATCH: sum of subs (quota-exempt subs contribute zero).
+        let batch = Request::Batch {
+            subs: vec![Request::Ping, get.clone(), put(256), scan(100)],
+        };
+        assert_eq!(quota_cost(&batch), Some(1.0 + (4.0 + 2.0) + 51.0));
+        // Control plane is exempt.
+        assert_eq!(quota_cost(&Request::Ping), None);
+        assert_eq!(quota_cost(&Request::Stats), None);
+        assert_eq!(quota_cost(&Request::Shutdown), None);
+        assert_eq!(
+            quota_cost(&Request::Metrics {
+                format: MetricsFormat::Json
+            }),
+            None
+        );
+    }
+
+    /// WriteQueue bookkeeping: segment sealing, partial advances across
+    /// segment boundaries, and iovec assembly.
+    #[test]
+    fn write_queue_segments_and_advances() {
+        let mut wq = WriteQueue::new();
+        assert!(wq.is_empty());
+        // Fill past the seal threshold so at least two segments exist.
+        let frame = vec![0xABu8; 16 << 10];
+        for _ in 0..6 {
+            wq.encode_with(|out| out.extend_from_slice(&frame));
+        }
+        assert_eq!(wq.pending(), 6 * (16 << 10));
+        assert!(wq.segs.len() >= 2, "tail must seal past SEAL_BYTES");
+        let total: usize = wq.slices().iter().map(|s| s.len()).sum();
+        assert_eq!(total, wq.pending());
+        // Partial advance inside the first segment...
+        wq.advance(10);
+        assert_eq!(wq.pending(), 6 * (16 << 10) - 10);
+        assert_eq!(wq.head, 10);
+        // ...then across a segment boundary.
+        let first_left = wq.segs[0].len() - wq.head;
+        wq.advance(first_left + 5);
+        assert_eq!(wq.head, 5);
+        let total: usize = wq.slices().iter().map(|s| s.len()).sum();
+        assert_eq!(total, wq.pending());
+        // Drain fully.
+        wq.advance(wq.pending());
+        assert!(wq.is_empty());
+        assert!(wq.front_chunk().is_none());
+        // Spare reuse: the next encode reuses a retired segment.
+        wq.encode_with(|out| out.extend_from_slice(b"tail"));
+        assert_eq!(wq.pending(), 4);
+    }
+
+    /// Vectored flush writes every buffered byte and the peer reads the
+    /// frames back intact and in order.
+    #[test]
+    fn flush_writes_vectored_round_trip() {
+        let shared = test_shared(|_| {});
+        let (mut conn, mut peer) = conn_pair();
+        let mut expect = Vec::new();
+        for i in 0..200u64 {
+            let resp = Response::Value(Bytes::from(format!("value-{i:04}")));
+            conn.wq.encode_with(|out| encode_response(out, i, &resp));
+            encode_response(&mut expect, i, &resp);
+        }
+        peer.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut got = Vec::new();
+        let mut scratch = [0u8; 4096];
+        while got.len() < expect.len() {
+            flush_writes(&shared, &mut conn);
+            match peer.read(&mut scratch) {
+                Ok(0) => break,
+                Ok(n) => got.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) => panic!("peer read: {e}"),
+            }
+        }
+        assert_eq!(got, expect, "flushed bytes must match frame for frame");
+        assert!(conn.wq.is_empty());
+    }
 }

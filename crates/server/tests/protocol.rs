@@ -14,6 +14,19 @@ fn bytes_strategy(max: usize) -> impl Strategy<Value = Bytes> {
     proptest::collection::vec(any::<u8>(), 0..max).prop_map(Bytes::from)
 }
 
+/// Only opcodes admissible inside a `Batch` frame (data plane + ping).
+fn batchable_request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        1 => Just(Request::Ping),
+        4 => bytes_strategy(64).prop_map(|key| Request::Get { key }),
+        2 => bytes_strategy(64).prop_map(|key| Request::Delete { key }),
+        4 => (bytes_strategy(64), bytes_strategy(256))
+            .prop_map(|(key, value)| Request::Put { key, value }),
+        3 => (bytes_strategy(64), 0u32..1024)
+            .prop_map(|(from, limit)| Request::Scan { from, limit }),
+    ]
+}
+
 fn request_strategy() -> impl Strategy<Value = Request> {
     prop_oneof![
         1 => Just(Request::Ping),
@@ -25,12 +38,29 @@ fn request_strategy() -> impl Strategy<Value = Request> {
             .prop_map(|(key, value)| Request::Put { key, value }),
         3 => (bytes_strategy(64), 0u32..1024)
             .prop_map(|(from, limit)| Request::Scan { from, limit }),
+        2 => proptest::collection::vec(batchable_request_strategy(), 1..16)
+            .prop_map(|subs| Request::Batch { subs }),
     ]
 }
 
 fn ascii_strategy() -> impl Strategy<Value = String> {
     proptest::collection::vec(any::<u8>(), 0..80)
         .prop_map(|v| v.into_iter().map(|b| char::from(b' ' + b % 95)).collect())
+}
+
+/// One sub-reply as it would ride inside a `Batch` response: the opcode
+/// echo paired with a response its grammar allows.
+fn batch_sub_response_strategy() -> impl Strategy<Value = (Opcode, Response)> {
+    prop_oneof![
+        1 => Just((Opcode::Ping, Response::Ok)),
+        1 => Just((Opcode::Put, Response::Ok)),
+        1 => Just((Opcode::Delete, Response::Ok)),
+        1 => Just((Opcode::Get, Response::NotFound)),
+        3 => bytes_strategy(256).prop_map(|v| (Opcode::Get, Response::Value(v))),
+        2 => proptest::collection::vec((bytes_strategy(32), bytes_strategy(64)), 0..8)
+            .prop_map(|entries| (Opcode::Scan, Response::Entries(entries))),
+        1 => ascii_strategy().prop_map(|s| (Opcode::Scan, Response::Error(s))),
+    ]
 }
 
 fn response_strategy() -> impl Strategy<Value = (Opcode, Response)> {
@@ -44,6 +74,8 @@ fn response_strategy() -> impl Strategy<Value = (Opcode, Response)> {
             .prop_map(|entries| (Opcode::Scan, Response::Entries(entries))),
         1 => ascii_strategy().prop_map(|s| (Opcode::Stats, Response::Stats(s))),
         1 => ascii_strategy().prop_map(|s| (Opcode::Get, Response::Error(s))),
+        2 => proptest::collection::vec(batch_sub_response_strategy(), 1..12)
+            .prop_map(|subs| (Opcode::Batch, Response::Batch(subs))),
     ]
 }
 
@@ -200,6 +232,51 @@ fn malformed_bodies_are_frame_local() {
     assert!(matches!(
         decode_request(&noisy_ping, MAX_FRAME),
         Progress::Frame(Err((9, FrameError::Malformed(_))), _)
+    ));
+}
+
+/// A malformed sub-frame inside a `Batch` body is frame-local like any
+/// other malformed body: the whole batch frame is consumed, the error
+/// carries the frame's id, and the next pipelined frame still decodes.
+#[test]
+fn malformed_batch_sub_frames_are_frame_local() {
+    let frame_with_body = |id: u64, body: &[u8]| {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((9 + body.len()) as u32).to_le_bytes());
+        buf.extend_from_slice(&id.to_le_bytes());
+        buf.push(Opcode::Batch as u8);
+        buf.extend_from_slice(body);
+        buf
+    };
+
+    // Sub 0 is a Get whose key claims 99 bytes with only 2 present.
+    let mut body = Vec::new();
+    body.extend_from_slice(&1u32.to_le_bytes());
+    body.push(Opcode::Get as u8);
+    body.extend_from_slice(&99u32.to_le_bytes());
+    body.extend_from_slice(b"ab");
+    let mut buf = frame_with_body(21, &body);
+    encode_request(&mut buf, 22, &Request::Ping);
+    let Progress::Frame(Err((21, FrameError::Malformed(_))), consumed) =
+        decode_request(&buf, MAX_FRAME)
+    else {
+        panic!("truncated sub body must be a recoverable malformed frame");
+    };
+    let Progress::Frame(Ok((22, Request::Ping)), rest) =
+        decode_request(&buf[consumed..], MAX_FRAME)
+    else {
+        panic!("pipelined frame after the bad batch must still decode");
+    };
+    assert_eq!(consumed + rest, buf.len());
+
+    // A control-plane sub opcode (Shutdown) is rejected the same way.
+    let mut body = Vec::new();
+    body.extend_from_slice(&1u32.to_le_bytes());
+    body.push(Opcode::Shutdown as u8);
+    let buf = frame_with_body(23, &body);
+    assert!(matches!(
+        decode_request(&buf, MAX_FRAME),
+        Progress::Frame(Err((23, FrameError::Malformed(_))), n) if n == buf.len()
     ));
 }
 

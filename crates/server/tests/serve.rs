@@ -542,6 +542,7 @@ fn adversarial_blend_classifies_quota_errors_without_protocol_damage() {
             ..Default::default()
         },
         target_qps: None,
+        batch: 0,
         adversary: Some(AdversaryConfig::new(AdversaryKind::ScanFlood, 2_000, 99)),
         adversary_frac: 0.5,
     })
@@ -630,6 +631,214 @@ fn quota_throttles_with_error_replies_and_the_connection_survives() {
     assert_eq!(report.conns_accepted, report.conns_closed);
     let trace = db.obs().trace_jsonl().unwrap();
     assert!(trace.contains("QuotaThrottled"));
+}
+
+/// The `Batch` opcode end to end: one frame carrying heterogeneous subs
+/// comes back as one in-order multi-reply with per-sub statuses, writes
+/// are visible to later subs in the same batch, and a batched loadgen
+/// run completes with zero protocol errors while the journal and
+/// metrics record the batch plane.
+#[test]
+fn batch_opcode_serves_heterogeneous_subs_and_batched_load() {
+    let db = test_db(true);
+    let server = start_server(db.clone(), |_| {});
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+
+    let subs = vec![
+        Request::Ping,
+        Request::Get {
+            key: render_key(42),
+        },
+        Request::Get {
+            key: Bytes::from_static(b"absent"),
+        },
+        Request::Put {
+            key: Bytes::from_static(b"batched"),
+            value: Bytes::from_static(b"write"),
+        },
+        // Read-your-writes within one batch: this Get follows the Put.
+        Request::Get {
+            key: Bytes::from_static(b"batched"),
+        },
+        Request::Scan {
+            from: render_key(10),
+            limit: 4,
+        },
+        Request::Delete {
+            key: Bytes::from_static(b"batched"),
+        },
+        Request::Get {
+            key: Bytes::from_static(b"batched"),
+        },
+    ];
+    let echo: Vec<_> = subs.iter().map(|s| s.opcode()).collect();
+    let replies = match c.call(&Request::Batch { subs }).unwrap() {
+        Response::Batch(replies) => replies,
+        other => panic!("batch answered {other:?}"),
+    };
+    assert_eq!(replies.len(), 8);
+    for ((got, _), want) in replies.iter().zip(&echo) {
+        assert_eq!(got, want, "sub replies echo opcodes in request order");
+    }
+    assert_eq!(replies[0].1, Response::Ok);
+    assert_eq!(replies[1].1, Response::Value(Bytes::from("seed-00042")));
+    assert_eq!(replies[2].1, Response::NotFound);
+    assert_eq!(replies[3].1, Response::Ok);
+    assert_eq!(replies[4].1, Response::Value(Bytes::from_static(b"write")));
+    match &replies[5].1 {
+        Response::Entries(entries) => assert_eq!(entries.len(), 4),
+        other => panic!("scan sub answered {other:?}"),
+    }
+    assert_eq!(replies[6].1, Response::Ok);
+    assert_eq!(replies[7].1, Response::NotFound, "delete visible in-batch");
+
+    // A batched load run: every sub verified FIFO, nothing lost.
+    let report = loadgen::run(&LoadgenConfig {
+        addr,
+        connections: 8,
+        ops: 8_000,
+        mix: Mix::new(40.0, 25.0, 5.0, 30.0),
+        workload: WorkloadConfig {
+            num_keys: 2_000,
+            value_size: 64,
+            seed: 17,
+            ..Default::default()
+        },
+        target_qps: None,
+        batch: 16,
+        ..Default::default()
+    })
+    .unwrap();
+    assert_eq!(report.ops, 8_000, "every batched op must complete");
+    assert_eq!(report.protocol_errors, 0, "batch replies stay in order");
+    assert_eq!(report.server_errors, 0);
+    // 1000 ops per connection = 62 full batches + an 8-op tail = 63
+    // frames each; latency records one RTT per *frame*, not per sub.
+    assert_eq!(
+        report.latency.count(),
+        8 * 63,
+        "latency records one RTT per batch frame"
+    );
+
+    server.shutdown();
+    let metrics = db.obs().metrics_json().unwrap();
+    assert!(metrics.contains("server.latency.batch"));
+    assert!(metrics.contains("server.batch.subs"));
+    assert!(metrics.contains("server.batch.stripes"));
+    let trace = db.obs().trace_jsonl().unwrap();
+    assert!(trace.contains("BatchServed"), "batches must be journaled");
+}
+
+/// The `server.inflight` gauge counts concurrently executing requests —
+/// under multi-worker load it must be observed above 1 (the old set(1)
+/// implementation could never exceed 1 no matter the parallelism).
+#[test]
+fn inflight_gauge_exceeds_one_under_multi_worker_load() {
+    let db = test_db(true);
+    let server = start_server(db.clone(), |cfg| cfg.workers = 2);
+    let addr = server.local_addr().to_string();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut drivers = Vec::new();
+    for _ in 0..4 {
+        let addr = addr.clone();
+        let stop = stop.clone();
+        drivers.push(std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                c.call(&Request::Scan {
+                    from: render_key(0),
+                    limit: 2_000,
+                })
+                .unwrap();
+            }
+        }));
+    }
+
+    // Sample the gauge until both workers are caught mid-request.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut max_seen = 0i64;
+    while max_seen <= 1 && std::time::Instant::now() < deadline {
+        let v: serde_json::Value = serde_json::from_str(&db.obs().metrics_json().unwrap()).unwrap();
+        let inflight = v
+            .get("gauges")
+            .and_then(|g| g.get("server.inflight"))
+            .and_then(|n| n.as_i64())
+            .unwrap_or(0);
+        max_seen = max_seen.max(inflight);
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for d in drivers {
+        d.join().unwrap();
+    }
+    assert!(
+        max_seen > 1,
+        "two busy workers must be observable concurrently, saw {max_seen}"
+    );
+    server.shutdown();
+}
+
+/// Wire-level backpressure: a client that floods pipelined scans without
+/// reading replies must not balloon the server's write buffer — the
+/// server stops reading at the cap, resumes when the client drains, and
+/// every reply still arrives in order.
+#[test]
+fn scan_flood_against_a_non_reading_client_stays_bounded_and_loses_nothing() {
+    let db = test_db(false);
+    let server = start_server(db, |cfg| {
+        cfg.max_write_buffer = 64 << 10;
+    });
+    let addr = server.local_addr().to_string();
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    // ~10 KiB of reply per frame, 400 frames: far beyond the 64 KiB cap.
+    let mut burst = Vec::new();
+    for i in 0..400u64 {
+        adcache_server::encode_request(
+            &mut burst,
+            i,
+            &Request::Scan {
+                from: render_key(0),
+                limit: 256,
+            },
+        );
+    }
+    stream.write_all(&burst).unwrap();
+    // Give the server time to hit the cap while we refuse to read.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Now drain: every reply arrives, in request order.
+    let mut rbuf = Vec::new();
+    let mut chunk = [0u8; 64 << 10];
+    let mut next_expected = 0u64;
+    while next_expected < 400 {
+        loop {
+            match adcache_server::decode_response(&rbuf, 16 << 20, adcache_server::Opcode::Scan) {
+                adcache_server::Progress::Frame(Ok((id, resp)), consumed) => {
+                    assert_eq!(id, next_expected, "replies must stay in request order");
+                    match resp {
+                        Response::Entries(entries) => assert_eq!(entries.len(), 256),
+                        other => panic!("scan answered {other:?}"),
+                    }
+                    rbuf.drain(..consumed);
+                    next_expected += 1;
+                }
+                adcache_server::Progress::Incomplete => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        if next_expected < 400 {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "server closed with {next_expected}/400 replies");
+            rbuf.extend_from_slice(&chunk[..n]);
+        }
+    }
+    drop(stream);
+    let report = server.shutdown();
+    assert_eq!(report.requests, 400, "every buffered frame executed");
+    assert_eq!(report.protocol_errors, 0);
 }
 
 /// A client-issued `Shutdown` frame is acknowledged and then drains the

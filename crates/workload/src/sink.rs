@@ -18,6 +18,18 @@ pub trait OpSink {
 
     /// Executes one operation.
     fn apply(&mut self, op: &Operation) -> Result<(), Self::Error>;
+
+    /// Executes a group of operations as one unit, stopping at the first
+    /// error. The default just forwards each operation to [`OpSink::apply`]
+    /// in order; sinks with a cheaper grouped path (e.g. one wire frame per
+    /// group) override this — semantics must stay identical to the
+    /// sequential default.
+    fn apply_batch(&mut self, ops: &[Operation]) -> Result<(), Self::Error> {
+        for op in ops {
+            self.apply(op)?;
+        }
+        Ok(())
+    }
 }
 
 /// A sink that records every operation into an in-memory [`Trace`]
@@ -105,6 +117,23 @@ mod tests {
         let applied = trace.replay_into(&mut copy).unwrap();
         assert_eq!(applied, 50);
         assert_eq!(copy.trace, trace);
+    }
+
+    #[test]
+    fn default_apply_batch_matches_sequential_apply() {
+        let trace = sample_trace(16);
+        let mut grouped = RecordingSink::default();
+        grouped.apply_batch(&trace.ops).unwrap();
+        assert_eq!(grouped.trace, trace);
+
+        // The default stops at the first error exactly like replay().
+        let mut flaky = FlakySink {
+            ok_budget: 5,
+            seen: Vec::new(),
+        };
+        let err = flaky.apply_batch(&trace.ops).unwrap_err();
+        assert_eq!(err, "budget exhausted");
+        assert_eq!(flaky.seen.len(), 5);
     }
 
     #[test]

@@ -13,6 +13,16 @@
 # `adcache metrics --summary`, and the delta between the two runs is the
 # telemetry overhead.
 #
+# Two further sections ride along:
+#   - a batch A/B: the same closed-loop point with `--batch 16` (one wire
+#     frame per 16 sub-requests) vs singleton frames, at equal
+#     connections, telemetry off — the win is syscall and framing
+#     amortization;
+#   - an offered-load curve: open-loop runs at increasing `--qps` targets
+#     over many connections, recording achieved throughput and
+#     p50/p99/p999 (which include queueing delay) per step. The knee of
+#     the curve is the serving capacity.
+#
 # Loopback numbers measure the serving path — framing, worker scheduling,
 # the engine under concurrency — not a real network. Compare shapes
 # across commits, not absolute values.
@@ -26,9 +36,12 @@ OUT="${OUT:-BENCH_net.json}"
 
 cargo build --release -p adcache-cli
 
-# Starts a server (extra serve flags in $2...), runs one closed-loop
-# load, and leaves the loadgen report in the named log. Shuts the server
-# down through the wire.
+# Starts a server (extra serve flags in $2...), runs one load, and
+# leaves the loadgen report in the named log. Shuts the server down
+# through the wire. Extra loadgen flags (e.g. `--batch 16`, `--qps Q`)
+# go through $LOADGEN_EXTRA; $RUN_OPS overrides the op count.
+LOADGEN_EXTRA=""
+RUN_OPS=""
 run_point() {
     local conns=$1 log=$2
     shift 2
@@ -42,9 +55,10 @@ run_point() {
         fi
         sleep 0.2
     done
+    # shellcheck disable=SC2086
     ./target/release/adcache loadgen \
-        --addr "127.0.0.1:$PORT" --ops "$OPS" --connections "$conns" \
-        --keys "$KEYS" --mix mixed | tee "$log"
+        --addr "127.0.0.1:$PORT" --ops "${RUN_OPS:-$OPS}" --connections "$conns" \
+        --keys "$KEYS" --mix mixed $LOADGEN_EXTRA | tee "$log"
     # Telemetry runs export the stage/lock summary before draining.
     ./target/release/adcache metrics --addr "127.0.0.1:$PORT" --summary \
         > "${log%.log}.summary" 2>/dev/null || true
@@ -114,14 +128,67 @@ for conns in 1 8 32 128; do
     points="$points$point,\n"
 done
 
+# --- Batch A/B: same connections, 16 sub-requests per frame vs one ---
+AB_CONNS="${AB_CONNS:-32}"
+AB_BATCH="${AB_BATCH:-16}"
+echo "=== batch A/B: $AB_CONNS connections, --batch $AB_BATCH vs singleton (telemetry off) ==="
+ab_log="/tmp/bench_net_batch_on.log"
+LOADGEN_EXTRA="--batch $AB_BATCH"
+run_point "$AB_CONNS" "$ab_log" --no-telemetry
+LOADGEN_EXTRA=""
+qps_batch=$(grep -oE 'throughput [0-9.]+' "$ab_log" | awk '{print $2}')
+# The unbatched side at the same connection count is the telemetry-off
+# point from the sweep above.
+qps_nobatch=$(grep -oE 'throughput [0-9.]+' "/tmp/bench_net_${AB_CONNS}_off.log" | awk '{print $2}')
+batch_speedup=$(awk -v on="$qps_batch" -v off="$qps_nobatch" \
+    'BEGIN { printf "%.2f", (off > 0) ? on / off : 0 }')
+echo "batch A/B: $qps_nobatch ops/s singleton -> $qps_batch ops/s batched (${batch_speedup}x)"
+
+# --- Offered-load curve: open loop, latency vs target rate ---
+CURVE_CONNS="${CURVE_CONNS:-1024}"
+CURVE_STEPS="${CURVE_STEPS:-25000 50000 100000 200000 400000}"
+curve=""
+for q in $CURVE_STEPS; do
+    echo "=== offered load: $q ops/s over $CURVE_CONNS open-loop connections ==="
+    step_log="/tmp/bench_net_curve_${q}.log"
+    LOADGEN_EXTRA="--qps $q"
+    RUN_OPS=$((q * 2))
+    run_point "$CURVE_CONNS" "$step_log" --no-telemetry --max-conns $((CURVE_CONNS + 64))
+    LOADGEN_EXTRA=""
+    RUN_OPS=""
+    step=$(printf '      {"offered_qps": %s, "achieved_qps": %s, "p50_us": %s, "p99_us": %s, "p999_us": %s}' \
+        "$q" \
+        "$(grep -oE 'throughput [0-9.]+' "$step_log" | awk '{print $2}')" \
+        "$(extract "$step_log" p50)" \
+        "$(extract "$step_log" p99)" \
+        "$(extract "$step_log" p999)")
+    curve="$curve$step,\n"
+done
+
 {
     echo '{'
-    echo '  "bench": "network serving baseline (closed loop, loopback, mixed zipfian; striped engine, telemetry on vs off, stripes on vs off)",'
+    echo '  "bench": "network serving baseline (closed loop, loopback, mixed zipfian; striped engine, telemetry on vs off, stripes on vs off; batch A/B; open-loop offered-load curve)",'
     echo '  "command": "scripts/bench_net.sh",'
     echo "  \"keys\": $KEYS,"
     echo '  "points": ['
     printf '%b' "$points" | sed '$ s/,$//'
-    echo '  ]'
+    echo '  ],'
+    echo '  "batch_ab": {'
+    echo "    \"connections\": $AB_CONNS,"
+    echo "    \"batch\": $AB_BATCH,"
+    echo "    \"qps_singleton\": $qps_nobatch,"
+    echo "    \"qps_batched\": $qps_batch,"
+    echo "    \"speedup\": $batch_speedup,"
+    echo "    \"p99_us_batched\": $(extract "$ab_log" p99),"
+    echo '    "note": "closed loop, telemetry off; batched latency is per 16-op frame, not per op"'
+    echo '  },'
+    echo '  "offered_load_curve": {'
+    echo "    \"connections\": $CURVE_CONNS,"
+    echo '    "mode": "open loop, latency includes queueing delay; telemetry off. Caveat: on a single-core host the 1024 client threads contend with the server for the one CPU, so achieved throughput saturates far below closed-loop capacity and latencies are dominated by client-side scheduling; rerun on >=8 cores for a meaningful knee",'
+    echo '    "steps": ['
+    printf '%b' "$curve" | sed '$ s/,$//'
+    echo '    ]'
+    echo '  }'
     echo '}'
 } > "$OUT"
 echo "baseline written to $OUT"

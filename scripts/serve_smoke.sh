@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # CI smoke test for the serving layer: start a server on loopback, hammer
-# it with the network load generator, require zero protocol errors, and
-# verify the Shutdown opcode drains the server cleanly (exit 0, every
-# accepted connection closed, trace summarizable).
+# it with the network load generator — one singleton pass and one batched
+# high-connection pass (256 conns, --batch 16) — require zero protocol
+# errors on both, and verify the Shutdown opcode drains the server
+# cleanly (exit 0, every accepted connection closed, trace summarizable).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PORT="${PORT:-$((42000 + RANDOM % 20000))}"
 OPS="${OPS:-20000}"
 CONNS="${CONNS:-8}"
+BATCH_CONNS="${BATCH_CONNS:-256}"
+BATCH_OPS="${BATCH_OPS:-40000}"
 TRACE_DIR="$(mktemp -d)"
 trap 'rm -rf "$TRACE_DIR"' EXIT
 
@@ -16,6 +19,7 @@ cargo build -p adcache-cli
 
 ./target/debug/adcache serve \
     --addr "127.0.0.1:$PORT" --fill 5000 --trace "$TRACE_DIR" \
+    --max-conns $((BATCH_CONNS + 16)) \
     > "$TRACE_DIR/serve.log" 2>&1 &
 SERVER_PID=$!
 
@@ -28,11 +32,19 @@ for _ in $(seq 1 50); do
     sleep 0.2
 done
 
-# The run: loadgen exits nonzero on any lost / misordered / undecodable
-# reply, and --shutdown drives the graceful drain over the wire.
+# Singleton pass: loadgen exits nonzero on any lost / misordered /
+# undecodable reply.
 ./target/debug/adcache loadgen \
     --addr "127.0.0.1:$PORT" --ops "$OPS" --connections "$CONNS" \
-    --keys 5000 --mix mixed --shutdown
+    --keys 5000 --mix mixed
+
+# Batched high-connection pass: every frame carries 16 sub-requests and
+# the reply verification covers per-sub count, opcode echoes, and FIFO
+# order. --shutdown then drives the graceful drain over the wire, which
+# must still be clean after the connection spike.
+./target/debug/adcache loadgen \
+    --addr "127.0.0.1:$PORT" --ops "$BATCH_OPS" --connections "$BATCH_CONNS" \
+    --batch 16 --keys 5000 --mix mixed --shutdown
 
 # The server must now drain and exit 0 on its own.
 SERVER_STATUS=0
@@ -58,4 +70,4 @@ fi
 ./target/debug/adcache trace "$TRACE_DIR" | tee "$TRACE_DIR/summary.txt"
 grep -q "serving: " "$TRACE_DIR/summary.txt"
 
-echo "serve-smoke OK: $OPS ops over $CONNS connections, zero protocol errors, clean drain"
+echo "serve-smoke OK: $OPS ops over $CONNS connections + $BATCH_OPS batched ops over $BATCH_CONNS connections, zero protocol errors, clean drain"
