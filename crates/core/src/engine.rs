@@ -9,14 +9,14 @@
 
 use crate::controller::CacheDecision;
 use crate::stats::{Counters, Snapshot, WindowSummary};
-use adcache_cache::{
-    BlockCache, CacheusPolicy, CompactionPrefetcher, KvCache, LeCaRPolicy, LruPolicy,
-    PointAdmission, PointLookup, RangeCache, ScanAdmission, SketchGuard,
-};
+use crate::tenant::{Partition, TenantId, TenantWindow, DEFAULT_TENANT};
+use adcache_cache::{BlockCache, CompactionPrefetcher, PointLookup, RangeCache, ScanAdmission};
 use adcache_lsm::{DirectProvider, Key, Options, Result, Storage, StripedDb, Value};
 use adcache_obs::{AdmissionOutcome, AdmissionReason, CacheStructure, Counter, Event, Gauge, Obs};
+use adcache_rl::{ShareAgent, TenantFeatures};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, OnceLock};
 
@@ -89,6 +89,15 @@ pub struct EngineConfig {
     /// Whether the admission sketch's anomaly guard is armed (auto reset +
     /// re-salt when saturation/decay telemetry looks adversarial).
     pub sketch_guard: bool,
+    /// Guaranteed minimum share of the cache budget per registered
+    /// tenant: the share arbiter can never starve a tenant below this
+    /// fraction (clamped to `1/n` when infeasible for `n` tenants).
+    pub min_tenant_share: f64,
+    /// Whether registering a tenant creates a shared-nothing cache
+    /// partition for it. Off = tenants are labels only: every tenant
+    /// shares the default partition and no share arbitration runs (the
+    /// `tenantcheck` drill's defenses-off baseline).
+    pub tenant_partitioning: bool,
 }
 
 impl EngineConfig {
@@ -104,6 +113,8 @@ impl EngineConfig {
             serve_partial_range: true,
             compaction_prefetch_blocks: 0,
             sketch_guard: true,
+            min_tenant_share: 0.1,
+            tenant_partitioning: true,
         }
     }
 }
@@ -119,6 +130,7 @@ struct EngineObsHooks {
     boundary_resizes: Counter,
     boundary_block_bytes: Gauge,
     boundary_range_bytes: Gauge,
+    tenant_resizes: Counter,
 }
 
 impl EngineObsHooks {
@@ -130,6 +142,7 @@ impl EngineObsHooks {
             boundary_resizes: obs.counter("core.boundary.resizes"),
             boundary_block_bytes: obs.gauge("core.boundary.block_bytes"),
             boundary_range_bytes: obs.gauge("core.boundary.range_bytes"),
+            tenant_resizes: obs.counter("core.tenant.resizes"),
             obs,
         }
     }
@@ -161,13 +174,25 @@ impl EngineObsHooks {
 /// An LSM-tree fronted by the configured cache strategy. The tree itself
 /// is a [`StripedDb`]: N keyspace stripes with independent write paths
 /// (one stripe, synchronous maintenance by default).
+///
+/// The cache layer is tenant-partitioned (see [`crate::tenant`]): every
+/// registered tenant owns a shared-nothing [`Partition`] sized by its
+/// share of `total_cache_bytes`, and legacy single-tenant callers run
+/// entirely inside the default partition (tenant 0, share 1.0), which
+/// preserves the pre-tenant behavior bit for bit.
 pub struct CachedDb {
     db: StripedDb,
     strategy: Strategy,
-    block_cache: Option<Arc<BlockCache>>,
-    kv_cache: Option<KvCache>,
-    range_cache: Option<RangeCache>,
-    point_admission: Option<Mutex<PointAdmission>>,
+    /// Tenant 0's partition — the whole cache layer until other tenants
+    /// register. Kept out of the map so the legacy fast path never takes
+    /// the registry lock.
+    default_partition: Arc<Partition>,
+    /// Non-default tenant partitions, keyed by tenant id.
+    tenants: RwLock<BTreeMap<TenantId, Arc<Partition>>>,
+    /// The learned share arbiter; rebuilt when the tenant set changes.
+    share_agent: Mutex<Option<ShareAgent>>,
+    /// Construction parameters retained for late tenant registration.
+    cfg: EngineConfig,
     scan_admission: RwLock<ScanAdmission>,
     total_cache_bytes: usize,
     /// Cached entries-per-block estimate, refreshed once per window.
@@ -225,69 +250,27 @@ impl CachedDb {
     /// the cache strategy.
     pub fn from_tree(db: StripedDb, cfg: EngineConfig) -> Result<Self> {
         let total = cfg.total_cache_bytes;
-        let mut block_cache = None;
-        let mut kv_cache = None;
-        let mut range_cache = None;
-        let mut point_admission = None;
-        match cfg.strategy {
-            Strategy::RocksDbBlock => {
-                block_cache = Some(Arc::new(BlockCache::new(total, cfg.block_shards)));
-            }
-            Strategy::KvCache => {
-                kv_cache = Some(KvCache::new(total));
-            }
-            Strategy::RangeCache => {
-                range_cache = Some(RangeCache::with_shards(
-                    total,
-                    cfg.range_boundaries.clone(),
-                    Box::new(|| Box::new(LruPolicy::new())),
-                ));
-            }
-            Strategy::RangeCacheLeCaR => {
-                range_cache = Some(RangeCache::with_shards(
-                    total,
-                    cfg.range_boundaries.clone(),
-                    Box::new(|| Box::new(LeCaRPolicy::new())),
-                ));
-            }
-            Strategy::RangeCacheCacheus => {
-                range_cache = Some(RangeCache::with_shards(
-                    total,
-                    cfg.range_boundaries.clone(),
-                    Box::new(|| Box::new(CacheusPolicy::new())),
-                ));
-            }
-            Strategy::AdCache => {
-                // Start at the default even split; the controller moves it.
-                let d = CacheDecision::default();
-                block_cache = Some(Arc::new(BlockCache::new(
-                    (total as f64 * (1.0 - d.range_ratio)) as usize,
-                    cfg.block_shards,
-                )));
-                range_cache = Some(RangeCache::with_shards(
-                    (total as f64 * d.range_ratio) as usize,
-                    cfg.range_boundaries.clone(),
-                    Box::new(|| Box::new(LruPolicy::new())),
-                ));
-                let guard = if cfg.sketch_guard {
-                    SketchGuard::default()
-                } else {
-                    SketchGuard::off()
-                };
-                point_admission = Some(Mutex::new(PointAdmission::with_guard(
-                    cfg.expected_keys,
-                    d.point_threshold,
-                    guard,
-                )));
-            }
-        }
+        // Start at the default even split; the controller moves it.
+        let d = CacheDecision::default();
+        let default_partition = Arc::new(Partition::build(
+            DEFAULT_TENANT,
+            &cfg,
+            total,
+            d.range_ratio,
+            d.point_threshold,
+        ));
+        default_partition.set_share(1.0);
         // Compactions must sweep stale blocks out of the block cache.
-        if let Some(bc) = &block_cache {
+        if let Some(bc) = &default_partition.block_cache {
             db.add_compaction_listener(bc.clone());
         }
         // Optional Leaper-style re-population after the sweep. Listener
-        // order matters: invalidate first, then prefetch.
-        let prefetcher = match (&block_cache, cfg.compaction_prefetch_blocks) {
+        // order matters: invalidate first, then prefetch. Prefetch warms
+        // the default partition only — it has no requesting tenant.
+        let prefetcher = match (
+            &default_partition.block_cache,
+            cfg.compaction_prefetch_blocks,
+        ) {
             (Some(bc), n) if n > 0 => {
                 let p = Arc::new(CompactionPrefetcher::new(
                     bc.clone(),
@@ -302,10 +285,9 @@ impl CachedDb {
         Ok(CachedDb {
             db,
             strategy: cfg.strategy,
-            block_cache,
-            kv_cache,
-            range_cache,
-            point_admission,
+            default_partition,
+            tenants: RwLock::new(BTreeMap::new()),
+            share_agent: Mutex::new(None),
             scan_admission: RwLock::new(ScanAdmission::default()),
             total_cache_bytes: total,
             b_estimate: RwLock::new(4.0),
@@ -315,6 +297,7 @@ impl CachedDb {
             prefetcher,
             counters: Counters::default(),
             obs: OnceLock::new(),
+            cfg,
         })
     }
 
@@ -323,17 +306,8 @@ impl CachedDb {
     /// structure the strategy instantiated. A second call is a no-op.
     pub fn set_obs(&self, obs: Obs) {
         self.db.set_obs(obs.clone());
-        if let Some(bc) = &self.block_cache {
-            bc.set_obs(obs.clone());
-        }
-        if let Some(rc) = &self.range_cache {
-            rc.set_obs(obs.clone());
-        }
-        if let Some(kv) = &self.kv_cache {
-            kv.set_obs(obs.clone());
-        }
-        if let Some(adm) = &self.point_admission {
-            adm.lock().set_obs(obs.clone());
+        for part in self.all_partitions() {
+            part.attach_obs(&obs);
         }
         let _ = self.obs.set(EngineObsHooks::new(obs));
         // Publish the current boundary position so live views see it
@@ -368,32 +342,224 @@ impl CachedDb {
         &self.counters
     }
 
-    /// The block cache, when the strategy has one.
+    /// The default tenant's block cache, when the strategy has one.
     pub fn block_cache(&self) -> Option<&BlockCache> {
-        self.block_cache.as_deref()
+        self.default_partition.block_cache.as_deref()
     }
 
-    /// The range cache, when the strategy has one.
+    /// The default tenant's range cache, when the strategy has one.
     pub fn range_cache(&self) -> Option<&RangeCache> {
-        self.range_cache.as_ref()
+        self.default_partition.range_cache.as_ref()
     }
 
-    /// Auto-resets the admission sketch's anomaly guard has performed
-    /// (0 when the strategy has no point admission).
+    /// Auto-resets the admission sketch's anomaly guard has performed,
+    /// summed over every tenant partition (0 when the strategy has no
+    /// point admission).
     pub fn sketch_resets(&self) -> u64 {
-        self.point_admission
-            .as_ref()
-            .map_or(0, |adm| adm.lock().resets())
+        self.all_partitions()
+            .iter()
+            .map(|p| {
+                p.point_admission
+                    .as_ref()
+                    .map_or(0, |adm| adm.lock().resets())
+            })
+            .sum()
     }
 
-    /// Point lookup along the paper's query-handling path.
+    /// The default tenant's partition plus every registered tenant's,
+    /// in tenant-id order.
+    fn all_partitions(&self) -> Vec<Arc<Partition>> {
+        let mut v = vec![self.default_partition.clone()];
+        v.extend(self.tenants.read().values().cloned());
+        v
+    }
+
+    /// The partition serving `tenant` (the default partition for tenant
+    /// 0 and for tenants never registered — unregistered traffic is
+    /// legacy traffic, not a fresh partition).
+    pub fn partition_for(&self, tenant: TenantId) -> Arc<Partition> {
+        if tenant == DEFAULT_TENANT {
+            return self.default_partition.clone();
+        }
+        self.tenants
+            .read()
+            .get(&tenant)
+            .cloned()
+            .unwrap_or_else(|| self.default_partition.clone())
+    }
+
+    /// Registers `tenant`, creating its shared-nothing partition (with a
+    /// tenant-salted admission sketch) and rebalancing all shares to the
+    /// equal split. Idempotent; tenant 0 always exists.
+    pub fn register_tenant(&self, tenant: TenantId) {
+        if tenant == DEFAULT_TENANT
+            || !self.cfg.tenant_partitioning
+            || self.tenants.read().contains_key(&tenant)
+        {
+            return;
+        }
+        let threshold = self
+            .default_partition
+            .point_admission
+            .as_ref()
+            .map_or(CacheDecision::default().point_threshold, |adm| {
+                adm.lock().threshold()
+            });
+        let part = Arc::new(Partition::build(
+            tenant,
+            &self.cfg,
+            0,
+            *self.applied_ratio.read(),
+            threshold,
+        ));
+        if let Some(bc) = &part.block_cache {
+            self.db.add_compaction_listener(bc.clone());
+        }
+        if let Some(h) = self.obs.get() {
+            part.attach_obs(&h.obs);
+        }
+        {
+            let mut map = self.tenants.write();
+            if map.contains_key(&tenant) {
+                return; // lost a registration race; keep the winner
+            }
+            map.insert(tenant, part);
+        }
+        // The tenant set changed: restart arbitration from equal shares.
+        *self.share_agent.lock() = None;
+        let parts = self.all_partitions();
+        let equal: Vec<(TenantId, f64)> = parts
+            .iter()
+            .map(|p| (p.tenant(), 1.0 / parts.len() as f64))
+            .collect();
+        self.set_tenant_shares(&equal);
+    }
+
+    /// The registered tenant ids (including the default tenant).
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        self.all_partitions().iter().map(|p| p.tenant()).collect()
+    }
+
+    /// Applies a share split across tenant partitions. Shares are passed
+    /// through the guarded floor ([`adcache_rl::guarded_shares`]): they
+    /// are renormalized to sum to 1 with every tenant kept at or above
+    /// the configured minimum, then each partition is resized to
+    /// `share × total_cache_bytes` (block/range split by the current
+    /// boundary ratio). Tenants absent from `want` keep their current
+    /// share as the weight. Emits one `TenantShareResized` per tenant.
+    pub fn set_tenant_shares(&self, want: &[(TenantId, f64)]) {
+        let parts = self.all_partitions();
+        let weights: Vec<f64> = parts
+            .iter()
+            .map(|p| {
+                want.iter()
+                    .find(|(t, _)| *t == p.tenant())
+                    .map_or(p.share(), |&(_, w)| w)
+            })
+            .collect();
+        let shares = adcache_rl::guarded_shares(&weights, self.cfg.min_tenant_share);
+        let ratio = *self.applied_ratio.read();
+        for (part, &share) in parts.iter().zip(&shares) {
+            let budget = (self.total_cache_bytes as f64 * share) as usize;
+            part.set_share(share);
+            part.resize(budget, ratio);
+            if let Some(h) = self.obs.get() {
+                h.tenant_resizes.inc();
+                h.obs.emit(|| Event::TenantShareResized {
+                    tenant: part.tenant() as u64,
+                    share,
+                    bytes: budget as u64,
+                });
+            }
+        }
+    }
+
+    /// One share-arbitration step: drains each tenant's activity window,
+    /// feeds hit-rate/footprint/demand features to the learned arbiter,
+    /// and applies the new split. With fewer than two tenants this is a
+    /// no-op report. Returns the `(tenant, share)` split in force.
+    pub fn rebalance_tenants(&self) -> Vec<(TenantId, f64)> {
+        let parts = self.all_partitions();
+        if parts.len() < 2 {
+            return parts.iter().map(|p| (p.tenant(), p.share())).collect();
+        }
+        let windows: Vec<TenantWindow> = parts.iter().map(|p| p.window()).collect();
+        let ids: Vec<TenantId> = parts.iter().map(|p| p.tenant()).collect();
+        let shares = {
+            let mut slot = self.share_agent.lock();
+            let rebuild = !matches!(&*slot, Some(a) if a.ids() == ids.as_slice());
+            if rebuild {
+                let mut agent = ShareAgent::new(ids, self.cfg.min_tenant_share);
+                for p in &parts {
+                    agent.seed_share(p.tenant(), p.share());
+                }
+                *slot = Some(agent);
+            }
+            let agent = slot.as_mut().expect("agent just installed");
+            let feats: Vec<TenantFeatures> = windows
+                .iter()
+                .map(|w| TenantFeatures {
+                    tenant: w.tenant,
+                    hit_rate: if w.hits + w.misses == 0 {
+                        0.0
+                    } else {
+                        w.hits as f64 / (w.hits + w.misses) as f64
+                    },
+                    occupancy: if w.budget_bytes == 0 {
+                        1.0
+                    } else {
+                        (w.used_bytes as f64 / w.budget_bytes as f64).min(1.0)
+                    },
+                    ops: w.ops,
+                })
+                .collect();
+            agent.observe(&feats)
+        };
+        self.set_tenant_shares(&shares);
+        shares
+    }
+
+    /// Per-tenant statistics (share, budget, residency, hit counters),
+    /// in tenant-id order.
+    pub fn tenant_reports(&self) -> Vec<TenantStatsReport> {
+        self.all_partitions()
+            .iter()
+            .map(|p| {
+                let (hits, misses) = p.hit_counters();
+                TenantStatsReport {
+                    tenant: p.tenant(),
+                    share: p.share(),
+                    budget_bytes: p.budget() as u64,
+                    used_bytes: p.used_bytes() as u64,
+                    hits,
+                    misses,
+                    ops: p.ops(),
+                }
+            })
+            .collect()
+    }
+
+    /// Point lookup along the paper's query-handling path (default
+    /// tenant).
     pub fn get(&self, key: &[u8]) -> Result<Option<Value>> {
+        self.get_in(&self.default_partition, key)
+    }
+
+    /// [`get`](Self::get) served from `tenant`'s cache partition.
+    pub fn get_for(&self, tenant: TenantId, key: &[u8]) -> Result<Option<Value>> {
+        self.get_in(&self.partition_for(tenant), key)
+    }
+
+    fn get_in(&self, part: &Partition, key: &[u8]) -> Result<Option<Value>> {
         self.counters.add_point();
-        if let Some(answer) = self.probe_point_caches(key) {
+        part.note_op();
+        if let Some(answer) = self.probe_point_caches(part, key) {
+            part.note_hit();
             return Ok(answer);
         }
+        part.note_miss();
         self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let result = match &self.block_cache {
+        let result = match &part.block_cache {
             Some(bc) => self.db.get(key, &bc.provider()),
             None => self.db.get(key, &DirectProvider),
         };
@@ -408,7 +574,7 @@ impl CachedDb {
             }
         };
         if let Some(v) = &result {
-            self.fill_point_caches(key, v);
+            self.fill_point_caches(part, key, v);
         }
         Ok(result)
     }
@@ -421,13 +587,29 @@ impl CachedDb {
     /// key match [`get`](Self::get); a failed grouped read is charged as
     /// one failed read and fails the whole batch.
     pub fn multi_get(&self, keys: &[&[u8]]) -> Result<Vec<Option<Value>>> {
+        self.multi_get_in(&self.default_partition, keys)
+    }
+
+    /// [`multi_get`](Self::multi_get) served from `tenant`'s partition.
+    pub fn multi_get_for(&self, tenant: TenantId, keys: &[&[u8]]) -> Result<Vec<Option<Value>>> {
+        self.multi_get_in(&self.partition_for(tenant), keys)
+    }
+
+    fn multi_get_in(&self, part: &Partition, keys: &[&[u8]]) -> Result<Vec<Option<Value>>> {
         let mut out: Vec<Option<Value>> = vec![None; keys.len()];
         let mut miss_idx: Vec<usize> = Vec::new();
         for (i, key) in keys.iter().enumerate() {
             self.counters.add_point();
-            match self.probe_point_caches(key) {
-                Some(answer) => out[i] = answer,
-                None => miss_idx.push(i),
+            part.note_op();
+            match self.probe_point_caches(part, key) {
+                Some(answer) => {
+                    part.note_hit();
+                    out[i] = answer;
+                }
+                None => {
+                    part.note_miss();
+                    miss_idx.push(i);
+                }
             }
         }
         if miss_idx.is_empty() {
@@ -437,7 +619,7 @@ impl CachedDb {
             .cache_misses
             .fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
         let miss_keys: Vec<&[u8]> = miss_idx.iter().map(|&i| keys[i]).collect();
-        let result = match &self.block_cache {
+        let result = match &part.block_cache {
             Some(bc) => self.db.multi_get(&miss_keys, &bc.provider()),
             None => self.db.multi_get(&miss_keys, &DirectProvider),
         };
@@ -450,18 +632,18 @@ impl CachedDb {
         };
         for (&i, value) in miss_idx.iter().zip(values) {
             if let Some(v) = &value {
-                self.fill_point_caches(keys[i], v);
+                self.fill_point_caches(part, keys[i], v);
             }
             out[i] = value;
         }
         Ok(out)
     }
 
-    /// Probes the range and KV caches for `key`. `Some(answer)` is a hit
-    /// (including a negative hit: `Some(None)`); `None` means both caches
-    /// missed and the LSM-tree must be read.
-    fn probe_point_caches(&self, key: &[u8]) -> Option<Option<Value>> {
-        if let Some(rc) = &self.range_cache {
+    /// Probes the partition's range and KV caches for `key`.
+    /// `Some(answer)` is a hit (including a negative hit: `Some(None)`);
+    /// `None` means both caches missed and the LSM-tree must be read.
+    fn probe_point_caches(&self, part: &Partition, key: &[u8]) -> Option<Option<Value>> {
+        if let Some(rc) = &part.range_cache {
             match rc.get_point(key) {
                 PointLookup::Hit(v) => {
                     self.counters.range_hits.fetch_add(1, Ordering::Relaxed);
@@ -474,7 +656,7 @@ impl CachedDb {
                 PointLookup::Miss => {}
             }
         }
-        if let Some(kv) = &self.kv_cache {
+        if let Some(kv) = &part.kv_cache {
             if let Some(v) = kv.get(key) {
                 self.counters.kv_hits.fetch_add(1, Ordering::Relaxed);
                 return Some(Some(v));
@@ -486,9 +668,9 @@ impl CachedDb {
     /// The cache-fill path for a point read that reached the LSM-tree and
     /// found a value: point admission gates the range cache, the KV cache
     /// admits unconditionally.
-    fn fill_point_caches(&self, key: &[u8], v: &Value) {
-        if let Some(rc) = &self.range_cache {
-            let (admit, reason) = match &self.point_admission {
+    fn fill_point_caches(&self, part: &Partition, key: &[u8], v: &Value) {
+        if let Some(rc) = &part.range_cache {
+            let (admit, reason) = match &part.point_admission {
                 Some(adm) => {
                     let admit = adm.lock().admit(key);
                     let reason = if admit {
@@ -512,7 +694,7 @@ impl CachedDb {
                 rc.insert_point(Bytes::copy_from_slice(key), v.clone());
             }
         }
-        if let Some(kv) = &self.kv_cache {
+        if let Some(kv) = &part.kv_cache {
             if let Some(h) = self.obs.get() {
                 h.admission(
                     CacheStructure::Kv,
@@ -524,6 +706,7 @@ impl CachedDb {
             }
             kv.insert(Bytes::copy_from_slice(key), v.clone());
         }
+        part.publish_bytes();
     }
 
     /// Range scan along the query-handling path.
@@ -536,9 +719,24 @@ impl CachedDb {
     /// incrementally — "overlapping scans naturally accelerate this
     /// process" (Section 3.4).
     pub fn scan(&self, from: &[u8], limit: usize) -> Result<Vec<(Key, Value)>> {
+        self.scan_in(&self.default_partition, from, limit)
+    }
+
+    /// [`scan`](Self::scan) served from `tenant`'s cache partition.
+    pub fn scan_for(
+        &self,
+        tenant: TenantId,
+        from: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Key, Value)>> {
+        self.scan_in(&self.partition_for(tenant), from, limit)
+    }
+
+    fn scan_in(&self, part: &Partition, from: &[u8], limit: usize) -> Result<Vec<(Key, Value)>> {
         self.counters.add_scan(limit);
+        part.note_op();
         // Range-cache prefix (or all-or-nothing under the ablation flag).
-        let (mut results, continuation) = match &self.range_cache {
+        let (mut results, continuation) = match &part.range_cache {
             Some(rc) if self.serve_partial_range => rc.get_range_partial(from, limit),
             Some(rc) => match rc.get_range(from, limit) {
                 adcache_cache::RangeLookup::Hit(res) => (res, None),
@@ -550,15 +748,17 @@ impl CachedDb {
         };
         let Some(cont_key) = continuation else {
             self.counters.range_hits.fetch_add(1, Ordering::Relaxed);
+            part.note_hit();
             self.counters
                 .entries_returned
                 .fetch_add(results.len() as u64, Ordering::Relaxed);
             return Ok(results);
         };
         self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        part.note_miss();
         let remaining = limit - results.len();
         let admission = *self.scan_admission.read();
-        let tail = match &self.block_cache {
+        let tail = match &part.block_cache {
             Some(bc) => {
                 // AdCache also applies partial admission at block
                 // granularity (Section 3.4 closing note): misses beyond the
@@ -583,7 +783,7 @@ impl CachedDb {
                 return Err(e);
             }
         };
-        if let Some(rc) = &self.range_cache {
+        if let Some(rc) = &part.range_cache {
             let admitted = if self.strategy == Strategy::AdCache {
                 admission.admitted_len(tail.len())
             } else {
@@ -613,6 +813,7 @@ impl CachedDb {
                 }
             }
             rc.insert_scan(&cont_key, &tail, admitted);
+            part.publish_bytes();
         }
         results.extend(tail);
         self.counters
@@ -621,17 +822,33 @@ impl CachedDb {
         Ok(results)
     }
 
+    /// Propagates a write to every partition's result caches: tenants
+    /// share one keyspace, so coherence is key-targeted and global, while
+    /// capacity pressure stays per-partition.
+    fn on_write_all(&self, key: &[u8], value: Option<&Value>) {
+        for part in self.all_partitions() {
+            if let Some(kv) = &part.kv_cache {
+                kv.on_write(key, value);
+            }
+            if let Some(rc) = &part.range_cache {
+                rc.on_write(key, value);
+            }
+        }
+    }
+
     /// Write-through: the engine plus every result cache stay consistent.
     pub fn put(&self, key: Key, value: Value) -> Result<()> {
         self.counters.add_write();
         self.db.put(key.clone(), value.clone())?;
-        if let Some(kv) = &self.kv_cache {
-            kv.on_write(&key, Some(&value));
-        }
-        if let Some(rc) = &self.range_cache {
-            rc.on_write(&key, Some(&value));
-        }
+        self.on_write_all(&key, Some(&value));
         Ok(())
+    }
+
+    /// [`put`](Self::put) with the operation charged to `tenant`'s
+    /// demand accounting (the write path itself is shared).
+    pub fn put_for(&self, tenant: TenantId, key: Key, value: Value) -> Result<()> {
+        self.partition_for(tenant).note_op();
+        self.put(key, value)
     }
 
     /// Applies a batch of puts atomically per stripe (see
@@ -645,12 +862,7 @@ impl CachedDb {
         self.db.write_batch(entries)?;
         for (key, value) in &batch {
             self.counters.add_write();
-            if let Some(kv) = &self.kv_cache {
-                kv.on_write(key, Some(value));
-            }
-            if let Some(rc) = &self.range_cache {
-                rc.on_write(key, Some(value));
-            }
+            self.on_write_all(key, Some(value));
         }
         Ok(())
     }
@@ -659,13 +871,15 @@ impl CachedDb {
     pub fn delete(&self, key: Key) -> Result<()> {
         self.counters.add_write();
         self.db.delete(key.clone())?;
-        if let Some(kv) = &self.kv_cache {
-            kv.on_write(&key, None);
-        }
-        if let Some(rc) = &self.range_cache {
-            rc.on_write(&key, None);
-        }
+        self.on_write_all(&key, None);
         Ok(())
+    }
+
+    /// [`delete`](Self::delete) with the operation charged to `tenant`'s
+    /// demand accounting.
+    pub fn delete_for(&self, tenant: TenantId, key: Key) -> Result<()> {
+        self.partition_for(tenant).note_op();
+        self.delete(key)
     }
 
     /// Loads a key during the populate phase without counting it as a
@@ -697,11 +911,11 @@ impl CachedDb {
         let block_bytes = self.total_cache_bytes - range_bytes;
         if moved {
             *applied = snapped;
-            if let Some(bc) = &self.block_cache {
-                bc.set_capacity(block_bytes);
-            }
-            if let Some(rc) = &self.range_cache {
-                rc.set_capacity(range_bytes);
+            // Every partition moves its own block/range boundary to the
+            // snapped ratio at its own budget: the controller learns one
+            // global boundary, tenants keep isolated capacity.
+            for part in self.all_partitions() {
+                part.resize(part.budget(), snapped);
             }
         }
         drop(applied);
@@ -718,8 +932,8 @@ impl CachedDb {
                 applied: moved,
             });
         }
-        if let Some(adm) = &self.point_admission {
-            adm.lock().set_threshold(d.point_threshold);
+        for part in self.all_partitions() {
+            part.apply_admission(d);
         }
         *self.scan_admission.write() = ScanAdmission::new(d.scan_a, d.scan_b);
         self.refresh_shape();
@@ -729,14 +943,8 @@ impl CachedDb {
     /// back-to-back controlled experiments on a shared engine so one
     /// candidate's warm state cannot bias the next.
     pub fn clear_caches(&self) {
-        if let Some(bc) = &self.block_cache {
-            bc.clear();
-        }
-        if let Some(rc) = &self.range_cache {
-            rc.clear();
-        }
-        if let Some(kv) = &self.kv_cache {
-            kv.clear();
+        for part in self.all_partitions() {
+            part.clear();
         }
     }
 
@@ -751,11 +959,16 @@ impl CachedDb {
     /// A full counter snapshot (window boundaries).
     pub fn snapshot(&self) -> Snapshot {
         let c = &self.counters;
-        let bstats = self
-            .block_cache
-            .as_ref()
-            .map(|b| b.stats())
-            .unwrap_or_default();
+        // Block-cache hit/miss totals aggregate over every tenant
+        // partition so controller rewards see global pressure.
+        let mut bstats = adcache_cache::CacheStats::default();
+        for part in self.all_partitions() {
+            if let Some(b) = &part.block_cache {
+                let s = b.stats();
+                bstats.hits += s.hits;
+                bstats.misses += s.misses;
+            }
+        }
         Snapshot {
             points: c.points.load(Ordering::Relaxed),
             scans: c.scans.load(Ordering::Relaxed),
@@ -787,36 +1000,34 @@ impl CachedDb {
         w.levels = self.db.num_levels().max(1);
         w.runs = self.db.num_runs();
         w.r0_max = self.db.options().l0_stop_files;
-        w.block_occupancy = self
-            .block_cache
-            .as_ref()
-            .map(|b| {
-                let cap = b.capacity();
-                if cap == 0 {
-                    0.0
-                } else {
-                    b.used() as f64 / cap as f64
-                }
-            })
-            .unwrap_or(0.0);
+        let (mut block_used, mut block_cap) = (0usize, 0usize);
+        let (mut range_used, mut range_cap) = (0usize, 0usize);
+        for part in self.all_partitions() {
+            if let Some(b) = &part.block_cache {
+                block_used += b.used();
+                block_cap += b.capacity();
+            }
+            if let Some(r) = &part.range_cache {
+                range_used += r.used();
+                range_cap += r.capacity();
+            }
+        }
+        w.block_occupancy = if block_cap == 0 {
+            0.0
+        } else {
+            block_used as f64 / block_cap as f64
+        };
         let dataset: u64 = self.db.level_summary().iter().map(|(_, _, b)| b).sum();
         w.cache_fraction = if dataset == 0 {
             0.0
         } else {
             (self.total_cache_bytes as f64 / dataset as f64).min(2.0)
         };
-        w.range_occupancy = self
-            .range_cache
-            .as_ref()
-            .map(|r| {
-                let cap = r.capacity();
-                if cap == 0 {
-                    0.0
-                } else {
-                    r.used() as f64 / cap as f64
-                }
-            })
-            .unwrap_or(0.0);
+        w.range_occupancy = if range_cap == 0 {
+            0.0
+        } else {
+            range_used as f64 / range_cap as f64
+        };
         w
     }
 
@@ -825,13 +1036,21 @@ impl CachedDb {
         self.total_cache_bytes
     }
 
+    /// The engine configuration this instance was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
     /// A serializable point-in-time statistics report covering the engine,
     /// every cache structure, and the tree shape — the payload behind the
     /// server's `STATS` opcode and the CLI `stats` command.
     pub fn stats_report(&self) -> EngineStatsReport {
         let snap = self.snapshot();
+        // The wire-stable `block_cache`/`range_cache` fields keep their
+        // pre-tenant meaning: the default partition's caches. Per-tenant
+        // breakdown rides in the appended `tenants` list.
         let (block, range) = (
-            self.block_cache.as_ref().map(|bc| {
+            self.default_partition.block_cache.as_deref().map(|bc| {
                 let s = bc.stats();
                 CacheStatsReport {
                     used_bytes: bc.used() as u64,
@@ -841,7 +1060,7 @@ impl CachedDb {
                     misses: s.misses,
                 }
             }),
-            self.range_cache.as_ref().map(|rc| {
+            self.default_partition.range_cache.as_ref().map(|rc| {
                 let s = rc.stats();
                 CacheStatsReport {
                     used_bytes: rc.used() as u64,
@@ -876,6 +1095,7 @@ impl CachedDb {
             group_commit_batches: self.db.group_commit().1,
             seals: self.db.stats_sum(|s| s.seals()),
             write_stalls: self.db.stats_sum(|s| s.write_stalls()),
+            tenants: self.tenant_reports(),
         }
     }
 }
@@ -895,10 +1115,29 @@ pub struct CacheStatsReport {
     pub misses: u64,
 }
 
+/// One tenant partition's slice of an [`EngineStatsReport`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TenantStatsReport {
+    /// Tenant id (`0` is the default tenant).
+    pub tenant: u32,
+    /// Arbitrated share of the total cache budget, in `[0, 1]`.
+    pub share: f64,
+    /// Byte budget the share currently maps to.
+    pub budget_bytes: u64,
+    /// Bytes resident across the tenant's caches.
+    pub used_bytes: u64,
+    /// Result-cache hits since construction.
+    pub hits: u64,
+    /// Result-cache misses since construction.
+    pub misses: u64,
+    /// Operations the tenant has issued.
+    pub ops: u64,
+}
+
 /// A serializable engine statistics snapshot (see
 /// [`CachedDb::stats_report`]). Field names are part of the server's
 /// `STATS` wire payload, so renames are breaking changes.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct EngineStatsReport {
     /// Strategy name as reported by [`Strategy::name`].
     pub strategy: String,
@@ -944,6 +1183,9 @@ pub struct EngineStatsReport {
     pub seals: u64,
     /// Writes stalled on their own stripe's backpressure.
     pub write_stalls: u64,
+    /// Per-tenant partition breakdown, in tenant-id order (the default
+    /// tenant `0` first). A single-tenant engine reports one entry.
+    pub tenants: Vec<TenantStatsReport>,
 }
 
 #[cfg(test)]
@@ -1261,5 +1503,93 @@ mod tests {
             let got = db.get(&render_key(i)).unwrap().unwrap();
             assert_eq!(got.as_ref(), format!("r9-{i}").as_bytes());
         }
+    }
+
+    #[test]
+    fn unregistered_tenants_fall_back_to_the_default_partition() {
+        let db = build(Strategy::AdCache, 256 << 10);
+        populate(&db, 500);
+        // Tenant 42 never registered: its reads behave exactly like
+        // legacy single-tenant traffic.
+        for i in 0..100 {
+            assert!(db.get_for(42, &render_key(i)).unwrap().is_some());
+        }
+        assert_eq!(db.tenant_ids(), vec![DEFAULT_TENANT]);
+        let reports = db.tenant_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].tenant, DEFAULT_TENANT);
+        assert!(reports[0].ops >= 100);
+        assert!((reports[0].share - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tenant_partitions_are_capacity_isolated() {
+        let db = build(Strategy::AdCache, 512 << 10);
+        populate(&db, 2000);
+        db.register_tenant(1);
+        db.register_tenant(2);
+        // Warm tenant 1 on a disjoint slice of the keyspace.
+        for i in 0..200 {
+            db.get_for(1, &render_key(i)).unwrap();
+            db.scan_for(1, &render_key(i), 8).unwrap();
+        }
+        let quiet = db.partition_for(1).used_bytes();
+        assert!(quiet > 0, "tenant 1 should have resident bytes");
+        // A pathological flood from tenant 2 (reads only — no writes, so
+        // no cross-partition invalidation) must not evict tenant 1.
+        for round in 0..3 {
+            for i in 500..2000 {
+                db.get_for(2, &render_key(i)).unwrap();
+                if i % 7 == 0 {
+                    db.scan_for(2, &render_key(i), 16).unwrap();
+                }
+            }
+            let _ = round;
+        }
+        assert_eq!(
+            db.partition_for(1).used_bytes(),
+            quiet,
+            "tenant 2's read pressure must never evict tenant 1's entries"
+        );
+    }
+
+    #[test]
+    fn rebalance_shifts_share_toward_the_hot_tenant() {
+        let db = build(Strategy::AdCache, 256 << 10);
+        populate(&db, 2000);
+        db.register_tenant(1);
+        db.register_tenant(2);
+        db.register_tenant(3);
+        let total: f64 = db.tenant_reports().iter().map(|r| r.share).sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares must sum to 1: {total}");
+        // Tenant 1 hammers a working set far larger than its slice
+        // (missing constantly); the others idle on one hot key each.
+        // Repeated rebalances should grow tenant 1's share while
+        // everyone keeps the guaranteed minimum.
+        for _ in 0..30 {
+            for i in 0..1500 {
+                db.get_for(1, &render_key(i)).unwrap();
+            }
+            db.get_for(2, &render_key(1900)).unwrap();
+            db.get_for(3, &render_key(1901)).unwrap();
+            db.rebalance_tenants();
+        }
+        let reports = db.tenant_reports();
+        let share_of = |t: u32| reports.iter().find(|r| r.tenant == t).unwrap().share;
+        let min = db.config().min_tenant_share;
+        assert!(
+            share_of(1) > 0.30,
+            "hot tenant should out-earn an equal split, got {}",
+            share_of(1)
+        );
+        for t in [DEFAULT_TENANT, 2, 3] {
+            assert!(
+                share_of(t) >= min - 1e-9,
+                "tenant {t} fell below the guaranteed minimum: {}",
+                share_of(t)
+            );
+        }
+        let total: f64 = reports.iter().map(|r| r.share).sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares must sum to 1: {total}");
     }
 }

@@ -14,7 +14,9 @@
 //! block cache, KV cache, Range Cache with LRU / LeCaR / Cacheus) and
 //! AdCache itself over the same native LSM engine, and [`runner`] drives
 //! whole experiments: static mixes, the Table 3 dynamic schedule, and
-//! multi-client runs.
+//! multi-client runs. [`tenant`] partitions the cache budget into
+//! per-tenant shared-nothing slices whose shares are re-learned online
+//! by `adcache-rl`'s share arbiter.
 //!
 //! ```
 //! use adcache_core::{CachedDb, EngineConfig, Strategy};
@@ -40,13 +42,16 @@ pub mod histogram;
 pub mod reward;
 pub mod runner;
 pub mod stats;
+pub mod tenant;
 
 pub use async_controller::AsyncController;
 pub use controller::{
     featurize_with, CacheDecision, Controller, ControllerConfig, TuningRecord, ACTION_DIM,
     STATE_DIM,
 };
-pub use engine::{CacheStatsReport, CachedDb, EngineConfig, EngineStatsReport, Strategy};
+pub use engine::{
+    CacheStatsReport, CachedDb, EngineConfig, EngineStatsReport, Strategy, TenantStatsReport,
+};
 pub use histogram::Histogram;
 pub use reward::{h_estimate, io_estimate, io_estimate_of, RewardSmoother};
 pub use runner::{
@@ -54,3 +59,4 @@ pub use runner::{
     run_static, CpuModel, RunConfig, RunResult, WindowRecord,
 };
 pub use stats::{Counters, Snapshot, WindowSummary};
+pub use tenant::{tenant_salt, Partition, TenantId, TenantWindow, DEFAULT_TENANT};

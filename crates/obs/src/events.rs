@@ -414,6 +414,33 @@ pub enum Event {
         /// Requests throttled on this connection so far.
         throttled: u64,
     },
+    /// A connection bound itself to a tenant via the `Auth` opcode (or
+    /// was bound to the default tenant on accept).
+    TenantBound {
+        /// Connection that bound.
+        conn: u64,
+        /// Tenant id the connection now serves.
+        tenant: u64,
+    },
+    /// The share arbiter resized one tenant's cache partition.
+    TenantShareResized {
+        /// Tenant whose partition was resized.
+        tenant: u64,
+        /// New share of the total cache budget, in [0, 1].
+        share: f64,
+        /// New partition budget in bytes (block + range slices).
+        bytes: u64,
+    },
+    /// A tenant-wide admission quota (aggregated across all of the
+    /// tenant's connections) throttled a request.
+    TenantThrottled {
+        /// Tenant whose aggregated token bucket ran dry.
+        tenant: u64,
+        /// Stable opcode label of the throttled request.
+        opcode: String,
+        /// Requests throttled for this tenant so far.
+        throttled: u64,
+    },
 }
 
 impl Event {
@@ -450,6 +477,9 @@ impl Event {
             Event::SketchReset { .. } => "SketchReset",
             Event::BatchServed { .. } => "BatchServed",
             Event::QuotaThrottled { .. } => "QuotaThrottled",
+            Event::TenantBound { .. } => "TenantBound",
+            Event::TenantShareResized { .. } => "TenantShareResized",
+            Event::TenantThrottled { .. } => "TenantThrottled",
         }
     }
 }

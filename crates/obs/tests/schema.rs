@@ -259,6 +259,26 @@ fn exemplars() -> Vec<(Event, &'static str)> {
             },
             r#"{"QuotaThrottled":{"conn":7,"opcode":"scan","throttled":1024}}"#,
         ),
+        (
+            Event::TenantBound { conn: 7, tenant: 3 },
+            r#"{"TenantBound":{"conn":7,"tenant":3}}"#,
+        ),
+        (
+            Event::TenantShareResized {
+                tenant: 3,
+                share: 0.25,
+                bytes: 262144,
+            },
+            r#"{"TenantShareResized":{"tenant":3,"share":0.25,"bytes":262144}}"#,
+        ),
+        (
+            Event::TenantThrottled {
+                tenant: 3,
+                opcode: "scan".into(),
+                throttled: 1024,
+            },
+            r#"{"TenantThrottled":{"tenant":3,"opcode":"scan","throttled":1024}}"#,
+        ),
     ]
 }
 
@@ -267,7 +287,7 @@ fn every_event_kind_serializes_to_its_golden_form() {
     let exemplars = exemplars();
     assert_eq!(
         exemplars.len(),
-        30,
+        33,
         "new Event variants need a golden exemplar here"
     );
     for (event, golden) in &exemplars {

@@ -1,0 +1,225 @@
+//! Learned share arbitration across tenant cache partitions.
+//!
+//! Multi-tenant serving splits one cache budget into per-tenant
+//! partitions (see `adcache-core`'s tenant module). The split starts
+//! static — equal weighted shares — and this module re-learns it online:
+//! a gradient-bandit agent ([`ShareAgent`]) consumes per-tenant hit-rate
+//! and footprint features each window and shifts preference mass toward
+//! the tenants whose demand-weighted miss pressure is highest, i.e. the
+//! tenants for which marginal cache bytes buy the most hits. A guarded
+//! minimum share ([`guarded_shares`]) keeps any tenant from being starved
+//! no matter what the agent learns — the same bounded-blast-radius
+//! posture as the admission quotas on the server.
+
+/// Per-tenant window features consumed by the arbiter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantFeatures {
+    /// Tenant id the features describe.
+    pub tenant: u32,
+    /// Result-cache hit rate over the window, in `[0, 1]`.
+    pub hit_rate: f64,
+    /// Fraction of the tenant's current budget that is resident, in
+    /// `[0, 1]`. Low occupancy means more memory would go unused.
+    pub occupancy: f64,
+    /// Operations the tenant issued in the window (demand).
+    pub ops: u64,
+}
+
+/// Floor-guaranteed share split: every tenant receives `min_share`
+/// outright and the remaining headroom is distributed proportionally to
+/// `weights`. The result always sums to 1 and every entry is at least
+/// the (feasible) minimum; when `min_share · n > 1` the floor is
+/// infeasible and the split degrades to equal shares.
+pub fn guarded_shares(weights: &[f64], min_share: f64) -> Vec<f64> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let min = min_share.clamp(0.0, 1.0 / n as f64);
+    let head = 1.0 - min * n as f64;
+    let sum: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    if sum <= 0.0 || head <= 0.0 {
+        return vec![1.0 / n as f64; n];
+    }
+    weights
+        .iter()
+        .map(|w| min + head * w.max(0.0) / sum)
+        .collect()
+}
+
+/// A gradient-bandit arbiter over tenant shares.
+///
+/// Keeps one unbounded preference per tenant; shares are the softmax of
+/// the preferences passed through the [`guarded_shares`] floor. Each
+/// [`observe`](Self::observe) call computes a per-tenant utility —
+/// demand-weighted miss pressure, discounted when the tenant is not even
+/// filling its current slice — and ascends preferences toward tenants
+/// whose utility beats the mean. Mean-centering makes the fixed point
+/// "equal pressure", so a balanced workload keeps a stable split while a
+/// noisy neighbor's victims regain share as their miss pressure rises.
+#[derive(Debug, Clone)]
+pub struct ShareAgent {
+    ids: Vec<u32>,
+    prefs: Vec<f64>,
+    step: f64,
+    min_share: f64,
+}
+
+impl ShareAgent {
+    /// Creates the agent with uniform preferences over `ids`.
+    pub fn new(ids: Vec<u32>, min_share: f64) -> Self {
+        ShareAgent {
+            prefs: vec![0.0; ids.len()],
+            ids,
+            step: 0.5,
+            min_share,
+        }
+    }
+
+    /// The tenant ids the agent arbitrates, in share order.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// The guarded minimum share per tenant.
+    pub fn min_share(&self) -> f64 {
+        self.min_share
+    }
+
+    /// Seeds a tenant's preference from an existing share so a rebuilt
+    /// agent (tenant set changed) does not discard the learned split.
+    pub fn seed_share(&mut self, tenant: u32, share: f64) {
+        if let Some(i) = self.ids.iter().position(|&t| t == tenant) {
+            self.prefs[i] = share.max(1e-3).ln();
+        }
+    }
+
+    /// One learning step over a window of per-tenant features; returns
+    /// the new `(tenant, share)` split. Features for unknown tenants are
+    /// ignored; tenants with no features this window keep their
+    /// preference.
+    pub fn observe(&mut self, feats: &[TenantFeatures]) -> Vec<(u32, f64)> {
+        let total_ops: f64 = feats.iter().map(|f| f.ops as f64).sum();
+        if total_ops > 0.0 {
+            let mut utils: Vec<(usize, f64)> = Vec::with_capacity(feats.len());
+            for f in feats {
+                let Some(i) = self.ids.iter().position(|&t| t == f.tenant) else {
+                    continue;
+                };
+                let demand = f.ops as f64 / total_ops;
+                let miss = (1.0 - f.hit_rate.clamp(0.0, 1.0)).max(0.0);
+                // An under-filled partition gains little from more bytes:
+                // discount pressure by occupancy (floored so a cold-start
+                // tenant still registers demand).
+                let fill = 0.25 + 0.75 * f.occupancy.clamp(0.0, 1.0);
+                utils.push((i, demand * miss * fill));
+            }
+            if !utils.is_empty() {
+                let mean = utils.iter().map(|&(_, u)| u).sum::<f64>() / utils.len() as f64;
+                for (i, u) in utils {
+                    // Clamp so one pathological window cannot pin the
+                    // softmax; the floor below bounds starvation anyway.
+                    self.prefs[i] = (self.prefs[i] + self.step * (u - mean)).clamp(-4.0, 4.0);
+                }
+            }
+        }
+        self.shares()
+    }
+
+    /// The current `(tenant, share)` split: softmax of the preferences
+    /// under the guarded floor. Sums to 1; every tenant gets at least the
+    /// feasible minimum share.
+    pub fn shares(&self) -> Vec<(u32, f64)> {
+        let max = self.prefs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = self.prefs.iter().map(|&p| (p - max).exp()).collect();
+        self.ids
+            .iter()
+            .copied()
+            .zip(guarded_shares(&weights, self.min_share))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(shares: &[(u32, f64)]) -> f64 {
+        shares.iter().map(|&(_, s)| s).sum()
+    }
+
+    #[test]
+    fn uniform_agent_splits_equally() {
+        let agent = ShareAgent::new(vec![0, 1, 2, 3], 0.1);
+        for (_, s) in agent.shares() {
+            assert!((s - 0.25).abs() < 1e-9);
+        }
+        assert!((total(&agent.shares()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hot_tenant_gains_share_cold_tenants_keep_the_floor() {
+        let mut agent = ShareAgent::new(vec![0, 1, 2, 3], 0.1);
+        let mut shares = agent.shares();
+        for _ in 0..50 {
+            let feats: Vec<TenantFeatures> = (0..4)
+                .map(|t| TenantFeatures {
+                    tenant: t,
+                    hit_rate: if t == 0 { 0.1 } else { 0.9 },
+                    occupancy: 1.0,
+                    ops: if t == 0 { 10_000 } else { 100 },
+                })
+                .collect();
+            shares = agent.observe(&feats);
+        }
+        let hot = shares[0].1;
+        assert!(hot > 0.5, "hot tenant should dominate, got {hot}");
+        for &(t, s) in &shares[1..] {
+            assert!(s >= 0.1 - 1e-9, "tenant {t} fell below the floor: {s}");
+        }
+        assert!((total(&shares) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balanced_pressure_is_a_fixed_point() {
+        let mut agent = ShareAgent::new(vec![1, 2], 0.05);
+        for _ in 0..20 {
+            let feats = [1, 2].map(|t| TenantFeatures {
+                tenant: t,
+                hit_rate: 0.5,
+                occupancy: 0.8,
+                ops: 500,
+            });
+            agent.observe(&feats);
+        }
+        for (_, s) in agent.shares() {
+            assert!((s - 0.5).abs() < 1e-9, "equal pressure must stay equal");
+        }
+    }
+
+    #[test]
+    fn guarded_shares_respects_floor_and_sum() {
+        let s = guarded_shares(&[100.0, 1.0, 0.0], 0.2);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for &x in &s {
+            assert!(x >= 0.2 - 1e-9);
+        }
+        // Infeasible floor degrades to equal shares.
+        let s = guarded_shares(&[9.0, 1.0], 0.9);
+        assert_eq!(s, vec![0.5, 0.5]);
+        // Zero weights degrade to equal shares.
+        let s = guarded_shares(&[0.0, 0.0], 0.1);
+        assert_eq!(s, vec![0.5, 0.5]);
+        assert!(guarded_shares(&[], 0.1).is_empty());
+    }
+
+    #[test]
+    fn seeding_preserves_an_existing_split() {
+        let mut agent = ShareAgent::new(vec![0, 7], 0.05);
+        agent.seed_share(0, 0.8);
+        agent.seed_share(7, 0.2);
+        let shares = agent.shares();
+        assert!(shares[0].1 > 0.7, "seeded majority survives: {shares:?}");
+        assert!((total(&shares) - 1.0).abs() < 1e-9);
+    }
+}

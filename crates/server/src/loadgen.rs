@@ -97,6 +97,14 @@ impl Client {
         }
     }
 
+    /// Binds this connection to `tenant` with an `AUTH` handshake.
+    pub fn auth(&mut self, tenant: u32) -> std::io::Result<()> {
+        match self.call(&Request::Auth { tenant })? {
+            Response::Ok => Ok(()),
+            other => Err(violation(format!("auth answered {other:?}"))),
+        }
+    }
+
     /// Asks the server to drain and exit; returns once acknowledged.
     pub fn shutdown_server(&mut self) -> std::io::Result<()> {
         match self.call(&Request::Shutdown)? {
@@ -284,6 +292,17 @@ pub struct LoadgenConfig {
     /// Fraction of connections that run the adversary (rounded, and at
     /// least one when `adversary` is set and the fraction is positive).
     pub adversary_frac: f64,
+    /// Tenants to spread connections over. `0` or `1` is the legacy
+    /// single-tenant shape: no `AUTH` handshake, everything serves the
+    /// default tenant. `N > 1` assigns each connection a tenant in
+    /// `1..=N` (weighted by `tenant_skew`) and binds it with `AUTH`
+    /// before traffic starts.
+    pub tenants: u32,
+    /// `(hot, cold)` connection weights: tenant 1 is the hot tenant and
+    /// receives `hot` weight, every other tenant `cold`. `(1, 1)` splits
+    /// connections evenly; `(8, 1)` over 4 tenants gives tenant 1 eight
+    /// elevenths of the connections — the noisy-neighbor shape.
+    pub tenant_skew: (u32, u32),
 }
 
 impl Default for LoadgenConfig {
@@ -298,6 +317,8 @@ impl Default for LoadgenConfig {
             batch: 0,
             adversary: None,
             adversary_frac: 0.0,
+            tenants: 0,
+            tenant_skew: (1, 1),
         }
     }
 }
@@ -328,6 +349,10 @@ pub struct LoadReport {
     /// Latency of legitimate connections only — the victim's view of an
     /// attack. Equals `latency` when no adversary is configured.
     pub legit_latency: Histogram,
+    /// Round-trip latency split by tenant. Empty on single-tenant runs;
+    /// with `tenants > 1` one entry per tenant that issued traffic, so a
+    /// noisy-neighbor drill can read the quiet tenant's p99 directly.
+    pub latency_by_tenant: BTreeMap<u32, Histogram>,
 }
 
 impl LoadReport {
@@ -381,6 +406,14 @@ impl LoadReport {
                 us(self.legit_latency.quantile(0.999)),
             ));
         }
+        for (tenant, lat) in &self.latency_by_tenant {
+            out.push_str(&format!(
+                "\ntenant {tenant:<4} {} ops | p50 {:.1} us | p99 {:.1} us",
+                lat.count(),
+                us(lat.quantile(0.50)),
+                us(lat.quantile(0.99)),
+            ));
+        }
         out
     }
 }
@@ -394,6 +427,26 @@ struct ThreadOutcome {
     adversary_ops: u64,
     latency: Histogram,
     legit_latency: Histogram,
+}
+
+/// The tenant connection `i` of `conns` serves: connections are stretched
+/// over the weight line `[hot, cold, cold, ...]` so tenant 1 (hot) gets
+/// `hot / (hot + (tenants-1)·cold)` of them. Returns 0 (default tenant,
+/// no `AUTH`) for single-tenant configs.
+fn tenant_of_conn(i: usize, conns: usize, tenants: u32, skew: (u32, u32)) -> u32 {
+    if tenants <= 1 {
+        return 0;
+    }
+    let hot = u64::from(skew.0.max(1));
+    let cold = u64::from(skew.1.max(1));
+    let total = hot + cold * u64::from(tenants - 1);
+    // Midpoint of connection i's slice of the weight line.
+    let x = (2 * i as u64 + 1) * total / (2 * conns as u64).max(1);
+    if x < hot {
+        1
+    } else {
+        (2 + (x - hot) / cold).min(u64::from(tenants)) as u32
+    }
 }
 
 /// One connection's operation stream: either legitimate workload ops or
@@ -440,8 +493,9 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
         let cfg = cfg.clone();
         let plan = plan.clone();
         let ops = per_conn + u64::from((i as u64) < remainder);
+        let tenant = tenant_of_conn(i, conns, cfg.tenants, cfg.tenant_skew);
         handles.push(std::thread::spawn(
-            move || -> std::io::Result<ThreadOutcome> {
+            move || -> std::io::Result<(u32, ThreadOutcome)> {
                 let mut source = if i < adv_conns {
                     let adv = cfg.adversary.clone().expect("adv_conns implies adversary");
                     let adv = AdversaryConfig {
@@ -459,13 +513,14 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
                     )
                 };
                 let batch = cfg.batch.clamp(1, MAX_BATCH_SUBS);
-                match cfg.target_qps {
-                    None => closed_loop(&cfg.addr, &mut source, ops, batch),
+                let outcome = match cfg.target_qps {
+                    None => closed_loop(&cfg.addr, tenant, &mut source, ops, batch),
                     Some(q) => {
                         let rate = (q / conns as u64).max(1);
-                        open_loop(&cfg.addr, &mut source, ops, rate, batch)
+                        open_loop(&cfg.addr, tenant, &mut source, ops, rate, batch)
                     }
-                }
+                }?;
+                Ok((tenant, outcome))
             },
         ));
     }
@@ -480,11 +535,19 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
         qps: 0.0,
         latency: Histogram::new(),
         legit_latency: Histogram::new(),
+        latency_by_tenant: BTreeMap::new(),
     };
     for h in handles {
-        let outcome = h
+        let (tenant, outcome) = h
             .join()
             .map_err(|_| violation("loadgen thread panicked".to_string()))??;
+        if cfg.tenants > 1 {
+            report
+                .latency_by_tenant
+                .entry(tenant)
+                .or_default()
+                .merge(&outcome.latency);
+        }
         report.ops += outcome.ops;
         report.not_found += outcome.not_found;
         report.server_errors += outcome.server_errors;
@@ -503,11 +566,16 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
 
 fn closed_loop(
     addr: &str,
+    tenant: u32,
     source: &mut OpSource,
     ops: u64,
     batch: usize,
 ) -> std::io::Result<ThreadOutcome> {
-    let mut sink = NetSink::new(Client::connect(addr)?);
+    let mut client = Client::connect(addr)?;
+    if tenant != 0 {
+        client.auth(tenant)?;
+    }
+    let mut sink = NetSink::new(client);
     let mut protocol_errors = 0u64;
     let mut done = 0u64;
     let mut remaining = ops;
@@ -572,13 +640,19 @@ const OPEN_LOOP_MAX_INFLIGHT: usize = 128;
 
 fn open_loop(
     addr: &str,
+    tenant: u32,
     source: &mut OpSource,
     ops: u64,
     rate_per_sec: u64,
     batch: usize,
 ) -> std::io::Result<ThreadOutcome> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
+    // The AUTH handshake runs blocking (request/response) before the
+    // socket flips nonblocking for the pipelined phase.
+    let mut client = Client::connect(addr)?;
+    if tenant != 0 {
+        client.auth(tenant)?;
+    }
+    let Client { stream, .. } = client;
     stream.set_nonblocking(true)?;
     let interval = Duration::from_nanos(1_000_000_000 / rate_per_sec.max(1));
     let started = Instant::now();
@@ -759,4 +833,37 @@ fn open_loop(
         }
     }
     Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_assignment_covers_all_tenants_and_respects_skew() {
+        // Single-tenant configs never authenticate.
+        for i in 0..8 {
+            assert_eq!(tenant_of_conn(i, 8, 0, (1, 1)), 0);
+            assert_eq!(tenant_of_conn(i, 8, 1, (4, 1)), 0);
+        }
+        // Even split: 8 connections over 4 tenants, 2 each.
+        let mut counts = [0u32; 5];
+        for i in 0..8 {
+            let t = tenant_of_conn(i, 8, 4, (1, 1));
+            assert!((1..=4).contains(&t));
+            counts[t as usize] += 1;
+        }
+        assert_eq!(&counts[1..], &[2, 2, 2, 2]);
+        // Noisy-neighbor skew: hot tenant 1 takes most connections and
+        // every cold tenant still appears.
+        let mut counts = [0u32; 5];
+        for i in 0..22 {
+            let t = tenant_of_conn(i, 22, 4, (8, 1));
+            counts[t as usize] += 1;
+        }
+        assert!(counts[1] >= 14, "hot tenant underweighted: {counts:?}");
+        for t in 2..=4 {
+            assert!(counts[t] >= 1, "cold tenant {t} starved: {counts:?}");
+        }
+    }
 }

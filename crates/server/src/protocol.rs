@@ -28,6 +28,7 @@
 //! | `Shutdown` | —                   | —                           |
 //! | `Metrics`  | `u8 format`         | `lp text`                   |
 //! | `Batch`    | `u32 n, n × sub`    | `u32 n, n × subreply`       |
+//! | `Auth`     | `u32 tenant`        | —                           |
 //!
 //! `Metrics` serves the live telemetry registry; `format` selects JSON
 //! (0) or Prometheus text exposition (1). A server running without
@@ -42,6 +43,12 @@
 //! opcode` (echo), `u8 status`, then the status's body. A malformed
 //! sub-request rejects the whole batch with one `Err` frame; framing
 //! stays intact and the connection survives.
+//!
+//! `Auth` binds the connection to a tenant id for the rest of its life:
+//! subsequent requests are charged to that tenant's aggregated quota and
+//! served from that tenant's cache partition. Connections that never send
+//! `Auth` serve the default tenant 0, so pre-tenant clients keep working
+//! unchanged.
 //!
 //! An `Err` response carries `lp message`. Malformed input is answered
 //! with a clean `Err` frame; only violations that break framing itself
@@ -79,6 +86,8 @@ pub enum Opcode {
     Metrics = 7,
     /// Many data-plane sub-requests under one envelope.
     Batch = 8,
+    /// Bind the connection to a tenant id.
+    Auth = 9,
 }
 
 impl Opcode {
@@ -94,6 +103,7 @@ impl Opcode {
             6 => Opcode::Shutdown,
             7 => Opcode::Metrics,
             8 => Opcode::Batch,
+            9 => Opcode::Auth,
             _ => return None,
         })
     }
@@ -110,6 +120,7 @@ impl Opcode {
             Opcode::Shutdown => "shutdown",
             Opcode::Metrics => "metrics",
             Opcode::Batch => "batch",
+            Opcode::Auth => "auth",
         }
     }
 
@@ -225,6 +236,11 @@ pub enum Request {
         /// Sub-requests, executed and answered in order.
         subs: Vec<Request>,
     },
+    /// Bind this connection to a tenant for quota and cache routing.
+    Auth {
+        /// Tenant id to bind (0 is the default tenant).
+        tenant: u32,
+    },
 }
 
 impl Request {
@@ -240,6 +256,7 @@ impl Request {
             Request::Shutdown => Opcode::Shutdown,
             Request::Metrics { .. } => Opcode::Metrics,
             Request::Batch { .. } => Opcode::Batch,
+            Request::Auth { .. } => Opcode::Auth,
         }
     }
 }
@@ -402,6 +419,7 @@ fn put_request_body(out: &mut Vec<u8>, req: &Request) {
             put_u32(out, *limit);
         }
         Request::Metrics { format } => out.push(*format as u8),
+        Request::Auth { tenant } => put_u32(out, *tenant),
         Request::Batch { subs } => {
             put_u32(out, subs.len() as u32);
             for sub in subs {
@@ -535,6 +553,7 @@ fn read_request_body(op: Opcode, r: &mut Reader<'_>) -> Result<Request, FrameErr
             format: MetricsFormat::from_u8(r.u8()?)
                 .ok_or(FrameError::Malformed("unknown metrics format"))?,
         },
+        Opcode::Auth => Request::Auth { tenant: r.u32()? },
         Opcode::Batch => {
             let n = r.u32()? as usize;
             if n == 0 {
@@ -633,7 +652,9 @@ fn read_response_body(
                 }
                 Response::Batch(subs)
             }
-            Opcode::Ping | Opcode::Put | Opcode::Delete | Opcode::Shutdown => Response::Ok,
+            Opcode::Ping | Opcode::Put | Opcode::Delete | Opcode::Shutdown | Opcode::Auth => {
+                Response::Ok
+            }
         },
     })
 }
@@ -680,6 +701,41 @@ mod tests {
         roundtrip_request(Request::Metrics {
             format: MetricsFormat::Prometheus,
         });
+        roundtrip_request(Request::Auth { tenant: 0 });
+        roundtrip_request(Request::Auth { tenant: 7 });
+    }
+
+    #[test]
+    fn auth_body_is_validated() {
+        // Truncated tenant id.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 8, Opcode::Auth as u8, |out| out.push(1));
+        assert!(matches!(
+            decode_request(&buf, DEFAULT_MAX_FRAME),
+            Progress::Frame(Err((8, FrameError::Malformed(_))), _)
+        ));
+        // Trailing bytes after the tenant id.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 9, Opcode::Auth as u8, |out| {
+            put_u32(out, 3);
+            out.push(0);
+        });
+        assert!(matches!(
+            decode_request(&buf, DEFAULT_MAX_FRAME),
+            Progress::Frame(Err((9, FrameError::Malformed(_))), _)
+        ));
+        // Auth is control-plane: it may not appear inside a batch.
+        assert!(!Opcode::Auth.batchable());
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 10, Opcode::Batch as u8, |out| {
+            put_u32(out, 1);
+            out.push(Opcode::Auth as u8);
+            put_u32(out, 3);
+        });
+        assert!(matches!(
+            decode_request(&buf, DEFAULT_MAX_FRAME),
+            Progress::Frame(Err((10, FrameError::Malformed(_))), _)
+        ));
     }
 
     #[test]

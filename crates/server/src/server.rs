@@ -31,18 +31,18 @@ use crate::protocol::{
     self, decode_request, encode_response, is_fatal, MetricsFormat, Opcode, Progress, Request,
     Response,
 };
-use adcache_core::CachedDb;
+use adcache_core::{CachedDb, TenantId, DEFAULT_TENANT};
 use adcache_lsm::{lock_probe, reset_lock_probe};
 use adcache_obs::{
     ConnCloseCause, Counter, Event, Gauge, HistogramHandle, Obs, Stage, StageSet, StageTimer,
 };
 use serde_json::Value;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
 use std::sync::Arc;
+use std::sync::{mpsc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// How the serving layer is sized and bounded.
@@ -84,6 +84,17 @@ pub struct ServerConfig {
     /// Token-bucket capacity (burst allowance); 0 sizes it to one second
     /// of `quota_ops`.
     pub quota_burst: u64,
+    /// Per-*tenant* admission quota in sustained tokens per second,
+    /// aggregated across every connection the tenant has bound with
+    /// `AUTH` (0 disables). Same cost table as `quota_ops`, but the
+    /// bucket is shared: a tenant cannot multiply its budget by opening
+    /// more connections. Unauthenticated (legacy) connections belong to
+    /// the default tenant and are exempt — tenant quotas are an
+    /// isolation tool for multi-tenant runs, not a new global limit.
+    pub tenant_quota_ops: u64,
+    /// Per-tenant token-bucket capacity; 0 sizes it to one second of
+    /// `tenant_quota_ops`.
+    pub tenant_quota_burst: u64,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +110,8 @@ impl Default for ServerConfig {
             slow_request_ns: 10_000_000,
             quota_ops: 0,
             quota_burst: 0,
+            tenant_quota_ops: 0,
+            tenant_quota_burst: 0,
         }
     }
 }
@@ -132,6 +145,10 @@ pub struct ServeReport {
     /// Requests shed by per-connection admission quotas (answered with an
     /// `Err` reply without touching the engine).
     pub quota_throttled: u64,
+    /// Requests shed by per-tenant aggregated quotas (a subset of the
+    /// shed total, counted separately so noisy-neighbor drills can tell
+    /// the two defenses apart).
+    pub tenant_throttled: u64,
     /// Bytes read off sockets.
     pub bytes_in: u64,
     /// Bytes written to sockets.
@@ -148,7 +165,7 @@ struct Metrics {
     conns_active: Gauge,
     inflight: Gauge,
     /// Indexed by opcode discriminant.
-    latency: [HistogramHandle; 9],
+    latency: [HistogramHandle; 10],
     /// Sub-requests per served `Batch` frame (`server.batch.subs`).
     batch_subs: HistogramHandle,
     /// Distinct engine stripes per served `Batch` frame
@@ -179,6 +196,7 @@ impl Metrics {
                 lat(Opcode::Shutdown),
                 lat(Opcode::Metrics),
                 lat(Opcode::Batch),
+                lat(Opcode::Auth),
             ],
             batch_subs: obs.histogram("server.batch.subs"),
             batch_stripes: obs.histogram("server.batch.stripes"),
@@ -206,8 +224,31 @@ struct Shared {
     conns_closed: AtomicU64,
     conns_refused: AtomicU64,
     quota_throttled: AtomicU64,
+    tenant_throttled: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
+    /// Per-tenant serving state, created on first `AUTH` for a tenant.
+    /// Looked up only at bind time — connections cache the `Arc` — so
+    /// the data-plane hot path never takes this lock.
+    tenants: RwLock<BTreeMap<TenantId, Arc<TenantState>>>,
+}
+
+/// Serving-layer state shared by every connection a tenant has bound:
+/// the aggregated admission bucket and throttle accounting.
+struct TenantState {
+    id: TenantId,
+    /// Aggregated token bucket — one per tenant, not per connection, so
+    /// opening more sockets does not multiply the budget.
+    bucket: Mutex<TenantBucket>,
+    /// Requests shed for this tenant.
+    throttled: AtomicU64,
+    /// `server.tenant.<id>.quota.throttled`, resolved once at creation.
+    throttled_counter: Counter,
+}
+
+struct TenantBucket {
+    tokens: f64,
+    at: Instant,
 }
 
 impl Shared {
@@ -219,9 +260,35 @@ impl Shared {
             conns_closed: self.conns_closed.load(Ordering::Relaxed),
             conns_refused: self.conns_refused.load(Ordering::Relaxed),
             quota_throttled: self.quota_throttled.load(Ordering::Relaxed),
+            tenant_throttled: self.tenant_throttled.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
         }
+    }
+
+    /// The tenant's serving state, created on first use. `AUTH`-time
+    /// only; never on the data-plane hot path.
+    fn tenant_state(&self, tenant: TenantId) -> Arc<TenantState> {
+        if let Some(ts) = self.tenants.read().unwrap().get(&tenant) {
+            return ts.clone();
+        }
+        let mut map = self.tenants.write().unwrap();
+        map.entry(tenant)
+            .or_insert_with(|| {
+                Arc::new(TenantState {
+                    id: tenant,
+                    bucket: Mutex::new(TenantBucket {
+                        // A fresh tenant starts with a full burst.
+                        tokens: tenant_quota_burst(&self.cfg),
+                        at: Instant::now(),
+                    }),
+                    throttled: AtomicU64::new(0),
+                    throttled_counter: self
+                        .obs
+                        .counter(&format!("server.tenant.{tenant}.quota.throttled")),
+                })
+            })
+            .clone()
     }
 }
 
@@ -357,6 +424,9 @@ struct Conn {
     tokens_at: Instant,
     /// Requests throttled on this connection.
     throttled: u64,
+    /// The tenant this connection bound with `AUTH`; `None` is a legacy
+    /// connection serving the default tenant.
+    tenant: Option<Arc<TenantState>>,
     /// Set once the connection should close after its replies flush.
     closing: Option<ConnCloseCause>,
 }
@@ -364,6 +434,10 @@ struct Conn {
 impl Conn {
     fn pending_write(&self) -> usize {
         self.wq.pending()
+    }
+
+    fn tenant_id(&self) -> TenantId {
+        self.tenant.as_ref().map_or(DEFAULT_TENANT, |t| t.id)
     }
 }
 
@@ -402,8 +476,10 @@ impl Server {
             conns_closed: AtomicU64::new(0),
             conns_refused: AtomicU64::new(0),
             quota_throttled: AtomicU64::new(0),
+            tenant_throttled: AtomicU64::new(0),
             bytes_in: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
+            tenants: RwLock::new(BTreeMap::new()),
         });
 
         let mut threads = Vec::with_capacity(workers + 1);
@@ -658,6 +734,7 @@ fn adopt(shared: &Shared, stream: TcpStream) -> Option<Conn> {
         tokens: quota_burst(&shared.cfg),
         tokens_at: Instant::now(),
         throttled: 0,
+        tenant: None,
         closing: None,
     })
 }
@@ -833,23 +910,25 @@ fn drain_buffered(shared: &Shared, conn: &mut Conn, enforce_cap: bool) -> bool {
 /// frame's engine work). Control-plane opcodes are not valid here — the
 /// decoder rejects them inside batches, so the fallback arm is defense in
 /// depth, not a reachable path.
-fn execute_data_sub(shared: &Shared, req: &Request) -> Response {
+fn execute_data_sub(shared: &Shared, tenant: TenantId, req: &Request) -> Response {
     match req {
         Request::Ping => Response::Ok,
-        Request::Get { key } => match shared.db.get(key) {
+        Request::Get { key } => match shared.db.get_for(tenant, key) {
             Ok(Some(v)) => Response::Value(v),
             Ok(None) => Response::NotFound,
             Err(e) => Response::Error(e.to_string()),
         },
-        Request::Put { key, value } => match shared.db.put(key.clone(), value.clone()) {
+        Request::Put { key, value } => {
+            match shared.db.put_for(tenant, key.clone(), value.clone()) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Error(e.to_string()),
+            }
+        }
+        Request::Delete { key } => match shared.db.delete_for(tenant, key.clone()) {
             Ok(()) => Response::Ok,
             Err(e) => Response::Error(e.to_string()),
         },
-        Request::Delete { key } => match shared.db.delete(key.clone()) {
-            Ok(()) => Response::Ok,
-            Err(e) => Response::Error(e.to_string()),
-        },
-        Request::Scan { from, limit } => match shared.db.scan(from, *limit as usize) {
+        Request::Scan { from, limit } => match shared.db.scan_for(tenant, from, *limit as usize) {
             Ok(entries) => Response::Entries(entries),
             Err(e) => Response::Error(e.to_string()),
         },
@@ -863,7 +942,7 @@ fn execute_data_sub(shared: &Shared, req: &Request) -> Response {
 /// once), while writes and scans execute at their positions so
 /// read-your-writes holds within the batch. Returns the in-order
 /// multi-reply plus `(subs, distinct stripes)` for metrics.
-fn execute_batch(shared: &Shared, subs: &[Request]) -> (Response, (u64, u64)) {
+fn execute_batch(shared: &Shared, tenant: TenantId, subs: &[Request]) -> (Response, (u64, u64)) {
     let striped = shared.db.db();
     let mut stripe_seen = vec![false; striped.num_stripes()];
     let mut out: Vec<(Opcode, Response)> = Vec::with_capacity(subs.len());
@@ -880,7 +959,7 @@ fn execute_batch(shared: &Shared, subs: &[Request]) -> (Response, (u64, u64)) {
                 stripe_seen[striped.stripe_for(key)] = true;
                 j += 1;
             }
-            match shared.db.multi_get(&keys) {
+            match shared.db.multi_get_for(tenant, &keys) {
                 Ok(values) => {
                     for v in values {
                         let resp = match v {
@@ -907,7 +986,7 @@ fn execute_batch(shared: &Shared, subs: &[Request]) -> (Response, (u64, u64)) {
                 Request::Scan { .. } => stripe_seen.iter_mut().for_each(|s| *s = true),
                 _ => {}
             }
-            out.push((subs[i].opcode(), execute_data_sub(shared, &subs[i])));
+            out.push((subs[i].opcode(), execute_data_sub(shared, tenant, &subs[i])));
             i += 1;
         }
     }
@@ -939,11 +1018,15 @@ fn execute(shared: &Shared, conn: &mut Conn, id: u64, req: &Request, parse_ns: u
             | Request::Get { .. }
             | Request::Put { .. }
             | Request::Delete { .. }
-            | Request::Scan { .. } => execute_data_sub(shared, req),
+            | Request::Scan { .. } => execute_data_sub(shared, conn.tenant_id(), req),
             Request::Batch { subs } => {
-                let (resp, info) = execute_batch(shared, subs);
+                let (resp, info) = execute_batch(shared, conn.tenant_id(), subs);
                 batch_info = Some(info);
                 resp
+            }
+            Request::Auth { tenant } => {
+                bind_tenant(shared, conn, *tenant);
+                Response::Ok
             }
             Request::Stats => Response::Stats(stats_json(shared)),
             Request::Shutdown => {
@@ -1031,6 +1114,23 @@ fn execute(shared: &Shared, conn: &mut Conn, id: u64, req: &Request, parse_ns: u
     }
 }
 
+/// Binds `conn` to `tenant`: registers the tenant's cache partition with
+/// the engine, swaps in the aggregated quota state, and journals the
+/// binding. `AUTH 0` rebinds to the default tenant (legacy semantics) —
+/// useful for connection-pool reuse.
+fn bind_tenant(shared: &Shared, conn: &mut Conn, tenant: TenantId) {
+    if tenant == DEFAULT_TENANT {
+        conn.tenant = None;
+    } else {
+        shared.db.register_tenant(tenant);
+        conn.tenant = Some(shared.tenant_state(tenant));
+    }
+    shared.obs.emit(|| Event::TenantBound {
+        conn: conn.id,
+        tenant: tenant as u64,
+    });
+}
+
 /// The effective token-bucket capacity for `cfg` (one second of sustained
 /// rate unless overridden).
 fn quota_burst(cfg: &ServerConfig) -> f64 {
@@ -1038,6 +1138,16 @@ fn quota_burst(cfg: &ServerConfig) -> f64 {
         cfg.quota_burst as f64
     } else {
         cfg.quota_ops.max(1) as f64
+    }
+}
+
+/// The effective per-tenant bucket capacity (one second of sustained rate
+/// unless overridden).
+fn tenant_quota_burst(cfg: &ServerConfig) -> f64 {
+    if cfg.tenant_quota_burst > 0 {
+        cfg.tenant_quota_burst as f64
+    } else {
+        cfg.tenant_quota_ops.max(1) as f64
     }
 }
 
@@ -1068,6 +1178,9 @@ pub fn quota_cost(req: &Request) -> Option<f64> {
         // Ping is free: it is the liveness probe a throttled client uses
         // to tell "quota-limited" from "dead", batched or not.
         Request::Ping => return None,
+        // AUTH is control plane: a throttled tenant must still be able to
+        // (re)bind, and the handshake happens before traffic anyway.
+        Request::Auth { .. } => return None,
         Request::Stats | Request::Shutdown | Request::Metrics { .. } => return None,
     })
 }
@@ -1080,36 +1193,78 @@ pub fn quota_cost(req: &Request) -> Option<f64> {
 /// whole frame is refused with one `Err`.
 fn quota_check(shared: &Shared, conn: &mut Conn, req: &Request) -> Option<Response> {
     let rate = shared.cfg.quota_ops;
-    if rate == 0 {
+    let tenant_rate = shared.cfg.tenant_quota_ops;
+    if rate == 0 && tenant_rate == 0 {
         return None;
     }
     let cost = quota_cost(req)?;
-    let now = Instant::now();
-    let dt = now.duration_since(conn.tokens_at).as_secs_f64();
-    conn.tokens_at = now;
-    conn.tokens = (conn.tokens + dt * rate as f64).min(quota_burst(&shared.cfg));
-    if conn.tokens >= cost {
+    if rate > 0 {
+        let now = Instant::now();
+        let dt = now.duration_since(conn.tokens_at).as_secs_f64();
+        conn.tokens_at = now;
+        conn.tokens = (conn.tokens + dt * rate as f64).min(quota_burst(&shared.cfg));
+        if conn.tokens < cost {
+            conn.throttled += 1;
+            shared.quota_throttled.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.quota_throttled.inc();
+            // Journal the first throttle per connection (the defense
+            // activated) and then every 1024th, so a sustained attack
+            // cannot flood the journal either.
+            if conn.throttled == 1 || conn.throttled.is_multiple_of(1024) {
+                let throttled = conn.throttled;
+                let opcode = req.opcode().label().to_string();
+                shared.obs.emit(|| Event::QuotaThrottled {
+                    conn: conn.id,
+                    opcode,
+                    throttled,
+                });
+            }
+            return Some(Response::Error(format!(
+                "quota exceeded: connection limited to {rate} tokens/s"
+            )));
+        }
         conn.tokens -= cost;
-        return None;
     }
-    conn.throttled += 1;
-    shared.quota_throttled.fetch_add(1, Ordering::Relaxed);
-    shared.metrics.quota_throttled.inc();
-    // Journal the first throttle per connection (the defense activated)
-    // and then every 1024th, so a sustained attack cannot flood the
-    // journal either.
-    if conn.throttled == 1 || conn.throttled.is_multiple_of(1024) {
-        let throttled = conn.throttled;
-        let opcode = req.opcode().label().to_string();
-        shared.obs.emit(|| Event::QuotaThrottled {
-            conn: conn.id,
-            opcode,
-            throttled,
-        });
+    if tenant_rate > 0 {
+        if let Some(ts) = conn.tenant.clone() {
+            let denied = {
+                let mut b = ts.bucket.lock().unwrap();
+                let now = Instant::now();
+                let dt = now.duration_since(b.at).as_secs_f64();
+                b.at = now;
+                b.tokens =
+                    (b.tokens + dt * tenant_rate as f64).min(tenant_quota_burst(&shared.cfg));
+                if b.tokens >= cost {
+                    b.tokens -= cost;
+                    false
+                } else {
+                    true
+                }
+            };
+            if denied {
+                let throttled = ts.throttled.fetch_add(1, Ordering::Relaxed) + 1;
+                shared.quota_throttled.fetch_add(1, Ordering::Relaxed);
+                shared.tenant_throttled.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.quota_throttled.inc();
+                ts.throttled_counter.inc();
+                // Same journal damping as the per-connection defense.
+                if throttled == 1 || throttled.is_multiple_of(1024) {
+                    let tenant = ts.id as u64;
+                    let opcode = req.opcode().label().to_string();
+                    shared.obs.emit(|| Event::TenantThrottled {
+                        tenant,
+                        opcode,
+                        throttled,
+                    });
+                }
+                return Some(Response::Error(format!(
+                    "quota exceeded: tenant {} limited to {tenant_rate} tokens/s",
+                    ts.id
+                )));
+            }
+        }
     }
-    Some(Response::Error(format!(
-        "quota exceeded: connection limited to {rate} tokens/s"
-    )))
+    None
 }
 
 /// A short human-readable key label for `SlowRequest` events: the
@@ -1162,6 +1317,10 @@ fn stats_json(shared: &Shared) -> String {
         (
             "quota_throttled".to_string(),
             Value::from(shared.quota_throttled.load(Ordering::Relaxed)),
+        ),
+        (
+            "tenant_throttled".to_string(),
+            Value::from(shared.tenant_throttled.load(Ordering::Relaxed)),
         ),
         (
             "bytes_in".to_string(),
@@ -1237,8 +1396,10 @@ mod tests {
             conns_closed: AtomicU64::new(0),
             conns_refused: AtomicU64::new(0),
             quota_throttled: AtomicU64::new(0),
+            tenant_throttled: AtomicU64::new(0),
             bytes_in: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
+            tenants: RwLock::new(BTreeMap::new()),
         })
     }
 
@@ -1263,6 +1424,7 @@ mod tests {
             tokens: 0.0,
             tokens_at: Instant::now(),
             throttled: 0,
+            tenant: None,
             closing: None,
         };
         (conn, peer)
@@ -1382,6 +1544,7 @@ mod tests {
         assert_eq!(quota_cost(&Request::Ping), None);
         assert_eq!(quota_cost(&Request::Stats), None);
         assert_eq!(quota_cost(&Request::Shutdown), None);
+        assert_eq!(quota_cost(&Request::Auth { tenant: 7 }), None);
         assert_eq!(
             quota_cost(&Request::Metrics {
                 format: MetricsFormat::Json

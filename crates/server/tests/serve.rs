@@ -545,6 +545,7 @@ fn adversarial_blend_classifies_quota_errors_without_protocol_damage() {
         batch: 0,
         adversary: Some(AdversaryConfig::new(AdversaryKind::ScanFlood, 2_000, 99)),
         adversary_frac: 0.5,
+        ..Default::default()
     })
     .unwrap();
 
@@ -865,4 +866,140 @@ fn shutdown_opcode_drains_the_server() {
         db.get(b"durable").unwrap().map(|v| v.to_vec()),
         Some(b"yes".to_vec())
     );
+}
+
+/// Wire-level backward compatibility: a legacy client that has never
+/// heard of AUTH sends byte-identical pre-tenant frames (hand-encoded
+/// here so a protocol-layer change cannot mask a drift) and gets exactly
+/// the old behavior — served by the default tenant, full cache budget,
+/// no extra partitions, no throttling.
+#[test]
+fn legacy_connections_without_auth_are_served_unchanged() {
+    let db = test_db(false);
+    let server = start_server(db.clone(), |cfg| {
+        // Tenant quotas on: they must not touch unauthenticated traffic.
+        cfg.tenant_quota_ops = 10;
+        cfg.tenant_quota_burst = 10;
+    });
+    let addr = server.local_addr().to_string();
+
+    // Raw pre-tenant GET frame:
+    // [u32 len][u64 id][u8 opcode=1][u32 key_len][key].
+    let key = render_key(42);
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(8u32 + 1 + 4 + key.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&7u64.to_le_bytes());
+    frame.push(1);
+    frame.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&key);
+    let mut sock = std::net::TcpStream::connect(&addr).unwrap();
+    sock.write_all(&frame).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    // Reply: [u32 len][u64 id=7][u8 tag=Value][u32 vlen][value].
+    let mut reply = vec![0u8; 4 + 8 + 1 + 4 + 10];
+    sock.read_exact(&mut reply).unwrap();
+    assert_eq!(&reply[4..12], &7u64.to_le_bytes(), "id echo");
+    assert_eq!(&reply[17..], b"seed-00042", "pre-tenant GET still serves");
+    drop(sock);
+
+    // Far more ops than the 10-token tenant bucket: none may throttle,
+    // because this connection never bound a tenant.
+    let mut c = Client::connect(&addr).unwrap();
+    for i in 0..100u64 {
+        match c.call(&Request::Get { key: render_key(i) }).unwrap() {
+            Response::Value(_) | Response::NotFound => {}
+            other => panic!("legacy traffic must never throttle: {other:?}"),
+        }
+    }
+
+    // The engine stayed single-partition: only the default tenant, with
+    // the whole budget.
+    assert_eq!(db.tenant_ids(), vec![adcache_core::DEFAULT_TENANT]);
+    let reports = db.tenant_reports();
+    assert_eq!(reports.len(), 1);
+    assert!((reports[0].share - 1.0).abs() < 1e-9);
+
+    let report = server.shutdown();
+    assert_eq!(report.protocol_errors, 0);
+    assert_eq!(report.quota_throttled, 0);
+    assert_eq!(report.tenant_throttled, 0);
+}
+
+/// Multi-tenant serving end to end: AUTH binds connections to tenants,
+/// the engine grows per-tenant partitions, per-tenant stats ride the
+/// STATS payload, the aggregated tenant quota throttles a noisy tenant
+/// across *all* of its connections while other tenants stay clean, and
+/// the journal records the bindings and throttles.
+#[test]
+fn auth_binds_tenants_and_tenant_quota_aggregates_across_connections() {
+    let db = test_db(true);
+    let server = start_server(db.clone(), |cfg| {
+        cfg.tenant_quota_ops = 50;
+        cfg.tenant_quota_burst = 50;
+    });
+    let addr = server.local_addr().to_string();
+
+    // Tenant 1: two connections sharing one bucket. Tenant 2: one
+    // connection, light traffic.
+    let mut hot_a = Client::connect(&addr).unwrap();
+    hot_a.auth(1).unwrap();
+    let mut hot_b = Client::connect(&addr).unwrap();
+    hot_b.auth(1).unwrap();
+    let mut quiet = Client::connect(&addr).unwrap();
+    quiet.auth(2).unwrap();
+
+    let mut ids = db.tenant_ids();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![0, 1, 2], "AUTH must register engine partitions");
+
+    // Both hot connections hammer; their *combined* admitted volume is
+    // bounded by one 50-token bucket, so throttles must appear on both.
+    let mut throttled = 0u64;
+    let mut admitted = 0u64;
+    for i in 0..100u64 {
+        for c in [&mut hot_a, &mut hot_b] {
+            match c.call(&Request::Get { key: render_key(i) }).unwrap() {
+                Response::Value(_) | Response::NotFound => admitted += 1,
+                Response::Error(msg) => {
+                    assert!(msg.starts_with("quota"), "unexpected error: {msg}");
+                    assert!(msg.contains("tenant 1"), "blames the tenant: {msg}");
+                    throttled += 1;
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+    }
+    assert!(
+        throttled > 0,
+        "200 instant ops must drain a 50-token bucket"
+    );
+    assert!(
+        admitted < 150,
+        "two connections must share one tenant bucket, admitted {admitted}"
+    );
+
+    // The quiet tenant is untouched by tenant 1's throttling.
+    for i in 0..20u64 {
+        match quiet.call(&Request::Get { key: render_key(i) }).unwrap() {
+            Response::Value(_) | Response::NotFound => {}
+            other => panic!("quiet tenant must not be throttled: {other:?}"),
+        }
+    }
+
+    // Per-tenant stats ride the STATS payload.
+    let stats = quiet.stats().unwrap();
+    assert!(stats.contains("\"tenants\""), "stats: {stats}");
+    assert!(stats.contains("\"tenant_throttled\""), "stats: {stats}");
+
+    let report = server.shutdown();
+    assert_eq!(report.protocol_errors, 0);
+    assert_eq!(report.tenant_throttled, throttled);
+    let trace = db.obs().trace_jsonl().unwrap();
+    assert!(trace.contains("TenantBound"), "bindings journal");
+    assert!(trace.contains("TenantThrottled"), "throttles journal");
+    // Tenant 1's ops were charged to its partition, not the default's.
+    let reports = db.tenant_reports();
+    let of = |t: u32| reports.iter().find(|r| r.tenant == t).unwrap();
+    assert!(of(1).ops > 0, "hot tenant ops: {reports:?}");
+    assert!(of(2).ops >= 20, "quiet tenant ops: {reports:?}");
 }
